@@ -1,0 +1,149 @@
+//! Biconnected components (Tarjan's algorithm, iterative).
+//!
+//! Biconnected components are exactly the 2-VCCs with at least three vertices
+//! (plus bridges, which have only two vertices and therefore do not qualify as
+//! 2-VCCs). They provide an independent, flow-free oracle for the `k = 2` case
+//! of the enumeration, used heavily by the cross-check tests.
+
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+/// Returns the vertex sets of all biconnected components of `g`, each sorted
+/// ascending, ordered by smallest vertex. Bridges appear as 2-vertex
+/// components; isolated vertices do not appear at all.
+pub fn biconnected_components(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut disc = vec![u32::MAX; n]; // discovery times
+    let mut low = vec![u32::MAX; n];
+    let mut timer = 0u32;
+    let mut edge_stack: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+
+    // Iterative DFS frame: (vertex, parent, next neighbour index).
+    let mut stack: Vec<(VertexId, VertexId, usize)> = Vec::new();
+
+    for root in 0..n as VertexId {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, VertexId::MAX, 0));
+
+        while !stack.is_empty() {
+            let top = stack.len() - 1;
+            let (u, parent, idx) = stack[top];
+            let neighbors = g.neighbors(u);
+            if idx < neighbors.len() {
+                stack[top].2 += 1;
+                let v = neighbors[idx];
+                if disc[v as usize] == u32::MAX {
+                    // Tree edge.
+                    edge_stack.push((u, v));
+                    disc[v as usize] = timer;
+                    low[v as usize] = timer;
+                    timer += 1;
+                    stack.push((v, u, 0));
+                } else if v != parent && disc[v as usize] < disc[u as usize] {
+                    // Back edge.
+                    edge_stack.push((u, v));
+                    low[u as usize] = low[u as usize].min(disc[v as usize]);
+                }
+            } else {
+                // Finished u: propagate low-link to the parent and emit a
+                // component if u is the far end of an articulation edge.
+                stack.pop();
+                if let Some(&(p, _, _)) = stack.last() {
+                    low[p as usize] = low[p as usize].min(low[u as usize]);
+                    if low[u as usize] >= disc[p as usize] {
+                        // (p, u) closes a biconnected component.
+                        let mut members: Vec<VertexId> = Vec::new();
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            if disc[a as usize] >= disc[u as usize] {
+                                edge_stack.pop();
+                                members.push(a);
+                                members.push(b);
+                            } else {
+                                break;
+                            }
+                        }
+                        // The closing edge (p, u) itself.
+                        if let Some(&(a, b)) = edge_stack.last() {
+                            if (a, b) == (p, u) {
+                                edge_stack.pop();
+                                members.push(a);
+                                members.push(b);
+                            }
+                        }
+                        members.sort_unstable();
+                        members.dedup();
+                        if !members.is_empty() {
+                            components.push(members);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    components.sort();
+    components
+}
+
+/// Convenience: biconnected components with at least three vertices, i.e. the
+/// 2-vertex connected components of the graph.
+pub fn two_vccs(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
+    biconnected_components(g).into_iter().filter(|c| c.len() >= 3).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap();
+        let comps = biconnected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        assert_eq!(two_vccs(&g), comps);
+    }
+
+    #[test]
+    fn bridges_are_two_vertex_components() {
+        let g = UndirectedGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let comps = biconnected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert!(two_vccs(&g).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = UndirectedGraph::from_edges(5, (0..5u32).map(|i| (i, (i + 1) % 5))).unwrap();
+        assert_eq!(biconnected_components(&g), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn disconnected_graphs_and_isolated_vertices() {
+        let g = UndirectedGraph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let comps = biconnected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+        assert!(biconnected_components(&UndirectedGraph::new(3)).is_empty());
+    }
+
+    #[test]
+    fn barbell_with_articulation_point() {
+        // Two triangles joined by a path through vertex 6.
+        let g = UndirectedGraph::from_edges(
+            7,
+            vec![(0, 1), (1, 2), (0, 2), (2, 6), (6, 3), (3, 4), (4, 5), (3, 5)],
+        )
+        .unwrap();
+        let comps = biconnected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert!(comps.contains(&vec![0, 1, 2]));
+        assert!(comps.contains(&vec![3, 4, 5]));
+        assert!(comps.contains(&vec![2, 6]));
+        assert!(comps.contains(&vec![3, 6]));
+        assert_eq!(two_vccs(&g).len(), 2);
+    }
+}

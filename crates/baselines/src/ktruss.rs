@@ -1,0 +1,179 @@
+//! k-truss decomposition.
+//!
+//! A k-truss is a maximal subgraph in which every edge participates in at
+//! least `k − 2` triangles. The paper's related-work discussion (§7) lists it
+//! among the local-triangulation cohesive models that, like the k-core, cannot
+//! eliminate the free-rider effect: two dense regions sharing a single edge
+//! are reported as one truss. Having it in the baseline crate lets examples
+//! and experiments compare a third model family against the k-VCCs.
+
+use std::collections::HashMap;
+
+use kvcc_graph::traversal::connected_components;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+/// Computes the truss number of every edge: the largest `k` such that the edge
+/// survives in the k-truss. Returned as a map keyed by the normalised edge.
+pub fn truss_numbers(g: &UndirectedGraph) -> HashMap<(VertexId, VertexId), u32> {
+    // Support (triangle count) per edge.
+    let mut support: HashMap<(VertexId, VertexId), u32> = HashMap::new();
+    for (u, v) in g.edges() {
+        support.insert((u, v), count_common(g, u, v));
+    }
+    let mut truss: HashMap<(VertexId, VertexId), u32> = HashMap::new();
+    let mut alive = support;
+
+    // Standard truss peeling: for k = 3, 4, ... remove every edge whose
+    // remaining support is below k − 2; an edge removed while processing k has
+    // truss number k − 1.
+    let mut k = 3u32;
+    while !alive.is_empty() {
+        loop {
+            let to_remove: Vec<(VertexId, VertexId)> = alive
+                .iter()
+                .filter(|&(_, &s)| s < k - 2)
+                .map(|(&e, _)| e)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for edge in to_remove {
+                alive.remove(&edge);
+                truss.insert(edge, k - 1);
+                // Decrease the support of the other two edges of every
+                // triangle this edge participated in.
+                let (u, v) = edge;
+                for &w in g.neighbors(u) {
+                    if w == v {
+                        continue;
+                    }
+                    let uw = normalize(u, w);
+                    let vw = normalize(v, w);
+                    if alive.contains_key(&uw) && alive.contains_key(&vw) {
+                        if let Some(s) = alive.get_mut(&uw) {
+                            *s = s.saturating_sub(1);
+                        }
+                        if let Some(s) = alive.get_mut(&vw) {
+                            *s = s.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    truss
+}
+
+fn normalize(a: VertexId, b: VertexId) -> (VertexId, VertexId) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn count_common(g: &UndirectedGraph, u: VertexId, v: VertexId) -> u32 {
+    g.common_neighbor_count(u, v) as u32
+}
+
+/// The connected components of the k-truss, each as a sorted vertex list.
+/// Vertices with no surviving incident edge are omitted.
+pub fn k_truss_components(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
+    let truss = truss_numbers(g);
+    let surviving: Vec<(VertexId, VertexId)> = truss
+        .iter()
+        .filter(|&(_, &t)| t >= k)
+        .map(|(&e, _)| e)
+        .collect();
+    if surviving.is_empty() {
+        return Vec::new();
+    }
+    let truss_graph = UndirectedGraph::from_edges(g.num_vertices(), surviving)
+        .expect("edges come from the input graph");
+    let mut comps: Vec<Vec<VertexId>> = connected_components(&truss_graph)
+        .into_iter()
+        .filter(|c| c.len() >= 2)
+        .collect();
+    comps.sort();
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn clique_truss_numbers() {
+        // In K5 every edge lies in 3 triangles, so every edge has truss 5.
+        let g = complete(5);
+        let truss = truss_numbers(&g);
+        assert_eq!(truss.len(), 10);
+        assert!(truss.values().all(|&t| t == 5));
+        assert_eq!(k_truss_components(&g, 5), vec![vec![0, 1, 2, 3, 4]]);
+        assert!(k_truss_components(&g, 6).is_empty());
+    }
+
+    #[test]
+    fn triangle_free_graph_has_truss_two() {
+        let g = UndirectedGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let truss = truss_numbers(&g);
+        assert!(truss.values().all(|&t| t == 2));
+        assert!(k_truss_components(&g, 3).is_empty());
+        assert_eq!(k_truss_components(&g, 2).len(), 1);
+    }
+
+    #[test]
+    fn trusses_exhibit_the_free_rider_effect() {
+        // Two K4 blocks sharing the edge (3, 4): the 3-trusses (and even the
+        // 4-trusses) merge them into a single component, unlike the 3-VCCs.
+        let mut edges = Vec::new();
+        for block in [[0u32, 1, 2, 3, 4], [3u32, 4, 5, 6, 7]] {
+            for i in 0..block.len() {
+                for j in (i + 1)..block.len() {
+                    edges.push((block[i], block[j]));
+                }
+            }
+        }
+        let g = UndirectedGraph::from_edges(8, edges).unwrap();
+        let comps = k_truss_components(&g, 4);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 8);
+    }
+
+    #[test]
+    fn mixed_graph_truss_levels() {
+        // A triangle attached to a K5 by one edge.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        edges.extend([(4, 5), (5, 6), (6, 4)]);
+        let g = UndirectedGraph::from_edges(7, edges).unwrap();
+        let truss = truss_numbers(&g);
+        assert_eq!(truss[&(0, 1)], 5);
+        assert_eq!(truss[&(5, 6)], 3);
+        let comps3 = k_truss_components(&g, 3);
+        assert_eq!(comps3.len(), 1, "3-trusses share vertex 4 and merge");
+        let comps4 = k_truss_components(&g, 4);
+        assert_eq!(comps4, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert!(truss_numbers(&UndirectedGraph::new(3)).is_empty());
+        assert!(k_truss_components(&UndirectedGraph::new(3), 2).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Brute-force k-VCC oracle for tiny graphs.
+//!
+//! Enumerates every vertex subset (largest first), keeps the ones whose
+//! induced subgraph is k-vertex connected, and discards subsets contained in
+//! an already accepted component. Exponential in the number of vertices, so it
+//! refuses graphs with more than [`MAX_ORACLE_VERTICES`] vertices; it exists
+//! purely as ground truth for the property-based tests of the optimised
+//! enumerator.
+
+use kvcc_flow::is_k_vertex_connected;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+/// Largest graph the oracle accepts (2^n subsets are enumerated).
+pub const MAX_ORACLE_VERTICES: usize = 18;
+
+/// Exact k-VCC enumeration by exhaustive search.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`MAX_ORACLE_VERTICES`] vertices.
+pub fn naive_kvccs(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!(
+        n <= MAX_ORACLE_VERTICES,
+        "naive oracle supports at most {MAX_ORACLE_VERTICES} vertices, got {n}"
+    );
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+
+    // Enumerate subsets grouped by size, largest first, so that maximality is
+    // a simple "not contained in an already accepted set" check.
+    let mut subsets: Vec<u32> = (1u32..(1u32 << n)).collect();
+    subsets.sort_by_key(|s| std::cmp::Reverse(s.count_ones()));
+
+    let mut accepted_masks: Vec<u32> = Vec::new();
+    let mut components: Vec<Vec<VertexId>> = Vec::new();
+
+    for mask in subsets {
+        if mask.count_ones() <= k {
+            // A k-VCC needs more than k vertices; smaller subsets (and all
+            // that follow, since we go largest-first) can be skipped.
+            break;
+        }
+        if accepted_masks.iter().any(|&a| a & mask == mask) {
+            continue; // contained in an accepted component: not maximal
+        }
+        let vertices: Vec<VertexId> =
+            (0..n as VertexId).filter(|&v| mask & (1 << v) != 0).collect();
+        let sub = g.induced_subgraph(&vertices);
+        if is_k_vertex_connected(&sub.graph, k) {
+            accepted_masks.push(mask);
+            components.push(vertices);
+        }
+    }
+    components.sort();
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn clique_is_the_only_component() {
+        let g = complete(5);
+        assert_eq!(naive_kvccs(&g, 3), vec![vec![0, 1, 2, 3, 4]]);
+        assert_eq!(naive_kvccs(&g, 4), vec![vec![0, 1, 2, 3, 4]]);
+        assert!(naive_kvccs(&g, 5).is_empty());
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap();
+        assert_eq!(naive_kvccs(&g, 2), vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        assert!(naive_kvccs(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn k1_matches_connected_components_of_size_two_or_more() {
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(naive_kvccs(&g, 1), vec![vec![0, 1], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn overlapping_components_are_both_found() {
+        // Two K4 blocks sharing two vertices (3-VCCs overlap in 2 < k vertices
+        // would need k=3; here they are 3-connected blocks sharing {2,3}).
+        let mut edges = Vec::new();
+        for block in [[0u32, 1, 2, 3], [2u32, 3, 4, 5]] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((block[i], block[j]));
+                }
+            }
+        }
+        let g = UndirectedGraph::from_edges(6, edges).unwrap();
+        let comps = naive_kvccs(&g, 3);
+        assert_eq!(comps, vec![vec![0, 1, 2, 3], vec![2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(naive_kvccs(&UndirectedGraph::new(0), 2).is_empty());
+        assert!(naive_kvccs(&complete(3), 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "naive oracle supports at most")]
+    fn refuses_large_graphs() {
+        let _ = naive_kvccs(&UndirectedGraph::new(25), 2);
+    }
+}

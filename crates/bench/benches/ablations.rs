@@ -1,0 +1,52 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! sparse certificate on/off, distance-descending processing order on/off and
+//! strong-side-vertex source selection on/off, all measured on the full
+//! VCCE* algorithm.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+
+fn bench_ablations(c: &mut Criterion) {
+    let graph = SuiteDataset::Google.generate(SuiteScale::Tiny);
+    let k = 8u32;
+
+    let mut configurations: Vec<(&'static str, KvccOptions)> = Vec::new();
+    configurations.push(("full", KvccOptions::full()));
+
+    let mut no_certificate = KvccOptions::full();
+    no_certificate.use_sparse_certificate = false;
+    configurations.push(("no_sparse_certificate", no_certificate));
+
+    let mut no_order = KvccOptions::full();
+    no_order.order_by_distance = false;
+    configurations.push(("no_distance_order", no_order));
+
+    let mut no_ssv_source = KvccOptions::full();
+    no_ssv_source.prefer_side_vertex_source = false;
+    configurations.push(("no_side_vertex_source", no_ssv_source));
+
+    let mut no_ssv_at_all = KvccOptions::full();
+    no_ssv_at_all.max_degree_for_side_vertex_check = Some(0);
+    configurations.push(("side_vertex_check_disabled", no_ssv_at_all));
+
+    let mut group = c.benchmark_group("ablations_vcce_star");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (name, options) in &configurations {
+        group.bench_with_input(BenchmarkId::from_parameter(name), options, |b, options| {
+            b.iter(|| {
+                let result = enumerate_kvccs(&graph, k, options).expect("enumeration");
+                std::hint::black_box(result.num_components())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

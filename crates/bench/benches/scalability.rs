@@ -1,0 +1,59 @@
+//! Criterion benchmark backing Fig. 13: VCCE* on vertex- and edge-sampled
+//! versions of the Cit stand-in.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_datasets::sampling::{sample_edges, sample_vertices, SCALABILITY_FRACTIONS};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+
+fn bench_vertex_sampling(c: &mut Criterion) {
+    let graph = SuiteDataset::Cit.generate(SuiteScale::Tiny);
+    let k = 6u32;
+    let mut group = c.benchmark_group("fig13_vary_vertices");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &fraction in &SCALABILITY_FRACTIONS {
+        let sampled = sample_vertices(&graph, fraction, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", fraction * 100.0)),
+            &sampled,
+            |b, g| {
+                b.iter(|| {
+                    let result = enumerate_kvccs(g, k, &KvccOptions::full()).expect("enumeration");
+                    std::hint::black_box(result.num_components())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_edge_sampling(c: &mut Criterion) {
+    let graph = SuiteDataset::Cit.generate(SuiteScale::Tiny);
+    let k = 6u32;
+    let mut group = c.benchmark_group("fig13_vary_edges");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &fraction in &SCALABILITY_FRACTIONS {
+        let sampled = sample_edges(&graph, fraction, 7);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", fraction * 100.0)),
+            &sampled,
+            |b, g| {
+                b.iter(|| {
+                    let result = enumerate_kvccs(g, k, &KvccOptions::full()).expect("enumeration");
+                    std::hint::black_box(result.num_components())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vertex_sampling, bench_edge_sampling);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the substrates the enumeration is built on:
+//! k-core peeling, sparse-certificate construction, local connectivity
+//! (LOC-CUT) flow queries and strong side-vertex detection.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kvcc::certificate::sparse_certificate;
+use kvcc::side_vertex::strong_side_vertices;
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+use kvcc_flow::VertexFlowGraph;
+use kvcc_graph::kcore::k_core_vertices;
+
+fn bench_kcore(c: &mut Criterion) {
+    let graph = SuiteDataset::Google.generate(SuiteScale::Tiny);
+    let mut group = c.benchmark_group("substrate_kcore");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| std::hint::black_box(k_core_vertices(&graph, k).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_certificate(c: &mut Criterion) {
+    let graph = SuiteDataset::Cnr.generate(SuiteScale::Tiny);
+    let mut group = c.benchmark_group("substrate_sparse_certificate");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| std::hint::black_box(sparse_certificate(&graph, k).num_edges()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_loc_cut(c: &mut Criterion) {
+    // LOC-CUT on the densest planted block: build the flow graph once and
+    // query distant pairs, as GLOBAL-CUT does.
+    let graph = SuiteDataset::Stanford.generate(SuiteScale::Tiny);
+    let core = k_core_vertices(&graph, 12);
+    let sub = graph.induced_subgraph(&core).graph;
+    let mut flow = VertexFlowGraph::build(&sub);
+    let n = sub.num_vertices() as u32;
+    let mut group = c.benchmark_group("substrate_loc_cut");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut certified = 0usize;
+                for v in (1..n.min(32)).step_by(3) {
+                    if flow.local_connectivity(&sub, 0, v, k).is_at_least_k() {
+                        certified += 1;
+                    }
+                }
+                std::hint::black_box(certified)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_side_vertices(c: &mut Criterion) {
+    let graph = SuiteDataset::Dblp.generate(SuiteScale::Tiny);
+    let core = k_core_vertices(&graph, 6);
+    let sub = graph.induced_subgraph(&core).graph;
+    let mut group = c.benchmark_group("substrate_strong_side_vertices");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [6u32, 9, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let strong = strong_side_vertices(&sub, k, Some(4096));
+                std::hint::black_box(strong.iter().filter(|&&s| s).count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kcore, bench_certificate, bench_loc_cut, bench_side_vertices);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmark backing Fig. 10: the four algorithm variants on the
+//! dataset stand-ins (tiny scale so `cargo bench` stays fast; the full-size
+//! sweep is produced by `kvcc-bench fig10`).
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kvcc::{enumerate_kvccs, AlgorithmVariant, KvccOptions};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_variants");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for dataset in [SuiteDataset::Google, SuiteDataset::Dblp] {
+        let graph = dataset.generate(SuiteScale::Tiny);
+        let k = 8u32;
+        for variant in AlgorithmVariant::all() {
+            let options = KvccOptions::for_variant(variant);
+            group.bench_with_input(
+                BenchmarkId::new(dataset.name(), variant.paper_name()),
+                &graph,
+                |b, g| {
+                    b.iter(|| {
+                        let result = enumerate_kvccs(g, k, &options).expect("enumeration");
+                        std::hint::black_box(result.num_components())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_k_sweep_vcce_star");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let graph = SuiteDataset::Stanford.generate(SuiteScale::Tiny);
+    for &k in SuiteScale::Tiny.efficiency_k_values() {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let result =
+                    enumerate_kvccs(&graph, k, &KvccOptions::full()).expect("enumeration");
+                std::hint::black_box(result.num_components())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_k_sweep);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Figures 7, 8 and 9: average diameter, edge density and clustering
+//! coefficient of k-core components ("k-CC"), k-ECCs and k-VCCs.
+//!
+//! For every dataset of the effectiveness subset and every k in the
+//! effectiveness range, all three kinds of components are computed and the
+//! three quality metrics are averaged over the components of each model.
+//! The paper's observation — k-VCCs have the smallest diameter, the highest
+//! edge density and the highest clustering coefficient — should be visible in
+//! each row.
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_baselines::{k_core_components, k_edge_connected_components};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+use kvcc_graph::metrics::{average_clustering, diameter_estimate, edge_density};
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::report::{fmt_f64, Table};
+
+/// Which of the three quality metrics to report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// Fig. 7: average diameter.
+    Diameter,
+    /// Fig. 8: average edge density.
+    EdgeDensity,
+    /// Fig. 9: average clustering coefficient.
+    Clustering,
+}
+
+impl Metric {
+    fn label(self) -> &'static str {
+        match self {
+            Metric::Diameter => "Average diameter",
+            Metric::EdgeDensity => "Average edge density",
+            Metric::Clustering => "Average clustering coefficient",
+        }
+    }
+
+    fn figure(self) -> &'static str {
+        match self {
+            Metric::Diameter => "Fig. 7",
+            Metric::EdgeDensity => "Fig. 8",
+            Metric::Clustering => "Fig. 9",
+        }
+    }
+}
+
+/// Average of `metric` over a set of components of `g`.
+fn average_metric(g: &UndirectedGraph, components: &[Vec<VertexId>], metric: Metric) -> f64 {
+    if components.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = components
+        .iter()
+        .map(|members| {
+            let sub = g.induced_subgraph(members).graph;
+            match metric {
+                Metric::Diameter => diameter_estimate(&sub, 4, 400) as f64,
+                Metric::EdgeDensity => edge_density(&sub),
+                Metric::Clustering => average_clustering(&sub),
+            }
+        })
+        .sum();
+    sum / components.len() as f64
+}
+
+/// One measured row: dataset, k, and the metric for each of the three models.
+#[derive(Clone, Debug)]
+pub struct EffectivenessRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// The connectivity parameter.
+    pub k: u32,
+    /// Metric averaged over the k-core connected components.
+    pub kcc: f64,
+    /// Metric averaged over the k-ECCs.
+    pub kecc: f64,
+    /// Metric averaged over the k-VCCs.
+    pub kvcc: f64,
+}
+
+/// Computes the metric for one dataset across the effectiveness k-range.
+pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale, metric: Metric) -> Vec<EffectivenessRow> {
+    let g = dataset.generate(scale);
+    scale
+        .effectiveness_k_values()
+        .iter()
+        .map(|&k| {
+            let kcc = k_core_components(&g, k as usize);
+            let kecc = k_edge_connected_components(&g, k as usize);
+            let kvcc: Vec<Vec<VertexId>> = enumerate_kvccs(&g, k, &KvccOptions::default())
+                .expect("enumeration succeeds")
+                .iter()
+                .map(|c| c.vertices().to_vec())
+                .collect();
+            EffectivenessRow {
+                dataset: dataset.name(),
+                k,
+                kcc: average_metric(&g, &kcc, metric),
+                kecc: average_metric(&g, &kecc, metric),
+                kvcc: average_metric(&g, &kvcc, metric),
+            }
+        })
+        .collect()
+}
+
+/// Reproduces one of Figs. 7–9 at the given scale.
+pub fn run(scale: SuiteScale, metric: Metric) -> Table {
+    let mut table = Table::new(
+        &format!("{} — {} (k-CC vs k-ECC vs k-VCC)", metric.figure(), metric.label()),
+        &["Dataset", "k", "k-CC", "k-ECC", "k-VCC"],
+    );
+    for dataset in SuiteDataset::effectiveness_subset() {
+        for row in rows_for(dataset, scale, metric) {
+            table.add_row(vec![
+                row.dataset.to_string(),
+                row.k.to_string(),
+                fmt_f64(row.kcc),
+                fmt_f64(row.kecc),
+                fmt_f64(row.kvcc),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kvccs_are_at_least_as_cohesive_as_the_baselines() {
+        // On the Tiny DBLP stand-in, for one k value, check the paper's
+        // qualitative claim: k-VCC density >= k-ECC density >= (roughly)
+        // k-CC density, and k-VCC diameter <= k-CC diameter.
+        let rows = rows_for(SuiteDataset::Dblp, SuiteScale::Tiny, Metric::EdgeDensity);
+        assert!(!rows.is_empty());
+        for row in &rows {
+            if row.kvcc > 0.0 && row.kecc > 0.0 {
+                assert!(
+                    row.kvcc + 1e-9 >= row.kecc,
+                    "k={}: k-VCC density {} < k-ECC density {}",
+                    row.k,
+                    row.kvcc,
+                    row.kecc
+                );
+            }
+        }
+        let diam = rows_for(SuiteDataset::Dblp, SuiteScale::Tiny, Metric::Diameter);
+        for row in &diam {
+            if row.kvcc > 0.0 && row.kcc > 0.0 {
+                assert!(row.kvcc <= row.kcc + 1e-9, "k={}: diameter regression", row.k);
+            }
+        }
+    }
+
+    #[test]
+    fn tables_have_one_row_per_dataset_and_k() {
+        let table = run(SuiteScale::Tiny, Metric::Clustering);
+        let expected =
+            SuiteDataset::effectiveness_subset().len() * SuiteScale::Tiny.effectiveness_k_values().len();
+        assert_eq!(table.num_rows(), expected);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 10: processing time of the four algorithm variants.
+//!
+//! For every dataset of the efficiency subset and every k in the efficiency
+//! range, all four variants (VCCE, VCCE-N, VCCE-G, VCCE*) are run and their
+//! wall-clock time is reported. The paper's qualitative findings are:
+//!
+//! * time decreases as k grows (fewer and smaller k-VCCs survive);
+//! * both sweep variants beat the basic algorithm;
+//! * VCCE* is the fastest in every configuration.
+
+use std::time::Duration;
+
+use kvcc::{enumerate_kvccs, AlgorithmVariant, KvccOptions};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+use kvcc_graph::UndirectedGraph;
+
+use crate::report::{fmt_secs, Table};
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct TimingRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Connectivity parameter.
+    pub k: u32,
+    /// Wall-clock time per variant, in the order VCCE, VCCE-N, VCCE-G, VCCE*.
+    pub times: [Duration; 4],
+    /// Number of k-VCCs found (identical across variants).
+    pub components: usize,
+}
+
+/// Times all four variants on one graph for one k.
+pub fn time_variants(g: &UndirectedGraph, k: u32) -> ([Duration; 4], usize) {
+    let mut times = [Duration::ZERO; 4];
+    let mut components = 0usize;
+    for (i, variant) in AlgorithmVariant::all().into_iter().enumerate() {
+        let result =
+            enumerate_kvccs(g, k, &KvccOptions::for_variant(variant)).expect("enumeration succeeds");
+        times[i] = result.stats().elapsed;
+        components = result.num_components();
+    }
+    (times, components)
+}
+
+/// Produces the Fig. 10 rows for one dataset.
+pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale) -> Vec<TimingRow> {
+    let g = dataset.generate(scale);
+    scale
+        .efficiency_k_values()
+        .iter()
+        .map(|&k| {
+            let (times, components) = time_variants(&g, k);
+            TimingRow { dataset: dataset.name(), k, times, components }
+        })
+        .collect()
+}
+
+/// Reproduces Fig. 10 at the given scale.
+pub fn run(scale: SuiteScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 10 — processing time (seconds)",
+        &["Dataset", "k", "VCCE", "VCCE-N", "VCCE-G", "VCCE*", "#k-VCCs"],
+    );
+    for dataset in SuiteDataset::efficiency_subset() {
+        for row in rows_for(dataset, scale) {
+            table.add_row(vec![
+                row.dataset.to_string(),
+                row.k.to_string(),
+                fmt_secs(row.times[0]),
+                fmt_secs(row.times[1]),
+                fmt_secs(row.times[2]),
+                fmt_secs(row.times[3]),
+                row.components.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_rows_and_positive_times() {
+        let rows = rows_for(SuiteDataset::Youtube, SuiteScale::Tiny);
+        assert_eq!(rows.len(), SuiteScale::Tiny.efficiency_k_values().len());
+        for row in &rows {
+            for t in &row.times {
+                assert!(t.as_nanos() > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 13: scalability when varying the graph size and density.
+//!
+//! Following §6.3, the Google and Cit stand-ins are down-sampled to 20%–100%
+//! of their vertices (induced subgraph) and, separately, of their edges, and
+//! all four algorithm variants are timed on every sample.
+
+use std::time::Duration;
+
+use kvcc::{enumerate_kvccs, AlgorithmVariant, KvccOptions};
+use kvcc_datasets::sampling::{sample_edges, sample_vertices, SCALABILITY_FRACTIONS};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+use kvcc_graph::UndirectedGraph;
+
+use crate::report::{fmt_secs, Table};
+
+/// Which quantity is being sampled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Sample vertices and take the induced subgraph ("Vary |V|").
+    Vertices,
+    /// Sample edges and keep the full vertex set ("Vary |E|").
+    Edges,
+}
+
+impl SampleMode {
+    fn label(self) -> &'static str {
+        match self {
+            SampleMode::Vertices => "Vary |V|",
+            SampleMode::Edges => "Vary |E|",
+        }
+    }
+}
+
+/// One measured sample point.
+#[derive(Clone, Debug)]
+pub struct ScalabilityRow {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Sampling mode.
+    pub mode: SampleMode,
+    /// Sampling fraction (0.2 .. 1.0).
+    pub fraction: f64,
+    /// Wall-clock time per variant, ordered VCCE, VCCE-N, VCCE-G, VCCE*.
+    pub times: [Duration; 4],
+}
+
+fn time_all(g: &UndirectedGraph, k: u32) -> [Duration; 4] {
+    let mut times = [Duration::ZERO; 4];
+    for (i, variant) in AlgorithmVariant::all().into_iter().enumerate() {
+        let result =
+            enumerate_kvccs(g, k, &KvccOptions::for_variant(variant)).expect("enumeration");
+        times[i] = result.stats().elapsed;
+    }
+    times
+}
+
+/// Runs the scalability sweep for one dataset and mode. `k` is fixed to the
+/// smallest value of the efficiency range (as large k values trivialise the
+/// sampled graphs).
+pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale, mode: SampleMode) -> Vec<ScalabilityRow> {
+    let g = dataset.generate(scale);
+    let k = scale.efficiency_k_values()[0];
+    SCALABILITY_FRACTIONS
+        .iter()
+        .map(|&fraction| {
+            let sampled = match mode {
+                SampleMode::Vertices => sample_vertices(&g, fraction, 0xF1613),
+                SampleMode::Edges => sample_edges(&g, fraction, 0xF1613),
+            };
+            ScalabilityRow {
+                dataset: dataset.name(),
+                mode,
+                fraction,
+                times: time_all(&sampled, k),
+            }
+        })
+        .collect()
+}
+
+/// Reproduces Fig. 13 at the given scale (both modes, Google and Cit).
+pub fn run(scale: SuiteScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 13 — scalability (seconds)",
+        &["Dataset", "Mode", "Sample", "VCCE", "VCCE-N", "VCCE-G", "VCCE*"],
+    );
+    for dataset in [SuiteDataset::Google, SuiteDataset::Cit] {
+        for mode in [SampleMode::Vertices, SampleMode::Edges] {
+            for row in rows_for(dataset, scale, mode) {
+                table.add_row(vec![
+                    row.dataset.to_string(),
+                    row.mode.label().to_string(),
+                    format!("{:.0}%", row.fraction * 100.0),
+                    fmt_secs(row.times[0]),
+                    fmt_secs(row.times[1]),
+                    fmt_secs(row.times[2]),
+                    fmt_secs(row.times[3]),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_five_sample_points_per_mode() {
+        let rows = rows_for(SuiteDataset::Cit, SuiteScale::Tiny, SampleMode::Vertices);
+        assert_eq!(rows.len(), SCALABILITY_FRACTIONS.len());
+        assert!(rows.iter().all(|r| r.times.iter().all(|t| t.as_nanos() > 0)));
+        assert_eq!(rows[0].mode.label(), "Vary |V|");
+        assert_eq!(SampleMode::Edges.label(), "Vary |E|");
+    }
+}

@@ -1,0 +1,21 @@
+//! One module per table / figure of the paper's evaluation (§6).
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — network statistics of the datasets |
+//! | [`table2`] | Table 2 — proportion of vertices pruned by each sweep rule |
+//! | [`effectiveness`] | Figs. 7, 8, 9 — diameter / edge density / clustering of k-CC vs k-ECC vs k-VCC |
+//! | [`fig10`] | Fig. 10 — processing time of VCCE, VCCE-N, VCCE-G, VCCE* |
+//! | [`fig11`] | Fig. 11 — number of k-VCCs |
+//! | [`fig12`] | Fig. 12 — memory usage of VCCE* |
+//! | [`fig13`] | Fig. 13 — scalability when sampling vertices / edges |
+//! | [`fig14`] | Fig. 14 — collaboration-network case study |
+
+pub mod effectiveness;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod table1;
+pub mod table2;

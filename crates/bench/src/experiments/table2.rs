@@ -1,0 +1,90 @@
+//! Table 2: proportion of phase-1 vertices handled by each sweep rule.
+//!
+//! For every dataset the paper runs `VCCE*` for k = 20..40, tracks how many
+//! of the vertices reached by the phase-1 loop of `GLOBAL-CUT*` were pruned by
+//! neighbor-sweep rule 1 (strong side-vertex), neighbor-sweep rule 2 (vertex
+//! deposit), group sweep, or had to be tested with a flow computation
+//! ("Non-Pru"), and reports the averages.
+
+use kvcc::{enumerate_kvccs, EnumerationStats, KvccOptions};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+
+use crate::report::{fmt_percent, Table};
+
+/// Aggregated sweep proportions for one dataset.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepProportions {
+    /// Neighbor-sweep rule 1 share.
+    pub ns1: f64,
+    /// Neighbor-sweep rule 2 share.
+    pub ns2: f64,
+    /// Group-sweep share.
+    pub gs: f64,
+    /// Non-pruned (actually tested) share.
+    pub non_pruned: f64,
+}
+
+/// Runs `VCCE*` over the efficiency k-range and aggregates the sweep counters.
+pub fn proportions_for(dataset: SuiteDataset, scale: SuiteScale) -> SweepProportions {
+    let g = dataset.generate(scale);
+    let mut merged = EnumerationStats::default();
+    for &k in scale.efficiency_k_values() {
+        let result = enumerate_kvccs(&g, k, &KvccOptions::full()).expect("enumeration succeeds");
+        merged.merge(result.stats());
+    }
+    SweepProportions {
+        ns1: merged.proportion_neighbor_rule1(),
+        ns2: merged.proportion_neighbor_rule2(),
+        gs: merged.proportion_group_sweep(),
+        non_pruned: merged.proportion_tested(),
+    }
+}
+
+/// Reproduces Table 2 at the given scale.
+pub fn run(scale: SuiteScale) -> Table {
+    let mut table = Table::new(
+        "Table 2 — proportion of phase-1 vertices per sweep rule (VCCE*)",
+        &["Rule", "Stanford", "DBLP", "ND", "Google", "Cit", "Cnr"],
+    );
+    let datasets = SuiteDataset::efficiency_subset();
+    let proportions: Vec<SweepProportions> =
+        datasets.iter().map(|&d| proportions_for(d, scale)).collect();
+
+    type Extractor = fn(&SweepProportions) -> f64;
+    let rows: [(&str, Extractor); 4] = [
+        ("NS 1", |p| p.ns1),
+        ("NS 2", |p| p.ns2),
+        ("GS", |p| p.gs),
+        ("Non-Pru", |p| p.non_pruned),
+    ];
+    for (label, extract) in rows {
+        let mut cells = vec![label.to_string()];
+        // Order columns as in the paper: Stanford, DBLP, ND, Google, Cit, Cnr.
+        for p in &proportions {
+            cells.push(fmt_percent(extract(p)));
+        }
+        table.add_row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportions_sum_to_at_most_one() {
+        let p = proportions_for(SuiteDataset::Dblp, SuiteScale::Tiny);
+        let total = p.ns1 + p.ns2 + p.gs + p.non_pruned;
+        assert!(total <= 1.0 + 1e-9);
+        assert!(total > 0.0, "some phase-1 vertices must have been processed");
+    }
+
+    #[test]
+    fn table_has_four_rule_rows() {
+        let table = run(SuiteScale::Tiny);
+        assert_eq!(table.num_rows(), 4);
+        let text = table.render();
+        assert!(text.contains("Non-Pru"));
+    }
+}

@@ -1,0 +1,87 @@
+//! `kvcc-bench` — regenerate the tables and figures of the paper's evaluation.
+//!
+//! ```text
+//! kvcc-bench <experiment> [--scale tiny|small|medium]
+//!
+//! experiments:
+//!   table1   network statistics of the datasets
+//!   table2   proportion of vertices pruned by each sweep rule
+//!   fig7     average diameter of k-CC vs k-ECC vs k-VCC
+//!   fig8     average edge density
+//!   fig9     average clustering coefficient
+//!   fig10    processing time of VCCE / VCCE-N / VCCE-G / VCCE*
+//!   fig11    number of k-VCCs
+//!   fig12    memory usage of VCCE*
+//!   fig13    scalability (vertex / edge sampling)
+//!   fig14    collaboration case study
+//!   all      everything above, in order
+//! ```
+
+use kvcc_bench::experiments::effectiveness::Metric;
+use kvcc_bench::experiments::{
+    effectiveness, fig10, fig11, fig12, fig13, fig14, table1, table2,
+};
+use kvcc_bench::parse_scale;
+use kvcc_datasets::suite::SuiteScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kvcc-bench <table1|table2|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|all> \
+         [--scale tiny|small|medium]"
+    );
+    std::process::exit(2);
+}
+
+fn run_one(name: &str, scale: SuiteScale) -> bool {
+    let started = std::time::Instant::now();
+    let output = match name {
+        "table1" => table1::run(scale).render(),
+        "table2" => table2::run(scale).render(),
+        "fig7" => effectiveness::run(scale, Metric::Diameter).render(),
+        "fig8" => effectiveness::run(scale, Metric::EdgeDensity).render(),
+        "fig9" => effectiveness::run(scale, Metric::Clustering).render(),
+        "fig10" => fig10::run(scale).render(),
+        "fig11" => fig11::run(scale).render(),
+        "fig12" => fig12::run(scale).render(),
+        "fig13" => fig13::run(scale).render(),
+        "fig14" => fig14::run().render(),
+        _ => return false,
+    };
+    println!("{output}");
+    eprintln!("[{name} completed in {:.1?}]\n", started.elapsed());
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut scale = SuiteScale::Small;
+    let mut experiment = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|s| parse_scale(s)).unwrap_or_else(|| usage());
+            }
+            name if experiment.is_none() => experiment = Some(name.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let experiment = experiment.unwrap_or_else(|| usage());
+
+    println!("# k-VCC evaluation harness (scale: {scale:?})\n");
+    if experiment == "all" {
+        for name in [
+            "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14",
+        ] {
+            run_one(name, scale);
+        }
+    } else if !run_one(&experiment, scale) {
+        usage();
+    }
+}

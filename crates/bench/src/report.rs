@@ -1,0 +1,120 @@
+//! Plain-text table / series formatting used by every experiment.
+//!
+//! The harness prints the same rows and series the paper reports, in a format
+//! that is easy to diff and to paste into `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells are converted to strings by the caller).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len(), "row width must match the header");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            let _ = write!(line, "{:<width$}  ", h, width = widths[i]);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let _ = write!(line, "{:<width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of significant digits for a report.
+pub fn fmt_f64(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.abs() >= 100.0 {
+        format!("{value:.0}")
+    } else if value.abs() >= 1.0 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn fmt_secs(duration: std::time::Duration) -> String {
+    format!("{:.3}", duration.as_secs_f64())
+}
+
+/// Formats a byte count as mebibytes.
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a ratio as a percentage.
+pub fn fmt_percent(ratio: f64) -> String {
+    format!("{:.0}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["b".into(), "12345".into()]);
+        let text = t.render();
+        assert!(text.contains("## Demo"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("12345"));
+        assert_eq!(t.num_rows(), 2);
+        // Header columns aligned: "name " padded to at least 5 chars.
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(0.1234567), "0.1235");
+        assert_eq!(fmt_f64(3.257), "3.26");
+        assert_eq!(fmt_f64(1234.6), "1235");
+        assert_eq!(fmt_percent(0.5), "50%");
+        assert_eq!(fmt_mib(1024 * 1024), "1.00");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+}

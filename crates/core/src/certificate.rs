@@ -1,0 +1,281 @@
+//! Sparse certificates for k-vertex connectivity and side-groups.
+//!
+//! Following §4.2 (Theorem 5, after Cheriyan–Kao–Thurimella), the union of `k`
+//! successive scan-first-search forests — each computed on the graph minus the
+//! edges already taken by earlier forests — is a *sparse certificate*: a
+//! subgraph with at most `k·(n − 1)` edges that preserves every vertex cut of
+//! size `< k`. Running the flow computations of `LOC-CUT` on the certificate
+//! instead of the full graph is the first optimisation of `GLOBAL-CUT`.
+//!
+//! The k-th forest additionally yields the **side-groups** of §5.2
+//! (Theorem 10): every connected component of `F_k` is a set of vertices that
+//! are pairwise k-local-connected, which powers the group-sweep rules.
+
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+/// Sentinel meaning "this vertex belongs to no (retained) side-group".
+pub const NO_GROUP: u32 = u32::MAX;
+
+/// The sparse certificate of a graph together with the side-groups derived
+/// from its last scan-first forest.
+#[derive(Clone, Debug)]
+pub struct SparseCertificate {
+    /// The certificate subgraph `SC` (same vertex ids as the input graph,
+    /// subset of its edges).
+    pub graph: UndirectedGraph,
+    /// Number of edges contributed by each of the `k` forests, in order.
+    /// Forests that would be empty are omitted, so the vector may be shorter
+    /// than `k`.
+    pub forest_sizes: Vec<usize>,
+    /// Side-groups: connected components of the k-th forest with more than
+    /// `k` vertices, each sorted ascending (Theorem 10 + the size filter of
+    /// Algorithm 3, line 1).
+    pub side_groups: Vec<Vec<VertexId>>,
+    /// `group_of[v]` is the index into [`side_groups`](Self::side_groups) of
+    /// the group containing `v`, or [`NO_GROUP`].
+    pub group_of: Vec<u32>,
+}
+
+impl SparseCertificate {
+    /// Total number of edges of the certificate.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Approximate heap bytes used by the certificate (graph + group index).
+    pub fn memory_bytes(&self) -> usize {
+        self.graph.memory_bytes()
+            + self.group_of.capacity() * std::mem::size_of::<u32>()
+            + self
+                .side_groups
+                .iter()
+                .map(|g| g.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>()
+    }
+}
+
+/// Builds the sparse certificate of `g` for parameter `k` (Theorem 5) and the
+/// side-groups of its k-th scan-first forest (Theorem 10).
+///
+/// `k = 0` is accepted and yields an edgeless certificate.
+pub fn sparse_certificate(g: &UndirectedGraph, k: u32) -> SparseCertificate {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+
+    // Edge-indexed adjacency: for every vertex, the list of (neighbour,
+    // edge id) pairs, where both directions of an undirected edge share the
+    // same id. This lets the forests mark consumed edges with a flat bitmap
+    // instead of hashing.
+    let mut indexed_adj: Vec<Vec<(VertexId, u32)>> = vec![Vec::new(); n];
+    for (edge_id, (u, v)) in g.edges().enumerate() {
+        let edge_id = edge_id as u32;
+        indexed_adj[u as usize].push((v, edge_id));
+        indexed_adj[v as usize].push((u, edge_id));
+    }
+
+    let mut edge_used = vec![false; m];
+    let mut certificate_edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut forest_sizes = Vec::new();
+
+    // The scan order of the BFS queue for the *last* forest determines the
+    // side-groups, so remember the roots of that forest.
+    let mut last_forest_component: Vec<u32> = vec![NO_GROUP; n];
+    let mut last_forest_edge_count = 0usize;
+
+    let mut queue: Vec<VertexId> = Vec::with_capacity(n);
+    for round in 0..k {
+        let mut visited = vec![false; n];
+        let mut forest_edges = 0usize;
+        let mut component: Vec<u32> = vec![NO_GROUP; n];
+        let mut component_count = 0u32;
+
+        for start in 0..n as VertexId {
+            if visited[start as usize] {
+                continue;
+            }
+            let comp_id = component_count;
+            component_count += 1;
+            visited[start as usize] = true;
+            component[start as usize] = comp_id;
+            queue.clear();
+            queue.push(start);
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &(v, edge_id) in &indexed_adj[u as usize] {
+                    if edge_used[edge_id as usize] || visited[v as usize] {
+                        continue;
+                    }
+                    visited[v as usize] = true;
+                    component[v as usize] = comp_id;
+                    edge_used[edge_id as usize] = true;
+                    certificate_edges.push((u, v));
+                    forest_edges += 1;
+                    queue.push(v);
+                }
+            }
+        }
+
+        if round + 1 == k {
+            last_forest_component = component;
+            last_forest_edge_count = forest_edges;
+        }
+        if forest_edges == 0 {
+            // The remaining graph has no edges: later forests are all empty,
+            // and the k-th forest (if not yet reached) has only singleton
+            // components, i.e. no side-groups.
+            if round + 1 < k {
+                last_forest_component = vec![NO_GROUP; n];
+                last_forest_edge_count = 0;
+            }
+            break;
+        }
+        forest_sizes.push(forest_edges);
+    }
+
+    let graph = UndirectedGraph::from_edges(n, certificate_edges)
+        .expect("certificate edges come from the input graph and are always in range");
+
+    // Side-groups: components of the k-th forest with more than k vertices.
+    let (side_groups, group_of) = if last_forest_edge_count == 0 {
+        (Vec::new(), vec![NO_GROUP; n])
+    } else {
+        collect_side_groups(&last_forest_component, n, k as usize)
+    };
+
+    SparseCertificate { graph, forest_sizes, side_groups, group_of }
+}
+
+/// Groups vertices by their component id in the last forest, keeping only
+/// components with more than `k` vertices, and builds the reverse index.
+fn collect_side_groups(
+    component: &[u32],
+    n: usize,
+    k: usize,
+) -> (Vec<Vec<VertexId>>, Vec<u32>) {
+    let mut buckets: std::collections::HashMap<u32, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for (v, &c) in component.iter().enumerate() {
+        if c != NO_GROUP {
+            buckets.entry(c).or_default().push(v as VertexId);
+        }
+    }
+    let mut groups: Vec<Vec<VertexId>> =
+        buckets.into_values().filter(|members| members.len() > k).collect();
+    // Deterministic order: by smallest member.
+    groups.sort_by_key(|members| members[0]);
+    let mut group_of = vec![NO_GROUP; n];
+    for (idx, members) in groups.iter().enumerate() {
+        for &v in members {
+            group_of[v as usize] = idx as u32;
+        }
+    }
+    (groups, group_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcc_flow::global_vertex_connectivity;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn certificate_has_bounded_size() {
+        let g = complete(12);
+        for k in 1..=5u32 {
+            let cert = sparse_certificate(&g, k);
+            assert!(
+                cert.num_edges() <= k as usize * (g.num_vertices() - 1),
+                "certificate must have at most k(n-1) edges"
+            );
+            assert!(cert.forest_sizes.len() <= k as usize);
+            assert!(cert.memory_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn certificate_preserves_k_connectivity() {
+        // K8 is 7-connected; its k-certificate must be at least k-connected
+        // for every k <= 7 and the full graph must match the definition.
+        let g = complete(8);
+        for k in 1..=7u32 {
+            let cert = sparse_certificate(&g, k);
+            let conn = global_vertex_connectivity(&cert.graph);
+            assert!(
+                conn >= k,
+                "certificate for k={k} has connectivity {conn}, expected >= {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn certificate_of_sparse_graph_is_the_graph_itself() {
+        // A tree has n-1 edges; every forest after the first is empty.
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        let cert = sparse_certificate(&g, 3);
+        assert_eq!(cert.num_edges(), g.num_edges());
+        assert_eq!(cert.forest_sizes, vec![4]);
+        assert!(cert.side_groups.is_empty());
+    }
+
+    #[test]
+    fn side_groups_are_pairwise_k_connected() {
+        // Two K6 blocks joined by a single edge; with k = 3 the third forest
+        // still has non-trivial components inside each block.
+        let mut edges = Vec::new();
+        for base in [0u32, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 6));
+        let g = UndirectedGraph::from_edges(12, edges).unwrap();
+        let k = 3u32;
+        let cert = sparse_certificate(&g, k);
+        for group in &cert.side_groups {
+            assert!(group.len() > k as usize);
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    let conn = kvcc_flow::local_vertex_connectivity(&g, a, b, k);
+                    assert!(conn >= k, "side-group members {a},{b} must be {k}-connected");
+                }
+            }
+        }
+        // The group index is consistent with the group lists.
+        for (idx, group) in cert.side_groups.iter().enumerate() {
+            for &v in group {
+                assert_eq!(cert.group_of[v as usize], idx as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_gives_edgeless_certificate() {
+        let g = complete(4);
+        let cert = sparse_certificate(&g, 0);
+        assert_eq!(cert.num_edges(), 0);
+        assert!(cert.side_groups.is_empty());
+        assert_eq!(cert.group_of, vec![NO_GROUP; 4]);
+    }
+
+    #[test]
+    fn certificate_edges_are_a_subset_of_the_graph() {
+        let g = complete(7);
+        let cert = sparse_certificate(&g, 3);
+        for (u, v) in cert.graph.edges() {
+            assert!(g.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The `KVCC-ENUM` framework (Algorithm 1).
+//!
+//! Starting from the whole input graph, the enumerator repeatedly:
+//!
+//! 1. peels vertices of degree `< k` (k-core pruning; every k-VCC is inside a
+//!    k-core by Theorem 3);
+//! 2. splits the remainder into connected components;
+//! 3. asks `GLOBAL-CUT`/`GLOBAL-CUT*` for a vertex cut of size `< k` in each
+//!    component — if none exists the component is a k-VCC, otherwise the
+//!    component is partitioned along the cut with the cut vertices duplicated
+//!    into every side (`OVERLAP-PARTITION`) and the pieces are pushed back
+//!    onto the work list.
+//!
+//! Lemma 10 and Theorem 6 bound the total number of partitions and of
+//! k-VCCs, which keeps the whole process polynomial (Theorem 7).
+
+use std::time::Instant;
+
+use kvcc_graph::kcore::k_core_vertices;
+use kvcc_graph::traversal::connected_components;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::error::KvccError;
+use crate::global_cut::global_cut;
+use crate::options::{AlgorithmVariant, KvccOptions};
+use crate::partition::overlap_partition;
+use crate::result::{KVertexConnectedComponent, KvccResult};
+use crate::stats::{EnumerationStats, MemoryTracker};
+
+/// A reusable enumerator configured once and run against any number of graphs.
+#[derive(Clone, Debug, Default)]
+pub struct KvccEnumerator {
+    options: KvccOptions,
+}
+
+/// A unit of pending work: a subgraph (in its own compact id space) plus the
+/// mapping of its vertex ids back to the ids of the input graph.
+struct WorkItem {
+    graph: UndirectedGraph,
+    to_original: Vec<VertexId>,
+}
+
+impl KvccEnumerator {
+    /// Creates an enumerator with the given options.
+    pub fn new(options: KvccOptions) -> Self {
+        KvccEnumerator { options }
+    }
+
+    /// Convenience constructor for one of the paper's four variants.
+    pub fn with_variant(variant: AlgorithmVariant) -> Self {
+        KvccEnumerator { options: KvccOptions::for_variant(variant) }
+    }
+
+    /// The options this enumerator runs with.
+    pub fn options(&self) -> &KvccOptions {
+        &self.options
+    }
+
+    /// Enumerates all k-VCCs of `graph`.
+    ///
+    /// Errors if `k == 0` (the model is undefined) or — which would indicate an
+    /// internal bug — if a reported cut repeatedly fails to split a subgraph.
+    pub fn run(&self, graph: &UndirectedGraph, k: u32) -> Result<KvccResult, KvccError> {
+        if k == 0 {
+            return Err(KvccError::InvalidK);
+        }
+        let start = Instant::now();
+        let mut stats = EnumerationStats::default();
+        let mut memory = MemoryTracker::new();
+        let mut results: Vec<KVertexConnectedComponent> = Vec::new();
+
+        // Apply the first round of k-core pruning directly on the caller's
+        // graph so the working set never contains a full copy of the input —
+        // only the (usually much smaller) k-core and its descendants. The
+        // memory tracker therefore measures the algorithm's *working* memory,
+        // which is what Fig. 12 of the paper tracks trends of.
+        let mut work: Vec<WorkItem> = Vec::new();
+        let core_vertices = k_core_vertices(graph, k as usize);
+        stats.kcore_removed_vertices += (graph.num_vertices() - core_vertices.len()) as u64;
+        if !core_vertices.is_empty() {
+            let core = graph.induced_subgraph(&core_vertices);
+            push_item(&mut work, &mut memory, core.graph, core.to_parent);
+        }
+
+        while let Some(item) = work.pop() {
+            memory.release(item.graph.memory_bytes());
+            self.process_item(item, k, &mut work, &mut results, &mut stats, &mut memory)?;
+        }
+
+        // Deterministic output order: by smallest member, then by size.
+        results.sort();
+        stats.peak_memory_bytes = memory.peak();
+        stats.elapsed = start.elapsed();
+        Ok(KvccResult::new(k, results, stats))
+    }
+
+    /// Handles one work item: k-core pruning, component split, cut-or-report.
+    fn process_item(
+        &self,
+        item: WorkItem,
+        k: u32,
+        work: &mut Vec<WorkItem>,
+        results: &mut Vec<KVertexConnectedComponent>,
+        stats: &mut EnumerationStats,
+        memory: &mut MemoryTracker,
+    ) -> Result<(), KvccError> {
+        // Line 2 of Algorithm 1: iteratively remove vertices of degree < k.
+        let core_vertices = k_core_vertices(&item.graph, k as usize);
+        stats.kcore_removed_vertices +=
+            (item.graph.num_vertices() - core_vertices.len()) as u64;
+        if core_vertices.is_empty() {
+            return Ok(());
+        }
+        let core = item.graph.induced_subgraph(&core_vertices);
+
+        // Line 3: identify connected components.
+        for component in connected_components(&core.graph) {
+            // A k-VCC needs strictly more than k vertices (Definition 2).
+            if component.len() <= k as usize {
+                continue;
+            }
+            let sub = core.graph.induced_subgraph(&component);
+            let to_original: Vec<VertexId> = sub
+                .to_parent
+                .iter()
+                .map(|&core_local| {
+                    item.to_original[core.to_parent[core_local as usize] as usize]
+                })
+                .collect();
+
+            // Lines 5-11: find a cut; report or partition.
+            let outcome = global_cut(&sub.graph, k, &self.options, stats);
+            memory.allocate(outcome.scratch_memory_bytes);
+            memory.release(outcome.scratch_memory_bytes);
+
+            match outcome.cut {
+                None => {
+                    results.push(KVertexConnectedComponent::new(to_original));
+                }
+                Some(cut) => {
+                    self.partition_and_push(
+                        &sub.graph,
+                        &to_original,
+                        cut,
+                        k,
+                        work,
+                        results,
+                        stats,
+                        memory,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies `OVERLAP-PARTITION` and pushes the pieces, handling the
+    /// defensive case of a cut that fails to split the subgraph.
+    #[allow(clippy::too_many_arguments)]
+    fn partition_and_push(
+        &self,
+        subgraph: &UndirectedGraph,
+        to_original: &[VertexId],
+        cut: Vec<VertexId>,
+        k: u32,
+        work: &mut Vec<WorkItem>,
+        results: &mut Vec<KVertexConnectedComponent>,
+        stats: &mut EnumerationStats,
+        memory: &mut MemoryTracker,
+    ) -> Result<(), KvccError> {
+        let mut parts = overlap_partition(subgraph, &cut);
+        if parts.len() < 2 {
+            // The certificate-derived cut should always split the graph; if it
+            // does not, recompute a cut on the full subgraph with the exact
+            // (uncertified) routine and try once more.
+            stats.fallback_recuts += 1;
+            match kvcc_flow::connectivity::find_vertex_cut(subgraph, k) {
+                None => {
+                    results.push(KVertexConnectedComponent::new(to_original.to_vec()));
+                    return Ok(());
+                }
+                Some(recut) => {
+                    parts = overlap_partition(subgraph, &recut);
+                    if parts.len() < 2 {
+                        return Err(KvccError::DegeneratePartition {
+                            subgraph_vertices: subgraph.num_vertices(),
+                        });
+                    }
+                }
+            }
+        }
+        stats.partitions += 1;
+        for part in parts {
+            let piece = subgraph.induced_subgraph(&part);
+            let piece_to_original: Vec<VertexId> = piece
+                .to_parent
+                .iter()
+                .map(|&local| to_original[local as usize])
+                .collect();
+            push_item(work, memory, piece.graph, piece_to_original);
+        }
+        Ok(())
+    }
+}
+
+/// Pushes a work item and charges its memory to the tracker.
+fn push_item(
+    work: &mut Vec<WorkItem>,
+    memory: &mut MemoryTracker,
+    graph: UndirectedGraph,
+    to_original: Vec<VertexId>,
+) {
+    memory.allocate(graph.memory_bytes() + to_original.len() * std::mem::size_of::<VertexId>());
+    work.push(WorkItem { graph, to_original });
+}
+
+/// Enumerates all k-vertex connected components of `graph`.
+///
+/// This is the main entry point of the crate; see the crate-level docs for an
+/// example and [`KvccOptions`] for the available algorithm variants.
+pub fn enumerate_kvccs(
+    graph: &UndirectedGraph,
+    k: u32,
+    options: &KvccOptions,
+) -> Result<KvccResult, KvccError> {
+    KvccEnumerator::new(options.clone()).run(graph, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_kvccs;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    /// Two triangles sharing one vertex.
+    fn two_triangles() -> UndirectedGraph {
+        UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_k_zero() {
+        let g = complete(4);
+        assert!(matches!(
+            enumerate_kvccs(&g, 0, &KvccOptions::default()),
+            Err(KvccError::InvalidK)
+        ));
+    }
+
+    #[test]
+    fn clique_is_its_own_kvcc() {
+        let g = complete(6);
+        for k in 1..=5u32 {
+            let r = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(r.num_components(), 1, "k = {k}");
+            assert_eq!(r.components()[0].len(), 6);
+            verify_kvccs(&g, &r, true).unwrap();
+        }
+        // k = 6 requires more than 6 vertices.
+        let r = enumerate_kvccs(&g, 6, &KvccOptions::default()).unwrap();
+        assert_eq!(r.num_components(), 0);
+    }
+
+    #[test]
+    fn shared_vertex_triangles_split_into_two_2vccs() {
+        let g = two_triangles();
+        let r = enumerate_kvccs(&g, 2, &KvccOptions::default()).unwrap();
+        assert_eq!(r.num_components(), 2);
+        assert_eq!(r.components()[0].vertices(), &[0, 1, 2]);
+        assert_eq!(r.components()[1].vertices(), &[2, 3, 4]);
+        verify_kvccs(&g, &r, true).unwrap();
+        // Vertex 2 belongs to both (overlap 1 < k = 2).
+        assert_eq!(r.components_containing(2).len(), 2);
+        assert!(r.stats().partitions >= 1);
+    }
+
+    #[test]
+    fn k1_gives_connected_components_with_at_least_two_vertices() {
+        let g = UndirectedGraph::from_edges(7, vec![(0, 1), (1, 2), (3, 4), (5, 5)]).unwrap();
+        let r = enumerate_kvccs(&g, 1, &KvccOptions::default()).unwrap();
+        assert_eq!(r.num_components(), 2);
+        assert_eq!(r.components()[0].vertices(), &[0, 1, 2]);
+        assert_eq!(r.components()[1].vertices(), &[3, 4]);
+        verify_kvccs(&g, &r, false).unwrap();
+    }
+
+    #[test]
+    fn empty_and_sparse_graphs_have_no_kvccs() {
+        let empty = UndirectedGraph::new(0);
+        assert_eq!(enumerate_kvccs(&empty, 3, &KvccOptions::default()).unwrap().num_components(), 0);
+        let path = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert_eq!(enumerate_kvccs(&path, 2, &KvccOptions::default()).unwrap().num_components(), 0);
+    }
+
+    #[test]
+    fn all_variants_return_identical_components() {
+        let g = two_triangles();
+        let reference = enumerate_kvccs(&g, 2, &KvccOptions::basic()).unwrap();
+        for variant in AlgorithmVariant::all() {
+            let r = enumerate_kvccs(&g, 2, &KvccOptions::for_variant(variant)).unwrap();
+            assert_eq!(r.components(), reference.components(), "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn enumerator_is_reusable() {
+        let enumerator = KvccEnumerator::with_variant(AlgorithmVariant::Full);
+        assert_eq!(enumerator.options().variant, AlgorithmVariant::Full);
+        let r1 = enumerator.run(&complete(5), 3).unwrap();
+        let r2 = enumerator.run(&two_triangles(), 2).unwrap();
+        assert_eq!(r1.num_components(), 1);
+        assert_eq!(r2.num_components(), 2);
+        assert!(r2.stats().elapsed.as_nanos() > 0);
+        assert!(r2.stats().peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn component_number_respects_theorem_6_bound() {
+        // A long chain of triangles glued at single vertices: many small
+        // 2-VCCs, but never more than n / 2.
+        let mut edges = Vec::new();
+        let blocks = 20u32;
+        for b in 0..blocks {
+            let base = b * 2;
+            edges.push((base, base + 1));
+            edges.push((base + 1, base + 2));
+            edges.push((base, base + 2));
+        }
+        let n = (blocks * 2 + 1) as usize;
+        let g = UndirectedGraph::from_edges(n, edges).unwrap();
+        let r = enumerate_kvccs(&g, 2, &KvccOptions::default()).unwrap();
+        assert_eq!(r.num_components(), blocks as usize);
+        assert!(r.num_components() <= n / 2);
+        verify_kvccs(&g, &r, true).unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type of the k-VCC enumeration API.
+
+use std::fmt;
+
+/// Errors returned by [`crate::enumerate_kvccs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvccError {
+    /// `k` must be at least 1 (a "0-vertex-connected component" is not
+    /// defined by the paper).
+    InvalidK,
+    /// Internal invariant violation: a vertex cut reported by `GLOBAL-CUT`
+    /// failed to split the graph even after the defensive full-graph
+    /// recomputation. This indicates a bug and is surfaced instead of looping.
+    DegeneratePartition {
+        /// Number of vertices of the subgraph that could not be partitioned.
+        subgraph_vertices: usize,
+    },
+    /// A seed vertex passed to [`crate::query::kvccs_containing`] does not
+    /// exist in the graph.
+    SeedOutOfRange {
+        /// The offending vertex id.
+        seed: u32,
+    },
+}
+
+impl fmt::Display for KvccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvccError::InvalidK => write!(f, "k must be at least 1"),
+            KvccError::DegeneratePartition { subgraph_vertices } => write!(
+                f,
+                "internal error: a reported vertex cut failed to partition a subgraph \
+                 with {subgraph_vertices} vertices"
+            ),
+            KvccError::SeedOutOfRange { seed } => {
+                write!(f, "seed vertex {seed} does not exist in the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvccError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(KvccError::InvalidK.to_string().contains("k"));
+        let e = KvccError::DegeneratePartition { subgraph_vertices: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

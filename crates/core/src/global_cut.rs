@@ -1,0 +1,328 @@
+//! Finding a vertex cut smaller than `k`: `GLOBAL-CUT` (Algorithm 2) and
+//! `GLOBAL-CUT*` (Algorithm 3).
+//!
+//! Both algorithms follow the two-phase scheme of Esfahanian & Hakimi:
+//!
+//! 1. pick a source vertex `u` and test the local connectivity `κ(u, v)`
+//!    against every other vertex `v` (covers every cut not containing `u`);
+//! 2. test every pair of neighbours of `u` (covers cuts containing `u`,
+//!    Lemma 4).
+//!
+//! `GLOBAL-CUT*` adds: the sparse certificate as the flow substrate, strong
+//! side-vertex source selection, the distance-descending processing order and
+//! — crucially — the neighbor-sweep and group-sweep rules that skip most
+//! `LOC-CUT` invocations (§5, Table 2).
+
+use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
+use kvcc_graph::traversal::vertices_by_descending_distance;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::certificate::{sparse_certificate, SparseCertificate, NO_GROUP};
+use crate::options::KvccOptions;
+use crate::side_vertex::strong_side_vertices;
+use crate::stats::EnumerationStats;
+use crate::sweep::{SweepCause, SweepContext, SweepState};
+
+/// Result of one `GLOBAL-CUT`/`GLOBAL-CUT*` invocation.
+#[derive(Clone, Debug)]
+pub struct GlobalCutOutcome {
+    /// A vertex cut with fewer than `k` vertices, or `None` when the graph is
+    /// k-vertex connected.
+    pub cut: Option<Vec<VertexId>>,
+    /// Approximate bytes of scratch memory (certificate + flow graph) that
+    /// were live during the call; consumed by the Fig. 12 memory tracker.
+    pub scratch_memory_bytes: usize,
+}
+
+/// Runs `GLOBAL-CUT` (basic variant) or `GLOBAL-CUT*` (any sweep variant) on a
+/// connected graph `g`, looking for a vertex cut of size `< k`.
+///
+/// The caller is expected to pass a connected graph with minimum degree `>= k`
+/// (guaranteed by the k-core pruning of `KVCC-ENUM`); the function remains
+/// correct for other inputs but the degree-based shortcuts of the paper then
+/// do not apply.
+pub fn global_cut(
+    g: &UndirectedGraph,
+    k: u32,
+    options: &KvccOptions,
+    stats: &mut EnumerationStats,
+) -> GlobalCutOutcome {
+    stats.global_cut_calls += 1;
+    let n = g.num_vertices();
+    if n <= k as usize {
+        // Too small to be k-connected: its entire vertex set minus one vertex
+        // is technically a "cut", but KVCC-ENUM never calls us in this
+        // situation; report "no cut" and let the caller's size filter decide.
+        return GlobalCutOutcome { cut: None, scratch_memory_bytes: 0 };
+    }
+
+    let neighbor_sweep = options.variant.neighbor_sweep();
+    let group_sweep = options.variant.group_sweep();
+    let optimised = neighbor_sweep || group_sweep;
+
+    // --- Certificate and side-groups (§4.2, §5.2). ---
+    let needs_certificate = options.use_sparse_certificate || group_sweep;
+    let certificate: Option<SparseCertificate> =
+        if needs_certificate { Some(sparse_certificate(g, k)) } else { None };
+    if let Some(cert) = &certificate {
+        stats.certificate_edges += cert.num_edges() as u64;
+        stats.side_groups += cert.side_groups.len() as u64;
+    }
+    let substrate: &UndirectedGraph = if options.use_sparse_certificate {
+        certificate.as_ref().map(|c| &c.graph).unwrap_or(g)
+    } else {
+        g
+    };
+    let (side_groups, group_of): (&[Vec<VertexId>], Vec<u32>) = match (&certificate, group_sweep) {
+        (Some(cert), true) => (&cert.side_groups, cert.group_of.clone()),
+        _ => (&[], vec![NO_GROUP; n]),
+    };
+
+    // --- Strong side-vertices (§5.1.1). ---
+    // Computed on the current subgraph `g` rather than the certificate: the
+    // Theorem 8 condition over the *full* neighbourhood of a vertex is what
+    // makes the sweep rules provably safe (see DESIGN.md), and `g` has already
+    // been shrunk by k-core pruning and earlier partitions.
+    let strong: Vec<bool> = if optimised {
+        let s = strong_side_vertices(g, k, options.max_degree_for_side_vertex_check);
+        stats.strong_side_vertices += s.iter().filter(|&&x| x).count() as u64;
+        s
+    } else {
+        Vec::new()
+    };
+
+    // --- Source selection (Algorithm 3, lines 4-7). ---
+    let source = select_source(g, &strong, options, optimised);
+
+    // --- Flow graph over the substrate. ---
+    let mut flow = VertexFlowGraph::build(substrate);
+    let scratch_memory_bytes = flow.memory_bytes()
+        + certificate.as_ref().map(|c| c.memory_bytes()).unwrap_or(0);
+
+    // --- Phase 1. ---
+    let mut state = SweepState::new(n, side_groups.len());
+    let ctx = SweepContext {
+        graph: g,
+        k,
+        strong_side: &strong,
+        group_of: &group_of,
+        side_groups,
+        neighbor_sweep,
+        group_sweep,
+    };
+    if optimised {
+        state.sweep(&ctx, source, SweepCause::SourceOrTested);
+    }
+
+    let order: Vec<VertexId> = if optimised && options.order_by_distance {
+        vertices_by_descending_distance(g, source)
+    } else {
+        (0..n as VertexId).filter(|&v| v != source).collect()
+    };
+
+    for v in order {
+        if optimised && state.is_pruned(v) {
+            if options.collect_statistics {
+                match state.cause(v) {
+                    SweepCause::NeighborRule1 => stats.pruned_neighbor_rule1 += 1,
+                    SweepCause::NeighborRule2 => stats.pruned_neighbor_rule2 += 1,
+                    SweepCause::GroupSweep => stats.pruned_group_sweep += 1,
+                    SweepCause::SourceOrTested => {}
+                }
+            }
+            continue;
+        }
+        stats.tested_vertices += 1;
+        if let Some(cut) = loc_cut(&mut flow, g, substrate, source, v, k, stats) {
+            return GlobalCutOutcome { cut: Some(cut), scratch_memory_bytes };
+        }
+        if optimised {
+            state.sweep(&ctx, v, SweepCause::SourceOrTested);
+        }
+    }
+
+    // --- Phase 2: the source itself may belong to the cut (Lemma 4). ---
+    let source_is_strong = strong.get(source as usize).copied().unwrap_or(false);
+    if !source_is_strong {
+        let neighbors = g.neighbors(source).to_vec();
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                if group_sweep {
+                    let ga = group_of[a as usize];
+                    if ga != NO_GROUP && ga == group_of[b as usize] {
+                        // Group-sweep rule 3: members of the same side-group
+                        // are k-local-connected by Theorem 10.
+                        stats.phase2_pairs_skipped += 1;
+                        continue;
+                    }
+                }
+                stats.phase2_pairs_tested += 1;
+                if let Some(cut) = loc_cut(&mut flow, g, substrate, a, b, k, stats) {
+                    return GlobalCutOutcome { cut: Some(cut), scratch_memory_bytes };
+                }
+            }
+        }
+    }
+
+    GlobalCutOutcome { cut: None, scratch_memory_bytes }
+}
+
+/// Chooses the source vertex: a strong side-vertex when available and allowed
+/// (which makes phase 2 unnecessary), otherwise a vertex of minimum degree.
+fn select_source(
+    g: &UndirectedGraph,
+    strong: &[bool],
+    options: &KvccOptions,
+    optimised: bool,
+) -> VertexId {
+    if optimised && options.prefer_side_vertex_source {
+        let candidate = strong
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s)
+            .map(|(v, _)| v as VertexId)
+            .min_by_key(|&v| g.degree(v));
+        if let Some(v) = candidate {
+            return v;
+        }
+    }
+    g.min_degree_vertex().expect("global_cut requires a non-empty graph")
+}
+
+/// `LOC-CUT(u, v)` (Algorithm 2, lines 12-17): answers trivially for adjacent
+/// or identical vertices (Lemma 5), otherwise runs a max-flow on the substrate
+/// capped at `k` and converts the residual min-cut into a vertex cut.
+fn loc_cut(
+    flow: &mut VertexFlowGraph,
+    g: &UndirectedGraph,
+    substrate: &UndirectedGraph,
+    u: VertexId,
+    v: VertexId,
+    k: u32,
+    stats: &mut EnumerationStats,
+) -> Option<Vec<VertexId>> {
+    if u == v || g.has_edge(u, v) {
+        stats.loc_cut_trivial_calls += 1;
+        return None;
+    }
+    stats.loc_cut_flow_calls += 1;
+    match flow.local_connectivity(substrate, u, v, k) {
+        LocalConnectivity::AtLeast(_) => None,
+        LocalConnectivity::Cut(cut) => Some(cut),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::AlgorithmVariant;
+    use kvcc_graph::traversal::connected_components_filtered;
+
+    fn options_for(variant: AlgorithmVariant) -> KvccOptions {
+        KvccOptions { variant, ..KvccOptions::default() }
+    }
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    /// Two K5 blocks sharing two vertices (6 and 7): the only cut with fewer
+    /// than 3 vertices is {6, 7}.
+    fn two_blocks() -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for block in [[0u32, 1, 2, 6, 7], [3u32, 4, 5, 6, 7]] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((block[i], block[j]));
+                }
+            }
+        }
+        UndirectedGraph::from_edges(8, edges).unwrap()
+    }
+
+    fn assert_valid_cut(g: &UndirectedGraph, cut: &[VertexId], k: u32) {
+        assert!(!cut.is_empty());
+        assert!((cut.len() as u32) < k, "cut {cut:?} must have fewer than k vertices");
+        let mut alive = vec![true; g.num_vertices()];
+        for &v in cut {
+            alive[v as usize] = false;
+        }
+        let comps = connected_components_filtered(g, &alive);
+        assert!(comps.len() >= 2, "removing {cut:?} must disconnect the graph");
+    }
+
+    #[test]
+    fn complete_graph_has_no_cut_for_any_variant() {
+        let g = complete(7);
+        for variant in AlgorithmVariant::all() {
+            let mut stats = EnumerationStats::default();
+            let out = global_cut(&g, 4, &options_for(variant), &mut stats);
+            assert!(out.cut.is_none(), "variant {variant:?} found a spurious cut");
+            assert_eq!(stats.global_cut_calls, 1);
+        }
+    }
+
+    #[test]
+    fn two_block_graph_yields_the_portal_cut() {
+        let g = two_blocks();
+        for variant in AlgorithmVariant::all() {
+            let mut stats = EnumerationStats::default();
+            let out = global_cut(&g, 3, &options_for(variant), &mut stats);
+            let cut = out.cut.expect("graph is not 3-connected");
+            assert_valid_cut(&g, &cut, 3);
+        }
+    }
+
+    #[test]
+    fn no_cut_found_when_graph_is_k_connected() {
+        let g = two_blocks();
+        // The graph *is* 2-vertex connected, so no cut of size < 2 exists.
+        for variant in AlgorithmVariant::all() {
+            let mut stats = EnumerationStats::default();
+            let out = global_cut(&g, 2, &options_for(variant), &mut stats);
+            assert!(out.cut.is_none(), "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn ablation_options_still_produce_valid_results() {
+        let g = two_blocks();
+        let opts = KvccOptions {
+            use_sparse_certificate: false,
+            order_by_distance: false,
+            prefer_side_vertex_source: false,
+            ..KvccOptions::default()
+        };
+        let mut stats = EnumerationStats::default();
+        let out = global_cut(&g, 3, &opts, &mut stats);
+        assert_valid_cut(&g, &out.cut.expect("cut must be found"), 3);
+        let mut stats = EnumerationStats::default();
+        assert!(global_cut(&complete(6), 3, &opts, &mut stats).cut.is_none());
+    }
+
+    #[test]
+    fn sweep_statistics_are_recorded_for_the_full_variant() {
+        let g = two_blocks();
+        let mut stats = EnumerationStats::default();
+        let _ = global_cut(&g, 3, &KvccOptions::default(), &mut stats);
+        // With sweeps enabled, phase-1 bookkeeping must cover every non-source
+        // vertex that was reached before the cut was returned.
+        assert!(stats.phase1_vertices() <= (g.num_vertices() as u64 - 1));
+        assert!(stats.loc_cut_flow_calls + stats.loc_cut_trivial_calls > 0);
+    }
+
+    #[test]
+    fn tiny_graph_shortcut() {
+        let g = complete(3);
+        let mut stats = EnumerationStats::default();
+        let out = global_cut(&g, 5, &KvccOptions::default(), &mut stats);
+        assert!(out.cut.is_none());
+        assert_eq!(out.scratch_memory_bytes, 0);
+    }
+}

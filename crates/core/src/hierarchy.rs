@@ -1,0 +1,244 @@
+//! The k-VCC hierarchy: nested decompositions for every k.
+//!
+//! Whitney's theorem (Theorem 3) and the nesting argument of §2.2 imply that
+//! every (k+1)-VCC is contained in exactly one k-VCC. Enumerating the
+//! components level by level therefore yields a *hierarchy* (a forest): level
+//! 1 holds the connected components, level 2 the biconnected cores, and so on
+//! up to the largest k for which any component survives (bounded by the graph
+//! degeneracy).
+//!
+//! The construction exploits the nesting: the (k+1)-VCCs are enumerated
+//! *inside* each k-VCC instead of on the whole graph, which keeps the total
+//! cost close to the cost of the deepest level. This module is an extension of
+//! the paper's algorithm (the paper fixes a single k) and powers the
+//! `hierarchy` example.
+
+use kvcc_graph::kcore::degeneracy;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::enumerate::enumerate_kvccs;
+use crate::error::KvccError;
+use crate::options::KvccOptions;
+use crate::result::KVertexConnectedComponent;
+
+/// One level of the hierarchy: all k-VCCs for a fixed `k`, plus the index of
+/// each component's parent in the previous level.
+#[derive(Clone, Debug)]
+pub struct HierarchyLevel {
+    /// The connectivity parameter of this level.
+    pub k: u32,
+    /// The k-VCCs of the input graph, sorted by smallest member.
+    pub components: Vec<KVertexConnectedComponent>,
+    /// `parents[i]` is the index (in the previous level) of the component that
+    /// contains `components[i]`; `None` for the first level.
+    pub parents: Vec<Option<usize>>,
+}
+
+/// The full nested decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct KvccHierarchy {
+    levels: Vec<HierarchyLevel>,
+    num_vertices: usize,
+}
+
+impl KvccHierarchy {
+    /// All levels, in increasing order of `k` (starting at `k = 1`).
+    pub fn levels(&self) -> &[HierarchyLevel] {
+        &self.levels
+    }
+
+    /// The largest `k` for which at least one k-VCC exists (0 for an edgeless
+    /// graph).
+    pub fn max_k(&self) -> u32 {
+        self.levels.last().map(|l| l.k).unwrap_or(0)
+    }
+
+    /// The components at a specific level, if that level exists.
+    pub fn components_at(&self, k: u32) -> Option<&[KVertexConnectedComponent]> {
+        self.levels
+            .iter()
+            .find(|l| l.k == k)
+            .map(|l| l.components.as_slice())
+    }
+
+    /// The *vertex connectivity number* of `v`: the largest `k` such that `v`
+    /// belongs to some k-VCC (0 if the vertex is isolated or outside every
+    /// component). This is the vertex-connectivity analogue of the core
+    /// number.
+    pub fn connectivity_number(&self, v: VertexId) -> u32 {
+        let mut best = 0;
+        for level in &self.levels {
+            if level.components.iter().any(|c| c.contains(v)) {
+                best = level.k;
+            }
+        }
+        best
+    }
+
+    /// Vertex connectivity numbers for every vertex of the input graph.
+    pub fn connectivity_numbers(&self) -> Vec<u32> {
+        let mut numbers = vec![0u32; self.num_vertices];
+        for level in &self.levels {
+            for comp in &level.components {
+                for &v in comp.vertices() {
+                    numbers[v as usize] = numbers[v as usize].max(level.k);
+                }
+            }
+        }
+        numbers
+    }
+
+    /// Total number of components across all levels.
+    pub fn total_components(&self) -> usize {
+        self.levels.iter().map(|l| l.components.len()).sum()
+    }
+}
+
+/// Builds the k-VCC hierarchy of `graph` for `k = 1 ..= max_k`.
+///
+/// `max_k = None` uses the graph degeneracy as the upper bound (no k-VCC can
+/// exist beyond it, because a k-VCC has minimum degree `>= k`). Construction
+/// stops early at the first level with no components.
+pub fn build_hierarchy(
+    graph: &UndirectedGraph,
+    max_k: Option<u32>,
+    options: &KvccOptions,
+) -> Result<KvccHierarchy, KvccError> {
+    let limit = max_k.unwrap_or_else(|| degeneracy(graph)).max(1);
+    let mut levels: Vec<HierarchyLevel> = Vec::new();
+
+    for k in 1..=limit {
+        let level = match levels.last() {
+            None => {
+                // Level 1 is enumerated on the whole graph.
+                let components = enumerate_kvccs(graph, k, options)?.components().to_vec();
+                let parents = vec![None; components.len()];
+                HierarchyLevel { k, components, parents }
+            }
+            Some(previous) => {
+                // Deeper levels are enumerated inside each parent component.
+                let mut components: Vec<KVertexConnectedComponent> = Vec::new();
+                let mut parents: Vec<Option<usize>> = Vec::new();
+                for (parent_idx, parent) in previous.components.iter().enumerate() {
+                    if parent.len() <= k as usize {
+                        continue;
+                    }
+                    let sub = parent.induced_subgraph(graph);
+                    let nested = enumerate_kvccs(&sub.graph, k, options)?;
+                    for comp in nested.iter() {
+                        let mapped: Vec<VertexId> = comp
+                            .vertices()
+                            .iter()
+                            .map(|&local| sub.to_parent[local as usize])
+                            .collect();
+                        components.push(KVertexConnectedComponent::new(mapped));
+                        parents.push(Some(parent_idx));
+                    }
+                }
+                // Keep the deterministic ordering used everywhere else.
+                let mut order: Vec<usize> = (0..components.len()).collect();
+                order.sort_by(|&a, &b| components[a].cmp(&components[b]));
+                let components: Vec<_> = order.iter().map(|&i| components[i].clone()).collect();
+                let parents: Vec<_> = order.iter().map(|&i| parents[i]).collect();
+                HierarchyLevel { k, components, parents }
+            }
+        };
+        if level.components.is_empty() {
+            break;
+        }
+        levels.push(level);
+    }
+
+    Ok(KvccHierarchy { levels, num_vertices: graph.num_vertices() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::KvccOptions;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    /// Two triangles sharing vertex 2, plus a pendant vertex 5.
+    fn two_triangles_with_pendant() -> UndirectedGraph {
+        UndirectedGraph::from_edges(
+            6,
+            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (0, 5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hierarchy_of_a_clique() {
+        let g = complete(6);
+        let h = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(h.max_k(), 5);
+        assert_eq!(h.levels().len(), 5);
+        for level in h.levels() {
+            assert_eq!(level.components.len(), 1);
+            assert_eq!(level.components[0].len(), 6);
+        }
+        assert_eq!(h.connectivity_number(0), 5);
+        assert_eq!(h.connectivity_numbers(), vec![5; 6]);
+        assert_eq!(h.total_components(), 5);
+    }
+
+    #[test]
+    fn hierarchy_of_glued_triangles() {
+        let g = two_triangles_with_pendant();
+        let h = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(h.max_k(), 2);
+        // Level 1: one connected component with all 6 vertices.
+        let level1 = h.components_at(1).unwrap();
+        assert_eq!(level1.len(), 1);
+        assert_eq!(level1[0].len(), 6);
+        // Level 2: the two triangles, both children of the level-1 component.
+        let level2 = &h.levels()[1];
+        assert_eq!(level2.components.len(), 2);
+        assert!(level2.parents.iter().all(|p| *p == Some(0)));
+        // Connectivity numbers: triangle members 2, pendant vertex 1.
+        assert_eq!(h.connectivity_number(2), 2);
+        assert_eq!(h.connectivity_number(5), 1);
+        assert_eq!(h.components_at(3), None);
+    }
+
+    #[test]
+    fn parents_contain_their_children() {
+        let g = two_triangles_with_pendant();
+        let h = build_hierarchy(&g, Some(3), &KvccOptions::default()).unwrap();
+        for window in h.levels().windows(2) {
+            let (upper, lower) = (&window[0], &window[1]);
+            for (comp, parent) in lower.components.iter().zip(&lower.parents) {
+                let parent = &upper.components[parent.expect("non-root level has parents")];
+                for &v in comp.vertices() {
+                    assert!(parent.contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_max_k_truncates_the_hierarchy() {
+        let g = complete(8);
+        let h = build_hierarchy(&g, Some(3), &KvccOptions::default()).unwrap();
+        assert_eq!(h.max_k(), 3);
+        assert_eq!(h.levels().len(), 3);
+    }
+
+    #[test]
+    fn empty_graph_has_an_empty_hierarchy() {
+        let g = UndirectedGraph::new(4);
+        let h = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(h.max_k(), 0);
+        assert_eq!(h.total_components(), 0);
+        assert_eq!(h.connectivity_number(1), 0);
+    }
+}

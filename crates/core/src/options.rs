@@ -1,0 +1,161 @@
+//! Configuration of the enumeration algorithm.
+
+/// Which pruning strategies are enabled, matching the four algorithms compared
+/// in the paper's efficiency study (§6.2, Fig. 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum AlgorithmVariant {
+    /// `VCCE`: the basic algorithm of §4 (sparse certificate + two-phase
+    /// `GLOBAL-CUT`, no sweeps).
+    Basic,
+    /// `VCCE-N`: basic algorithm plus the neighbor-sweep rules of §5.1
+    /// (strong side-vertices and vertex deposits).
+    NeighborSweep,
+    /// `VCCE-G`: basic algorithm plus the group-sweep rules of §5.2
+    /// (side-groups and group deposits).
+    GroupSweep,
+    /// `VCCE*`: both neighbor sweep and group sweep (the paper's final
+    /// algorithm). This is the default.
+    #[default]
+    Full,
+}
+
+impl AlgorithmVariant {
+    /// Whether the neighbor-sweep rules (§5.1) are active.
+    pub fn neighbor_sweep(self) -> bool {
+        matches!(self, AlgorithmVariant::NeighborSweep | AlgorithmVariant::Full)
+    }
+
+    /// Whether the group-sweep rules (§5.2) are active.
+    pub fn group_sweep(self) -> bool {
+        matches!(self, AlgorithmVariant::GroupSweep | AlgorithmVariant::Full)
+    }
+
+    /// The paper's name for the variant (used by the benchmark harness).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            AlgorithmVariant::Basic => "VCCE",
+            AlgorithmVariant::NeighborSweep => "VCCE-N",
+            AlgorithmVariant::GroupSweep => "VCCE-G",
+            AlgorithmVariant::Full => "VCCE*",
+        }
+    }
+
+    /// All four variants in the order the paper lists them.
+    pub fn all() -> [AlgorithmVariant; 4] {
+        [
+            AlgorithmVariant::Basic,
+            AlgorithmVariant::NeighborSweep,
+            AlgorithmVariant::GroupSweep,
+            AlgorithmVariant::Full,
+        ]
+    }
+}
+
+/// Tuning knobs of the enumeration. The defaults reproduce `VCCE*` exactly as
+/// described in the paper; the additional switches exist for the ablation
+/// benchmarks called out in `DESIGN.md`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KvccOptions {
+    /// Which sweep strategies are enabled.
+    pub variant: AlgorithmVariant,
+    /// Use the sparse certificate (§4.2) as the substrate of the flow
+    /// computations. Disabling this runs the flow on the full subgraph
+    /// (ablation only; the certificate is always computed when group sweep is
+    /// enabled because the side-groups are derived from it).
+    pub use_sparse_certificate: bool,
+    /// Process phase-1 vertices in non-ascending order of BFS distance from
+    /// the source (Algorithm 3, line 11). Disabling falls back to vertex-id
+    /// order (ablation only).
+    pub order_by_distance: bool,
+    /// Prefer a strong side-vertex as the source vertex, which allows skipping
+    /// phase 2 entirely (Algorithm 3, lines 4–7).
+    pub prefer_side_vertex_source: bool,
+    /// Vertices whose degree exceeds this threshold are conservatively treated
+    /// as *not* strong side-vertices, bounding the `O(Σ d(w)²)` detection cost
+    /// (Lemma 14) on graphs with extreme hubs. `None` means no cap. Only
+    /// affects pruning effectiveness, never correctness.
+    pub max_degree_for_side_vertex_check: Option<usize>,
+    /// Record per-rule sweep counters (Table 2). Negligible cost; kept as an
+    /// option so micro-benchmarks can exclude it.
+    pub collect_statistics: bool,
+}
+
+impl Default for KvccOptions {
+    fn default() -> Self {
+        KvccOptions {
+            variant: AlgorithmVariant::Full,
+            use_sparse_certificate: true,
+            order_by_distance: true,
+            prefer_side_vertex_source: true,
+            max_degree_for_side_vertex_check: Some(4096),
+            collect_statistics: true,
+        }
+    }
+}
+
+impl KvccOptions {
+    /// Options reproducing the paper's basic algorithm `VCCE`.
+    pub fn basic() -> Self {
+        KvccOptions { variant: AlgorithmVariant::Basic, ..Self::default() }
+    }
+
+    /// Options reproducing `VCCE-N` (neighbor sweep only).
+    pub fn neighbor_sweep() -> Self {
+        KvccOptions { variant: AlgorithmVariant::NeighborSweep, ..Self::default() }
+    }
+
+    /// Options reproducing `VCCE-G` (group sweep only).
+    pub fn group_sweep() -> Self {
+        KvccOptions { variant: AlgorithmVariant::GroupSweep, ..Self::default() }
+    }
+
+    /// Options reproducing `VCCE*` (both sweeps; same as `Default`).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Options for the requested variant with all other knobs at their
+    /// defaults.
+    pub fn for_variant(variant: AlgorithmVariant) -> Self {
+        KvccOptions { variant, ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_flags() {
+        assert!(!AlgorithmVariant::Basic.neighbor_sweep());
+        assert!(!AlgorithmVariant::Basic.group_sweep());
+        assert!(AlgorithmVariant::NeighborSweep.neighbor_sweep());
+        assert!(!AlgorithmVariant::NeighborSweep.group_sweep());
+        assert!(!AlgorithmVariant::GroupSweep.neighbor_sweep());
+        assert!(AlgorithmVariant::GroupSweep.group_sweep());
+        assert!(AlgorithmVariant::Full.neighbor_sweep());
+        assert!(AlgorithmVariant::Full.group_sweep());
+    }
+
+    #[test]
+    fn paper_names_match_figure_10() {
+        let names: Vec<_> = AlgorithmVariant::all().iter().map(|v| v.paper_name()).collect();
+        assert_eq!(names, vec!["VCCE", "VCCE-N", "VCCE-G", "VCCE*"]);
+    }
+
+    #[test]
+    fn defaults_are_the_full_algorithm() {
+        let opts = KvccOptions::default();
+        assert_eq!(opts.variant, AlgorithmVariant::Full);
+        assert!(opts.use_sparse_certificate);
+        assert!(opts.order_by_distance);
+        assert_eq!(KvccOptions::full(), opts);
+        assert_eq!(KvccOptions::basic().variant, AlgorithmVariant::Basic);
+        assert_eq!(KvccOptions::neighbor_sweep().variant, AlgorithmVariant::NeighborSweep);
+        assert_eq!(KvccOptions::group_sweep().variant, AlgorithmVariant::GroupSweep);
+        assert_eq!(
+            KvccOptions::for_variant(AlgorithmVariant::Basic).variant,
+            AlgorithmVariant::Basic
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Localized queries: the k-VCCs containing a given seed vertex.
+//!
+//! The case study of §6.4 asks for "all 4-VCCs containing author *Jiawei
+//! Han*". Answering such a query does not require enumerating the whole
+//! graph: every k-VCC containing the seed lies inside the connected component
+//! of the k-core that contains the seed, so it is enough to enumerate that
+//! single component and keep the components covering the seed. On large graphs
+//! with many unrelated dense regions this is dramatically cheaper than a full
+//! enumeration.
+
+use kvcc_graph::kcore::k_core_vertices;
+use kvcc_graph::traversal::connected_components;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::enumerate::enumerate_kvccs;
+use crate::error::KvccError;
+use crate::options::KvccOptions;
+use crate::result::KVertexConnectedComponent;
+
+/// Enumerates the k-VCCs of `graph` that contain the vertex `seed`.
+///
+/// Returns an empty vector when the seed is pruned by the k-core (its degree
+/// in every dense region is below `k`) or when no k-VCC covers it. Errors for
+/// `k == 0` or a seed outside the graph.
+pub fn kvccs_containing(
+    graph: &UndirectedGraph,
+    seed: VertexId,
+    k: u32,
+    options: &KvccOptions,
+) -> Result<Vec<KVertexConnectedComponent>, KvccError> {
+    if k == 0 {
+        return Err(KvccError::InvalidK);
+    }
+    if seed as usize >= graph.num_vertices() {
+        return Err(KvccError::SeedOutOfRange { seed });
+    }
+
+    // Restrict to the k-core; if the seed does not survive it cannot be in any
+    // k-VCC (Theorem 3).
+    let core_vertices = k_core_vertices(graph, k as usize);
+    let mut in_core = vec![false; graph.num_vertices()];
+    for &v in &core_vertices {
+        in_core[v as usize] = true;
+    }
+    if !in_core[seed as usize] {
+        return Ok(Vec::new());
+    }
+    let core = graph.induced_subgraph(&core_vertices);
+    let seed_local = core
+        .to_parent
+        .iter()
+        .position(|&orig| orig == seed)
+        .expect("seed survives the k-core") as VertexId;
+
+    // Restrict further to the seed's connected component of the k-core.
+    let components = connected_components(&core.graph);
+    let seed_component = components
+        .into_iter()
+        .find(|comp| comp.binary_search(&seed_local).is_ok())
+        .expect("every core vertex belongs to a component");
+    if seed_component.len() <= k as usize {
+        return Ok(Vec::new());
+    }
+    let local = core.graph.induced_subgraph(&seed_component);
+    let seed_in_local = local
+        .to_parent
+        .iter()
+        .position(|&core_local| core_local == seed_local)
+        .expect("seed is in its own component") as VertexId;
+
+    // Full enumeration of just that component, then filter and map back.
+    let result = enumerate_kvccs(&local.graph, k, options)?;
+    let mut hits: Vec<KVertexConnectedComponent> = result
+        .iter()
+        .filter(|c| c.contains(seed_in_local))
+        .map(|c| {
+            let original: Vec<VertexId> = c
+                .vertices()
+                .iter()
+                .map(|&v| core.to_parent[local.to_parent[v as usize] as usize])
+                .collect();
+            KVertexConnectedComponent::new(original)
+        })
+        .collect();
+    hits.sort();
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_kvccs;
+
+    /// Two triangles sharing vertex 2 plus an unrelated K4 on {5,6,7,8}.
+    fn mixed_graph() -> UndirectedGraph {
+        let mut edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        for i in 5..9u32 {
+            for j in (i + 1)..9 {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(9, edges).unwrap()
+    }
+
+    #[test]
+    fn query_matches_filtering_the_full_enumeration() {
+        let g = mixed_graph();
+        for k in 1..=3u32 {
+            for seed in 0..g.num_vertices() as VertexId {
+                let full = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+                let expected: Vec<_> =
+                    full.iter().filter(|c| c.contains(seed)).cloned().collect();
+                let got = kvccs_containing(&g, seed, k, &KvccOptions::default()).unwrap();
+                assert_eq!(got, expected, "seed {seed}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_vertex_belongs_to_both_triangles() {
+        let g = mixed_graph();
+        let hits = kvccs_containing(&g, 2, 2, &KvccOptions::default()).unwrap();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|c| c.contains(2)));
+    }
+
+    #[test]
+    fn pruned_seed_returns_nothing() {
+        let g = mixed_graph();
+        // Vertex 0 has degree 2, so it cannot be in any 3-VCC.
+        assert!(kvccs_containing(&g, 0, 3, &KvccOptions::default()).unwrap().is_empty());
+        // The K4 vertices are in a 3-VCC though.
+        let hits = kvccs_containing(&g, 6, 3, &KvccOptions::default()).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].vertices(), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = mixed_graph();
+        assert!(matches!(
+            kvccs_containing(&g, 0, 0, &KvccOptions::default()),
+            Err(KvccError::InvalidK)
+        ));
+        assert!(matches!(
+            kvccs_containing(&g, 99, 2, &KvccOptions::default()),
+            Err(KvccError::SeedOutOfRange { seed: 99 })
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! Result types returned by the enumeration.
+
+use kvcc_graph::{InducedSubgraph, UndirectedGraph, VertexId};
+
+use crate::stats::EnumerationStats;
+
+/// One k-vertex connected component, expressed as a sorted list of vertex ids
+/// of the **input** graph.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KVertexConnectedComponent {
+    vertices: Vec<VertexId>,
+}
+
+impl KVertexConnectedComponent {
+    /// Creates a component from a vertex list (sorted and de-duplicated here).
+    pub fn new(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        KVertexConnectedComponent { vertices }
+    }
+
+    /// The member vertices, sorted ascending.
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the component is empty (never true for results produced by the
+    /// enumerator, but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// Number of vertices shared with another component. k-VCCs overlap in at
+    /// most `k − 1` vertices (Property 1).
+    pub fn overlap(&self, other: &KVertexConnectedComponent) -> usize {
+        let mut i = 0;
+        let mut j = 0;
+        let mut count = 0;
+        while i < self.vertices.len() && j < other.vertices.len() {
+            match self.vertices[i].cmp(&other.vertices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Extracts the induced subgraph of this component from the input graph.
+    pub fn induced_subgraph(&self, g: &UndirectedGraph) -> InducedSubgraph {
+        g.induced_subgraph(&self.vertices)
+    }
+}
+
+/// The complete output of [`crate::enumerate_kvccs`]: every k-VCC of the input
+/// graph plus the run statistics.
+#[derive(Clone, Debug)]
+pub struct KvccResult {
+    k: u32,
+    components: Vec<KVertexConnectedComponent>,
+    stats: EnumerationStats,
+}
+
+impl KvccResult {
+    /// Assembles a result (used by the enumerator; also handy for tests).
+    pub fn new(
+        k: u32,
+        components: Vec<KVertexConnectedComponent>,
+        stats: EnumerationStats,
+    ) -> Self {
+        KvccResult { k, components, stats }
+    }
+
+    /// The connectivity parameter the enumeration was run with.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Number of k-VCCs found. Theorem 6 bounds this by `n / 2`.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The components, sorted by their smallest vertex id.
+    pub fn components(&self) -> &[KVertexConnectedComponent] {
+        &self.components
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = &KVertexConnectedComponent> {
+        self.components.iter()
+    }
+
+    /// Run statistics (Table 2 / Figs. 10–12 quantities).
+    pub fn stats(&self) -> &EnumerationStats {
+        &self.stats
+    }
+
+    /// All components that contain vertex `v` (a vertex can belong to several
+    /// overlapping k-VCCs, e.g. the hub authors of the case study in §6.4).
+    pub fn components_containing(&self, v: VertexId) -> Vec<&KVertexConnectedComponent> {
+        self.components.iter().filter(|c| c.contains(v)).collect()
+    }
+
+    /// Total number of (vertex, component) memberships; `>= ` the number of
+    /// distinct vertices covered because of overlaps.
+    pub fn total_memberships(&self) -> usize {
+        self.components.iter().map(KVertexConnectedComponent::len).sum()
+    }
+
+    /// Number of distinct vertices covered by at least one k-VCC.
+    pub fn covered_vertices(&self) -> usize {
+        let mut all: Vec<VertexId> =
+            self.components.iter().flat_map(|c| c.vertices().iter().copied()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+impl<'a> IntoIterator for &'a KvccResult {
+    type Item = &'a KVertexConnectedComponent;
+    type IntoIter = std::slice::Iter<'a, KVertexConnectedComponent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.components.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_normalises_input() {
+        let c = KVertexConnectedComponent::new(vec![3, 1, 2, 1]);
+        assert_eq!(c.vertices(), &[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.contains(2));
+        assert!(!c.contains(5));
+    }
+
+    #[test]
+    fn overlap_counts_shared_vertices() {
+        let a = KVertexConnectedComponent::new(vec![0, 1, 2, 3]);
+        let b = KVertexConnectedComponent::new(vec![2, 3, 4, 5]);
+        let c = KVertexConnectedComponent::new(vec![6, 7]);
+        assert_eq!(a.overlap(&b), 2);
+        assert_eq!(b.overlap(&a), 2);
+        assert_eq!(a.overlap(&c), 0);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let comps = vec![
+            KVertexConnectedComponent::new(vec![0, 1, 2]),
+            KVertexConnectedComponent::new(vec![2, 3, 4]),
+        ];
+        let r = KvccResult::new(2, comps, EnumerationStats::default());
+        assert_eq!(r.k(), 2);
+        assert_eq!(r.num_components(), 2);
+        assert_eq!(r.components_containing(2).len(), 2);
+        assert_eq!(r.components_containing(0).len(), 1);
+        assert_eq!(r.total_memberships(), 6);
+        assert_eq!(r.covered_vertices(), 5);
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!((&r).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn induced_subgraph_of_component() {
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let c = KVertexConnectedComponent::new(vec![0, 1, 2]);
+        let sub = c.induced_subgraph(&g);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 3);
+    }
+}

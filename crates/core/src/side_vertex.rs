@@ -1,0 +1,154 @@
+//! Strong side-vertex detection (§5.1.1).
+//!
+//! A *side-vertex* is a vertex that is not contained in any vertex cut of size
+//! `< k` (Definition 9). Testing that exactly would itself require
+//! connectivity computations, so the paper uses the sufficient structural
+//! condition of Theorem 8: `u` is a **strong side-vertex** if every pair of
+//! its neighbours is either adjacent or shares at least `k` common neighbours
+//! (both facts imply the pair is k-local-connected by Lemma 5 / Lemma 13).
+//!
+//! Strong side-vertices drive two optimisations of `GLOBAL-CUT*`:
+//!
+//! * neighbor-sweep rule 1 — once the source is known to be k-connected to a
+//!   strong side-vertex `v`, every neighbour of `v` can be swept;
+//! * source selection — a strong side-vertex cannot belong to any small cut,
+//!   so choosing one as the source makes phase 2 unnecessary.
+
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+/// Computes the strong side-vertex flag for every vertex of `g`.
+///
+/// `max_degree` optionally caps the degree of vertices that are examined:
+/// vertices with a larger degree are conservatively reported as *not* strong
+/// side-vertices. The cap bounds the `O(Σ d(w)²)` cost of the check
+/// (Lemma 14) on graphs with extreme hubs and never affects correctness, only
+/// pruning power.
+pub fn strong_side_vertices(
+    g: &UndirectedGraph,
+    k: u32,
+    max_degree: Option<usize>,
+) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut strong = vec![false; n];
+    for u in 0..n as VertexId {
+        strong[u as usize] = is_strong_side_vertex(g, u, k, max_degree);
+    }
+    strong
+}
+
+/// Tests the Theorem 8 condition for a single vertex.
+pub fn is_strong_side_vertex(
+    g: &UndirectedGraph,
+    u: VertexId,
+    k: u32,
+    max_degree: Option<usize>,
+) -> bool {
+    let neighbors = g.neighbors(u);
+    if let Some(cap) = max_degree {
+        if neighbors.len() > cap {
+            return false;
+        }
+    }
+    for (i, &v) in neighbors.iter().enumerate() {
+        for &w in &neighbors[i + 1..] {
+            if g.has_edge(v, w) {
+                continue;
+            }
+            if g.common_neighbors_at_least(v, w, k as usize) >= k as usize {
+                continue;
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// Returns the indices of all strong side-vertices (convenience wrapper used
+/// by the source-selection step of Algorithm 3).
+pub fn strong_side_vertex_list(
+    g: &UndirectedGraph,
+    k: u32,
+    max_degree: Option<usize>,
+) -> Vec<VertexId> {
+    strong_side_vertices(g, k, max_degree)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, s)| if s { Some(v as VertexId) } else { None })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn every_clique_vertex_is_a_strong_side_vertex() {
+        let g = complete(6);
+        let strong = strong_side_vertices(&g, 3, None);
+        assert!(strong.iter().all(|&s| s));
+        assert_eq!(strong_side_vertex_list(&g, 3, None).len(), 6);
+    }
+
+    #[test]
+    fn cut_vertex_of_two_triangles_is_not_strong() {
+        // Two triangles sharing vertex 2: the neighbours of 2 include one
+        // vertex from each triangle, which are neither adjacent nor share k
+        // common neighbours.
+        let g = UndirectedGraph::from_edges(
+            5,
+            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+        )
+        .unwrap();
+        assert!(!is_strong_side_vertex(&g, 2, 2, None));
+        // A degree-2 vertex inside one triangle has adjacent neighbours.
+        assert!(is_strong_side_vertex(&g, 0, 2, None));
+        assert!(is_strong_side_vertex(&g, 4, 2, None));
+    }
+
+    #[test]
+    fn common_neighbour_condition_applies_without_adjacency() {
+        // Complete bipartite K_{2,4}: vertices 0,1 on one side, 2..5 on the
+        // other. Neighbours of 2 are {0, 1}, non-adjacent but with 4 common
+        // neighbours, so for k <= 4 vertex 2 is strong.
+        let g = UndirectedGraph::from_edges(
+            6,
+            vec![(0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5)],
+        )
+        .unwrap();
+        assert!(is_strong_side_vertex(&g, 2, 4, None));
+        assert!(!is_strong_side_vertex(&g, 2, 5, None));
+        // Vertex 0's neighbours {2,3,4,5} pairwise share only {0,1}: strong
+        // for k <= 2, not for k = 3.
+        assert!(is_strong_side_vertex(&g, 0, 2, None));
+        assert!(!is_strong_side_vertex(&g, 0, 3, None));
+    }
+
+    #[test]
+    fn degree_cap_disables_detection_conservatively() {
+        let g = complete(8);
+        assert!(is_strong_side_vertex(&g, 0, 3, None));
+        assert!(!is_strong_side_vertex(&g, 0, 3, Some(5)));
+        let strong = strong_side_vertices(&g, 3, Some(5));
+        assert!(strong.iter().all(|&s| !s));
+    }
+
+    #[test]
+    fn isolated_and_pendant_vertices_are_vacuously_strong() {
+        // The condition quantifies over pairs of neighbours, so degree <= 1
+        // vertices satisfy it vacuously. (After k-core pruning such vertices
+        // never reach the detector; see the module docs.)
+        let g = UndirectedGraph::from_edges(3, vec![(0, 1)]).unwrap();
+        assert!(is_strong_side_vertex(&g, 2, 2, None));
+        assert!(is_strong_side_vertex(&g, 0, 2, None));
+    }
+}

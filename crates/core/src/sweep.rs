@@ -1,0 +1,360 @@
+//! The `SWEEP` procedure (Algorithm 4): neighbor sweep and group sweep.
+//!
+//! Given a source vertex `u`, a vertex `v` is *swept* when the algorithm has
+//! established `u ≡ₖ v` without (or after) running a flow computation, so the
+//! phase-1 loop of `GLOBAL-CUT*` can skip it. Sweeping one vertex can cascade:
+//!
+//! * every neighbour `w` of a swept vertex gains one unit of *vertex deposit*;
+//!   `k` deposits certify `u ≡ₖ w` (Lemma 17, neighbor-sweep rule 2);
+//! * if the swept vertex is a strong side-vertex, all of its neighbours are
+//!   swept outright (Lemma 11, neighbor-sweep rule 1);
+//! * the side-group containing the swept vertex gains one unit of *group
+//!   deposit*; `k` deposits — or a swept strong side-vertex member — sweep the
+//!   whole group (Lemma 19 / group-sweep rules 1–2).
+//!
+//! The cascade is processed with an explicit work list, so arbitrarily large
+//! sweeps cannot overflow the call stack.
+
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::certificate::NO_GROUP;
+
+/// Why a vertex was marked as swept. Used to attribute skipped vertices to the
+/// pruning rules of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepCause {
+    /// The vertex is the source itself or passed an explicit `LOC-CUT` test.
+    SourceOrTested,
+    /// Neighbor-sweep rule 1: neighbour of a swept strong side-vertex.
+    NeighborRule1,
+    /// Neighbor-sweep rule 2: vertex deposit reached `k`.
+    NeighborRule2,
+    /// Group sweep: the vertex's side-group was swept wholesale.
+    GroupSweep,
+}
+
+/// Static, per-`GLOBAL-CUT*` inputs consumed by the sweep cascade.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepContext<'a> {
+    /// The current subgraph being cut.
+    pub graph: &'a UndirectedGraph,
+    /// The connectivity parameter `k`.
+    pub k: u32,
+    /// Strong side-vertex flags (empty slice ⇒ treat every vertex as not
+    /// strong, e.g. for the `VCCE-G` variant where they are still computed, or
+    /// `VCCE` where they are not).
+    pub strong_side: &'a [bool],
+    /// `group_of[v]`: index of the side-group containing `v`, or [`NO_GROUP`].
+    pub group_of: &'a [u32],
+    /// The side-groups themselves.
+    pub side_groups: &'a [Vec<VertexId>],
+    /// Whether the neighbor-sweep rules are enabled (variant `VCCE-N`/`VCCE*`).
+    pub neighbor_sweep: bool,
+    /// Whether the group-sweep rules are enabled (variant `VCCE-G`/`VCCE*`).
+    pub group_sweep: bool,
+}
+
+impl<'a> SweepContext<'a> {
+    fn is_strong(&self, v: VertexId) -> bool {
+        self.strong_side.get(v as usize).copied().unwrap_or(false)
+    }
+
+    fn group(&self, v: VertexId) -> u32 {
+        self.group_of.get(v as usize).copied().unwrap_or(NO_GROUP)
+    }
+}
+
+/// Mutable sweep state for one `GLOBAL-CUT*` invocation.
+#[derive(Clone, Debug)]
+pub struct SweepState {
+    pruned: Vec<bool>,
+    cause: Vec<SweepCause>,
+    deposit: Vec<u32>,
+    group_deposit: Vec<u32>,
+    group_processed: Vec<bool>,
+    worklist: Vec<VertexId>,
+}
+
+impl SweepState {
+    /// Creates a fresh state for a graph with `num_vertices` vertices and
+    /// `num_groups` side-groups.
+    pub fn new(num_vertices: usize, num_groups: usize) -> Self {
+        SweepState {
+            pruned: vec![false; num_vertices],
+            cause: vec![SweepCause::SourceOrTested; num_vertices],
+            deposit: vec![0; num_vertices],
+            group_deposit: vec![0; num_groups],
+            group_processed: vec![false; num_groups],
+            worklist: Vec::new(),
+        }
+    }
+
+    /// Whether `v` has been swept (and can therefore be skipped by phase 1).
+    #[inline]
+    pub fn is_pruned(&self, v: VertexId) -> bool {
+        self.pruned[v as usize]
+    }
+
+    /// The cause recorded when `v` was swept. Meaningful only if
+    /// [`is_pruned`](Self::is_pruned) returns `true`.
+    #[inline]
+    pub fn cause(&self, v: VertexId) -> SweepCause {
+        self.cause[v as usize]
+    }
+
+    /// Current vertex deposit of `v` (Definition 11); exposed for tests.
+    #[inline]
+    pub fn deposit(&self, v: VertexId) -> u32 {
+        self.deposit[v as usize]
+    }
+
+    /// Current group deposit of side-group `g` (Definition 13); exposed for
+    /// tests.
+    #[inline]
+    pub fn group_deposit(&self, g: usize) -> u32 {
+        self.group_deposit[g]
+    }
+
+    /// Number of swept vertices, including the source and tested vertices.
+    pub fn swept_count(&self) -> usize {
+        self.pruned.iter().filter(|&&p| p).count()
+    }
+
+    /// Runs the `SWEEP` cascade (Algorithm 4) starting from `v`, which is
+    /// known to satisfy `u ≡ₖ v` for the current source `u` (because it is the
+    /// source itself, passed a `LOC-CUT` test, or was derived by a rule).
+    ///
+    /// Does nothing if `v` is already swept.
+    pub fn sweep(&mut self, ctx: &SweepContext<'_>, v: VertexId, cause: SweepCause) {
+        if self.pruned[v as usize] {
+            return;
+        }
+        self.mark(v, cause);
+        while let Some(x) = self.worklist.pop() {
+            self.process(ctx, x);
+        }
+    }
+
+    fn mark(&mut self, v: VertexId, cause: SweepCause) {
+        self.pruned[v as usize] = true;
+        self.cause[v as usize] = cause;
+        self.worklist.push(v);
+    }
+
+    /// Applies the deposit updates and cascading rules triggered by the sweep
+    /// of `v` (lines 2–11 of Algorithm 4).
+    fn process(&mut self, ctx: &SweepContext<'_>, v: VertexId) {
+        let v_is_strong = ctx.is_strong(v);
+
+        // Neighbor sweep (lines 2-5): deposits always accumulate; the
+        // cascading sweep itself only fires when the rule set is enabled.
+        for &w in ctx.graph.neighbors(v) {
+            if self.pruned[w as usize] {
+                continue;
+            }
+            self.deposit[w as usize] += 1;
+            if ctx.neighbor_sweep {
+                if v_is_strong {
+                    self.mark(w, SweepCause::NeighborRule1);
+                } else if self.deposit[w as usize] >= ctx.k {
+                    self.mark(w, SweepCause::NeighborRule2);
+                }
+            }
+        }
+
+        // Group sweep (lines 6-11).
+        if !ctx.group_sweep {
+            return;
+        }
+        let group = ctx.group(v);
+        if group == NO_GROUP {
+            return;
+        }
+        let group = group as usize;
+        if self.group_processed[group] {
+            return;
+        }
+        self.group_deposit[group] += 1;
+        if v_is_strong || self.group_deposit[group] >= ctx.k {
+            self.group_processed[group] = true;
+            for &w in &ctx.side_groups[group] {
+                if !self.pruned[w as usize] {
+                    self.mark(w, SweepCause::GroupSweep);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    fn ctx<'a>(
+        graph: &'a UndirectedGraph,
+        k: u32,
+        strong: &'a [bool],
+        group_of: &'a [u32],
+        groups: &'a [Vec<VertexId>],
+        neighbor: bool,
+        group: bool,
+    ) -> SweepContext<'a> {
+        SweepContext {
+            graph,
+            k,
+            strong_side: strong,
+            group_of,
+            side_groups: groups,
+            neighbor_sweep: neighbor,
+            group_sweep: group,
+        }
+    }
+
+    #[test]
+    fn deposits_accumulate_without_neighbor_sweep() {
+        let g = complete(4);
+        let strong = vec![false; 4];
+        let group_of = vec![NO_GROUP; 4];
+        let c = ctx(&g, 3, &strong, &group_of, &[], false, false);
+        let mut state = SweepState::new(4, 0);
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        // Only vertex 0 is swept; its neighbours gained one deposit each.
+        assert!(state.is_pruned(0));
+        assert!(!state.is_pruned(1));
+        assert_eq!(state.deposit(1), 1);
+        assert_eq!(state.swept_count(), 1);
+    }
+
+    #[test]
+    fn deposit_rule_cascades_once_threshold_reached() {
+        // Star-of-cliques shape: vertex 4 is adjacent to 0,1,2; k = 3.
+        let g = UndirectedGraph::from_edges(
+            5,
+            vec![(0, 1), (1, 2), (0, 2), (0, 4), (1, 4), (2, 4), (3, 4)],
+        )
+        .unwrap();
+        let strong = vec![false; 5];
+        let group_of = vec![NO_GROUP; 5];
+        let c = ctx(&g, 3, &strong, &group_of, &[], true, false);
+        let mut state = SweepState::new(5, 0);
+        // Sweep 0, 1, 2 as "tested": vertex 4 accumulates 3 deposits and is
+        // swept by rule 2; vertex 3 only ever sees deposits from 4.
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        state.sweep(&c, 1, SweepCause::SourceOrTested);
+        assert!(!state.is_pruned(4));
+        state.sweep(&c, 2, SweepCause::SourceOrTested);
+        assert!(state.is_pruned(4));
+        assert_eq!(state.cause(4), SweepCause::NeighborRule2);
+        assert!(!state.is_pruned(3));
+        assert_eq!(state.deposit(3), 1);
+    }
+
+    #[test]
+    fn strong_side_vertex_sweeps_all_neighbors() {
+        let g = complete(5);
+        let mut strong = vec![false; 5];
+        strong[0] = true;
+        let group_of = vec![NO_GROUP; 5];
+        let c = ctx(&g, 4, &strong, &group_of, &[], true, false);
+        let mut state = SweepState::new(5, 0);
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        for v in 1..5u32 {
+            assert!(state.is_pruned(v));
+            assert_eq!(state.cause(v), SweepCause::NeighborRule1);
+        }
+    }
+
+    #[test]
+    fn group_deposit_sweeps_whole_group() {
+        // Path 0-1-2-3-4 with a side-group {0,1,2,3,4} and k = 3. Sweeping
+        // three members triggers group-sweep rule 2 for the rest.
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let strong = vec![false; 5];
+        let group_of = vec![0; 5];
+        let groups = vec![vec![0, 1, 2, 3, 4]];
+        let c = ctx(&g, 3, &strong, &group_of, &groups, false, true);
+        let mut state = SweepState::new(5, 1);
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        state.sweep(&c, 2, SweepCause::SourceOrTested);
+        assert_eq!(state.group_deposit(0), 2);
+        assert!(!state.is_pruned(4));
+        state.sweep(&c, 4, SweepCause::SourceOrTested);
+        assert!(state.is_pruned(1));
+        assert!(state.is_pruned(3));
+        assert_eq!(state.cause(1), SweepCause::GroupSweep);
+        assert_eq!(state.cause(3), SweepCause::GroupSweep);
+    }
+
+    #[test]
+    fn group_rule1_fires_on_strong_side_member() {
+        let g = complete(6);
+        let mut strong = vec![false; 6];
+        strong[2] = true;
+        let group_of = vec![0; 6];
+        let groups = vec![vec![0, 1, 2, 3, 4, 5]];
+        // Neighbor sweep disabled: only the group rule may cascade.
+        let c = ctx(&g, 5, &strong, &group_of, &groups, false, true);
+        let mut state = SweepState::new(6, 1);
+        state.sweep(&c, 2, SweepCause::SourceOrTested);
+        for v in 0..6u32 {
+            assert!(state.is_pruned(v), "vertex {v} should be swept via the group");
+        }
+    }
+
+    #[test]
+    fn sweeping_twice_is_idempotent() {
+        let g = complete(3);
+        let strong = vec![false; 3];
+        let group_of = vec![NO_GROUP; 3];
+        let c = ctx(&g, 2, &strong, &group_of, &[], true, false);
+        let mut state = SweepState::new(3, 0);
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        let deposits_before: Vec<u32> = (0..3).map(|v| state.deposit(v)).collect();
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        let deposits_after: Vec<u32> = (0..3).map(|v| state.deposit(v)).collect();
+        assert_eq!(deposits_before, deposits_after);
+    }
+
+    #[test]
+    fn combined_rules_interact() {
+        // Group sweep of a side-group should in turn deposit into neighbours
+        // outside the group (Example 10 of the paper).
+        let mut edges = Vec::new();
+        // Group: clique {0,1,2,3}; outside vertex 4 adjacent to 1,2,3.
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                edges.push((i, j));
+            }
+        }
+        edges.extend([(1, 4), (2, 4), (3, 4)]);
+        let g = UndirectedGraph::from_edges(5, edges).unwrap();
+        let strong = vec![false; 5];
+        let group_of = vec![0, 0, 0, 0, NO_GROUP];
+        let groups = vec![vec![0, 1, 2, 3]];
+        let c = ctx(&g, 3, &strong, &group_of, &groups, true, true);
+        let mut state = SweepState::new(5, 1);
+        state.sweep(&c, 0, SweepCause::SourceOrTested);
+        state.sweep(&c, 1, SweepCause::SourceOrTested);
+        state.sweep(&c, 2, SweepCause::SourceOrTested);
+        // Vertex 3 is swept either by its deposit reaching k or by the group
+        // deposit reaching k (both thresholds trip on the third sweep); its
+        // own sweep then deposits into vertex 4, which reaches k as well.
+        assert!(state.is_pruned(3));
+        assert!(matches!(
+            state.cause(3),
+            SweepCause::NeighborRule2 | SweepCause::GroupSweep
+        ));
+        assert!(state.is_pruned(4));
+        assert_eq!(state.cause(4), SweepCause::NeighborRule2);
+    }
+}

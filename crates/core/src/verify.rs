@@ -1,0 +1,221 @@
+//! Verification of enumeration results.
+//!
+//! These checks mirror the correctness lemmas of §3.2:
+//!
+//! * every reported component is k-vertex connected (Lemma 1);
+//! * no component is contained in (or equal to) another, and any two
+//!   components overlap in fewer than `k` vertices (Lemma 3 / Property 1);
+//! * optionally, no component can be extended by a single adjacent vertex and
+//!   stay k-vertex connected (a necessary condition of maximality that catches
+//!   completeness bugs cheaply).
+//!
+//! The routines use the exact flow-based connectivity tests of `kvcc-flow`, so
+//! they are intended for tests and moderate graph sizes, not for production
+//! runs on full web graphs.
+
+use kvcc_flow::is_k_vertex_connected;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use crate::result::KvccResult;
+
+/// Ways in which a claimed result can be wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerificationError {
+    /// Component `index` is not k-vertex connected.
+    NotKConnected {
+        /// Index of the offending component in the result.
+        index: usize,
+    },
+    /// Components `first` and `second` overlap in `overlap >= k` vertices,
+    /// violating Property 1 (this also catches duplicated or nested
+    /// components).
+    OverlapTooLarge {
+        /// Index of the first component.
+        first: usize,
+        /// Index of the second component.
+        second: usize,
+        /// Number of shared vertices.
+        overlap: usize,
+    },
+    /// Component `index` stays k-vertex connected after adding `vertex`, so it
+    /// was not maximal.
+    NotMaximal {
+        /// Index of the offending component.
+        index: usize,
+        /// A vertex that could have been added.
+        vertex: VertexId,
+    },
+    /// A component contains a vertex id that does not exist in the graph.
+    VertexOutOfRange {
+        /// Index of the offending component.
+        index: usize,
+        /// The out-of-range vertex id.
+        vertex: VertexId,
+    },
+}
+
+impl std::fmt::Display for VerificationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerificationError::NotKConnected { index } => {
+                write!(f, "component {index} is not k-vertex connected")
+            }
+            VerificationError::OverlapTooLarge { first, second, overlap } => write!(
+                f,
+                "components {first} and {second} overlap in {overlap} vertices (must be < k)"
+            ),
+            VerificationError::NotMaximal { index, vertex } => {
+                write!(f, "component {index} is not maximal: vertex {vertex} can be added")
+            }
+            VerificationError::VertexOutOfRange { index, vertex } => {
+                write!(f, "component {index} references non-existent vertex {vertex}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerificationError {}
+
+/// Verifies connectivity and overlap of every reported component.
+///
+/// Set `check_maximality` to also attempt single-vertex extensions of every
+/// component (more expensive; quadratic in the neighbourhood sizes).
+pub fn verify_kvccs(
+    g: &UndirectedGraph,
+    result: &KvccResult,
+    check_maximality: bool,
+) -> Result<(), VerificationError> {
+    let k = result.k();
+    let components = result.components();
+
+    for (index, comp) in components.iter().enumerate() {
+        if let Some(&v) = comp.vertices().iter().find(|&&v| v as usize >= g.num_vertices()) {
+            return Err(VerificationError::VertexOutOfRange { index, vertex: v });
+        }
+        let sub = comp.induced_subgraph(g);
+        if !is_k_vertex_connected(&sub.graph, k) {
+            return Err(VerificationError::NotKConnected { index });
+        }
+    }
+
+    for i in 0..components.len() {
+        for j in (i + 1)..components.len() {
+            let overlap = components[i].overlap(&components[j]);
+            if overlap >= k as usize {
+                return Err(VerificationError::OverlapTooLarge { first: i, second: j, overlap });
+            }
+        }
+    }
+
+    if check_maximality {
+        for (index, comp) in components.iter().enumerate() {
+            if let Some(vertex) = find_extension(g, comp.vertices(), k) {
+                return Err(VerificationError::NotMaximal { index, vertex });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Looks for a vertex outside `members` whose addition keeps the induced
+/// subgraph k-vertex connected. Only vertices with at least `k` neighbours
+/// inside the component can possibly qualify (they would otherwise have degree
+/// `< k` in the extended subgraph).
+fn find_extension(g: &UndirectedGraph, members: &[VertexId], k: u32) -> Option<VertexId> {
+    let member_set: std::collections::HashSet<VertexId> = members.iter().copied().collect();
+    let mut candidates: Vec<VertexId> = Vec::new();
+    let mut seen: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
+    for &m in members {
+        for &w in g.neighbors(m) {
+            if !member_set.contains(&w) && seen.insert(w) {
+                let inside = g.neighbors(w).iter().filter(|&&x| member_set.contains(&x)).count();
+                if inside >= k as usize {
+                    candidates.push(w);
+                }
+            }
+        }
+    }
+    for candidate in candidates {
+        let mut extended = members.to_vec();
+        extended.push(candidate);
+        let sub = g.induced_subgraph(&extended);
+        if is_k_vertex_connected(&sub.graph, k) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{KVertexConnectedComponent, KvccResult};
+    use crate::stats::EnumerationStats;
+
+    fn two_triangles() -> UndirectedGraph {
+        UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+            .unwrap()
+    }
+
+    fn result_with(k: u32, comps: Vec<Vec<VertexId>>) -> KvccResult {
+        KvccResult::new(
+            k,
+            comps.into_iter().map(KVertexConnectedComponent::new).collect(),
+            EnumerationStats::default(),
+        )
+    }
+
+    #[test]
+    fn accepts_the_correct_answer() {
+        let g = two_triangles();
+        let r = result_with(2, vec![vec![0, 1, 2], vec![2, 3, 4]]);
+        assert_eq!(verify_kvccs(&g, &r, true), Ok(()));
+    }
+
+    #[test]
+    fn rejects_non_connected_components() {
+        let g = two_triangles();
+        let r = result_with(2, vec![vec![0, 1, 3]]);
+        assert_eq!(
+            verify_kvccs(&g, &r, false),
+            Err(VerificationError::NotKConnected { index: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_excessive_overlap() {
+        let g = UndirectedGraph::from_edges(
+            4,
+            vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (0, 3)],
+        )
+        .unwrap();
+        // K4 reported twice with overlapping triangles: overlap 2 >= k = 2.
+        let r = result_with(2, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+        let err = verify_kvccs(&g, &r, false).unwrap_err();
+        assert!(matches!(err, VerificationError::OverlapTooLarge { overlap: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_non_maximal_components() {
+        // K4: the only 2-VCC is the whole graph; a reported triangle is not
+        // maximal.
+        let g = UndirectedGraph::from_edges(
+            4,
+            vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (0, 3)],
+        )
+        .unwrap();
+        let r = result_with(2, vec![vec![0, 1, 2]]);
+        assert_eq!(verify_kvccs(&g, &r, false), Ok(()));
+        let err = verify_kvccs(&g, &r, true).unwrap_err();
+        assert!(matches!(err, VerificationError::NotMaximal { index: 0, vertex: 3 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let g = two_triangles();
+        let r = result_with(2, vec![vec![0, 1, 99]]);
+        let err = verify_kvccs(&g, &r, false).unwrap_err();
+        assert!(matches!(err, VerificationError::VertexOutOfRange { vertex: 99, .. }));
+        assert!(err.to_string().contains("99"));
+    }
+}

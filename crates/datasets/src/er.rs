@@ -1,0 +1,110 @@
+//! Erdős–Rényi random graphs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kvcc_graph::{GraphBuilder, UndirectedGraph, VertexId};
+
+/// G(n, p): every pair of vertices is connected independently with
+/// probability `p`. Deterministic for a fixed `seed`.
+///
+/// Uses the geometric skipping technique, so the cost is proportional to the
+/// number of generated edges rather than to `n²`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> UndirectedGraph {
+    assert!((0.0..=1.0).contains(&p), "probability must be within [0, 1]");
+    let mut builder = GraphBuilder::new().with_vertices(n);
+    if n < 2 || p <= 0.0 {
+        return builder.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                builder.add_edge(u, v);
+            }
+        }
+        return builder.build();
+    }
+    // Iterate over the implicit list of all pairs, skipping geometrically.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            builder.add_edge(w as VertexId, v as VertexId);
+        }
+    }
+    builder.build()
+}
+
+/// G(n, m): exactly `m` distinct edges chosen uniformly at random (or every
+/// possible edge when `m` exceeds the number of pairs).
+pub fn gnm(n: usize, m: usize, seed: u64) -> UndirectedGraph {
+    let mut builder = GraphBuilder::new().with_vertices(n);
+    if n < 2 {
+        return builder.build();
+    }
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen = std::collections::HashSet::with_capacity(target);
+    while chosen.len() < target {
+        let u = rng.gen_range(0..n as VertexId);
+        let v = rng.gen_range(0..n as VertexId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if chosen.insert(key) {
+            builder.add_edge(key.0, key.1);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_deterministic_and_reasonably_sized() {
+        let a = gnp(200, 0.05, 7);
+        let b = gnp(200, 0.05, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.num_vertices(), 200);
+        // Expectation is ~ 0.05 * C(200,2) = 995 edges; allow a wide margin.
+        assert!(a.num_edges() > 600 && a.num_edges() < 1400, "got {}", a.num_edges());
+        let c = gnp(200, 0.05, 8);
+        assert_ne!(a, c, "different seeds should give different graphs");
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(gnp(1, 0.5, 1).num_vertices(), 1);
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+    }
+
+    #[test]
+    fn gnm_has_exactly_m_edges() {
+        let g = gnm(100, 250, 3);
+        assert_eq!(g.num_edges(), 250);
+        assert_eq!(g.num_vertices(), 100);
+        // Asking for more edges than possible saturates at the complete graph.
+        let g = gnm(10, 1000, 3);
+        assert_eq!(g.num_edges(), 45);
+        assert_eq!(gnm(1, 5, 3).num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_is_deterministic() {
+        assert_eq!(gnm(64, 128, 42), gnm(64, 128, 42));
+    }
+}

@@ -1,0 +1,115 @@
+//! The free-rider example of Fig. 1.
+//!
+//! Four dense blocks `G1..G4` glued together so loosely that they should be
+//! reported as separate cohesive subgraphs, yet:
+//!
+//! * the 4-core merges all four blocks into one component;
+//! * the 4-ECCs merge `G1 ∪ G2 ∪ G3` (they only share a vertex or an edge, but
+//!   enough *edges* cross the seams) while `G4` stays separate;
+//! * the 4-VCCs are exactly `G1`, `G2`, `G3`, `G4`.
+//!
+//! The constructed graph uses a K6 for every block: `G1 ∩ G2` is the edge
+//! `(4, 5)`, `G2 ∩ G3` is the single vertex `9`, and `G3`–`G4` are joined by
+//! two independent edges.
+
+use kvcc_graph::{GraphBuilder, UndirectedGraph, VertexId};
+
+/// The Fig. 1 example graph plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The glued graph (21 vertices).
+    pub graph: UndirectedGraph,
+    /// The four blocks `G1..G4` as sorted vertex lists; these are exactly the
+    /// 4-VCCs of the graph.
+    pub blocks: [Vec<VertexId>; 4],
+    /// The expected 4-ECCs: `G1 ∪ G2 ∪ G3` and `G4`.
+    pub expected_4eccs: Vec<Vec<VertexId>>,
+    /// The expected single 4-core component (all vertices).
+    pub expected_4core: Vec<VertexId>,
+}
+
+/// Builds the Fig. 1 example.
+pub fn figure1_graph() -> Figure1 {
+    let mut builder = GraphBuilder::new().with_vertices(21);
+
+    // G1 = {0..5}, G2 = {4,5,6,7,8,9}, G3 = {9..14}, G4 = {15..20}.
+    let g1: Vec<VertexId> = (0..6).collect();
+    let g2: Vec<VertexId> = vec![4, 5, 6, 7, 8, 9];
+    let g3: Vec<VertexId> = (9..15).collect();
+    let g4: Vec<VertexId> = (15..21).collect();
+
+    for block in [&g1, &g2, &g3, &g4] {
+        for (i, &a) in block.iter().enumerate() {
+            for &b in &block[i + 1..] {
+                builder.add_edge(a, b);
+            }
+        }
+    }
+    // G3 and G4 are joined by two vertex-disjoint edges (no shared vertices).
+    builder.add_edge(13, 15);
+    builder.add_edge(14, 16);
+
+    let graph = builder.build();
+    let expected_4core: Vec<VertexId> = (0..21).collect();
+    let mut g123: Vec<VertexId> = (0..15).collect();
+    g123.sort_unstable();
+
+    Figure1 {
+        graph,
+        blocks: [g1, g2, g3, g4.clone()],
+        expected_4eccs: vec![g123, g4],
+        expected_4core,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcc_flow::{global_vertex_connectivity, is_k_vertex_connected};
+
+    #[test]
+    fn blocks_are_4_connected_k6s() {
+        let fig = figure1_graph();
+        for block in &fig.blocks {
+            assert_eq!(block.len(), 6);
+            let sub = fig.graph.induced_subgraph(block);
+            assert_eq!(sub.graph.num_edges(), 15);
+            assert!(is_k_vertex_connected(&sub.graph, 4));
+            assert_eq!(global_vertex_connectivity(&sub.graph), 5);
+        }
+    }
+
+    #[test]
+    fn block_unions_are_not_4_vertex_connected() {
+        let fig = figure1_graph();
+        let union12: Vec<VertexId> = {
+            let mut v = fig.blocks[0].clone();
+            v.extend_from_slice(&fig.blocks[1]);
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let sub = fig.graph.induced_subgraph(&union12);
+        assert!(!is_k_vertex_connected(&sub.graph, 4));
+        assert!(is_k_vertex_connected(&sub.graph, 2));
+    }
+
+    #[test]
+    fn seams_match_the_paper() {
+        let fig = figure1_graph();
+        // G1 and G2 share exactly the edge (4,5).
+        let shared12: Vec<_> =
+            fig.blocks[0].iter().filter(|v| fig.blocks[1].contains(v)).collect();
+        assert_eq!(shared12.len(), 2);
+        assert!(fig.graph.has_edge(4, 5));
+        // G2 and G3 share exactly vertex 9.
+        let shared23: Vec<_> =
+            fig.blocks[1].iter().filter(|v| fig.blocks[2].contains(v)).collect();
+        assert_eq!(shared23.len(), 1);
+        // G3 and G4 share nothing but are joined by two edges.
+        let shared34: Vec<_> =
+            fig.blocks[2].iter().filter(|v| fig.blocks[3].contains(v)).collect();
+        assert!(shared34.is_empty());
+        assert!(fig.graph.has_edge(13, 15) && fig.graph.has_edge(14, 16));
+    }
+}

@@ -1,0 +1,92 @@
+//! Harary graphs: minimal k-vertex-connected circulants.
+//!
+//! The Harary graph `H(k, n)` is the k-vertex-connected graph on `n` vertices
+//! with the fewest possible edges (`⌈k·n/2⌉`). The planted-community generator
+//! uses it as a *guaranteed* k-connected skeleton, so the ground truth of a
+//! synthetic dataset never depends on a probabilistic argument.
+
+use kvcc_graph::{GraphBuilder, UndirectedGraph, VertexId};
+
+/// Builds the Harary graph `H(k, n)`.
+///
+/// Construction (the classical one):
+/// * place the `n` vertices on a circle;
+/// * connect every vertex to its `⌊k/2⌋` nearest neighbours on each side;
+/// * if `k` is odd, additionally connect every vertex `i` to the opposite
+///   vertex `i + n/2` (requires even `n`; for odd `n` the standard
+///   construction connects vertex `i` to `i + (n+1)/2` for the first half,
+///   which is what this implementation does).
+///
+/// # Panics
+///
+/// Panics when `k >= n` (no k-connected graph on `n <= k` vertices exists).
+pub fn harary(k: usize, n: usize) -> UndirectedGraph {
+    assert!(k < n, "H(k, n) requires k < n (got k = {k}, n = {n})");
+    let mut builder = GraphBuilder::new().with_vertices(n);
+    if n == 0 || k == 0 {
+        return builder.build();
+    }
+    let half = k / 2;
+    for i in 0..n {
+        for d in 1..=half {
+            let j = (i + d) % n;
+            builder.add_edge(i as VertexId, j as VertexId);
+        }
+    }
+    if k % 2 == 1 {
+        if n.is_multiple_of(2) {
+            for i in 0..n / 2 {
+                builder.add_edge(i as VertexId, (i + n / 2) as VertexId);
+            }
+        } else {
+            // Odd n: connect i to i + (n+1)/2 for i in 0..=(n-1)/2, giving one
+            // vertex (vertex 0's partner region) an extra edge as in Harary's
+            // original construction.
+            let offset = n.div_ceil(2);
+            for i in 0..=(n / 2) {
+                builder.add_edge(i as VertexId, ((i + offset) % n) as VertexId);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcc_flow::global_vertex_connectivity;
+
+    #[test]
+    fn harary_graphs_are_exactly_k_connected() {
+        for &(k, n) in &[(2usize, 7usize), (3, 8), (3, 9), (4, 10), (5, 12), (6, 13)] {
+            let g = harary(k, n);
+            assert_eq!(g.num_vertices(), n);
+            let conn = global_vertex_connectivity(&g) as usize;
+            assert!(
+                conn >= k,
+                "H({k},{n}) must be at least {k}-connected, got {conn}"
+            );
+            // Minimality: edge count is ceil(k*n/2) except for the odd-k,
+            // odd-n case which may carry one extra edge.
+            let expected = (k * n).div_ceil(2);
+            assert!(
+                g.num_edges() == expected || g.num_edges() == expected + 1,
+                "H({k},{n}) has {} edges, expected about {expected}",
+                g.num_edges()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        assert_eq!(harary(0, 5).num_edges(), 0);
+        let g = harary(1, 4);
+        assert!(g.num_edges() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires k < n")]
+    fn rejects_k_not_smaller_than_n() {
+        let _ = harary(5, 5);
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload generators for the k-VCC enumeration library.
+//!
+//! The paper evaluates on seven SNAP graphs that cannot be redistributed with
+//! this repository, so every experiment harness accepts either a real SNAP
+//! edge list (via `kvcc-graph::io`) or one of the deterministic synthetic
+//! stand-ins generated here. The generators are chosen to reproduce the
+//! structural features the algorithms are sensitive to — heavy-tailed degree
+//! distributions, locally dense overlapping communities, and large sparse
+//! peripheries that the k-core pruning removes.
+//!
+//! * [`er`] / [`ba`] / [`webgraph`] — classic random-graph models
+//!   (Erdős–Rényi, Barabási–Albert, copying model).
+//! * [`harary`] — minimal k-connected circulant graphs, the building block
+//!   that guarantees planted communities really are k-vertex connected.
+//! * [`planted`] — overlapping dense communities embedded in a sparse
+//!   background, with ground truth.
+//! * [`collaboration`] — DBLP-style co-authorship graphs for the §6.4 case
+//!   study.
+//! * [`figure1`] — the free-rider example of Fig. 1.
+//! * [`suite`] — the seven named dataset stand-ins of Table 1.
+//! * [`sampling`] — vertex / edge sampling used by the scalability study
+//!   (§6.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod collaboration;
+pub mod er;
+pub mod figure1;
+pub mod harary;
+pub mod planted;
+pub mod sampling;
+pub mod suite;
+pub mod webgraph;
+
+pub use figure1::{figure1_graph, Figure1};
+pub use planted::{PlantedConfig, PlantedGraph};
+pub use suite::{SuiteDataset, SuiteScale};

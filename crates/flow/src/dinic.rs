@@ -1,0 +1,281 @@
+//! Dinic's max-flow algorithm with early termination.
+//!
+//! The k-VCC enumeration never needs to know a local connectivity value beyond
+//! `k`: as soon as `k` units of flow have been routed the pair is known to be
+//! "k-local-connected" (`u ≡ₖ v`) and the computation stops. On the
+//! vertex-split flow graph every augmenting path carries exactly one unit, so
+//! the cost per `LOC-CUT` call is `O(min(√n, k) · m)` (Lemma 6 of the paper).
+
+use crate::network::{FlowNetwork, NodeId};
+
+/// Level assigned to nodes that the residual BFS did not reach.
+const UNREACHED: u32 = u32::MAX;
+
+/// Reusable scratch space for repeated max-flow computations on the same
+/// network, avoiding per-query allocations (the enumeration issues thousands
+/// of `LOC-CUT` calls per `GLOBAL-CUT`).
+#[derive(Clone, Debug, Default)]
+pub struct DinicScratch {
+    level: Vec<u32>,
+    iter: Vec<usize>,
+    queue: Vec<NodeId>,
+    path: Vec<u32>,
+}
+
+impl DinicScratch {
+    /// Creates scratch space sized for `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        DinicScratch {
+            level: vec![UNREACHED; num_nodes],
+            iter: vec![0; num_nodes],
+            queue: Vec::with_capacity(num_nodes),
+            path: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, num_nodes: usize) {
+        if self.level.len() != num_nodes {
+            self.level = vec![UNREACHED; num_nodes];
+            self.iter = vec![0; num_nodes];
+        }
+    }
+}
+
+/// Computes a maximum flow from `source` to `sink`, stopping early once
+/// `limit` units have been routed. Returns the amount of flow found
+/// (`<= limit`).
+///
+/// The network is left in its residual state so that the caller can extract a
+/// minimum cut (see [`crate::mincut`]); call [`FlowNetwork::reset`] before the
+/// next query.
+pub fn max_flow(net: &mut FlowNetwork, source: NodeId, sink: NodeId, limit: u32) -> u32 {
+    let mut scratch = DinicScratch::new(net.num_nodes());
+    max_flow_with_scratch(net, source, sink, limit, &mut scratch)
+}
+
+/// [`max_flow`] variant that reuses caller-provided scratch buffers.
+pub fn max_flow_with_scratch(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    limit: u32,
+    scratch: &mut DinicScratch,
+) -> u32 {
+    if source == sink || limit == 0 {
+        return 0;
+    }
+    scratch.ensure(net.num_nodes());
+    let mut flow = 0u32;
+    while flow < limit {
+        if !build_levels(net, source, sink, scratch) {
+            break;
+        }
+        scratch.iter.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let pushed = blocking_path(net, source, sink, limit - flow, scratch);
+            if pushed == 0 {
+                break;
+            }
+            flow += pushed;
+            if flow >= limit {
+                break;
+            }
+        }
+    }
+    flow
+}
+
+/// Residual BFS from `source`; returns `true` when `sink` is reachable.
+fn build_levels(
+    net: &FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    scratch: &mut DinicScratch,
+) -> bool {
+    scratch.level.iter_mut().for_each(|l| *l = UNREACHED);
+    scratch.queue.clear();
+    scratch.level[source as usize] = 0;
+    scratch.queue.push(source);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        let lu = scratch.level[u as usize];
+        for &a in net.arcs_from(u) {
+            if net.residual(a) == 0 {
+                continue;
+            }
+            let v = net.arc_head(a);
+            if scratch.level[v as usize] == UNREACHED {
+                scratch.level[v as usize] = lu + 1;
+                scratch.queue.push(v);
+            }
+        }
+    }
+    scratch.level[sink as usize] != UNREACHED
+}
+
+/// Finds one augmenting path in the level graph (iterative DFS with the
+/// current-arc optimisation) and pushes its bottleneck flow. Returns the
+/// amount pushed (0 when the level graph is exhausted).
+fn blocking_path(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    limit: u32,
+    scratch: &mut DinicScratch,
+) -> u32 {
+    scratch.path.clear();
+    let mut current = source;
+    loop {
+        if current == sink {
+            // Bottleneck along the path.
+            let mut bottleneck = limit;
+            for &a in &scratch.path {
+                bottleneck = bottleneck.min(net.residual(a));
+            }
+            for &a in &scratch.path {
+                net.push(a, bottleneck);
+            }
+            return bottleneck;
+        }
+        let mut advanced = false;
+        while scratch.iter[current as usize] < net.arcs_from(current).len() {
+            let a = net.arcs_from(current)[scratch.iter[current as usize]];
+            let v = net.arc_head(a);
+            if net.residual(a) > 0
+                && scratch.level[v as usize] == scratch.level[current as usize] + 1
+            {
+                scratch.path.push(a);
+                current = v;
+                advanced = true;
+                break;
+            }
+            scratch.iter[current as usize] += 1;
+        }
+        if advanced {
+            continue;
+        }
+        // Dead end: retreat.
+        scratch.level[current as usize] = UNREACHED;
+        match scratch.path.pop() {
+            Some(last) => {
+                // The tail of `last` is where we retreat to; advance its
+                // current-arc pointer past the dead arc.
+                let tail = net.arc_head(last ^ 1);
+                scratch.iter[tail as usize] += 1;
+                current = tail;
+            }
+            None => return 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::INFINITE_CAPACITY;
+
+    /// Classic small network with max flow 23 (CLRS-style example).
+    fn clrs_network() -> (FlowNetwork, NodeId, NodeId) {
+        let mut net = FlowNetwork::new(6);
+        net.add_arc(0, 1, 16);
+        net.add_arc(0, 2, 13);
+        net.add_arc(1, 2, 10);
+        net.add_arc(2, 1, 4);
+        net.add_arc(1, 3, 12);
+        net.add_arc(3, 2, 9);
+        net.add_arc(2, 4, 14);
+        net.add_arc(4, 3, 7);
+        net.add_arc(3, 5, 20);
+        net.add_arc(4, 5, 4);
+        (net, 0, 5)
+    }
+
+    #[test]
+    fn clrs_max_flow_is_23() {
+        let (mut net, s, t) = clrs_network();
+        assert_eq!(max_flow(&mut net, s, t, u32::MAX / 2), 23);
+    }
+
+    #[test]
+    fn early_termination_respects_limit() {
+        let (mut net, s, t) = clrs_network();
+        assert_eq!(max_flow(&mut net, s, t, 5), 5);
+        net.reset();
+        assert_eq!(max_flow(&mut net, s, t, 23), 23);
+        net.reset();
+        assert_eq!(max_flow(&mut net, s, t, 0), 0);
+    }
+
+    #[test]
+    fn reset_allows_repeated_queries() {
+        let (mut net, s, t) = clrs_network();
+        let mut scratch = DinicScratch::new(net.num_nodes());
+        for _ in 0..3 {
+            assert_eq!(max_flow_with_scratch(&mut net, s, t, 1000, &mut scratch), 23);
+            net.reset();
+        }
+    }
+
+    #[test]
+    fn parallel_unit_paths() {
+        // Source 0, sink 5, three internally disjoint 2-hop paths.
+        let mut net = FlowNetwork::new(6);
+        for mid in 1..=3 {
+            net.add_arc(0, mid, 1);
+            net.add_arc(mid, 5, 1);
+        }
+        assert_eq!(max_flow(&mut net, 0, 5, 100), 3);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, INFINITE_CAPACITY);
+        // Node 3 is unreachable.
+        assert_eq!(max_flow(&mut net, 0, 3, 10), 0);
+        assert_eq!(max_flow(&mut net, 0, 0, 10), 0);
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let (mut net, s, t) = clrs_network();
+        let value = max_flow(&mut net, s, t, u32::MAX / 2);
+        // For every internal node, inflow equals outflow.
+        for v in 0..net.num_nodes() as NodeId {
+            if v == s || v == t {
+                continue;
+            }
+            let mut balance: i64 = 0;
+            for a in 0..net.num_arcs() as u32 {
+                if net.initial_capacity(a) == 0 {
+                    continue; // skip residual twins
+                }
+                let from = net.arc_head(a ^ 1);
+                let to = net.arc_head(a);
+                if to == v {
+                    balance += net.flow(a) as i64;
+                }
+                if from == v {
+                    balance -= net.flow(a) as i64;
+                }
+            }
+            assert_eq!(balance, 0, "conservation violated at node {v}");
+        }
+        // Net flow out of the source equals the flow value.
+        let mut out: i64 = 0;
+        for a in 0..net.num_arcs() as u32 {
+            if net.initial_capacity(a) == 0 {
+                continue;
+            }
+            if net.arc_head(a ^ 1) == s {
+                out += net.flow(a) as i64;
+            }
+            if net.arc_head(a) == s {
+                out -= net.flow(a) as i64;
+            }
+        }
+        assert_eq!(out, value as i64);
+    }
+}

@@ -1,0 +1,32 @@
+//! Max-flow / min-cut substrate for the k-VCC enumeration library.
+//!
+//! The paper reduces *local vertex connectivity* testing (`LOC-CUT`, §4.1) to
+//! max-flow on a **directed flow graph** obtained by splitting every vertex
+//! `v` into `v_in → v_out` (Fig. 3). This crate provides:
+//!
+//! * [`FlowNetwork`] — a compact residual-arc representation with paired
+//!   forward/backward arcs and cheap reset between queries.
+//! * [`dinic::max_flow`] — Dinic's algorithm with an early-termination limit
+//!   (the enumeration never needs more than `k` units of flow; Lemma 6).
+//! * [`mincut`] — residual reachability and saturated-cut extraction.
+//! * [`VertexFlowGraph`] — the vertex-splitting transformation plus
+//!   [`VertexFlowGraph::local_connectivity`], which returns either
+//!   "connectivity at least `k`" or an explicit vertex cut smaller than `k`.
+//! * [`connectivity`] — whole-graph helpers: `is_k_vertex_connected`,
+//!   `global_vertex_connectivity` and an uncertified `find_vertex_cut` used as
+//!   a test oracle for the optimised enumerator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod connectivity;
+pub mod dinic;
+pub mod mincut;
+pub mod network;
+pub mod vertex_flow;
+
+pub use connectivity::{
+    global_vertex_connectivity, is_k_vertex_connected, local_vertex_connectivity,
+};
+pub use network::{ArcId, FlowNetwork, NodeId, INFINITE_CAPACITY};
+pub use vertex_flow::{LocalConnectivity, VertexFlowGraph};

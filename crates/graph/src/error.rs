@@ -1,0 +1,81 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id that is outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices the graph was declared with.
+        num_vertices: usize,
+    },
+    /// The declared number of vertices does not fit in a [`crate::VertexId`].
+    TooManyVertices(usize),
+    /// A line of an edge-list file could not be parsed.
+    ParseError {
+        /// 1-based line number of the malformed line.
+        line: usize,
+        /// Human readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O failure while reading or writing a graph file.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::TooManyVertices(n) => {
+                write!(f, "{n} vertices exceed the u32 vertex-id space")
+            }
+            GraphError::ParseError { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(value: io::Error) -> Self {
+        GraphError::Io(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 12, num_vertices: 5 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains('5'));
+
+        let e = GraphError::ParseError { line: 3, message: "bad token".into() };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::TooManyVertices(usize::MAX);
+        assert!(e.to_string().contains("u32"));
+
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "nope").into();
+        assert!(e.to_string().contains("nope"));
+    }
+}

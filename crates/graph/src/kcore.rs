@@ -1,0 +1,199 @@
+//! k-core decomposition and k-core extraction.
+//!
+//! The k-VCC enumerator (Algorithm 1, line 2) starts every recursive call by
+//! peeling vertices of degree `< k`, because by Whitney's theorem
+//! (Theorem 3 of the paper) every k-VCC is contained in a k-core.
+
+use std::collections::VecDeque;
+
+use crate::graph::UndirectedGraph;
+use crate::graph::InducedSubgraph;
+use crate::types::VertexId;
+
+/// Computes the core number of every vertex using the linear-time
+/// bucket-peeling algorithm of Batagelj & Zaveršnik.
+///
+/// The core number of `v` is the largest `k` such that `v` belongs to the
+/// k-core of the graph.
+pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = g.degrees();
+    let max_degree = *degree.iter().max().unwrap_or(&0);
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as VertexId; n];
+    {
+        let mut next = bin.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = next[d];
+            vert[next[d]] = v as VertexId;
+            next[d] += 1;
+        }
+    }
+
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize] as u32;
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if degree[u] > degree[v as usize] {
+                let du = degree[u];
+                let pu = pos[u];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w as usize {
+                    // Swap u and w inside the bucket array.
+                    pos[u] = pw;
+                    pos[w as usize] = pu;
+                    vert[pu] = w;
+                    vert[pw] = u as VertexId;
+                }
+                bin[du] += 1;
+                degree[u] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Returns the vertices of the k-core (possibly empty), i.e. the maximal set
+/// of vertices inducing a subgraph of minimum degree `>= k`.
+///
+/// Implemented by iterative peeling, which matches line 2 of Algorithm 1 and
+/// is robust for repeated use on already-small partitioned subgraphs.
+pub fn k_core_vertices(g: &UndirectedGraph, k: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = g.degrees();
+    let mut removed = vec![false; n];
+    let mut queue: VecDeque<VertexId> = VecDeque::new();
+    for v in 0..n {
+        if degree[v] < k {
+            removed[v] = true;
+            queue.push_back(v as VertexId);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if !removed[v] {
+                degree[v] -= 1;
+                if degree[v] < k {
+                    removed[v] = true;
+                    queue.push_back(v as VertexId);
+                }
+            }
+        }
+    }
+    (0..n as VertexId).filter(|&v| !removed[v as usize]).collect()
+}
+
+/// Extracts the k-core as an [`InducedSubgraph`] (relabelled vertices plus the
+/// mapping back to the input graph). Returns `None` when the k-core is empty.
+pub fn k_core_subgraph(g: &UndirectedGraph, k: usize) -> Option<InducedSubgraph> {
+    let vertices = k_core_vertices(g, k);
+    if vertices.is_empty() {
+        None
+    } else {
+        Some(g.induced_subgraph(&vertices))
+    }
+}
+
+/// The degeneracy of the graph: the largest `k` for which a non-empty k-core
+/// exists (0 for the empty graph).
+pub fn degeneracy(g: &UndirectedGraph) -> u32 {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clique of size `c` with a pendant path of length `p` attached.
+    fn clique_with_tail(c: usize, p: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..c as VertexId {
+            for j in (i + 1)..c as VertexId {
+                edges.push((i, j));
+            }
+        }
+        let mut prev = 0 as VertexId;
+        for t in 0..p as VertexId {
+            let v = c as VertexId + t;
+            edges.push((prev, v));
+            prev = v;
+        }
+        UndirectedGraph::from_edges(c + p, edges).unwrap()
+    }
+
+    #[test]
+    fn core_numbers_of_clique_with_tail() {
+        let g = clique_with_tail(5, 3);
+        let core = core_numbers(&g);
+        for (v, &c) in core.iter().enumerate().take(5) {
+            assert_eq!(c, 4, "clique vertex {v}");
+        }
+        for (v, &c) in core.iter().enumerate().skip(5) {
+            assert_eq!(c, 1, "tail vertex {v}");
+        }
+        assert_eq!(degeneracy(&g), 4);
+    }
+
+    #[test]
+    fn k_core_vertices_peels_correctly() {
+        let g = clique_with_tail(5, 3);
+        assert_eq!(k_core_vertices(&g, 2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(k_core_vertices(&g, 4), vec![0, 1, 2, 3, 4]);
+        assert!(k_core_vertices(&g, 5).is_empty());
+        assert_eq!(k_core_vertices(&g, 1).len(), 8);
+    }
+
+    #[test]
+    fn k_core_subgraph_maps_back() {
+        let g = clique_with_tail(4, 2);
+        let sub = k_core_subgraph(&g, 3).unwrap();
+        assert_eq!(sub.graph.num_vertices(), 4);
+        assert_eq!(sub.graph.num_edges(), 6);
+        assert_eq!(sub.to_parent, vec![0, 1, 2, 3]);
+        assert!(k_core_subgraph(&g, 4).is_none());
+    }
+
+    #[test]
+    fn core_numbers_match_peeling_definition() {
+        // For every k, the set {v : core[v] >= k} must equal the k-core.
+        let g = clique_with_tail(6, 4);
+        let core = core_numbers(&g);
+        for k in 0..=6usize {
+            let by_core: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+                .filter(|&v| core[v as usize] as usize >= k)
+                .collect();
+            assert_eq!(by_core, k_core_vertices(&g, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = UndirectedGraph::new(0);
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+        let g = UndirectedGraph::new(3);
+        assert_eq!(core_numbers(&g), vec![0, 0, 0]);
+        assert_eq!(k_core_vertices(&g, 0).len(), 3);
+        assert!(k_core_vertices(&g, 1).is_empty());
+    }
+}

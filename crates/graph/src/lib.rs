@@ -1,0 +1,39 @@
+//! Undirected graph substrate for the k-VCC enumeration library.
+//!
+//! This crate provides the graph data structures and classic graph algorithms
+//! that the paper *"Enumerating k-Vertex Connected Components in Large Graphs"*
+//! (Wen et al., ICDE 2019) relies on:
+//!
+//! * [`UndirectedGraph`] — a compact, sorted adjacency-list representation with
+//!   `u32` vertex identifiers, cheap induced-subgraph extraction and id
+//!   remapping ([`graph::InducedSubgraph`]).
+//! * [`GraphBuilder`] — tolerant construction from arbitrary edge lists
+//!   (duplicate edges and self-loops are dropped, isolated vertices kept).
+//! * [`traversal`] — BFS distances, connected components, reachability.
+//! * [`kcore`] — linear-time core decomposition and k-core extraction
+//!   (Algorithm 1, line 2 of the paper).
+//! * [`scan_first`] — scan-first-search forests (building block of the sparse
+//!   certificate of §4.2).
+//! * [`metrics`] — diameter, edge density and clustering coefficient used by
+//!   the effectiveness study (Figs. 7–9).
+//! * [`io`] — SNAP-style edge-list reading and writing (Table 1 datasets).
+//!
+//! The crate has no third-party runtime dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod error;
+pub mod graph;
+pub mod io;
+pub mod kcore;
+pub mod metrics;
+pub mod scan_first;
+pub mod traversal;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{InducedSubgraph, UndirectedGraph};
+pub use types::{VertexId, INVALID_VERTEX};

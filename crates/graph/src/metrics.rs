@@ -1,0 +1,216 @@
+//! Graph cohesion metrics used in the effectiveness study (§6.1).
+//!
+//! The paper compares k-VCCs against k-cores and k-ECCs using three measures:
+//! diameter (Eq. 1), edge density (Eq. 4) and clustering coefficient
+//! (Eqs. 5–6). Exact diameter computation is quadratic, so an estimator based
+//! on repeated double sweeps is provided for large components.
+
+use crate::graph::UndirectedGraph;
+use crate::traversal::{bfs_distances, UNREACHABLE};
+use crate::types::VertexId;
+
+/// Exact diameter: the longest shortest path over all reachable pairs.
+///
+/// Runs one BFS per vertex (`O(n·m)`); intended for the moderately sized
+/// components produced by the enumeration, not for whole web graphs. For a
+/// graph with fewer than two vertices the diameter is 0. Pairs in different
+/// components are ignored (the paper only evaluates connected subgraphs).
+pub fn diameter_exact(g: &UndirectedGraph) -> u32 {
+    let mut best = 0;
+    for v in g.vertices() {
+        let d = bfs_distances(g, v);
+        for x in d {
+            if x != UNREACHABLE && x > best {
+                best = x;
+            }
+        }
+    }
+    best
+}
+
+/// Lower-bound diameter estimate via repeated double sweeps.
+///
+/// Starting from `seeds` evenly spread vertices, each sweep runs a BFS, jumps
+/// to the farthest vertex found and runs a second BFS from there; the largest
+/// eccentricity observed is returned. For small graphs
+/// (`n <= exact_threshold`) the exact diameter is computed instead.
+pub fn diameter_estimate(g: &UndirectedGraph, seeds: usize, exact_threshold: usize) -> u32 {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return 0;
+    }
+    if n <= exact_threshold {
+        return diameter_exact(g);
+    }
+    let seeds = seeds.max(1);
+    let mut best = 0;
+    for i in 0..seeds {
+        let start = ((i * n) / seeds) as VertexId;
+        let d1 = bfs_distances(g, start);
+        let (far, ecc) = farthest(&d1);
+        best = best.max(ecc);
+        if ecc == 0 {
+            continue;
+        }
+        let d2 = bfs_distances(g, far);
+        let (_, ecc2) = farthest(&d2);
+        best = best.max(ecc2);
+    }
+    best
+}
+
+fn farthest(dist: &[u32]) -> (VertexId, u32) {
+    let mut far = 0 as VertexId;
+    let mut best = 0u32;
+    for (v, &d) in dist.iter().enumerate() {
+        if d != UNREACHABLE && d > best {
+            best = d;
+            far = v as VertexId;
+        }
+    }
+    (far, best)
+}
+
+/// Edge density (Eq. 4): `2m / (n (n-1))`. Defined as 0 for graphs with fewer
+/// than two vertices.
+pub fn edge_density(g: &UndirectedGraph) -> f64 {
+    let n = g.num_vertices() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    2.0 * g.num_edges() as f64 / (n * (n - 1.0))
+}
+
+/// Local clustering coefficient of `v` (Eq. 5): the fraction of pairs of
+/// neighbours of `v` that are themselves adjacent. Vertices of degree `< 2`
+/// have coefficient 0.
+pub fn local_clustering(g: &UndirectedGraph, v: VertexId) -> f64 {
+    let neigh = g.neighbors(v);
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut triangles = 0usize;
+    for (i, &a) in neigh.iter().enumerate() {
+        for &b in &neigh[i + 1..] {
+            if g.has_edge(a, b) {
+                triangles += 1;
+            }
+        }
+    }
+    2.0 * triangles as f64 / (d as f64 * (d as f64 - 1.0))
+}
+
+/// Average clustering coefficient of the graph (Eq. 6).
+pub fn average_clustering(g: &UndirectedGraph) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g.vertices().map(|v| local_clustering(g, v)).sum();
+    sum / n as f64
+}
+
+/// Total number of triangles in the graph.
+///
+/// Counted by intersecting the adjacency lists of the endpoints of every edge
+/// and dividing by 3; `O(sum of d(u)+d(v) over edges)`.
+pub fn triangle_count(g: &UndirectedGraph) -> usize {
+    let mut total = 0usize;
+    for (u, v) in g.edges() {
+        total += g.common_neighbor_count(u, v);
+    }
+    total / 3
+}
+
+/// Summary statistics for a dataset row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStatistics {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Average degree `2m/n` (the paper's "Density" column).
+    pub density: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+}
+
+/// Computes the Table-1 style statistics of a graph.
+pub fn graph_statistics(g: &UndirectedGraph) -> GraphStatistics {
+    GraphStatistics {
+        num_vertices: g.num_vertices(),
+        num_edges: g.num_edges(),
+        density: g.average_degree(),
+        max_degree: g.max_degree(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(n: usize) -> UndirectedGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as VertexId {
+            for j in (i + 1)..n as VertexId {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(n, edges).unwrap()
+    }
+
+    fn path(n: usize) -> UndirectedGraph {
+        UndirectedGraph::from_edges(n, (0..n as VertexId - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn diameter_of_path_and_clique() {
+        assert_eq!(diameter_exact(&path(6)), 5);
+        assert_eq!(diameter_exact(&complete(5)), 1);
+        assert_eq!(diameter_exact(&UndirectedGraph::new(1)), 0);
+        assert_eq!(diameter_exact(&UndirectedGraph::new(0)), 0);
+    }
+
+    #[test]
+    fn diameter_estimate_is_exact_on_paths() {
+        // Double sweep is exact on trees.
+        let g = path(50);
+        assert_eq!(diameter_estimate(&g, 2, 10), 49);
+        // Below the threshold it falls back to the exact algorithm.
+        assert_eq!(diameter_estimate(&path(8), 1, 100), 7);
+    }
+
+    #[test]
+    fn density_of_clique_is_one() {
+        assert!((edge_density(&complete(6)) - 1.0).abs() < 1e-12);
+        assert!(edge_density(&path(6)) < 0.5);
+        assert_eq!(edge_density(&UndirectedGraph::new(1)), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_clique_and_star() {
+        assert!((average_clustering(&complete(5)) - 1.0).abs() < 1e-12);
+        // Star: the centre has clustering 0, leaves have degree 1 -> 0.
+        let star = UndirectedGraph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        assert_eq!(average_clustering(&star), 0.0);
+        assert_eq!(local_clustering(&star, 0), 0.0);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&complete(4)), 4);
+        assert_eq!(triangle_count(&complete(5)), 10);
+        assert_eq!(triangle_count(&path(5)), 0);
+    }
+
+    #[test]
+    fn statistics_row() {
+        let g = complete(4);
+        let s = graph_statistics(&g);
+        assert_eq!(s.num_vertices, 4);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.density - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! Scan-first search forests (Cheriyan, Kao & Thurimella).
+//!
+//! A *scan-first search* marks all neighbours of the vertex currently being
+//! scanned and then scans any marked-but-unscanned vertex next; breadth-first
+//! search is the special case the paper uses (§4.2, Example 5). The edges used
+//! to mark vertices form a spanning forest, and the union of `k` successive
+//! forests — each computed on the graph minus the previously selected edges —
+//! is a sparse certificate for k-vertex connectivity (Theorem 5).
+//!
+//! This module provides the single-forest primitive; the full certificate
+//! (which also extracts the side-groups of §5.2) lives in the `kvcc` core
+//! crate because it is part of the paper's contribution.
+
+use std::collections::VecDeque;
+
+use crate::graph::UndirectedGraph;
+use crate::types::{Edge, VertexId};
+
+/// A spanning forest produced by one round of scan-first search.
+#[derive(Clone, Debug, Default)]
+pub struct ScanFirstForest {
+    /// The tree edges, one per marked vertex, normalised as `(min, max)`.
+    pub edges: Vec<Edge>,
+    /// `root[v]` is the root of the tree containing `v`.
+    pub root: Vec<VertexId>,
+}
+
+impl ScanFirstForest {
+    /// Number of tree edges in the forest.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the forest has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Computes a scan-first (BFS) forest of `g`, skipping edges for which
+/// `skip(u, v)` returns `true`.
+///
+/// The `skip` predicate lets the sparse-certificate construction exclude the
+/// edges already consumed by previous forests without materialising the
+/// reduced graph `G_{i-1}`.
+pub fn scan_first_forest<F>(g: &UndirectedGraph, mut skip: F) -> ScanFirstForest
+where
+    F: FnMut(VertexId, VertexId) -> bool,
+{
+    let n = g.num_vertices();
+    let mut marked = vec![false; n];
+    let mut root = vec![0 as VertexId; n];
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::new();
+
+    for start in 0..n as VertexId {
+        if marked[start as usize] {
+            continue;
+        }
+        marked[start as usize] = true;
+        root[start as usize] = start;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if marked[v as usize] || skip(u, v) {
+                    continue;
+                }
+                marked[v as usize] = true;
+                root[v as usize] = start;
+                edges.push(crate::types::normalize_edge(u, v));
+                queue.push_back(v);
+            }
+        }
+    }
+    ScanFirstForest { edges, root }
+}
+
+/// Convenience wrapper: a plain BFS spanning forest of the whole graph.
+pub fn spanning_forest(g: &UndirectedGraph) -> ScanFirstForest {
+    scan_first_forest(g, |_, _| false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::connected_components;
+
+    #[test]
+    fn spanning_forest_has_n_minus_c_edges() {
+        let g = UndirectedGraph::from_edges(
+            7,
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        )
+        .unwrap();
+        let f = spanning_forest(&g);
+        let comps = connected_components(&g).len();
+        assert_eq!(f.len(), g.num_vertices() - comps);
+        assert!(!f.is_empty());
+        // Every tree edge must exist in the graph.
+        for &(u, v) in &f.edges {
+            assert!(g.has_edge(u, v));
+        }
+        // Roots are consistent with components.
+        assert_eq!(f.root[0], f.root[2]);
+        assert_eq!(f.root[3], f.root[5]);
+        assert_ne!(f.root[0], f.root[3]);
+    }
+
+    #[test]
+    fn skip_predicate_excludes_edges() {
+        // Triangle: skipping edge (0,1) still spans via 0-2-1.
+        let g = UndirectedGraph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
+        let f = scan_first_forest(&g, |u, v| {
+            crate::types::normalize_edge(u, v) == (0, 1)
+        });
+        assert_eq!(f.len(), 2);
+        assert!(!f.edges.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn forest_of_empty_graph() {
+        let g = UndirectedGraph::new(0);
+        let f = spanning_forest(&g);
+        assert!(f.is_empty());
+        assert!(f.root.is_empty());
+    }
+}

@@ -1,0 +1,239 @@
+//! Breadth-first / depth-first traversals, connected components and
+//! reachability helpers.
+
+use std::collections::VecDeque;
+
+use crate::graph::UndirectedGraph;
+use crate::types::{VertexId, INVALID_VERTEX};
+
+/// Distance value meaning "unreachable from the BFS source".
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances (number of hops) from `src`.
+///
+/// Unreachable vertices get [`UNREACHABLE`]. Runs in `O(n + m)`.
+pub fn bfs_distances(g: &UndirectedGraph, src: VertexId) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    if g.num_vertices() == 0 {
+        return dist;
+    }
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS that also records the parent of every reached vertex (the BFS tree).
+///
+/// Returns `(dist, parent)`; roots and unreachable vertices have parent
+/// [`INVALID_VERTEX`].
+pub fn bfs_tree(g: &UndirectedGraph, src: VertexId) -> (Vec<u32>, Vec<VertexId>) {
+    let mut dist = vec![UNREACHABLE; g.num_vertices()];
+    let mut parent = vec![INVALID_VERTEX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                parent[v as usize] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// The eccentricity of `src`: the largest finite BFS distance from it.
+pub fn eccentricity(g: &UndirectedGraph, src: VertexId) -> u32 {
+    bfs_distances(g, src)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Assigns every vertex a connected-component id in `0..count` and returns
+/// `(component_id, count)`.
+pub fn connected_component_ids(g: &UndirectedGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = count;
+        queue.push_back(start as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = count;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+/// The connected components as explicit vertex lists, each sorted ascending.
+pub fn connected_components(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
+    let (ids, count) = connected_component_ids(g);
+    let mut comps: Vec<Vec<VertexId>> = vec![Vec::new(); count];
+    for (v, &c) in ids.iter().enumerate() {
+        comps[c as usize].push(v as VertexId);
+    }
+    comps
+}
+
+/// Connected components restricted to a subset of "alive" vertices.
+///
+/// Vertices with `alive[v] == false` are treated as removed (as in the
+/// `OVERLAP-PARTITION` step after deleting the cut `S`). The returned lists
+/// only contain alive vertices.
+pub fn connected_components_filtered(
+    g: &UndirectedGraph,
+    alive: &[bool],
+) -> Vec<Vec<VertexId>> {
+    assert_eq!(alive.len(), g.num_vertices(), "alive mask must cover every vertex");
+    let n = g.num_vertices();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if !alive[start] || seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        seen[start] = true;
+        queue.push_back(start as VertexId);
+        while let Some(u) = queue.pop_front() {
+            component.push(u);
+            for &v in g.neighbors(u) {
+                if alive[v as usize] && !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        comps.push(component);
+    }
+    comps
+}
+
+/// Whether the graph is connected. The empty graph and single vertices are
+/// considered connected.
+pub fn is_connected(g: &UndirectedGraph) -> bool {
+    if g.num_vertices() <= 1 {
+        return true;
+    }
+    let dist = bfs_distances(g, 0);
+    dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Vertices sorted by **non-ascending** BFS distance from `src`, skipping
+/// unreachable vertices and `src` itself.
+///
+/// This is exactly the processing order of phase 1 of `GLOBAL-CUT*`
+/// (Algorithm 3, line 11): vertices far from the source are more likely to be
+/// separated from it by a small cut, so testing them first finds cuts sooner.
+pub fn vertices_by_descending_distance(g: &UndirectedGraph, src: VertexId) -> Vec<VertexId> {
+    let dist = bfs_distances(g, src);
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| v != src && dist[v as usize] != UNREACHABLE)
+        .collect();
+    // Stable sort keeps ties in ascending id order, which makes runs
+    // reproducible across platforms.
+    order.sort_by(|&a, &b| dist[b as usize].cmp(&dist[a as usize]).then(a.cmp(&b)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> UndirectedGraph {
+        UndirectedGraph::from_edges(
+            n,
+            (0..n as VertexId).map(|i| (i, ((i + 1) % n as VertexId))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_cycle() {
+        let g = cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+        assert_eq!(eccentricity(&g, 0), 3);
+    }
+
+    #[test]
+    fn bfs_tree_parents_are_consistent() {
+        let g = cycle(5);
+        let (dist, parent) = bfs_tree(&g, 0);
+        assert_eq!(parent[0], INVALID_VERTEX);
+        for v in 1..5u32 {
+            let p = parent[v as usize];
+            assert!(g.has_edge(v, p));
+            assert_eq!(dist[v as usize], dist[p as usize] + 1);
+        }
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = UndirectedGraph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+        assert!(!is_connected(&g));
+        let (ids, count) = connected_component_ids(&g);
+        assert_eq!(count, 3);
+        assert_eq!(ids[0], ids[2]);
+        assert_ne!(ids[0], ids[3]);
+    }
+
+    #[test]
+    fn filtered_components_respect_mask() {
+        // Path 0-1-2-3-4; removing 2 splits it in two.
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut alive = vec![true; 5];
+        alive[2] = false;
+        let comps = connected_components_filtered(&g, &alive);
+        assert_eq!(comps, vec![vec![0, 1], vec![3, 4]]);
+    }
+
+    #[test]
+    fn unreachable_vertices_marked() {
+        let g = UndirectedGraph::from_edges(4, vec![(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+        assert!(is_connected(&UndirectedGraph::new(1)));
+        assert!(is_connected(&UndirectedGraph::new(0)));
+    }
+
+    #[test]
+    fn descending_distance_order() {
+        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let order = vertices_by_descending_distance(&g, 0);
+        assert_eq!(order, vec![4, 3, 2, 1]);
+    }
+}

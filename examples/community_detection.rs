@@ -1,0 +1,66 @@
+//! Case study (§6.4 of the paper): overlapping research-group detection in a
+//! collaboration network.
+//!
+//! Builds a DBLP-style co-authorship graph around one prolific hub author,
+//! extracts the hub's ego network and compares the 4-VCCs (which separate the
+//! research groups and let core authors belong to several of them) against
+//! the 4-ECC / 4-core (which merge everything into one blob).
+//!
+//! Run with `cargo run --example community_detection`.
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_baselines::{k_core_components, k_edge_connected_components};
+use kvcc_datasets::collaboration::{collaboration_graph, ego_subgraph, CollaborationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CollaborationConfig::default();
+    let collab = collaboration_graph(&config);
+    println!(
+        "collaboration graph: {} authors, {} co-authorship edges, hub = author {}",
+        collab.graph.num_vertices(),
+        collab.graph.num_edges(),
+        collab.hub
+    );
+    println!("planted research groups: {}", collab.groups.len());
+
+    // The case study operates on the ego network of the hub author.
+    let ego = ego_subgraph(&collab.graph, collab.hub);
+    println!(
+        "ego network of the hub: {} authors, {} edges",
+        ego.graph.num_vertices(),
+        ego.graph.num_edges()
+    );
+
+    let k = config.group_connectivity as u32;
+    let vccs = enumerate_kvccs(&ego.graph, k, &KvccOptions::default())?;
+    println!("\n{k}-VCCs of the ego network ({} groups found):", vccs.num_components());
+    for (i, comp) in vccs.iter().enumerate() {
+        // Translate local ego ids back to author ids of the full graph.
+        let authors: Vec<_> = comp.vertices().iter().map(|&v| ego.to_parent[v as usize]).collect();
+        println!("  group {i}: {} authors {:?}", authors.len(), authors);
+    }
+
+    // Authors appearing in more than one group are the "core" multi-group
+    // authors of Fig. 14 (e.g. the hub itself).
+    let mut multi_group = 0usize;
+    for v in 0..ego.graph.num_vertices() as u32 {
+        if vccs.components_containing(v).len() > 1 {
+            multi_group += 1;
+        }
+    }
+    println!("authors belonging to more than one group: {multi_group}");
+
+    let eccs = k_edge_connected_components(&ego.graph, k as usize);
+    let cores = k_core_components(&ego.graph, k as usize);
+    println!(
+        "\nfor comparison on the same ego network: {} {k}-ECC(s), {} {k}-core component(s)",
+        eccs.len(),
+        cores.len()
+    );
+    println!(
+        "the k-VCC model reveals {} distinct groups where the weaker models report {}.",
+        vccs.num_components(),
+        eccs.len().max(cores.len())
+    );
+    Ok(())
+}

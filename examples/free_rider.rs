@@ -1,0 +1,53 @@
+//! The free-rider effect (Fig. 1 of the paper): compare what the k-core,
+//! k-ECC and k-VCC models report on four loosely glued dense blocks.
+//!
+//! Run with `cargo run --example free_rider`.
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_baselines::{k_core_components, k_edge_connected_components};
+use kvcc_datasets::figure1::figure1_graph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fig = figure1_graph();
+    let k = 4;
+
+    println!(
+        "Figure-1 graph: {} vertices, {} edges, four planted K6 blocks",
+        fig.graph.num_vertices(),
+        fig.graph.num_edges()
+    );
+    println!("ground-truth blocks:");
+    for (i, block) in fig.blocks.iter().enumerate() {
+        println!("  G{} = {:?}", i + 1, block);
+    }
+
+    // k-core: one giant component (maximum free-rider effect).
+    let cores = k_core_components(&fig.graph, k);
+    println!("\n{k}-core components ({}):", cores.len());
+    for c in &cores {
+        println!("  {:?}", c);
+    }
+
+    // k-ECC: separates G4 but still merges G1, G2, G3.
+    let eccs = k_edge_connected_components(&fig.graph, k);
+    println!("\n{k}-ECCs ({}):", eccs.len());
+    for c in &eccs {
+        println!("  {:?}", c);
+    }
+
+    // k-VCC: recovers all four blocks.
+    let vccs = enumerate_kvccs(&fig.graph, k as u32, &KvccOptions::default())?;
+    println!("\n{k}-VCCs ({}):", vccs.num_components());
+    for c in vccs.iter() {
+        println!("  {:?}", c.vertices());
+    }
+
+    println!(
+        "\nsummary: k-core = {} component, k-ECC = {} components, k-VCC = {} components",
+        cores.len(),
+        eccs.len(),
+        vccs.num_components()
+    );
+    println!("only the k-VCC model eliminates the free-rider effect entirely.");
+    Ok(())
+}

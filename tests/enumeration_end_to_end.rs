@@ -1,0 +1,135 @@
+//! End-to-end integration tests: planted ground truth, suite datasets,
+//! structural properties guaranteed by the paper (Theorems 2 and 6,
+//! Property 1, Whitney nesting).
+
+use kvcc::{enumerate_kvccs, verify::verify_kvccs, KvccOptions};
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_datasets::suite::{SuiteDataset, SuiteScale};
+use kvcc_graph::metrics::diameter_exact;
+
+#[test]
+fn planted_communities_are_recovered() {
+    let config = PlantedConfig {
+        k: 5,
+        num_communities: 6,
+        community_size: (10, 16),
+        overlap: 3,
+        chain_length: 3,
+        extra_intra_edges_per_vertex: 2,
+        background_vertices: 300,
+        background_edges_per_vertex: 2,
+        attachment_edges_per_community: 3,
+        seed: 424242,
+    };
+    let planted = planted_communities(&config);
+    let result = enumerate_kvccs(&planted.graph, config.k as u32, &KvccOptions::default())
+        .expect("enumeration succeeds");
+    verify_kvccs(&planted.graph, &result, true).expect("result verifies");
+
+    // Completeness: every planted block is k-connected, so it must be fully
+    // contained in one of the reported k-VCCs (Lemma 2).
+    for block in &planted.communities {
+        let containing = result.iter().find(|c| block.iter().all(|v| c.contains(*v)));
+        assert!(
+            containing.is_some(),
+            "planted block {block:?} is not covered by any reported k-VCC"
+        );
+    }
+    // The sparse background must not produce spurious high-k components: the
+    // number of components stays within the same order as the planted blocks.
+    assert!(result.num_components() <= planted.communities.len() + 2);
+}
+
+#[test]
+fn suite_datasets_enumerate_and_verify_at_tiny_scale() {
+    for dataset in SuiteDataset::all() {
+        let g = dataset.generate(SuiteScale::Tiny);
+        for &k in SuiteScale::Tiny.efficiency_k_values() {
+            let result = enumerate_kvccs(&g, k, &KvccOptions::default())
+                .unwrap_or_else(|e| panic!("{} k={k}: {e}", dataset.name()));
+            // Theorem 6: at most n/2 components.
+            assert!(result.num_components() <= g.num_vertices() / 2);
+            verify_kvccs(&g, &result, false)
+                .unwrap_or_else(|e| panic!("{} k={k}: {e}", dataset.name()));
+        }
+    }
+}
+
+#[test]
+fn kvccs_nest_across_k_by_whitney_style_containment() {
+    // Every (k+1)-VCC is (k+1)-connected, hence k-connected, hence contained
+    // in exactly one k-VCC.
+    let g = SuiteDataset::Google.generate(SuiteScale::Tiny);
+    let ks = SuiteScale::Tiny.efficiency_k_values();
+    let mut previous: Option<kvcc::KvccResult> = None;
+    for &k in ks {
+        let result = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+        if let Some(prev) = &previous {
+            for comp in result.iter() {
+                let nested_in = prev
+                    .iter()
+                    .filter(|outer| comp.vertices().iter().all(|&v| outer.contains(v)))
+                    .count();
+                assert_eq!(
+                    nested_in,
+                    1,
+                    "a {k}-VCC must be nested in exactly one {}-VCC",
+                    prev.k()
+                );
+            }
+        }
+        previous = Some(result);
+    }
+}
+
+#[test]
+fn diameter_bound_of_theorem_2_holds() {
+    let g = SuiteDataset::Dblp.generate(SuiteScale::Tiny);
+    let k = 6u32;
+    let result = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+    assert!(result.num_components() > 0, "expected some 6-VCCs in the DBLP stand-in");
+    for comp in result.iter() {
+        let sub = comp.induced_subgraph(&g);
+        let diam = diameter_exact(&sub.graph) as usize;
+        // κ(G_i) >= k, so the Theorem 2 bound with κ replaced by k is weaker
+        // and must hold as well.
+        let bound = (comp.len() - 2) / k as usize + 1;
+        assert!(
+            diam <= bound,
+            "component of size {} has diameter {diam} > bound {bound}",
+            comp.len()
+        );
+    }
+}
+
+#[test]
+fn overlap_between_components_is_below_k() {
+    let g = SuiteDataset::Cnr.generate(SuiteScale::Tiny);
+    for &k in &[6u32, 9] {
+        let result = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+        let comps = result.components();
+        for i in 0..comps.len() {
+            for j in (i + 1)..comps.len() {
+                assert!(
+                    comps[i].overlap(&comps[j]) < k as usize,
+                    "Property 1 violated between components {i} and {j} at k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn statistics_are_populated() {
+    let g = SuiteDataset::Stanford.generate(SuiteScale::Tiny);
+    let result = enumerate_kvccs(&g, 6, &KvccOptions::default()).unwrap();
+    let stats = result.stats();
+    assert!(stats.global_cut_calls > 0);
+    assert!(stats.loc_cut_flow_calls + stats.loc_cut_trivial_calls > 0);
+    assert!(stats.kcore_removed_vertices > 0, "the sparse background should be peeled");
+    assert!(stats.peak_memory_bytes > 0);
+    assert!(stats.elapsed.as_nanos() > 0);
+    assert!(stats.certificate_edges > 0);
+    // The pruning accounting never exceeds the number of phase-1 encounters.
+    assert!(stats.phase1_vertices() >= stats.tested_vertices);
+}

@@ -1,0 +1,70 @@
+//! The free-rider example of Fig. 1 / Example 1: the k-core and k-ECC models
+//! merge loosely joined blocks while the k-VCC model separates them.
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_baselines::{k_core_components, k_edge_connected_components};
+use kvcc_datasets::figure1::figure1_graph;
+use kvcc_graph::VertexId;
+
+#[test]
+fn four_vccs_are_exactly_the_four_blocks() {
+    let fig = figure1_graph();
+    let result = enumerate_kvccs(&fig.graph, 4, &KvccOptions::default()).unwrap();
+    let mut found: Vec<Vec<VertexId>> = result.iter().map(|c| c.vertices().to_vec()).collect();
+    found.sort();
+    let mut expected: Vec<Vec<VertexId>> = fig.blocks.to_vec();
+    expected.sort();
+    assert_eq!(found, expected, "4-VCCs must be exactly G1..G4");
+}
+
+#[test]
+fn four_core_merges_everything_into_one_component() {
+    let fig = figure1_graph();
+    let comps = k_core_components(&fig.graph, 4);
+    assert_eq!(comps.len(), 1, "the 4-core has a single connected component");
+    assert_eq!(comps[0], fig.expected_4core);
+}
+
+#[test]
+fn four_eccs_merge_g1_g2_g3_but_not_g4() {
+    let fig = figure1_graph();
+    let comps = k_edge_connected_components(&fig.graph, 4);
+    assert_eq!(comps, fig.expected_4eccs, "4-ECCs must be {{G1∪G2∪G3, G4}}");
+}
+
+#[test]
+fn vcc_overlaps_match_the_paper_description() {
+    let fig = figure1_graph();
+    let result = enumerate_kvccs(&fig.graph, 4, &KvccOptions::default()).unwrap();
+    let comps = result.components();
+    assert_eq!(comps.len(), 4);
+    // G1/G2 share the edge (a, b) = 2 vertices, G2/G3 share one vertex, all
+    // other pairs are disjoint.
+    let mut overlap_sizes: Vec<usize> = Vec::new();
+    for i in 0..comps.len() {
+        for j in (i + 1)..comps.len() {
+            overlap_sizes.push(comps[i].overlap(&comps[j]));
+        }
+    }
+    overlap_sizes.sort_unstable();
+    assert_eq!(overlap_sizes, vec![0, 0, 0, 0, 1, 2]);
+}
+
+#[test]
+fn every_variant_solves_the_figure1_example() {
+    let fig = figure1_graph();
+    for variant in kvcc::AlgorithmVariant::all() {
+        let result = enumerate_kvccs(&fig.graph, 4, &KvccOptions::for_variant(variant)).unwrap();
+        assert_eq!(result.num_components(), 4, "variant {variant:?}");
+    }
+    // For k = 5 the blocks are still 5-connected K6s, so they remain; for
+    // k = 6 nothing survives (a K6 has only 6 vertices).
+    assert_eq!(
+        enumerate_kvccs(&fig.graph, 5, &KvccOptions::default()).unwrap().num_components(),
+        4
+    );
+    assert_eq!(
+        enumerate_kvccs(&fig.graph, 6, &KvccOptions::default()).unwrap().num_components(),
+        0
+    );
+}

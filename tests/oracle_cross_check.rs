@@ -1,0 +1,98 @@
+//! Cross-checks of the optimised enumerator against independent oracles:
+//! the brute-force subset oracle on tiny random graphs and Tarjan's
+//! biconnected components for the k = 2 case.
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_baselines::bicc::two_vccs;
+use kvcc_baselines::naive_kvccs;
+use kvcc_datasets::er::{gnm, gnp};
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+fn sorted_components(result: &kvcc::KvccResult) -> Vec<Vec<VertexId>> {
+    let mut comps: Vec<Vec<VertexId>> = result.iter().map(|c| c.vertices().to_vec()).collect();
+    comps.sort();
+    comps
+}
+
+#[test]
+fn matches_the_naive_oracle_on_tiny_random_graphs() {
+    // 40 deterministic random graphs with 8-12 vertices, k in {2, 3, 4}.
+    for seed in 0..40u64 {
+        let n = 8 + (seed % 5) as usize;
+        let p = 0.25 + 0.05 * (seed % 7) as f64;
+        let g = gnp(n, p, seed);
+        for k in 2..=4u32 {
+            let expected = naive_kvccs(&g, k);
+            let result = enumerate_kvccs(&g, k, &KvccOptions::default())
+                .unwrap_or_else(|e| panic!("seed {seed} k {k}: {e}"));
+            assert_eq!(
+                sorted_components(&result),
+                expected,
+                "mismatch against the brute-force oracle (seed {seed}, n {n}, k {k})"
+            );
+        }
+    }
+}
+
+#[test]
+fn matches_biconnected_components_for_k_two() {
+    // Larger sparse random graphs: the 2-VCCs must be exactly the biconnected
+    // components with at least three vertices.
+    for seed in 0..10u64 {
+        let g = gnm(120, 180 + 10 * seed as usize, seed);
+        let expected = two_vccs(&g);
+        let result = enumerate_kvccs(&g, 2, &KvccOptions::default()).unwrap();
+        assert_eq!(
+            sorted_components(&result),
+            expected,
+            "2-VCCs must equal biconnected components (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn matches_oracle_on_structured_graphs() {
+    // Wheel graph: hub 0 plus cycle 1..=8. The whole wheel is 3-connected.
+    let mut edges: Vec<(VertexId, VertexId)> = (1..=8).map(|i| (0, i)).collect();
+    for i in 1..=8u32 {
+        edges.push((i, if i == 8 { 1 } else { i + 1 }));
+    }
+    let wheel = UndirectedGraph::from_edges(9, edges).unwrap();
+    for k in 1..=4u32 {
+        let expected = naive_kvccs(&wheel, k);
+        let result = enumerate_kvccs(&wheel, k, &KvccOptions::default()).unwrap();
+        assert_eq!(sorted_components(&result), expected, "wheel graph, k = {k}");
+    }
+
+    // Two K5 blocks sharing 3 vertices: 4-VCCs are the blocks, 3-VCC is the
+    // union (removing the 3 shared vertices disconnects, so the union is not
+    // 4-connected but it is 3-connected).
+    let mut edges = Vec::new();
+    for block in [[0u32, 1, 2, 3, 4], [2u32, 3, 4, 5, 6]] {
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((block[i], block[j]));
+            }
+        }
+    }
+    let blocks = UndirectedGraph::from_edges(7, edges).unwrap();
+    for k in 2..=4u32 {
+        let expected = naive_kvccs(&blocks, k);
+        let result = enumerate_kvccs(&blocks, k, &KvccOptions::default()).unwrap();
+        assert_eq!(sorted_components(&result), expected, "shared-triple blocks, k = {k}");
+    }
+}
+
+#[test]
+fn basic_variant_matches_oracle_too() {
+    // The un-optimised VCCE variant must of course agree with the oracle as
+    // well; this guards the shared framework rather than the sweeps.
+    for seed in 100..115u64 {
+        let g = gnp(10, 0.35, seed);
+        for k in 2..=3u32 {
+            let expected = naive_kvccs(&g, k);
+            let result = enumerate_kvccs(&g, k, &KvccOptions::basic()).unwrap();
+            assert_eq!(sorted_components(&result), expected, "seed {seed}, k {k}");
+        }
+    }
+}
