@@ -5,12 +5,12 @@
 //! 2-VCCs). They provide an independent, flow-free oracle for the `k = 2` case
 //! of the enumeration, used heavily by the cross-check tests.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 /// Returns the vertex sets of all biconnected components of `g`, each sorted
 /// ascending, ordered by smallest vertex. Bridges appear as 2-vertex
 /// components; isolated vertices do not appear at all.
-pub fn biconnected_components(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
+pub fn biconnected_components<G: GraphView>(g: &G) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     let mut disc = vec![u32::MAX; n]; // discovery times
     let mut low = vec![u32::MAX; n];
@@ -91,18 +91,23 @@ pub fn biconnected_components(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
 
 /// Convenience: biconnected components with at least three vertices, i.e. the
 /// 2-vertex connected components of the graph.
-pub fn two_vccs(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
-    biconnected_components(g).into_iter().filter(|c| c.len() >= 3).collect()
+pub fn two_vccs<G: GraphView>(g: &G) -> Vec<Vec<VertexId>> {
+    biconnected_components(g)
+        .into_iter()
+        .filter(|c| c.len() >= 3)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     #[test]
     fn two_triangles_sharing_a_vertex() {
-        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
-            .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         let comps = biconnected_components(&g);
         assert_eq!(comps, vec![vec![0, 1, 2], vec![2, 3, 4]]);
         assert_eq!(two_vccs(&g), comps);
@@ -135,7 +140,16 @@ mod tests {
         // Two triangles joined by a path through vertex 6.
         let g = UndirectedGraph::from_edges(
             7,
-            vec![(0, 1), (1, 2), (0, 2), (2, 6), (6, 3), (3, 4), (4, 5), (3, 5)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 6),
+                (6, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+            ],
         )
         .unwrap();
         let comps = biconnected_components(&g);

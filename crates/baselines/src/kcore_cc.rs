@@ -6,26 +6,22 @@
 //! baseline in the effectiveness study.
 
 use kvcc_graph::kcore::k_core_vertices;
-use kvcc_graph::traversal::connected_components;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::traversal::connected_components_filtered;
+use kvcc_graph::{GraphView, VertexId};
 
 /// Returns the connected components of the k-core of `g`, each as a sorted
 /// vertex list (ids of `g`). Components are ordered by their smallest vertex.
-pub fn k_core_components(g: &UndirectedGraph, k: usize) -> Vec<Vec<VertexId>> {
+pub fn k_core_components<G: GraphView>(g: &G, k: usize) -> Vec<Vec<VertexId>> {
     let core_vertices = k_core_vertices(g, k);
     if core_vertices.is_empty() {
         return Vec::new();
     }
-    let sub = g.induced_subgraph(&core_vertices);
-    let mut comps: Vec<Vec<VertexId>> = connected_components(&sub.graph)
-        .into_iter()
-        .map(|comp| {
-            let mut mapped: Vec<VertexId> =
-                comp.into_iter().map(|v| sub.to_parent[v as usize]).collect();
-            mapped.sort_unstable();
-            mapped
-        })
-        .collect();
+    // Component split on a vertex mask: no copy or relabelling is needed.
+    let mut alive = vec![false; g.num_vertices()];
+    for &v in &core_vertices {
+        alive[v as usize] = true;
+    }
+    let mut comps = connected_components_filtered(g, &alive);
     comps.sort();
     comps
 }
@@ -33,11 +29,13 @@ pub fn k_core_components(g: &UndirectedGraph, k: usize) -> Vec<Vec<VertexId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     #[test]
     fn two_triangles_sharing_a_vertex_form_one_2cc() {
-        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
-            .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         let comps = k_core_components(&g, 2);
         // Unlike the 2-VCCs, the 2-core is a single connected component: the
         // free-rider effect in action.
@@ -46,8 +44,8 @@ mod tests {
 
     #[test]
     fn pendant_vertices_are_removed() {
-        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
-            .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
         assert_eq!(k_core_components(&g, 2), vec![vec![0, 1, 2]]);
         assert!(k_core_components(&g, 3).is_empty());
     }

@@ -116,9 +116,7 @@ fn remove_edges(g: &UndirectedGraph, edges: &[(VertexId, VertexId)]) -> Undirect
         .iter()
         .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
         .collect();
-    let kept = g
-        .edges()
-        .filter(|&(u, v)| !removed.contains(&(u, v)));
+    let kept = g.edges().filter(|&(u, v)| !removed.contains(&(u, v)));
     UndirectedGraph::from_edges(g.num_vertices(), kept)
         .expect("edges of an existing graph are always in range")
 }
@@ -163,18 +161,19 @@ mod tests {
         let comps = k_edge_connected_components(&g, 2);
         assert_eq!(comps, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
         // For k = 1 the whole graph is one component.
-        assert_eq!(k_edge_connected_components(&g, 1), vec![(0..8).collect::<Vec<_>>()]);
+        assert_eq!(
+            k_edge_connected_components(&g, 1),
+            vec![(0..8).collect::<Vec<_>>()]
+        );
     }
 
     #[test]
     fn shared_vertex_does_not_split_keccs() {
         // Fig. 1 intuition: two 2-dense blocks sharing one vertex form a
         // single 2-ECC (vertex cuts do not matter for edge connectivity).
-        let g = UndirectedGraph::from_edges(
-            5,
-            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
-        )
-        .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         let comps = k_edge_connected_components(&g, 2);
         assert_eq!(comps, vec![vec![0, 1, 2, 3, 4]]);
     }
@@ -189,7 +188,10 @@ mod tests {
             for comp in k_edge_connected_components(&g, k) {
                 let sub = g.induced_subgraph(&comp);
                 let lambda = crate::stoer_wagner::edge_connectivity(&sub.graph);
-                assert!(lambda >= k as u64, "component {comp:?} has λ = {lambda} < {k}");
+                assert!(
+                    lambda >= k as u64,
+                    "component {comp:?} has λ = {lambda} < {k}"
+                );
             }
         }
     }

@@ -10,11 +10,11 @@
 use std::collections::HashMap;
 
 use kvcc_graph::traversal::connected_components;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 /// Computes the truss number of every edge: the largest `k` such that the edge
 /// survives in the k-truss. Returned as a map keyed by the normalised edge.
-pub fn truss_numbers(g: &UndirectedGraph) -> HashMap<(VertexId, VertexId), u32> {
+pub fn truss_numbers<G: GraphView>(g: &G) -> HashMap<(VertexId, VertexId), u32> {
     // Support (triangle count) per edge.
     let mut support: HashMap<(VertexId, VertexId), u32> = HashMap::new();
     for (u, v) in g.edges() {
@@ -73,13 +73,13 @@ fn normalize(a: VertexId, b: VertexId) -> (VertexId, VertexId) {
     }
 }
 
-fn count_common(g: &UndirectedGraph, u: VertexId, v: VertexId) -> u32 {
+fn count_common<G: GraphView>(g: &G, u: VertexId, v: VertexId) -> u32 {
     g.common_neighbor_count(u, v) as u32
 }
 
 /// The connected components of the k-truss, each as a sorted vertex list.
 /// Vertices with no surviving incident edge are omitted.
-pub fn k_truss_components(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
+pub fn k_truss_components<G: GraphView>(g: &G, k: u32) -> Vec<Vec<VertexId>> {
     let truss = truss_numbers(g);
     let surviving: Vec<(VertexId, VertexId)> = truss
         .iter()
@@ -89,7 +89,7 @@ pub fn k_truss_components(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
     if surviving.is_empty() {
         return Vec::new();
     }
-    let truss_graph = UndirectedGraph::from_edges(g.num_vertices(), surviving)
+    let truss_graph = kvcc_graph::CsrGraph::from_edges(g.num_vertices(), surviving)
         .expect("edges come from the input graph");
     let mut comps: Vec<Vec<VertexId>> = connected_components(&truss_graph)
         .into_iter()
@@ -102,6 +102,7 @@ pub fn k_truss_components(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();

@@ -8,7 +8,7 @@
 //! enumerator.
 
 use kvcc_flow::is_k_vertex_connected;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, GraphView, VertexId};
 
 /// Largest graph the oracle accepts (2^n subsets are enumerated).
 pub const MAX_ORACLE_VERTICES: usize = 18;
@@ -18,7 +18,7 @@ pub const MAX_ORACLE_VERTICES: usize = 18;
 /// # Panics
 ///
 /// Panics if the graph has more than [`MAX_ORACLE_VERTICES`] vertices.
-pub fn naive_kvccs(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
+pub fn naive_kvccs<G: GraphView>(g: &G, k: u32) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     assert!(
         n <= MAX_ORACLE_VERTICES,
@@ -35,6 +35,7 @@ pub fn naive_kvccs(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
 
     let mut accepted_masks: Vec<u32> = Vec::new();
     let mut components: Vec<Vec<VertexId>> = Vec::new();
+    let mut map: Vec<VertexId> = Vec::new();
 
     for mask in subsets {
         if mask.count_ones() <= k {
@@ -45,10 +46,11 @@ pub fn naive_kvccs(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
         if accepted_masks.iter().any(|&a| a & mask == mask) {
             continue; // contained in an accepted component: not maximal
         }
-        let vertices: Vec<VertexId> =
-            (0..n as VertexId).filter(|&v| mask & (1 << v) != 0).collect();
-        let sub = g.induced_subgraph(&vertices);
-        if is_k_vertex_connected(&sub.graph, k) {
+        let vertices: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| mask & (1 << v) != 0)
+            .collect();
+        let sub = CsrGraph::extract_induced(g, &vertices, &mut map);
+        if is_k_vertex_connected(&sub, k) {
             accepted_masks.push(mask);
             components.push(vertices);
         }
@@ -60,6 +62,7 @@ pub fn naive_kvccs(g: &UndirectedGraph, k: u32) -> Vec<Vec<VertexId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -81,8 +84,9 @@ mod tests {
 
     #[test]
     fn two_triangles_sharing_a_vertex() {
-        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
-            .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         assert_eq!(naive_kvccs(&g, 2), vec![vec![0, 1, 2], vec![2, 3, 4]]);
         assert!(naive_kvccs(&g, 3).is_empty());
     }

@@ -10,7 +10,7 @@
 //! Uses a dense weight matrix, so it is intended for the moderate component
 //! sizes that survive k-core pruning, not for raw web-scale graphs.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 /// Result of a global minimum edge cut computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,7 +28,7 @@ pub struct EdgeCut {
 /// When `early_stop` is `Some(t)`, the first cut-of-the-phase with weight
 /// strictly below `t` is returned immediately; the result is then a valid cut
 /// of weight `< t` but not necessarily minimum.
-pub fn global_min_edge_cut(g: &UndirectedGraph, early_stop: Option<u64>) -> Option<EdgeCut> {
+pub fn global_min_edge_cut<G: GraphView>(g: &G, early_stop: Option<u64>) -> Option<EdgeCut> {
     let n = g.num_vertices();
     if n < 2 {
         return None;
@@ -72,8 +72,14 @@ pub fn global_min_edge_cut(g: &UndirectedGraph, early_stop: Option<u64>) -> Opti
         let s = order[order.len() - 2];
         let cut_of_phase = weights_to_a[t];
 
-        let candidate = EdgeCut { weight: cut_of_phase, side: merged[t].clone() };
-        let improves = best.as_ref().map(|b| candidate.weight < b.weight).unwrap_or(true);
+        let candidate = EdgeCut {
+            weight: cut_of_phase,
+            side: merged[t].clone(),
+        };
+        let improves = best
+            .as_ref()
+            .map(|b| candidate.weight < b.weight)
+            .unwrap_or(true);
         if improves {
             best = Some(candidate);
         }
@@ -103,7 +109,7 @@ pub fn global_min_edge_cut(g: &UndirectedGraph, early_stop: Option<u64>) -> Opti
 
 /// The global edge connectivity `λ(G)` of a connected graph (0 for graphs with
 /// fewer than two vertices or disconnected graphs).
-pub fn edge_connectivity(g: &UndirectedGraph) -> u64 {
+pub fn edge_connectivity<G: GraphView>(g: &G) -> u64 {
     if g.num_vertices() < 2 {
         return 0;
     }
@@ -116,6 +122,7 @@ pub fn edge_connectivity(g: &UndirectedGraph) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -130,8 +137,7 @@ mod tests {
     #[test]
     fn edge_connectivity_of_classic_graphs() {
         assert_eq!(edge_connectivity(&complete(5)), 4);
-        let cycle =
-            UndirectedGraph::from_edges(6, (0..6u32).map(|i| (i, (i + 1) % 6))).unwrap();
+        let cycle = UndirectedGraph::from_edges(6, (0..6u32).map(|i| (i, (i + 1) % 6))).unwrap();
         assert_eq!(edge_connectivity(&cycle), 2);
         let path = UndirectedGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
         assert_eq!(edge_connectivity(&path), 1);

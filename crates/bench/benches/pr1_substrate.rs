@@ -1,0 +1,41 @@
+//! PR 1 criterion bench: vec-adjacency vs CSR substrates and sequential vs
+//! parallel enumeration on the planted-partition suite.
+//!
+//! The measurement logic is shared with the `pr1-bench` binary (which also
+//! emits `BENCH_pr1.json`); this harness exposes the same comparisons through
+//! the criterion interface.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kvcc_bench::pr1;
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr1_substrate");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for case in pr1::substrate_cases() {
+        group.bench_with_input(BenchmarkId::from_parameter(case.name), &case, |b, case| {
+            b.iter(|| std::hint::black_box((case.run)()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr1_enumeration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for case in pr1::enumeration_cases() {
+        group.bench_with_input(BenchmarkId::from_parameter(case.name), &case, |b, case| {
+            b.iter(|| std::hint::black_box((case.run)()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates, bench_enumeration);
+criterion_main!(benches);

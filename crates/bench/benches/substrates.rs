@@ -87,5 +87,11 @@ fn bench_side_vertices(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kcore, bench_certificate, bench_loc_cut, bench_side_vertices);
+criterion_group!(
+    benches,
+    bench_kcore,
+    bench_certificate,
+    bench_loc_cut,
+    bench_side_vertices
+);
 criterion_main!(benches);

@@ -43,8 +43,7 @@ fn bench_k_sweep(c: &mut Criterion) {
     for &k in SuiteScale::Tiny.efficiency_k_values() {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                let result =
-                    enumerate_kvccs(&graph, k, &KvccOptions::full()).expect("enumeration");
+                let result = enumerate_kvccs(&graph, k, &KvccOptions::full()).expect("enumeration");
                 std::hint::black_box(result.num_components())
             })
         });

@@ -1,0 +1,26 @@
+//! `pr1-bench` — record the PR 1 performance baseline into `BENCH_pr1.json`.
+//!
+//! Compares, on the planted-partition suite:
+//!
+//! * graph-substrate primitives (BFS, k-core peel) on the legacy
+//!   `Vec<Vec<VertexId>>` adjacency vs the new CSR representation;
+//! * the seed-style sequential enumeration path (fresh copies + fresh flow
+//!   network per probe) vs the new CSR + scratch-arena enumerator, sequential
+//!   and parallel.
+//!
+//! Usage: `pr1-bench [output.json]` (default `BENCH_pr1.json`).
+
+use kvcc_bench::pr1;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
+    let report = pr1::run_all();
+    println!("{}", report.render_text());
+    if let Err(e) = std::fs::write(&path, report.render_json()) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {path}");
+}

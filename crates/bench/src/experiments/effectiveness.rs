@@ -107,7 +107,11 @@ pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale, metric: Metric) -> Vec
 /// Reproduces one of Figs. 7–9 at the given scale.
 pub fn run(scale: SuiteScale, metric: Metric) -> Table {
     let mut table = Table::new(
-        &format!("{} — {} (k-CC vs k-ECC vs k-VCC)", metric.figure(), metric.label()),
+        &format!(
+            "{} — {} (k-CC vs k-ECC vs k-VCC)",
+            metric.figure(),
+            metric.label()
+        ),
         &["Dataset", "k", "k-CC", "k-ECC", "k-VCC"],
     );
     for dataset in SuiteDataset::effectiveness_subset() {
@@ -149,7 +153,11 @@ mod tests {
         let diam = rows_for(SuiteDataset::Dblp, SuiteScale::Tiny, Metric::Diameter);
         for row in &diam {
             if row.kvcc > 0.0 && row.kcc > 0.0 {
-                assert!(row.kvcc <= row.kcc + 1e-9, "k={}: diameter regression", row.k);
+                assert!(
+                    row.kvcc <= row.kcc + 1e-9,
+                    "k={}: diameter regression",
+                    row.k
+                );
             }
         }
     }
@@ -157,8 +165,8 @@ mod tests {
     #[test]
     fn tables_have_one_row_per_dataset_and_k() {
         let table = run(SuiteScale::Tiny, Metric::Clustering);
-        let expected =
-            SuiteDataset::effectiveness_subset().len() * SuiteScale::Tiny.effectiveness_k_values().len();
+        let expected = SuiteDataset::effectiveness_subset().len()
+            * SuiteScale::Tiny.effectiveness_k_values().len();
         assert_eq!(table.num_rows(), expected);
     }
 }

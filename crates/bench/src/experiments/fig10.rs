@@ -34,8 +34,8 @@ pub fn time_variants(g: &UndirectedGraph, k: u32) -> ([Duration; 4], usize) {
     let mut times = [Duration::ZERO; 4];
     let mut components = 0usize;
     for (i, variant) in AlgorithmVariant::all().into_iter().enumerate() {
-        let result =
-            enumerate_kvccs(g, k, &KvccOptions::for_variant(variant)).expect("enumeration succeeds");
+        let result = enumerate_kvccs(g, k, &KvccOptions::for_variant(variant))
+            .expect("enumeration succeeds");
         times[i] = result.stats().elapsed;
         components = result.num_components();
     }
@@ -50,7 +50,12 @@ pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale) -> Vec<TimingRow> {
         .iter()
         .map(|&k| {
             let (times, components) = time_variants(&g, k);
-            TimingRow { dataset: dataset.name(), k, times, components }
+            TimingRow {
+                dataset: dataset.name(),
+                k,
+                times,
+                components,
+            }
         })
         .collect()
 }
@@ -59,7 +64,9 @@ pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale) -> Vec<TimingRow> {
 pub fn run(scale: SuiteScale) -> Table {
     let mut table = Table::new(
         "Fig. 10 — processing time (seconds)",
-        &["Dataset", "k", "VCCE", "VCCE-N", "VCCE-G", "VCCE*", "#k-VCCs"],
+        &[
+            "Dataset", "k", "VCCE", "VCCE-N", "VCCE-G", "VCCE*", "#k-VCCs",
+        ],
     );
     for dataset in SuiteDataset::efficiency_subset() {
         for row in rows_for(dataset, scale) {

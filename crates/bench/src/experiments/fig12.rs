@@ -54,7 +54,10 @@ mod tests {
             // The estimate counts the input graph plus bounded duplication
             // (Lemma 8) plus flow scratch; 64x the raw graph is a very
             // generous sanity ceiling.
-            assert!(bytes < 64 * g.memory_bytes().max(1), "k={k} uses {bytes} bytes");
+            assert!(
+                bytes < 64 * g.memory_bytes().max(1),
+                "k={k} uses {bytes} bytes"
+            );
         }
     }
 

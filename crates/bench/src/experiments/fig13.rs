@@ -81,7 +81,9 @@ pub fn rows_for(dataset: SuiteDataset, scale: SuiteScale, mode: SampleMode) -> V
 pub fn run(scale: SuiteScale) -> Table {
     let mut table = Table::new(
         "Fig. 13 — scalability (seconds)",
-        &["Dataset", "Mode", "Sample", "VCCE", "VCCE-N", "VCCE-G", "VCCE*"],
+        &[
+            "Dataset", "Mode", "Sample", "VCCE", "VCCE-N", "VCCE-G", "VCCE*",
+        ],
     );
     for dataset in [SuiteDataset::Google, SuiteDataset::Cit] {
         for mode in [SampleMode::Vertices, SampleMode::Edges] {
@@ -109,7 +111,9 @@ mod tests {
     fn produces_five_sample_points_per_mode() {
         let rows = rows_for(SuiteDataset::Cit, SuiteScale::Tiny, SampleMode::Vertices);
         assert_eq!(rows.len(), SCALABILITY_FRACTIONS.len());
-        assert!(rows.iter().all(|r| r.times.iter().all(|t| t.as_nanos() > 0)));
+        assert!(rows
+            .iter()
+            .all(|r| r.times.iter().all(|t| t.as_nanos() > 0)));
         assert_eq!(rows[0].mode.label(), "Vary |V|");
         assert_eq!(SampleMode::Edges.label(), "Vary |E|");
     }

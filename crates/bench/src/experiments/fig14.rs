@@ -60,11 +60,20 @@ pub fn run() -> Table {
         "Fig. 14 — collaboration case study (ego network of the hub author, k = 4)",
         &["Quantity", "Value"],
     );
-    table.add_row(vec!["authors in the ego network".into(), cs.ego_authors.to_string()]);
-    table.add_row(vec!["planted research groups".into(), cs.planted_groups.to_string()]);
+    table.add_row(vec![
+        "authors in the ego network".into(),
+        cs.ego_authors.to_string(),
+    ]);
+    table.add_row(vec![
+        "planted research groups".into(),
+        cs.planted_groups.to_string(),
+    ]);
     table.add_row(vec!["4-VCCs found".into(), cs.num_vccs.to_string()]);
     table.add_row(vec!["4-ECCs found".into(), cs.num_eccs.to_string()]);
-    table.add_row(vec!["4-core components found".into(), cs.num_cores.to_string()]);
+    table.add_row(vec![
+        "4-core components found".into(),
+        cs.num_cores.to_string(),
+    ]);
     table.add_row(vec![
         "authors in more than one 4-VCC".into(),
         cs.multi_group_authors.to_string(),
@@ -79,10 +88,19 @@ mod tests {
     #[test]
     fn vccs_separate_groups_that_the_baselines_merge() {
         let cs = case_study();
-        assert!(cs.num_vccs > 1, "the 4-VCCs must reveal several research groups");
-        assert!(cs.num_vccs >= cs.num_eccs, "k-ECC merges groups the k-VCC model separates");
+        assert!(
+            cs.num_vccs > 1,
+            "the 4-VCCs must reveal several research groups"
+        );
+        assert!(
+            cs.num_vccs >= cs.num_eccs,
+            "k-ECC merges groups the k-VCC model separates"
+        );
         assert!(cs.num_eccs >= cs.num_cores.min(1));
         assert_eq!(cs.num_cores, 1, "the 4-core of the ego network is one blob");
-        assert!(cs.multi_group_authors >= 1, "the hub belongs to every group");
+        assert!(
+            cs.multi_group_authors >= 1,
+            "the hub belongs to every group"
+        );
     }
 }

@@ -47,8 +47,10 @@ pub fn run(scale: SuiteScale) -> Table {
         &["Rule", "Stanford", "DBLP", "ND", "Google", "Cit", "Cnr"],
     );
     let datasets = SuiteDataset::efficiency_subset();
-    let proportions: Vec<SweepProportions> =
-        datasets.iter().map(|&d| proportions_for(d, scale)).collect();
+    let proportions: Vec<SweepProportions> = datasets
+        .iter()
+        .map(|&d| proportions_for(d, scale))
+        .collect();
 
     type Extractor = fn(&SweepProportions) -> f64;
     let rows: [(&str, Extractor); 4] = [
@@ -77,7 +79,10 @@ mod tests {
         let p = proportions_for(SuiteDataset::Dblp, SuiteScale::Tiny);
         let total = p.ns1 + p.ns2 + p.gs + p.non_pruned;
         assert!(total <= 1.0 + 1e-9);
-        assert!(total > 0.0, "some phase-1 vertices must have been processed");
+        assert!(
+            total > 0.0,
+            "some phase-1 vertices must have been processed"
+        );
     }
 
     #[test]

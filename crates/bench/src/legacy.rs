@@ -1,0 +1,111 @@
+//! The seed's enumeration path, preserved for benchmarking.
+//!
+//! Before the CSR refactor, `KVCC-ENUM` kept every work item as a
+//! `Vec<Vec<VertexId>>` adjacency graph, copied and relabelled a fresh
+//! subgraph at every k-core / component / partition step, and built a fresh
+//! flow network for every `GLOBAL-CUT` probe. This module reproduces that
+//! behaviour on top of the public APIs so `pr1-bench` can quantify what the
+//! refactor bought; it is **not** part of the supported API surface.
+
+use kvcc::global_cut::global_cut;
+use kvcc::partition::overlap_partition;
+use kvcc::{EnumerationStats, KVertexConnectedComponent, KvccOptions};
+use kvcc_graph::kcore::k_core_vertices;
+use kvcc_graph::traversal::connected_components;
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+struct WorkItem {
+    graph: UndirectedGraph,
+    to_original: Vec<VertexId>,
+}
+
+/// Sequential seed-style enumeration: vec-adjacency work items, one
+/// copy-and-relabel per recursion step, one freshly allocated flow network
+/// per `GLOBAL-CUT` probe (the wrapper [`global_cut`] allocates a new scratch
+/// arena on every call, exactly like the seed did).
+pub fn legacy_enumerate(
+    graph: &UndirectedGraph,
+    k: u32,
+    options: &KvccOptions,
+) -> Vec<KVertexConnectedComponent> {
+    assert!(k > 0);
+    let mut stats = EnumerationStats::default();
+    let mut results: Vec<KVertexConnectedComponent> = Vec::new();
+    let mut work: Vec<WorkItem> = Vec::new();
+
+    let core_vertices = k_core_vertices(graph, k as usize);
+    if !core_vertices.is_empty() {
+        let core = graph.induced_subgraph(&core_vertices);
+        work.push(WorkItem {
+            graph: core.graph,
+            to_original: core.to_parent,
+        });
+    }
+
+    while let Some(item) = work.pop() {
+        let core_vertices = k_core_vertices(&item.graph, k as usize);
+        if core_vertices.is_empty() {
+            continue;
+        }
+        let core = item.graph.induced_subgraph(&core_vertices);
+        for component in connected_components(&core.graph) {
+            if component.len() <= k as usize {
+                continue;
+            }
+            let sub = core.graph.induced_subgraph(&component);
+            let to_original: Vec<VertexId> = sub
+                .to_parent
+                .iter()
+                .map(|&core_local| item.to_original[core.to_parent[core_local as usize] as usize])
+                .collect();
+            let outcome = global_cut(&sub.graph, k, options, &mut stats);
+            match outcome.cut {
+                None => results.push(KVertexConnectedComponent::new(to_original)),
+                Some(cut) => {
+                    let mut parts = overlap_partition(&sub.graph, &cut);
+                    if parts.len() < 2 {
+                        match kvcc_flow::connectivity::find_vertex_cut(&sub.graph, k) {
+                            None => {
+                                results.push(KVertexConnectedComponent::new(to_original));
+                                continue;
+                            }
+                            Some(recut) => parts = overlap_partition(&sub.graph, &recut),
+                        }
+                    }
+                    for part in parts {
+                        let piece = sub.graph.induced_subgraph(&part);
+                        let piece_to_original: Vec<VertexId> = piece
+                            .to_parent
+                            .iter()
+                            .map(|&local| to_original[local as usize])
+                            .collect();
+                        work.push(WorkItem {
+                            graph: piece.graph,
+                            to_original: piece_to_original,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    results.sort();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcc::enumerate_kvccs;
+
+    #[test]
+    fn legacy_path_matches_the_refactored_enumerator() {
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
+        for k in 1u32..=3 {
+            let legacy = legacy_enumerate(&g, k, &KvccOptions::default());
+            let new = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(legacy, new.components().to_vec(), "k {k}");
+        }
+    }
+}

@@ -12,6 +12,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod legacy;
+pub mod pr1;
 pub mod report;
 
 pub use report::Table;

@@ -18,9 +18,7 @@
 //! ```
 
 use kvcc_bench::experiments::effectiveness::Metric;
-use kvcc_bench::experiments::{
-    effectiveness, fig10, fig11, fig12, fig13, fig14, table1, table2,
-};
+use kvcc_bench::experiments::{effectiveness, fig10, fig11, fig12, fig13, fig14, table1, table2};
 use kvcc_bench::parse_scale;
 use kvcc_datasets::suite::SuiteScale;
 
@@ -64,7 +62,10 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
-                scale = args.get(i).and_then(|s| parse_scale(s)).unwrap_or_else(|| usage());
+                scale = args
+                    .get(i)
+                    .and_then(|s| parse_scale(s))
+                    .unwrap_or_else(|| usage());
             }
             name if experiment.is_none() => experiment = Some(name.to_string()),
             _ => usage(),
@@ -76,8 +77,7 @@ fn main() {
     println!("# k-VCC evaluation harness (scale: {scale:?})\n");
     if experiment == "all" {
         for name in [
-            "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14",
+            "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
         ] {
             run_one(name, scale);
         }

@@ -1,0 +1,350 @@
+//! PR 1 performance baseline: vec-adjacency vs CSR substrates and legacy vs
+//! CSR/scratch-arena vs parallel enumeration on the planted-partition suite.
+//!
+//! Shared by the `pr1-bench` binary (which writes `BENCH_pr1.json`) and the
+//! `pr1_substrate` criterion bench. Timing here is intentionally simple —
+//! warm-up, then a fixed wall-clock budget of repetitions, reporting the mean
+//! — because the point is to record the *trajectory* of the refactor, not
+//! publishable micro-benchmarks.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::kcore::k_core_vertices;
+use kvcc_graph::traversal::bfs_distances;
+use kvcc_graph::{CsrGraph, UndirectedGraph};
+
+use crate::legacy::legacy_enumerate;
+
+/// One benchmark case: a name plus a closure returning a checksum (to defeat
+/// dead-code elimination and to cross-check that compared paths agree).
+#[derive(Clone, Copy)]
+pub struct Case {
+    /// Display name of the case.
+    pub name: &'static str,
+    /// The workload.
+    pub run: fn() -> usize,
+}
+
+/// The planted-partition graph used by the substrate-primitive cases.
+fn substrate_graphs() -> &'static (UndirectedGraph, CsrGraph) {
+    static GRAPHS: OnceLock<(UndirectedGraph, CsrGraph)> = OnceLock::new();
+    GRAPHS.get_or_init(|| {
+        let planted = planted_communities(&PlantedConfig {
+            num_communities: 8,
+            chain_length: 4,
+            // Large enough that the adjacency no longer fits in L1/L2 and the
+            // cache behaviour of the representation matters.
+            background_vertices: 60_000,
+            background_edges_per_vertex: 4,
+            seed: 7,
+            ..PlantedConfig::default()
+        });
+        let csr = CsrGraph::from_view(&planted.graph);
+        (planted.graph, csr)
+    })
+}
+
+/// The planted-partition graph used by the end-to-end enumeration cases
+/// (smaller, because the legacy path is slow).
+fn enumeration_graph() -> &'static (UndirectedGraph, u32) {
+    static GRAPH: OnceLock<(UndirectedGraph, u32)> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        let config = PlantedConfig {
+            num_communities: 6,
+            chain_length: 3,
+            community_size: (10, 14),
+            background_vertices: 600,
+            seed: 11,
+            ..PlantedConfig::default()
+        };
+        let k = config.k as u32;
+        (planted_communities(&config).graph, k)
+    })
+}
+
+fn bfs_vec() -> usize {
+    let (g, _) = substrate_graphs();
+    bfs_distances(g, 0)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .map(|d| d as usize)
+        .sum()
+}
+
+fn bfs_csr() -> usize {
+    let (_, g) = substrate_graphs();
+    bfs_distances(g, 0)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .map(|d| d as usize)
+        .sum()
+}
+
+fn kcore_vec() -> usize {
+    let (g, _) = substrate_graphs();
+    k_core_vertices(g, 4).len()
+}
+
+fn kcore_csr() -> usize {
+    let (_, g) = substrate_graphs();
+    k_core_vertices(g, 4).len()
+}
+
+fn enum_legacy() -> usize {
+    let (g, k) = enumeration_graph();
+    legacy_enumerate(g, *k, &KvccOptions::default())
+        .iter()
+        .map(|c| c.len())
+        .sum()
+}
+
+fn enum_csr_sequential() -> usize {
+    let (g, k) = enumeration_graph();
+    let r = enumerate_kvccs(g, *k, &KvccOptions::default()).unwrap();
+    r.iter().map(|c| c.len()).sum()
+}
+
+fn enum_csr_parallel() -> usize {
+    let (g, k) = enumeration_graph();
+    let r = enumerate_kvccs(g, *k, &KvccOptions::parallel()).unwrap();
+    r.iter().map(|c| c.len()).sum()
+}
+
+/// Substrate-primitive cases: the same operation on both representations.
+pub fn substrate_cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "bfs/vec-adjacency",
+            run: bfs_vec,
+        },
+        Case {
+            name: "bfs/csr",
+            run: bfs_csr,
+        },
+        Case {
+            name: "kcore/vec-adjacency",
+            run: kcore_vec,
+        },
+        Case {
+            name: "kcore/csr",
+            run: kcore_csr,
+        },
+    ]
+}
+
+/// End-to-end enumeration cases: seed path vs refactored paths.
+pub fn enumeration_cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "enumerate/legacy-vec-sequential",
+            run: enum_legacy,
+        },
+        Case {
+            name: "enumerate/csr-arena-sequential",
+            run: enum_csr_sequential,
+        },
+        Case {
+            name: "enumerate/csr-arena-parallel",
+            run: enum_csr_parallel,
+        },
+    ]
+}
+
+/// One timed result.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    /// Case name.
+    pub name: &'static str,
+    /// Mean wall-clock nanoseconds per run.
+    pub mean_ns: f64,
+    /// Number of measured runs.
+    pub iterations: u64,
+    /// Workload checksum (identical across compared paths).
+    pub checksum: usize,
+}
+
+/// The collected PR 1 report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All measured entries, in execution order.
+    pub entries: Vec<Entry>,
+}
+
+fn measure(case: &Case, warmup: Duration, budget: Duration, min_iters: u64) -> Entry {
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    while start.elapsed() < warmup {
+        checksum = std::hint::black_box((case.run)());
+    }
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    while iterations < min_iters || (total < budget && iterations < min_iters * 64) {
+        let t = Instant::now();
+        checksum = std::hint::black_box((case.run)());
+        total += t.elapsed();
+        iterations += 1;
+    }
+    Entry {
+        name: case.name,
+        mean_ns: total.as_nanos() as f64 / iterations as f64,
+        iterations,
+        checksum,
+    }
+}
+
+impl Report {
+    fn entry(&self, name: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    fn speedup(&self, baseline: &str, contender: &str) -> Option<f64> {
+        let b = self.entry(baseline)?;
+        let c = self.entry(contender)?;
+        if c.mean_ns > 0.0 {
+            Some(b.mean_ns / c.mean_ns)
+        } else {
+            None
+        }
+    }
+
+    /// Human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("PR 1 baseline (planted-partition suite)\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<36} {:>14.1} ns/run  ({} runs, checksum {})\n",
+                e.name, e.mean_ns, e.iterations, e.checksum
+            ));
+        }
+        for (b, c, label) in self.speedup_pairs() {
+            if let Some(s) = self.speedup(b, c) {
+                out.push_str(&format!("speedup {label}: {s:.2}x\n"));
+            }
+        }
+        out
+    }
+
+    fn speedup_pairs(&self) -> Vec<(&'static str, &'static str, &'static str)> {
+        vec![
+            ("bfs/vec-adjacency", "bfs/csr", "bfs csr-vs-vec"),
+            ("kcore/vec-adjacency", "kcore/csr", "kcore csr-vs-vec"),
+            (
+                "enumerate/legacy-vec-sequential",
+                "enumerate/csr-arena-sequential",
+                "enum csr-seq-vs-legacy",
+            ),
+            (
+                "enumerate/legacy-vec-sequential",
+                "enumerate/csr-arena-parallel",
+                "enum csr-par-vs-legacy",
+            ),
+        ]
+    }
+
+    /// JSON payload for `BENCH_pr1.json` (no third-party serializer in the
+    /// offline environment, so it is assembled by hand).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"pr\": 1,\n");
+        out.push_str(
+            "  \"description\": \"vec-adjacency vs CSR substrate and legacy vs CSR+scratch-arena \
+             (sequential/parallel) KVCC-ENUM on the planted-partition suite\",\n",
+        );
+        out.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+                e.name,
+                e.mean_ns,
+                e.iterations,
+                e.checksum,
+                if i + 1 < self.entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"speedups\": {\n");
+        let pairs = self.speedup_pairs();
+        let mut parts = Vec::new();
+        for (b, c, label) in pairs {
+            if let Some(s) = self.speedup(b, c) {
+                parts.push(format!("    \"{}\": {:.3}", label.replace(' ', "_"), s));
+            }
+        }
+        out.push_str(&parts.join(",\n"));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Runs every case and collects the report. Also cross-checks that all
+/// enumeration paths agree on their checksum (identical component content).
+pub fn run_all() -> Report {
+    let mut report = Report::default();
+    for case in substrate_cases() {
+        report.entries.push(measure(
+            &case,
+            Duration::from_millis(100),
+            Duration::from_millis(400),
+            10,
+        ));
+    }
+    for case in enumeration_cases() {
+        report.entries.push(measure(
+            &case,
+            Duration::from_millis(200),
+            Duration::from_secs(2),
+            5,
+        ));
+    }
+    let sums: Vec<usize> = [
+        "enumerate/legacy-vec-sequential",
+        "enumerate/csr-arena-sequential",
+        "enumerate/csr-arena-parallel",
+    ]
+    .iter()
+    .filter_map(|n| report.entry(n).map(|e| e.checksum))
+    .collect();
+    assert!(
+        sums.windows(2).all(|w| w[0] == w[1]),
+        "enumeration paths disagree: {sums:?}"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cases_produce_matching_checksums() {
+        assert_eq!(enum_legacy(), enum_csr_sequential());
+        assert_eq!(enum_csr_sequential(), enum_csr_parallel());
+        assert_eq!(bfs_vec(), bfs_csr());
+        assert_eq!(kcore_vec(), kcore_csr());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = Report {
+            entries: vec![Entry {
+                name: "bfs/csr",
+                mean_ns: 12.5,
+                iterations: 3,
+                checksum: 42,
+            }],
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"results\""));
+        assert!(json.contains("\"bfs/csr\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

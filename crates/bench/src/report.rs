@@ -25,7 +25,11 @@ impl Table {
 
     /// Appends one row (cells are converted to strings by the caller).
     pub fn add_row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.header.len(), "row width must match the header");
+        debug_assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
         self.rows.push(cells);
     }
 

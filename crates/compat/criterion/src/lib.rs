@@ -1,0 +1,279 @@
+//! Offline compatibility shim for the parts of the `criterion` API that the
+//! workspace benches use.
+//!
+//! The build container has no network access, so the real crates.io
+//! `criterion` cannot be fetched. This shim keeps the bench sources unchanged
+//! and provides a small, honest timing harness instead of criterion's full
+//! statistical machinery: each benchmark is warmed up for `warm_up_time`, then
+//! run for up to `measurement_time` (at least `sample_size` iterations), and
+//! the mean wall-clock time per iteration is printed as
+//! `group/id ... <mean> ns/iter (<iters> iters)`.
+//!
+//! Results are also collected in-process so harnesses (like the `pr1-bench`
+//! binary) can post-process them into JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function>/<parameter>` style id.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id consisting of the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// One measured benchmark: its full name and the mean nanoseconds taken by a
+/// single iteration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/id` name of the benchmark.
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of measured iterations.
+    pub iterations: u64,
+}
+
+/// The top-level benchmark driver (shim for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(800),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| f(b));
+        group.finish();
+        self
+    }
+
+    /// All measurements recorded so far (used by JSON-emitting harnesses).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Hook called by [`criterion_main!`] after all groups ran.
+    pub fn final_summary(&self) {
+        eprintln!(
+            "(criterion shim: {} benchmarks measured)",
+            self.measurements.len()
+        );
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher, input);
+        self.record(id, &bencher);
+        self
+    }
+
+    /// Benchmarks `f` without an explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.bench_with_input(id, &(), |b, _| f(b))
+    }
+
+    fn record(&mut self, id: BenchmarkId, bencher: &Bencher) {
+        let name = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        let mean_ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.total.as_nanos() as f64 / bencher.iterations as f64
+        };
+        println!(
+            "{name:<48} {mean_ns:>14.1} ns/iter ({} iters)",
+            bencher.iterations
+        );
+        self.parent.measurements.push(Measurement {
+            name,
+            mean_ns,
+            iterations: bencher.iterations,
+        });
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the benchmark closure and accumulates timing (shim for
+/// `criterion::Bencher`).
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up phase: run without recording.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement phase: at least `sample_size` iterations, stop adding
+        // more once the time budget is exhausted.
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        loop {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            iterations += 1;
+            if iterations >= self.sample_size as u64 && total >= self.measurement_time {
+                break;
+            }
+            if iterations >= self.sample_size as u64 * 64 {
+                break; // very fast routines: cap the iteration count
+            }
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_measurements() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(5)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.measurements().len(), 1);
+        let m = &c.measurements()[0];
+        assert_eq!(m.name, "demo/3");
+        assert!(m.iterations >= 5);
+        assert!(m.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

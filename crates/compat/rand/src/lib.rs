@@ -1,0 +1,225 @@
+//! Offline compatibility shim for the parts of the `rand` 0.8 API that this
+//! workspace uses.
+//!
+//! The build container has no network access, so the real crates.io `rand`
+//! cannot be fetched. The workload generators in `kvcc-datasets` only need a
+//! *deterministic, seedable, reasonably well mixed* source of pseudo-random
+//! numbers — cryptographic quality is irrelevant — so this crate provides a
+//! tiny drop-in replacement:
+//!
+//! * [`rngs::StdRng`] — xoshiro256\*\* seeded through SplitMix64;
+//! * [`Rng`] — `gen`, `gen_range` (half-open and inclusive integer ranges),
+//!   `gen_bool`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! The generated streams do **not** match crates.io `rand`; they only promise
+//! determinism for a fixed seed, which is all the dataset generators rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic xoshiro256\*\* generator (stand-in for rand's `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the seed, as recommended by the xoshiro
+            // authors; guarantees a non-zero state for any seed.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl StdRng {
+        /// Advances the generator and returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be produced uniformly by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random mantissa bits mapped to [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics on empty ranges.
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (uniform_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from an empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX as $t as u64 && start == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start + (uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u32, u64, usize, i64);
+
+/// Uniform value in `0..span` by widening multiplication (Lemire's method,
+/// without the rejection step — the tiny modulo bias is irrelevant for
+/// synthetic graph generation).
+fn uniform_u64(rng: &mut rngs::StdRng, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// The subset of rand's `Rng` extension trait used by the workspace.
+pub trait Rng {
+    /// Draws a uniform value of type `T` (only `f64`, `u32`, `u64`).
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        <f64 as Standard>::draw(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::rngs::StdRng;
+    use super::Rng;
+
+    /// Slice shuffling (subset of rand's `SliceRandom`).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..=5);
+            assert!(y <= 5);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = rngs::StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = rngs::StdRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should not be the identity");
+    }
+}

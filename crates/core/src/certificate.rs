@@ -11,7 +11,7 @@
 //! (Theorem 10): every connected component of `F_k` is a set of vertices that
 //! are pairwise k-local-connected, which powers the group-sweep rules.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, GraphView, VertexId};
 
 /// Sentinel meaning "this vertex belongs to no (retained) side-group".
 pub const NO_GROUP: u32 = u32::MAX;
@@ -21,8 +21,9 @@ pub const NO_GROUP: u32 = u32::MAX;
 #[derive(Clone, Debug)]
 pub struct SparseCertificate {
     /// The certificate subgraph `SC` (same vertex ids as the input graph,
-    /// subset of its edges).
-    pub graph: UndirectedGraph,
+    /// subset of its edges), stored in CSR form because it is the substrate
+    /// of all flow computations.
+    pub graph: CsrGraph,
     /// Number of edges contributed by each of the `k` forests, in order.
     /// Forests that would be empty are omitted, so the vector may be shorter
     /// than `k`.
@@ -58,7 +59,7 @@ impl SparseCertificate {
 /// side-groups of its k-th scan-first forest (Theorem 10).
 ///
 /// `k = 0` is accepted and yields an edgeless certificate.
-pub fn sparse_certificate(g: &UndirectedGraph, k: u32) -> SparseCertificate {
+pub fn sparse_certificate<G: GraphView>(g: &G, k: u32) -> SparseCertificate {
     let n = g.num_vertices();
     let m = g.num_edges();
 
@@ -134,7 +135,7 @@ pub fn sparse_certificate(g: &UndirectedGraph, k: u32) -> SparseCertificate {
         forest_sizes.push(forest_edges);
     }
 
-    let graph = UndirectedGraph::from_edges(n, certificate_edges)
+    let graph = CsrGraph::from_edges(n, certificate_edges)
         .expect("certificate edges come from the input graph and are always in range");
 
     // Side-groups: components of the k-th forest with more than k vertices.
@@ -144,16 +145,17 @@ pub fn sparse_certificate(g: &UndirectedGraph, k: u32) -> SparseCertificate {
         collect_side_groups(&last_forest_component, n, k as usize)
     };
 
-    SparseCertificate { graph, forest_sizes, side_groups, group_of }
+    SparseCertificate {
+        graph,
+        forest_sizes,
+        side_groups,
+        group_of,
+    }
 }
 
 /// Groups vertices by their component id in the last forest, keeping only
 /// components with more than `k` vertices, and builds the reverse index.
-fn collect_side_groups(
-    component: &[u32],
-    n: usize,
-    k: usize,
-) -> (Vec<Vec<VertexId>>, Vec<u32>) {
+fn collect_side_groups(component: &[u32], n: usize, k: usize) -> (Vec<Vec<VertexId>>, Vec<u32>) {
     let mut buckets: std::collections::HashMap<u32, Vec<VertexId>> =
         std::collections::HashMap::new();
     for (v, &c) in component.iter().enumerate() {
@@ -161,8 +163,10 @@ fn collect_side_groups(
             buckets.entry(c).or_default().push(v as VertexId);
         }
     }
-    let mut groups: Vec<Vec<VertexId>> =
-        buckets.into_values().filter(|members| members.len() > k).collect();
+    let mut groups: Vec<Vec<VertexId>> = buckets
+        .into_values()
+        .filter(|members| members.len() > k)
+        .collect();
     // Deterministic order: by smallest member.
     groups.sort_by_key(|members| members[0]);
     let mut group_of = vec![NO_GROUP; n];
@@ -178,6 +182,7 @@ fn collect_side_groups(
 mod tests {
     use super::*;
     use kvcc_flow::global_vertex_connectivity;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -249,7 +254,10 @@ mod tests {
             for (i, &a) in group.iter().enumerate() {
                 for &b in &group[i + 1..] {
                     let conn = kvcc_flow::local_vertex_connectivity(&g, a, b, k);
-                    assert!(conn >= k, "side-group members {a},{b} must be {k}-connected");
+                    assert!(
+                        conn >= k,
+                        "side-group members {a},{b} must be {k}-connected"
+                    );
                 }
             }
         }

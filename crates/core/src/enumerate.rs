@@ -13,15 +13,32 @@
 //!
 //! Lemma 10 and Theorem 6 bound the total number of partitions and of
 //! k-VCCs, which keeps the whole process polynomial (Theorem 7).
+//!
+//! # Implementation notes
+//!
+//! * The input graph may be any [`GraphView`]; every internal work item is a
+//!   compact [`CsrGraph`].
+//! * k-core peeling and component splitting run on a [`SubgraphView`] vertex
+//!   mask — no copy is made until a component survives both filters, at which
+//!   point it is extracted once into CSR form through a reusable relabelling
+//!   buffer ([`CsrGraph::extract_induced`]).
+//! * Each `GLOBAL-CUT` probe reuses a per-worker [`CutScratch`] flow arena
+//!   instead of rebuilding its network from scratch.
+//! * The work items created by `OVERLAP-PARTITION` are independent, so with
+//!   [`KvccOptions::threads`] ≠ 1 they are processed by a pool of workers;
+//!   results and statistics merge deterministically (see
+//!   [`KvccOptions::threads`]).
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use kvcc_graph::kcore::k_core_vertices;
-use kvcc_graph::traversal::connected_components;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, GraphView, SubgraphView, VertexId};
 
 use crate::error::KvccError;
-use crate::global_cut::global_cut;
+use crate::global_cut::{global_cut_with_scratch, CutScratch};
 use crate::options::{AlgorithmVariant, KvccOptions};
 use crate::partition::overlap_partition;
 use crate::result::{KVertexConnectedComponent, KvccResult};
@@ -36,8 +53,25 @@ pub struct KvccEnumerator {
 /// A unit of pending work: a subgraph (in its own compact id space) plus the
 /// mapping of its vertex ids back to the ids of the input graph.
 struct WorkItem {
-    graph: UndirectedGraph,
+    graph: CsrGraph,
     to_original: Vec<VertexId>,
+}
+
+impl WorkItem {
+    /// Bytes charged to the memory tracker while the item sits on the work
+    /// list.
+    fn bytes(&self) -> usize {
+        self.graph.memory_bytes() + self.to_original.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+/// Per-worker scratch: the `GLOBAL-CUT` flow arena plus the relabelling
+/// buffer used by CSR extraction. Lives for the whole enumeration, so steady
+/// state work allocates only the extracted subgraphs themselves.
+#[derive(Default)]
+struct WorkerScratch {
+    cut: CutScratch,
+    map: Vec<VertexId>,
 }
 
 impl KvccEnumerator {
@@ -48,7 +82,9 @@ impl KvccEnumerator {
 
     /// Convenience constructor for one of the paper's four variants.
     pub fn with_variant(variant: AlgorithmVariant) -> Self {
-        KvccEnumerator { options: KvccOptions::for_variant(variant) }
+        KvccEnumerator {
+            options: KvccOptions::for_variant(variant),
+        }
     }
 
     /// The options this enumerator runs with.
@@ -60,13 +96,12 @@ impl KvccEnumerator {
     ///
     /// Errors if `k == 0` (the model is undefined) or — which would indicate an
     /// internal bug — if a reported cut repeatedly fails to split a subgraph.
-    pub fn run(&self, graph: &UndirectedGraph, k: u32) -> Result<KvccResult, KvccError> {
+    pub fn run<G: GraphView>(&self, graph: &G, k: u32) -> Result<KvccResult, KvccError> {
         if k == 0 {
             return Err(KvccError::InvalidK);
         }
         let start = Instant::now();
         let mut stats = EnumerationStats::default();
-        let mut memory = MemoryTracker::new();
         let mut results: Vec<KVertexConnectedComponent> = Vec::new();
 
         // Apply the first round of k-core pruning directly on the caller's
@@ -74,62 +109,233 @@ impl KvccEnumerator {
         // only the (usually much smaller) k-core and its descendants. The
         // memory tracker therefore measures the algorithm's *working* memory,
         // which is what Fig. 12 of the paper tracks trends of.
-        let mut work: Vec<WorkItem> = Vec::new();
+        let mut initial: Vec<WorkItem> = Vec::new();
         let core_vertices = k_core_vertices(graph, k as usize);
         stats.kcore_removed_vertices += (graph.num_vertices() - core_vertices.len()) as u64;
         if !core_vertices.is_empty() {
-            let core = graph.induced_subgraph(&core_vertices);
-            push_item(&mut work, &mut memory, core.graph, core.to_parent);
+            let mut map = Vec::new();
+            let core = CsrGraph::extract_induced(graph, &core_vertices, &mut map);
+            initial.push(WorkItem {
+                graph: core,
+                to_original: core_vertices,
+            });
         }
 
-        while let Some(item) = work.pop() {
-            memory.release(item.graph.memory_bytes());
-            self.process_item(item, k, &mut work, &mut results, &mut stats, &mut memory)?;
+        let threads = effective_threads(self.options.threads);
+        if threads <= 1 {
+            self.run_sequential(k, initial, &mut results, &mut stats)?;
+        } else {
+            self.run_parallel(k, initial, &mut results, &mut stats, threads)?;
         }
 
         // Deterministic output order: by smallest member, then by size.
         results.sort();
-        stats.peak_memory_bytes = memory.peak();
         stats.elapsed = start.elapsed();
         Ok(KvccResult::new(k, results, stats))
     }
 
+    /// Sequential worklist (LIFO, matching the seed implementation).
+    fn run_sequential(
+        &self,
+        k: u32,
+        initial: Vec<WorkItem>,
+        results: &mut Vec<KVertexConnectedComponent>,
+        stats: &mut EnumerationStats,
+    ) -> Result<(), KvccError> {
+        let mut memory = MemoryTracker::new();
+        let mut scratch = WorkerScratch::default();
+        let mut work: Vec<WorkItem> = Vec::new();
+        let mut created: Vec<WorkItem> = Vec::new();
+        for item in initial {
+            memory.allocate(item.bytes());
+            work.push(item);
+        }
+        while let Some(item) = work.pop() {
+            memory.release(item.bytes());
+            self.process_item(
+                item,
+                k,
+                &mut created,
+                results,
+                stats,
+                &mut memory,
+                &mut scratch,
+            )?;
+            for item in created.drain(..) {
+                memory.allocate(item.bytes());
+                work.push(item);
+            }
+        }
+        stats.peak_memory_bytes = stats.peak_memory_bytes.max(memory.peak());
+        Ok(())
+    }
+
+    /// Parallel worklist: a shared queue drained by `threads` workers, each
+    /// with its own scratch arena and local result/statistics buffers that
+    /// are merged after the pool drains.
+    ///
+    /// The merge is deterministic because the *set* of work items processed
+    /// is independent of scheduling: every item is handled identically
+    /// regardless of which worker picks it up, counters are sums over items,
+    /// and the final component list is sorted. Only `elapsed` and the peak
+    /// memory estimate vary between runs.
+    fn run_parallel(
+        &self,
+        k: u32,
+        initial: Vec<WorkItem>,
+        results: &mut Vec<KVertexConnectedComponent>,
+        stats: &mut EnumerationStats,
+        threads: usize,
+    ) -> Result<(), KvccError> {
+        struct Shared {
+            queue: VecDeque<WorkItem>,
+            active: usize,
+            error: Option<KvccError>,
+        }
+        let queue_bytes = AtomicUsize::new(0);
+        let queue_peak = AtomicUsize::new(0);
+        let charge = |delta: usize| {
+            let now = queue_bytes.fetch_add(delta, Ordering::Relaxed) + delta;
+            queue_peak.fetch_max(now, Ordering::Relaxed);
+        };
+        for item in &initial {
+            charge(item.bytes());
+        }
+        let shared = Mutex::new(Shared {
+            queue: initial.into(),
+            active: 0,
+            error: None,
+        });
+        let ready = Condvar::new();
+
+        type WorkerOutput = (Vec<KVertexConnectedComponent>, EnumerationStats, usize);
+        let collected: Mutex<Vec<WorkerOutput>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local_results = Vec::new();
+                    let mut local_stats = EnumerationStats::default();
+                    let mut memory = MemoryTracker::new();
+                    let mut scratch = WorkerScratch::default();
+                    let mut created: Vec<WorkItem> = Vec::new();
+                    loop {
+                        // Pop one item, or exit when the queue has drained and
+                        // no worker can still produce more.
+                        let item = {
+                            let mut guard = shared.lock().unwrap();
+                            loop {
+                                if guard.error.is_some() {
+                                    break None;
+                                }
+                                if let Some(item) = guard.queue.pop_back() {
+                                    guard.active += 1;
+                                    break Some(item);
+                                }
+                                if guard.active == 0 {
+                                    break None;
+                                }
+                                guard = ready.wait(guard).unwrap();
+                            }
+                        };
+                        let Some(item) = item else { break };
+                        queue_bytes.fetch_sub(item.bytes(), Ordering::Relaxed);
+
+                        let outcome = self.process_item(
+                            item,
+                            k,
+                            &mut created,
+                            &mut local_results,
+                            &mut local_stats,
+                            &mut memory,
+                            &mut scratch,
+                        );
+                        for item in &created {
+                            charge(item.bytes());
+                        }
+
+                        let mut guard = shared.lock().unwrap();
+                        guard.active -= 1;
+                        match outcome {
+                            Ok(()) => guard.queue.extend(created.drain(..)),
+                            Err(e) => {
+                                created.clear();
+                                guard.error.get_or_insert(e);
+                            }
+                        }
+                        // Wake everyone: new items may be available, or the
+                        // drain condition may now hold.
+                        ready.notify_all();
+                    }
+                    collected
+                        .lock()
+                        .unwrap()
+                        .push((local_results, local_stats, memory.peak()));
+                });
+            }
+        });
+
+        if let Some(e) = shared.into_inner().unwrap().error {
+            return Err(e);
+        }
+        let mut scratch_peak = 0usize;
+        for (local_results, local_stats, peak) in collected.into_inner().unwrap() {
+            results.extend(local_results);
+            // Worker-local stats have zero `elapsed` and zero peak memory, so
+            // the shared merge only accumulates the order-independent
+            // counters here; the peak estimate is assembled below.
+            stats.merge(&local_stats);
+            scratch_peak = scratch_peak.max(peak);
+        }
+        // Peak estimate: the queue's high-water mark plus the largest
+        // per-worker scratch peak. An approximation (workers run
+        // concurrently), but monotone in problem size like Fig. 12.
+        stats.peak_memory_bytes = stats
+            .peak_memory_bytes
+            .max(queue_peak.load(Ordering::Relaxed) + scratch_peak);
+        Ok(())
+    }
+
     /// Handles one work item: k-core pruning, component split, cut-or-report.
+    ///
+    /// New work items are pushed to `created`; the caller owns queueing and
+    /// the associated memory accounting.
+    #[allow(clippy::too_many_arguments)]
     fn process_item(
         &self,
         item: WorkItem,
         k: u32,
-        work: &mut Vec<WorkItem>,
+        created: &mut Vec<WorkItem>,
         results: &mut Vec<KVertexConnectedComponent>,
         stats: &mut EnumerationStats,
         memory: &mut MemoryTracker,
+        scratch: &mut WorkerScratch,
     ) -> Result<(), KvccError> {
-        // Line 2 of Algorithm 1: iteratively remove vertices of degree < k.
-        let core_vertices = k_core_vertices(&item.graph, k as usize);
-        stats.kcore_removed_vertices +=
-            (item.graph.num_vertices() - core_vertices.len()) as u64;
-        if core_vertices.is_empty() {
+        // Line 2 of Algorithm 1: iteratively remove vertices of degree < k —
+        // on a vertex mask, without copying the graph.
+        let mut view = SubgraphView::new(&item.graph);
+        let removed = view.k_core_reduce(k as usize);
+        stats.kcore_removed_vertices += removed as u64;
+        if view.live() == 0 {
             return Ok(());
         }
-        let core = item.graph.induced_subgraph(&core_vertices);
 
-        // Line 3: identify connected components.
-        for component in connected_components(&core.graph) {
+        // Line 3: identify connected components of the masked subgraph.
+        for component in view.components() {
             // A k-VCC needs strictly more than k vertices (Definition 2).
             if component.len() <= k as usize {
                 continue;
             }
-            let sub = core.graph.induced_subgraph(&component);
-            let to_original: Vec<VertexId> = sub
-                .to_parent
+            // One extraction per surviving component (ids stay sorted, so the
+            // relabelled CSR rows come out sorted for free).
+            let sub = CsrGraph::extract_induced(&item.graph, &component, &mut scratch.map);
+            let to_original: Vec<VertexId> = component
                 .iter()
-                .map(|&core_local| {
-                    item.to_original[core.to_parent[core_local as usize] as usize]
-                })
+                .map(|&local| item.to_original[local as usize])
                 .collect();
 
             // Lines 5-11: find a cut; report or partition.
-            let outcome = global_cut(&sub.graph, k, &self.options, stats);
+            let outcome = global_cut_with_scratch(&sub, k, &self.options, stats, &mut scratch.cut);
             memory.allocate(outcome.scratch_memory_bytes);
             memory.release(outcome.scratch_memory_bytes);
 
@@ -139,14 +345,14 @@ impl KvccEnumerator {
                 }
                 Some(cut) => {
                     self.partition_and_push(
-                        &sub.graph,
+                        &sub,
                         &to_original,
                         cut,
                         k,
-                        work,
+                        created,
                         results,
                         stats,
-                        memory,
+                        scratch,
                     )?;
                 }
             }
@@ -159,14 +365,14 @@ impl KvccEnumerator {
     #[allow(clippy::too_many_arguments)]
     fn partition_and_push(
         &self,
-        subgraph: &UndirectedGraph,
+        subgraph: &CsrGraph,
         to_original: &[VertexId],
         cut: Vec<VertexId>,
         k: u32,
-        work: &mut Vec<WorkItem>,
+        created: &mut Vec<WorkItem>,
         results: &mut Vec<KVertexConnectedComponent>,
         stats: &mut EnumerationStats,
-        memory: &mut MemoryTracker,
+        scratch: &mut WorkerScratch,
     ) -> Result<(), KvccError> {
         let mut parts = overlap_partition(subgraph, &cut);
         if parts.len() < 2 {
@@ -191,35 +397,38 @@ impl KvccEnumerator {
         }
         stats.partitions += 1;
         for part in parts {
-            let piece = subgraph.induced_subgraph(&part);
-            let piece_to_original: Vec<VertexId> = piece
-                .to_parent
+            // `part` is sorted and de-duplicated by `overlap_partition`.
+            let piece = CsrGraph::extract_induced(subgraph, &part, &mut scratch.map);
+            let piece_to_original: Vec<VertexId> = part
                 .iter()
                 .map(|&local| to_original[local as usize])
                 .collect();
-            push_item(work, memory, piece.graph, piece_to_original);
+            created.push(WorkItem {
+                graph: piece,
+                to_original: piece_to_original,
+            });
         }
         Ok(())
     }
 }
 
-/// Pushes a work item and charges its memory to the tracker.
-fn push_item(
-    work: &mut Vec<WorkItem>,
-    memory: &mut MemoryTracker,
-    graph: UndirectedGraph,
-    to_original: Vec<VertexId>,
-) {
-    memory.allocate(graph.memory_bytes() + to_original.len() * std::mem::size_of::<VertexId>());
-    work.push(WorkItem { graph, to_original });
+/// Resolves [`KvccOptions::threads`] to a concrete worker count.
+fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
 }
 
 /// Enumerates all k-vertex connected components of `graph`.
 ///
 /// This is the main entry point of the crate; see the crate-level docs for an
 /// example and [`KvccOptions`] for the available algorithm variants.
-pub fn enumerate_kvccs(
-    graph: &UndirectedGraph,
+pub fn enumerate_kvccs<G: GraphView>(
+    graph: &G,
     k: u32,
     options: &KvccOptions,
 ) -> Result<KvccResult, KvccError> {
@@ -230,6 +439,7 @@ pub fn enumerate_kvccs(
 mod tests {
     use super::*;
     use crate::verify::verify_kvccs;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -284,6 +494,42 @@ mod tests {
     }
 
     #[test]
+    fn csr_input_gives_identical_results() {
+        let g = two_triangles();
+        let csr = CsrGraph::from_view(&g);
+        let a = enumerate_kvccs(&g, 2, &KvccOptions::default()).unwrap();
+        let b = enumerate_kvccs(&csr, 2, &KvccOptions::default()).unwrap();
+        assert_eq!(a.components(), b.components());
+        assert_eq!(a.stats().partitions, b.stats().partitions);
+        assert_eq!(a.stats().tested_vertices, b.stats().tested_vertices);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let g = two_triangles();
+        let sequential = enumerate_kvccs(&g, 2, &KvccOptions::default()).unwrap();
+        for threads in [0usize, 2, 4] {
+            let opts = KvccOptions::default().with_threads(threads);
+            let parallel = enumerate_kvccs(&g, 2, &opts).unwrap();
+            assert_eq!(
+                parallel.components(),
+                sequential.components(),
+                "threads {threads}"
+            );
+            assert_eq!(
+                parallel.stats().partitions,
+                sequential.stats().partitions,
+                "threads {threads}"
+            );
+            assert_eq!(
+                parallel.stats().kcore_removed_vertices,
+                sequential.stats().kcore_removed_vertices
+            );
+            assert!(parallel.stats().peak_memory_bytes > 0);
+        }
+    }
+
+    #[test]
     fn k1_gives_connected_components_with_at_least_two_vertices() {
         let g = UndirectedGraph::from_edges(7, vec![(0, 1), (1, 2), (3, 4), (5, 5)]).unwrap();
         let r = enumerate_kvccs(&g, 1, &KvccOptions::default()).unwrap();
@@ -296,9 +542,19 @@ mod tests {
     #[test]
     fn empty_and_sparse_graphs_have_no_kvccs() {
         let empty = UndirectedGraph::new(0);
-        assert_eq!(enumerate_kvccs(&empty, 3, &KvccOptions::default()).unwrap().num_components(), 0);
+        assert_eq!(
+            enumerate_kvccs(&empty, 3, &KvccOptions::default())
+                .unwrap()
+                .num_components(),
+            0
+        );
         let path = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
-        assert_eq!(enumerate_kvccs(&path, 2, &KvccOptions::default()).unwrap().num_components(), 0);
+        assert_eq!(
+            enumerate_kvccs(&path, 2, &KvccOptions::default())
+                .unwrap()
+                .num_components(),
+            0
+        );
     }
 
     #[test]
@@ -307,7 +563,11 @@ mod tests {
         let reference = enumerate_kvccs(&g, 2, &KvccOptions::basic()).unwrap();
         for variant in AlgorithmVariant::all() {
             let r = enumerate_kvccs(&g, 2, &KvccOptions::for_variant(variant)).unwrap();
-            assert_eq!(r.components(), reference.components(), "variant {variant:?}");
+            assert_eq!(
+                r.components(),
+                reference.components(),
+                "variant {variant:?}"
+            );
         }
     }
 
@@ -341,5 +601,11 @@ mod tests {
         assert_eq!(r.num_components(), blocks as usize);
         assert!(r.num_components() <= n / 2);
         verify_kvccs(&g, &r, true).unwrap();
+
+        // The chain also exercises the parallel pool with real fan-out.
+        let p = enumerate_kvccs(&g, 2, &KvccOptions::parallel().with_threads(3)).unwrap();
+        assert_eq!(p.components(), r.components());
+        assert_eq!(p.stats().partitions, r.stats().partitions);
+        assert_eq!(p.stats().global_cut_calls, r.stats().global_cut_calls);
     }
 }

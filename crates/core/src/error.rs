@@ -48,7 +48,9 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(KvccError::InvalidK.to_string().contains("k"));
-        let e = KvccError::DegeneratePartition { subgraph_vertices: 7 };
+        let e = KvccError::DegeneratePartition {
+            subgraph_vertices: 7,
+        };
         assert!(e.to_string().contains('7'));
     }
 }

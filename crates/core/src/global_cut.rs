@@ -12,10 +12,14 @@
 //! side-vertex source selection, the distance-descending processing order and
 //! — crucially — the neighbor-sweep and group-sweep rules that skip most
 //! `LOC-CUT` invocations (§5, Table 2).
+//!
+//! The functions are generic over [`GraphView`], and the flow network lives
+//! in a caller-owned [`CutScratch`] arena so that a worklist issuing many
+//! probes (the enumerator) performs no per-probe allocation in steady state.
 
 use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
 use kvcc_graph::traversal::vertices_by_descending_distance;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 use crate::certificate::{sparse_certificate, SparseCertificate, NO_GROUP};
 use crate::options::KvccOptions;
@@ -34,18 +38,51 @@ pub struct GlobalCutOutcome {
     pub scratch_memory_bytes: usize,
 }
 
+/// Reusable scratch arena for `GLOBAL-CUT` invocations.
+///
+/// Owns the vertex-split flow network (see the scratch-arena contract on
+/// [`VertexFlowGraph`]); one `CutScratch` per worker thread is the intended
+/// usage. Buffers grow to the largest subgraph probed and are then reused,
+/// so repeated probes allocate nothing.
+#[derive(Debug, Default)]
+pub struct CutScratch {
+    flow: VertexFlowGraph,
+}
+
+impl CutScratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs `GLOBAL-CUT` (basic variant) or `GLOBAL-CUT*` (any sweep variant) on a
 /// connected graph `g`, looking for a vertex cut of size `< k`.
+///
+/// Convenience wrapper around [`global_cut_with_scratch`] that allocates a
+/// fresh [`CutScratch`]; hot loops should hold their own arena instead.
+pub fn global_cut<G: GraphView>(
+    g: &G,
+    k: u32,
+    options: &KvccOptions,
+    stats: &mut EnumerationStats,
+) -> GlobalCutOutcome {
+    let mut scratch = CutScratch::new();
+    global_cut_with_scratch(g, k, options, stats, &mut scratch)
+}
+
+/// [`global_cut`] with a caller-provided scratch arena.
 ///
 /// The caller is expected to pass a connected graph with minimum degree `>= k`
 /// (guaranteed by the k-core pruning of `KVCC-ENUM`); the function remains
 /// correct for other inputs but the degree-based shortcuts of the paper then
 /// do not apply.
-pub fn global_cut(
-    g: &UndirectedGraph,
+pub fn global_cut_with_scratch<G: GraphView>(
+    g: &G,
     k: u32,
     options: &KvccOptions,
     stats: &mut EnumerationStats,
+    scratch: &mut CutScratch,
 ) -> GlobalCutOutcome {
     stats.global_cut_calls += 1;
     let n = g.num_vertices();
@@ -53,7 +90,10 @@ pub fn global_cut(
         // Too small to be k-connected: its entire vertex set minus one vertex
         // is technically a "cut", but KVCC-ENUM never calls us in this
         // situation; report "no cut" and let the caller's size filter decide.
-        return GlobalCutOutcome { cut: None, scratch_memory_bytes: 0 };
+        return GlobalCutOutcome {
+            cut: None,
+            scratch_memory_bytes: 0,
+        };
     }
 
     let neighbor_sweep = options.variant.neighbor_sweep();
@@ -62,17 +102,15 @@ pub fn global_cut(
 
     // --- Certificate and side-groups (§4.2, §5.2). ---
     let needs_certificate = options.use_sparse_certificate || group_sweep;
-    let certificate: Option<SparseCertificate> =
-        if needs_certificate { Some(sparse_certificate(g, k)) } else { None };
+    let certificate: Option<SparseCertificate> = if needs_certificate {
+        Some(sparse_certificate(g, k))
+    } else {
+        None
+    };
     if let Some(cert) = &certificate {
         stats.certificate_edges += cert.num_edges() as u64;
         stats.side_groups += cert.side_groups.len() as u64;
     }
-    let substrate: &UndirectedGraph = if options.use_sparse_certificate {
-        certificate.as_ref().map(|c| &c.graph).unwrap_or(g)
-    } else {
-        g
-    };
     let (side_groups, group_of): (&[Vec<VertexId>], Vec<u32>) = match (&certificate, group_sweep) {
         (Some(cert), true) => (&cert.side_groups, cert.group_of.clone()),
         _ => (&[], vec![NO_GROUP; n]),
@@ -94,10 +132,15 @@ pub fn global_cut(
     // --- Source selection (Algorithm 3, lines 4-7). ---
     let source = select_source(g, &strong, options, optimised);
 
-    // --- Flow graph over the substrate. ---
-    let mut flow = VertexFlowGraph::build(substrate);
-    let scratch_memory_bytes = flow.memory_bytes()
-        + certificate.as_ref().map(|c| c.memory_bytes()).unwrap_or(0);
+    // --- Flow arena over the substrate (certificate when enabled, otherwise
+    // the subgraph itself). Rebuilding reuses the buffers of previous probes.
+    let flow = &mut scratch.flow;
+    match (&certificate, options.use_sparse_certificate) {
+        (Some(cert), true) => flow.rebuild(&cert.graph),
+        _ => flow.rebuild(g),
+    }
+    let scratch_memory_bytes =
+        flow.memory_bytes() + certificate.as_ref().map(|c| c.memory_bytes()).unwrap_or(0);
 
     // --- Phase 1. ---
     let mut state = SweepState::new(n, side_groups.len());
@@ -133,8 +176,11 @@ pub fn global_cut(
             continue;
         }
         stats.tested_vertices += 1;
-        if let Some(cut) = loc_cut(&mut flow, g, substrate, source, v, k, stats) {
-            return GlobalCutOutcome { cut: Some(cut), scratch_memory_bytes };
+        if let Some(cut) = loc_cut(flow, g, source, v, k, stats) {
+            return GlobalCutOutcome {
+                cut: Some(cut),
+                scratch_memory_bytes,
+            };
         }
         if optimised {
             state.sweep(&ctx, v, SweepCause::SourceOrTested);
@@ -157,20 +203,26 @@ pub fn global_cut(
                     }
                 }
                 stats.phase2_pairs_tested += 1;
-                if let Some(cut) = loc_cut(&mut flow, g, substrate, a, b, k, stats) {
-                    return GlobalCutOutcome { cut: Some(cut), scratch_memory_bytes };
+                if let Some(cut) = loc_cut(flow, g, a, b, k, stats) {
+                    return GlobalCutOutcome {
+                        cut: Some(cut),
+                        scratch_memory_bytes,
+                    };
                 }
             }
         }
     }
 
-    GlobalCutOutcome { cut: None, scratch_memory_bytes }
+    GlobalCutOutcome {
+        cut: None,
+        scratch_memory_bytes,
+    }
 }
 
 /// Chooses the source vertex: a strong side-vertex when available and allowed
 /// (which makes phase 2 unnecessary), otherwise a vertex of minimum degree.
-fn select_source(
-    g: &UndirectedGraph,
+fn select_source<G: GraphView>(
+    g: &G,
     strong: &[bool],
     options: &KvccOptions,
     optimised: bool,
@@ -186,16 +238,23 @@ fn select_source(
             return v;
         }
     }
-    g.min_degree_vertex().expect("global_cut requires a non-empty graph")
+    g.min_degree_vertex()
+        .expect("global_cut requires a non-empty graph")
 }
 
 /// `LOC-CUT(u, v)` (Algorithm 2, lines 12-17): answers trivially for adjacent
-/// or identical vertices (Lemma 5), otherwise runs a max-flow on the substrate
-/// capped at `k` and converts the residual min-cut into a vertex cut.
-fn loc_cut(
+/// or identical vertices (Lemma 5), otherwise runs a max-flow on the arena's
+/// substrate capped at `k` and converts the residual min-cut into a vertex
+/// cut.
+///
+/// The adjacency shortcut is evaluated on the current subgraph `g`; the flow
+/// runs on whatever substrate the arena was last rebuilt with (the sparse
+/// certificate, a subgraph of `g`, or `g` itself). Non-adjacency in `g`
+/// implies non-adjacency in any subgraph, so the unchecked flow entry point
+/// is safe.
+fn loc_cut<G: GraphView>(
     flow: &mut VertexFlowGraph,
-    g: &UndirectedGraph,
-    substrate: &UndirectedGraph,
+    g: &G,
     u: VertexId,
     v: VertexId,
     k: u32,
@@ -206,7 +265,7 @@ fn loc_cut(
         return None;
     }
     stats.loc_cut_flow_calls += 1;
-    match flow.local_connectivity(substrate, u, v, k) {
+    match flow.local_connectivity_nonadjacent(u, v, k) {
         LocalConnectivity::AtLeast(_) => None,
         LocalConnectivity::Cut(cut) => Some(cut),
     }
@@ -217,9 +276,13 @@ mod tests {
     use super::*;
     use crate::options::AlgorithmVariant;
     use kvcc_graph::traversal::connected_components_filtered;
+    use kvcc_graph::{CsrGraph, UndirectedGraph};
 
     fn options_for(variant: AlgorithmVariant) -> KvccOptions {
-        KvccOptions { variant, ..KvccOptions::default() }
+        KvccOptions {
+            variant,
+            ..KvccOptions::default()
+        }
     }
 
     fn complete(n: usize) -> UndirectedGraph {
@@ -248,13 +311,19 @@ mod tests {
 
     fn assert_valid_cut(g: &UndirectedGraph, cut: &[VertexId], k: u32) {
         assert!(!cut.is_empty());
-        assert!((cut.len() as u32) < k, "cut {cut:?} must have fewer than k vertices");
+        assert!(
+            (cut.len() as u32) < k,
+            "cut {cut:?} must have fewer than k vertices"
+        );
         let mut alive = vec![true; g.num_vertices()];
         for &v in cut {
             alive[v as usize] = false;
         }
         let comps = connected_components_filtered(g, &alive);
-        assert!(comps.len() >= 2, "removing {cut:?} must disconnect the graph");
+        assert!(
+            comps.len() >= 2,
+            "removing {cut:?} must disconnect the graph"
+        );
     }
 
     #[test]
@@ -263,7 +332,10 @@ mod tests {
         for variant in AlgorithmVariant::all() {
             let mut stats = EnumerationStats::default();
             let out = global_cut(&g, 4, &options_for(variant), &mut stats);
-            assert!(out.cut.is_none(), "variant {variant:?} found a spurious cut");
+            assert!(
+                out.cut.is_none(),
+                "variant {variant:?} found a spurious cut"
+            );
             assert_eq!(stats.global_cut_calls, 1);
         }
     }
@@ -276,6 +348,48 @@ mod tests {
             let out = global_cut(&g, 3, &options_for(variant), &mut stats);
             let cut = out.cut.expect("graph is not 3-connected");
             assert_valid_cut(&g, &cut, 3);
+        }
+    }
+
+    #[test]
+    fn csr_and_vec_representations_agree() {
+        let g = two_blocks();
+        let csr = CsrGraph::from_view(&g);
+        for variant in AlgorithmVariant::all() {
+            let mut s1 = EnumerationStats::default();
+            let mut s2 = EnumerationStats::default();
+            let a = global_cut(&g, 3, &options_for(variant), &mut s1);
+            let b = global_cut(&csr, 3, &options_for(variant), &mut s2);
+            assert_eq!(a.cut, b.cut, "variant {variant:?}");
+            assert_eq!(s1.tested_vertices, s2.tested_vertices);
+            assert_eq!(s1.loc_cut_flow_calls, s2.loc_cut_flow_calls);
+        }
+    }
+
+    #[test]
+    fn scratch_arena_is_reusable_across_probes() {
+        let blocks = two_blocks();
+        let clique = complete(7);
+        let mut scratch = CutScratch::new();
+        for _ in 0..3 {
+            let mut stats = EnumerationStats::default();
+            let out = global_cut_with_scratch(
+                &blocks,
+                3,
+                &KvccOptions::default(),
+                &mut stats,
+                &mut scratch,
+            );
+            assert_valid_cut(&blocks, &out.cut.expect("not 3-connected"), 3);
+            let mut stats = EnumerationStats::default();
+            let out = global_cut_with_scratch(
+                &clique,
+                4,
+                &KvccOptions::default(),
+                &mut stats,
+                &mut scratch,
+            );
+            assert!(out.cut.is_none());
         }
     }
 

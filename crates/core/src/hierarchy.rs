@@ -113,7 +113,11 @@ pub fn build_hierarchy(
                 // Level 1 is enumerated on the whole graph.
                 let components = enumerate_kvccs(graph, k, options)?.components().to_vec();
                 let parents = vec![None; components.len()];
-                HierarchyLevel { k, components, parents }
+                HierarchyLevel {
+                    k,
+                    components,
+                    parents,
+                }
             }
             Some(previous) => {
                 // Deeper levels are enumerated inside each parent component.
@@ -140,7 +144,11 @@ pub fn build_hierarchy(
                 order.sort_by(|&a, &b| components[a].cmp(&components[b]));
                 let components: Vec<_> = order.iter().map(|&i| components[i].clone()).collect();
                 let parents: Vec<_> = order.iter().map(|&i| parents[i]).collect();
-                HierarchyLevel { k, components, parents }
+                HierarchyLevel {
+                    k,
+                    components,
+                    parents,
+                }
             }
         };
         if level.components.is_empty() {
@@ -149,7 +157,10 @@ pub fn build_hierarchy(
         levels.push(level);
     }
 
-    Ok(KvccHierarchy { levels, num_vertices: graph.num_vertices() })
+    Ok(KvccHierarchy {
+        levels,
+        num_vertices: graph.num_vertices(),
+    })
 }
 
 #[cfg(test)]

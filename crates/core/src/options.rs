@@ -22,7 +22,10 @@ pub enum AlgorithmVariant {
 impl AlgorithmVariant {
     /// Whether the neighbor-sweep rules (§5.1) are active.
     pub fn neighbor_sweep(self) -> bool {
-        matches!(self, AlgorithmVariant::NeighborSweep | AlgorithmVariant::Full)
+        matches!(
+            self,
+            AlgorithmVariant::NeighborSweep | AlgorithmVariant::Full
+        )
     }
 
     /// Whether the group-sweep rules (§5.2) are active.
@@ -78,6 +81,19 @@ pub struct KvccOptions {
     /// Record per-rule sweep counters (Table 2). Negligible cost; kept as an
     /// option so micro-benchmarks can exclude it.
     pub collect_statistics: bool,
+    /// Number of worker threads for the `KVCC-ENUM` worklist.
+    ///
+    /// * `1` (the default) — sequential processing, exactly the paper's
+    ///   Algorithm 1.
+    /// * `0` — use [`std::thread::available_parallelism`].
+    /// * `n > 1` — a fixed pool of `n` workers.
+    ///
+    /// The pieces produced by `OVERLAP-PARTITION` are independent, so workers
+    /// process them concurrently with per-thread scratch arenas. Results and
+    /// statistics are merged deterministically: the reported component set
+    /// and all pruning counters are identical to a sequential run; only
+    /// `elapsed` and the peak-memory estimate depend on scheduling.
+    pub threads: usize,
 }
 
 impl Default for KvccOptions {
@@ -89,6 +105,7 @@ impl Default for KvccOptions {
             prefer_side_vertex_source: true,
             max_degree_for_side_vertex_check: Some(4096),
             collect_statistics: true,
+            threads: 1,
         }
     }
 }
@@ -96,17 +113,26 @@ impl Default for KvccOptions {
 impl KvccOptions {
     /// Options reproducing the paper's basic algorithm `VCCE`.
     pub fn basic() -> Self {
-        KvccOptions { variant: AlgorithmVariant::Basic, ..Self::default() }
+        KvccOptions {
+            variant: AlgorithmVariant::Basic,
+            ..Self::default()
+        }
     }
 
     /// Options reproducing `VCCE-N` (neighbor sweep only).
     pub fn neighbor_sweep() -> Self {
-        KvccOptions { variant: AlgorithmVariant::NeighborSweep, ..Self::default() }
+        KvccOptions {
+            variant: AlgorithmVariant::NeighborSweep,
+            ..Self::default()
+        }
     }
 
     /// Options reproducing `VCCE-G` (group sweep only).
     pub fn group_sweep() -> Self {
-        KvccOptions { variant: AlgorithmVariant::GroupSweep, ..Self::default() }
+        KvccOptions {
+            variant: AlgorithmVariant::GroupSweep,
+            ..Self::default()
+        }
     }
 
     /// Options reproducing `VCCE*` (both sweeps; same as `Default`).
@@ -117,7 +143,25 @@ impl KvccOptions {
     /// Options for the requested variant with all other knobs at their
     /// defaults.
     pub fn for_variant(variant: AlgorithmVariant) -> Self {
-        KvccOptions { variant, ..Self::default() }
+        KvccOptions {
+            variant,
+            ..Self::default()
+        }
+    }
+
+    /// `VCCE*` with the parallel worklist enabled (one worker per available
+    /// core).
+    pub fn parallel() -> Self {
+        KvccOptions {
+            threads: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-thread count (see [`KvccOptions::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -139,7 +183,10 @@ mod tests {
 
     #[test]
     fn paper_names_match_figure_10() {
-        let names: Vec<_> = AlgorithmVariant::all().iter().map(|v| v.paper_name()).collect();
+        let names: Vec<_> = AlgorithmVariant::all()
+            .iter()
+            .map(|v| v.paper_name())
+            .collect();
         assert_eq!(names, vec!["VCCE", "VCCE-N", "VCCE-G", "VCCE*"]);
     }
 
@@ -151,8 +198,14 @@ mod tests {
         assert!(opts.order_by_distance);
         assert_eq!(KvccOptions::full(), opts);
         assert_eq!(KvccOptions::basic().variant, AlgorithmVariant::Basic);
-        assert_eq!(KvccOptions::neighbor_sweep().variant, AlgorithmVariant::NeighborSweep);
-        assert_eq!(KvccOptions::group_sweep().variant, AlgorithmVariant::GroupSweep);
+        assert_eq!(
+            KvccOptions::neighbor_sweep().variant,
+            AlgorithmVariant::NeighborSweep
+        );
+        assert_eq!(
+            KvccOptions::group_sweep().variant,
+            AlgorithmVariant::GroupSweep
+        );
         assert_eq!(
             KvccOptions::for_variant(AlgorithmVariant::Basic).variant,
             AlgorithmVariant::Basic

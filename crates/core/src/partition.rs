@@ -7,7 +7,7 @@
 //! recursion still terminates (Lemmas 8–10).
 
 use kvcc_graph::traversal::connected_components_filtered;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 /// Splits `g` along the vertex cut `cut`.
 ///
@@ -18,7 +18,7 @@ use kvcc_graph::{UndirectedGraph, VertexId};
 /// If `cut` is *not* actually a cut of `g` the function returns a single set
 /// containing every vertex — callers treat that as the degenerate case and
 /// fall back to a recomputed cut (see `DESIGN.md`).
-pub fn overlap_partition(g: &UndirectedGraph, cut: &[VertexId]) -> Vec<Vec<VertexId>> {
+pub fn overlap_partition<G: GraphView>(g: &G, cut: &[VertexId]) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     let mut alive = vec![true; n];
     for &v in cut {
@@ -46,6 +46,7 @@ pub fn duplicated_vertices(cut_size: usize, num_parts: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     /// Two triangles {0,1,2} and {2,3,4} sharing the cut vertex 2.
     fn two_triangles() -> UndirectedGraph {

@@ -108,8 +108,7 @@ mod tests {
         for k in 1..=3u32 {
             for seed in 0..g.num_vertices() as VertexId {
                 let full = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
-                let expected: Vec<_> =
-                    full.iter().filter(|c| c.contains(seed)).cloned().collect();
+                let expected: Vec<_> = full.iter().filter(|c| c.contains(seed)).cloned().collect();
                 let got = kvccs_containing(&g, seed, k, &KvccOptions::default()).unwrap();
                 assert_eq!(got, expected, "seed {seed}, k {k}");
             }
@@ -128,7 +127,9 @@ mod tests {
     fn pruned_seed_returns_nothing() {
         let g = mixed_graph();
         // Vertex 0 has degree 2, so it cannot be in any 3-VCC.
-        assert!(kvccs_containing(&g, 0, 3, &KvccOptions::default()).unwrap().is_empty());
+        assert!(kvccs_containing(&g, 0, 3, &KvccOptions::default())
+            .unwrap()
+            .is_empty());
         // The K4 vertices are in a 3-VCC though.
         let hits = kvccs_containing(&g, 6, 3, &KvccOptions::default()).unwrap();
         assert_eq!(hits.len(), 1);

@@ -82,7 +82,11 @@ impl KvccResult {
         components: Vec<KVertexConnectedComponent>,
         stats: EnumerationStats,
     ) -> Self {
-        KvccResult { k, components, stats }
+        KvccResult {
+            k,
+            components,
+            stats,
+        }
     }
 
     /// The connectivity parameter the enumeration was run with.
@@ -119,13 +123,19 @@ impl KvccResult {
     /// Total number of (vertex, component) memberships; `>= ` the number of
     /// distinct vertices covered because of overlaps.
     pub fn total_memberships(&self) -> usize {
-        self.components.iter().map(KVertexConnectedComponent::len).sum()
+        self.components
+            .iter()
+            .map(KVertexConnectedComponent::len)
+            .sum()
     }
 
     /// Number of distinct vertices covered by at least one k-VCC.
     pub fn covered_vertices(&self) -> usize {
-        let mut all: Vec<VertexId> =
-            self.components.iter().flat_map(|c| c.vertices().iter().copied()).collect();
+        let mut all: Vec<VertexId> = self
+            .components
+            .iter()
+            .flat_map(|c| c.vertices().iter().copied())
+            .collect();
         all.sort_unstable();
         all.dedup();
         all.len()

@@ -14,7 +14,7 @@
 //! * source selection — a strong side-vertex cannot belong to any small cut,
 //!   so choosing one as the source makes phase 2 unnecessary.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 /// Computes the strong side-vertex flag for every vertex of `g`.
 ///
@@ -23,11 +23,7 @@ use kvcc_graph::{UndirectedGraph, VertexId};
 /// side-vertices. The cap bounds the `O(Σ d(w)²)` cost of the check
 /// (Lemma 14) on graphs with extreme hubs and never affects correctness, only
 /// pruning power.
-pub fn strong_side_vertices(
-    g: &UndirectedGraph,
-    k: u32,
-    max_degree: Option<usize>,
-) -> Vec<bool> {
+pub fn strong_side_vertices<G: GraphView>(g: &G, k: u32, max_degree: Option<usize>) -> Vec<bool> {
     let n = g.num_vertices();
     let mut strong = vec![false; n];
     for u in 0..n as VertexId {
@@ -37,8 +33,8 @@ pub fn strong_side_vertices(
 }
 
 /// Tests the Theorem 8 condition for a single vertex.
-pub fn is_strong_side_vertex(
-    g: &UndirectedGraph,
+pub fn is_strong_side_vertex<G: GraphView>(
+    g: &G,
     u: VertexId,
     k: u32,
     max_degree: Option<usize>,
@@ -65,8 +61,8 @@ pub fn is_strong_side_vertex(
 
 /// Returns the indices of all strong side-vertices (convenience wrapper used
 /// by the source-selection step of Algorithm 3).
-pub fn strong_side_vertex_list(
-    g: &UndirectedGraph,
+pub fn strong_side_vertex_list<G: GraphView>(
+    g: &G,
     k: u32,
     max_degree: Option<usize>,
 ) -> Vec<VertexId> {
@@ -80,6 +76,7 @@ pub fn strong_side_vertex_list(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -104,11 +101,9 @@ mod tests {
         // Two triangles sharing vertex 2: the neighbours of 2 include one
         // vertex from each triangle, which are neither adjacent nor share k
         // common neighbours.
-        let g = UndirectedGraph::from_edges(
-            5,
-            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
-        )
-        .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         assert!(!is_strong_side_vertex(&g, 2, 2, None));
         // A degree-2 vertex inside one triangle has adjacent neighbours.
         assert!(is_strong_side_vertex(&g, 0, 2, None));
@@ -122,7 +117,16 @@ mod tests {
         // neighbours, so for k <= 4 vertex 2 is strong.
         let g = UndirectedGraph::from_edges(
             6,
-            vec![(0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5)],
+            vec![
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+            ],
         )
         .unwrap();
         assert!(is_strong_side_vertex(&g, 2, 4, None));

@@ -15,7 +15,7 @@
 //! The cascade is processed with an explicit work list, so arbitrarily large
 //! sweeps cannot overflow the call stack.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 use crate::certificate::NO_GROUP;
 
@@ -33,11 +33,11 @@ pub enum SweepCause {
     GroupSweep,
 }
 
-/// Static, per-`GLOBAL-CUT*` inputs consumed by the sweep cascade.
-#[derive(Clone, Copy, Debug)]
-pub struct SweepContext<'a> {
+/// Static, per-`GLOBAL-CUT*` inputs consumed by the sweep cascade, generic
+/// over the graph representation.
+pub struct SweepContext<'a, G: GraphView> {
     /// The current subgraph being cut.
-    pub graph: &'a UndirectedGraph,
+    pub graph: &'a G,
     /// The connectivity parameter `k`.
     pub k: u32,
     /// Strong side-vertex flags (empty slice ⇒ treat every vertex as not
@@ -54,7 +54,7 @@ pub struct SweepContext<'a> {
     pub group_sweep: bool,
 }
 
-impl<'a> SweepContext<'a> {
+impl<'a, G: GraphView> SweepContext<'a, G> {
     fn is_strong(&self, v: VertexId) -> bool {
         self.strong_side.get(v as usize).copied().unwrap_or(false)
     }
@@ -125,7 +125,12 @@ impl SweepState {
     /// source itself, passed a `LOC-CUT` test, or was derived by a rule).
     ///
     /// Does nothing if `v` is already swept.
-    pub fn sweep(&mut self, ctx: &SweepContext<'_>, v: VertexId, cause: SweepCause) {
+    pub fn sweep<G: GraphView>(
+        &mut self,
+        ctx: &SweepContext<'_, G>,
+        v: VertexId,
+        cause: SweepCause,
+    ) {
         if self.pruned[v as usize] {
             return;
         }
@@ -143,7 +148,7 @@ impl SweepState {
 
     /// Applies the deposit updates and cascading rules triggered by the sweep
     /// of `v` (lines 2–11 of Algorithm 4).
-    fn process(&mut self, ctx: &SweepContext<'_>, v: VertexId) {
+    fn process<G: GraphView>(&mut self, ctx: &SweepContext<'_, G>, v: VertexId) {
         let v_is_strong = ctx.is_strong(v);
 
         // Neighbor sweep (lines 2-5): deposits always accumulate; the
@@ -189,6 +194,7 @@ impl SweepState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -208,7 +214,7 @@ mod tests {
         groups: &'a [Vec<VertexId>],
         neighbor: bool,
         group: bool,
-    ) -> SweepContext<'a> {
+    ) -> SweepContext<'a, UndirectedGraph> {
         SweepContext {
             graph,
             k,
@@ -307,7 +313,10 @@ mod tests {
         let mut state = SweepState::new(6, 1);
         state.sweep(&c, 2, SweepCause::SourceOrTested);
         for v in 0..6u32 {
-            assert!(state.is_pruned(v), "vertex {v} should be swept via the group");
+            assert!(
+                state.is_pruned(v),
+                "vertex {v} should be swept via the group"
+            );
         }
     }
 

@@ -60,15 +60,25 @@ impl std::fmt::Display for VerificationError {
             VerificationError::NotKConnected { index } => {
                 write!(f, "component {index} is not k-vertex connected")
             }
-            VerificationError::OverlapTooLarge { first, second, overlap } => write!(
+            VerificationError::OverlapTooLarge {
+                first,
+                second,
+                overlap,
+            } => write!(
                 f,
                 "components {first} and {second} overlap in {overlap} vertices (must be < k)"
             ),
             VerificationError::NotMaximal { index, vertex } => {
-                write!(f, "component {index} is not maximal: vertex {vertex} can be added")
+                write!(
+                    f,
+                    "component {index} is not maximal: vertex {vertex} can be added"
+                )
             }
             VerificationError::VertexOutOfRange { index, vertex } => {
-                write!(f, "component {index} references non-existent vertex {vertex}")
+                write!(
+                    f,
+                    "component {index} references non-existent vertex {vertex}"
+                )
             }
         }
     }
@@ -89,7 +99,11 @@ pub fn verify_kvccs(
     let components = result.components();
 
     for (index, comp) in components.iter().enumerate() {
-        if let Some(&v) = comp.vertices().iter().find(|&&v| v as usize >= g.num_vertices()) {
+        if let Some(&v) = comp
+            .vertices()
+            .iter()
+            .find(|&&v| v as usize >= g.num_vertices())
+        {
             return Err(VerificationError::VertexOutOfRange { index, vertex: v });
         }
         let sub = comp.induced_subgraph(g);
@@ -102,7 +116,11 @@ pub fn verify_kvccs(
         for j in (i + 1)..components.len() {
             let overlap = components[i].overlap(&components[j]);
             if overlap >= k as usize {
-                return Err(VerificationError::OverlapTooLarge { first: i, second: j, overlap });
+                return Err(VerificationError::OverlapTooLarge {
+                    first: i,
+                    second: j,
+                    overlap,
+                });
             }
         }
     }
@@ -128,7 +146,11 @@ fn find_extension(g: &UndirectedGraph, members: &[VertexId], k: u32) -> Option<V
     for &m in members {
         for &w in g.neighbors(m) {
             if !member_set.contains(&w) && seen.insert(w) {
-                let inside = g.neighbors(w).iter().filter(|&&x| member_set.contains(&x)).count();
+                let inside = g
+                    .neighbors(w)
+                    .iter()
+                    .filter(|&&x| member_set.contains(&x))
+                    .count();
                 if inside >= k as usize {
                     candidates.push(w);
                 }
@@ -160,7 +182,10 @@ mod tests {
     fn result_with(k: u32, comps: Vec<Vec<VertexId>>) -> KvccResult {
         KvccResult::new(
             k,
-            comps.into_iter().map(KVertexConnectedComponent::new).collect(),
+            comps
+                .into_iter()
+                .map(KVertexConnectedComponent::new)
+                .collect(),
             EnumerationStats::default(),
         )
     }
@@ -184,30 +209,35 @@ mod tests {
 
     #[test]
     fn rejects_excessive_overlap() {
-        let g = UndirectedGraph::from_edges(
-            4,
-            vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (0, 3)],
-        )
-        .unwrap();
+        let g =
+            UndirectedGraph::from_edges(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (0, 3)])
+                .unwrap();
         // K4 reported twice with overlapping triangles: overlap 2 >= k = 2.
         let r = result_with(2, vec![vec![0, 1, 2], vec![1, 2, 3]]);
         let err = verify_kvccs(&g, &r, false).unwrap_err();
-        assert!(matches!(err, VerificationError::OverlapTooLarge { overlap: 2, .. }));
+        assert!(matches!(
+            err,
+            VerificationError::OverlapTooLarge { overlap: 2, .. }
+        ));
     }
 
     #[test]
     fn rejects_non_maximal_components() {
         // K4: the only 2-VCC is the whole graph; a reported triangle is not
         // maximal.
-        let g = UndirectedGraph::from_edges(
-            4,
-            vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (0, 3)],
-        )
-        .unwrap();
+        let g =
+            UndirectedGraph::from_edges(4, vec![(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (0, 3)])
+                .unwrap();
         let r = result_with(2, vec![vec![0, 1, 2]]);
         assert_eq!(verify_kvccs(&g, &r, false), Ok(()));
         let err = verify_kvccs(&g, &r, true).unwrap_err();
-        assert!(matches!(err, VerificationError::NotMaximal { index: 0, vertex: 3 }));
+        assert!(matches!(
+            err,
+            VerificationError::NotMaximal {
+                index: 0,
+                vertex: 3
+            }
+        ));
     }
 
     #[test]
@@ -215,7 +245,10 @@ mod tests {
         let g = two_triangles();
         let r = result_with(2, vec![vec![0, 1, 99]]);
         let err = verify_kvccs(&g, &r, false).unwrap_err();
-        assert!(matches!(err, VerificationError::VertexOutOfRange { vertex: 99, .. }));
+        assert!(matches!(
+            err,
+            VerificationError::VertexOutOfRange { vertex: 99, .. }
+        ));
         assert!(err.to_string().contains("99"));
     }
 }

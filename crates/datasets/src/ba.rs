@@ -74,7 +74,10 @@ mod tests {
         let g = barabasi_albert(2000, 3, 5);
         let max = g.max_degree();
         let avg = g.average_degree();
-        assert!(max as f64 > 5.0 * avg, "max {max} should dwarf average {avg}");
+        assert!(
+            max as f64 > 5.0 * avg,
+            "max {max} should dwarf average {avg}"
+        );
     }
 
     #[test]

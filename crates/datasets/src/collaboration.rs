@@ -70,7 +70,9 @@ pub fn collaboration_graph(config: &CollaborationConfig) -> CollaborationGraph {
 
     let mut previous_tail: Vec<VertexId> = Vec::new();
     for gi in 0..config.num_groups {
-        let size = rng.gen_range(config.group_size.0..=config.group_size.1).max(k + 1);
+        let size = rng
+            .gen_range(config.group_size.0..=config.group_size.1)
+            .max(k + 1);
         // A few authors are shared with the previous group (research moves
         // between groups); always fewer than k so the k-VCCs stay distinct.
         let shared: Vec<VertexId> = if gi == 0 {
@@ -124,7 +126,11 @@ pub fn collaboration_graph(config: &CollaborationConfig) -> CollaborationGraph {
         next += 1;
     }
 
-    CollaborationGraph { graph: builder.build(), hub, groups }
+    CollaborationGraph {
+        graph: builder.build(),
+        hub,
+        groups,
+    }
 }
 
 /// The ego network of `center`: the subgraph induced by the vertex and its
@@ -165,14 +171,20 @@ mod tests {
             collab.graph.max_degree(),
             "the hub must be the highest-degree author"
         );
-        assert!(hub_degree >= 12, "hub collaborates with pendants and every group");
+        assert!(
+            hub_degree >= 12,
+            "hub collaborates with pendants and every group"
+        );
     }
 
     #[test]
     fn ego_subgraph_contains_center_and_neighbors() {
         let collab = collaboration_graph(&CollaborationConfig::default());
         let ego = ego_subgraph(&collab.graph, collab.hub);
-        assert_eq!(ego.graph.num_vertices(), collab.graph.degree(collab.hub) + 1);
+        assert_eq!(
+            ego.graph.num_vertices(),
+            collab.graph.degree(collab.hub) + 1
+        );
         assert_eq!(ego.to_parent[0], collab.hub);
     }
 

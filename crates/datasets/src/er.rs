@@ -11,7 +11,10 @@ use kvcc_graph::{GraphBuilder, UndirectedGraph, VertexId};
 /// Uses the geometric skipping technique, so the cost is proportional to the
 /// number of generated edges rather than to `n²`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> UndirectedGraph {
-    assert!((0.0..=1.0).contains(&p), "probability must be within [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be within [0, 1]"
+    );
     let mut builder = GraphBuilder::new().with_vertices(n);
     if n < 2 || p <= 0.0 {
         return builder.build();
@@ -79,7 +82,11 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.num_vertices(), 200);
         // Expectation is ~ 0.05 * C(200,2) = 995 edges; allow a wide margin.
-        assert!(a.num_edges() > 600 && a.num_edges() < 1400, "got {}", a.num_edges());
+        assert!(
+            a.num_edges() > 600 && a.num_edges() < 1400,
+            "got {}",
+            a.num_edges()
+        );
         let c = gnp(200, 0.05, 8);
         assert_ne!(a, c, "different seeds should give different graphs");
     }

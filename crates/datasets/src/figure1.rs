@@ -98,17 +98,23 @@ mod tests {
     fn seams_match_the_paper() {
         let fig = figure1_graph();
         // G1 and G2 share exactly the edge (4,5).
-        let shared12: Vec<_> =
-            fig.blocks[0].iter().filter(|v| fig.blocks[1].contains(v)).collect();
+        let shared12: Vec<_> = fig.blocks[0]
+            .iter()
+            .filter(|v| fig.blocks[1].contains(v))
+            .collect();
         assert_eq!(shared12.len(), 2);
         assert!(fig.graph.has_edge(4, 5));
         // G2 and G3 share exactly vertex 9.
-        let shared23: Vec<_> =
-            fig.blocks[1].iter().filter(|v| fig.blocks[2].contains(v)).collect();
+        let shared23: Vec<_> = fig.blocks[1]
+            .iter()
+            .filter(|v| fig.blocks[2].contains(v))
+            .collect();
         assert_eq!(shared23.len(), 1);
         // G3 and G4 share nothing but are joined by two edges.
-        let shared34: Vec<_> =
-            fig.blocks[2].iter().filter(|v| fig.blocks[3].contains(v)).collect();
+        let shared34: Vec<_> = fig.blocks[2]
+            .iter()
+            .filter(|v| fig.blocks[3].contains(v))
+            .collect();
         assert!(shared34.is_empty());
         assert!(fig.graph.has_edge(13, 15) && fig.graph.has_edge(14, 16));
     }

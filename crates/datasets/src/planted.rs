@@ -79,7 +79,10 @@ pub struct PlantedGraph {
 pub fn planted_communities(config: &PlantedConfig) -> PlantedGraph {
     let k = config.k;
     assert!(config.community_size.0 > k, "community size must exceed k");
-    assert!(config.community_size.0 <= config.community_size.1, "invalid size range");
+    assert!(
+        config.community_size.0 <= config.community_size.1,
+        "invalid size range"
+    );
     assert!(config.overlap < k.max(1), "overlap must be smaller than k");
 
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -116,7 +119,13 @@ pub fn planted_communities(config: &PlantedConfig) -> PlantedGraph {
             members.extend((0..fresh).map(|i| next_vertex + i as VertexId));
             next_vertex += fresh as VertexId;
 
-            add_block(&mut builder, &mut rng, &members, k, config.extra_intra_edges_per_vertex);
+            add_block(
+                &mut builder,
+                &mut rng,
+                &members,
+                k,
+                config.extra_intra_edges_per_vertex,
+            );
 
             // Attach the block loosely to the background.
             if config.background_vertices > 0 {
@@ -135,7 +144,11 @@ pub fn planted_communities(config: &PlantedConfig) -> PlantedGraph {
         }
     }
 
-    PlantedGraph { graph: builder.build(), communities, k }
+    PlantedGraph {
+        graph: builder.build(),
+        communities,
+        k,
+    }
 }
 
 /// Adds one k-connected block over the given member vertices: a Harary
@@ -241,7 +254,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "community size must exceed k")]
     fn rejects_blocks_smaller_than_k() {
-        let config = PlantedConfig { k: 10, community_size: (5, 6), ..Default::default() };
+        let config = PlantedConfig {
+            k: 10,
+            community_size: (5, 6),
+            ..Default::default()
+        };
         let _ = planted_communities(&config);
     }
 }

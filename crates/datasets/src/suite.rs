@@ -131,7 +131,12 @@ impl SuiteDataset {
     /// The four datasets the paper uses for the effectiveness study
     /// (Figs. 7–9): Youtube, DBLP, Google and Cnr.
     pub fn effectiveness_subset() -> [SuiteDataset; 4] {
-        [SuiteDataset::Youtube, SuiteDataset::Dblp, SuiteDataset::Google, SuiteDataset::Cnr]
+        [
+            SuiteDataset::Youtube,
+            SuiteDataset::Dblp,
+            SuiteDataset::Google,
+            SuiteDataset::Cnr,
+        ]
     }
 
     /// The six datasets the paper uses for the efficiency study (Fig. 10).
@@ -308,7 +313,11 @@ fn add_chain(
         let shared: Vec<VertexId> = if position == 0 {
             Vec::new()
         } else {
-            previous_tail.iter().copied().take(overlap.min(level.saturating_sub(1))).collect()
+            previous_tail
+                .iter()
+                .copied()
+                .take(overlap.min(level.saturating_sub(1)))
+                .collect()
         };
         let fresh = size - shared.len();
         let mut members = shared;
@@ -350,7 +359,11 @@ mod tests {
         for dataset in SuiteDataset::all() {
             let g = dataset.generate(SuiteScale::Tiny);
             assert!(g.num_vertices() > 600, "{} too small", dataset.name());
-            assert!(g.num_edges() > g.num_vertices(), "{} too sparse", dataset.name());
+            assert!(
+                g.num_edges() > g.num_vertices(),
+                "{} too sparse",
+                dataset.name()
+            );
         }
     }
 
@@ -389,7 +402,10 @@ mod tests {
         assert_eq!(SuiteDataset::efficiency_subset().len(), 6);
         assert_eq!(SuiteDataset::effectiveness_subset().len(), 4);
         assert_eq!(SuiteDataset::NotreDame.name(), "ND");
-        assert_eq!(SuiteScale::Small.efficiency_k_values(), &[20, 25, 30, 35, 40]);
+        assert_eq!(
+            SuiteScale::Small.efficiency_k_values(),
+            &[20, 25, 30, 35, 40]
+        );
         assert_eq!(SuiteScale::default(), SuiteScale::Small);
     }
 }

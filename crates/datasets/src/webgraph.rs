@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn copying_model_is_deterministic() {
-        let cfg = CopyingModelConfig { num_vertices: 500, ..Default::default() };
+        let cfg = CopyingModelConfig {
+            num_vertices: 500,
+            ..Default::default()
+        };
         assert_eq!(copying_model(&cfg), copying_model(&cfg));
     }
 
@@ -104,9 +107,16 @@ mod tests {
 
     #[test]
     fn tiny_inputs() {
-        let cfg = CopyingModelConfig { num_vertices: 0, ..Default::default() };
+        let cfg = CopyingModelConfig {
+            num_vertices: 0,
+            ..Default::default()
+        };
         assert_eq!(copying_model(&cfg).num_vertices(), 0);
-        let cfg = CopyingModelConfig { num_vertices: 3, links_per_vertex: 2, ..Default::default() };
+        let cfg = CopyingModelConfig {
+            num_vertices: 3,
+            links_per_vertex: 2,
+            ..Default::default()
+        };
         let g = copying_model(&cfg);
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);

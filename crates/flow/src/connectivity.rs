@@ -8,7 +8,7 @@
 //! 2. verification utilities (`is_k_vertex_connected`) used to check that
 //!    every reported k-VCC really is k-vertex connected.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 use crate::vertex_flow::{LocalConnectivity, VertexFlowGraph};
 
@@ -16,12 +16,7 @@ use crate::vertex_flow::{LocalConnectivity, VertexFlowGraph};
 ///
 /// For adjacent vertices the value `limit` is returned (Lemma 5: adjacent
 /// vertices can never be separated by removing other vertices).
-pub fn local_vertex_connectivity(
-    g: &UndirectedGraph,
-    u: VertexId,
-    v: VertexId,
-    limit: u32,
-) -> u32 {
+pub fn local_vertex_connectivity<G: GraphView>(g: &G, u: VertexId, v: VertexId, limit: u32) -> u32 {
     if u == v {
         return limit;
     }
@@ -39,12 +34,14 @@ pub fn local_vertex_connectivity(
 /// This is the *basic, uncertified* version of `GLOBAL-CUT`: pick a source `u`
 /// of minimum degree, test `u` against every other vertex, then test every
 /// pair of neighbours of `u` (covering the case `u ∈ S`, Lemma 4).
-pub fn find_vertex_cut(g: &UndirectedGraph, k: u32) -> Option<Vec<VertexId>> {
+pub fn find_vertex_cut<G: GraphView>(g: &G, k: u32) -> Option<Vec<VertexId>> {
     let n = g.num_vertices();
     if n == 0 {
         return None;
     }
-    let source = g.min_degree_vertex().expect("non-empty graph has a min-degree vertex");
+    let source = g
+        .min_degree_vertex()
+        .expect("non-empty graph has a min-degree vertex");
     // A vertex of degree < k is itself separated from the rest by its
     // neighbourhood (when anything else exists).
     if (g.degree(source) as u32) < k && n as u32 > g.degree(source) as u32 + 1 {
@@ -75,7 +72,7 @@ pub fn find_vertex_cut(g: &UndirectedGraph, k: u32) -> Option<Vec<VertexId>> {
 
 /// Whether `g` is k-vertex connected per Definition 2: more than `k` vertices
 /// and no vertex cut of size `< k`.
-pub fn is_k_vertex_connected(g: &UndirectedGraph, k: u32) -> bool {
+pub fn is_k_vertex_connected<G: GraphView>(g: &G, k: u32) -> bool {
     let n = g.num_vertices();
     if n as u64 <= k as u64 {
         return false;
@@ -100,7 +97,7 @@ pub fn is_k_vertex_connected(g: &UndirectedGraph, k: u32) -> bool {
 /// Defined as 0 for disconnected or trivial graphs and `n − 1` for complete
 /// graphs. Runs the two-phase scheme with an uncapped flow limit, so it is
 /// intended for the moderately sized graphs used in tests and verification.
-pub fn global_vertex_connectivity(g: &UndirectedGraph) -> u32 {
+pub fn global_vertex_connectivity<G: GraphView>(g: &G) -> u32 {
     let n = g.num_vertices();
     if n <= 1 {
         return 0;
@@ -142,6 +139,7 @@ pub fn global_vertex_connectivity(g: &UndirectedGraph) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -196,8 +194,9 @@ mod tests {
     #[test]
     fn find_cut_returns_an_actual_separator() {
         // Two triangles sharing the single vertex 2.
-        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
-            .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap();
         let cut = find_vertex_cut(&g, 2).expect("graph is only 1-connected");
         assert_eq!(cut, vec![2]);
         // Removing the cut must disconnect the graph.

@@ -34,9 +34,13 @@ impl DinicScratch {
     }
 
     fn ensure(&mut self, num_nodes: usize) {
+        // Resize in place: the buffers shrink without freeing and grow
+        // amortised, so reusing one scratch across many differently sized
+        // networks (the arena pattern of the enumerator) does not allocate in
+        // steady state.
         if self.level.len() != num_nodes {
-            self.level = vec![UNREACHED; num_nodes];
-            self.iter = vec![0; num_nodes];
+            self.level.resize(num_nodes, UNREACHED);
+            self.iter.resize(num_nodes, 0);
         }
     }
 }
@@ -213,7 +217,10 @@ mod tests {
         let (mut net, s, t) = clrs_network();
         let mut scratch = DinicScratch::new(net.num_nodes());
         for _ in 0..3 {
-            assert_eq!(max_flow_with_scratch(&mut net, s, t, 1000, &mut scratch), 23);
+            assert_eq!(
+                max_flow_with_scratch(&mut net, s, t, 1000, &mut scratch),
+                23
+            );
             net.reset();
         }
     }

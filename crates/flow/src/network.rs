@@ -21,7 +21,7 @@ pub const INFINITE_CAPACITY: u32 = u32::MAX / 4;
 /// built once per `GLOBAL-CUT` invocation and then queried many times
 /// (`LOC-CUT` for many vertex pairs), so [`FlowNetwork::reset`] restores the
 /// initial capacities in a single `memcpy`-style pass instead of rebuilding.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct FlowNetwork {
     /// Target node of each arc.
     head: Vec<NodeId>,
@@ -29,8 +29,13 @@ pub struct FlowNetwork {
     cap: Vec<u32>,
     /// Initial capacity of each arc (used by [`reset`](FlowNetwork::reset)).
     initial_cap: Vec<u32>,
-    /// Outgoing arc ids per node (both forward and residual arcs).
+    /// Outgoing arc ids per node (both forward and residual arcs). The
+    /// vector never shrinks — only the first `num_nodes` entries are live —
+    /// so per-node buffers survive arena reuse across differently sized
+    /// graphs (see [`FlowNetwork::clear`]).
     adj: Vec<Vec<ArcId>>,
+    /// Number of live nodes (`adj.len()` may be larger after a shrink).
+    num_nodes: usize,
 }
 
 impl FlowNetwork {
@@ -41,6 +46,7 @@ impl FlowNetwork {
             cap: Vec::new(),
             initial_cap: Vec::new(),
             adj: vec![Vec::new(); num_nodes],
+            num_nodes,
         }
     }
 
@@ -51,13 +57,14 @@ impl FlowNetwork {
             cap: Vec::with_capacity(2 * num_arcs),
             initial_cap: Vec::with_capacity(2 * num_arcs),
             adj: vec![Vec::new(); num_nodes],
+            num_nodes,
         }
     }
 
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.num_nodes
     }
 
     /// Number of arcs **including** the automatically created reverse arcs.
@@ -130,6 +137,35 @@ impl FlowNetwork {
         self.cap.copy_from_slice(&self.initial_cap);
     }
 
+    /// Empties the network and re-sizes it to `num_nodes` nodes, **keeping
+    /// every buffer allocation** (the arc arrays and the per-node adjacency
+    /// vectors). This is the scratch-arena reset used between `GLOBAL-CUT`
+    /// probes: rebuilding a similarly sized network after `clear` performs no
+    /// heap allocation in steady state.
+    pub fn clear(&mut self, num_nodes: usize) {
+        self.head.clear();
+        self.cap.clear();
+        self.initial_cap.clear();
+        // Clear the previously live adjacency lists without freeing them;
+        // `adj` never shrinks, so oscillating between small and large graphs
+        // still reuses every per-node buffer.
+        for list in self.adj.iter_mut().take(self.num_nodes) {
+            list.clear();
+        }
+        if self.adj.len() < num_nodes {
+            self.adj.resize_with(num_nodes, Vec::new);
+        }
+        self.num_nodes = num_nodes;
+    }
+
+    /// Reserves space for `num_arcs` further directed arcs (plus their
+    /// residual twins).
+    pub fn reserve_arcs(&mut self, num_arcs: usize) {
+        self.head.reserve(2 * num_arcs);
+        self.cap.reserve(2 * num_arcs);
+        self.initial_cap.reserve(2 * num_arcs);
+    }
+
     /// Approximate heap usage in bytes (used by the memory tracker of Fig. 12).
     pub fn memory_bytes(&self) -> usize {
         self.head.capacity() * std::mem::size_of::<NodeId>()
@@ -175,6 +211,25 @@ mod tests {
         net.reset();
         assert_eq!(net.residual(a), 3);
         assert_eq!(net.residual(a ^ 1), 0);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resizes() {
+        let mut net = FlowNetwork::with_capacity(3, 4);
+        net.add_arc(0, 1, 1);
+        net.add_arc(1, 2, 1);
+        let arc_capacity = net.head.capacity();
+        net.clear(5);
+        assert_eq!(net.num_nodes(), 5);
+        assert_eq!(net.num_arcs(), 0);
+        assert!(
+            net.head.capacity() >= arc_capacity,
+            "clear must keep the arc buffers"
+        );
+        let a = net.add_arc(4, 0, 2);
+        assert_eq!(net.arc_head(a), 0);
+        net.clear(2);
+        assert_eq!(net.num_nodes(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! cut of the original graph without the "locate the corresponding vertex"
 //! step being ambiguous.
 
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{GraphView, VertexId};
 
 use crate::dinic::{max_flow_with_scratch, DinicScratch};
 use crate::mincut::residual_reachable;
@@ -40,8 +40,19 @@ impl LocalConnectivity {
 }
 
 /// The directed flow graph of an undirected graph, reusable across many
-/// source/sink pairs.
-#[derive(Clone, Debug)]
+/// source/sink pairs **and** — through [`VertexFlowGraph::rebuild`] — across
+/// many graphs.
+///
+/// # Scratch-arena contract
+///
+/// All buffers (the arc arrays, the per-node adjacency lists and the Dinic
+/// level/iterator/queue scratch) survive a [`rebuild`](Self::rebuild): the
+/// structure is emptied and refilled for the new graph without freeing. A
+/// `GLOBAL-CUT` caller that keeps one `VertexFlowGraph` per worker thread
+/// therefore performs no per-probe allocation once the buffers have grown to
+/// the size of the largest subgraph seen, which removes the dominant
+/// allocation cost of the seed implementation (a fresh network per probe).
+#[derive(Clone, Debug, Default)]
 pub struct VertexFlowGraph {
     net: FlowNetwork,
     /// `vertex_arc[v]` is the arc id of `v_in → v_out`.
@@ -51,25 +62,46 @@ pub struct VertexFlowGraph {
 }
 
 impl VertexFlowGraph {
+    /// An empty arena with no graph loaded; call
+    /// [`rebuild`](Self::rebuild) before issuing queries.
+    pub fn empty() -> Self {
+        VertexFlowGraph {
+            net: FlowNetwork::new(0),
+            vertex_arc: Vec::new(),
+            scratch: DinicScratch::default(),
+            num_vertices: 0,
+        }
+    }
+
     /// Builds the flow graph of `g` (2n nodes, n vertex arcs + 2m adjacency
     /// arcs).
-    pub fn build(g: &UndirectedGraph) -> Self {
+    pub fn build<G: GraphView>(g: &G) -> Self {
+        let mut this = Self::empty();
+        this.rebuild(g);
+        this
+    }
+
+    /// Re-targets the arena at a new graph, reusing every buffer (see the
+    /// scratch-arena contract in the type docs).
+    pub fn rebuild<G: GraphView>(&mut self, g: &G) {
         let n = g.num_vertices();
-        let mut net = FlowNetwork::with_capacity(2 * n, n + 2 * g.num_edges());
-        let mut vertex_arc = Vec::with_capacity(n);
+        self.net.clear(2 * n);
+        self.net.reserve_arcs(n + 2 * g.num_edges());
+        self.vertex_arc.clear();
+        self.vertex_arc.reserve(n);
         for v in 0..n as NodeId {
-            let arc = net.add_arc(Self::node_in(v), Self::node_out(v), 1);
-            vertex_arc.push(arc);
+            let arc = self.net.add_arc(Self::node_in(v), Self::node_out(v), 1);
+            self.vertex_arc.push(arc);
         }
         for u in g.vertices() {
             for &v in g.neighbors(u) {
                 // Each undirected edge is visited twice (once per direction),
                 // creating exactly the two adjacency arcs of Fig. 3.
-                net.add_arc(Self::node_out(u), Self::node_in(v), INFINITE_CAPACITY);
+                self.net
+                    .add_arc(Self::node_out(u), Self::node_in(v), INFINITE_CAPACITY);
             }
         }
-        let scratch = DinicScratch::new(net.num_nodes());
-        VertexFlowGraph { net, vertex_arc, scratch, num_vertices: n }
+        self.num_vertices = n;
     }
 
     /// Flow node representing the "entry" side of vertex `v`.
@@ -114,12 +146,12 @@ impl VertexFlowGraph {
     /// `LOC-CUT(u, v)` from Algorithm 2: tests whether `κ(u, v) >= k`.
     ///
     /// * Returns [`LocalConnectivity::AtLeast`]`(k)` when `u == v`, when the
-    ///   two vertices are adjacent (Lemma 5), or when `k` units of flow can be
-    ///   routed.
+    ///   two vertices are adjacent in `g` (Lemma 5), or when `k` units of
+    ///   flow can be routed.
     /// * Otherwise returns the minimum `u`-`v` vertex cut (size `< k`).
-    pub fn local_connectivity(
+    pub fn local_connectivity<G: GraphView>(
         &mut self,
-        g: &UndirectedGraph,
+        g: &G,
         u: VertexId,
         v: VertexId,
         k: u32,
@@ -127,6 +159,19 @@ impl VertexFlowGraph {
         if u == v || g.has_edge(u, v) {
             return LocalConnectivity::AtLeast(k);
         }
+        self.local_connectivity_nonadjacent(u, v, k)
+    }
+
+    /// [`local_connectivity`](Self::local_connectivity) for callers that have
+    /// already ruled out `u == v` and adjacency (e.g. `GLOBAL-CUT`, which
+    /// checks adjacency on the *current subgraph* while the flow arena holds
+    /// the sparse certificate — a subgraph of it).
+    pub fn local_connectivity_nonadjacent(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        k: u32,
+    ) -> LocalConnectivity {
         let source = Self::node_out(u);
         let sink = Self::node_in(v);
         let flow = max_flow_with_scratch(&mut self.net, source, sink, k, &mut self.scratch);
@@ -142,12 +187,20 @@ impl VertexFlowGraph {
             let tail_in = Self::node_in(vertex as VertexId);
             let head_out = Self::node_out(vertex as VertexId);
             if reachable[tail_in as usize] && !reachable[head_out as usize] {
-                debug_assert_eq!(self.net.residual(arc), 0, "cut vertex arc must be saturated");
+                debug_assert_eq!(
+                    self.net.residual(arc),
+                    0,
+                    "cut vertex arc must be saturated"
+                );
                 cut.push(vertex as VertexId);
             }
         }
         self.net.reset();
-        debug_assert_eq!(cut.len() as u32, flow, "cut size must equal the max-flow value");
+        debug_assert_eq!(
+            cut.len() as u32,
+            flow,
+            "cut size must equal the max-flow value"
+        );
         LocalConnectivity::Cut(cut)
     }
 }
@@ -155,6 +208,7 @@ impl VertexFlowGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -233,6 +287,29 @@ mod tests {
         }
         // With k = 2 the pair is 2-local-connected (through the two portals).
         assert!(flow.local_connectivity(&g, 0, 4, 2).is_at_least_k());
+    }
+
+    #[test]
+    fn rebuild_reuses_the_arena_across_graphs() {
+        let path = UndirectedGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let cycle = UndirectedGraph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap();
+        let mut flow = VertexFlowGraph::empty();
+        for _ in 0..3 {
+            flow.rebuild(&path);
+            assert_eq!(flow.num_vertices(), 4);
+            assert_eq!(flow.max_flow_value(0, 3, 10), 1);
+            flow.rebuild(&cycle);
+            assert_eq!(flow.num_vertices(), 6);
+            assert_eq!(flow.max_flow_value(0, 3, 10), 2);
+        }
+        // A CSR graph works through the same generic interface.
+        let csr = kvcc_graph::CsrGraph::from_view(&cycle);
+        flow.rebuild(&csr);
+        assert_eq!(flow.max_flow_value(0, 3, 10), 2);
+        match flow.local_connectivity_nonadjacent(0, 3, 3) {
+            LocalConnectivity::Cut(cut) => assert_eq!(cut.len(), 2),
+            other => panic!("expected a 2-cut, got {other:?}"),
+        }
     }
 
     #[test]

@@ -79,23 +79,35 @@ impl GraphBuilder {
 
     /// Finalises the builder into an [`UndirectedGraph`].
     pub fn build(self) -> UndirectedGraph {
+        self.build_diagnostic().0
+    }
+
+    /// Finalises the builder, also reporting how many self-loops and
+    /// duplicate edges were dropped (io diagnostics for messy edge lists).
+    pub fn build_diagnostic(self) -> (UndirectedGraph, crate::csr::EdgeIngestStats) {
         let mut n = self.min_vertices.max(self.raw_order.len());
         for &(u, v) in &self.edges {
             n = n.max(u as usize + 1).max(v as usize + 1);
         }
+        let mut stats = crate::csr::EdgeIngestStats::default();
         let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut pushed = 0usize;
         for (u, v) in self.edges {
             if u == v {
+                stats.self_loops += 1;
                 continue;
             }
             adj[u as usize].push(v);
             adj[v as usize].push(u);
+            pushed += 1;
         }
         for list in &mut adj {
             list.sort_unstable();
             list.dedup();
         }
-        UndirectedGraph::from_normalized_adjacency(adj)
+        let g = UndirectedGraph::from_normalized_adjacency(adj);
+        stats.duplicates = pushed - g.num_edges();
+        (g, stats)
     }
 }
 

@@ -1,0 +1,464 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The seed representation (`Vec<Vec<VertexId>>`) pays one heap allocation
+//! and one pointer indirection per vertex; the enumeration's hot loops (BFS,
+//! flow-graph construction, sweeps) therefore chase pointers on every
+//! neighbour access. [`CsrGraph`] packs all adjacency into two flat arrays —
+//! `offsets` (length `n + 1`) and `neighbors` (length `2m`) — so neighbour
+//! iteration is a contiguous slice read and the whole structure is two
+//! allocations regardless of `n`.
+//!
+//! Both representations implement [`GraphView`], so every algorithm in the
+//! workspace accepts either; `KVCC-ENUM` uses CSR for all internal work
+//! items.
+
+use crate::error::GraphError;
+use crate::types::{Edge, VertexId};
+use crate::view::GraphView;
+use crate::INVALID_VERTEX;
+
+/// Ingestion diagnostics returned by the validating constructors: how much of
+/// the raw input was dropped while normalising.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeIngestStats {
+    /// Number of self-loops `(v, v)` dropped.
+    pub self_loops: usize,
+    /// Number of duplicate edge occurrences dropped (counting each repeat
+    /// beyond the first, in either orientation).
+    pub duplicates: usize,
+}
+
+/// An undirected graph in compressed sparse row form.
+///
+/// Vertices are `0..n`; `neighbors(v)` is the slice
+/// `neighbors[offsets[v] .. offsets[v + 1]]`, sorted ascending and
+/// duplicate-free. Each undirected edge is stored twice (once per endpoint).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` delimits the neighbour slice of `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted neighbour lists (length `2m`).
+    neighbors: Vec<VertexId>,
+}
+
+/// An induced CSR subgraph together with the mapping back to the parent
+/// graph (CSR analogue of [`crate::InducedSubgraph`]).
+#[derive(Clone, Debug)]
+pub struct CsrSubgraph {
+    /// The subgraph, with vertices relabelled to `0..k`.
+    pub graph: CsrGraph,
+    /// `to_parent[local_id]` is the corresponding vertex id in the parent.
+    pub to_parent: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Creates an empty graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Builds a graph with `n` vertices from an edge list.
+    ///
+    /// Duplicate edges and self-loops are dropped. The entire input is
+    /// **validated before any structure is built**, so an error can never
+    /// leave a half-populated graph behind. Returns an error if an endpoint
+    /// is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        Self::from_edges_diagnostic(n, edges).map(|(g, _)| g)
+    }
+
+    /// [`CsrGraph::from_edges`] variant that also reports how many self-loops
+    /// and duplicate edges were dropped (io diagnostics).
+    pub fn from_edges_diagnostic<I>(
+        n: usize,
+        edges: I,
+    ) -> Result<(Self, EdgeIngestStats), GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        if n > VertexId::MAX as usize {
+            return Err(GraphError::TooManyVertices(n));
+        }
+        // Validation pass: collect and range-check every edge before any
+        // adjacency structure is touched.
+        let edges: Vec<Edge> = edges.into_iter().collect();
+        for &(u, v) in &edges {
+            if u as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u as u64,
+                    num_vertices: n,
+                });
+            }
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v as u64,
+                    num_vertices: n,
+                });
+            }
+        }
+        let mut stats = EdgeIngestStats::default();
+
+        // Counting pass (self-loops excluded).
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            if u == v {
+                stats.self_loops += 1;
+                continue;
+            }
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        // Fill pass.
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; acc as usize];
+        for &(u, v) in &edges {
+            if u == v {
+                continue;
+            }
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+
+        // Sort and dedup each row in place, compacting as we go.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0u32);
+        let mut dropped_directed = 0usize;
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            neighbors[start..end].sort_unstable();
+            let mut prev = INVALID_VERTEX;
+            for i in start..end {
+                let w = neighbors[i];
+                if w == prev {
+                    dropped_directed += 1;
+                    continue;
+                }
+                prev = w;
+                neighbors[write] = w;
+                write += 1;
+            }
+            new_offsets.push(write as u32);
+        }
+        neighbors.truncate(write);
+        // Each duplicate undirected edge occurrence was stored in two rows.
+        stats.duplicates = dropped_directed / 2;
+        Ok((
+            CsrGraph {
+                offsets: new_offsets,
+                neighbors,
+            },
+            stats,
+        ))
+    }
+
+    /// Copies any [`GraphView`] into CSR form.
+    pub fn from_view<G: GraphView>(g: &G) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * g.num_edges());
+        offsets.push(0u32);
+        for v in 0..n as VertexId {
+            neighbors.extend_from_slice(g.neighbors(v));
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// The sorted neighbour slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Edge test (binary search on the smaller neighbour slice).
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        GraphView::has_edge(self, u, v)
+    }
+
+    /// Approximate heap bytes of the two flat arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.neighbors.capacity() * std::mem::size_of::<VertexId>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Extracts the subgraph induced by `vertices` (which must be sorted
+    /// ascending and duplicate-free) from any [`GraphView`], relabelling to
+    /// local ids `0..vertices.len()` in the given order.
+    ///
+    /// `map` is caller-provided scratch: it is grown to the parent's vertex
+    /// count on demand and every entry touched here is restored to
+    /// [`INVALID_VERTEX`] before returning, so a single buffer can be reused
+    /// across arbitrarily many extractions without re-zeroing (the
+    /// scratch-arena pattern used by the enumerator's work loop).
+    ///
+    /// Because `vertices` is sorted and parent neighbour slices are sorted,
+    /// the relabelled rows come out sorted with no per-row sort.
+    pub fn extract_induced<G: GraphView>(
+        g: &G,
+        vertices: &[VertexId],
+        map: &mut Vec<VertexId>,
+    ) -> CsrGraph {
+        debug_assert!(
+            vertices.windows(2).all(|w| w[0] < w[1]),
+            "vertex list must be sorted"
+        );
+        if map.len() < g.num_vertices() {
+            map.resize(g.num_vertices(), INVALID_VERTEX);
+        }
+        for (local, &v) in vertices.iter().enumerate() {
+            map[v as usize] = local as VertexId;
+        }
+        let mut offsets = Vec::with_capacity(vertices.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for &v in vertices {
+            for &w in g.neighbors(v) {
+                let lw = map[w as usize];
+                if lw != INVALID_VERTEX {
+                    neighbors.push(lw);
+                }
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        // Restore the scratch map (only the touched entries).
+        for &v in vertices {
+            map[v as usize] = INVALID_VERTEX;
+        }
+        CsrGraph { offsets, neighbors }
+    }
+
+    /// Extracts the subgraph induced by `vertices` together with the
+    /// local→parent mapping. Duplicate ids are ignored (first occurrence
+    /// wins); unlike [`CsrGraph::extract_induced`] the list does not have to
+    /// be sorted, matching the behaviour of
+    /// [`crate::UndirectedGraph::induced_subgraph`].
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> CsrSubgraph {
+        let mut to_parent: Vec<VertexId> = Vec::with_capacity(vertices.len());
+        let mut to_local: Vec<VertexId> = vec![INVALID_VERTEX; self.num_vertices()];
+        for &v in vertices {
+            if to_local[v as usize] == INVALID_VERTEX {
+                to_local[v as usize] = to_parent.len() as VertexId;
+                to_parent.push(v);
+            }
+        }
+        let mut offsets = Vec::with_capacity(to_parent.len() + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0u32);
+        for &orig in &to_parent {
+            let row_start = neighbors.len();
+            for &w in self.neighbors(orig) {
+                let lw = to_local[w as usize];
+                if lw != INVALID_VERTEX {
+                    neighbors.push(lw);
+                }
+            }
+            neighbors[row_start..].sort_unstable();
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrSubgraph {
+            graph: CsrGraph { offsets, neighbors },
+            to_parent,
+        }
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CsrGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CsrGraph::neighbors(self, v)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        CsrGraph::memory_bytes(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+}
+
+impl GraphView for crate::UndirectedGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        crate::UndirectedGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        crate::UndirectedGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        crate::UndirectedGraph::neighbors(self, v)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        crate::UndirectedGraph::memory_bytes(self)
+    }
+}
+
+impl From<&crate::UndirectedGraph> for CsrGraph {
+    fn from(g: &crate::UndirectedGraph) -> Self {
+        CsrGraph::from_view(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UndirectedGraph;
+
+    fn two_triangles_edges() -> Vec<Edge> {
+        vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+    }
+
+    #[test]
+    fn from_edges_builds_sorted_rows() {
+        let g = CsrGraph::from_edges(5, two_triangles_edges()).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+        assert_eq!(g.degree(2), 4);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn from_edges_reports_diagnostics() {
+        let (g, stats) = CsrGraph::from_edges_diagnostic(
+            4,
+            vec![(0, 1), (1, 0), (1, 1), (2, 3), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.self_loops, 1);
+        assert_eq!(stats.duplicates, 3);
+    }
+
+    #[test]
+    fn from_edges_validates_before_building() {
+        let err = CsrGraph::from_edges(2, vec![(0, 1), (0, 5)]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn csr_matches_vec_adjacency_exactly() {
+        let edges = two_triangles_edges();
+        let vec_graph = UndirectedGraph::from_edges(5, edges.clone()).unwrap();
+        let csr: CsrGraph = (&vec_graph).into();
+        assert_eq!(csr.num_vertices(), vec_graph.num_vertices());
+        assert_eq!(csr.num_edges(), vec_graph.num_edges());
+        for v in 0..5u32 {
+            assert_eq!(csr.neighbors(v), vec_graph.neighbors(v));
+        }
+        let direct = CsrGraph::from_edges(5, edges).unwrap();
+        assert_eq!(direct, csr);
+    }
+
+    #[test]
+    fn extract_induced_restores_scratch_map() {
+        let g = CsrGraph::from_edges(5, two_triangles_edges()).unwrap();
+        let mut map = Vec::new();
+        let sub = CsrGraph::extract_induced(&g, &[2, 3, 4], &mut map);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.neighbors(0), &[1, 2]); // vertex 2 -> {3, 4}
+        assert!(
+            map.iter().all(|&x| x == INVALID_VERTEX),
+            "scratch must be restored"
+        );
+        // Reuse the same buffer for a second extraction.
+        let sub2 = CsrGraph::extract_induced(&g, &[0, 1, 2], &mut map);
+        assert_eq!(sub2.num_edges(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_matches_vec_version() {
+        let vec_graph =
+            UndirectedGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
+        let csr = CsrGraph::from_view(&vec_graph);
+        let a = vec_graph.induced_subgraph(&[1, 2, 3, 1]);
+        let b = csr.induced_subgraph(&[1, 2, 3, 1]);
+        assert_eq!(a.to_parent, b.to_parent);
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        for v in 0..3u32 {
+            assert_eq!(a.graph.neighbors(v), b.graph.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = CsrGraph::new(0);
+        assert!(GraphView::is_empty(&g));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(GraphView::edges(&g).count(), 0);
+        let g = CsrGraph::new(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn too_many_vertices_is_rejected() {
+        if usize::BITS > 32 {
+            let err = CsrGraph::from_edges(VertexId::MAX as usize + 1, vec![]).unwrap_err();
+            assert!(matches!(err, GraphError::TooManyVertices(_)));
+        }
+    }
+}

@@ -29,7 +29,10 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex id {vertex} is out of range for a graph with {num_vertices} vertices"
             ),
@@ -65,11 +68,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::VertexOutOfRange { vertex: 12, num_vertices: 5 };
+        let e = GraphError::VertexOutOfRange {
+            vertex: 12,
+            num_vertices: 5,
+        };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains('5'));
 
-        let e = GraphError::ParseError { line: 3, message: "bad token".into() };
+        let e = GraphError::ParseError {
+            line: 3,
+            message: "bad token".into(),
+        };
         assert!(e.to_string().contains("line 3"));
 
         let e = GraphError::TooManyVertices(usize::MAX);

@@ -38,7 +38,10 @@ pub struct InducedSubgraph {
 impl UndirectedGraph {
     /// Creates an empty graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        UndirectedGraph { adj: vec![Vec::new(); n], num_edges: 0 }
+        UndirectedGraph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Builds a graph with `n` vertices from an edge list.
@@ -49,26 +52,58 @@ impl UndirectedGraph {
     where
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
+        Self::from_edges_diagnostic(n, edges).map(|(g, _)| g)
+    }
+
+    /// [`UndirectedGraph::from_edges`] variant that also reports how many
+    /// self-loops and duplicate edges were dropped.
+    ///
+    /// The entire edge list is **validated before any adjacency is built**:
+    /// out-of-range endpoints are detected up front, so a failed build can
+    /// never observe (or leak, through a future incremental API) a
+    /// half-populated adjacency structure.
+    pub fn from_edges_diagnostic<I>(
+        n: usize,
+        edges: I,
+    ) -> Result<(Self, crate::csr::EdgeIngestStats), GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
         if n > VertexId::MAX as usize {
             return Err(GraphError::TooManyVertices(n));
         }
-        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
-        for (u, v) in edges {
+        // Validation pass, before any mutation.
+        let edges: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        for &(u, v) in &edges {
             if u as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: u as u64, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u as u64,
+                    num_vertices: n,
+                });
             }
             if v as usize >= n {
-                return Err(GraphError::VertexOutOfRange { vertex: v as u64, num_vertices: n });
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: v as u64,
+                    num_vertices: n,
+                });
             }
+        }
+        let mut stats = crate::csr::EdgeIngestStats::default();
+        let mut adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        let mut pushed = 0usize;
+        for &(u, v) in &edges {
             if u == v {
+                stats.self_loops += 1;
                 continue;
             }
             adj[u as usize].push(v);
             adj[v as usize].push(u);
+            pushed += 1;
         }
         let mut g = UndirectedGraph { adj, num_edges: 0 };
         g.normalize();
-        Ok(g)
+        stats.duplicates = pushed - g.num_edges;
+        Ok((g, stats))
     }
 
     /// Sorts and deduplicates every adjacency list and recomputes the edge
@@ -88,7 +123,10 @@ impl UndirectedGraph {
     /// lists that are already sorted and deduplicated.
     pub(crate) fn from_normalized_adjacency(adj: Vec<Vec<VertexId>>) -> Self {
         let total: usize = adj.iter().map(Vec::len).sum();
-        UndirectedGraph { adj, num_edges: total / 2 }
+        UndirectedGraph {
+            adj,
+            num_edges: total / 2,
+        }
     }
 
     /// Number of vertices, `n`.
@@ -124,7 +162,11 @@ impl UndirectedGraph {
     /// Tests whether the edge `(u, v)` exists (binary search).
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[a as usize].binary_search(&b).is_ok()
     }
 
@@ -137,7 +179,10 @@ impl UndirectedGraph {
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = u as VertexId;
-            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -227,7 +272,10 @@ impl UndirectedGraph {
             list.sort_unstable();
             // `self` is already duplicate free, so no dedup is needed.
         }
-        InducedSubgraph { graph: UndirectedGraph::from_normalized_adjacency(adj), to_parent }
+        InducedSubgraph {
+            graph: UndirectedGraph::from_normalized_adjacency(adj),
+            to_parent,
+        }
     }
 
     /// Returns a copy of the graph with the given vertices (and their incident
@@ -246,7 +294,12 @@ impl UndirectedGraph {
             if removed[u] {
                 adj.push(Vec::new());
             } else {
-                adj.push(list.iter().copied().filter(|&w| !removed[w as usize]).collect());
+                adj.push(
+                    list.iter()
+                        .copied()
+                        .filter(|&w| !removed[w as usize])
+                        .collect(),
+                );
             }
         }
         UndirectedGraph::from_normalized_adjacency(adj)
@@ -281,7 +334,8 @@ mod tests {
 
     #[test]
     fn from_edges_dedups_and_drops_self_loops() {
-        let g = UndirectedGraph::from_edges(4, vec![(0, 1), (1, 0), (1, 1), (2, 3), (2, 3)]).unwrap();
+        let g =
+            UndirectedGraph::from_edges(4, vec![(0, 1), (1, 0), (1, 1), (2, 3), (2, 3)]).unwrap();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.neighbors(1), &[0]);
@@ -293,7 +347,35 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_range() {
         let err = UndirectedGraph::from_edges(2, vec![(0, 5)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, num_vertices: 2 }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 2
+            }
+        ));
+        // The bad endpoint is detected even when it comes after valid edges
+        // (validation happens before any adjacency is built).
+        let err = UndirectedGraph::from_edges(2, vec![(0, 1), (0, 1), (1, 9)]).unwrap_err();
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn from_edges_diagnostic_counts_dropped_input() {
+        let (g, stats) = UndirectedGraph::from_edges_diagnostic(
+            4,
+            vec![(0, 1), (1, 0), (1, 1), (2, 3), (2, 3), (3, 2)],
+        )
+        .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.self_loops, 1);
+        assert_eq!(stats.duplicates, 3);
     }
 
     #[test]
@@ -317,11 +399,9 @@ mod tests {
     #[test]
     fn common_neighbors() {
         // 0 and 1 share neighbours {2, 3, 4}.
-        let g = UndirectedGraph::from_edges(
-            5,
-            vec![(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)],
-        )
-        .unwrap();
+        let g =
+            UndirectedGraph::from_edges(5, vec![(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+                .unwrap();
         assert_eq!(g.common_neighbor_count(0, 1), 3);
         assert_eq!(g.common_neighbors_at_least(0, 1, 2), 2);
         assert_eq!(g.common_neighbor_count(2, 4), 2);
@@ -330,8 +410,9 @@ mod tests {
 
     #[test]
     fn induced_subgraph_relabels_and_maps_back() {
-        let g = UndirectedGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
-            .unwrap();
+        let g =
+            UndirectedGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)])
+                .unwrap();
         let sub = g.induced_subgraph(&[1, 2, 3, 1]);
         assert_eq!(sub.graph.num_vertices(), 3);
         assert_eq!(sub.graph.num_edges(), 2);

@@ -23,6 +23,15 @@ use crate::graph::UndirectedGraph;
 /// * Vertex ids may be arbitrary `u64` values; they are relabelled to a
 ///   compact `0..n` range in order of first appearance.
 pub fn parse_edge_list(contents: &str) -> Result<UndirectedGraph, GraphError> {
+    parse_edge_list_diagnostic(contents).map(|(g, _)| g)
+}
+
+/// [`parse_edge_list`] variant that also reports how many self-loops and
+/// duplicate (or directed-twin) edges the input contained — useful for
+/// logging what a messy SNAP download actually ingested.
+pub fn parse_edge_list_diagnostic(
+    contents: &str,
+) -> Result<(UndirectedGraph, crate::csr::EdgeIngestStats), GraphError> {
     let mut builder = GraphBuilder::new();
     for (idx, line) in contents.lines().enumerate() {
         let line = line.trim();
@@ -34,7 +43,7 @@ pub fn parse_edge_list(contents: &str) -> Result<UndirectedGraph, GraphError> {
         let v = parse_token(it.next(), idx + 1)?;
         builder.add_edge_raw(u, v);
     }
-    Ok(builder.build())
+    Ok(builder.build_diagnostic())
 }
 
 fn parse_token(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
@@ -60,7 +69,12 @@ pub fn read_snap_edge_list<P: AsRef<Path>>(path: P) -> Result<UndirectedGraph, G
 /// Serialises a graph as a SNAP-style edge list (one `u v` pair per line, each
 /// undirected edge written once).
 pub fn write_edge_list<W: Write>(g: &UndirectedGraph, mut writer: W) -> Result<(), GraphError> {
-    writeln!(writer, "# Undirected graph: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# Undirected graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(writer, "{u}\t{v}")?;
     }
@@ -68,7 +82,10 @@ pub fn write_edge_list<W: Write>(g: &UndirectedGraph, mut writer: W) -> Result<(
 }
 
 /// Writes a graph to a file in the SNAP edge-list format.
-pub fn write_edge_list_file<P: AsRef<Path>>(g: &UndirectedGraph, path: P) -> Result<(), GraphError> {
+pub fn write_edge_list_file<P: AsRef<Path>>(
+    g: &UndirectedGraph,
+    path: P,
+) -> Result<(), GraphError> {
     let file = File::create(path)?;
     let writer = BufWriter::new(file);
     write_edge_list(g, writer)
@@ -91,6 +108,15 @@ mod tests {
         let text = "0 1\n1 0\n";
         let g = parse_edge_list(text).unwrap();
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_diagnostics_count_dropped_lines() {
+        let text = "# header\n0 1\n1 0\n2 2\n0 1\n1 2\n";
+        let (g, stats) = parse_edge_list_diagnostic(text).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.self_loops, 1);
+        assert_eq!(stats.duplicates, 2);
     }
 
     #[test]

@@ -6,16 +6,17 @@
 
 use std::collections::VecDeque;
 
-use crate::graph::UndirectedGraph;
 use crate::graph::InducedSubgraph;
+use crate::graph::UndirectedGraph;
 use crate::types::VertexId;
+use crate::view::GraphView;
 
 /// Computes the core number of every vertex using the linear-time
 /// bucket-peeling algorithm of Batagelj & Zaveršnik.
 ///
 /// The core number of `v` is the largest `k` such that `v` belongs to the
 /// k-core of the graph.
-pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
+pub fn core_numbers<G: GraphView>(g: &G) -> Vec<u32> {
     let n = g.num_vertices();
     if n == 0 {
         return Vec::new();
@@ -77,7 +78,7 @@ pub fn core_numbers(g: &UndirectedGraph) -> Vec<u32> {
 ///
 /// Implemented by iterative peeling, which matches line 2 of Algorithm 1 and
 /// is robust for repeated use on already-small partitioned subgraphs.
-pub fn k_core_vertices(g: &UndirectedGraph, k: usize) -> Vec<VertexId> {
+pub fn k_core_vertices<G: GraphView>(g: &G, k: usize) -> Vec<VertexId> {
     let n = g.num_vertices();
     let mut degree: Vec<usize> = g.degrees();
     let mut removed = vec![false; n];
@@ -100,7 +101,9 @@ pub fn k_core_vertices(g: &UndirectedGraph, k: usize) -> Vec<VertexId> {
             }
         }
     }
-    (0..n as VertexId).filter(|&v| !removed[v as usize]).collect()
+    (0..n as VertexId)
+        .filter(|&v| !removed[v as usize])
+        .collect()
 }
 
 /// Extracts the k-core as an [`InducedSubgraph`] (relabelled vertices plus the
@@ -116,7 +119,7 @@ pub fn k_core_subgraph(g: &UndirectedGraph, k: usize) -> Option<InducedSubgraph>
 
 /// The degeneracy of the graph: the largest `k` for which a non-empty k-core
 /// exists (0 for the empty graph).
-pub fn degeneracy(g: &UndirectedGraph) -> u32 {
+pub fn degeneracy<G: GraphView>(g: &G) -> u32 {
     core_numbers(g).into_iter().max().unwrap_or(0)
 }
 

@@ -4,6 +4,11 @@
 //! that the paper *"Enumerating k-Vertex Connected Components in Large Graphs"*
 //! (Wen et al., ICDE 2019) relies on:
 //!
+//! * [`GraphView`] — the read-only trait every algorithm in the workspace is
+//!   generic over, with [`SubgraphView`] as the copy-free vertex-mask view
+//!   used by the recursive partitioning.
+//! * [`CsrGraph`] — the cache-friendly compressed-sparse-row representation
+//!   (two flat arrays) used for all enumeration work items.
 //! * [`UndirectedGraph`] — a compact, sorted adjacency-list representation with
 //!   `u32` vertex identifiers, cheap induced-subgraph extraction and id
 //!   remapping ([`graph::InducedSubgraph`]).
@@ -24,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod io;
@@ -32,8 +38,11 @@ pub mod metrics;
 pub mod scan_first;
 pub mod traversal;
 pub mod types;
+pub mod view;
 
 pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, CsrSubgraph, EdgeIngestStats};
 pub use error::GraphError;
 pub use graph::{InducedSubgraph, UndirectedGraph};
 pub use types::{VertexId, INVALID_VERTEX};
+pub use view::{GraphView, SubgraphView};

@@ -5,9 +5,9 @@
 //! (Eqs. 5–6). Exact diameter computation is quadratic, so an estimator based
 //! on repeated double sweeps is provided for large components.
 
-use crate::graph::UndirectedGraph;
 use crate::traversal::{bfs_distances, UNREACHABLE};
 use crate::types::VertexId;
+use crate::view::GraphView;
 
 /// Exact diameter: the longest shortest path over all reachable pairs.
 ///
@@ -15,7 +15,7 @@ use crate::types::VertexId;
 /// components produced by the enumeration, not for whole web graphs. For a
 /// graph with fewer than two vertices the diameter is 0. Pairs in different
 /// components are ignored (the paper only evaluates connected subgraphs).
-pub fn diameter_exact(g: &UndirectedGraph) -> u32 {
+pub fn diameter_exact<G: GraphView>(g: &G) -> u32 {
     let mut best = 0;
     for v in g.vertices() {
         let d = bfs_distances(g, v);
@@ -34,7 +34,7 @@ pub fn diameter_exact(g: &UndirectedGraph) -> u32 {
 /// to the farthest vertex found and runs a second BFS from there; the largest
 /// eccentricity observed is returned. For small graphs
 /// (`n <= exact_threshold`) the exact diameter is computed instead.
-pub fn diameter_estimate(g: &UndirectedGraph, seeds: usize, exact_threshold: usize) -> u32 {
+pub fn diameter_estimate<G: GraphView>(g: &G, seeds: usize, exact_threshold: usize) -> u32 {
     let n = g.num_vertices();
     if n <= 1 {
         return 0;
@@ -73,7 +73,7 @@ fn farthest(dist: &[u32]) -> (VertexId, u32) {
 
 /// Edge density (Eq. 4): `2m / (n (n-1))`. Defined as 0 for graphs with fewer
 /// than two vertices.
-pub fn edge_density(g: &UndirectedGraph) -> f64 {
+pub fn edge_density<G: GraphView>(g: &G) -> f64 {
     let n = g.num_vertices() as f64;
     if n < 2.0 {
         return 0.0;
@@ -84,7 +84,7 @@ pub fn edge_density(g: &UndirectedGraph) -> f64 {
 /// Local clustering coefficient of `v` (Eq. 5): the fraction of pairs of
 /// neighbours of `v` that are themselves adjacent. Vertices of degree `< 2`
 /// have coefficient 0.
-pub fn local_clustering(g: &UndirectedGraph, v: VertexId) -> f64 {
+pub fn local_clustering<G: GraphView>(g: &G, v: VertexId) -> f64 {
     let neigh = g.neighbors(v);
     let d = neigh.len();
     if d < 2 {
@@ -102,7 +102,7 @@ pub fn local_clustering(g: &UndirectedGraph, v: VertexId) -> f64 {
 }
 
 /// Average clustering coefficient of the graph (Eq. 6).
-pub fn average_clustering(g: &UndirectedGraph) -> f64 {
+pub fn average_clustering<G: GraphView>(g: &G) -> f64 {
     let n = g.num_vertices();
     if n == 0 {
         return 0.0;
@@ -115,7 +115,7 @@ pub fn average_clustering(g: &UndirectedGraph) -> f64 {
 ///
 /// Counted by intersecting the adjacency lists of the endpoints of every edge
 /// and dividing by 3; `O(sum of d(u)+d(v) over edges)`.
-pub fn triangle_count(g: &UndirectedGraph) -> usize {
+pub fn triangle_count<G: GraphView>(g: &G) -> usize {
     let mut total = 0usize;
     for (u, v) in g.edges() {
         total += g.common_neighbor_count(u, v);
@@ -137,7 +137,7 @@ pub struct GraphStatistics {
 }
 
 /// Computes the Table-1 style statistics of a graph.
-pub fn graph_statistics(g: &UndirectedGraph) -> GraphStatistics {
+pub fn graph_statistics<G: GraphView>(g: &G) -> GraphStatistics {
     GraphStatistics {
         num_vertices: g.num_vertices(),
         num_edges: g.num_edges(),
@@ -149,6 +149,7 @@ pub fn graph_statistics(g: &UndirectedGraph) -> GraphStatistics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();

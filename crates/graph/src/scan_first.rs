@@ -13,8 +13,8 @@
 
 use std::collections::VecDeque;
 
-use crate::graph::UndirectedGraph;
 use crate::types::{Edge, VertexId};
+use crate::view::GraphView;
 
 /// A spanning forest produced by one round of scan-first search.
 #[derive(Clone, Debug, Default)]
@@ -43,7 +43,7 @@ impl ScanFirstForest {
 /// The `skip` predicate lets the sparse-certificate construction exclude the
 /// edges already consumed by previous forests without materialising the
 /// reduced graph `G_{i-1}`.
-pub fn scan_first_forest<F>(g: &UndirectedGraph, mut skip: F) -> ScanFirstForest
+pub fn scan_first_forest<G: GraphView, F>(g: &G, mut skip: F) -> ScanFirstForest
 where
     F: FnMut(VertexId, VertexId) -> bool,
 {
@@ -76,22 +76,21 @@ where
 }
 
 /// Convenience wrapper: a plain BFS spanning forest of the whole graph.
-pub fn spanning_forest(g: &UndirectedGraph) -> ScanFirstForest {
+pub fn spanning_forest<G: GraphView>(g: &G) -> ScanFirstForest {
     scan_first_forest(g, |_, _| false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::UndirectedGraph;
     use crate::traversal::connected_components;
 
     #[test]
     fn spanning_forest_has_n_minus_c_edges() {
-        let g = UndirectedGraph::from_edges(
-            7,
-            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            UndirectedGraph::from_edges(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+                .unwrap();
         let f = spanning_forest(&g);
         let comps = connected_components(&g).len();
         assert_eq!(f.len(), g.num_vertices() - comps);
@@ -110,9 +109,7 @@ mod tests {
     fn skip_predicate_excludes_edges() {
         // Triangle: skipping edge (0,1) still spans via 0-2-1.
         let g = UndirectedGraph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]).unwrap();
-        let f = scan_first_forest(&g, |u, v| {
-            crate::types::normalize_edge(u, v) == (0, 1)
-        });
+        let f = scan_first_forest(&g, |u, v| crate::types::normalize_edge(u, v) == (0, 1));
         assert_eq!(f.len(), 2);
         assert!(!f.edges.contains(&(0, 1)));
     }

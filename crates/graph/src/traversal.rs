@@ -3,8 +3,8 @@
 
 use std::collections::VecDeque;
 
-use crate::graph::UndirectedGraph;
 use crate::types::{VertexId, INVALID_VERTEX};
+use crate::view::GraphView;
 
 /// Distance value meaning "unreachable from the BFS source".
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -12,7 +12,7 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// Single-source BFS distances (number of hops) from `src`.
 ///
 /// Unreachable vertices get [`UNREACHABLE`]. Runs in `O(n + m)`.
-pub fn bfs_distances(g: &UndirectedGraph, src: VertexId) -> Vec<u32> {
+pub fn bfs_distances<G: GraphView>(g: &G, src: VertexId) -> Vec<u32> {
     let mut dist = vec![UNREACHABLE; g.num_vertices()];
     if g.num_vertices() == 0 {
         return dist;
@@ -36,7 +36,7 @@ pub fn bfs_distances(g: &UndirectedGraph, src: VertexId) -> Vec<u32> {
 ///
 /// Returns `(dist, parent)`; roots and unreachable vertices have parent
 /// [`INVALID_VERTEX`].
-pub fn bfs_tree(g: &UndirectedGraph, src: VertexId) -> (Vec<u32>, Vec<VertexId>) {
+pub fn bfs_tree<G: GraphView>(g: &G, src: VertexId) -> (Vec<u32>, Vec<VertexId>) {
     let mut dist = vec![UNREACHABLE; g.num_vertices()];
     let mut parent = vec![INVALID_VERTEX; g.num_vertices()];
     let mut queue = VecDeque::new();
@@ -56,7 +56,7 @@ pub fn bfs_tree(g: &UndirectedGraph, src: VertexId) -> (Vec<u32>, Vec<VertexId>)
 }
 
 /// The eccentricity of `src`: the largest finite BFS distance from it.
-pub fn eccentricity(g: &UndirectedGraph, src: VertexId) -> u32 {
+pub fn eccentricity<G: GraphView>(g: &G, src: VertexId) -> u32 {
     bfs_distances(g, src)
         .into_iter()
         .filter(|&d| d != UNREACHABLE)
@@ -66,7 +66,7 @@ pub fn eccentricity(g: &UndirectedGraph, src: VertexId) -> u32 {
 
 /// Assigns every vertex a connected-component id in `0..count` and returns
 /// `(component_id, count)`.
-pub fn connected_component_ids(g: &UndirectedGraph) -> (Vec<u32>, usize) {
+pub fn connected_component_ids<G: GraphView>(g: &G) -> (Vec<u32>, usize) {
     let n = g.num_vertices();
     let mut comp = vec![u32::MAX; n];
     let mut count = 0u32;
@@ -91,7 +91,7 @@ pub fn connected_component_ids(g: &UndirectedGraph) -> (Vec<u32>, usize) {
 }
 
 /// The connected components as explicit vertex lists, each sorted ascending.
-pub fn connected_components(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
+pub fn connected_components<G: GraphView>(g: &G) -> Vec<Vec<VertexId>> {
     let (ids, count) = connected_component_ids(g);
     let mut comps: Vec<Vec<VertexId>> = vec![Vec::new(); count];
     for (v, &c) in ids.iter().enumerate() {
@@ -105,11 +105,12 @@ pub fn connected_components(g: &UndirectedGraph) -> Vec<Vec<VertexId>> {
 /// Vertices with `alive[v] == false` are treated as removed (as in the
 /// `OVERLAP-PARTITION` step after deleting the cut `S`). The returned lists
 /// only contain alive vertices.
-pub fn connected_components_filtered(
-    g: &UndirectedGraph,
-    alive: &[bool],
-) -> Vec<Vec<VertexId>> {
-    assert_eq!(alive.len(), g.num_vertices(), "alive mask must cover every vertex");
+pub fn connected_components_filtered<G: GraphView>(g: &G, alive: &[bool]) -> Vec<Vec<VertexId>> {
+    assert_eq!(
+        alive.len(),
+        g.num_vertices(),
+        "alive mask must cover every vertex"
+    );
     let n = g.num_vertices();
     let mut seen = vec![false; n];
     let mut comps = Vec::new();
@@ -138,7 +139,7 @@ pub fn connected_components_filtered(
 
 /// Whether the graph is connected. The empty graph and single vertices are
 /// considered connected.
-pub fn is_connected(g: &UndirectedGraph) -> bool {
+pub fn is_connected<G: GraphView>(g: &G) -> bool {
     if g.num_vertices() <= 1 {
         return true;
     }
@@ -152,7 +153,7 @@ pub fn is_connected(g: &UndirectedGraph) -> bool {
 /// This is exactly the processing order of phase 1 of `GLOBAL-CUT*`
 /// (Algorithm 3, line 11): vertices far from the source are more likely to be
 /// separated from it by a small cut, so testing them first finds cuts sooner.
-pub fn vertices_by_descending_distance(g: &UndirectedGraph, src: VertexId) -> Vec<VertexId> {
+pub fn vertices_by_descending_distance<G: GraphView>(g: &G, src: VertexId) -> Vec<VertexId> {
     let dist = bfs_distances(g, src);
     let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId)
         .filter(|&v| v != src && dist[v as usize] != UNREACHABLE)
@@ -166,6 +167,7 @@ pub fn vertices_by_descending_distance(g: &UndirectedGraph, src: VertexId) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::UndirectedGraph;
 
     fn cycle(n: usize) -> UndirectedGraph {
         UndirectedGraph::from_edges(

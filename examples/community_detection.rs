@@ -33,10 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let k = config.group_connectivity as u32;
     let vccs = enumerate_kvccs(&ego.graph, k, &KvccOptions::default())?;
-    println!("\n{k}-VCCs of the ego network ({} groups found):", vccs.num_components());
+    println!(
+        "\n{k}-VCCs of the ego network ({} groups found):",
+        vccs.num_components()
+    );
     for (i, comp) in vccs.iter().enumerate() {
         // Translate local ego ids back to author ids of the full graph.
-        let authors: Vec<_> = comp.vertices().iter().map(|&v| ego.to_parent[v as usize]).collect();
+        let authors: Vec<_> = comp
+            .vertices()
+            .iter()
+            .map(|&v| ego.to_parent[v as usize])
+            .collect();
         println!("  group {i}: {} authors {:?}", authors.len(), authors);
     }
 

@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let k_index = if args[0] == "--suite" { 2 } else { 1 };
-    let k: u32 = args.get(k_index).map(|s| s.parse()).transpose()?.unwrap_or_else(|| usage());
+    let k: u32 = args
+        .get(k_index)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or_else(|| usage());
     let variant = args
         .get(k_index + 1)
         .map(|s| parse_variant(s).unwrap_or_else(|| usage()))
@@ -88,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = enumerate_kvccs(&graph, k, &KvccOptions::for_variant(variant))?;
     let elapsed = started.elapsed();
 
-    println!("\nfound {} {k}-VCC(s) in {:.3?}", result.num_components(), elapsed);
+    println!(
+        "\nfound {} {k}-VCC(s) in {:.3?}",
+        result.num_components(),
+        elapsed
+    );
     let mut sizes: Vec<usize> = result.iter().map(|c| c.len()).collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     if !sizes.is_empty() {

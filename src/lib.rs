@@ -1,0 +1,17 @@
+//! Facade crate for the k-VCC enumeration workspace.
+//!
+//! The algorithmic code lives in the member crates (`kvcc`, `kvcc-graph`,
+//! `kvcc-flow`, `kvcc-baselines`, `kvcc-datasets`, `kvcc-bench`); this root
+//! package exists so that the cross-crate integration tests in `tests/` and
+//! the runnable examples in `examples/` have a home inside the workspace.
+//! It re-exports the primary entry points for convenience.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kvcc::{
+    enumerate_kvccs, AlgorithmVariant, EnumerationStats, KVertexConnectedComponent, KvccEnumerator,
+    KvccError, KvccOptions, KvccResult,
+};
+pub use kvcc_flow::{global_vertex_connectivity, is_k_vertex_connected};
+pub use kvcc_graph::{CsrGraph, GraphView, UndirectedGraph, VertexId};

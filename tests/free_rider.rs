@@ -21,7 +21,11 @@ fn four_vccs_are_exactly_the_four_blocks() {
 fn four_core_merges_everything_into_one_component() {
     let fig = figure1_graph();
     let comps = k_core_components(&fig.graph, 4);
-    assert_eq!(comps.len(), 1, "the 4-core has a single connected component");
+    assert_eq!(
+        comps.len(),
+        1,
+        "the 4-core has a single connected component"
+    );
     assert_eq!(comps[0], fig.expected_4core);
 }
 
@@ -60,11 +64,15 @@ fn every_variant_solves_the_figure1_example() {
     // For k = 5 the blocks are still 5-connected K6s, so they remain; for
     // k = 6 nothing survives (a K6 has only 6 vertices).
     assert_eq!(
-        enumerate_kvccs(&fig.graph, 5, &KvccOptions::default()).unwrap().num_components(),
+        enumerate_kvccs(&fig.graph, 5, &KvccOptions::default())
+            .unwrap()
+            .num_components(),
         4
     );
     assert_eq!(
-        enumerate_kvccs(&fig.graph, 6, &KvccOptions::default()).unwrap().num_components(),
+        enumerate_kvccs(&fig.graph, 6, &KvccOptions::default())
+            .unwrap()
+            .num_components(),
         0
     );
 }

@@ -79,7 +79,11 @@ fn matches_oracle_on_structured_graphs() {
     for k in 2..=4u32 {
         let expected = naive_kvccs(&blocks, k);
         let result = enumerate_kvccs(&blocks, k, &KvccOptions::default()).unwrap();
-        assert_eq!(sorted_components(&result), expected, "shared-triple blocks, k = {k}");
+        assert_eq!(
+            sorted_components(&result),
+            expected,
+            "shared-triple blocks, k = {k}"
+        );
     }
 }
 
