@@ -19,18 +19,18 @@ use kvcc_flow::mincut::residual_reachable;
 use kvcc_flow::network::FlowNetwork;
 use kvcc_graph::kcore::k_core_vertices;
 use kvcc_graph::traversal::connected_components;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, GraphView, VertexId};
 
-/// Computes all k-edge connected components of `g`, each as a sorted vertex
-/// list (ids of `g`), ordered by smallest vertex.
+/// Computes all k-edge connected components of `g` (any [`GraphView`]), each
+/// as a sorted vertex list (ids of `g`), ordered by smallest vertex.
 ///
 /// Components must contain at least two vertices; `k = 0` is treated as
 /// `k = 1` (plain connected components of size ≥ 2).
-pub fn k_edge_connected_components(g: &UndirectedGraph, k: usize) -> Vec<Vec<VertexId>> {
+pub fn k_edge_connected_components<G: GraphView>(g: &G, k: usize) -> Vec<Vec<VertexId>> {
     let k = k.max(1);
     let identity: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
     let mut results: Vec<Vec<VertexId>> = Vec::new();
-    let mut work: Vec<(UndirectedGraph, Vec<VertexId>)> = vec![(g.clone(), identity)];
+    let mut work: Vec<(CsrGraph, Vec<VertexId>)> = vec![(CsrGraph::from_view(g), identity)];
 
     while let Some((graph, to_original)) = work.pop() {
         // Degree peeling: edge connectivity is bounded by the minimum degree.
@@ -70,7 +70,7 @@ pub fn k_edge_connected_components(g: &UndirectedGraph, k: usize) -> Vec<Vec<Ver
 /// other vertex, early-terminated at `k`; returns the crossing edges of the
 /// first cut with fewer than `k` edges, or `None` if the graph is k-edge
 /// connected.
-fn find_edge_cut(g: &UndirectedGraph, k: u32) -> Option<Vec<(VertexId, VertexId)>> {
+fn find_edge_cut(g: &CsrGraph, k: u32) -> Option<Vec<(VertexId, VertexId)>> {
     let n = g.num_vertices();
     debug_assert!(n >= 2);
     let source = g.min_degree_vertex().expect("non-empty graph");
@@ -110,20 +110,24 @@ fn find_edge_cut(g: &UndirectedGraph, k: u32) -> Option<Vec<(VertexId, VertexId)
 }
 
 /// Returns a copy of `g` with the given undirected edges removed.
-fn remove_edges(g: &UndirectedGraph, edges: &[(VertexId, VertexId)]) -> UndirectedGraph {
+fn remove_edges(g: &CsrGraph, edges: &[(VertexId, VertexId)]) -> CsrGraph {
     use std::collections::HashSet;
     let removed: HashSet<(VertexId, VertexId)> = edges
         .iter()
         .map(|&(u, v)| if u <= v { (u, v) } else { (v, u) })
         .collect();
-    let kept = g.edges().filter(|&(u, v)| !removed.contains(&(u, v)));
-    UndirectedGraph::from_edges(g.num_vertices(), kept)
+    let kept: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(u, v)| !removed.contains(&(u, v)))
+        .collect();
+    CsrGraph::from_edges(g.num_vertices(), kept)
         .expect("edges of an existing graph are always in range")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();

@@ -1,6 +1,7 @@
-//! `pr1-bench` — record the PR 1 performance baseline into `BENCH_pr1.json`.
+//! `pr1-bench` — record the refactor-trajectory baselines.
 //!
-//! Compares, on the planted-partition suite:
+//! PR 1 section (written to `BENCH_pr1.json`), on the planted-partition
+//! suite:
 //!
 //! * graph-substrate primitives (BFS, k-core peel) on the legacy
 //!   `Vec<Vec<VertexId>>` adjacency vs the new CSR representation;
@@ -8,19 +9,50 @@
 //!   network per probe) vs the new CSR + scratch-arena enumerator, sequential
 //!   and parallel.
 //!
-//! Usage: `pr1-bench [output.json]` (default `BENCH_pr1.json`).
+//! PR 2 section (written to `BENCH_pr2.json`):
+//!
+//! * `ConnectivityIndex` build time, and a fixed batch of seed queries
+//!   answered through the index / by per-query re-enumeration / through the
+//!   `kvcc-service` batch engine. The `indexed_vs_reenumerate` speedup is the
+//!   PR 2 acceptance number (must be ≥ 10×).
+//!
+//! Usage: `pr1-bench [pr1-output.json [pr2-output.json]]`
+//! (defaults `BENCH_pr1.json` and `BENCH_pr2.json`).
 
-use kvcc_bench::pr1;
+use kvcc_bench::{pr1, pr2};
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
-    let report = pr1::run_all();
-    println!("{}", report.render_text());
-    if let Err(e) = std::fs::write(&path, report.render_json()) {
+fn write_or_die(path: &str, payload: String) {
+    if let Err(e) = std::fs::write(path, payload) {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     }
     eprintln!("wrote {path}");
+}
+
+fn main() {
+    let pr1_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
+    let pr2_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+
+    let report = pr1::run_all();
+    println!("{}", report.render_text());
+    write_or_die(&pr1_path, report.render_json());
+
+    let pr2_report = pr2::run_all();
+    println!("PR 2 index/serving section (planted-partition suite)");
+    for e in &pr2_report.entries {
+        println!(
+            "{:<36} {:>14.1} ns/run  ({} runs, checksum {})",
+            e.name, e.mean_ns, e.iterations, e.checksum
+        );
+    }
+    for (baseline, contender, label) in pr2::speedup_pairs() {
+        if let Some(s) = pr2_report.speedup(baseline, contender) {
+            println!("speedup {label}: {s:.2}x");
+        }
+    }
+    write_or_die(&pr2_path, pr2::render_json(&pr2_report));
 }

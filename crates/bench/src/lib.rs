@@ -4,7 +4,7 @@
 //! `kvcc-bench` binary dispatches to them and prints the same rows/series the
 //! paper reports. Criterion micro-benchmarks live under `benches/`.
 //!
-//! Every experiment takes a [`suite::SuiteScale`]-like scale so the whole
+//! Every experiment takes a [`kvcc_datasets::suite::SuiteScale`]-like scale so the whole
 //! evaluation can be regenerated quickly (`tiny`) or at the paper-like
 //! parameter points (`small`, the default; `medium` for longer runs).
 
@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod legacy;
 pub mod pr1;
+pub mod pr2;
 pub mod report;
 
 pub use report::Table;

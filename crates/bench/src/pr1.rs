@@ -196,11 +196,13 @@ fn measure(case: &Case, warmup: Duration, budget: Duration, min_iters: u64) -> E
 }
 
 impl Report {
-    fn entry(&self, name: &str) -> Option<&Entry> {
+    /// Looks up a measured entry by case name.
+    pub fn entry(&self, name: &str) -> Option<&Entry> {
         self.entries.iter().find(|e| e.name == name)
     }
 
-    fn speedup(&self, baseline: &str, contender: &str) -> Option<f64> {
+    /// Speedup of `contender` over `baseline`, by case name.
+    pub fn speedup(&self, baseline: &str, contender: &str) -> Option<f64> {
         let b = self.entry(baseline)?;
         let c = self.entry(contender)?;
         if c.mean_ns > 0.0 {

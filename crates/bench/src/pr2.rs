@@ -1,0 +1,273 @@
+//! PR 2 performance record: the [`kvcc::ConnectivityIndex`] vs per-query
+//! re-enumeration on the planted-partition suite.
+//!
+//! The serving-layer workload is "many seed queries against one loaded
+//! graph" (§6.4 shape). This module measures, on the same planted graph the
+//! PR 1 enumeration cases use:
+//!
+//! * `index/build` — one-time cost of building the full hierarchy index;
+//! * `query/indexed-seeds` — answering a fixed batch of seed queries through
+//!   the index (ancestor walks, no flow code);
+//! * `query/reenumerate-seeds` — the same batch through
+//!   [`kvcc::kvccs_containing`], which re-runs component/k-core/enumeration
+//!   work per query;
+//! * `service/batch` — the same batch through [`kvcc_service::ServiceEngine`]
+//!   with a prebuilt index (adds protocol + pool overhead).
+//!
+//! The `indexed_vs_reenumerate` speedup is the PR 2 acceptance number: the
+//! index must answer repeated seed queries at least an order of magnitude
+//! faster than re-enumeration.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use kvcc::{ConnectivityIndex, KvccOptions};
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_service::{EngineConfig, QueryRequest, QueryResponse, ServiceEngine};
+
+use crate::pr1::{Entry, Report};
+
+/// The planted-partition graph used by the query cases, plus the query `k`
+/// and the batch of seed vertices (one per planted community plus a few
+/// background vertices, covering both hit and miss paths).
+fn query_workload() -> &'static (UndirectedGraph, u32, Vec<VertexId>) {
+    static WORKLOAD: OnceLock<(UndirectedGraph, u32, Vec<VertexId>)> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let config = PlantedConfig {
+            num_communities: 6,
+            chain_length: 3,
+            community_size: (10, 14),
+            background_vertices: 600,
+            seed: 11,
+            ..PlantedConfig::default()
+        };
+        let k = config.k as u32;
+        let planted = planted_communities(&config);
+        let mut seeds: Vec<VertexId> = planted
+            .communities
+            .iter()
+            .map(|members| members[members.len() / 2])
+            .collect();
+        // Background seeds: pruned by the k-core, so they exercise the
+        // cheap-miss path on both sides.
+        seeds.extend((0..4).map(|i| (i * 150) as VertexId));
+        (planted.graph, k, seeds)
+    })
+}
+
+fn prebuilt_index() -> &'static ConnectivityIndex {
+    static INDEX: OnceLock<ConnectivityIndex> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let (g, _, _) = query_workload();
+        ConnectivityIndex::build(g, None, &KvccOptions::default()).unwrap()
+    })
+}
+
+fn prebuilt_engine() -> &'static (ServiceEngine, kvcc_service::GraphId) {
+    static ENGINE: OnceLock<(ServiceEngine, kvcc_service::GraphId)> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let (g, _, _) = query_workload();
+        let engine = ServiceEngine::new(EngineConfig::default());
+        let id = engine.load_graph("planted", g);
+        engine.build_index(id).unwrap();
+        (engine, id)
+    })
+}
+
+fn index_build() -> usize {
+    let (g, _, _) = query_workload();
+    let index = ConnectivityIndex::build(g, None, &KvccOptions::default()).unwrap();
+    index.num_nodes()
+}
+
+fn indexed_seeds() -> usize {
+    let (_, k, seeds) = query_workload();
+    let index = prebuilt_index();
+    seeds
+        .iter()
+        .map(|&s| {
+            index
+                .kvccs_containing(s, *k)
+                .unwrap()
+                .iter()
+                .map(|c| c.len())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn reenumerate_seeds() -> usize {
+    let (g, k, seeds) = query_workload();
+    seeds
+        .iter()
+        .map(|&s| {
+            kvcc::kvccs_containing(g, s, *k, &KvccOptions::default())
+                .unwrap()
+                .iter()
+                .map(|c| c.len())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn service_batch() -> usize {
+    let (_, k, seeds) = query_workload();
+    let (engine, id) = prebuilt_engine();
+    let requests: Vec<QueryRequest> = seeds
+        .iter()
+        .map(|&seed| QueryRequest::KvccsContaining {
+            graph: *id,
+            seed,
+            k: *k,
+        })
+        .collect();
+    engine
+        .execute_batch(&requests)
+        .into_iter()
+        .map(|response| match response {
+            QueryResponse::Components(comps) => comps.iter().map(|c| c.len()).sum::<usize>(),
+            other => panic!("unexpected response {other:?}"),
+        })
+        .sum()
+}
+
+/// One named case with its minimum iteration count.
+type Pr2Case = (&'static str, fn() -> usize, u64);
+
+/// Runs the PR 2 cases and appends them (with the `pr2/` prefix) to a fresh
+/// report, asserting that all three query paths return identical answers.
+pub fn run_all() -> Report {
+    let mut report = Report::default();
+    let cases: [Pr2Case; 4] = [
+        ("pr2/index/build", index_build, 3),
+        ("pr2/query/indexed-seeds", indexed_seeds, 20),
+        ("pr2/query/reenumerate-seeds", reenumerate_seeds, 5),
+        ("pr2/service/batch", service_batch, 10),
+    ];
+    for (name, run, min_iters) in cases {
+        report.entries.push(measure(
+            name,
+            run,
+            Duration::from_millis(100),
+            Duration::from_millis(800),
+            min_iters,
+        ));
+    }
+    let indexed = report.entry("pr2/query/indexed-seeds").unwrap();
+    let reenumerated = report.entry("pr2/query/reenumerate-seeds").unwrap();
+    let served = report.entry("pr2/service/batch").unwrap();
+    assert_eq!(
+        indexed.checksum, reenumerated.checksum,
+        "indexed and re-enumerating query paths disagree"
+    );
+    assert_eq!(
+        indexed.checksum, served.checksum,
+        "service path disagrees with the library paths"
+    );
+    report
+}
+
+/// Speedup pairs reported in `BENCH_pr2.json`.
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "pr2/query/reenumerate-seeds",
+            "pr2/query/indexed-seeds",
+            "indexed_vs_reenumerate",
+        ),
+        (
+            "pr2/query/reenumerate-seeds",
+            "pr2/service/batch",
+            "service_vs_reenumerate",
+        ),
+    ]
+}
+
+fn measure(
+    name: &'static str,
+    run: fn() -> usize,
+    warmup: Duration,
+    budget: Duration,
+    min_iters: u64,
+) -> Entry {
+    let start = Instant::now();
+    let mut checksum = 0usize;
+    while start.elapsed() < warmup {
+        checksum = std::hint::black_box(run());
+    }
+    let mut total = Duration::ZERO;
+    let mut iterations = 0u64;
+    while iterations < min_iters || (total < budget && iterations < min_iters * 64) {
+        let t = Instant::now();
+        checksum = std::hint::black_box(run());
+        total += t.elapsed();
+        iterations += 1;
+    }
+    Entry {
+        name,
+        mean_ns: total.as_nanos() as f64 / iterations as f64,
+        iterations,
+        checksum,
+    }
+}
+
+/// JSON payload for `BENCH_pr2.json` (hand-assembled like the PR 1 report).
+pub fn render_json(report: &Report) -> String {
+    let (g, k, seeds) = query_workload();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 2,\n");
+    out.push_str(
+        "  \"description\": \"ConnectivityIndex build time and repeated seed-query latency \
+         (indexed / re-enumerating / served) on the planted-partition suite\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"vertices\": {}, \"edges\": {}, \"k\": {}, \"seed_queries\": {}}},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        k,
+        seeds.len()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_query_paths_agree() {
+        assert_eq!(indexed_seeds(), reenumerate_seeds());
+        assert_eq!(indexed_seeds(), service_batch());
+        assert!(index_build() > 0);
+    }
+
+    #[test]
+    fn json_contains_the_acceptance_speedup() {
+        let report = run_all();
+        let json = render_json(&report);
+        assert!(json.contains("\"indexed_vs_reenumerate\""));
+        assert!(json.contains("\"pr\": 2"));
+    }
+}

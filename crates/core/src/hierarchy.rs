@@ -9,12 +9,16 @@
 //!
 //! The construction exploits the nesting: the (k+1)-VCCs are enumerated
 //! *inside* each k-VCC instead of on the whole graph, which keeps the total
-//! cost close to the cost of the deepest level. This module is an extension of
-//! the paper's algorithm (the paper fixes a single k) and powers the
-//! `hierarchy` example.
+//! cost close to the cost of the deepest level. Every nested level is sliced
+//! out of the (arbitrary [`GraphView`]) input as a compact CSR work item
+//! through one reusable relabelling buffer — no per-level whole-graph copies
+//! — and each per-component enumeration drains on the parallel worklist when
+//! [`KvccOptions::threads`] asks for it. This module is an extension of the
+//! paper's algorithm (the paper fixes a single k); it powers the `hierarchy`
+//! example and is the substrate of [`crate::index::ConnectivityIndex`].
 
 use kvcc_graph::kcore::degeneracy;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, GraphView, VertexId};
 
 use crate::enumerate::enumerate_kvccs;
 use crate::error::KvccError;
@@ -45,6 +49,11 @@ impl KvccHierarchy {
     /// All levels, in increasing order of `k` (starting at `k = 1`).
     pub fn levels(&self) -> &[HierarchyLevel] {
         &self.levels
+    }
+
+    /// Number of vertices of the graph the hierarchy was built from.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
     }
 
     /// The largest `k` for which at least one k-VCC exists (0 for an edgeless
@@ -99,13 +108,15 @@ impl KvccHierarchy {
 /// `max_k = None` uses the graph degeneracy as the upper bound (no k-VCC can
 /// exist beyond it, because a k-VCC has minimum degree `>= k`). Construction
 /// stops early at the first level with no components.
-pub fn build_hierarchy(
-    graph: &UndirectedGraph,
+pub fn build_hierarchy<G: GraphView>(
+    graph: &G,
     max_k: Option<u32>,
     options: &KvccOptions,
 ) -> Result<KvccHierarchy, KvccError> {
     let limit = max_k.unwrap_or_else(|| degeneracy(graph)).max(1);
     let mut levels: Vec<HierarchyLevel> = Vec::new();
+    // One relabelling buffer shared by every slice of the whole construction.
+    let mut map: Vec<VertexId> = Vec::new();
 
     for k in 1..=limit {
         let level = match levels.last() {
@@ -120,20 +131,24 @@ pub fn build_hierarchy(
                 }
             }
             Some(previous) => {
-                // Deeper levels are enumerated inside each parent component.
+                // Deeper levels are enumerated inside each parent component:
+                // slice the parent out of the input as one CSR work item
+                // (component vertex lists are sorted, so the rows come out
+                // sorted for free) and let the enumerator's worklist — the
+                // parallel one when `options.threads` says so — drain it.
                 let mut components: Vec<KVertexConnectedComponent> = Vec::new();
                 let mut parents: Vec<Option<usize>> = Vec::new();
                 for (parent_idx, parent) in previous.components.iter().enumerate() {
                     if parent.len() <= k as usize {
                         continue;
                     }
-                    let sub = parent.induced_subgraph(graph);
-                    let nested = enumerate_kvccs(&sub.graph, k, options)?;
+                    let sub = CsrGraph::extract_induced(graph, parent.vertices(), &mut map);
+                    let nested = enumerate_kvccs(&sub, k, options)?;
                     for comp in nested.iter() {
                         let mapped: Vec<VertexId> = comp
                             .vertices()
                             .iter()
-                            .map(|&local| sub.to_parent[local as usize])
+                            .map(|&local| parent.vertices()[local as usize])
                             .collect();
                         components.push(KVertexConnectedComponent::new(mapped));
                         parents.push(Some(parent_idx));
@@ -167,6 +182,7 @@ pub fn build_hierarchy(
 mod tests {
     use super::*;
     use crate::options::KvccOptions;
+    use kvcc_graph::UndirectedGraph;
 
     fn complete(n: usize) -> UndirectedGraph {
         let mut edges = Vec::new();
@@ -242,6 +258,19 @@ mod tests {
         let h = build_hierarchy(&g, Some(3), &KvccOptions::default()).unwrap();
         assert_eq!(h.max_k(), 3);
         assert_eq!(h.levels().len(), 3);
+    }
+
+    #[test]
+    fn csr_input_builds_the_same_hierarchy() {
+        let g = two_triangles_with_pendant();
+        let csr = kvcc_graph::CsrGraph::from_view(&g);
+        let a = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
+        let b = build_hierarchy(&csr, None, &KvccOptions::default()).unwrap();
+        assert_eq!(a.max_k(), b.max_k());
+        for (la, lb) in a.levels().iter().zip(b.levels()) {
+            assert_eq!(la.components, lb.components);
+            assert_eq!(la.parents, lb.parents);
+        }
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! The [`ConnectivityIndex`]: the full k-VCC hierarchy flattened into a
+//! query-ready forest.
+//!
+//! Building the hierarchy costs one nested enumeration (§2.2 nesting); every
+//! question the paper's case study asks afterwards — "all 4-VCCs containing
+//! author *Jiawei Han*" (§6.4), "how connected are these two authors", "what
+//! are the k-VCCs at level k" — is then answered **without touching flow
+//! code**:
+//!
+//! * [`kvccs_containing`](ConnectivityIndex::kvccs_containing) — an ancestor
+//!   walk from the seed's leaf components up to level `k`;
+//! * [`max_connectivity`](ConnectivityIndex::max_connectivity) — the level of
+//!   the lowest common ancestor of two vertices' leaves;
+//! * [`components_at`](ConnectivityIndex::components_at) — a contiguous slice
+//!   of the flat forest;
+//! * [`max_connectivity_of`](ConnectivityIndex::max_connectivity_of) — a
+//!   per-vertex array lookup.
+//!
+//! Answers are byte-identical to running [`crate::enumerate_kvccs`] /
+//! [`crate::query::kvccs_containing`] directly (asserted by the
+//! `index_parity` integration suite); the index is the read path of the
+//! `kvcc-service` serving layer.
+
+use kvcc_graph::{GraphView, VertexId};
+
+use crate::error::KvccError;
+use crate::hierarchy::{build_hierarchy, KvccHierarchy};
+use crate::options::KvccOptions;
+use crate::result::KVertexConnectedComponent;
+
+/// Sentinel parent id for root nodes (level-1 components).
+const NO_PARENT: u32 = u32::MAX;
+
+/// A flattened k-VCC hierarchy supporting O(depth) containment queries.
+///
+/// Nodes are stored level-contiguously (all level-1 components, then all
+/// level-2 components, …), each with the id of the unique level-(k−1)
+/// component containing it. Per vertex the index keeps the *leaf-most* nodes
+/// (components not further refined at the next level) plus the vertex's
+/// maximum connectivity, so every query is pointer chasing over flat arrays.
+#[derive(Clone, Debug)]
+pub struct ConnectivityIndex {
+    /// Per node: the connectivity level `k`.
+    ks: Vec<u32>,
+    /// Per node: parent node id, or [`NO_PARENT`] for level-1 roots.
+    parents: Vec<u32>,
+    /// Per node: the component members (sorted; same ordering as the
+    /// enumeration output).
+    components: Vec<KVertexConnectedComponent>,
+    /// `level_offsets[k - 1]..level_offsets[k]` are the node ids of level `k`
+    /// (length `max_k + 1`).
+    level_offsets: Vec<usize>,
+    /// Per vertex: ids of the deepest nodes containing it (a vertex can have
+    /// several because k-VCCs overlap in up to `k − 1` vertices).
+    leaves_of: Vec<Vec<u32>>,
+    /// Per vertex: the largest `k` with a k-VCC containing the vertex.
+    max_k_of: Vec<u32>,
+    /// The `max_k` cap the index was built with, if any. Levels beyond the
+    /// cap were never enumerated, so queries there are not answerable from
+    /// the index (see [`ConnectivityIndex::covers`]).
+    depth_limit: Option<u32>,
+}
+
+impl ConnectivityIndex {
+    /// Builds the index for `graph` by constructing the nested hierarchy once
+    /// (`max_k = None` bounds it by the degeneracy) and flattening it.
+    ///
+    /// With an explicit `max_k` the hierarchy is **truncated**: the index can
+    /// only answer queries for `k <= max_k` (checked via
+    /// [`ConnectivityIndex::covers`]), and the per-vertex / pairwise
+    /// connectivity values saturate at the cap.
+    pub fn build<G: GraphView>(
+        graph: &G,
+        max_k: Option<u32>,
+        options: &KvccOptions,
+    ) -> Result<Self, KvccError> {
+        let hierarchy = build_hierarchy(graph, max_k, options)?;
+        let mut index = Self::from_hierarchy(&hierarchy);
+        index.depth_limit = max_k;
+        Ok(index)
+    }
+
+    /// Flattens an already-built [`KvccHierarchy`] into index form.
+    pub fn from_hierarchy(hierarchy: &KvccHierarchy) -> Self {
+        let num_vertices = hierarchy.num_vertices();
+        let mut ks = Vec::new();
+        let mut parents = Vec::new();
+        let mut components = Vec::new();
+        let mut level_offsets = vec![0usize];
+
+        // Assign node ids level by level; hierarchy levels are contiguous
+        // (construction stops at the first empty level), so level k occupies
+        // level_offsets[k - 1]..level_offsets[k].
+        for (li, level) in hierarchy.levels().iter().enumerate() {
+            debug_assert_eq!(level.k as usize, li + 1, "levels must be contiguous");
+            let prev_start = if li == 0 { 0 } else { level_offsets[li - 1] };
+            for (comp, parent) in level.components.iter().zip(&level.parents) {
+                ks.push(level.k);
+                parents.push(match parent {
+                    None => NO_PARENT,
+                    Some(idx) => (prev_start + idx) as u32,
+                });
+                components.push(comp.clone());
+            }
+            level_offsets.push(components.len());
+        }
+
+        // Leaf-most memberships: a node keeps vertex v iff no child keeps v.
+        // Sweep the nodes once, marking each node's members as "covered" in
+        // its parent; everything left uncovered is a leaf pointer.
+        let mut covered: Vec<Vec<VertexId>> = vec![Vec::new(); components.len()];
+        for id in (0..components.len()).rev() {
+            if parents[id] != NO_PARENT {
+                let members: Vec<VertexId> = components[id].vertices().to_vec();
+                covered[parents[id] as usize].extend(members);
+            }
+        }
+        let mut leaves_of: Vec<Vec<u32>> = vec![Vec::new(); num_vertices];
+        let mut max_k_of = vec![0u32; num_vertices];
+        for (id, comp) in components.iter().enumerate() {
+            let mut cov = std::mem::take(&mut covered[id]);
+            cov.sort_unstable();
+            for &v in comp.vertices() {
+                max_k_of[v as usize] = max_k_of[v as usize].max(ks[id]);
+                if cov.binary_search(&v).is_err() {
+                    leaves_of[v as usize].push(id as u32);
+                }
+            }
+        }
+
+        ConnectivityIndex {
+            ks,
+            parents,
+            components,
+            level_offsets,
+            leaves_of,
+            max_k_of,
+            depth_limit: None,
+        }
+    }
+
+    /// The `max_k` cap the index was built with ([`None`]: complete up to the
+    /// degeneracy).
+    pub fn depth_limit(&self) -> Option<u32> {
+        self.depth_limit
+    }
+
+    /// Whether level-`k` queries are answerable from this index: `true` for
+    /// a complete index, otherwise only for `k` at or below the build cap.
+    /// For an uncovered `k`, [`ConnectivityIndex::components_at`] and
+    /// [`ConnectivityIndex::kvccs_containing`] would wrongly report "nothing
+    /// there" — callers (e.g. the `kvcc-service` engine) must fall back to a
+    /// direct enumeration instead.
+    pub fn covers(&self, k: u32) -> bool {
+        self.depth_limit.is_none_or(|cap| k <= cap)
+    }
+
+    /// Number of vertices of the indexed graph.
+    pub fn num_vertices(&self) -> usize {
+        self.leaves_of.len()
+    }
+
+    /// Total number of components across all levels of the forest.
+    pub fn num_nodes(&self) -> usize {
+        self.components.len()
+    }
+
+    /// The deepest connectivity level with at least one component (0 for an
+    /// edgeless graph).
+    pub fn max_k(&self) -> u32 {
+        (self.level_offsets.len() - 1) as u32
+    }
+
+    /// All k-VCCs at level `k`, sorted by smallest member — identical to the
+    /// output of [`crate::enumerate_kvccs`] for the same `k`. Empty when no
+    /// component survives at that level.
+    pub fn components_at(&self, k: u32) -> &[KVertexConnectedComponent] {
+        if k == 0 || k > self.max_k() {
+            return &[];
+        }
+        let k = k as usize;
+        &self.components[self.level_offsets[k - 1]..self.level_offsets[k]]
+    }
+
+    /// The largest `k` such that `v` belongs to some k-VCC (its *vertex
+    /// connectivity number*); 0 for isolated or out-of-range vertices.
+    /// Saturates at the build cap on a depth-limited index.
+    pub fn max_connectivity_of(&self, v: VertexId) -> u32 {
+        self.max_k_of.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// The k-VCCs containing `seed` at level `k`: an ancestor walk from the
+    /// seed's leaf components. Byte-identical to
+    /// [`crate::query::kvccs_containing`] (and therefore to filtering the
+    /// full enumeration), including its error contract.
+    pub fn kvccs_containing(
+        &self,
+        seed: VertexId,
+        k: u32,
+    ) -> Result<Vec<KVertexConnectedComponent>, KvccError> {
+        if k == 0 {
+            return Err(KvccError::InvalidK);
+        }
+        if seed as usize >= self.num_vertices() {
+            return Err(KvccError::SeedOutOfRange { seed });
+        }
+        let mut hit_ids: Vec<u32> = Vec::new();
+        for &leaf in &self.leaves_of[seed as usize] {
+            if let Some(id) = self.ancestor_at(leaf, k) {
+                hit_ids.push(id);
+            }
+        }
+        // Different leaves can meet in the same level-k ancestor.
+        hit_ids.sort_unstable();
+        hit_ids.dedup();
+        let mut hits: Vec<KVertexConnectedComponent> = hit_ids
+            .into_iter()
+            .map(|id| self.components[id as usize].clone())
+            .collect();
+        hits.sort();
+        Ok(hits)
+    }
+
+    /// The largest `k` such that `u` and `v` lie in a common k-VCC — the
+    /// level of the lowest common ancestor of their leaves in the forest
+    /// (0 when they share no component at all; `max_connectivity_of(u)` when
+    /// `u == v`). Saturates at the build cap on a depth-limited index.
+    /// Errors for out-of-range vertices.
+    pub fn max_connectivity(&self, u: VertexId, v: VertexId) -> Result<u32, KvccError> {
+        if u as usize >= self.num_vertices() {
+            return Err(KvccError::SeedOutOfRange { seed: u });
+        }
+        if v as usize >= self.num_vertices() {
+            return Err(KvccError::SeedOutOfRange { seed: v });
+        }
+        if u == v {
+            return Ok(self.max_connectivity_of(u));
+        }
+        // Mark every ancestor of u's leaves, then walk v's ancestor chains
+        // and report the deepest marked node. Chains are at most max_k long,
+        // so this is O(leaves · depth) with a sorted-id merge at the end.
+        let mut marked: Vec<u32> = Vec::new();
+        for &leaf in &self.leaves_of[u as usize] {
+            let mut node = leaf;
+            loop {
+                marked.push(node);
+                match self.parents[node as usize] {
+                    NO_PARENT => break,
+                    p => node = p,
+                }
+            }
+        }
+        marked.sort_unstable();
+        marked.dedup();
+        let mut best = 0u32;
+        for &leaf in &self.leaves_of[v as usize] {
+            let mut node = leaf;
+            loop {
+                if marked.binary_search(&node).is_ok() {
+                    best = best.max(self.ks[node as usize]);
+                    break; // ancestors of a marked node are marked and shallower
+                }
+                match self.parents[node as usize] {
+                    NO_PARENT => break,
+                    p => node = p,
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Approximate heap bytes held by the index (Fig. 12-style accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.ks.capacity() * std::mem::size_of::<u32>()
+            + self.parents.capacity() * std::mem::size_of::<u32>()
+            + self
+                .components
+                .iter()
+                .map(|c| std::mem::size_of_val(c.vertices()))
+                .sum::<usize>()
+            + self.level_offsets.capacity() * std::mem::size_of::<usize>()
+            + self
+                .leaves_of
+                .iter()
+                .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+            + self.max_k_of.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Walks from `node` towards the root until reaching level `k`; `None`
+    /// when `node` is already shallower than `k`.
+    fn ancestor_at(&self, node: u32, k: u32) -> Option<u32> {
+        let mut current = node;
+        loop {
+            let level = self.ks[current as usize];
+            if level == k {
+                return Some(current);
+            }
+            if level < k {
+                return None;
+            }
+            match self.parents[current as usize] {
+                NO_PARENT => return None,
+                p => current = p,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::enumerate_kvccs;
+    use crate::query;
+    use kvcc_graph::UndirectedGraph;
+
+    /// Two triangles sharing vertex 2 plus an unrelated K4 on {5,6,7,8}.
+    fn mixed_graph() -> UndirectedGraph {
+        let mut edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        for i in 5..9u32 {
+            for j in (i + 1)..9 {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(9, edges).unwrap()
+    }
+
+    #[test]
+    fn index_matches_direct_enumeration_per_level() {
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(index.max_k(), 3);
+        for k in 1..=4u32 {
+            let direct = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(index.components_at(k), direct.components(), "k = {k}");
+        }
+        assert!(index.components_at(0).is_empty());
+        assert!(index.components_at(99).is_empty());
+    }
+
+    #[test]
+    fn seed_queries_match_the_direct_query_path() {
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        for k in 1..=4u32 {
+            for seed in 0..g.num_vertices() as VertexId {
+                let direct = query::kvccs_containing(&g, seed, k, &KvccOptions::default()).unwrap();
+                let indexed = index.kvccs_containing(seed, k).unwrap();
+                assert_eq!(indexed, direct, "seed {seed}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_connectivity_queries() {
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        // Inside one triangle: 2-connected; across the shared vertex: the
+        // level-2 components differ but level 1 still joins them.
+        assert_eq!(index.max_connectivity(0, 1).unwrap(), 2);
+        assert_eq!(index.max_connectivity(0, 3).unwrap(), 1);
+        // K4 members are 3-connected; across components: nothing shared.
+        assert_eq!(index.max_connectivity(5, 8).unwrap(), 3);
+        assert_eq!(index.max_connectivity(0, 5).unwrap(), 0);
+        // Self-queries report the vertex's own maximum connectivity.
+        assert_eq!(index.max_connectivity(2, 2).unwrap(), 2);
+        assert_eq!(index.max_connectivity_of(6), 3);
+        assert_eq!(index.max_connectivity_of(999), 0);
+        assert!(matches!(
+            index.max_connectivity(0, 99),
+            Err(KvccError::SeedOutOfRange { seed: 99 })
+        ));
+    }
+
+    #[test]
+    fn error_contract_matches_the_direct_query() {
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        assert!(matches!(
+            index.kvccs_containing(0, 0),
+            Err(KvccError::InvalidK)
+        ));
+        assert!(matches!(
+            index.kvccs_containing(99, 2),
+            Err(KvccError::SeedOutOfRange { seed: 99 })
+        ));
+    }
+
+    #[test]
+    fn depth_capped_index_reports_its_coverage() {
+        let g = mixed_graph();
+        let full = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(full.depth_limit(), None);
+        assert!(full.covers(99));
+
+        let capped = ConnectivityIndex::build(&g, Some(1), &KvccOptions::default()).unwrap();
+        assert_eq!(capped.depth_limit(), Some(1));
+        assert!(capped.covers(1));
+        assert!(!capped.covers(2), "level 2 was never enumerated");
+        // Saturation: the K4 members' connectivity reads as the cap.
+        assert_eq!(capped.max_connectivity_of(6), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_an_empty_index() {
+        let g = UndirectedGraph::new(4);
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(index.max_k(), 0);
+        assert_eq!(index.num_nodes(), 0);
+        assert_eq!(index.num_vertices(), 4);
+        assert!(index.kvccs_containing(1, 3).unwrap().is_empty());
+        assert_eq!(index.max_connectivity(0, 1).unwrap(), 0);
+        assert!(index.memory_bytes() > 0);
+    }
+}

@@ -15,9 +15,11 @@
 //! * overlapped graph partitioning (`OVERLAP-PARTITION`) in [`partition`];
 //! * run statistics matching the paper's evaluation (Table 2, Figs. 10–12) in
 //!   [`stats`], and result verification helpers in [`verify`];
-//! * two extensions beyond the paper: the nested k-VCC [`hierarchy`] across
-//!   all levels of `k`, and localized seed-vertex [`query`]s
-//!   ([`kvccs_containing`]).
+//! * three extensions beyond the paper: the nested k-VCC [`hierarchy`] across
+//!   all levels of `k`, localized seed-vertex [`query`]s
+//!   ([`kvccs_containing`]), and the flattened [`ConnectivityIndex`] that
+//!   answers repeated seed/level/pairwise-connectivity queries from the
+//!   prebuilt hierarchy without re-running any flow computation.
 //!
 //! # Quick start
 //!
@@ -42,6 +44,7 @@ pub mod certificate;
 pub mod error;
 pub mod global_cut;
 pub mod hierarchy;
+pub mod index;
 pub mod options;
 pub mod partition;
 pub mod query;
@@ -56,6 +59,7 @@ mod enumerate;
 pub use enumerate::{enumerate_kvccs, KvccEnumerator};
 pub use error::KvccError;
 pub use hierarchy::{build_hierarchy, KvccHierarchy};
+pub use index::ConnectivityIndex;
 pub use options::{AlgorithmVariant, KvccOptions};
 pub use query::kvccs_containing;
 pub use result::{KVertexConnectedComponent, KvccResult};

@@ -2,15 +2,23 @@
 //!
 //! The case study of §6.4 asks for "all 4-VCCs containing author *Jiawei
 //! Han*". Answering such a query does not require enumerating the whole
-//! graph: every k-VCC containing the seed lies inside the connected component
-//! of the k-core that contains the seed, so it is enough to enumerate that
-//! single component and keep the components covering the seed. On large graphs
-//! with many unrelated dense regions this is dramatically cheaper than a full
-//! enumeration.
+//! graph: every k-VCC containing the seed lies inside the seed's connected
+//! component, and inside the k-core of that component. The query therefore
+//!
+//! 1. collects the seed's connected component with a single BFS (cost
+//!    proportional to the component, not the graph);
+//! 2. peels the k-core *inside that component only* on a [`SubgraphView`]
+//!    vertex mask;
+//! 3. extracts the seed's surviving component once into CSR form and runs the
+//!    full enumeration on just that work item.
+//!
+//! On large graphs with many unrelated dense regions this is dramatically
+//! cheaper than a full enumeration — and for repeated queries the
+//! [`crate::index::ConnectivityIndex`] answers from a precomputed hierarchy
+//! without touching flow code at all.
 
-use kvcc_graph::kcore::k_core_vertices;
-use kvcc_graph::traversal::connected_components;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::traversal::component_of;
+use kvcc_graph::{CsrGraph, GraphView, SubgraphView, VertexId};
 
 use crate::enumerate::enumerate_kvccs;
 use crate::error::KvccError;
@@ -22,8 +30,8 @@ use crate::result::KVertexConnectedComponent;
 /// Returns an empty vector when the seed is pruned by the k-core (its degree
 /// in every dense region is below `k`) or when no k-VCC covers it. Errors for
 /// `k == 0` or a seed outside the graph.
-pub fn kvccs_containing(
-    graph: &UndirectedGraph,
+pub fn kvccs_containing<G: GraphView>(
+    graph: &G,
     seed: VertexId,
     k: u32,
     options: &KvccOptions,
@@ -35,49 +43,48 @@ pub fn kvccs_containing(
         return Err(KvccError::SeedOutOfRange { seed });
     }
 
-    // Restrict to the k-core; if the seed does not survive it cannot be in any
-    // k-VCC (Theorem 3).
-    let core_vertices = k_core_vertices(graph, k as usize);
-    let mut in_core = vec![false; graph.num_vertices()];
-    for &v in &core_vertices {
-        in_core[v as usize] = true;
-    }
-    if !in_core[seed as usize] {
+    // Restrict to the seed's connected component *before* any peeling: the
+    // k-core reduction then never touches unrelated regions of the graph,
+    // which matters when the seed sits in a tiny component of a huge graph.
+    let component = component_of(graph, seed);
+    if component.len() <= k as usize {
         return Ok(Vec::new());
     }
-    let core = graph.induced_subgraph(&core_vertices);
-    let seed_local = core
-        .to_parent
-        .iter()
-        .position(|&orig| orig == seed)
-        .expect("seed survives the k-core") as VertexId;
 
-    // Restrict further to the seed's connected component of the k-core.
-    let components = connected_components(&core.graph);
-    let seed_component = components
+    // Peel the k-core inside the component on a vertex mask; if the seed does
+    // not survive it cannot be in any k-VCC (Theorem 3).
+    let mut view = SubgraphView::from_vertices(graph, &component);
+    view.k_core_reduce(k as usize);
+    if !view.is_alive(seed) {
+        return Ok(Vec::new());
+    }
+
+    // The peel may have split the component; keep only the piece that still
+    // contains the seed and materialise it once as a CSR work item.
+    let seed_component = view
+        .components()
         .into_iter()
-        .find(|comp| comp.binary_search(&seed_local).is_ok())
-        .expect("every core vertex belongs to a component");
+        .find(|comp| comp.binary_search(&seed).is_ok())
+        .expect("the seed is alive, so it belongs to a component");
     if seed_component.len() <= k as usize {
         return Ok(Vec::new());
     }
-    let local = core.graph.induced_subgraph(&seed_component);
-    let seed_in_local = local
-        .to_parent
-        .iter()
-        .position(|&core_local| core_local == seed_local)
+    let mut map = Vec::new();
+    let local = CsrGraph::extract_induced(graph, &seed_component, &mut map);
+    let seed_local = seed_component
+        .binary_search(&seed)
         .expect("seed is in its own component") as VertexId;
 
-    // Full enumeration of just that component, then filter and map back.
-    let result = enumerate_kvccs(&local.graph, k, options)?;
+    // Full enumeration of just that work item, then filter and map back.
+    let result = enumerate_kvccs(&local, k, options)?;
     let mut hits: Vec<KVertexConnectedComponent> = result
         .iter()
-        .filter(|c| c.contains(seed_in_local))
+        .filter(|c| c.contains(seed_local))
         .map(|c| {
             let original: Vec<VertexId> = c
                 .vertices()
                 .iter()
-                .map(|&v| core.to_parent[local.to_parent[v as usize] as usize])
+                .map(|&v| seed_component[v as usize])
                 .collect();
             KVertexConnectedComponent::new(original)
         })
@@ -90,6 +97,7 @@ pub fn kvccs_containing(
 mod tests {
     use super::*;
     use crate::enumerate::enumerate_kvccs;
+    use kvcc_graph::UndirectedGraph;
 
     /// Two triangles sharing vertex 2 plus an unrelated K4 on {5,6,7,8}.
     fn mixed_graph() -> UndirectedGraph {
@@ -116,6 +124,17 @@ mod tests {
     }
 
     #[test]
+    fn csr_input_matches_vec_input() {
+        let g = mixed_graph();
+        let csr = CsrGraph::from_view(&g);
+        for seed in [0u32, 2, 6] {
+            let a = kvccs_containing(&g, seed, 2, &KvccOptions::default()).unwrap();
+            let b = kvccs_containing(&csr, seed, 2, &KvccOptions::default()).unwrap();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn shared_vertex_belongs_to_both_triangles() {
         let g = mixed_graph();
         let hits = kvccs_containing(&g, 2, 2, &KvccOptions::default()).unwrap();
@@ -134,6 +153,25 @@ mod tests {
         let hits = kvccs_containing(&g, 6, 3, &KvccOptions::default()).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].vertices(), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn seed_in_a_tiny_component_never_peels_the_rest() {
+        // An isolated edge next to a K5: the query for the edge endpoints
+        // must answer from the 2-vertex component alone.
+        let mut edges = vec![(0, 1)];
+        for i in 2..7u32 {
+            for j in (i + 1)..7 {
+                edges.push((i, j));
+            }
+        }
+        let g = UndirectedGraph::from_edges(7, edges).unwrap();
+        assert!(kvccs_containing(&g, 0, 2, &KvccOptions::default())
+            .unwrap()
+            .is_empty());
+        let hits = kvccs_containing(&g, 0, 1, &KvccOptions::default()).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].vertices(), &[0, 1]);
     }
 
     #[test]

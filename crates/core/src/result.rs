@@ -1,6 +1,6 @@
 //! Result types returned by the enumeration.
 
-use kvcc_graph::{InducedSubgraph, UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, CsrSubgraph, GraphView, VertexId};
 
 use crate::stats::EnumerationStats;
 
@@ -60,9 +60,14 @@ impl KVertexConnectedComponent {
         count
     }
 
-    /// Extracts the induced subgraph of this component from the input graph.
-    pub fn induced_subgraph(&self, g: &UndirectedGraph) -> InducedSubgraph {
-        g.induced_subgraph(&self.vertices)
+    /// Extracts the induced subgraph of this component from the input graph
+    /// (any representation) as a compact CSR subgraph with its id mapping.
+    pub fn induced_subgraph<G: GraphView>(&self, g: &G) -> CsrSubgraph {
+        let mut map = Vec::new();
+        CsrSubgraph {
+            graph: CsrGraph::extract_induced(g, &self.vertices, &mut map),
+            to_parent: self.vertices.clone(),
+        }
     }
 }
 
@@ -194,7 +199,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_of_component() {
-        let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (3, 4)]).unwrap();
+        let g = kvcc_graph::UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (3, 4)])
+            .unwrap();
         let c = KVertexConnectedComponent::new(vec![0, 1, 2]);
         let sub = c.induced_subgraph(&g);
         assert_eq!(sub.graph.num_vertices(), 3);

@@ -14,7 +14,7 @@
 //! runs on full web graphs.
 
 use kvcc_flow::is_k_vertex_connected;
-use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_graph::{CsrGraph, GraphView, VertexId};
 
 use crate::result::KvccResult;
 
@@ -90,8 +90,8 @@ impl std::error::Error for VerificationError {}
 ///
 /// Set `check_maximality` to also attempt single-vertex extensions of every
 /// component (more expensive; quadratic in the neighbourhood sizes).
-pub fn verify_kvccs(
-    g: &UndirectedGraph,
+pub fn verify_kvccs<G: GraphView>(
+    g: &G,
     result: &KvccResult,
     check_maximality: bool,
 ) -> Result<(), VerificationError> {
@@ -139,7 +139,7 @@ pub fn verify_kvccs(
 /// subgraph k-vertex connected. Only vertices with at least `k` neighbours
 /// inside the component can possibly qualify (they would otherwise have degree
 /// `< k` in the extended subgraph).
-fn find_extension(g: &UndirectedGraph, members: &[VertexId], k: u32) -> Option<VertexId> {
+fn find_extension<G: GraphView>(g: &G, members: &[VertexId], k: u32) -> Option<VertexId> {
     let member_set: std::collections::HashSet<VertexId> = members.iter().copied().collect();
     let mut candidates: Vec<VertexId> = Vec::new();
     let mut seen: std::collections::HashSet<VertexId> = std::collections::HashSet::new();
@@ -157,11 +157,13 @@ fn find_extension(g: &UndirectedGraph, members: &[VertexId], k: u32) -> Option<V
             }
         }
     }
+    let mut map = Vec::new();
     for candidate in candidates {
         let mut extended = members.to_vec();
         extended.push(candidate);
-        let sub = g.induced_subgraph(&extended);
-        if is_k_vertex_connected(&sub.graph, k) {
+        extended.sort_unstable();
+        let sub = CsrGraph::extract_induced(g, &extended, &mut map);
+        if is_k_vertex_connected(&sub, k) {
             return Some(candidate);
         }
     }
@@ -173,6 +175,7 @@ mod tests {
     use super::*;
     use crate::result::{KVertexConnectedComponent, KvccResult};
     use crate::stats::EnumerationStats;
+    use kvcc_graph::UndirectedGraph;
 
     fn two_triangles() -> UndirectedGraph {
         UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])

@@ -6,7 +6,7 @@ pub type NodeId = u32;
 /// Identifier of an arc in a [`FlowNetwork`].
 ///
 /// Arcs are created in pairs: arc `a` and its reverse arc `a ^ 1` always refer
-/// to each other, so pushing flow along `a` is "cap[a] -= f; cap[a ^ 1] += f".
+/// to each other, so pushing flow along `a` is `cap[a] -= f; cap[a ^ 1] += f`.
 pub type ArcId = u32;
 
 /// Capacity value treated as unbounded.

@@ -28,6 +28,13 @@ pub struct EdgeIngestStats {
     pub duplicates: usize,
 }
 
+/// Magic bytes opening every serialised CSR buffer.
+const CSR_WIRE_MAGIC: [u8; 4] = *b"KCSR";
+/// Version byte of the wire format; bump on incompatible layout changes.
+const CSR_WIRE_VERSION: u8 = 1;
+/// Header size: magic + version + `n` + neighbour count.
+const CSR_WIRE_HEADER: usize = 4 + 1 + 4 + 4;
+
 /// An undirected graph in compressed sparse row form.
 ///
 /// Vertices are `0..n`; `neighbors(v)` is the slice
@@ -216,6 +223,112 @@ impl CsrGraph {
         self.offsets.capacity() * std::mem::size_of::<u32>()
             + self.neighbors.capacity() * std::mem::size_of::<VertexId>()
             + std::mem::size_of::<Self>()
+    }
+
+    /// The raw offset array (`n + 1` entries; row `v` is
+    /// `offsets[v]..offsets[v + 1]`). Exposed for wire serialisation and
+    /// zero-copy interop; the adjacency itself is in
+    /// [`CsrGraph::neighbor_data`].
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The concatenated neighbour array (length `2m`).
+    #[inline]
+    pub fn neighbor_data(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Serialises the graph into a self-describing, endian-stable byte
+    /// buffer (no third-party serializer; see the format notes on
+    /// [`CsrGraph::from_bytes`]).
+    ///
+    /// Layout: magic `b"KCSR"`, format version `u8`, then `n` and
+    /// `len(neighbors)` as little-endian `u32`, then the `n + 1` offsets and
+    /// the neighbour array, all little-endian `u32`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(CSR_WIRE_HEADER + 4 * (self.offsets.len() + self.neighbors.len()));
+        out.extend_from_slice(&CSR_WIRE_MAGIC);
+        out.push(CSR_WIRE_VERSION);
+        out.extend_from_slice(&(self.num_vertices() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.neighbors.len() as u32).to_le_bytes());
+        for &o in &self.offsets {
+            out.extend_from_slice(&o.to_le_bytes());
+        }
+        for &w in &self.neighbors {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a buffer produced by [`CsrGraph::to_bytes`], validating
+    /// the structural invariants (monotone offsets, in-range and per-row
+    /// strictly-sorted neighbours) so a corrupted or hostile buffer can never
+    /// produce a graph that later panics.
+    ///
+    /// This is the transport format for cross-process work items: a shard
+    /// receives `(csr bytes, id map)` and can start enumerating without any
+    /// shared memory.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+        if bytes.len() < CSR_WIRE_HEADER {
+            return Err(malformed("buffer shorter than the header"));
+        }
+        if bytes[..4] != CSR_WIRE_MAGIC {
+            return Err(malformed("bad magic (not a CSR graph buffer)"));
+        }
+        if bytes[4] != CSR_WIRE_VERSION {
+            return Err(malformed("unsupported format version"));
+        }
+        let read_u32 =
+            |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let n = read_u32(5) as usize;
+        let num_neighbors = read_u32(9) as usize;
+        let expected = CSR_WIRE_HEADER + 4 * (n + 1) + 4 * num_neighbors;
+        if bytes.len() != expected {
+            return Err(malformed("buffer length disagrees with the header"));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        for i in 0..=n {
+            offsets.push(read_u32(CSR_WIRE_HEADER + 4 * i));
+        }
+        if offsets[0] != 0 || offsets[n] as usize != num_neighbors {
+            return Err(malformed("offset array does not span the adjacency"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(malformed("offsets must be non-decreasing"));
+        }
+        let base = CSR_WIRE_HEADER + 4 * (n + 1);
+        let mut neighbors = Vec::with_capacity(num_neighbors);
+        for i in 0..num_neighbors {
+            neighbors.push(read_u32(base + 4 * i));
+        }
+        for v in 0..n {
+            let row = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            if row.iter().any(|&w| w as usize >= n) {
+                return Err(malformed("neighbour id out of range"));
+            }
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed("rows must be strictly sorted"));
+            }
+            if row.binary_search(&(v as VertexId)).is_ok() {
+                return Err(malformed("self-loops are not allowed"));
+            }
+        }
+        let graph = CsrGraph { offsets, neighbors };
+        // Symmetry is load-bearing (peeling and flow construction assume
+        // every directed entry has its reverse), so it is a real validation,
+        // not a debug assertion.
+        for v in graph.vertices() {
+            for &w in CsrGraph::neighbors(&graph, v) {
+                if CsrGraph::neighbors(&graph, w).binary_search(&v).is_err() {
+                    return Err(malformed("adjacency must be symmetric"));
+                }
+            }
+        }
+        Ok(graph)
     }
 
     /// Extracts the subgraph induced by `vertices` (which must be sorted
@@ -452,6 +565,72 @@ mod tests {
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.neighbors(1), &[] as &[VertexId]);
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_the_graph() {
+        let g = CsrGraph::from_edges(5, two_triangles_edges()).unwrap();
+        let bytes = g.to_bytes();
+        let back = CsrGraph::from_bytes(&bytes).unwrap();
+        assert_eq!(back, g);
+        // Empty graphs roundtrip too.
+        let empty = CsrGraph::new(0);
+        assert_eq!(CsrGraph::from_bytes(&empty.to_bytes()).unwrap(), empty);
+        let isolated = CsrGraph::new(3);
+        assert_eq!(
+            CsrGraph::from_bytes(&isolated.to_bytes()).unwrap(),
+            isolated
+        );
+    }
+
+    #[test]
+    fn from_bytes_rejects_corrupted_buffers() {
+        let g = CsrGraph::from_edges(5, two_triangles_edges()).unwrap();
+        let good = g.to_bytes();
+
+        let assert_malformed = |bytes: &[u8]| {
+            assert!(matches!(
+                CsrGraph::from_bytes(bytes),
+                Err(GraphError::MalformedBytes { .. })
+            ));
+        };
+        assert_malformed(&good[..3]); // truncated header
+        assert_malformed(&good[..good.len() - 4]); // truncated body
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert_malformed(&bad_magic);
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert_malformed(&bad_version);
+
+        // Out-of-range neighbour id.
+        let mut bad_neighbor = good.clone();
+        let len = bad_neighbor.len();
+        bad_neighbor[len - 4..].copy_from_slice(&1000u32.to_le_bytes());
+        assert_malformed(&bad_neighbor);
+
+        // Structurally well-formed but asymmetric: vertex 0 lists 1, vertex 1
+        // lists nothing. Downstream algorithms assume symmetry, so this must
+        // be rejected (not just debug-asserted).
+        let mut asymmetric = Vec::new();
+        asymmetric.extend_from_slice(b"KCSR");
+        asymmetric.push(1); // version
+        asymmetric.extend_from_slice(&2u32.to_le_bytes()); // n
+        asymmetric.extend_from_slice(&1u32.to_le_bytes()); // neighbour count
+        for offset in [0u32, 1, 1] {
+            asymmetric.extend_from_slice(&offset.to_le_bytes());
+        }
+        asymmetric.extend_from_slice(&1u32.to_le_bytes()); // 0 -> 1 only
+        assert_malformed(&asymmetric);
+    }
+
+    #[test]
+    fn raw_accessors_expose_the_arrays() {
+        let g = CsrGraph::from_edges(3, vec![(0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.offsets(), &[0, 1, 3, 4]);
+        assert_eq!(g.neighbor_data(), &[1, 0, 2, 1]);
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub enum GraphError {
     },
     /// An underlying I/O failure while reading or writing a graph file.
     Io(io::Error),
+    /// A byte buffer passed to [`crate::CsrGraph::from_bytes`] (or a work-item
+    /// deserializer built on it) is not a valid encoding.
+    MalformedBytes {
+        /// What was wrong with the buffer.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -43,6 +49,9 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error on line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::MalformedBytes { reason } => {
+                write!(f, "malformed graph bytes: {reason}")
+            }
         }
     }
 }

@@ -64,6 +64,33 @@ pub fn eccentricity<G: GraphView>(g: &G, src: VertexId) -> u32 {
         .unwrap_or(0)
 }
 
+/// The connected component containing `src`, as a sorted vertex list.
+///
+/// Runs in time proportional to the component (plus the `O(n)` visited mask),
+/// so callers restricted to one region never pay for traversing the rest of
+/// the graph.
+pub fn component_of<G: GraphView>(g: &G, src: VertexId) -> Vec<VertexId> {
+    assert!(
+        (src as usize) < g.num_vertices(),
+        "source vertex out of range"
+    );
+    let mut seen = vec![false; g.num_vertices()];
+    let mut members = vec![src];
+    seen[src as usize] = true;
+    let mut head = 0;
+    while head < members.len() {
+        let u = members[head];
+        head += 1;
+        for &v in g.neighbors(u) {
+            if !std::mem::replace(&mut seen[v as usize], true) {
+                members.push(v);
+            }
+        }
+    }
+    members.sort_unstable();
+    members
+}
+
 /// Assigns every vertex a connected-component id in `0..count` and returns
 /// `(component_id, count)`.
 pub fn connected_component_ids<G: GraphView>(g: &G) -> (Vec<u32>, usize) {

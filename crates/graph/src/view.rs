@@ -174,6 +174,24 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
         }
     }
 
+    /// A view with exactly the listed vertices alive (duplicates are
+    /// harmless). Used by the localized seed query to restrict the mask to
+    /// one connected component before any peeling happens.
+    pub fn from_vertices(parent: &'a G, vertices: &[VertexId]) -> Self {
+        let mut alive = vec![false; parent.num_vertices()];
+        let mut live = 0usize;
+        for &v in vertices {
+            if !std::mem::replace(&mut alive[v as usize], true) {
+                live += 1;
+            }
+        }
+        SubgraphView {
+            parent,
+            alive,
+            live,
+        }
+    }
+
     /// The parent graph the mask refers to.
     #[inline]
     pub fn parent(&self) -> &'a G {

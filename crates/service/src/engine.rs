@@ -1,0 +1,559 @@
+//! The long-lived [`ServiceEngine`]: hot CSR graphs + lazy connectivity
+//! indexes + a batched worker pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use kvcc::global_cut::{global_cut_with_scratch, CutScratch};
+use kvcc::index::ConnectivityIndex;
+use kvcc::stats::EnumerationStats;
+use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
+use kvcc_graph::kcore::k_core_vertices;
+use kvcc_graph::traversal::is_connected;
+use kvcc_graph::{CsrGraph, GraphView, SubgraphView};
+
+use crate::protocol::{GraphId, QueryRequest, QueryResponse, ServiceError};
+use crate::wire::CsrWorkItem;
+
+/// Engine tuning knobs. The default uses one batch worker per available
+/// core (`threads: 0`), the paper's `VCCE*` enumeration options and no
+/// index depth cap.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// Worker threads for [`ServiceEngine::execute_batch`]: `0` uses
+    /// [`std::thread::available_parallelism`], `n >= 1` a fixed pool.
+    pub threads: usize,
+    /// Enumeration options used for direct enumerations and index builds.
+    pub enumeration: KvccOptions,
+    /// Depth cap for lazily built indexes (`None`: up to the degeneracy).
+    /// With a cap, containment/enumeration queries for `k` beyond it fall
+    /// back to direct enumeration, and connectivity-value queries
+    /// ([`crate::QueryRequest::MaxConnectivity`],
+    /// [`crate::QueryRequest::VertexConnectivityNumber`]) saturate at the
+    /// cap.
+    pub index_max_k: Option<u32>,
+}
+
+/// One loaded graph: the shared CSR form plus its lazily built index.
+struct GraphSlot {
+    name: String,
+    csr: CsrGraph,
+    index: OnceLock<ConnectivityIndex>,
+}
+
+impl GraphSlot {
+    /// The index, building it on first use. Concurrent builders race benignly
+    /// (the loser's index is dropped); failures are returned per call so a
+    /// later query retries instead of caching the error forever.
+    fn index_or_build(&self, config: &EngineConfig) -> Result<&ConnectivityIndex, ServiceError> {
+        if let Some(index) = self.index.get() {
+            return Ok(index);
+        }
+        let built = ConnectivityIndex::build(&self.csr, config.index_max_k, &config.enumeration)
+            .map_err(ServiceError::from)?;
+        let _ = self.index.set(built);
+        Ok(self.index.get().expect("just set"))
+    }
+}
+
+/// Per-worker scratch arenas: one `GLOBAL-CUT` flow arena plus one
+/// vertex-split flow arena for local-connectivity probes. Buffers grow to the
+/// largest graph probed and are then reused across the whole batch.
+struct WorkerScratch {
+    cut: CutScratch,
+    stats: EnumerationStats,
+    flow: VertexFlowGraph,
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            cut: CutScratch::new(),
+            stats: EnumerationStats::default(),
+            flow: VertexFlowGraph::empty(),
+        }
+    }
+}
+
+/// A long-lived query engine holding loaded graphs in CSR form.
+///
+/// All query methods take `&self`: the engine is meant to sit behind an `Arc`
+/// with many request producers. Loading and unloading also take `&self`
+/// (slot table behind a mutex), so a serving process can hot-swap datasets
+/// without stopping the query path.
+pub struct ServiceEngine {
+    config: EngineConfig,
+    graphs: Mutex<Vec<Option<Arc<GraphSlot>>>>,
+}
+
+impl ServiceEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        ServiceEngine {
+            config,
+            graphs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Loads a graph (any [`GraphView`]) into the engine as CSR, returning
+    /// its handle. The index is *not* built yet; it is constructed lazily by
+    /// the first query that needs it, or eagerly via
+    /// [`ServiceEngine::build_index`].
+    pub fn load_graph<G: GraphView>(&self, name: &str, graph: &G) -> GraphId {
+        self.load_csr(name, CsrGraph::from_view(graph))
+    }
+
+    /// Loads an already-CSR graph without copying it.
+    pub fn load_csr(&self, name: &str, csr: CsrGraph) -> GraphId {
+        let slot = Arc::new(GraphSlot {
+            name: name.to_string(),
+            csr,
+            index: OnceLock::new(),
+        });
+        let mut graphs = self.graphs.lock().unwrap();
+        graphs.push(Some(slot));
+        GraphId((graphs.len() - 1) as u32)
+    }
+
+    /// Unloads a graph; returns `false` when the handle was already empty.
+    /// In-flight batches holding the slot's `Arc` finish normally.
+    pub fn unload(&self, graph: GraphId) -> bool {
+        let mut graphs = self.graphs.lock().unwrap();
+        match graphs.get_mut(graph.0 as usize) {
+            Some(slot) => slot.take().is_some(),
+            None => false,
+        }
+    }
+
+    /// Number of currently loaded graphs.
+    pub fn graph_count(&self) -> usize {
+        self.graphs
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.is_some())
+            .count()
+    }
+
+    /// The name a graph was loaded under.
+    pub fn graph_name(&self, graph: GraphId) -> Result<String, ServiceError> {
+        Ok(self.slot(graph)?.name.clone())
+    }
+
+    /// Eagerly builds the connectivity index of a loaded graph.
+    pub fn build_index(&self, graph: GraphId) -> Result<(), ServiceError> {
+        let slot = self.slot(graph)?;
+        slot.index_or_build(&self.config).map(|_| ())
+    }
+
+    /// Executes one request (on the caller's thread, with a throwaway
+    /// scratch). Prefer [`ServiceEngine::execute_batch`] for traffic.
+    pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
+        self.execute_with(request, &mut WorkerScratch::new())
+    }
+
+    /// Executes a batch of requests on the worker pool, returning one
+    /// response per request in the same order. Individual failures surface as
+    /// [`QueryResponse::Error`] without affecting the rest of the batch.
+    pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        let threads = effective_threads(self.config.threads).min(requests.len().max(1));
+        if threads <= 1 {
+            let mut scratch = WorkerScratch::new();
+            return requests
+                .iter()
+                .map(|r| self.execute_with(r, &mut scratch))
+                .collect();
+        }
+
+        // Index builds are expensive and racy under OnceLock (concurrent
+        // losers throw work away), so resolve them once up front.
+        let mut prebuilt: Vec<GraphId> = requests
+            .iter()
+            .filter(|r| r.needs_index())
+            .map(|r| r.graph())
+            .collect();
+        prebuilt.sort_unstable();
+        prebuilt.dedup();
+        for graph in prebuilt {
+            // Unknown graphs and build failures are reported per request.
+            let _ = self.build_index(graph);
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, QueryResponse)>> =
+            Mutex::new(Vec::with_capacity(requests.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut scratch = WorkerScratch::new();
+                    let mut local: Vec<(usize, QueryResponse)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= requests.len() {
+                            break;
+                        }
+                        local.push((i, self.execute_with(&requests[i], &mut scratch)));
+                    }
+                    collected.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let mut indexed = collected.into_inner().unwrap();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Splits the initial `KVCC-ENUM` worklist of a loaded graph into
+    /// self-contained, serialisable work items: the connected components of
+    /// the k-core, each as a CSR subgraph plus its id map. Shipping every
+    /// item through [`CsrWorkItem::to_bytes`] to a different process and
+    /// merging the [`crate::run_work_item`] outputs reproduces the
+    /// whole-graph enumeration exactly.
+    pub fn partition_work(&self, graph: GraphId, k: u32) -> Result<Vec<CsrWorkItem>, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::Enumeration("k must be at least 1".into()));
+        }
+        let slot = self.slot(graph)?;
+        let g = &slot.csr;
+        let core = k_core_vertices(g, k as usize);
+        // The core is already peeled; the mask supplies the component split.
+        let view = SubgraphView::from_vertices(g, &core);
+        let mut map = Vec::new();
+        let mut items = Vec::new();
+        for component in view.components() {
+            if component.len() <= k as usize {
+                continue;
+            }
+            let sub = CsrGraph::extract_induced(g, &component, &mut map);
+            items.push(CsrWorkItem::new(sub, component));
+        }
+        Ok(items)
+    }
+
+    fn slot(&self, graph: GraphId) -> Result<Arc<GraphSlot>, ServiceError> {
+        self.graphs
+            .lock()
+            .unwrap()
+            .get(graph.0 as usize)
+            .and_then(|s| s.clone())
+            .ok_or(ServiceError::UnknownGraph { graph })
+    }
+
+    fn execute_with(&self, request: &QueryRequest, scratch: &mut WorkerScratch) -> QueryResponse {
+        let slot = match self.slot(request.graph()) {
+            Ok(slot) => slot,
+            Err(e) => return QueryResponse::Error(e),
+        };
+        let g = &slot.csr;
+        match *request {
+            QueryRequest::EnumerateKvccs { k, .. } => {
+                // A depth-capped index has never enumerated levels beyond its
+                // cap, so only answer from it when it covers `k`.
+                if let Some(index) = slot.index.get().filter(|ix| k >= 1 && ix.covers(k)) {
+                    return QueryResponse::Components(index.components_at(k).to_vec());
+                }
+                match enumerate_kvccs(g, k, &self.config.enumeration) {
+                    Ok(result) => QueryResponse::Components(result.components().to_vec()),
+                    Err(e) => QueryResponse::Error(e.into()),
+                }
+            }
+            QueryRequest::KvccsContaining { seed, k, .. } => {
+                match slot.index_or_build(&self.config) {
+                    Ok(ix) if ix.covers(k) => match ix.kvccs_containing(seed, k) {
+                        Ok(components) => QueryResponse::Components(components),
+                        Err(e) => QueryResponse::Error(e.into()),
+                    },
+                    // Beyond the index cap: fall back to the direct localized
+                    // query instead of wrongly answering "no components".
+                    Ok(_) => match kvcc::kvccs_containing(g, seed, k, &self.config.enumeration) {
+                        Ok(components) => QueryResponse::Components(components),
+                        Err(e) => QueryResponse::Error(e.into()),
+                    },
+                    Err(e) => QueryResponse::Error(e),
+                }
+            }
+            QueryRequest::MaxConnectivity { u, v, .. } => {
+                match slot
+                    .index_or_build(&self.config)
+                    .and_then(|ix| ix.max_connectivity(u, v).map_err(ServiceError::from))
+                {
+                    Ok(value) => QueryResponse::Connectivity(value),
+                    Err(e) => QueryResponse::Error(e),
+                }
+            }
+            QueryRequest::VertexConnectivityNumber { v, .. } => {
+                if v as usize >= g.num_vertices() {
+                    return QueryResponse::Error(ServiceError::VertexOutOfRange { vertex: v });
+                }
+                match slot.index_or_build(&self.config) {
+                    Ok(ix) => QueryResponse::Connectivity(ix.max_connectivity_of(v)),
+                    Err(e) => QueryResponse::Error(e),
+                }
+            }
+            QueryRequest::GlobalCutProbe { k, .. } => {
+                if k == 0 || g.num_vertices() == 0 {
+                    // No cut can have fewer than zero vertices / nothing to cut.
+                    return QueryResponse::Cut(None);
+                }
+                if !is_connected(g) {
+                    // The empty set already separates a disconnected graph.
+                    return QueryResponse::Cut(Some(Vec::new()));
+                }
+                let outcome = global_cut_with_scratch(
+                    g,
+                    k,
+                    &self.config.enumeration,
+                    &mut scratch.stats,
+                    &mut scratch.cut,
+                );
+                QueryResponse::Cut(outcome.cut)
+            }
+            QueryRequest::LocalConnectivity { u, v, limit, .. } => {
+                for vertex in [u, v] {
+                    if vertex as usize >= g.num_vertices() {
+                        return QueryResponse::Error(ServiceError::VertexOutOfRange { vertex });
+                    }
+                }
+                scratch.flow.rebuild(g);
+                let value = match scratch.flow.local_connectivity(g, u, v, limit) {
+                    LocalConnectivity::AtLeast(value) => value,
+                    LocalConnectivity::Cut(cut) => cut.len() as u32,
+                };
+                QueryResponse::Connectivity(value)
+            }
+            QueryRequest::GraphStats { .. } => {
+                let (indexed, max_k) = match slot.index.get() {
+                    Some(ix) => (true, ix.max_k()),
+                    None => (false, 0),
+                };
+                QueryResponse::Stats {
+                    num_vertices: g.num_vertices(),
+                    num_edges: g.num_edges(),
+                    indexed,
+                    max_k,
+                }
+            }
+        }
+    }
+}
+
+/// Resolves [`EngineConfig::threads`] to a concrete worker count.
+fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_work_item;
+    use kvcc::KVertexConnectedComponent;
+    use kvcc_graph::{UndirectedGraph, VertexId};
+
+    /// Two triangles sharing vertex 2 plus an unrelated K4 on {5,6,7,8}.
+    fn mixed_graph() -> UndirectedGraph {
+        let mut edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        for i in 5..9u32 {
+            for j in (i + 1)..9 {
+                edges.push((i, j));
+            }
+        }
+        UndirectedGraph::from_edges(9, edges).unwrap()
+    }
+
+    fn engine_with_graph() -> (ServiceEngine, GraphId) {
+        let engine = ServiceEngine::new(EngineConfig::default());
+        let id = engine.load_graph("mixed", &mixed_graph());
+        (engine, id)
+    }
+
+    #[test]
+    fn load_query_unload_lifecycle() {
+        let (engine, id) = engine_with_graph();
+        assert_eq!(engine.graph_count(), 1);
+        assert_eq!(engine.graph_name(id).unwrap(), "mixed");
+        assert!(matches!(
+            engine.execute(&QueryRequest::GraphStats { graph: id }),
+            QueryResponse::Stats {
+                num_vertices: 9,
+                indexed: false,
+                ..
+            }
+        ));
+        assert!(engine.unload(id));
+        assert!(!engine.unload(id));
+        assert_eq!(engine.graph_count(), 0);
+        assert!(matches!(
+            engine.execute(&QueryRequest::GraphStats { graph: id }),
+            QueryResponse::Error(ServiceError::UnknownGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_answers_match_direct_library_calls() {
+        let (engine, id) = engine_with_graph();
+        let g = mixed_graph();
+        let requests: Vec<QueryRequest> = (0..g.num_vertices() as VertexId)
+            .map(|seed| QueryRequest::KvccsContaining {
+                graph: id,
+                seed,
+                k: 2,
+            })
+            .collect();
+        let responses = engine.execute_batch(&requests);
+        assert_eq!(responses.len(), requests.len());
+        for (seed, response) in responses.iter().enumerate() {
+            let expected =
+                kvcc::kvccs_containing(&g, seed as VertexId, 2, &KvccOptions::default()).unwrap();
+            assert_eq!(
+                response,
+                &QueryResponse::Components(expected),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumerate_uses_the_index_once_built() {
+        let (engine, id) = engine_with_graph();
+        let before = engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k: 2 });
+        engine.build_index(id).unwrap();
+        let after = engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k: 2 });
+        assert_eq!(before, after);
+        assert!(matches!(
+            engine.execute(&QueryRequest::GraphStats { graph: id }),
+            QueryResponse::Stats {
+                indexed: true,
+                max_k: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn connectivity_queries() {
+        let (engine, id) = engine_with_graph();
+        assert_eq!(
+            engine.execute(&QueryRequest::MaxConnectivity {
+                graph: id,
+                u: 5,
+                v: 8
+            }),
+            QueryResponse::Connectivity(3)
+        );
+        assert_eq!(
+            engine.execute(&QueryRequest::VertexConnectivityNumber { graph: id, v: 2 }),
+            QueryResponse::Connectivity(2)
+        );
+        assert_eq!(
+            engine.execute(&QueryRequest::LocalConnectivity {
+                graph: id,
+                u: 0,
+                v: 3,
+                limit: 5,
+            }),
+            QueryResponse::Connectivity(1),
+            "vertex 2 separates the two triangles"
+        );
+        assert!(matches!(
+            engine.execute(&QueryRequest::VertexConnectivityNumber { graph: id, v: 99 }),
+            QueryResponse::Error(ServiceError::VertexOutOfRange { vertex: 99 })
+        ));
+    }
+
+    #[test]
+    fn global_cut_probe_runs_on_worker_scratch() {
+        let engine = ServiceEngine::new(EngineConfig::default());
+        // The mixed graph is disconnected: the empty set is already a cut.
+        let mixed = engine.load_graph("mixed", &mixed_graph());
+        assert_eq!(
+            engine.execute(&QueryRequest::GlobalCutProbe { graph: mixed, k: 2 }),
+            QueryResponse::Cut(Some(Vec::new()))
+        );
+        // Two triangles glued at vertex 2: {2} is the only 1-vertex cut.
+        let glued = engine.load_graph(
+            "glued",
+            &UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+                .unwrap(),
+        );
+        match engine.execute(&QueryRequest::GlobalCutProbe { graph: glued, k: 2 }) {
+            QueryResponse::Cut(Some(cut)) => assert_eq!(cut, vec![2]),
+            other => panic!("expected a cut, got {other:?}"),
+        }
+        // A K4 has no cut below 3.
+        let k4 = engine.load_graph(
+            "k4",
+            &UndirectedGraph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+                .unwrap(),
+        );
+        assert_eq!(
+            engine.execute(&QueryRequest::GlobalCutProbe { graph: k4, k: 3 }),
+            QueryResponse::Cut(None)
+        );
+    }
+
+    #[test]
+    fn depth_capped_index_never_underreports_components() {
+        let engine = ServiceEngine::new(EngineConfig {
+            index_max_k: Some(1),
+            ..EngineConfig::default()
+        });
+        let id = engine.load_graph("mixed", &mixed_graph());
+        engine.build_index(id).unwrap();
+        let reference = ServiceEngine::new(EngineConfig::default());
+        let ref_id = reference.load_graph("mixed", &mixed_graph());
+        // Queries beyond the cap must fall back to the direct paths, not
+        // answer "no components" from the truncated forest.
+        for k in 2..=3u32 {
+            for seed in 0..9 {
+                let capped = engine.execute(&QueryRequest::KvccsContaining { graph: id, seed, k });
+                let full = reference.execute(&QueryRequest::KvccsContaining {
+                    graph: ref_id,
+                    seed,
+                    k,
+                });
+                assert_eq!(capped, full, "seed {seed}, k {k}");
+            }
+            assert_eq!(
+                engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k }),
+                reference.execute(&QueryRequest::EnumerateKvccs { graph: ref_id, k }),
+                "k {k}"
+            );
+        }
+        // Connectivity values saturate at the cap (documented semantics).
+        assert_eq!(
+            engine.execute(&QueryRequest::VertexConnectivityNumber { graph: id, v: 6 }),
+            QueryResponse::Connectivity(1)
+        );
+    }
+
+    #[test]
+    fn partitioned_work_items_reproduce_the_enumeration() {
+        let (engine, id) = engine_with_graph();
+        let g = mixed_graph();
+        for k in 1..=3u32 {
+            let items = engine.partition_work(id, k).unwrap();
+            let mut merged: Vec<KVertexConnectedComponent> = Vec::new();
+            for item in &items {
+                // Ship through bytes, as a shard would receive it.
+                let shipped = CsrWorkItem::from_bytes(&item.to_bytes()).unwrap();
+                merged.extend(run_work_item(&shipped, k, &KvccOptions::default()).unwrap());
+            }
+            merged.sort();
+            let direct = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(merged, direct.components().to_vec(), "k = {k}");
+        }
+        assert!(engine.partition_work(id, 0).is_err());
+    }
+}

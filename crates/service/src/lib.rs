@@ -1,0 +1,56 @@
+//! `kvcc-service` — a long-lived, batched query engine over hot CSR graphs.
+//!
+//! The paper's case study (§6.4) is a *query* workload: "all 4-VCCs
+//! containing author Jiawei Han". This crate turns the enumeration library
+//! into a serving layer for exactly that shape of traffic:
+//!
+//! * [`ServiceEngine`] holds any number of loaded graphs in [`CsrGraph`]
+//!   form (shared, read-only, behind `Arc`), each with a lazily built
+//!   [`ConnectivityIndex`] so repeated seed/level/pairwise queries never
+//!   re-run flow computations;
+//! * queries arrive as plain-data [`QueryRequest`] values and come back as
+//!   [`QueryResponse`]s, so a network transport only has to move bytes;
+//! * [`ServiceEngine::execute_batch`] drains a batch on a pool of workers,
+//!   each owning its own scratch arenas (`CutScratch` for GLOBAL-CUT probes,
+//!   a flow arena for local-connectivity probes) — per-request allocations
+//!   stay out of the steady state;
+//! * [`CsrWorkItem`] is the self-contained unit of sharded enumeration: a
+//!   CSR subgraph plus its id map, with bincode-free
+//!   [`to_bytes`](CsrWorkItem::to_bytes) / [`from_bytes`](CsrWorkItem::from_bytes)
+//!   so cross-process sharding is purely a transport problem.
+//!
+//! # Quick start
+//!
+//! ```
+//! use kvcc_graph::UndirectedGraph;
+//! use kvcc_service::{EngineConfig, QueryRequest, QueryResponse, ServiceEngine};
+//!
+//! let g = UndirectedGraph::from_edges(
+//!     5,
+//!     vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+//! )
+//! .unwrap();
+//! let engine = ServiceEngine::new(EngineConfig::default());
+//! let id = engine.load_graph("triangles", &g);
+//! let responses = engine.execute_batch(&[
+//!     QueryRequest::KvccsContaining { graph: id, seed: 2, k: 2 },
+//!     QueryRequest::MaxConnectivity { graph: id, u: 0, v: 4 },
+//! ]);
+//! assert!(matches!(&responses[0], QueryResponse::Components(c) if c.len() == 2));
+//! assert!(matches!(&responses[1], QueryResponse::Connectivity(1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod wire;
+
+pub use engine::{EngineConfig, ServiceEngine};
+pub use protocol::{GraphId, QueryRequest, QueryResponse, ServiceError};
+pub use wire::{run_work_item, CsrWorkItem};
+
+// Re-exported so service users need only this crate for the common types.
+pub use kvcc::{ConnectivityIndex, KVertexConnectedComponent, KvccOptions};
+pub use kvcc_graph::CsrGraph;

@@ -1,0 +1,234 @@
+//! Plain-data request/response types of the serving layer.
+//!
+//! Requests and responses carry no references into engine state, so a future
+//! network transport only has to serialise these values; the engine itself
+//! never leaks `Arc`s or graph internals through the protocol.
+
+use kvcc::{KVertexConnectedComponent, KvccError};
+use kvcc_graph::VertexId;
+
+/// Opaque handle of a graph loaded into a [`crate::ServiceEngine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GraphId(pub u32);
+
+impl std::fmt::Display for GraphId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "graph#{}", self.0)
+    }
+}
+
+/// One query against a loaded graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// All k-VCCs of the graph (answered from the index when one is built,
+    /// otherwise a full enumeration).
+    EnumerateKvccs {
+        /// Target graph.
+        graph: GraphId,
+        /// Connectivity parameter.
+        k: u32,
+    },
+    /// The k-VCCs containing `seed` — the §6.4 case-study query. Served by an
+    /// ancestor walk in the [`kvcc::ConnectivityIndex`].
+    KvccsContaining {
+        /// Target graph.
+        graph: GraphId,
+        /// The seed vertex.
+        seed: VertexId,
+        /// Connectivity parameter.
+        k: u32,
+    },
+    /// The largest `k` such that `u` and `v` share a k-VCC (lowest common
+    /// ancestor in the index forest).
+    MaxConnectivity {
+        /// Target graph.
+        graph: GraphId,
+        /// First vertex.
+        u: VertexId,
+        /// Second vertex.
+        v: VertexId,
+    },
+    /// The vertex connectivity number of `v` (largest `k` with a k-VCC
+    /// containing it).
+    VertexConnectivityNumber {
+        /// Target graph.
+        graph: GraphId,
+        /// The vertex.
+        v: VertexId,
+    },
+    /// A raw `GLOBAL-CUT` probe: a vertex cut of size `< k`, or `None` when
+    /// the graph is k-vertex connected. Runs on the worker's
+    /// [`kvcc::global_cut::CutScratch`] arena.
+    GlobalCutProbe {
+        /// Target graph.
+        graph: GraphId,
+        /// Connectivity parameter.
+        k: u32,
+    },
+    /// Exact local vertex connectivity `κ(u, v)` capped at `limit`, answered
+    /// on the worker's flow arena.
+    LocalConnectivity {
+        /// Target graph.
+        graph: GraphId,
+        /// First vertex.
+        u: VertexId,
+        /// Second vertex.
+        v: VertexId,
+        /// Early-termination cap (the answer saturates here).
+        limit: u32,
+    },
+    /// Basic statistics of a loaded graph (cheap health/debug query).
+    GraphStats {
+        /// Target graph.
+        graph: GraphId,
+    },
+}
+
+impl QueryRequest {
+    /// The graph the request addresses.
+    pub fn graph(&self) -> GraphId {
+        match *self {
+            QueryRequest::EnumerateKvccs { graph, .. }
+            | QueryRequest::KvccsContaining { graph, .. }
+            | QueryRequest::MaxConnectivity { graph, .. }
+            | QueryRequest::VertexConnectivityNumber { graph, .. }
+            | QueryRequest::GlobalCutProbe { graph, .. }
+            | QueryRequest::LocalConnectivity { graph, .. }
+            | QueryRequest::GraphStats { graph } => graph,
+        }
+    }
+
+    /// Whether answering needs the [`kvcc::ConnectivityIndex`] (and should
+    /// trigger its lazy construction). [`QueryRequest::EnumerateKvccs`] is
+    /// excluded: it *uses* an existing index but a single enumeration is
+    /// cheaper than building the whole hierarchy.
+    pub fn needs_index(&self) -> bool {
+        matches!(
+            self,
+            QueryRequest::KvccsContaining { .. }
+                | QueryRequest::MaxConnectivity { .. }
+                | QueryRequest::VertexConnectivityNumber { .. }
+        )
+    }
+}
+
+/// The answer to one [`QueryRequest`], in the same batch position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryResponse {
+    /// A list of components (enumeration and containment queries).
+    Components(Vec<KVertexConnectedComponent>),
+    /// A connectivity value (max-connectivity and local-connectivity
+    /// queries).
+    Connectivity(u32),
+    /// A vertex cut of size `< k`, or `None` when none exists.
+    Cut(Option<Vec<VertexId>>),
+    /// Graph statistics.
+    Stats {
+        /// Number of vertices.
+        num_vertices: usize,
+        /// Number of undirected edges.
+        num_edges: usize,
+        /// Whether the connectivity index has been built.
+        indexed: bool,
+        /// Deepest hierarchy level when indexed (0 otherwise).
+        max_k: u32,
+    },
+    /// The request failed; the batch keeps going for the other requests.
+    Error(ServiceError),
+}
+
+/// Errors surfaced through [`QueryResponse::Error`] or the engine API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The [`GraphId`] does not name a loaded graph.
+    UnknownGraph {
+        /// The offending handle.
+        graph: GraphId,
+    },
+    /// A vertex id is outside the graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+    },
+    /// The underlying enumeration rejected the parameters or failed.
+    Enumeration(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownGraph { graph } => {
+                write!(f, "{graph} is not loaded")
+            }
+            ServiceError::VertexOutOfRange { vertex } => {
+                write!(f, "vertex {vertex} is out of range")
+            }
+            ServiceError::Enumeration(message) => write!(f, "enumeration failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<KvccError> for ServiceError {
+    fn from(value: KvccError) -> Self {
+        match value {
+            KvccError::SeedOutOfRange { seed } => ServiceError::VertexOutOfRange { vertex: seed },
+            other => ServiceError::Enumeration(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_accessors() {
+        let id = GraphId(3);
+        let requests = [
+            QueryRequest::EnumerateKvccs { graph: id, k: 4 },
+            QueryRequest::KvccsContaining {
+                graph: id,
+                seed: 1,
+                k: 4,
+            },
+            QueryRequest::MaxConnectivity {
+                graph: id,
+                u: 0,
+                v: 1,
+            },
+            QueryRequest::VertexConnectivityNumber { graph: id, v: 2 },
+            QueryRequest::GlobalCutProbe { graph: id, k: 3 },
+            QueryRequest::LocalConnectivity {
+                graph: id,
+                u: 0,
+                v: 1,
+                limit: 8,
+            },
+            QueryRequest::GraphStats { graph: id },
+        ];
+        for r in &requests {
+            assert_eq!(r.graph(), id);
+        }
+        assert_eq!(
+            requests.iter().filter(|r| r.needs_index()).count(),
+            3,
+            "exactly the hierarchy-backed queries need the index"
+        );
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        assert!(ServiceError::UnknownGraph { graph: GraphId(9) }
+            .to_string()
+            .contains('9'));
+        assert!(ServiceError::VertexOutOfRange { vertex: 42 }
+            .to_string()
+            .contains("42"));
+        let from_kvcc: ServiceError = KvccError::SeedOutOfRange { seed: 7 }.into();
+        assert_eq!(from_kvcc, ServiceError::VertexOutOfRange { vertex: 7 });
+        let from_invalid: ServiceError = KvccError::InvalidK.into();
+        assert!(matches!(from_invalid, ServiceError::Enumeration(_)));
+    }
+}

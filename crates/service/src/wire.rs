@@ -1,0 +1,182 @@
+//! Self-contained, serialisable enumeration work items.
+//!
+//! `KVCC-ENUM`'s work items are already self-contained (a compact CSR
+//! subgraph plus the mapping of its local ids back to the input graph), which
+//! is exactly what sharded enumeration across processes or machines needs:
+//! the coordinator splits the initial k-core into components, ships each as a
+//! [`CsrWorkItem`], and a shard answers with the k-VCCs in **original** ids.
+//! The byte format is hand-rolled (magic + version + CSR buffer + id map, all
+//! little-endian `u32`) so the offline build needs no serialisation crate and
+//! the format stays stable across toolchains.
+
+use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccError, KvccOptions};
+use kvcc_graph::{CsrGraph, GraphError, VertexId};
+
+/// Magic bytes opening every serialised work item.
+const ITEM_WIRE_MAGIC: [u8; 4] = *b"KWRK";
+/// Version byte of the work-item wire format.
+const ITEM_WIRE_VERSION: u8 = 1;
+
+/// One unit of sharded enumeration: a subgraph in its own compact id space
+/// plus the mapping back to the ids of the input graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrWorkItem {
+    graph: CsrGraph,
+    to_original: Vec<VertexId>,
+}
+
+impl CsrWorkItem {
+    /// Creates a work item; `to_original` must have one entry per vertex of
+    /// `graph`.
+    pub fn new(graph: CsrGraph, to_original: Vec<VertexId>) -> Self {
+        assert_eq!(
+            graph.num_vertices(),
+            to_original.len(),
+            "id map must cover every vertex of the work item"
+        );
+        CsrWorkItem { graph, to_original }
+    }
+
+    /// The subgraph, in local ids `0..n`.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// `to_original[local]` is the vertex id in the input graph.
+    pub fn to_original(&self) -> &[VertexId] {
+        &self.to_original
+    }
+
+    /// Serialises the item: magic, version, the CSR buffer length as
+    /// little-endian `u32`, the [`CsrGraph::to_bytes`] buffer, then the id
+    /// map (count + entries, little-endian `u32`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let graph_bytes = self.graph.to_bytes();
+        let mut out =
+            Vec::with_capacity(4 + 1 + 4 + graph_bytes.len() + 4 + 4 * self.to_original.len());
+        out.extend_from_slice(&ITEM_WIRE_MAGIC);
+        out.push(ITEM_WIRE_VERSION);
+        out.extend_from_slice(&(graph_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&graph_bytes);
+        out.extend_from_slice(&(self.to_original.len() as u32).to_le_bytes());
+        for &v in &self.to_original {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a buffer produced by [`CsrWorkItem::to_bytes`],
+    /// re-validating every structural invariant of the embedded graph.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+        if bytes.len() < 9 {
+            return Err(malformed("work-item buffer shorter than the header"));
+        }
+        if bytes[..4] != ITEM_WIRE_MAGIC {
+            return Err(malformed("bad magic (not a work-item buffer)"));
+        }
+        if bytes[4] != ITEM_WIRE_VERSION {
+            return Err(malformed("unsupported work-item version"));
+        }
+        let graph_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
+        let map_count_at = 9 + graph_len;
+        if bytes.len() < map_count_at + 4 {
+            return Err(malformed("work-item buffer truncated before the id map"));
+        }
+        let graph = CsrGraph::from_bytes(&bytes[9..map_count_at])?;
+        let map_len = u32::from_le_bytes(
+            bytes[map_count_at..map_count_at + 4]
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        if bytes.len() != map_count_at + 4 + 4 * map_len {
+            return Err(malformed("id map length disagrees with the buffer"));
+        }
+        if map_len != graph.num_vertices() {
+            return Err(malformed("id map must cover every vertex"));
+        }
+        let mut to_original = Vec::with_capacity(map_len);
+        for i in 0..map_len {
+            let at = map_count_at + 4 + 4 * i;
+            to_original.push(u32::from_le_bytes(
+                bytes[at..at + 4].try_into().expect("4 bytes"),
+            ));
+        }
+        Ok(CsrWorkItem { graph, to_original })
+    }
+}
+
+/// Runs the enumeration on one (possibly deserialised) work item and maps the
+/// resulting components back to **original** graph ids — the shard side of a
+/// distributed `KVCC-ENUM`. The union of the results over the items produced
+/// by [`crate::ServiceEngine::partition_work`] equals a whole-graph
+/// enumeration.
+pub fn run_work_item(
+    item: &CsrWorkItem,
+    k: u32,
+    options: &KvccOptions,
+) -> Result<Vec<KVertexConnectedComponent>, KvccError> {
+    let result = enumerate_kvccs(item.graph(), k, options)?;
+    let mut mapped: Vec<KVertexConnectedComponent> = result
+        .iter()
+        .map(|c| {
+            let original: Vec<VertexId> = c
+                .vertices()
+                .iter()
+                .map(|&local| item.to_original()[local as usize])
+                .collect();
+            KVertexConnectedComponent::new(original)
+        })
+        .collect();
+    mapped.sort();
+    Ok(mapped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item() -> CsrWorkItem {
+        let graph =
+            CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        CsrWorkItem::new(graph, vec![10, 11, 12, 13, 14])
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_the_item() {
+        let original = item();
+        let bytes = original.to_bytes();
+        let back = CsrWorkItem::from_bytes(&bytes).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn corrupted_buffers_are_rejected() {
+        let good = item().to_bytes();
+        assert!(CsrWorkItem::from_bytes(&good[..5]).is_err());
+        assert!(CsrWorkItem::from_bytes(&good[..good.len() - 4]).is_err());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'Z';
+        assert!(CsrWorkItem::from_bytes(&bad_magic).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 9;
+        assert!(CsrWorkItem::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn running_a_deserialised_item_reports_original_ids() {
+        let bytes = item().to_bytes();
+        let shipped = CsrWorkItem::from_bytes(&bytes).unwrap();
+        let comps = run_work_item(&shipped, 2, &KvccOptions::default()).unwrap();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].vertices(), &[10, 11, 12]);
+        assert_eq!(comps[1].vertices(), &[12, 13, 14]);
+    }
+
+    #[test]
+    #[should_panic(expected = "id map must cover")]
+    fn mismatched_map_is_rejected_at_construction() {
+        let graph = CsrGraph::from_edges(3, vec![(0, 1)]).unwrap();
+        let _ = CsrWorkItem::new(graph, vec![0, 1]);
+    }
+}

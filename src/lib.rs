@@ -10,8 +10,12 @@
 #![warn(missing_docs)]
 
 pub use kvcc::{
-    enumerate_kvccs, AlgorithmVariant, EnumerationStats, KVertexConnectedComponent, KvccEnumerator,
-    KvccError, KvccOptions, KvccResult,
+    build_hierarchy, enumerate_kvccs, kvccs_containing, AlgorithmVariant, ConnectivityIndex,
+    EnumerationStats, KVertexConnectedComponent, KvccEnumerator, KvccError, KvccHierarchy,
+    KvccOptions, KvccResult,
 };
 pub use kvcc_flow::{global_vertex_connectivity, is_k_vertex_connected};
 pub use kvcc_graph::{CsrGraph, GraphView, UndirectedGraph, VertexId};
+pub use kvcc_service::{
+    EngineConfig, GraphId, QueryRequest, QueryResponse, ServiceEngine, ServiceError,
+};

@@ -1,0 +1,186 @@
+//! Hierarchy nesting invariants and `ConnectivityIndex` parity.
+//!
+//! Two families of cross-crate checks on the planted-partition, Fig. 1 and
+//! collaboration dataset suites:
+//!
+//! * **nesting** — every (k+1)-VCC of the hierarchy lies inside exactly one
+//!   k-VCC, the recorded parent is that component, and per-level components
+//!   match a direct `enumerate_kvccs` run;
+//! * **parity** — the [`ConnectivityIndex`] answers every query byte-identical
+//!   to the direct (un-indexed) paths: `components_at` vs `enumerate_kvccs`,
+//!   `kvccs_containing` vs the localized query, `max_connectivity_of` vs the
+//!   hierarchy's connectivity numbers.
+
+use kvcc::{
+    build_hierarchy, enumerate_kvccs, kvccs_containing, ConnectivityIndex, KvccHierarchy,
+    KvccOptions,
+};
+use kvcc_graph::{UndirectedGraph, VertexId};
+
+use kvcc_datasets::collaboration::{collaboration_graph, CollaborationConfig};
+use kvcc_datasets::figure1::figure1_graph;
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+
+/// The three dataset suites the acceptance criteria name.
+fn suites() -> Vec<(&'static str, UndirectedGraph)> {
+    let planted = planted_communities(&PlantedConfig {
+        num_communities: 4,
+        chain_length: 2,
+        community_size: (8, 10),
+        background_vertices: 250,
+        seed: 77,
+        ..PlantedConfig::default()
+    });
+    let collab = collaboration_graph(&CollaborationConfig {
+        num_groups: 4,
+        group_size: (6, 8),
+        pendant_collaborators: 8,
+        ..CollaborationConfig::default()
+    });
+    vec![
+        ("planted", planted.graph),
+        ("figure1", figure1_graph().graph),
+        ("collaboration", collab.graph),
+    ]
+}
+
+fn assert_nesting_invariants(name: &str, g: &UndirectedGraph, hierarchy: &KvccHierarchy) {
+    let options = KvccOptions::default();
+    for (li, level) in hierarchy.levels().iter().enumerate() {
+        assert_eq!(
+            level.k as usize,
+            li + 1,
+            "{name}: levels must be contiguous from k = 1"
+        );
+        // Per-level components match a direct enumeration of the same k.
+        let direct = enumerate_kvccs(g, level.k, &options).unwrap();
+        assert_eq!(
+            level.components.as_slice(),
+            direct.components(),
+            "{name}: hierarchy level {} disagrees with direct enumeration",
+            level.k
+        );
+        if li == 0 {
+            assert!(
+                level.parents.iter().all(|p| p.is_none()),
+                "{name}: level 1 has no parents"
+            );
+            continue;
+        }
+        let upper = &hierarchy.levels()[li - 1];
+        for (comp, parent) in level.components.iter().zip(&level.parents) {
+            // The recorded parent contains the child...
+            let parent_idx = parent.expect("non-root level has parents");
+            let parent_comp = &upper.components[parent_idx];
+            for &v in comp.vertices() {
+                assert!(
+                    parent_comp.contains(v),
+                    "{name}: child not inside its recorded parent"
+                );
+            }
+            // ...and is the *only* container: k-VCCs overlap in < k vertices,
+            // so a (k+1)-VCC (which has > k vertices) fits in at most one.
+            let containers = upper
+                .components
+                .iter()
+                .filter(|c| comp.vertices().iter().all(|&v| c.contains(v)))
+                .count();
+            assert_eq!(
+                containers, 1,
+                "{name}: every (k+1)-VCC lies inside exactly one k-VCC"
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchy_nesting_invariants_hold_on_all_suites() {
+    for (name, g) in suites() {
+        let hierarchy = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
+        assert!(
+            hierarchy.max_k() >= 2,
+            "{name}: suite must have a non-trivial hierarchy"
+        );
+        assert_nesting_invariants(name, &g, &hierarchy);
+    }
+}
+
+#[test]
+fn index_components_match_direct_enumeration_on_all_suites() {
+    for (name, g) in suites() {
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        for k in 1..=index.max_k() + 1 {
+            let direct = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(
+                index.components_at(k),
+                direct.components(),
+                "{name}: k = {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_seed_queries_match_the_direct_query_on_all_suites() {
+    for (name, g) in suites() {
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        // Every vertex at the levels around the interesting structure; keep
+        // the direct path affordable by sampling ks.
+        for k in [1, 2, index.max_k().max(1)] {
+            for seed in 0..g.num_vertices() as VertexId {
+                let direct = kvccs_containing(&g, seed, k, &KvccOptions::default()).unwrap();
+                let indexed = index.kvccs_containing(seed, k).unwrap();
+                assert_eq!(indexed, direct, "{name}: seed {seed}, k {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn per_vertex_connectivity_matches_the_hierarchy_on_all_suites() {
+    for (name, g) in suites() {
+        let hierarchy = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
+        let index = ConnectivityIndex::from_hierarchy(&hierarchy);
+        let numbers = hierarchy.connectivity_numbers();
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(
+                index.max_connectivity_of(v),
+                numbers[v as usize],
+                "{name}: vertex {v}"
+            );
+            // Self-connectivity is the vertex's own number.
+            assert_eq!(
+                index.max_connectivity(v, v).unwrap(),
+                numbers[v as usize],
+                "{name}: vertex {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pairwise_max_connectivity_matches_brute_force_on_figure1() {
+    // Brute force: for every pair, the deepest level whose enumeration has a
+    // component containing both endpoints.
+    let g = figure1_graph().graph;
+    let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+    let options = KvccOptions::default();
+    let per_level: Vec<_> = (1..=index.max_k())
+        .map(|k| enumerate_kvccs(&g, k, &options).unwrap())
+        .collect();
+    for u in 0..g.num_vertices() as VertexId {
+        for v in (u + 1)..g.num_vertices() as VertexId {
+            let expected = per_level
+                .iter()
+                .filter(|r| r.iter().any(|c| c.contains(u) && c.contains(v)))
+                .map(|r| r.k())
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                index.max_connectivity(u, v).unwrap(),
+                expected,
+                "pair ({u}, {v})"
+            );
+        }
+    }
+}
