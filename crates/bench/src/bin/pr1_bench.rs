@@ -16,10 +16,20 @@
 //!   `kvcc-service` batch engine. The `indexed_vs_reenumerate` speedup is the
 //!   PR 2 acceptance number (must be ≥ 10×).
 //!
-//! Usage: `pr1-bench [pr1-output.json [pr2-output.json]]`
-//! (defaults `BENCH_pr1.json` and `BENCH_pr2.json`).
+//! PR 3 section (written to `BENCH_pr3.json`):
+//!
+//! * the substrate × flow-probe matrix — {baseline CSR, hybrid-reordered,
+//!   delta+varint compressed} × {exact, k-bounded} — on the ~10k-vertex
+//!   planted suite and the collaboration graph, plus the index
+//!   build-vs-restore persistence cases. Checksums are identical across all
+//!   variants.
+//!
+//! Usage: `pr1-bench [--smoke] [pr1-output.json [pr2-output.json [pr3-output.json]]]`
+//! (defaults `BENCH_pr1.json`, `BENCH_pr2.json` and `BENCH_pr3.json`).
+//! `--smoke` runs every case exactly once with no warm-up — the CI mode that
+//! keeps this binary from bit-rotting without spending bench budget.
 
-use kvcc_bench::{pr1, pr2};
+use kvcc_bench::{pr1, pr2, pr3};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -29,30 +39,57 @@ fn write_or_die(path: &str, payload: String) {
     eprintln!("wrote {path}");
 }
 
-fn main() {
-    let pr1_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr1.json".to_string());
-    let pr2_path = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
-
-    let report = pr1::run_all();
-    println!("{}", report.render_text());
-    write_or_die(&pr1_path, report.render_json());
-
-    let pr2_report = pr2::run_all();
-    println!("PR 2 index/serving section (planted-partition suite)");
-    for e in &pr2_report.entries {
+fn print_section(report: &kvcc_bench::pr1::Report, title: &str) {
+    println!("{title}");
+    for e in &report.entries {
         println!(
-            "{:<36} {:>14.1} ns/run  ({} runs, checksum {})",
+            "{:<44} {:>14.1} ns/run  ({} runs, checksum {})",
             e.name, e.mean_ns, e.iterations, e.checksum
         );
     }
+}
+
+fn main() {
+    let mut paths: Vec<String> = Vec::new();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let path =
+        |i: usize, default: &str| paths.get(i).cloned().unwrap_or_else(|| default.to_string());
+    let pr1_path = path(0, "BENCH_pr1.json");
+    let pr2_path = path(1, "BENCH_pr2.json");
+    let pr3_path = path(2, "BENCH_pr3.json");
+
+    let report = pr1::run_all(smoke);
+    println!("{}", report.render_text());
+    write_or_die(&pr1_path, report.render_json());
+
+    let pr2_report = pr2::run_all(smoke);
+    print_section(
+        &pr2_report,
+        "PR 2 index/serving section (planted-partition suite)",
+    );
     for (baseline, contender, label) in pr2::speedup_pairs() {
         if let Some(s) = pr2_report.speedup(baseline, contender) {
             println!("speedup {label}: {s:.2}x");
         }
     }
     write_or_die(&pr2_path, pr2::render_json(&pr2_report));
+
+    let pr3_report = pr3::run_all(smoke);
+    print_section(
+        &pr3_report,
+        "PR 3 substrate section (planted 10k + collaboration)",
+    );
+    for (baseline, contender, label) in pr3::speedup_pairs() {
+        if let Some(s) = pr3_report.speedup(baseline, contender) {
+            println!("speedup {label}: {s:.2}x");
+        }
+    }
+    write_or_die(&pr3_path, pr3::render_json(&pr3_report));
 }

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod legacy;
 pub mod pr1;
 pub mod pr2;
+pub mod pr3;
 pub mod report;
 
 pub use report::Table;

@@ -173,25 +173,50 @@ pub struct Report {
     pub entries: Vec<Entry>,
 }
 
-fn measure(case: &Case, warmup: Duration, budget: Duration, min_iters: u64) -> Entry {
+/// Times one named workload: warm-up, then at least `min_iters` measured
+/// runs, continuing until `budget` is spent (capped at `min_iters * 64`
+/// runs). Shared by the pr1/pr2/pr3 report sections so every section
+/// measures identically.
+pub(crate) fn measure_fn(
+    name: &'static str,
+    run: fn() -> usize,
+    warmup: Duration,
+    budget: Duration,
+    min_iters: u64,
+) -> Entry {
     let start = Instant::now();
     let mut checksum = 0usize;
     while start.elapsed() < warmup {
-        checksum = std::hint::black_box((case.run)());
+        checksum = std::hint::black_box(run());
     }
     let mut total = Duration::ZERO;
     let mut iterations = 0u64;
     while iterations < min_iters || (total < budget && iterations < min_iters * 64) {
         let t = Instant::now();
-        checksum = std::hint::black_box((case.run)());
+        checksum = std::hint::black_box(run());
         total += t.elapsed();
         iterations += 1;
     }
     Entry {
-        name: case.name,
+        name,
         mean_ns: total.as_nanos() as f64 / iterations as f64,
         iterations,
         checksum,
+    }
+}
+
+/// Resolves a case's `(warm-up, budget, min-iterations)` triple, honouring
+/// smoke mode (exactly one cold run per case; the `--smoke` CI contract).
+pub(crate) fn case_budget(
+    smoke: bool,
+    warmup: Duration,
+    budget: Duration,
+    min_iters: u64,
+) -> (Duration, Duration, u64) {
+    if smoke {
+        (Duration::ZERO, Duration::ZERO, 1)
+    } else {
+        (warmup, budget, min_iters)
     }
 }
 
@@ -289,23 +314,31 @@ impl Report {
 
 /// Runs every case and collects the report. Also cross-checks that all
 /// enumeration paths agree on their checksum (identical component content).
-pub fn run_all() -> Report {
+///
+/// With `smoke` every case runs exactly once with no warm-up — the CI mode
+/// that keeps the bench binary compiling and running without spending bench
+/// budget.
+pub fn run_all(smoke: bool) -> Report {
     let mut report = Report::default();
+    let substrate_budget = case_budget(
+        smoke,
+        Duration::from_millis(100),
+        Duration::from_millis(400),
+        10,
+    );
+    let enumeration_budget =
+        case_budget(smoke, Duration::from_millis(200), Duration::from_secs(2), 5);
     for case in substrate_cases() {
-        report.entries.push(measure(
-            &case,
-            Duration::from_millis(100),
-            Duration::from_millis(400),
-            10,
-        ));
+        let (warmup, budget, min_iters) = substrate_budget;
+        report
+            .entries
+            .push(measure_fn(case.name, case.run, warmup, budget, min_iters));
     }
     for case in enumeration_cases() {
-        report.entries.push(measure(
-            &case,
-            Duration::from_millis(200),
-            Duration::from_secs(2),
-            5,
-        ));
+        let (warmup, budget, min_iters) = enumeration_budget;
+        report
+            .entries
+            .push(measure_fn(case.name, case.run, warmup, budget, min_iters));
     }
     let sums: Vec<usize> = [
         "enumerate/legacy-vec-sequential",

@@ -19,14 +19,14 @@
 //! faster than re-enumeration.
 
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use kvcc::{ConnectivityIndex, KvccOptions};
 use kvcc_datasets::planted::{planted_communities, PlantedConfig};
 use kvcc_graph::{UndirectedGraph, VertexId};
 use kvcc_service::{EngineConfig, QueryRequest, QueryResponse, ServiceEngine};
 
-use crate::pr1::{Entry, Report};
+use crate::pr1::{case_budget, measure_fn, Report};
 
 /// The planted-partition graph used by the query cases, plus the query `k`
 /// and the batch of seed vertices (one per planted community plus a few
@@ -137,7 +137,8 @@ type Pr2Case = (&'static str, fn() -> usize, u64);
 
 /// Runs the PR 2 cases and appends them (with the `pr2/` prefix) to a fresh
 /// report, asserting that all three query paths return identical answers.
-pub fn run_all() -> Report {
+/// With `smoke` every case runs exactly once with no warm-up (the CI mode).
+pub fn run_all(smoke: bool) -> Report {
     let mut report = Report::default();
     let cases: [Pr2Case; 4] = [
         ("pr2/index/build", index_build, 3),
@@ -146,13 +147,15 @@ pub fn run_all() -> Report {
         ("pr2/service/batch", service_batch, 10),
     ];
     for (name, run, min_iters) in cases {
-        report.entries.push(measure(
-            name,
-            run,
+        let (warmup, budget, min_iters) = case_budget(
+            smoke,
             Duration::from_millis(100),
             Duration::from_millis(800),
             min_iters,
-        ));
+        );
+        report
+            .entries
+            .push(measure_fn(name, run, warmup, budget, min_iters));
     }
     let indexed = report.entry("pr2/query/indexed-seeds").unwrap();
     let reenumerated = report.entry("pr2/query/reenumerate-seeds").unwrap();
@@ -182,34 +185,6 @@ pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
             "service_vs_reenumerate",
         ),
     ]
-}
-
-fn measure(
-    name: &'static str,
-    run: fn() -> usize,
-    warmup: Duration,
-    budget: Duration,
-    min_iters: u64,
-) -> Entry {
-    let start = Instant::now();
-    let mut checksum = 0usize;
-    while start.elapsed() < warmup {
-        checksum = std::hint::black_box(run());
-    }
-    let mut total = Duration::ZERO;
-    let mut iterations = 0u64;
-    while iterations < min_iters || (total < budget && iterations < min_iters * 64) {
-        let t = Instant::now();
-        checksum = std::hint::black_box(run());
-        total += t.elapsed();
-        iterations += 1;
-    }
-    Entry {
-        name,
-        mean_ns: total.as_nanos() as f64 / iterations as f64,
-        iterations,
-        checksum,
-    }
 }
 
 /// JSON payload for `BENCH_pr2.json` (hand-assembled like the PR 1 report).
@@ -265,7 +240,7 @@ mod tests {
 
     #[test]
     fn json_contains_the_acceptance_speedup() {
-        let report = run_all();
+        let report = run_all(true);
         let json = render_json(&report);
         assert!(json.contains("\"indexed_vs_reenumerate\""));
         assert!(json.contains("\"pr\": 2"));

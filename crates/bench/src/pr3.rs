@@ -1,0 +1,424 @@
+//! PR 3 performance record: the locality-optimized graph substrate.
+//!
+//! Measures the full enumeration across the substrate × flow-probe matrix on
+//! two workloads:
+//!
+//! * `planted10k` — the planted-partition suite scaled to ~10k vertices,
+//!   with a background dense enough that its k-core **survives** the peel:
+//!   the enumeration has to certify / cut a ~10k-vertex component, making
+//!   the `LOC-CUT` flow probes the hot path (the §5 shape);
+//! * `collab` — the §6.4-style collaboration graph.
+//!
+//! Both graphs are loaded under a deterministic random permutation of their
+//! vertex ids — real datasets arrive with arbitrary external ids, and the
+//! generator's natural ids are already nearly BFS-ordered, which would make
+//! the baseline unrealistically cache-friendly.
+//!
+//! Substrates: the as-loaded (scrambled) [`CsrGraph`] baseline, the
+//! hybrid-reordered CSR ([`kvcc_graph::reorder`], results mapped back to
+//! loaded ids), and the delta+varint [`CompressedCsrGraph`] storing the
+//! reordered layout (small gaps are what make varints pay). Flow probes:
+//! `flow-exact` computes the exact local connectivity and minimum cut per
+//! `LOC-CUT` (the pre-PR-3 baseline probe semantics,
+//! [`KvccOptions::k_bounded_flow`]` = false`) and `flow-kbounded` stops
+//! Dinic at the k-th augmenting path and never materialises a cut for
+//! certified pairs (the new default). Every variant must produce the
+//! identical component set — checksums are asserted equal.
+//!
+//! A small index section records the service-restart path:
+//! `index/build` (hierarchy construction) vs `index/restore-from-bytes`
+//! ([`kvcc::ConnectivityIndex::from_bytes`] on a persisted buffer).
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use kvcc::{enumerate_kvccs, ConnectivityIndex, KVertexConnectedComponent, KvccOptions};
+use kvcc_datasets::collaboration::{collaboration_graph, CollaborationConfig};
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
+use kvcc_graph::{CompressedCsrGraph, CsrGraph, UndirectedGraph, VertexId};
+
+use crate::pr1::{case_budget, measure_fn, Report};
+
+/// One benchmark workload: the three substrate variants of the same graph
+/// plus the ordering that links the reordered ids back to the loaded ones.
+struct Workload {
+    /// The as-loaded baseline: the generator graph under a deterministic
+    /// random id permutation (arbitrary external ids).
+    csr: CsrGraph,
+    /// The hybrid-reordered relabelling of `csr`.
+    reordered: CsrGraph,
+    /// Maps `reordered` ids back to `csr` (loaded) ids.
+    ordering: VertexOrdering,
+    /// Delta+varint encoding of the **reordered** layout.
+    compressed: CompressedCsrGraph,
+    k: u32,
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` (xorshift64*), standing
+/// in for the arbitrary external ids real datasets load with.
+fn scramble_ordering(n: usize, seed: u64) -> VertexOrdering {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        perm.swap(i, j);
+    }
+    VertexOrdering::from_new_to_old(perm)
+}
+
+impl Workload {
+    fn new(graph: &UndirectedGraph, k: u32, scramble_seed: u64) -> Self {
+        let natural = CsrGraph::from_view(graph);
+        let csr = natural.reordered(&scramble_ordering(natural.num_vertices(), scramble_seed));
+        let ordering = compute_ordering(&csr, OrderingStrategy::Hybrid);
+        let reordered = csr.reordered(&ordering);
+        let compressed = CompressedCsrGraph::from_csr(&reordered);
+        Workload {
+            csr,
+            reordered,
+            ordering,
+            compressed,
+            k,
+        }
+    }
+}
+
+/// The planted-partition suite scaled to ~10k vertices. With 5 background
+/// edges per vertex the background's 4-core survives the peel as one large
+/// component, so the enumeration spends its time exactly where §5 says it
+/// does: in vertex-cut probes over a big subgraph.
+fn planted10k() -> &'static Workload {
+    static WORKLOAD: OnceLock<Workload> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let config = PlantedConfig {
+            num_communities: 12,
+            chain_length: 3,
+            community_size: (12, 16),
+            background_vertices: 10_000,
+            background_edges_per_vertex: 5,
+            seed: 23,
+            ..PlantedConfig::default()
+        };
+        let k = config.k as u32;
+        Workload::new(&planted_communities(&config).graph, k, 0xD1CE)
+    })
+}
+
+/// The §6.4-style collaboration graph at its default size.
+fn collab() -> &'static Workload {
+    static WORKLOAD: OnceLock<Workload> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let config = CollaborationConfig {
+            num_groups: 10,
+            shared_authors: 5,
+            pendant_collaborators: 40,
+            ..CollaborationConfig::default()
+        };
+        let k = config.group_connectivity as u32;
+        Workload::new(&collaboration_graph(&config).graph, k, 0xF1A7)
+    })
+}
+
+/// Order-insensitive, id-sensitive digest of a component set, so every
+/// substrate variant can be cross-checked after mapping back to original
+/// ids.
+fn checksum_components(components: &[KVertexConnectedComponent]) -> usize {
+    components
+        .iter()
+        .map(|c| {
+            let ids: usize = c.vertices().iter().map(|&v| v as usize + 1).sum();
+            ids.wrapping_mul(31).wrapping_add(c.len())
+        })
+        .fold(0usize, |acc, h| acc.wrapping_add(h))
+}
+
+fn options(k_bounded: bool) -> KvccOptions {
+    KvccOptions::default().with_k_bounded_flow(k_bounded)
+}
+
+fn enum_csr(w: &Workload, k_bounded: bool) -> usize {
+    let r = enumerate_kvccs(&w.csr, w.k, &options(k_bounded)).unwrap();
+    checksum_components(r.components())
+}
+
+/// Maps relabelled output back to loaded ids before digesting — loaded-id,
+/// sorted components are the invariant every substrate must reproduce
+/// exactly.
+fn checksum_mapped(w: &Workload, components: &[KVertexConnectedComponent]) -> usize {
+    let mapped: Vec<KVertexConnectedComponent> = components
+        .iter()
+        .map(|c| {
+            KVertexConnectedComponent::new(
+                c.vertices().iter().map(|&v| w.ordering.to_old(v)).collect(),
+            )
+        })
+        .collect();
+    checksum_components(&mapped)
+}
+
+fn enum_reordered(w: &Workload, k_bounded: bool) -> usize {
+    let r = enumerate_kvccs(&w.reordered, w.k, &options(k_bounded)).unwrap();
+    checksum_mapped(w, r.components())
+}
+
+fn enum_compressed(w: &Workload, k_bounded: bool) -> usize {
+    let r = enumerate_kvccs(&w.compressed, w.k, &options(k_bounded)).unwrap();
+    // The compressed substrate stores the reordered layout, so its output
+    // maps back through the same ordering.
+    checksum_mapped(w, r.components())
+}
+
+/// The small planted graph shared with the PR 2 query section, for the index
+/// persistence cases (hierarchy builds on the 10k graph are too slow to
+/// repeat in a bench budget).
+fn index_workload() -> &'static (UndirectedGraph, Vec<u8>) {
+    static WORKLOAD: OnceLock<(UndirectedGraph, Vec<u8>)> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let config = PlantedConfig {
+            num_communities: 6,
+            chain_length: 3,
+            community_size: (10, 14),
+            background_vertices: 600,
+            seed: 11,
+            ..PlantedConfig::default()
+        };
+        let graph = planted_communities(&config).graph;
+        let bytes = ConnectivityIndex::build(&graph, None, &KvccOptions::default())
+            .unwrap()
+            .to_bytes();
+        (graph, bytes)
+    })
+}
+
+fn index_build() -> usize {
+    let (g, _) = index_workload();
+    ConnectivityIndex::build(g, None, &KvccOptions::default())
+        .unwrap()
+        .num_nodes()
+}
+
+fn index_restore() -> usize {
+    let (_, bytes) = index_workload();
+    ConnectivityIndex::from_bytes(bytes).unwrap().num_nodes()
+}
+
+/// One named case with its minimum iteration count.
+type Pr3Case = (&'static str, fn() -> usize, u64);
+
+fn matrix_cases() -> Vec<Pr3Case> {
+    fn case(run: fn() -> usize, name: &'static str) -> Pr3Case {
+        (name, run, 3)
+    }
+    vec![
+        // The `csr/flow-exact` rows are the PR 2 baseline CSR path: the same
+        // substrate, with the probe computing exact local connectivity
+        // instead of stopping at the k-th augmenting path.
+        case(
+            || enum_csr(planted10k(), false),
+            "pr3/planted10k/csr/flow-exact",
+        ),
+        case(
+            || enum_csr(planted10k(), true),
+            "pr3/planted10k/csr/flow-kbounded",
+        ),
+        case(
+            || enum_reordered(planted10k(), false),
+            "pr3/planted10k/reordered/flow-exact",
+        ),
+        case(
+            || enum_reordered(planted10k(), true),
+            "pr3/planted10k/reordered/flow-kbounded",
+        ),
+        case(
+            || enum_compressed(planted10k(), false),
+            "pr3/planted10k/compressed/flow-exact",
+        ),
+        case(
+            || enum_compressed(planted10k(), true),
+            "pr3/planted10k/compressed/flow-kbounded",
+        ),
+        case(|| enum_csr(collab(), false), "pr3/collab/csr/flow-exact"),
+        case(|| enum_csr(collab(), true), "pr3/collab/csr/flow-kbounded"),
+        case(
+            || enum_reordered(collab(), false),
+            "pr3/collab/reordered/flow-exact",
+        ),
+        case(
+            || enum_reordered(collab(), true),
+            "pr3/collab/reordered/flow-kbounded",
+        ),
+        case(
+            || enum_compressed(collab(), false),
+            "pr3/collab/compressed/flow-exact",
+        ),
+        case(
+            || enum_compressed(collab(), true),
+            "pr3/collab/compressed/flow-kbounded",
+        ),
+    ]
+}
+
+/// Runs the PR 3 cases, asserting that every substrate × probe variant of a
+/// workload produces the identical component set.
+pub fn run_all(smoke: bool) -> Report {
+    let mut report = Report::default();
+    let mut cases = matrix_cases();
+    cases.push(("pr3/index/build", index_build, 3));
+    cases.push(("pr3/index/restore-from-bytes", index_restore, 20));
+    for (name, run, min_iters) in cases {
+        let (warmup, budget, min_iters) = case_budget(
+            smoke,
+            Duration::from_millis(150),
+            Duration::from_millis(900),
+            min_iters,
+        );
+        report
+            .entries
+            .push(measure_fn(name, run, warmup, budget, min_iters));
+    }
+    for prefix in ["pr3/planted10k", "pr3/collab"] {
+        let sums: Vec<(&str, usize)> = report
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .map(|e| (e.name, e.checksum))
+            .collect();
+        assert!(
+            sums.windows(2).all(|w| w[0].1 == w[1].1),
+            "substrate variants disagree: {sums:?}"
+        );
+    }
+    report
+}
+
+/// Speedup pairs reported in `BENCH_pr3.json`. The headline pairs compare
+/// the new locality + k-bounded path against the baseline CSR probe.
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "pr3/planted10k/csr/flow-exact",
+            "pr3/planted10k/reordered/flow-kbounded",
+            "planted10k_reordered_kbounded_vs_baseline_csr",
+        ),
+        (
+            "pr3/planted10k/csr/flow-exact",
+            "pr3/planted10k/compressed/flow-kbounded",
+            "planted10k_compressed_kbounded_vs_baseline_csr",
+        ),
+        (
+            "pr3/planted10k/csr/flow-exact",
+            "pr3/planted10k/csr/flow-kbounded",
+            "planted10k_kbounded_vs_exact_same_substrate",
+        ),
+        (
+            "pr3/planted10k/csr/flow-kbounded",
+            "pr3/planted10k/reordered/flow-kbounded",
+            "planted10k_reordered_vs_csr_same_flow",
+        ),
+        (
+            "pr3/collab/csr/flow-exact",
+            "pr3/collab/reordered/flow-kbounded",
+            "collab_reordered_kbounded_vs_baseline_csr",
+        ),
+        (
+            "pr3/collab/csr/flow-exact",
+            "pr3/collab/csr/flow-kbounded",
+            "collab_kbounded_vs_exact_same_substrate",
+        ),
+        (
+            "pr3/index/build",
+            "pr3/index/restore-from-bytes",
+            "index_restore_vs_build",
+        ),
+    ]
+}
+
+/// JSON payload for `BENCH_pr3.json` (hand-assembled like the other bench
+/// reports; no third-party serializer in the offline environment).
+pub fn render_json(report: &Report) -> String {
+    let p = planted10k();
+    let c = collab();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 3,\n");
+    out.push_str(
+        "  \"description\": \"Locality-optimized substrate: {baseline CSR, hybrid-reordered, \
+         delta+varint compressed} x {exact, k-bounded} LOC-CUT flow on the scaled planted suite \
+         and the collaboration graph; csr/flow-exact is the PR 2 baseline CSR path. Checksums \
+         are identical across all variants (original-id component parity).\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workloads\": {{\n    \"planted10k\": {{\"vertices\": {}, \"edges\": {}, \"k\": {}, \
+         \"compression_ratio\": {:.3}}},\n    \"collab\": {{\"vertices\": {}, \"edges\": {}, \
+         \"k\": {}, \"compression_ratio\": {:.3}}}\n  }},\n",
+        p.csr.num_vertices(),
+        p.csr.num_edges(),
+        p.k,
+        p.compressed.compression_ratio(),
+        c.csr.num_vertices(),
+        c.csr.num_edges(),
+        c.k,
+        c.compressed.compression_ratio(),
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_substrate_variants_agree_on_collab() {
+        // The collaboration workload is the cheap one; the 10k-vertex parity
+        // is covered by the integration suite and the bench run itself.
+        let w = collab();
+        let baseline = enum_csr(w, true);
+        assert_eq!(enum_csr(w, false), baseline);
+        assert_eq!(enum_reordered(w, true), baseline);
+        assert_eq!(enum_reordered(w, false), baseline);
+        assert_eq!(enum_compressed(w, true), baseline);
+        assert_eq!(enum_compressed(w, false), baseline);
+    }
+
+    #[test]
+    fn index_restore_matches_build() {
+        assert_eq!(index_build(), index_restore());
+    }
+
+    #[test]
+    fn smoke_report_is_complete_and_well_formed() {
+        let report = run_all(true);
+        assert_eq!(report.entries.len(), 14);
+        let json = render_json(&report);
+        assert!(json.contains("\"pr\": 3"));
+        assert!(json.contains("planted10k_reordered_kbounded_vs_baseline_csr"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

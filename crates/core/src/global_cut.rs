@@ -142,6 +142,11 @@ pub fn global_cut_with_scratch<G: GraphView>(
     let scratch_memory_bytes =
         flow.memory_bytes() + certificate.as_ref().map(|c| c.memory_bytes()).unwrap_or(0);
 
+    // Flow cap per LOC-CUT probe: `k` (stop at the k-th augmenting path,
+    // Lemma 6) unless the unbounded ablation asks for the exact value, in
+    // which case `n` exceeds any possible local connectivity.
+    let probe_limit = if options.k_bounded_flow { k } else { n as u32 };
+
     // --- Phase 1. ---
     let mut state = SweepState::new(n, side_groups.len());
     let ctx = SweepContext {
@@ -176,7 +181,7 @@ pub fn global_cut_with_scratch<G: GraphView>(
             continue;
         }
         stats.tested_vertices += 1;
-        if let Some(cut) = loc_cut(flow, g, source, v, k, stats) {
+        if let Some(cut) = loc_cut(flow, g, source, v, k, probe_limit, stats) {
             return GlobalCutOutcome {
                 cut: Some(cut),
                 scratch_memory_bytes,
@@ -203,7 +208,7 @@ pub fn global_cut_with_scratch<G: GraphView>(
                     }
                 }
                 stats.phase2_pairs_tested += 1;
-                if let Some(cut) = loc_cut(flow, g, a, b, k, stats) {
+                if let Some(cut) = loc_cut(flow, g, a, b, k, probe_limit, stats) {
                     return GlobalCutOutcome {
                         cut: Some(cut),
                         scratch_memory_bytes,
@@ -244,8 +249,13 @@ fn select_source<G: GraphView>(
 
 /// `LOC-CUT(u, v)` (Algorithm 2, lines 12-17): answers trivially for adjacent
 /// or identical vertices (Lemma 5), otherwise runs a max-flow on the arena's
-/// substrate capped at `k` and converts the residual min-cut into a vertex
-/// cut.
+/// substrate capped at `probe_limit` and converts the residual min-cut into a
+/// vertex cut when it has fewer than `k` vertices.
+///
+/// `probe_limit` is `k` on the default k-bounded path (the flow stops at the
+/// k-th augmenting path); the unbounded ablation passes `n`, in which case
+/// the exact minimum cut comes back and is discarded when it is not smaller
+/// than `k`.
 ///
 /// The adjacency shortcut is evaluated on the current subgraph `g`; the flow
 /// runs on whatever substrate the arena was last rebuilt with (the sparse
@@ -258,6 +268,7 @@ fn loc_cut<G: GraphView>(
     u: VertexId,
     v: VertexId,
     k: u32,
+    probe_limit: u32,
     stats: &mut EnumerationStats,
 ) -> Option<Vec<VertexId>> {
     if u == v || g.has_edge(u, v) {
@@ -265,9 +276,10 @@ fn loc_cut<G: GraphView>(
         return None;
     }
     stats.loc_cut_flow_calls += 1;
-    match flow.local_connectivity_nonadjacent(u, v, k) {
+    match flow.local_connectivity_nonadjacent(u, v, probe_limit) {
         LocalConnectivity::AtLeast(_) => None,
-        LocalConnectivity::Cut(cut) => Some(cut),
+        LocalConnectivity::Cut(cut) if (cut.len() as u32) < k => Some(cut),
+        LocalConnectivity::Cut(_) => None,
     }
 }
 
@@ -418,6 +430,25 @@ mod tests {
         assert_valid_cut(&g, &out.cut.expect("cut must be found"), 3);
         let mut stats = EnumerationStats::default();
         assert!(global_cut(&complete(6), 3, &opts, &mut stats).cut.is_none());
+    }
+
+    #[test]
+    fn unbounded_flow_ablation_matches_the_bounded_default() {
+        let g = two_blocks();
+        for k in 2..=4u32 {
+            for variant in AlgorithmVariant::all() {
+                let mut s1 = EnumerationStats::default();
+                let mut s2 = EnumerationStats::default();
+                let bounded = global_cut(&g, k, &options_for(variant), &mut s1);
+                let unbounded_opts = options_for(variant).with_k_bounded_flow(false);
+                let unbounded = global_cut(&g, k, &unbounded_opts, &mut s2);
+                // A cut below k is found before either probe saturates, so
+                // the exact-flow ablation must return the identical cut (and
+                // do the identical amount of LOC-CUT work selecting it).
+                assert_eq!(bounded.cut, unbounded.cut, "variant {variant:?}, k {k}");
+                assert_eq!(s1.loc_cut_flow_calls, s2.loc_cut_flow_calls);
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! `index_parity` integration suite); the index is the read path of the
 //! `kvcc-service` serving layer.
 
-use kvcc_graph::{GraphView, VertexId};
+use kvcc_graph::{GraphError, GraphView, VertexId};
 
 use crate::error::KvccError;
 use crate::hierarchy::{build_hierarchy, KvccHierarchy};
@@ -30,6 +30,31 @@ use crate::result::KVertexConnectedComponent;
 
 /// Sentinel parent id for root nodes (level-1 components).
 const NO_PARENT: u32 = u32::MAX;
+
+/// Whether sorted list `child` is contained in sorted list `parent`
+/// (linear two-pointer merge).
+fn is_sorted_subset(child: &[VertexId], parent: &[VertexId]) -> bool {
+    let mut j = 0;
+    for &v in child {
+        while j < parent.len() && parent[j] < v {
+            j += 1;
+        }
+        if j >= parent.len() || parent[j] != v {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Magic bytes opening every serialised index buffer.
+const INDEX_WIRE_MAGIC: [u8; 4] = *b"KIDX";
+/// Version byte of the index wire format; bump on incompatible changes.
+const INDEX_WIRE_VERSION: u8 = 1;
+/// Header: magic + version + `num_vertices` + depth-limit + node count.
+const INDEX_WIRE_HEADER: usize = 4 + 1 + 4 + 4 + 4;
+/// Wire encoding of [`ConnectivityIndex::depth_limit`]` == None`.
+const NO_DEPTH_LIMIT: u32 = u32::MAX;
 
 /// A flattened k-VCC hierarchy supporting O(depth) containment queries.
 ///
@@ -105,6 +130,23 @@ impl ConnectivityIndex {
             level_offsets.push(components.len());
         }
 
+        Self::assemble(num_vertices, ks, parents, components, level_offsets, None)
+    }
+
+    /// Builds the derived query arrays (leaf pointers, per-vertex maximum
+    /// connectivity) from the forest core — shared by
+    /// [`ConnectivityIndex::from_hierarchy`] and
+    /// [`ConnectivityIndex::from_bytes`], so a deserialised index is
+    /// guaranteed to answer queries exactly like the freshly built one it was
+    /// saved from.
+    fn assemble(
+        num_vertices: usize,
+        ks: Vec<u32>,
+        parents: Vec<u32>,
+        components: Vec<KVertexConnectedComponent>,
+        level_offsets: Vec<usize>,
+        depth_limit: Option<u32>,
+    ) -> Self {
         // Leaf-most memberships: a node keeps vertex v iff no child keeps v.
         // Sweep the nodes once, marking each node's members as "covered" in
         // its parent; everything left uncovered is a leaf pointer.
@@ -135,8 +177,187 @@ impl ConnectivityIndex {
             level_offsets,
             leaves_of,
             max_k_of,
-            depth_limit: None,
+            depth_limit,
         }
+    }
+
+    /// Serialises the index into a self-describing, endian-stable byte
+    /// buffer (no third-party serializer, same style as the CSR and
+    /// work-item wire formats).
+    ///
+    /// Layout: magic `b"KIDX"`, version `u8`, then little-endian `u32`s —
+    /// `num_vertices`, the depth limit (`u32::MAX` for a complete
+    /// index), the node count, and per node `(k, parent, member_count,
+    /// members…)` in node-id order. The derived query arrays are *not*
+    /// stored; [`ConnectivityIndex::from_bytes`] rebuilds them, so the two
+    /// sides can never disagree.
+    ///
+    /// This is the service-restart path: persisting the buffer next to the
+    /// graph lets a restarted `kvcc-service` engine skip the hierarchy build
+    /// entirely.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let member_words: usize = self.components.iter().map(|c| 1 + c.len()).sum();
+        let mut out =
+            Vec::with_capacity(INDEX_WIRE_HEADER + 4 * (2 * self.components.len() + member_words));
+        out.extend_from_slice(&INDEX_WIRE_MAGIC);
+        out.push(INDEX_WIRE_VERSION);
+        out.extend_from_slice(&(self.num_vertices() as u32).to_le_bytes());
+        out.extend_from_slice(&self.depth_limit.unwrap_or(NO_DEPTH_LIMIT).to_le_bytes());
+        out.extend_from_slice(&(self.components.len() as u32).to_le_bytes());
+        for id in 0..self.components.len() {
+            out.extend_from_slice(&self.ks[id].to_le_bytes());
+            out.extend_from_slice(&self.parents[id].to_le_bytes());
+            let members = self.components[id].vertices();
+            out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+            for &v in members {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Reads the declared vertex count from a serialised index header
+    /// without parsing the body. [`ConnectivityIndex::from_bytes`] allocates
+    /// per-vertex arrays sized by this value (a graph may legitimately have
+    /// far more vertices than index nodes), so callers holding untrusted
+    /// buffers should reject a mismatch against their expected graph
+    /// **before** deserialising — the `kvcc-service` engine does exactly
+    /// that. Returns `None` when the header is absent or not an index
+    /// buffer.
+    pub fn peek_num_vertices(bytes: &[u8]) -> Option<usize> {
+        if bytes.len() < INDEX_WIRE_HEADER
+            || bytes[..4] != INDEX_WIRE_MAGIC
+            || bytes[4] != INDEX_WIRE_VERSION
+        {
+            return None;
+        }
+        Some(u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize)
+    }
+
+    /// Deserialises a buffer produced by [`ConnectivityIndex::to_bytes`],
+    /// validating every structural invariant of the forest (contiguous
+    /// levels, parents one level up and earlier in the node order, sorted
+    /// in-range members contained in their parent) so a corrupted or hostile
+    /// buffer can never produce an index that later panics or answers
+    /// incoherently. Node allocations are bounded by the buffer size; the
+    /// per-vertex arrays are sized by the declared vertex count (see
+    /// [`ConnectivityIndex::peek_num_vertices`]). The leaf pointers and
+    /// per-vertex connectivity values are rebuilt from the validated forest,
+    /// not read from the wire.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+        if bytes.len() < INDEX_WIRE_HEADER {
+            return Err(malformed("buffer shorter than the index header"));
+        }
+        if bytes[..4] != INDEX_WIRE_MAGIC {
+            return Err(malformed("bad magic (not a connectivity-index buffer)"));
+        }
+        if bytes[4] != INDEX_WIRE_VERSION {
+            return Err(malformed("unsupported index format version"));
+        }
+        let read_u32 =
+            |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let num_vertices = read_u32(5) as usize;
+        let depth_limit = match read_u32(9) {
+            NO_DEPTH_LIMIT => None,
+            cap => Some(cap),
+        };
+        let num_nodes = read_u32(13) as usize;
+        // Every node record occupies at least 16 bytes (k + parent + count +
+        // one member), so a hostile header can never trigger node
+        // allocations larger than the buffer it arrived in.
+        if num_nodes > (bytes.len() - INDEX_WIRE_HEADER) / 16 {
+            return Err(malformed("node count disagrees with the buffer size"));
+        }
+
+        let mut at = INDEX_WIRE_HEADER;
+        let mut ks = Vec::with_capacity(num_nodes);
+        let mut parents = Vec::with_capacity(num_nodes);
+        let mut components: Vec<KVertexConnectedComponent> = Vec::with_capacity(num_nodes);
+        let mut level_offsets = vec![0usize];
+        for id in 0..num_nodes {
+            if bytes.len() < at + 12 {
+                return Err(malformed("node record truncated"));
+            }
+            let k = read_u32(at);
+            let parent = read_u32(at + 4);
+            let count = read_u32(at + 8) as usize;
+            at += 12;
+            if bytes.len() < at + 4 * count {
+                return Err(malformed("member list truncated"));
+            }
+            if count == 0 {
+                return Err(malformed("components cannot be empty"));
+            }
+            // Levels are stored contiguously and start at 1; a level can only
+            // appear when the previous one did (construction stops at the
+            // first empty level).
+            let prev_k = ks.last().copied().unwrap_or(0);
+            if id == 0 && k != 1 {
+                return Err(malformed("first node must be at level 1"));
+            }
+            if id > 0 && k != prev_k && k != prev_k + 1 {
+                return Err(malformed("levels must be contiguous and sorted"));
+            }
+            if id > 0 && k == prev_k + 1 {
+                level_offsets.push(id);
+            }
+            if k == 1 {
+                if parent != NO_PARENT {
+                    return Err(malformed("level-1 nodes cannot have a parent"));
+                }
+            } else {
+                if parent as usize >= id {
+                    return Err(malformed("parents must precede their children"));
+                }
+                if ks[parent as usize] + 1 != k {
+                    return Err(malformed("parent must sit exactly one level up"));
+                }
+            }
+            let mut members = Vec::with_capacity(count);
+            for i in 0..count {
+                let v = read_u32(at + 4 * i);
+                if v as usize >= num_vertices {
+                    return Err(malformed("member vertex out of range"));
+                }
+                members.push(v);
+            }
+            at += 4 * count;
+            if members.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(malformed("members must be strictly sorted"));
+            }
+            // Nesting (§2.2): a level-k component lies inside its level-(k−1)
+            // parent. Without this check a hostile buffer could hand a vertex
+            // a leaf whose ancestor chain does not contain it, making
+            // `kvccs_containing` answer incoherently.
+            if parent != NO_PARENT
+                && !is_sorted_subset(&members, components[parent as usize].vertices())
+            {
+                return Err(malformed("child members must lie inside their parent"));
+            }
+            ks.push(k);
+            parents.push(parent);
+            components.push(KVertexConnectedComponent::new(members));
+        }
+        if at != bytes.len() {
+            return Err(malformed("trailing bytes after the last node"));
+        }
+        if num_nodes > 0 {
+            level_offsets.push(num_nodes);
+        }
+        if let Some(cap) = depth_limit {
+            if ks.last().copied().unwrap_or(0) > cap {
+                return Err(malformed("nodes exceed the declared depth limit"));
+            }
+        }
+        Ok(Self::assemble(
+            num_vertices,
+            ks,
+            parents,
+            components,
+            level_offsets,
+            depth_limit,
+        ))
     }
 
     /// The `max_k` cap the index was built with ([`None`]: complete up to the
@@ -399,6 +620,89 @@ mod tests {
         assert!(!capped.covers(2), "level 2 was never enumerated");
         // Saturation: the K4 members' connectivity reads as the cap.
         assert_eq!(capped.max_connectivity_of(6), 1);
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_every_query_surface() {
+        let g = mixed_graph();
+        for cap in [None, Some(1), Some(2)] {
+            let index = ConnectivityIndex::build(&g, cap, &KvccOptions::default()).unwrap();
+            let back = ConnectivityIndex::from_bytes(&index.to_bytes()).unwrap();
+            assert_eq!(back.depth_limit(), index.depth_limit());
+            assert_eq!(back.max_k(), index.max_k());
+            assert_eq!(back.num_vertices(), index.num_vertices());
+            assert_eq!(back.num_nodes(), index.num_nodes());
+            for k in 0..=index.max_k() + 1 {
+                assert_eq!(back.components_at(k), index.components_at(k));
+            }
+            for u in 0..g.num_vertices() as VertexId {
+                assert_eq!(back.max_connectivity_of(u), index.max_connectivity_of(u));
+                for k in 1..=3u32 {
+                    assert_eq!(
+                        back.kvccs_containing(u, k).unwrap(),
+                        index.kvccs_containing(u, k).unwrap()
+                    );
+                }
+                for v in 0..g.num_vertices() as VertexId {
+                    assert_eq!(
+                        back.max_connectivity(u, v).unwrap(),
+                        index.max_connectivity(u, v).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let index =
+            ConnectivityIndex::build(&UndirectedGraph::new(3), None, &KvccOptions::default())
+                .unwrap();
+        let back = ConnectivityIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.max_k(), 0);
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_vertices(), 3);
+    }
+
+    #[test]
+    fn from_bytes_rejects_corrupted_buffers() {
+        use kvcc_graph::GraphError;
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let good = index.to_bytes();
+        let assert_malformed = |bytes: &[u8]| {
+            assert!(matches!(
+                ConnectivityIndex::from_bytes(bytes),
+                Err(GraphError::MalformedBytes { .. })
+            ));
+        };
+        assert_malformed(&good[..7]); // truncated header
+        assert_malformed(&good[..good.len() - 3]); // truncated member list
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'Z';
+        assert_malformed(&bad_magic);
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 42;
+        assert_malformed(&bad_version);
+
+        // First node claiming level 2 breaks contiguity.
+        let mut bad_level = good.clone();
+        bad_level[super::INDEX_WIRE_HEADER..super::INDEX_WIRE_HEADER + 4]
+            .copy_from_slice(&2u32.to_le_bytes());
+        assert_malformed(&bad_level);
+
+        // Member id beyond num_vertices.
+        let mut bad_member = good.clone();
+        let len = bad_member.len();
+        bad_member[len - 4..].copy_from_slice(&9999u32.to_le_bytes());
+        assert_malformed(&bad_member);
+
+        // Trailing garbage.
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(&[0, 0, 0, 0]);
+        assert_malformed(&trailing);
     }
 
     #[test]

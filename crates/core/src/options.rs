@@ -78,6 +78,13 @@ pub struct KvccOptions {
     /// (Lemma 14) on graphs with extreme hubs. `None` means no cap. Only
     /// affects pruning effectiveness, never correctness.
     pub max_degree_for_side_vertex_check: Option<usize>,
+    /// Cap every `LOC-CUT` max-flow at `k` augmenting paths (Lemma 6): the
+    /// probe only has to certify `κ(u, v) >= k`, so Dinic stops at the k-th
+    /// path and skips the final level BFS once the bound is met. Disabling
+    /// computes the exact local connectivity per probe — the unbounded
+    /// baseline the `pr3` benchmark compares against; output is identical
+    /// either way.
+    pub k_bounded_flow: bool,
     /// Record per-rule sweep counters (Table 2). Negligible cost; kept as an
     /// option so micro-benchmarks can exclude it.
     pub collect_statistics: bool,
@@ -104,6 +111,7 @@ impl Default for KvccOptions {
             order_by_distance: true,
             prefer_side_vertex_source: true,
             max_degree_for_side_vertex_check: Some(4096),
+            k_bounded_flow: true,
             collect_statistics: true,
             threads: 1,
         }
@@ -161,6 +169,13 @@ impl KvccOptions {
     /// Sets the worker-thread count (see [`KvccOptions::threads`]).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the k-bounded flow probe (see
+    /// [`KvccOptions::k_bounded_flow`]).
+    pub fn with_k_bounded_flow(mut self, bounded: bool) -> Self {
+        self.k_bounded_flow = bounded;
         self
     }
 }

@@ -72,6 +72,12 @@ pub fn find_vertex_cut<G: GraphView>(g: &G, k: u32) -> Option<Vec<VertexId>> {
 
 /// Whether `g` is k-vertex connected per Definition 2: more than `k` vertices
 /// and no vertex cut of size `< k`.
+///
+/// Runs the two-phase scheme through the **k-bounded boolean probe**
+/// ([`VertexFlowGraph::has_connectivity_at_least`]) rather than
+/// [`find_vertex_cut`]: verification only needs existence, so no residual
+/// min-cut is ever extracted and every probe stops at the k-th augmenting
+/// path.
 pub fn is_k_vertex_connected<G: GraphView>(g: &G, k: u32) -> bool {
     let n = g.num_vertices();
     if n as u64 <= k as u64 {
@@ -89,7 +95,31 @@ pub fn is_k_vertex_connected<G: GraphView>(g: &G, k: u32) -> bool {
     if !kvcc_graph::traversal::is_connected(g) {
         return false;
     }
-    find_vertex_cut(g, k).is_none()
+    let source = g
+        .min_degree_vertex()
+        .expect("non-empty graph has a min-degree vertex");
+    let mut flow = VertexFlowGraph::build(g);
+    // Phase 1: the source against every other non-adjacent vertex (adjacent
+    // pairs certify by Lemma 5 — the O(log deg) edge test is far cheaper
+    // than even a saturating one-phase flow, which still BFSes the network).
+    for v in g.vertices() {
+        if v == source || g.has_edge(source, v) {
+            continue;
+        }
+        if !flow.has_connectivity_at_least(source, v, k) {
+            return false;
+        }
+    }
+    // Phase 2: every non-adjacent pair of neighbours of the source (Lemma 4).
+    let neighbors = g.neighbors(source).to_vec();
+    for (i, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[i + 1..] {
+            if !g.has_edge(a, b) && !flow.has_connectivity_at_least(a, b, k) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Exact global vertex connectivity `κ(G)`.

@@ -14,34 +14,78 @@ const UNREACHED: u32 = u32::MAX;
 /// Reusable scratch space for repeated max-flow computations on the same
 /// network, avoiding per-query allocations (the enumeration issues thousands
 /// of `LOC-CUT` calls per `GLOBAL-CUT`).
+///
+/// Level validity is tracked with an **epoch stamp** per node instead of
+/// re-clearing the whole `level` array before every BFS phase: starting a
+/// phase is a single counter increment, and only the nodes the BFS actually
+/// reaches are ever written. On k-bounded probes — which touch a small
+/// residual neighbourhood of the source — this removes the `O(n)`-per-phase
+/// clearing cost that used to dominate small-cut probes on large subgraphs.
+/// The buffers themselves only ever grow (the internal `ensure` never
+/// shrinks), so one scratch reused across differently sized networks
+/// allocates nothing in steady state.
 #[derive(Clone, Debug, Default)]
 pub struct DinicScratch {
+    /// BFS level per node; only meaningful where `seen[v] == epoch`.
     level: Vec<u32>,
+    /// Epoch stamp per node marking `level[v]` as belonging to this phase.
+    seen: Vec<u32>,
+    /// Current BFS phase number (incremented by [`DinicScratch::begin_phase`]).
+    epoch: u32,
+    /// Current-arc DFS cursors (reset per phase for reached nodes only).
     iter: Vec<usize>,
     queue: Vec<NodeId>,
     path: Vec<u32>,
 }
 
 impl DinicScratch {
-    /// Creates scratch space sized for `num_nodes` nodes.
+    /// Creates scratch space pre-sized for `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        DinicScratch {
-            level: vec![UNREACHED; num_nodes],
-            iter: vec![0; num_nodes],
-            queue: Vec::with_capacity(num_nodes),
-            path: Vec::new(),
+        let mut scratch = DinicScratch::default();
+        scratch.ensure(num_nodes);
+        scratch
+    }
+
+    /// Grows every buffer to cover `num_nodes` nodes. Buffers never shrink,
+    /// so a caller that sizes the scratch from its vertex bound once (e.g.
+    /// [`crate::VertexFlowGraph::rebuild`]) pays no per-probe reallocation.
+    pub(crate) fn ensure(&mut self, num_nodes: usize) {
+        if self.level.len() < num_nodes {
+            self.level.resize(num_nodes, UNREACHED);
+            self.seen.resize(num_nodes, 0);
+            self.iter.resize(num_nodes, 0);
+            self.queue
+                .reserve(num_nodes.saturating_sub(self.queue.capacity()));
         }
     }
 
-    fn ensure(&mut self, num_nodes: usize) {
-        // Resize in place: the buffers shrink without freeing and grow
-        // amortised, so reusing one scratch across many differently sized
-        // networks (the arena pattern of the enumerator) does not allocate in
-        // steady state.
-        if self.level.len() != num_nodes {
-            self.level.resize(num_nodes, UNREACHED);
-            self.iter.resize(num_nodes, 0);
+    /// Starts a new BFS phase by bumping the epoch; all previously assigned
+    /// levels become invalid without touching their entries.
+    fn begin_phase(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once per 2^32 phases): clear the stamps for real.
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
         }
+        self.epoch += 1;
+    }
+
+    /// The level of `v` in the current phase ([`UNREACHED`] if the BFS did
+    /// not reach it or a DFS retreat invalidated it).
+    #[inline]
+    fn level_of(&self, v: NodeId) -> u32 {
+        if self.seen[v as usize] == self.epoch {
+            self.level[v as usize]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Assigns `v` its level for the current phase.
+    #[inline]
+    fn set_level(&mut self, v: NodeId, level: u32) {
+        self.seen[v as usize] = self.epoch;
+        self.level[v as usize] = level;
     }
 }
 
@@ -70,11 +114,12 @@ pub fn max_flow_with_scratch(
     }
     scratch.ensure(net.num_nodes());
     let mut flow = 0u32;
+    // Once `flow == limit` the outer condition fails immediately, so a probe
+    // that meets its bound never pays a final no-progress BFS phase.
     while flow < limit {
         if !build_levels(net, source, sink, scratch) {
             break;
         }
-        scratch.iter.iter_mut().for_each(|i| *i = 0);
         loop {
             let pushed = blocking_path(net, source, sink, limit - flow, scratch);
             if pushed == 0 {
@@ -90,33 +135,41 @@ pub fn max_flow_with_scratch(
 }
 
 /// Residual BFS from `source`; returns `true` when `sink` is reachable.
+///
+/// Starts a fresh scratch epoch instead of clearing the level array, and
+/// resets the DFS cursors only for the nodes actually reached (the queue
+/// contents) — the per-phase cost is proportional to the explored region,
+/// not to the network size.
 fn build_levels(
     net: &FlowNetwork,
     source: NodeId,
     sink: NodeId,
     scratch: &mut DinicScratch,
 ) -> bool {
-    scratch.level.iter_mut().for_each(|l| *l = UNREACHED);
+    scratch.begin_phase();
     scratch.queue.clear();
-    scratch.level[source as usize] = 0;
+    scratch.set_level(source, 0);
     scratch.queue.push(source);
     let mut head = 0;
     while head < scratch.queue.len() {
         let u = scratch.queue[head];
         head += 1;
-        let lu = scratch.level[u as usize];
+        let lu = scratch.level_of(u);
         for &a in net.arcs_from(u) {
             if net.residual(a) == 0 {
                 continue;
             }
             let v = net.arc_head(a);
-            if scratch.level[v as usize] == UNREACHED {
-                scratch.level[v as usize] = lu + 1;
+            if scratch.level_of(v) == UNREACHED {
+                scratch.set_level(v, lu + 1);
                 scratch.queue.push(v);
             }
         }
     }
-    scratch.level[sink as usize] != UNREACHED
+    for i in 0..scratch.queue.len() {
+        scratch.iter[scratch.queue[i] as usize] = 0;
+    }
+    scratch.level_of(sink) != UNREACHED
 }
 
 /// Finds one augmenting path in the level graph (iterative DFS with the
@@ -147,9 +200,7 @@ fn blocking_path(
         while scratch.iter[current as usize] < net.arcs_from(current).len() {
             let a = net.arcs_from(current)[scratch.iter[current as usize]];
             let v = net.arc_head(a);
-            if net.residual(a) > 0
-                && scratch.level[v as usize] == scratch.level[current as usize] + 1
-            {
+            if net.residual(a) > 0 && scratch.level_of(v) == scratch.level_of(current) + 1 {
                 scratch.path.push(a);
                 current = v;
                 advanced = true;
@@ -160,8 +211,8 @@ fn blocking_path(
         if advanced {
             continue;
         }
-        // Dead end: retreat.
-        scratch.level[current as usize] = UNREACHED;
+        // Dead end: retreat (invalidate the level within the current epoch).
+        scratch.set_level(current, UNREACHED);
         match scratch.path.pop() {
             Some(last) => {
                 // The tail of `last` is where we retreat to; advance its

@@ -101,7 +101,36 @@ impl VertexFlowGraph {
                     .add_arc(Self::node_out(u), Self::node_in(v), INFINITE_CAPACITY);
             }
         }
+        // Pre-size the Dinic scratch from the node bound once, so the probes
+        // that follow never grow a buffer mid-flow.
+        self.scratch.ensure(2 * n);
         self.num_vertices = n;
+    }
+
+    /// k-bounded boolean connectivity probe: `true` iff `κ(u, v) >= k`
+    /// (`u ≡ₖ v`), for any `u != v` — adjacent pairs route through their
+    /// infinite-capacity adjacency arc and therefore always certify (Lemma
+    /// 5), so no separate adjacency test is needed.
+    ///
+    /// This is the cheapest probe the arena offers: Dinic stops at the k-th
+    /// augmenting path, the level BFS is never rebuilt once the bound is met,
+    /// and — unlike [`VertexFlowGraph::local_connectivity`] — no residual
+    /// reachability pass or cut vector is ever materialised on the negative
+    /// side. Verification workloads (`is_k_vertex_connected` over every
+    /// reported component) only need the boolean, which is why they run here.
+    pub fn has_connectivity_at_least(&mut self, u: VertexId, v: VertexId, k: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        let flow = max_flow_with_scratch(
+            &mut self.net,
+            Self::node_out(u),
+            Self::node_in(v),
+            k,
+            &mut self.scratch,
+        );
+        self.net.reset();
+        flow >= k
     }
 
     /// Flow node representing the "entry" side of vertex `v`.
@@ -309,6 +338,28 @@ mod tests {
         match flow.local_connectivity_nonadjacent(0, 3, 3) {
             LocalConnectivity::Cut(cut) => assert_eq!(cut.len(), 2),
             other => panic!("expected a 2-cut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_probe_matches_the_cut_probe() {
+        let g = two_cliques_with_two_cut_vertices();
+        let mut flow = VertexFlowGraph::build(&g);
+        // Across the portals: connectivity is exactly 2.
+        assert!(flow.has_connectivity_at_least(0, 4, 2));
+        assert!(!flow.has_connectivity_at_least(0, 4, 3));
+        // Adjacent vertices certify any k through the infinite adjacency arc.
+        assert!(flow.has_connectivity_at_least(0, 1, 100));
+        // Same vertex is trivially connected.
+        assert!(flow.has_connectivity_at_least(5, 5, 7));
+        // The arena stays reusable after boolean probes.
+        assert_eq!(flow.max_flow_value(0, 4, 100), 2);
+        match flow.local_connectivity(&g, 0, 4, 3) {
+            LocalConnectivity::Cut(mut cut) => {
+                cut.sort_unstable();
+                assert_eq!(cut, vec![8, 9]);
+            }
+            other => panic!("expected the portal cut, got {other:?}"),
         }
     }
 

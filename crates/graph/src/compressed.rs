@@ -1,0 +1,382 @@
+//! Delta + varint compressed CSR adjacency.
+//!
+//! A [`crate::CsrGraph`] stores every neighbour as a fixed 4-byte id. Real
+//! adjacency rows are sorted, and — especially after a locality-improving
+//! relabelling ([`crate::reorder`]) — consecutive neighbours are numerically
+//! close, so the gaps between them are small. [`CompressedCsrGraph`] exploits
+//! that: each row stores its first neighbour as an LEB128 varint and every
+//! subsequent neighbour as the varint of the *gap minus one* (rows are
+//! strictly increasing, so gaps are `>= 1`). On reordered graphs most gaps
+//! fit in a single byte, shrinking the neighbour array by up to 4×.
+//!
+//! Decoding a row is sequential, so the type cannot hand out `&[VertexId]`
+//! slices straight from the compressed bytes. Instead every row is decoded
+//! **once, lazily, on first access** into a per-row cache
+//! ([`std::sync::OnceLock`]), which makes the [`GraphView`] implementation
+//! safe, `Sync`, and allocation-free on repeated access. The compressed bytes
+//! remain the authoritative storage and wire form; the cache is a decode
+//! accelerator whose cost shows up honestly in
+//! [`memory_bytes`](GraphView::memory_bytes). Workloads that touch every row
+//! repeatedly therefore pay full decoded memory *plus* the compressed bytes —
+//! compression wins when graphs are stored, shipped, or only partially
+//! traversed (see the README's "memory layout & performance" notes).
+
+use std::sync::OnceLock;
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use crate::view::GraphView;
+
+/// LEB128 varint codec for `u32` values, used by the compressed adjacency
+/// rows and exposed for wire formats that need the same primitive.
+pub mod varint {
+    /// Appends `value` to `out` as an LEB128 varint (1–5 bytes).
+    pub fn encode_u32(mut value: u32, out: &mut Vec<u8>) {
+        while value >= 0x80 {
+            out.push((value as u8 & 0x7F) | 0x80);
+            value >>= 7;
+        }
+        out.push(value as u8);
+    }
+
+    /// Decodes one LEB128 varint starting at `bytes[at]`, returning the value
+    /// and the position just past it; `None` on truncated or overlong input.
+    pub fn decode_u32(bytes: &[u8], at: usize) -> Option<(u32, usize)> {
+        let mut value: u32 = 0;
+        let mut shift = 0u32;
+        let mut pos = at;
+        loop {
+            let byte = *bytes.get(pos)?;
+            pos += 1;
+            let payload = (byte & 0x7F) as u32;
+            // The fifth byte may only contribute the top 4 bits of a u32.
+            if shift == 28 && payload > 0x0F {
+                return None;
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Some((value, pos));
+            }
+            shift += 7;
+            if shift > 28 {
+                return None;
+            }
+        }
+    }
+}
+
+/// Encodes one strictly-increasing neighbour row (first value verbatim, then
+/// gap-minus-one deltas), appending varints to `out`.
+///
+/// # Panics
+///
+/// Debug-asserts that `row` is strictly increasing.
+pub fn encode_row(row: &[VertexId], out: &mut Vec<u8>) {
+    debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be sorted");
+    let mut prev: Option<VertexId> = None;
+    for &v in row {
+        match prev {
+            None => varint::encode_u32(v, out),
+            Some(p) => varint::encode_u32(v - p - 1, out),
+        }
+        prev = Some(v);
+    }
+}
+
+/// Decodes a row produced by [`encode_row`] (`count` values from
+/// `bytes[at..]`), returning the values and the end position; `None` on
+/// malformed input (truncation, varint overflow, or id overflow).
+pub fn decode_row(bytes: &[u8], at: usize, count: usize) -> Option<(Vec<VertexId>, usize)> {
+    let mut row = Vec::with_capacity(count);
+    let mut pos = at;
+    let mut prev: Option<VertexId> = None;
+    for _ in 0..count {
+        let (raw, next) = varint::decode_u32(bytes, pos)?;
+        pos = next;
+        let value = match prev {
+            None => raw,
+            Some(p) => p.checked_add(raw)?.checked_add(1)?,
+        };
+        row.push(value);
+        prev = Some(value);
+    }
+    Some((row, pos))
+}
+
+/// An undirected graph whose neighbour lists are stored delta + varint
+/// compressed, with a lazy per-row decode cache (see the [module
+/// docs](self)).
+///
+/// Implements [`GraphView`], so every generic algorithm in the workspace —
+/// enumeration, hierarchy, queries, verification, the `kecc` baseline, index
+/// builds — runs on it unchanged and produces byte-identical output to the
+/// uncompressed [`CsrGraph`] (asserted by the substrate-parity suite).
+#[derive(Debug, Default)]
+pub struct CompressedCsrGraph {
+    /// `data[byte_offsets[v] as usize..byte_offsets[v + 1] as usize]` is the
+    /// varint stream of row `v`.
+    byte_offsets: Vec<u32>,
+    /// Concatenated varint row streams.
+    data: Vec<u8>,
+    /// Per-vertex neighbour count (needed to decode and for O(1) degrees).
+    degrees: Vec<u32>,
+    /// Number of undirected edges.
+    num_edges: usize,
+    /// Lazily decoded rows; `OnceLock` keeps `neighbors(&self)` safe.
+    rows: Vec<OnceLock<Box<[VertexId]>>>,
+}
+
+impl Clone for CompressedCsrGraph {
+    /// Clones the compressed payload only; the decode cache restarts cold.
+    fn clone(&self) -> Self {
+        CompressedCsrGraph {
+            byte_offsets: self.byte_offsets.clone(),
+            data: self.data.clone(),
+            degrees: self.degrees.clone(),
+            num_edges: self.num_edges,
+            rows: (0..self.degrees.len()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+}
+
+impl CompressedCsrGraph {
+    /// Compresses a [`CsrGraph`].
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        Self::from_view(g)
+    }
+
+    /// Compresses any [`GraphView`].
+    pub fn from_view<G: GraphView>(g: &G) -> Self {
+        let n = g.num_vertices();
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        let mut degrees = Vec::with_capacity(n);
+        // Small gaps dominate, so reserve roughly one byte per entry plus
+        // headroom for the per-row absolute first values.
+        let mut data = Vec::with_capacity(2 * g.num_edges() + n);
+        byte_offsets.push(0u32);
+        for v in 0..n as VertexId {
+            let row = g.neighbors(v);
+            encode_row(row, &mut data);
+            degrees.push(row.len() as u32);
+            byte_offsets.push(data.len() as u32);
+        }
+        CompressedCsrGraph {
+            byte_offsets,
+            data,
+            degrees,
+            num_edges: g.num_edges(),
+            rows: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Decompresses back into plain CSR form (used by round-trip tests and by
+    /// callers that decide compression does not pay for their workload).
+    pub fn to_csr(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * self.num_edges);
+        offsets.push(0u32);
+        for v in 0..n as VertexId {
+            neighbors.extend_from_slice(self.neighbors(v));
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph::from_parts(offsets, neighbors)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.degrees.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of `v`, answered from the count array without decoding.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.degrees[v as usize] as usize
+    }
+
+    /// The neighbour slice of `v`, decoding the row on first access.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        self.rows[v as usize].get_or_init(|| {
+            let start = self.byte_offsets[v as usize] as usize;
+            let (row, end) = decode_row(&self.data, start, self.degrees[v as usize] as usize)
+                .expect("internal varint stream is valid by construction");
+            debug_assert_eq!(end, self.byte_offsets[v as usize + 1] as usize);
+            row.into_boxed_slice()
+        })
+    }
+
+    /// Size of the compressed adjacency payload in bytes (the varint streams
+    /// plus offsets and counts, excluding the decode cache).
+    pub fn compressed_bytes(&self) -> usize {
+        self.data.len()
+            + self.byte_offsets.len() * std::mem::size_of::<u32>()
+            + self.degrees.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Ratio of the uncompressed neighbour-array bytes (`4 · 2m`) to the
+    /// varint streams; `> 1` means compression pays for storage. The offset
+    /// and count arrays are excluded — both representations carry an
+    /// `O(n)`-word index next to the neighbour payload.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = (2 * self.num_edges * std::mem::size_of::<VertexId>()) as f64;
+        let packed = self.data.len() as f64;
+        if packed == 0.0 {
+            1.0
+        } else {
+            raw / packed
+        }
+    }
+
+    /// Number of rows currently materialised in the decode cache.
+    pub fn cached_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.get().is_some()).count()
+    }
+}
+
+impl GraphView for CompressedCsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CompressedCsrGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        CompressedCsrGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        CompressedCsrGraph::neighbors(self, v)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CompressedCsrGraph::degree(self, v)
+    }
+
+    /// Compressed payload plus whatever the decode cache currently holds, so
+    /// the Fig. 12-style trackers see the true cost of the representation.
+    fn memory_bytes(&self) -> usize {
+        self.compressed_bytes()
+            + self.rows.capacity() * std::mem::size_of::<OnceLock<Box<[VertexId]>>>()
+            + self
+                .rows
+                .iter()
+                .filter_map(|r| r.get())
+                .map(|row| std::mem::size_of_val(&**row))
+                .sum::<usize>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+impl From<&CsrGraph> for CompressedCsrGraph {
+    fn from(g: &CsrGraph) -> Self {
+        CompressedCsrGraph::from_csr(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> CsrGraph {
+        CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap()
+    }
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 16_383, 16_384, u32::MAX - 1, u32::MAX];
+        for &v in &values {
+            buf.clear();
+            varint::encode_u32(v, &mut buf);
+            assert_eq!(varint::decode_u32(&buf, 0), Some((v, buf.len())), "{v}");
+        }
+        // Truncated stream.
+        assert_eq!(varint::decode_u32(&[0x80], 0), None);
+        // Overlong stream (6 continuation bytes).
+        assert_eq!(
+            varint::decode_u32(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], 0),
+            None
+        );
+        // Fifth byte overflowing the u32 value space.
+        assert_eq!(varint::decode_u32(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F], 0), None);
+    }
+
+    #[test]
+    fn row_codec_roundtrip() {
+        let mut buf = Vec::new();
+        let rows: Vec<Vec<VertexId>> = vec![
+            vec![],
+            vec![7],
+            vec![0, 1, 2, 3],
+            vec![5, 900, 901, 1_000_000],
+        ];
+        for row in rows {
+            buf.clear();
+            encode_row(&row, &mut buf);
+            let (back, end) = decode_row(&buf, 0, row.len()).unwrap();
+            assert_eq!(back, row);
+            assert_eq!(end, buf.len());
+        }
+        assert_eq!(decode_row(&[0x03], 0, 2), None, "truncation is detected");
+    }
+
+    #[test]
+    fn compressed_graph_matches_plain_csr() {
+        let g = two_triangles();
+        let c = CompressedCsrGraph::from_csr(&g);
+        assert_eq!(c.num_vertices(), g.num_vertices());
+        assert_eq!(c.num_edges(), g.num_edges());
+        assert_eq!(c.cached_rows(), 0, "cache starts cold");
+        for v in g.vertices() {
+            assert_eq!(c.neighbors(v), g.neighbors(v));
+            assert_eq!(GraphView::degree(&c, v), g.degree(v));
+        }
+        assert_eq!(c.cached_rows(), 5);
+        assert_eq!(c.to_csr(), g);
+        assert!(GraphView::has_edge(&c, 3, 4));
+        assert!(!GraphView::has_edge(&c, 0, 4));
+        assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn small_gap_rows_compress_below_raw_size() {
+        // A long path: every row is 1–2 neighbours at distance 1, so the
+        // varint payload is tiny compared to 4 bytes per entry.
+        let n = 2_000u32;
+        let g = CsrGraph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1))).unwrap();
+        let c = CompressedCsrGraph::from_csr(&g);
+        assert!(c.compression_ratio() > 1.0, "{}", c.compression_ratio());
+        assert_eq!(c.to_csr(), g);
+    }
+
+    #[test]
+    fn clone_restarts_the_cache_but_keeps_the_payload() {
+        let g = two_triangles();
+        let c = CompressedCsrGraph::from_csr(&g);
+        let _ = c.neighbors(2);
+        assert_eq!(c.cached_rows(), 1);
+        let cloned = c.clone();
+        assert_eq!(cloned.cached_rows(), 0);
+        assert_eq!(cloned.to_csr(), g);
+    }
+
+    #[test]
+    fn empty_graphs_work() {
+        let empty = CompressedCsrGraph::from_csr(&CsrGraph::new(0));
+        assert!(GraphView::is_empty(&empty));
+        assert_eq!(empty.compression_ratio(), 1.0);
+        let isolated = CompressedCsrGraph::from_csr(&CsrGraph::new(3));
+        assert_eq!(isolated.num_vertices(), 3);
+        assert_eq!(isolated.neighbors(1), &[] as &[VertexId]);
+    }
+}

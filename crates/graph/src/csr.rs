@@ -175,6 +175,20 @@ impl CsrGraph {
         ))
     }
 
+    /// Assembles a graph directly from its two flat arrays. Internal
+    /// constructor for passes that produce already-valid CSR data (reordering,
+    /// varint decompression); the [`GraphView`] invariants are only
+    /// debug-asserted, so every crate-internal producer must guarantee them.
+    pub(crate) fn from_parts(offsets: Vec<u32>, neighbors: Vec<VertexId>) -> Self {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(
+            *offsets.last().expect("non-empty") as usize,
+            neighbors.len()
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        CsrGraph { offsets, neighbors }
+    }
+
     /// Copies any [`GraphView`] into CSR form.
     pub fn from_view<G: GraphView>(g: &G) -> Self {
         let n = g.num_vertices();

@@ -9,6 +9,11 @@
 //!   used by the recursive partitioning.
 //! * [`CsrGraph`] — the cache-friendly compressed-sparse-row representation
 //!   (two flat arrays) used for all enumeration work items.
+//! * [`reorder`] — locality-improving vertex relabellings (degree-descending,
+//!   BFS, hybrid) with both id maps, applied via [`csr::CsrGraph::reordered`].
+//! * [`CompressedCsrGraph`] — delta + varint compressed adjacency with a lazy
+//!   per-row decode cache; a drop-in [`GraphView`] for storage-bound
+//!   deployments.
 //! * [`UndirectedGraph`] — a compact, sorted adjacency-list representation with
 //!   `u32` vertex identifiers, cheap induced-subgraph extraction and id
 //!   remapping ([`graph::InducedSubgraph`]).
@@ -29,20 +34,24 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod io;
 pub mod kcore;
 pub mod metrics;
+pub mod reorder;
 pub mod scan_first;
 pub mod traversal;
 pub mod types;
 pub mod view;
 
 pub use builder::GraphBuilder;
+pub use compressed::CompressedCsrGraph;
 pub use csr::{CsrGraph, CsrSubgraph, EdgeIngestStats};
 pub use error::GraphError;
 pub use graph::{InducedSubgraph, UndirectedGraph};
+pub use reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
 pub use types::{VertexId, INVALID_VERTEX};
 pub use view::{GraphView, SubgraphView};

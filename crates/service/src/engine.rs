@@ -7,18 +7,53 @@ use std::sync::{Arc, Mutex, OnceLock};
 use kvcc::global_cut::{global_cut_with_scratch, CutScratch};
 use kvcc::index::ConnectivityIndex;
 use kvcc::stats::EnumerationStats;
-use kvcc::{enumerate_kvccs, KvccOptions};
+use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccOptions};
 use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
 use kvcc_graph::kcore::k_core_vertices;
+use kvcc_graph::reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
 use kvcc_graph::traversal::is_connected;
-use kvcc_graph::{CsrGraph, GraphView, SubgraphView};
+use kvcc_graph::{CsrGraph, GraphView, SubgraphView, VertexId};
 
 use crate::protocol::{GraphId, QueryRequest, QueryResponse, ServiceError};
 use crate::wire::CsrWorkItem;
 
+/// How the engine lays out hot graphs in memory.
+///
+/// Everything behind the protocol boundary may run in a relabelled id space
+/// for cache locality; the engine translates incoming vertex ids on the way
+/// in and result ids on the way out, so responses are **always** expressed in
+/// the ids the graph was loaded with, whatever the policy. Orderings are
+/// deterministic functions of the graph, so the same graph + policy always
+/// produces the same internal space (which is what lets a persisted index be
+/// restored across restarts, see [`ServiceEngine::install_index_bytes`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Store graphs with the ids they were loaded with.
+    #[default]
+    Preserve,
+    /// Relabel by non-ascending degree (hot rows share cache lines).
+    DegreeDescending,
+    /// Relabel in per-component BFS order (bandwidth reduction).
+    Bfs,
+    /// Per-component BFS seeded at each component's maximum-degree vertex.
+    Hybrid,
+}
+
+impl OrderingPolicy {
+    /// The reordering strategy to apply, or `None` for [`Self::Preserve`].
+    fn strategy(self) -> Option<OrderingStrategy> {
+        match self {
+            OrderingPolicy::Preserve => None,
+            OrderingPolicy::DegreeDescending => Some(OrderingStrategy::DegreeDescending),
+            OrderingPolicy::Bfs => Some(OrderingStrategy::Bfs),
+            OrderingPolicy::Hybrid => Some(OrderingStrategy::Hybrid),
+        }
+    }
+}
+
 /// Engine tuning knobs. The default uses one batch worker per available
-/// core (`threads: 0`), the paper's `VCCE*` enumeration options and no
-/// index depth cap.
+/// core (`threads: 0`), the paper's `VCCE*` enumeration options, no
+/// index depth cap and the loaded vertex order.
 #[derive(Clone, Debug, Default)]
 pub struct EngineConfig {
     /// Worker threads for [`ServiceEngine::execute_batch`]: `0` uses
@@ -33,12 +68,20 @@ pub struct EngineConfig {
     /// [`crate::QueryRequest::VertexConnectivityNumber`]) saturate at the
     /// cap.
     pub index_max_k: Option<u32>,
+    /// Memory layout of hot graphs (see [`OrderingPolicy`]). Responses are
+    /// identical under every policy.
+    pub ordering: OrderingPolicy,
 }
 
-/// One loaded graph: the shared CSR form plus its lazily built index.
+/// One loaded graph: the shared CSR form (possibly relabelled per the
+/// engine's [`OrderingPolicy`]), the id maps bridging the internal and
+/// loaded spaces, and the lazily built index (internal id space).
 struct GraphSlot {
     name: String,
     csr: CsrGraph,
+    /// `Some` when the engine stores the graph reordered; `None` means the
+    /// internal ids equal the loaded ids.
+    ordering: Option<VertexOrdering>,
     index: OnceLock<ConnectivityIndex>,
 }
 
@@ -54,6 +97,49 @@ impl GraphSlot {
             .map_err(ServiceError::from)?;
         let _ = self.index.set(built);
         Ok(self.index.get().expect("just set"))
+    }
+
+    /// Translates a caller-supplied (loaded-space) vertex id into the slot's
+    /// internal space. The caller must have range-checked `v`.
+    #[inline]
+    fn to_internal(&self, v: VertexId) -> VertexId {
+        match &self.ordering {
+            Some(ordering) => ordering.to_new(v),
+            None => v,
+        }
+    }
+
+    /// Translates an internal vertex id back into the loaded space.
+    #[inline]
+    fn to_external(&self, v: VertexId) -> VertexId {
+        match &self.ordering {
+            Some(ordering) => ordering.to_old(v),
+            None => v,
+        }
+    }
+
+    /// Maps a component list out of the internal space, restoring the
+    /// canonical (loaded-id, sorted) form the protocol promises: member
+    /// lists sort inside `KVertexConnectedComponent::new`, and the list
+    /// itself is re-sorted because relabelling permutes the smallest-member
+    /// order.
+    fn components_to_external(
+        &self,
+        components: Vec<KVertexConnectedComponent>,
+    ) -> Vec<KVertexConnectedComponent> {
+        if self.ordering.is_none() {
+            return components;
+        }
+        let mut mapped: Vec<KVertexConnectedComponent> = components
+            .into_iter()
+            .map(|c| {
+                KVertexConnectedComponent::new(
+                    c.vertices().iter().map(|&v| self.to_external(v)).collect(),
+                )
+            })
+            .collect();
+        mapped.sort();
+        mapped
     }
 }
 
@@ -109,11 +195,22 @@ impl ServiceEngine {
         self.load_csr(name, CsrGraph::from_view(graph))
     }
 
-    /// Loads an already-CSR graph without copying it.
+    /// Loads an already-CSR graph without copying it. When the engine's
+    /// [`OrderingPolicy`] is not [`OrderingPolicy::Preserve`] the graph is
+    /// stored relabelled; every query still speaks loaded ids.
     pub fn load_csr(&self, name: &str, csr: CsrGraph) -> GraphId {
+        let (csr, ordering) = match self.config.ordering.strategy() {
+            Some(strategy) => {
+                let ordering = compute_ordering(&csr, strategy);
+                let reordered = csr.reordered(&ordering);
+                (reordered, (!ordering.is_identity()).then_some(ordering))
+            }
+            None => (csr, None),
+        };
         let slot = Arc::new(GraphSlot {
             name: name.to_string(),
             csr,
+            ordering,
             index: OnceLock::new(),
         });
         let mut graphs = self.graphs.lock().unwrap();
@@ -150,6 +247,60 @@ impl ServiceEngine {
     pub fn build_index(&self, graph: GraphId) -> Result<(), ServiceError> {
         let slot = self.slot(graph)?;
         slot.index_or_build(&self.config).map(|_| ())
+    }
+
+    /// Serialises a graph's connectivity index (building it first if
+    /// needed) for persistence. Restoring the bytes into a restarted engine
+    /// via [`ServiceEngine::install_index_bytes`] skips the hierarchy build
+    /// entirely.
+    ///
+    /// The bytes are expressed in the slot's **internal** id space, so they
+    /// must be restored into an engine using the same [`OrderingPolicy`]
+    /// (orderings are deterministic, making that reproducible).
+    pub fn index_bytes(&self, graph: GraphId) -> Result<Vec<u8>, ServiceError> {
+        let slot = self.slot(graph)?;
+        slot.index_or_build(&self.config).map(|ix| ix.to_bytes())
+    }
+
+    /// Installs a previously persisted connectivity index
+    /// ([`ServiceEngine::index_bytes`]) into a loaded graph, validating the
+    /// buffer against the slot: the declared vertex count is checked from
+    /// the header **before** anything is allocated, and every component of
+    /// the parsed forest is structurally spot-checked against the slot's
+    /// adjacency (each member needs `min(k, |C|−1)` neighbours inside its
+    /// component). The spot-check is not a full k-connectivity
+    /// re-verification, but an index persisted from a different graph — or
+    /// from the same graph under a different [`OrderingPolicy`] — fails it
+    /// with overwhelming probability instead of silently answering wrong.
+    /// Returns an error when a (possibly different) index is already built
+    /// for the slot — the engine never silently swaps a live index.
+    pub fn install_index_bytes(&self, graph: GraphId, bytes: &[u8]) -> Result<(), ServiceError> {
+        let slot = self.slot(graph)?;
+        match ConnectivityIndex::peek_num_vertices(bytes) {
+            Some(n) if n == slot.csr.num_vertices() => {}
+            Some(_) => {
+                return Err(ServiceError::Enumeration(
+                    "persisted index does not match the graph's vertex count".into(),
+                ))
+            }
+            None => {
+                return Err(ServiceError::Enumeration(
+                    "not a connectivity-index buffer".into(),
+                ))
+            }
+        }
+        let index = ConnectivityIndex::from_bytes(bytes)
+            .map_err(|e| ServiceError::Enumeration(e.to_string()))?;
+        if !index_matches_graph(&slot.csr, &index) {
+            return Err(ServiceError::Enumeration(
+                "persisted index is inconsistent with the loaded graph \
+                 (different graph or ordering policy?)"
+                    .into(),
+            ));
+        }
+        slot.index
+            .set(index)
+            .map_err(|_| ServiceError::Enumeration("an index is already installed".into()))
     }
 
     /// Executes one request (on the caller's thread, with a throwaway
@@ -231,7 +382,11 @@ impl ServiceEngine {
                 continue;
             }
             let sub = CsrGraph::extract_induced(g, &component, &mut map);
-            items.push(CsrWorkItem::new(sub, component));
+            // Work items cross the protocol boundary, so their id maps point
+            // at loaded ids even when the slot stores the graph reordered.
+            let to_original: Vec<VertexId> =
+                component.iter().map(|&v| slot.to_external(v)).collect();
+            items.push(CsrWorkItem::new(sub, to_original));
         }
         Ok(items)
     }
@@ -251,34 +406,56 @@ impl ServiceEngine {
             Err(e) => return QueryResponse::Error(e),
         };
         let g = &slot.csr;
+        // Vertex ids arriving in requests live in the loaded id space; the
+        // slot may store the graph relabelled, so ids are translated on the
+        // way in (after range checks — the permutation preserves `n`) and
+        // every id-carrying result is translated back before it leaves.
         match *request {
             QueryRequest::EnumerateKvccs { k, .. } => {
                 // A depth-capped index has never enumerated levels beyond its
                 // cap, so only answer from it when it covers `k`.
                 if let Some(index) = slot.index.get().filter(|ix| k >= 1 && ix.covers(k)) {
-                    return QueryResponse::Components(index.components_at(k).to_vec());
+                    return QueryResponse::Components(
+                        slot.components_to_external(index.components_at(k).to_vec()),
+                    );
                 }
                 match enumerate_kvccs(g, k, &self.config.enumeration) {
-                    Ok(result) => QueryResponse::Components(result.components().to_vec()),
+                    Ok(result) => QueryResponse::Components(
+                        slot.components_to_external(result.components().to_vec()),
+                    ),
                     Err(e) => QueryResponse::Error(e.into()),
                 }
             }
             QueryRequest::KvccsContaining { seed, k, .. } => {
+                if seed as usize >= g.num_vertices() {
+                    return QueryResponse::Error(ServiceError::VertexOutOfRange { vertex: seed });
+                }
+                let seed = slot.to_internal(seed);
                 match slot.index_or_build(&self.config) {
                     Ok(ix) if ix.covers(k) => match ix.kvccs_containing(seed, k) {
-                        Ok(components) => QueryResponse::Components(components),
+                        Ok(components) => {
+                            QueryResponse::Components(slot.components_to_external(components))
+                        }
                         Err(e) => QueryResponse::Error(e.into()),
                     },
                     // Beyond the index cap: fall back to the direct localized
                     // query instead of wrongly answering "no components".
                     Ok(_) => match kvcc::kvccs_containing(g, seed, k, &self.config.enumeration) {
-                        Ok(components) => QueryResponse::Components(components),
+                        Ok(components) => {
+                            QueryResponse::Components(slot.components_to_external(components))
+                        }
                         Err(e) => QueryResponse::Error(e.into()),
                     },
                     Err(e) => QueryResponse::Error(e),
                 }
             }
             QueryRequest::MaxConnectivity { u, v, .. } => {
+                for vertex in [u, v] {
+                    if vertex as usize >= g.num_vertices() {
+                        return QueryResponse::Error(ServiceError::VertexOutOfRange { vertex });
+                    }
+                }
+                let (u, v) = (slot.to_internal(u), slot.to_internal(v));
                 match slot
                     .index_or_build(&self.config)
                     .and_then(|ix| ix.max_connectivity(u, v).map_err(ServiceError::from))
@@ -291,6 +468,7 @@ impl ServiceEngine {
                 if v as usize >= g.num_vertices() {
                     return QueryResponse::Error(ServiceError::VertexOutOfRange { vertex: v });
                 }
+                let v = slot.to_internal(v);
                 match slot.index_or_build(&self.config) {
                     Ok(ix) => QueryResponse::Connectivity(ix.max_connectivity_of(v)),
                     Err(e) => QueryResponse::Error(e),
@@ -312,7 +490,12 @@ impl ServiceEngine {
                     &mut scratch.stats,
                     &mut scratch.cut,
                 );
-                QueryResponse::Cut(outcome.cut)
+                QueryResponse::Cut(outcome.cut.map(|cut| {
+                    let mut cut: Vec<VertexId> =
+                        cut.into_iter().map(|v| slot.to_external(v)).collect();
+                    cut.sort_unstable();
+                    cut
+                }))
             }
             QueryRequest::LocalConnectivity { u, v, limit, .. } => {
                 for vertex in [u, v] {
@@ -320,6 +503,7 @@ impl ServiceEngine {
                         return QueryResponse::Error(ServiceError::VertexOutOfRange { vertex });
                     }
                 }
+                let (u, v) = (slot.to_internal(u), slot.to_internal(v));
                 scratch.flow.rebuild(g);
                 let value = match scratch.flow.local_connectivity(g, u, v, limit) {
                     LocalConnectivity::AtLeast(value) => value,
@@ -341,6 +525,40 @@ impl ServiceEngine {
             }
         }
     }
+}
+
+/// Structural spot-check of a deserialised index against a graph's
+/// adjacency: every member of a level-`k` component must have at least
+/// `min(k, |C|−1)` neighbours inside the component (a necessary condition of
+/// k-vertex connectivity). Linear in the total member count times degree; a
+/// forest persisted from a different graph or id space essentially never
+/// satisfies it.
+fn index_matches_graph(csr: &CsrGraph, index: &ConnectivityIndex) -> bool {
+    let mut inside = vec![false; csr.num_vertices()];
+    for k in 1..=index.max_k() {
+        for component in index.components_at(k) {
+            let members = component.vertices();
+            for &v in members {
+                inside[v as usize] = true;
+            }
+            let need = (k as usize).min(members.len().saturating_sub(1));
+            let ok = members.iter().all(|&v| {
+                csr.neighbors(v)
+                    .iter()
+                    .filter(|&&w| inside[w as usize])
+                    .take(need)
+                    .count()
+                    >= need
+            });
+            for &v in members {
+                inside[v as usize] = false;
+            }
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Resolves [`EngineConfig::threads`] to a concrete worker count.
@@ -536,6 +754,136 @@ mod tests {
             engine.execute(&QueryRequest::VertexConnectivityNumber { graph: id, v: 6 }),
             QueryResponse::Connectivity(1)
         );
+    }
+
+    /// Every request shape against the mixed graph, covering hits, misses
+    /// and out-of-range errors.
+    fn probe_requests(id: GraphId) -> Vec<QueryRequest> {
+        let mut requests = vec![
+            QueryRequest::GraphStats { graph: id },
+            QueryRequest::GlobalCutProbe { graph: id, k: 2 },
+            QueryRequest::VertexConnectivityNumber { graph: id, v: 6 },
+            QueryRequest::VertexConnectivityNumber { graph: id, v: 99 },
+            QueryRequest::LocalConnectivity {
+                graph: id,
+                u: 0,
+                v: 3,
+                limit: 5,
+            },
+        ];
+        for k in 1..=3u32 {
+            requests.push(QueryRequest::EnumerateKvccs { graph: id, k });
+            for seed in 0..9 {
+                requests.push(QueryRequest::KvccsContaining { graph: id, seed, k });
+            }
+        }
+        for u in 0..9u32 {
+            for v in 0..9u32 {
+                requests.push(QueryRequest::MaxConnectivity { graph: id, u, v });
+            }
+        }
+        requests
+    }
+
+    #[test]
+    fn every_ordering_policy_answers_identically() {
+        let baseline = ServiceEngine::new(EngineConfig::default());
+        let base_id = baseline.load_graph("mixed", &mixed_graph());
+        let expected = baseline.execute_batch(&probe_requests(base_id));
+        for ordering in [
+            OrderingPolicy::DegreeDescending,
+            OrderingPolicy::Bfs,
+            OrderingPolicy::Hybrid,
+        ] {
+            let engine = ServiceEngine::new(EngineConfig {
+                ordering,
+                ..EngineConfig::default()
+            });
+            let id = engine.load_graph("mixed", &mixed_graph());
+            let responses = engine.execute_batch(&probe_requests(id));
+            assert_eq!(responses, expected, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn reordered_partition_work_ships_loaded_ids() {
+        let engine = ServiceEngine::new(EngineConfig {
+            ordering: OrderingPolicy::Hybrid,
+            ..EngineConfig::default()
+        });
+        let id = engine.load_graph("mixed", &mixed_graph());
+        let g = mixed_graph();
+        for k in 1..=3u32 {
+            let items = engine.partition_work(id, k).unwrap();
+            let mut merged: Vec<KVertexConnectedComponent> = Vec::new();
+            for item in &items {
+                let shipped = CsrWorkItem::from_bytes(&item.to_bytes()).unwrap();
+                merged.extend(run_work_item(&shipped, k, &KvccOptions::default()).unwrap());
+            }
+            merged.sort();
+            let direct = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(merged, direct.components().to_vec(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn persisted_index_survives_a_restart() {
+        for ordering in [OrderingPolicy::Preserve, OrderingPolicy::Hybrid] {
+            let config = EngineConfig {
+                ordering,
+                ..EngineConfig::default()
+            };
+            let engine = ServiceEngine::new(config.clone());
+            let id = engine.load_graph("mixed", &mixed_graph());
+            let bytes = engine.index_bytes(id).unwrap();
+            let expected = engine.execute_batch(&probe_requests(id));
+
+            // "Restart": a fresh engine with the same policy restores the
+            // persisted index instead of rebuilding the hierarchy.
+            let restarted = ServiceEngine::new(config);
+            let new_id = restarted.load_graph("mixed", &mixed_graph());
+            restarted.install_index_bytes(new_id, &bytes).unwrap();
+            assert!(matches!(
+                restarted.execute(&QueryRequest::GraphStats { graph: new_id }),
+                QueryResponse::Stats { indexed: true, .. }
+            ));
+            let responses = restarted.execute_batch(&probe_requests(new_id));
+            assert_eq!(responses, expected, "{ordering:?}");
+
+            // A second install is refused; corrupted buffers are rejected.
+            assert!(restarted.install_index_bytes(new_id, &bytes).is_err());
+            let other = restarted.load_graph("mixed", &mixed_graph());
+            assert!(restarted.install_index_bytes(other, &bytes[..5]).is_err());
+            // A mismatched graph is rejected too.
+            let small = restarted.load_graph(
+                "small",
+                &UndirectedGraph::from_edges(3, vec![(0, 1), (1, 2)]).unwrap(),
+            );
+            assert!(restarted.install_index_bytes(small, &bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn cross_policy_index_install_is_rejected() {
+        // An index persisted under Preserve speaks loaded ids; a
+        // degree-reordered slot stores different internal ids, so the
+        // structural spot-check must refuse the install instead of letting
+        // every subsequent query answer wrong.
+        let preserve = ServiceEngine::new(EngineConfig::default());
+        let a = preserve.load_graph("mixed", &mixed_graph());
+        let bytes = preserve.index_bytes(a).unwrap();
+        let reordered = ServiceEngine::new(EngineConfig {
+            ordering: OrderingPolicy::DegreeDescending,
+            ..EngineConfig::default()
+        });
+        let b = reordered.load_graph("mixed", &mixed_graph());
+        assert!(reordered.install_index_bytes(b, &bytes).is_err());
+        // An index from an unrelated graph of the same size is refused too.
+        let other = preserve.load_graph(
+            "path",
+            &UndirectedGraph::from_edges(9, (0..8u32).map(|i| (i, i + 1))).unwrap(),
+        );
+        assert!(preserve.install_index_bytes(other, &bytes).is_err());
     }
 
     #[test]

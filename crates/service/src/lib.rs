@@ -47,7 +47,7 @@ pub mod engine;
 pub mod protocol;
 pub mod wire;
 
-pub use engine::{EngineConfig, ServiceEngine};
+pub use engine::{EngineConfig, OrderingPolicy, ServiceEngine};
 pub use protocol::{GraphId, QueryRequest, QueryResponse, ServiceError};
 pub use wire::{run_work_item, CsrWorkItem};
 

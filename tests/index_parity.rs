@@ -184,3 +184,49 @@ fn pairwise_max_connectivity_matches_brute_force_on_figure1() {
         }
     }
 }
+
+#[test]
+fn persisted_index_round_trips_on_every_suite() {
+    // The service-restart path: serialise the index, read it back, and
+    // require every query surface to answer byte-identically to the freshly
+    // built index on all three acceptance suites.
+    for (name, g) in suites() {
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let back = ConnectivityIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert_eq!(back.max_k(), index.max_k(), "{name}");
+        assert_eq!(back.num_nodes(), index.num_nodes(), "{name}");
+        assert_eq!(back.num_vertices(), index.num_vertices(), "{name}");
+        for k in 0..=index.max_k() + 1 {
+            assert_eq!(
+                back.components_at(k),
+                index.components_at(k),
+                "{name}: level {k}"
+            );
+        }
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(
+                back.max_connectivity_of(v),
+                index.max_connectivity_of(v),
+                "{name}: vertex {v}"
+            );
+            for k in 1..=index.max_k() {
+                assert_eq!(
+                    back.kvccs_containing(v, k).unwrap(),
+                    index.kvccs_containing(v, k).unwrap(),
+                    "{name}: seed {v}, k {k}"
+                );
+            }
+        }
+        // A pairwise sample over the LCA path.
+        let n = g.num_vertices() as VertexId;
+        for u in (0..n).step_by(3) {
+            for v in (0..n).step_by(5) {
+                assert_eq!(
+                    back.max_connectivity(u, v).unwrap(),
+                    index.max_connectivity(u, v).unwrap(),
+                    "{name}: pair ({u}, {v})"
+                );
+            }
+        }
+    }
+}

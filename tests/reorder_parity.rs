@@ -1,0 +1,213 @@
+//! Substrate parity for the locality-optimized layouts.
+//!
+//! The reordered and compressed CSR substrates must be invisible to the
+//! enumeration: on the planted-partition, Fig. 1 and collaboration suites
+//! (plus deterministic random families), enumerating on
+//!
+//! * the hybrid/BFS/degree-reordered [`CsrGraph`] (output mapped back
+//!   through the [`VertexOrdering`]), and
+//! * the delta+varint [`CompressedCsrGraph`]
+//!
+//! must be **byte-identical** to the baseline CSR enumeration, under both
+//! the k-bounded and the exact flow probe. A randomized round-trip fuzz of
+//! the varint delta codec rides along.
+
+use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccOptions};
+use kvcc_datasets::ba::barabasi_albert;
+use kvcc_datasets::collaboration::{collaboration_graph, CollaborationConfig};
+use kvcc_datasets::er::gnm;
+use kvcc_datasets::figure1::figure1_graph;
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::compressed::{decode_row, encode_row, varint};
+use kvcc_graph::reorder::{compute_ordering, OrderingStrategy};
+use kvcc_graph::{CompressedCsrGraph, CsrGraph, GraphView, UndirectedGraph, VertexId};
+
+/// The dataset suites the acceptance criteria name, plus random families.
+fn suites() -> Vec<(String, UndirectedGraph)> {
+    let planted = planted_communities(&PlantedConfig {
+        num_communities: 4,
+        chain_length: 2,
+        community_size: (8, 10),
+        background_vertices: 250,
+        seed: 77,
+        ..PlantedConfig::default()
+    });
+    let collab = collaboration_graph(&CollaborationConfig {
+        num_groups: 4,
+        group_size: (6, 8),
+        pendant_collaborators: 8,
+        ..CollaborationConfig::default()
+    });
+    let mut graphs = vec![
+        ("planted".to_string(), planted.graph),
+        ("figure1".to_string(), figure1_graph().graph),
+        ("collaboration".to_string(), collab.graph),
+    ];
+    for seed in 0..3u64 {
+        let n = 40 + seed as usize * 21;
+        graphs.push((format!("er-{seed}"), gnm(n, 3 * n, 0x3E ^ seed)));
+        graphs.push((format!("ba-{seed}"), barabasi_albert(n, 3, 0x5B ^ seed)));
+    }
+    graphs
+}
+
+const STRATEGIES: [OrderingStrategy; 3] = [
+    OrderingStrategy::DegreeDescending,
+    OrderingStrategy::Bfs,
+    OrderingStrategy::Hybrid,
+];
+
+#[test]
+fn reordered_enumeration_is_byte_identical_to_baseline() {
+    for (name, g) in suites() {
+        let csr = CsrGraph::from_view(&g);
+        for k in 2u32..=4 {
+            let baseline = enumerate_kvccs(&csr, k, &KvccOptions::default()).unwrap();
+            for strategy in STRATEGIES {
+                let ordering = compute_ordering(&csr, strategy);
+                let reordered = csr.reordered(&ordering);
+                let result = enumerate_kvccs(&reordered, k, &KvccOptions::default()).unwrap();
+                let mut mapped: Vec<KVertexConnectedComponent> = result
+                    .components()
+                    .iter()
+                    .map(|c| {
+                        KVertexConnectedComponent::new(
+                            c.vertices().iter().map(|&v| ordering.to_old(v)).collect(),
+                        )
+                    })
+                    .collect();
+                mapped.sort();
+                assert_eq!(
+                    mapped.as_slice(),
+                    baseline.components(),
+                    "{name}, k {k}, {strategy:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compressed_enumeration_is_byte_identical_to_baseline() {
+    for (name, g) in suites() {
+        let csr = CsrGraph::from_view(&g);
+        let compressed = CompressedCsrGraph::from_csr(&csr);
+        assert_eq!(compressed.to_csr(), csr, "{name}: codec round-trip");
+        for k in 2u32..=4 {
+            let baseline = enumerate_kvccs(&csr, k, &KvccOptions::default()).unwrap();
+            let result = enumerate_kvccs(&compressed, k, &KvccOptions::default()).unwrap();
+            assert_eq!(
+                result.components(),
+                baseline.components(),
+                "{name}, k {k}: compressed substrate diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_flow_probe_matches_the_k_bounded_default() {
+    for (name, g) in suites() {
+        let csr = CsrGraph::from_view(&g);
+        let exact = KvccOptions::default().with_k_bounded_flow(false);
+        for k in 2u32..=4 {
+            let bounded = enumerate_kvccs(&csr, k, &KvccOptions::default()).unwrap();
+            let unbounded = enumerate_kvccs(&csr, k, &exact).unwrap();
+            assert_eq!(
+                bounded.components(),
+                unbounded.components(),
+                "{name}, k {k}: probe bound changed the output"
+            );
+            // The bound only short-circuits flow augmentation; the probe
+            // schedule (which pairs reach a flow computation) is identical.
+            assert_eq!(
+                bounded.stats().loc_cut_flow_calls,
+                unbounded.stats().loc_cut_flow_calls,
+                "{name}, k {k}"
+            );
+        }
+    }
+}
+
+/// Tiny deterministic xorshift64* generator — keeps the fuzz loops free of
+/// any dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[test]
+fn randomized_varint_delta_codec_roundtrip() {
+    let mut rng = XorShift(0xC0FFEE);
+    let mut buf = Vec::new();
+    for round in 0..500 {
+        // Random strictly-increasing rows with a mix of tiny and huge gaps.
+        let len = rng.below(40) as usize;
+        let mut row: Vec<VertexId> = Vec::with_capacity(len);
+        let mut current: u64 = rng.below(1 << 20);
+        for _ in 0..len {
+            let gap = match rng.below(4) {
+                0 => 1,
+                1 => 1 + rng.below(10),
+                2 => 1 + rng.below(1 << 14),
+                _ => 1 + rng.below(1 << 27),
+            };
+            current += gap;
+            if current > u32::MAX as u64 {
+                break;
+            }
+            row.push(current as VertexId);
+        }
+        buf.clear();
+        encode_row(&row, &mut buf);
+        let (decoded, end) = decode_row(&buf, 0, row.len()).expect("valid stream");
+        assert_eq!(decoded, row, "round {round}");
+        assert_eq!(end, buf.len(), "round {round}: trailing bytes");
+        // Asking for one more value than encoded must fail, not panic.
+        assert!(decode_row(&buf, 0, row.len() + 1).is_none());
+        // Truncating the stream anywhere must fail cleanly, not panic: the
+        // encoding of `len` values needs every one of its bytes.
+        if !buf.is_empty() {
+            let cut = rng.below(buf.len() as u64) as usize;
+            assert!(decode_row(&buf[..cut], 0, row.len()).is_none(), "cut {cut}");
+        }
+    }
+    // Raw varint values across the whole range.
+    for round in 0..2_000 {
+        let value = (rng.next() >> rng.below(33)) as u32;
+        buf.clear();
+        varint::encode_u32(value, &mut buf);
+        assert_eq!(
+            varint::decode_u32(&buf, 0),
+            Some((value, buf.len())),
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn randomized_graph_compression_roundtrip() {
+    for seed in 0..8u64 {
+        let n = 30 + seed as usize * 13;
+        let g = gnm(n, 2 * n + seed as usize * 11, 0xACE ^ seed);
+        let csr = CsrGraph::from_view(&g);
+        let compressed = CompressedCsrGraph::from_csr(&csr);
+        assert_eq!(compressed.to_csr(), csr, "seed {seed}");
+        assert_eq!(compressed.num_edges(), csr.num_edges());
+        for v in csr.vertices() {
+            assert_eq!(compressed.neighbors(v), csr.neighbors(v), "seed {seed}");
+        }
+    }
+}
