@@ -24,12 +24,19 @@
 //!   build-vs-restore persistence cases. Checksums are identical across all
 //!   variants.
 //!
-//! Usage: `pr1-bench [--smoke] [pr1-output.json [pr2-output.json [pr3-output.json]]]`
-//! (defaults `BENCH_pr1.json`, `BENCH_pr2.json` and `BENCH_pr3.json`).
+//! PR 4 section (written to `BENCH_pr4.json`):
+//!
+//! * protocol v2: the seed-query batch through the in-process engine vs the
+//!   full framed byte path, a `TopKComponents` page walk over frames, a
+//!   sharded enumeration across a loopback transport, and the
+//!   varint-vs-fixed wire payload sizes of the work-item/index/CSR formats.
+//!
+//! Usage: `pr1-bench [--smoke] [pr1.json [pr2.json [pr3.json [pr4.json]]]]`
+//! (defaults `BENCH_pr1.json` … `BENCH_pr4.json`).
 //! `--smoke` runs every case exactly once with no warm-up — the CI mode that
 //! keeps this binary from bit-rotting without spending bench budget.
 
-use kvcc_bench::{pr1, pr2, pr3};
+use kvcc_bench::{pr1, pr2, pr3, pr4};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -64,6 +71,7 @@ fn main() {
     let pr1_path = path(0, "BENCH_pr1.json");
     let pr2_path = path(1, "BENCH_pr2.json");
     let pr3_path = path(2, "BENCH_pr3.json");
+    let pr4_path = path(3, "BENCH_pr4.json");
 
     let report = pr1::run_all(smoke);
     println!("{}", report.render_text());
@@ -92,4 +100,25 @@ fn main() {
         }
     }
     write_or_die(&pr3_path, pr3::render_json(&pr3_report));
+
+    let pr4_report = pr4::run_all(smoke);
+    print_section(
+        &pr4_report,
+        "PR 4 protocol section (framed queries + wire payloads)",
+    );
+    for (baseline, contender, label) in pr4::speedup_pairs() {
+        if let Some(s) = pr4_report.speedup(baseline, contender) {
+            println!("ratio {label}: {s:.2}x");
+        }
+    }
+    for row in pr4::payload_sizes() {
+        println!(
+            "{:<44} {:>10} varint bytes vs {:>10} fixed ({:.2}x smaller)",
+            row.name,
+            row.varint_bytes,
+            row.fixed_bytes,
+            1.0 / row.ratio()
+        );
+    }
+    write_or_die(&pr4_path, pr4::render_json(&pr4_report));
 }

@@ -16,6 +16,7 @@ pub mod legacy;
 pub mod pr1;
 pub mod pr2;
 pub mod pr3;
+pub mod pr4;
 pub mod report;
 
 pub use report::Table;

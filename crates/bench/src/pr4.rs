@@ -1,0 +1,385 @@
+//! PR 4 performance record: protocol v2 — framed queries and varint wire
+//! payloads.
+//!
+//! Two sections, written to `BENCH_pr4.json`:
+//!
+//! * **timing** — the §6.4 seed-query batch answered (a) in-process through
+//!   [`kvcc_service::ServiceEngine::execute_batch`], (b) through the full
+//!   framed path (encode the [`kvcc_service::Request`] envelope → the
+//!   engine's `handle_frame` → decode the [`kvcc_service::Response`]), and
+//!   (c) as a `TopKComponents` page walk over frames; plus a sharded
+//!   enumeration where every work item crosses a loopback
+//!   [`kvcc_service::Transport`] as length-prefixed frames. Checksums assert
+//!   the framed paths answer identically to the in-process ones — the
+//!   `framed_vs_direct` ratio is the protocol overhead on index-served
+//!   queries.
+//! * **payload sizes** — the varint/delta v2 wire formats
+//!   ([`kvcc_service::CsrWorkItem`], the `KIDX` index buffer, the compact
+//!   CSR graph form) against their fixed-width v1-equivalent byte counts on
+//!   the same workload (the ROADMAP "apply the varint codec to the shard
+//!   payloads" follow-up, recorded as deltas).
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::{UndirectedGraph, VertexId};
+use kvcc_service::{
+    run_shard_worker, EngineConfig, GraphId, KvccOptions, LoopbackTransport, QueryRequest,
+    QueryResponse, RankBy, Request, RequestBody, Response, ResponseBody, ServiceEngine,
+};
+
+use crate::pr1::{case_budget, measure_fn, Report};
+
+/// The planted-partition workload shared by every PR 4 case: the graph, the
+/// enumeration `k`, and the seed batch (community cores plus background
+/// misses, the pr2 shape).
+fn workload() -> &'static (UndirectedGraph, u32, Vec<VertexId>) {
+    static WORKLOAD: OnceLock<(UndirectedGraph, u32, Vec<VertexId>)> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let config = PlantedConfig {
+            num_communities: 6,
+            chain_length: 3,
+            community_size: (10, 14),
+            background_vertices: 600,
+            seed: 11,
+            ..PlantedConfig::default()
+        };
+        let k = config.k as u32;
+        let planted = planted_communities(&config);
+        let mut seeds: Vec<VertexId> = planted
+            .communities
+            .iter()
+            .map(|members| members[members.len() / 2])
+            .collect();
+        seeds.extend((0..4).map(|i| (i * 150) as VertexId));
+        (planted.graph, k, seeds)
+    })
+}
+
+/// One engine with the workload loaded and indexed, shared by the query
+/// cases so they measure the protocol, not index construction.
+fn prebuilt_engine() -> &'static (ServiceEngine, GraphId) {
+    static ENGINE: OnceLock<(ServiceEngine, GraphId)> = OnceLock::new();
+    ENGINE.get_or_init(|| {
+        let (g, _, _) = workload();
+        let engine = ServiceEngine::new(EngineConfig::default());
+        let id = engine.load_graph("planted", g);
+        engine.build_index(id).unwrap();
+        (engine, id)
+    })
+}
+
+fn seed_queries() -> Vec<QueryRequest> {
+    let (_, k, seeds) = workload();
+    let (_, id) = prebuilt_engine();
+    seeds
+        .iter()
+        .map(|&seed| QueryRequest::KvccsContaining {
+            graph: *id,
+            seed,
+            k: *k,
+        })
+        .collect()
+}
+
+fn checksum_responses(responses: &[QueryResponse]) -> usize {
+    responses
+        .iter()
+        .map(|response| match response {
+            QueryResponse::Components(comps) => comps.iter().map(|c| c.len()).sum::<usize>(),
+            other => panic!("unexpected response {other:?}"),
+        })
+        .sum()
+}
+
+/// (a) The in-process baseline: the batch straight into the worker pool.
+fn batch_direct() -> usize {
+    let (engine, _) = prebuilt_engine();
+    checksum_responses(&engine.execute_batch(&seed_queries()))
+}
+
+/// (b) The same batch through the full byte path: envelope encode, frame
+/// handling, response decode — what a network client pays on top of (a).
+fn batch_framed() -> usize {
+    let (engine, _) = prebuilt_engine();
+    let request = Request {
+        request_id: 7,
+        deadline_hint_ms: None,
+        body: RequestBody::Batch(seed_queries()),
+    };
+    let frame = engine.handle_frame(&request.to_bytes());
+    let response = Response::from_bytes(&frame).unwrap();
+    match response.body {
+        ResponseBody::Batch(responses) => checksum_responses(&responses),
+        other => panic!("unexpected body {other:?}"),
+    }
+}
+
+/// (c) A full `TopKComponents` page walk over frames (density ranking,
+/// small pages, every component of the forest exactly once).
+fn topk_framed() -> usize {
+    let (engine, id) = prebuilt_engine();
+    let mut checksum = 0usize;
+    let mut cursor: Option<Vec<u8>> = None;
+    let mut request_id = 0u64;
+    loop {
+        request_id += 1;
+        let request = Request::query(
+            request_id,
+            QueryRequest::TopKComponents {
+                graph: *id,
+                rank_by: RankBy::Density,
+                page_size: 4,
+                cursor: cursor.take(),
+            },
+        );
+        let frame = engine.handle_frame(&request.to_bytes());
+        let response = Response::from_bytes(&frame).unwrap();
+        let (entries, next) = match response.body {
+            ResponseBody::Query(QueryResponse::Page {
+                entries,
+                next_cursor,
+            }) => (entries, next_cursor),
+            other => panic!("unexpected body {other:?}"),
+        };
+        checksum += entries
+            .iter()
+            .map(|e| e.component.len() + e.internal_edges as usize)
+            .sum::<usize>();
+        match next {
+            Some(next) => cursor = Some(next),
+            None => return checksum,
+        }
+    }
+}
+
+/// The sharded path: every work item ships to a loopback shard worker as
+/// length-prefixed frames and the merged answer must equal the whole-graph
+/// enumeration.
+fn sharded_frames() -> usize {
+    let (engine, id) = prebuilt_engine();
+    let (_, k, _) = workload();
+    let (client, server) = LoopbackTransport::pair();
+    let worker =
+        std::thread::spawn(move || run_shard_worker(&server, &KvccOptions::default()).unwrap());
+    let merged = engine.enumerate_sharded(*id, *k, &[&client]).unwrap();
+    drop(client);
+    worker.join().unwrap();
+    merged.iter().map(|c| c.len()).sum()
+}
+
+/// One payload-size comparison row: the v2 varint bytes next to the byte
+/// count the same data costs in the fixed-width v1 layout.
+#[derive(Clone, Debug)]
+pub struct SizeRow {
+    /// What was serialised.
+    pub name: &'static str,
+    /// Bytes in the v2 varint/delta format (measured).
+    pub varint_bytes: usize,
+    /// Bytes in the fixed-width v1-equivalent layout (computed from the
+    /// same structure; the v1 encoders no longer exist).
+    pub fixed_bytes: usize,
+}
+
+impl SizeRow {
+    /// Varint-over-fixed ratio (`< 1` means the varint format is smaller).
+    pub fn ratio(&self) -> f64 {
+        self.varint_bytes as f64 / self.fixed_bytes as f64
+    }
+}
+
+/// Measures the wire payload sizes of the workload's shard items, index
+/// buffer and graph against their v1-equivalent fixed-width layouts.
+pub fn payload_sizes() -> Vec<SizeRow> {
+    let (g, k, _) = workload();
+    let (engine, id) = prebuilt_engine();
+
+    let items = engine.partition_work(*id, *k).unwrap();
+    let varint_items: usize = items.iter().map(|item| item.to_bytes().len()).sum();
+    // v1 work item: 9-byte header + fixed CSR (13-byte header + 4(n+1)
+    // offsets + 4·2m neighbours) + (4 + 4n) id map.
+    let fixed_items: usize = items
+        .iter()
+        .map(|item| {
+            let (n, m) = (item.graph().num_vertices(), item.graph().num_edges());
+            9 + 13 + 4 * (n + 1) + 8 * m + 4 + 4 * n
+        })
+        .sum();
+
+    let index_bytes = engine.index_bytes(*id).unwrap();
+    let index = kvcc_service::ConnectivityIndex::from_bytes(&index_bytes).unwrap();
+    // v1 index: 17-byte header + per node (k, parent, count = 12 bytes) +
+    // 4 bytes per member.
+    let fixed_index: usize = 17
+        + index
+            .ranked_components(RankBy::Size, index.num_nodes())
+            .iter()
+            .map(|e| 12 + 4 * e.component.len())
+            .sum::<usize>();
+
+    let csr = kvcc_service::CsrGraph::from_view(g);
+    vec![
+        SizeRow {
+            name: "workitems/planted-kcore",
+            varint_bytes: varint_items,
+            fixed_bytes: fixed_items,
+        },
+        SizeRow {
+            name: "index/planted-full",
+            varint_bytes: index_bytes.len(),
+            fixed_bytes: fixed_index,
+        },
+        SizeRow {
+            name: "csr/planted-graph",
+            varint_bytes: csr.to_bytes_compact().len(),
+            fixed_bytes: csr.to_bytes().len(),
+        },
+    ]
+}
+
+/// One named case with its minimum iteration count.
+type Pr4Case = (&'static str, fn() -> usize, u64);
+
+/// Runs the PR 4 timing cases, asserting that the framed paths answer
+/// identically to the in-process ones and that the sharded merge equals the
+/// whole-graph enumeration. With `smoke` every case runs exactly once (the
+/// CI contract keeping the codec and transport from bit-rotting).
+pub fn run_all(smoke: bool) -> Report {
+    let mut report = Report::default();
+    let cases: [Pr4Case; 4] = [
+        ("pr4/query/batch-direct", batch_direct, 10),
+        ("pr4/query/batch-framed", batch_framed, 10),
+        ("pr4/query/topk-framed", topk_framed, 10),
+        ("pr4/shard/loopback-frames", sharded_frames, 3),
+    ];
+    for (name, run, min_iters) in cases {
+        let (warmup, budget, min_iters) = case_budget(
+            smoke,
+            Duration::from_millis(100),
+            Duration::from_millis(800),
+            min_iters,
+        );
+        report
+            .entries
+            .push(measure_fn(name, run, warmup, budget, min_iters));
+    }
+    let direct = report.entry("pr4/query/batch-direct").unwrap();
+    let framed = report.entry("pr4/query/batch-framed").unwrap();
+    assert_eq!(
+        direct.checksum, framed.checksum,
+        "framed and in-process batch paths disagree"
+    );
+    let sharded = report.entry("pr4/shard/loopback-frames").unwrap();
+    let (g, k, _) = workload();
+    let expected: usize = kvcc::enumerate_kvccs(g, *k, &KvccOptions::default())
+        .unwrap()
+        .iter()
+        .map(|c| c.len())
+        .sum();
+    assert_eq!(
+        sharded.checksum, expected,
+        "sharded enumeration over frames disagrees with the direct run"
+    );
+    report
+}
+
+/// Speedup pairs reported in `BENCH_pr4.json` (the framed-over-direct ratio
+/// reads as protocol overhead, not a speedup).
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![(
+        "pr4/query/batch-framed",
+        "pr4/query/batch-direct",
+        "framed_vs_direct",
+    )]
+}
+
+/// JSON payload for `BENCH_pr4.json` (hand-assembled like the other
+/// sections).
+pub fn render_json(report: &Report) -> String {
+    let (g, k, seeds) = workload();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 4,\n");
+    out.push_str(
+        "  \"description\": \"protocol v2: framed vs in-process query batches, TopK page \
+         walks, sharded enumeration over loopback frames, and varint-vs-fixed wire payload \
+         sizes on the planted-partition suite\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"vertices\": {}, \"edges\": {}, \"k\": {}, \"seed_queries\": {}}},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        k,
+        seeds.len()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"payload_sizes\": [\n");
+    let sizes = payload_sizes();
+    for (i, row) in sizes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"varint_bytes\": {}, \"fixed_bytes\": {}, \
+             \"varint_over_fixed\": {:.3}}}{}\n",
+            row.name,
+            row.varint_bytes,
+            row.fixed_bytes,
+            row.ratio(),
+            if i + 1 < sizes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ratios\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framed_paths_agree_with_in_process_answers() {
+        assert_eq!(batch_direct(), batch_framed());
+        assert!(topk_framed() > 0);
+        assert!(sharded_frames() > 0);
+    }
+
+    #[test]
+    fn varint_payloads_beat_fixed_width() {
+        for row in payload_sizes() {
+            assert!(
+                row.varint_bytes < row.fixed_bytes,
+                "{}: varint {} vs fixed {}",
+                row.name,
+                row.varint_bytes,
+                row.fixed_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_report_is_complete_and_valid_json_shape() {
+        let report = run_all(true);
+        assert_eq!(report.entries.len(), 4);
+        let json = render_json(&report);
+        assert!(json.contains("\"payload_sizes\""));
+        assert!(json.contains("framed_vs_direct"));
+    }
+}

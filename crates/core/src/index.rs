@@ -47,14 +47,170 @@ fn is_sorted_subset(child: &[VertexId], parent: &[VertexId]) -> bool {
     true
 }
 
+/// Counts, per component, the graph edges with both endpoints inside it
+/// (membership-marking sweep; `O(Σ_C Σ_{v∈C} deg(v))` total).
+fn count_internal_edges<G: GraphView>(
+    graph: &G,
+    components: &[KVertexConnectedComponent],
+) -> Vec<u64> {
+    let mut inside = vec![false; graph.num_vertices()];
+    components
+        .iter()
+        .map(|component| {
+            let members = component.vertices();
+            for &v in members {
+                inside[v as usize] = true;
+            }
+            let mut directed = 0u64;
+            for &v in members {
+                directed += graph
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| inside[w as usize])
+                    .count() as u64;
+            }
+            for &v in members {
+                inside[v as usize] = false;
+            }
+            directed / 2
+        })
+        .collect()
+}
+
+/// Descending comparison of two ranking keys, each given as the node's
+/// `(k, size, internal_edges)` triple. Equal keys return `Equal` — callers
+/// supply their own total tie-break. Density compares **exactly** via
+/// cross-multiplication (`m_a / p_a > m_b / p_b ⟺ m_a · p_b > m_b · p_a`),
+/// so platform float behaviour can never reorder a page boundary. This is
+/// the single ranking definition: the index's precomputed orders and the
+/// service engine's external-space page orders both call it.
+pub fn rank_key_cmp(
+    rank_by: RankBy,
+    a: (u32, usize, u64),
+    b: (u32, usize, u64),
+) -> std::cmp::Ordering {
+    let (k_a, size_a, edges_a) = a;
+    let (k_b, size_b, edges_b) = b;
+    match rank_by {
+        RankBy::K => k_b.cmp(&k_a),
+        RankBy::Size => size_b.cmp(&size_a),
+        RankBy::Density => {
+            let possible = |size: usize| (size as u128) * (size as u128).saturating_sub(1) / 2;
+            let lhs = edges_a as u128 * possible(size_b);
+            let rhs = edges_b as u128 * possible(size_a);
+            rhs.cmp(&lhs)
+        }
+    }
+}
+
+/// [`rank_key_cmp`] over the index's flat metadata arrays (the caller
+/// breaks ties by node id).
+fn rank_nodes_cmp(
+    rank_by: RankBy,
+    ks: &[u32],
+    components: &[KVertexConnectedComponent],
+    internal_edges: &[u64],
+    a: u32,
+    b: u32,
+) -> std::cmp::Ordering {
+    let (a, b) = (a as usize, b as usize);
+    rank_key_cmp(
+        rank_by,
+        (ks[a], components[a].len(), internal_edges[a]),
+        (ks[b], components[b].len(), internal_edges[b]),
+    )
+}
+
 /// Magic bytes opening every serialised index buffer.
 const INDEX_WIRE_MAGIC: [u8; 4] = *b"KIDX";
 /// Version byte of the index wire format; bump on incompatible changes.
-const INDEX_WIRE_VERSION: u8 = 1;
-/// Header: magic + version + `num_vertices` + depth-limit + node count.
-const INDEX_WIRE_HEADER: usize = 4 + 1 + 4 + 4 + 4;
-/// Wire encoding of [`ConnectivityIndex::depth_limit`]` == None`.
-const NO_DEPTH_LIMIT: u32 = u32::MAX;
+/// Version 2 switched the node records to the shared varint/delta codec
+/// ([`kvcc_graph::codec`]) and added per-node internal edge counts.
+const INDEX_WIRE_VERSION: u8 = 2;
+/// Fixed part of the header: magic + version + `num_vertices` (kept
+/// fixed-width so [`ConnectivityIndex::peek_num_vertices`] works without
+/// varint parsing; the depth limit and node count that follow are varints).
+const INDEX_WIRE_HEADER: usize = 4 + 1 + 4;
+
+/// Ranking keys accepted by [`ConnectivityIndex::ranked_components`] and the
+/// service protocol's `TopKComponents` query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RankBy {
+    /// Deepest connectivity level first.
+    K,
+    /// Largest member count first.
+    Size,
+    /// Densest first: internal edges over `|C|·(|C|−1)/2`, compared exactly
+    /// (cross-multiplied), so platform float behaviour can never reorder a
+    /// page boundary.
+    Density,
+}
+
+impl RankBy {
+    /// All ranking keys, in wire-code order.
+    pub const ALL: [RankBy; 3] = [RankBy::K, RankBy::Size, RankBy::Density];
+
+    /// Stable wire code of the key.
+    pub const fn code(self) -> u8 {
+        match self {
+            RankBy::K => 0,
+            RankBy::Size => 1,
+            RankBy::Density => 2,
+        }
+    }
+
+    /// Decodes a wire code produced by [`RankBy::code`].
+    pub const fn from_code(code: u8) -> Option<RankBy> {
+        match code {
+            0 => Some(RankBy::K),
+            1 => Some(RankBy::Size),
+            2 => Some(RankBy::Density),
+            _ => None,
+        }
+    }
+
+    const fn order_slot(self) -> usize {
+        self.code() as usize
+    }
+}
+
+/// One entry of a ranked component listing: the forest node plus the
+/// precomputed metadata the ranking sorted on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankedComponent<'a> {
+    /// Forest node id (position in node order; stable for a built index).
+    pub node_id: u32,
+    /// Connectivity level of the component.
+    pub k: u32,
+    /// Number of graph edges with both endpoints inside the component.
+    pub internal_edges: u64,
+    /// The component members.
+    pub component: &'a KVertexConnectedComponent,
+}
+
+impl RankedComponent<'_> {
+    /// Number of members.
+    pub fn size(&self) -> u32 {
+        self.component.len() as u32
+    }
+
+    /// Internal edges over possible edges (`0.0` below two members).
+    pub fn density(&self) -> f64 {
+        density_of(self.internal_edges, self.component.len())
+    }
+}
+
+/// Density as a float for reporting (internal edges over `|C|·(|C|−1)/2`,
+/// `0.0` below two members); ranking itself compares exactly. Shared with
+/// the service protocol so the wire-visible density can never diverge from
+/// the index-side one.
+pub fn density_of(internal_edges: u64, size: usize) -> f64 {
+    if size < 2 {
+        return 0.0;
+    }
+    let possible = (size as u64 * (size as u64 - 1)) / 2;
+    internal_edges as f64 / possible as f64
+}
 
 /// A flattened k-VCC hierarchy supporting O(depth) containment queries.
 ///
@@ -80,6 +236,14 @@ pub struct ConnectivityIndex {
     leaves_of: Vec<Vec<u32>>,
     /// Per vertex: the largest `k` with a k-VCC containing the vertex.
     max_k_of: Vec<u32>,
+    /// Per node: number of graph edges with both endpoints inside the
+    /// component (computed against the indexed graph at build time and
+    /// persisted on the wire, so ranking needs no graph access).
+    internal_edges: Vec<u64>,
+    /// Precomputed ranking permutations, one per [`RankBy`] key (indexed by
+    /// [`RankBy::order_slot`]): node ids sorted by key descending, ties by
+    /// node id ascending. Makes every top-k / pagination query a slice read.
+    rank_orders: [Vec<u32>; 3],
     /// The `max_k` cap the index was built with, if any. Levels beyond the
     /// cap were never enumerated, so queries there are not answerable from
     /// the index (see [`ConnectivityIndex::covers`]).
@@ -100,13 +264,15 @@ impl ConnectivityIndex {
         options: &KvccOptions,
     ) -> Result<Self, KvccError> {
         let hierarchy = build_hierarchy(graph, max_k, options)?;
-        let mut index = Self::from_hierarchy(&hierarchy);
+        let mut index = Self::from_hierarchy(graph, &hierarchy);
         index.depth_limit = max_k;
         Ok(index)
     }
 
-    /// Flattens an already-built [`KvccHierarchy`] into index form.
-    pub fn from_hierarchy(hierarchy: &KvccHierarchy) -> Self {
+    /// Flattens an already-built [`KvccHierarchy`] into index form. The graph
+    /// the hierarchy was built from supplies the per-component internal edge
+    /// counts backing [`ConnectivityIndex::ranked_components`].
+    pub fn from_hierarchy<G: GraphView>(graph: &G, hierarchy: &KvccHierarchy) -> Self {
         let num_vertices = hierarchy.num_vertices();
         let mut ks = Vec::new();
         let mut parents = Vec::new();
@@ -130,7 +296,16 @@ impl ConnectivityIndex {
             level_offsets.push(components.len());
         }
 
-        Self::assemble(num_vertices, ks, parents, components, level_offsets, None)
+        let internal_edges = count_internal_edges(graph, &components);
+        Self::assemble(
+            num_vertices,
+            ks,
+            parents,
+            components,
+            level_offsets,
+            internal_edges,
+            None,
+        )
     }
 
     /// Builds the derived query arrays (leaf pointers, per-vertex maximum
@@ -145,6 +320,7 @@ impl ConnectivityIndex {
         parents: Vec<u32>,
         components: Vec<KVertexConnectedComponent>,
         level_offsets: Vec<usize>,
+        internal_edges: Vec<u64>,
         depth_limit: Option<u32>,
     ) -> Self {
         // Leaf-most memberships: a node keeps vertex v iff no child keeps v.
@@ -170,6 +346,19 @@ impl ConnectivityIndex {
             }
         }
 
+        // Ranking permutations: one sort per key over the flat metadata
+        // arrays (no component walking). Ties break by node id ascending, so
+        // every ordering is total and pagination boundaries are stable.
+        debug_assert_eq!(internal_edges.len(), components.len());
+        let rank_orders = std::array::from_fn(|slot| {
+            let rank_by = RankBy::ALL[slot];
+            let mut order: Vec<u32> = (0..components.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                rank_nodes_cmp(rank_by, &ks, &components, &internal_edges, a, b).then(a.cmp(&b))
+            });
+            order
+        });
+
         ConnectivityIndex {
             ks,
             parents,
@@ -177,41 +366,52 @@ impl ConnectivityIndex {
             level_offsets,
             leaves_of,
             max_k_of,
+            internal_edges,
+            rank_orders,
             depth_limit,
         }
     }
 
     /// Serialises the index into a self-describing, endian-stable byte
-    /// buffer (no third-party serializer, same style as the CSR and
-    /// work-item wire formats).
+    /// buffer (no third-party serializer; built on the shared
+    /// [`kvcc_graph::codec`] varint primitives like the CSR and work-item
+    /// wire formats).
     ///
-    /// Layout: magic `b"KIDX"`, version `u8`, then little-endian `u32`s —
-    /// `num_vertices`, the depth limit (`u32::MAX` for a complete
-    /// index), the node count, and per node `(k, parent, member_count,
-    /// members…)` in node-id order. The derived query arrays are *not*
-    /// stored; [`ConnectivityIndex::from_bytes`] rebuilds them, so the two
-    /// sides can never disagree.
+    /// Layout (version 2): magic `b"KIDX"`, version `u8`, `num_vertices` as
+    /// little-endian `u32` (fixed-width so
+    /// [`ConnectivityIndex::peek_num_vertices`] needs no varint parsing),
+    /// then varints — the depth limit (`0` for a complete index, `cap + 1`
+    /// otherwise), the node count, and per node `(k, parent + 1 — 0 for
+    /// roots, member_count, members as a delta row, internal_edges)` in
+    /// node-id order. Member lists are strictly sorted, so the delta + varint
+    /// row encoding shrinks them by up to 4× versus the fixed-width
+    /// version-1 layout. The derived query arrays are *not* stored;
+    /// [`ConnectivityIndex::from_bytes`] rebuilds them, so the two sides can
+    /// never disagree.
     ///
     /// This is the service-restart path: persisting the buffer next to the
     /// graph lets a restarted `kvcc-service` engine skip the hierarchy build
     /// entirely.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let member_words: usize = self.components.iter().map(|c| 1 + c.len()).sum();
-        let mut out =
-            Vec::with_capacity(INDEX_WIRE_HEADER + 4 * (2 * self.components.len() + member_words));
+        use kvcc_graph::codec::{encode_row, varint};
+        let member_bytes: usize = self.components.iter().map(|c| 8 + c.len()).sum();
+        let mut out = Vec::with_capacity(INDEX_WIRE_HEADER + 10 + member_bytes);
         out.extend_from_slice(&INDEX_WIRE_MAGIC);
         out.push(INDEX_WIRE_VERSION);
         out.extend_from_slice(&(self.num_vertices() as u32).to_le_bytes());
-        out.extend_from_slice(&self.depth_limit.unwrap_or(NO_DEPTH_LIMIT).to_le_bytes());
-        out.extend_from_slice(&(self.components.len() as u32).to_le_bytes());
+        varint::encode_u32(
+            self.depth_limit.map_or(0, |cap| cap.saturating_add(1)),
+            &mut out,
+        );
+        varint::encode_u32(self.components.len() as u32, &mut out);
         for id in 0..self.components.len() {
-            out.extend_from_slice(&self.ks[id].to_le_bytes());
-            out.extend_from_slice(&self.parents[id].to_le_bytes());
+            varint::encode_u32(self.ks[id], &mut out);
+            let parent = self.parents[id];
+            varint::encode_u32(if parent == NO_PARENT { 0 } else { parent + 1 }, &mut out);
             let members = self.components[id].vertices();
-            out.extend_from_slice(&(members.len() as u32).to_le_bytes());
-            for &v in members {
-                out.extend_from_slice(&v.to_le_bytes());
-            }
+            varint::encode_u32(members.len() as u32, &mut out);
+            encode_row(members, &mut out);
+            varint::encode_u64(self.internal_edges[id], &mut out);
         }
         out
     }
@@ -234,6 +434,58 @@ impl ConnectivityIndex {
         Some(u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize)
     }
 
+    /// All nodes in ranking order for `rank_by`, truncated to the best `k`
+    /// (pass [`ConnectivityIndex::num_nodes`] for the full ranking). The
+    /// order is a precomputed permutation over the flat metadata arrays —
+    /// key descending, ties by node id ascending — so this is a slice read
+    /// plus `k` metadata lookups, never a forest re-walk.
+    pub fn ranked_components(&self, rank_by: RankBy, k: usize) -> Vec<RankedComponent<'_>> {
+        self.ranked_page(rank_by, 0, k)
+    }
+
+    /// One page of the ranking: entries `offset..offset + page_size` of the
+    /// [`ConnectivityIndex::ranked_components`] order. Out-of-range pages
+    /// are empty, a short final page is returned as-is; together with the
+    /// deterministic total order this is what makes cursor pagination
+    /// return every component exactly once.
+    pub fn ranked_page(
+        &self,
+        rank_by: RankBy,
+        offset: usize,
+        page_size: usize,
+    ) -> Vec<RankedComponent<'_>> {
+        let order = &self.rank_orders[rank_by.order_slot()];
+        let start = offset.min(order.len());
+        let end = start.saturating_add(page_size).min(order.len());
+        order[start..end]
+            .iter()
+            .map(|&node_id| RankedComponent {
+                node_id,
+                k: self.ks[node_id as usize],
+                internal_edges: self.internal_edges[node_id as usize],
+                component: &self.components[node_id as usize],
+            })
+            .collect()
+    }
+
+    /// Number of graph edges inside node `id`'s component (ranking
+    /// metadata; `None` for an out-of-range node id).
+    pub fn internal_edges_of(&self, id: u32) -> Option<u64> {
+        self.internal_edges.get(id as usize).copied()
+    }
+
+    /// Connectivity level of forest node `id` (`None` for an out-of-range
+    /// node id).
+    pub fn node_k(&self, id: u32) -> Option<u32> {
+        self.ks.get(id as usize).copied()
+    }
+
+    /// The component of forest node `id` (`None` for an out-of-range node
+    /// id).
+    pub fn node_component(&self, id: u32) -> Option<&KVertexConnectedComponent> {
+        self.components.get(id as usize)
+    }
+
     /// Deserialises a buffer produced by [`ConnectivityIndex::to_bytes`],
     /// validating every structural invariant of the forest (contiguous
     /// levels, parents one level up and earlier in the node order, sorted
@@ -245,6 +497,7 @@ impl ConnectivityIndex {
     /// per-vertex connectivity values are rebuilt from the validated forest,
     /// not read from the wire.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        use kvcc_graph::codec::Reader;
         let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
         if bytes.len() < INDEX_WIRE_HEADER {
             return Err(malformed("buffer shorter than the index header"));
@@ -253,39 +506,55 @@ impl ConnectivityIndex {
             return Err(malformed("bad magic (not a connectivity-index buffer)"));
         }
         if bytes[4] != INDEX_WIRE_VERSION {
-            return Err(malformed("unsupported index format version"));
+            // Deliberately no version-1 fallback: v1 buffers carry no
+            // internal edge counts, and they cannot be reconstructed here
+            // without the graph — a zero-filled restore would fail the
+            // service's install validation anyway. Rebuild and re-persist.
+            return Err(malformed(
+                "unsupported index format version (v1 buffers predate the \
+                 ranking metadata; rebuild the index and persist it again)",
+            ));
         }
-        let read_u32 =
-            |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-        let num_vertices = read_u32(5) as usize;
-        let depth_limit = match read_u32(9) {
-            NO_DEPTH_LIMIT => None,
-            cap => Some(cap),
+        let mut r = Reader::new(&bytes[5..]);
+        let num_vertices =
+            r.u32_le()
+                .ok_or_else(|| malformed("index header truncated"))? as usize;
+        let depth_limit = match r
+            .varint_u32()
+            .ok_or_else(|| malformed("depth limit truncated"))?
+        {
+            0 => None,
+            cap_plus_one => Some(cap_plus_one - 1),
         };
-        let num_nodes = read_u32(13) as usize;
-        // Every node record occupies at least 16 bytes (k + parent + count +
-        // one member), so a hostile header can never trigger node
-        // allocations larger than the buffer it arrived in.
-        if num_nodes > (bytes.len() - INDEX_WIRE_HEADER) / 16 {
+        let num_nodes = r
+            .varint_u32()
+            .ok_or_else(|| malformed("node count truncated"))? as usize;
+        // Every node record occupies at least 5 bytes (k + parent + count +
+        // one member + edge count), so a hostile header can never trigger
+        // node allocations larger than the buffer it arrived in.
+        if num_nodes > r.remaining() / 5 {
             return Err(malformed("node count disagrees with the buffer size"));
         }
 
-        let mut at = INDEX_WIRE_HEADER;
         let mut ks = Vec::with_capacity(num_nodes);
         let mut parents = Vec::with_capacity(num_nodes);
         let mut components: Vec<KVertexConnectedComponent> = Vec::with_capacity(num_nodes);
+        let mut internal_edges = Vec::with_capacity(num_nodes);
         let mut level_offsets = vec![0usize];
         for id in 0..num_nodes {
-            if bytes.len() < at + 12 {
-                return Err(malformed("node record truncated"));
-            }
-            let k = read_u32(at);
-            let parent = read_u32(at + 4);
-            let count = read_u32(at + 8) as usize;
-            at += 12;
-            if bytes.len() < at + 4 * count {
-                return Err(malformed("member list truncated"));
-            }
+            let k = r
+                .varint_u32()
+                .ok_or_else(|| malformed("node record truncated"))?;
+            let parent_plus_one = r
+                .varint_u32()
+                .ok_or_else(|| malformed("node record truncated"))?;
+            let parent = match parent_plus_one {
+                0 => NO_PARENT,
+                p => p - 1,
+            };
+            let count =
+                r.varint_u32()
+                    .ok_or_else(|| malformed("node record truncated"))? as usize;
             if count == 0 {
                 return Err(malformed("components cannot be empty"));
             }
@@ -314,17 +583,13 @@ impl ConnectivityIndex {
                     return Err(malformed("parent must sit exactly one level up"));
                 }
             }
-            let mut members = Vec::with_capacity(count);
-            for i in 0..count {
-                let v = read_u32(at + 4 * i);
-                if v as usize >= num_vertices {
-                    return Err(malformed("member vertex out of range"));
-                }
-                members.push(v);
-            }
-            at += 4 * count;
-            if members.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(malformed("members must be strictly sorted"));
+            // Delta rows are strictly increasing by construction, so the
+            // sortedness invariant needs no separate check.
+            let members = r
+                .row(count)
+                .ok_or_else(|| malformed("member list truncated"))?;
+            if members.last().is_some_and(|&v| v as usize >= num_vertices) {
+                return Err(malformed("member vertex out of range"));
             }
             // Nesting (§2.2): a level-k component lies inside its level-(k−1)
             // parent. Without this check a hostile buffer could hand a vertex
@@ -335,13 +600,20 @@ impl ConnectivityIndex {
             {
                 return Err(malformed("child members must lie inside their parent"));
             }
+            let edges = r
+                .varint_u64()
+                .ok_or_else(|| malformed("internal edge count truncated"))?;
+            let possible = (count as u64).saturating_mul(count as u64 - 1) / 2;
+            if edges > possible {
+                return Err(malformed("internal edge count exceeds the possible edges"));
+            }
             ks.push(k);
             parents.push(parent);
             components.push(KVertexConnectedComponent::new(members));
+            internal_edges.push(edges);
         }
-        if at != bytes.len() {
-            return Err(malformed("trailing bytes after the last node"));
-        }
+        r.finish()
+            .ok_or_else(|| malformed("trailing bytes after the last node"))?;
         if num_nodes > 0 {
             level_offsets.push(num_nodes);
         }
@@ -356,6 +628,7 @@ impl ConnectivityIndex {
             parents,
             components,
             level_offsets,
+            internal_edges,
             depth_limit,
         ))
     }
@@ -506,6 +779,12 @@ impl ConnectivityIndex {
                 .map(|l| l.capacity() * std::mem::size_of::<u32>())
                 .sum::<usize>()
             + self.max_k_of.capacity() * std::mem::size_of::<u32>()
+            + self.internal_edges.capacity() * std::mem::size_of::<u64>()
+            + self
+                .rank_orders
+                .iter()
+                .map(|o| o.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
     }
 
     /// Walks from `node` towards the root until reaching level `k`; `None`
@@ -676,8 +955,11 @@ mod tests {
                 Err(GraphError::MalformedBytes { .. })
             ));
         };
-        assert_malformed(&good[..7]); // truncated header
-        assert_malformed(&good[..good.len() - 3]); // truncated member list
+        // Every truncation fails cleanly — header, node record, member row
+        // or edge count, wherever the cut lands.
+        for cut in 0..good.len() {
+            assert_malformed(&good[..cut]);
+        }
 
         let mut bad_magic = good.clone();
         bad_magic[0] = b'Z';
@@ -687,22 +969,122 @@ mod tests {
         bad_version[4] = 42;
         assert_malformed(&bad_version);
 
-        // First node claiming level 2 breaks contiguity.
+        // First node claiming level 2 breaks contiguity. In the v2 layout
+        // the first node's `k` varint sits right after the fixed header and
+        // the depth-limit + node-count varints (both single-byte here).
         let mut bad_level = good.clone();
-        bad_level[super::INDEX_WIRE_HEADER..super::INDEX_WIRE_HEADER + 4]
-            .copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(bad_level[super::INDEX_WIRE_HEADER + 2], 1, "first k");
+        bad_level[super::INDEX_WIRE_HEADER + 2] = 2;
         assert_malformed(&bad_level);
 
-        // Member id beyond num_vertices.
-        let mut bad_member = good.clone();
-        let len = bad_member.len();
-        bad_member[len - 4..].copy_from_slice(&9999u32.to_le_bytes());
-        assert_malformed(&bad_member);
+        // A hostile node count larger than the buffer is rejected before any
+        // allocation.
+        let mut bad_count = good.clone();
+        assert!(
+            bad_count[super::INDEX_WIRE_HEADER + 1] < 0x80,
+            "count varint"
+        );
+        bad_count[super::INDEX_WIRE_HEADER + 1] = 0x7F;
+        assert_malformed(&bad_count);
 
         // Trailing garbage.
         let mut trailing = good.clone();
         trailing.extend_from_slice(&[0, 0, 0, 0]);
         assert_malformed(&trailing);
+
+        // An internal edge count exceeding |C|·(|C|−1)/2 is rejected: build
+        // a single-node buffer claiming 9 edges on a 3-member component.
+        let mut fabricated = Vec::new();
+        fabricated.extend_from_slice(b"KIDX");
+        fabricated.push(super::INDEX_WIRE_VERSION);
+        fabricated.extend_from_slice(&9u32.to_le_bytes()); // num_vertices
+        fabricated.push(0); // no depth limit
+        fabricated.push(1); // one node
+        fabricated.push(1); // k = 1
+        fabricated.push(0); // root
+        fabricated.push(3); // three members
+        fabricated.extend_from_slice(&[0, 0, 0]); // members {0, 1, 2}
+        let mut ok = fabricated.clone();
+        ok.push(3); // 3 internal edges: a triangle, plausible
+        assert!(ConnectivityIndex::from_bytes(&ok).is_ok());
+        fabricated.push(9); // 9 internal edges on 3 members: impossible
+        assert_malformed(&fabricated);
+    }
+
+    #[test]
+    fn ranked_components_sort_on_precomputed_metadata() {
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let total = index.num_nodes();
+        for rank_by in RankBy::ALL {
+            let all = index.ranked_components(rank_by, total + 10);
+            assert_eq!(all.len(), total, "{rank_by:?}: every node exactly once");
+            // The declared key is non-increasing down the ranking and ties
+            // break by node id, so the order is total and deterministic.
+            for pair in all.windows(2) {
+                let (a, b) = (&pair[0], &pair[1]);
+                let not_after = match rank_by {
+                    RankBy::K => a.k > b.k || (a.k == b.k && a.node_id < b.node_id),
+                    RankBy::Size => {
+                        a.size() > b.size() || (a.size() == b.size() && a.node_id < b.node_id)
+                    }
+                    RankBy::Density => {
+                        a.density() > b.density()
+                            || (a.density() == b.density() && a.node_id < b.node_id)
+                    }
+                };
+                assert!(not_after, "{rank_by:?}: {a:?} must not rank below {b:?}");
+            }
+            // Pagination slices the same order: pages of 2 concatenate to it.
+            let mut paged = Vec::new();
+            let mut offset = 0;
+            loop {
+                let page = index.ranked_page(rank_by, offset, 2);
+                if page.is_empty() {
+                    break;
+                }
+                offset += page.len();
+                paged.extend(page);
+            }
+            assert_eq!(paged, all, "{rank_by:?}");
+        }
+        // Metadata is the real thing: the K4 on {5,6,7,8} has 6 internal
+        // edges, density 1, and ranks first by both size shares and density.
+        let densest = &index.ranked_components(RankBy::Density, 1)[0];
+        assert_eq!(densest.component.vertices(), &[5, 6, 7, 8]);
+        assert_eq!(densest.internal_edges, 6);
+        assert!((densest.density() - 1.0).abs() < 1e-12);
+        let deepest = &index.ranked_components(RankBy::K, 1)[0];
+        assert_eq!(deepest.k, 3);
+        // The brute-force edge count agrees for every node.
+        for entry in index.ranked_components(RankBy::Size, total) {
+            let members = entry.component.vertices();
+            let brute: u64 = members
+                .iter()
+                .map(|&v| {
+                    g.neighbors(v)
+                        .iter()
+                        .filter(|w| members.binary_search(w).is_ok())
+                        .count() as u64
+                })
+                .sum::<u64>()
+                / 2;
+            assert_eq!(entry.internal_edges, brute);
+            assert_eq!(index.internal_edges_of(entry.node_id), Some(brute));
+        }
+        assert_eq!(index.internal_edges_of(total as u32), None);
+    }
+
+    #[test]
+    fn ranked_metadata_survives_a_byte_roundtrip() {
+        let g = mixed_graph();
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let back = ConnectivityIndex::from_bytes(&index.to_bytes()).unwrap();
+        for rank_by in RankBy::ALL {
+            let a = index.ranked_components(rank_by, index.num_nodes());
+            let b = back.ranked_components(rank_by, back.num_nodes());
+            assert_eq!(a, b, "{rank_by:?}");
+        }
     }
 
     #[test]

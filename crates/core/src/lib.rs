@@ -59,7 +59,7 @@ mod enumerate;
 pub use enumerate::{enumerate_kvccs, KvccEnumerator};
 pub use error::KvccError;
 pub use hierarchy::{build_hierarchy, KvccHierarchy};
-pub use index::ConnectivityIndex;
+pub use index::{ConnectivityIndex, RankBy, RankedComponent};
 pub use options::{AlgorithmVariant, KvccOptions};
 pub use query::kvccs_containing;
 pub use result::{KVertexConnectedComponent, KvccResult};

@@ -1,0 +1,278 @@
+//! Shared variable-length byte codec for every wire format in the workspace.
+//!
+//! The LEB128 varint and delta-row primitives were born inside
+//! [`crate::CompressedCsrGraph`]'s adjacency compression; they are exactly
+//! what the serialised work items, the persisted connectivity index and the
+//! `kvcc-service` protocol need too, so they live here and every format
+//! shares one implementation (the compressed graph module re-exports them
+//! for compatibility).
+//!
+//! Three layers:
+//!
+//! * [`varint`] — raw LEB128 encode/decode for `u32` and `u64` values,
+//!   rejecting truncated and overlong inputs;
+//! * [`encode_row`] / [`decode_row`] — strictly-increasing id lists stored as
+//!   first-value + gap-minus-one varints (sorted component members, adjacency
+//!   rows, vertex cuts);
+//! * [`Reader`] — a bounds-checked cursor over an untrusted buffer, so
+//!   decoders validate as they go and can never index out of range.
+
+use crate::types::VertexId;
+
+/// LEB128 varint codec for `u32` and `u64` values.
+pub mod varint {
+    /// Appends `value` to `out` as an LEB128 varint (1–5 bytes).
+    pub fn encode_u32(mut value: u32, out: &mut Vec<u8>) {
+        while value >= 0x80 {
+            out.push((value as u8 & 0x7F) | 0x80);
+            value >>= 7;
+        }
+        out.push(value as u8);
+    }
+
+    /// Decodes one LEB128 varint starting at `bytes[at]`, returning the value
+    /// and the position just past it; `None` on truncated or overlong input.
+    pub fn decode_u32(bytes: &[u8], at: usize) -> Option<(u32, usize)> {
+        let mut value: u32 = 0;
+        let mut shift = 0u32;
+        let mut pos = at;
+        loop {
+            let byte = *bytes.get(pos)?;
+            pos += 1;
+            let payload = (byte & 0x7F) as u32;
+            // The fifth byte may only contribute the top 4 bits of a u32.
+            if shift == 28 && payload > 0x0F {
+                return None;
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Some((value, pos));
+            }
+            shift += 7;
+            if shift > 28 {
+                return None;
+            }
+        }
+    }
+
+    /// Appends `value` to `out` as an LEB128 varint (1–10 bytes).
+    pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) {
+        while value >= 0x80 {
+            out.push((value as u8 & 0x7F) | 0x80);
+            value >>= 7;
+        }
+        out.push(value as u8);
+    }
+
+    /// Decodes one 64-bit LEB128 varint starting at `bytes[at]`; `None` on
+    /// truncated or overlong input.
+    pub fn decode_u64(bytes: &[u8], at: usize) -> Option<(u64, usize)> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        let mut pos = at;
+        loop {
+            let byte = *bytes.get(pos)?;
+            pos += 1;
+            let payload = (byte & 0x7F) as u64;
+            // The tenth byte may only contribute the top bit of a u64.
+            if shift == 63 && payload > 0x01 {
+                return None;
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Some((value, pos));
+            }
+            shift += 7;
+            if shift > 63 {
+                return None;
+            }
+        }
+    }
+}
+
+/// Encodes one strictly-increasing id row (first value verbatim, then
+/// gap-minus-one deltas), appending varints to `out`.
+///
+/// # Panics
+///
+/// Debug-asserts that `row` is strictly increasing.
+pub fn encode_row(row: &[VertexId], out: &mut Vec<u8>) {
+    debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be sorted");
+    let mut prev: Option<VertexId> = None;
+    for &v in row {
+        match prev {
+            None => varint::encode_u32(v, out),
+            Some(p) => varint::encode_u32(v - p - 1, out),
+        }
+        prev = Some(v);
+    }
+}
+
+/// Decodes a row produced by [`encode_row`] (`count` values from
+/// `bytes[at..]`), returning the values and the end position; `None` on
+/// malformed input (truncation, varint overflow, or id overflow). Decoded
+/// rows are strictly increasing by construction.
+pub fn decode_row(bytes: &[u8], at: usize, count: usize) -> Option<(Vec<VertexId>, usize)> {
+    let mut row = Vec::with_capacity(count);
+    let mut pos = at;
+    let mut prev: Option<VertexId> = None;
+    for _ in 0..count {
+        let (raw, next) = varint::decode_u32(bytes, pos)?;
+        pos = next;
+        let value = match prev {
+            None => raw,
+            Some(p) => p.checked_add(raw)?.checked_add(1)?,
+        };
+        row.push(value);
+        prev = Some(value);
+    }
+    Some((row, pos))
+}
+
+/// A bounds-checked cursor over an untrusted byte buffer.
+///
+/// Every accessor returns `None` instead of reading past the end, so wire
+/// decoders built on it can never panic on truncated or hostile input;
+/// [`Reader::finish`] asserts the buffer was consumed exactly, catching
+/// trailing garbage.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, at: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
+    /// Current position from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.at
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(b)
+    }
+
+    /// Reads a fixed-width little-endian `u32`.
+    pub fn u32_le(&mut self) -> Option<u32> {
+        let slice = self.bytes.get(self.at..self.at + 4)?;
+        self.at += 4;
+        Some(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+    }
+
+    /// Reads one `u32` varint.
+    pub fn varint_u32(&mut self) -> Option<u32> {
+        let (value, next) = varint::decode_u32(self.bytes, self.at)?;
+        self.at = next;
+        Some(value)
+    }
+
+    /// Reads one `u64` varint.
+    pub fn varint_u64(&mut self) -> Option<u64> {
+        let (value, next) = varint::decode_u64(self.bytes, self.at)?;
+        self.at = next;
+        Some(value)
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.at..self.at.checked_add(len)?)?;
+        self.at += len;
+        Some(slice)
+    }
+
+    /// Reads a strictly-increasing delta row of `count` ids ([`decode_row`]).
+    pub fn row(&mut self, count: usize) -> Option<Vec<VertexId>> {
+        // Each encoded id needs at least one byte, so a hostile count can
+        // never trigger an allocation larger than the buffer that carried it.
+        if count > self.remaining() {
+            return None;
+        }
+        let (row, next) = decode_row(self.bytes, self.at, count)?;
+        self.at = next;
+        Some(row)
+    }
+
+    /// Succeeds only when the buffer was consumed exactly.
+    pub fn finish(self) -> Option<()> {
+        if self.at == self.bytes.len() {
+            Some(())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_varints_roundtrip_across_the_range() {
+        let mut buf = Vec::new();
+        for value in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            buf.clear();
+            varint::encode_u64(value, &mut buf);
+            assert_eq!(varint::decode_u64(&buf, 0), Some((value, buf.len())));
+            // Truncations fail cleanly.
+            for cut in 0..buf.len() {
+                assert_eq!(varint::decode_u64(&buf[..cut], 0), None);
+            }
+        }
+        // Overlong encodings are rejected: u64::MAX plus one more payload bit.
+        let overlong = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
+        assert_eq!(varint::decode_u64(&overlong, 0), None);
+        let eleven = [0x80u8; 11];
+        assert_eq!(varint::decode_u64(&eleven, 0), None);
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut buf = vec![7u8];
+        buf.extend_from_slice(&42u32.to_le_bytes());
+        varint::encode_u32(300, &mut buf);
+        varint::encode_u64(1 << 40, &mut buf);
+        encode_row(&[3, 4, 10], &mut buf);
+        buf.extend_from_slice(b"xy");
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32_le(), Some(42));
+        assert_eq!(r.varint_u32(), Some(300));
+        assert_eq!(r.varint_u64(), Some(1 << 40));
+        assert_eq!(r.row(3), Some(vec![3, 4, 10]));
+        assert_eq!(r.take(2), Some(&b"xy"[..]));
+        assert_eq!(r.remaining(), 0);
+        assert!(r.finish().is_some());
+
+        let mut short = Reader::new(&buf[..2]);
+        assert_eq!(short.u8(), Some(7));
+        assert_eq!(short.u32_le(), None, "past the end");
+        assert!(short.finish().is_none(), "one byte left unread");
+
+        // A count larger than the buffer is rejected before allocating.
+        let mut hostile = Reader::new(&[1u8, 2]);
+        assert_eq!(hostile.row(usize::MAX), None);
+    }
+}

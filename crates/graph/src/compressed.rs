@@ -27,81 +27,10 @@ use crate::csr::CsrGraph;
 use crate::types::VertexId;
 use crate::view::GraphView;
 
-/// LEB128 varint codec for `u32` values, used by the compressed adjacency
-/// rows and exposed for wire formats that need the same primitive.
-pub mod varint {
-    /// Appends `value` to `out` as an LEB128 varint (1–5 bytes).
-    pub fn encode_u32(mut value: u32, out: &mut Vec<u8>) {
-        while value >= 0x80 {
-            out.push((value as u8 & 0x7F) | 0x80);
-            value >>= 7;
-        }
-        out.push(value as u8);
-    }
-
-    /// Decodes one LEB128 varint starting at `bytes[at]`, returning the value
-    /// and the position just past it; `None` on truncated or overlong input.
-    pub fn decode_u32(bytes: &[u8], at: usize) -> Option<(u32, usize)> {
-        let mut value: u32 = 0;
-        let mut shift = 0u32;
-        let mut pos = at;
-        loop {
-            let byte = *bytes.get(pos)?;
-            pos += 1;
-            let payload = (byte & 0x7F) as u32;
-            // The fifth byte may only contribute the top 4 bits of a u32.
-            if shift == 28 && payload > 0x0F {
-                return None;
-            }
-            value |= payload << shift;
-            if byte & 0x80 == 0 {
-                return Some((value, pos));
-            }
-            shift += 7;
-            if shift > 28 {
-                return None;
-            }
-        }
-    }
-}
-
-/// Encodes one strictly-increasing neighbour row (first value verbatim, then
-/// gap-minus-one deltas), appending varints to `out`.
-///
-/// # Panics
-///
-/// Debug-asserts that `row` is strictly increasing.
-pub fn encode_row(row: &[VertexId], out: &mut Vec<u8>) {
-    debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be sorted");
-    let mut prev: Option<VertexId> = None;
-    for &v in row {
-        match prev {
-            None => varint::encode_u32(v, out),
-            Some(p) => varint::encode_u32(v - p - 1, out),
-        }
-        prev = Some(v);
-    }
-}
-
-/// Decodes a row produced by [`encode_row`] (`count` values from
-/// `bytes[at..]`), returning the values and the end position; `None` on
-/// malformed input (truncation, varint overflow, or id overflow).
-pub fn decode_row(bytes: &[u8], at: usize, count: usize) -> Option<(Vec<VertexId>, usize)> {
-    let mut row = Vec::with_capacity(count);
-    let mut pos = at;
-    let mut prev: Option<VertexId> = None;
-    for _ in 0..count {
-        let (raw, next) = varint::decode_u32(bytes, pos)?;
-        pos = next;
-        let value = match prev {
-            None => raw,
-            Some(p) => p.checked_add(raw)?.checked_add(1)?,
-        };
-        row.push(value);
-        prev = Some(value);
-    }
-    Some((row, pos))
-}
+// The varint and delta-row primitives started life here; they now live in
+// [`crate::codec`] so every wire format shares one implementation. Re-exported
+// under their original paths for compatibility.
+pub use crate::codec::{decode_row, encode_row, varint};
 
 /// An undirected graph whose neighbour lists are stored delta + varint
 /// compressed, with a lazy per-row decode cache (see the [module

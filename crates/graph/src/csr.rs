@@ -30,10 +30,15 @@ pub struct EdgeIngestStats {
 
 /// Magic bytes opening every serialised CSR buffer.
 const CSR_WIRE_MAGIC: [u8; 4] = *b"KCSR";
-/// Version byte of the wire format; bump on incompatible layout changes.
+/// Version byte of the fixed-width wire format.
 const CSR_WIRE_VERSION: u8 = 1;
+/// Version byte of the varint/delta compact wire format.
+const CSR_WIRE_VERSION_COMPACT: u8 = 2;
 /// Header size: magic + version + `n` + neighbour count.
 const CSR_WIRE_HEADER: usize = 4 + 1 + 4 + 4;
+/// Compact header size: magic + version + `n` (the neighbour count is
+/// implied by the per-row degree varints).
+const CSR_COMPACT_HEADER: usize = 4 + 1 + 4;
 
 /// An undirected graph in compressed sparse row form.
 ///
@@ -277,9 +282,32 @@ impl CsrGraph {
         out
     }
 
-    /// Deserialises a buffer produced by [`CsrGraph::to_bytes`], validating
-    /// the structural invariants (monotone offsets, in-range and per-row
-    /// strictly-sorted neighbours) so a corrupted or hostile buffer can never
+    /// Serialises the graph into the **compact** wire form: the same header
+    /// style as [`CsrGraph::to_bytes`] (magic, version 2, `n` little-endian)
+    /// but rows stored as a degree varint followed by the delta + varint
+    /// encoding of the sorted neighbour slice ([`crate::codec::encode_row`]).
+    /// On typical graphs this is 2–4× smaller than the fixed-width form;
+    /// [`CsrGraph::from_bytes`] accepts both versions.
+    pub fn to_bytes_compact(&self) -> Vec<u8> {
+        let n = self.num_vertices();
+        // Small gaps dominate after sorting, so reserve roughly one byte per
+        // neighbour entry plus per-row degree headroom.
+        let mut out = Vec::with_capacity(CSR_COMPACT_HEADER + self.neighbors.len() + 2 * n);
+        out.extend_from_slice(&CSR_WIRE_MAGIC);
+        out.push(CSR_WIRE_VERSION_COMPACT);
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        for v in 0..n as VertexId {
+            let row = CsrGraph::neighbors(self, v);
+            crate::codec::varint::encode_u32(row.len() as u32, &mut out);
+            crate::codec::encode_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Deserialises a buffer produced by [`CsrGraph::to_bytes`] or
+    /// [`CsrGraph::to_bytes_compact`], validating the structural invariants
+    /// (monotone offsets, in-range and per-row strictly-sorted neighbours,
+    /// symmetric adjacency) so a corrupted or hostile buffer can never
     /// produce a graph that later panics.
     ///
     /// This is the transport format for cross-process work items: a shard
@@ -287,20 +315,40 @@ impl CsrGraph {
     /// shared memory.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
         let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
-        if bytes.len() < CSR_WIRE_HEADER {
+        if bytes.len() < CSR_COMPACT_HEADER {
             return Err(malformed("buffer shorter than the header"));
         }
         if bytes[..4] != CSR_WIRE_MAGIC {
             return Err(malformed("bad magic (not a CSR graph buffer)"));
         }
-        if bytes[4] != CSR_WIRE_VERSION {
-            return Err(malformed("unsupported format version"));
+        let (offsets, neighbors) = match bytes[4] {
+            CSR_WIRE_VERSION => Self::parse_fixed(bytes)?,
+            CSR_WIRE_VERSION_COMPACT => Self::parse_compact(bytes)?,
+            _ => return Err(malformed("unsupported format version")),
+        };
+        let graph = CsrGraph { offsets, neighbors };
+        graph.validate_rows()?;
+        Ok(graph)
+    }
+
+    /// Parses the version-1 fixed-width layout into `(offsets, neighbors)`.
+    fn parse_fixed(bytes: &[u8]) -> Result<(Vec<u32>, Vec<VertexId>), GraphError> {
+        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+        if bytes.len() < CSR_WIRE_HEADER {
+            return Err(malformed("buffer shorter than the header"));
         }
         let read_u32 =
             |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
         let n = read_u32(5) as usize;
         let num_neighbors = read_u32(9) as usize;
-        let expected = CSR_WIRE_HEADER + 4 * (n + 1) + 4 * num_neighbors;
+        let expected = (CSR_WIRE_HEADER)
+            .checked_add(
+                4usize
+                    .checked_mul(n + 1)
+                    .ok_or_else(|| malformed("vertex count overflows"))?,
+            )
+            .and_then(|t| t.checked_add(4 * num_neighbors))
+            .ok_or_else(|| malformed("header sizes overflow"))?;
         if bytes.len() != expected {
             return Err(malformed("buffer length disagrees with the header"));
         }
@@ -319,8 +367,49 @@ impl CsrGraph {
         for i in 0..num_neighbors {
             neighbors.push(read_u32(base + 4 * i));
         }
+        Ok((offsets, neighbors))
+    }
+
+    /// Parses the version-2 varint/delta layout into `(offsets, neighbors)`.
+    fn parse_compact(bytes: &[u8]) -> Result<(Vec<u32>, Vec<VertexId>), GraphError> {
+        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+        let mut r = crate::codec::Reader::new(&bytes[CSR_COMPACT_HEADER - 4..]);
+        let n = r
+            .u32_le()
+            .ok_or_else(|| malformed("buffer shorter than the header"))? as usize;
+        // Every row costs at least its one-byte degree varint, so a hostile
+        // vertex count can never exceed the buffer that carried it.
+        if n > r.remaining() {
+            return Err(malformed("vertex count disagrees with the buffer size"));
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for _ in 0..n {
+            let degree =
+                r.varint_u32()
+                    .ok_or_else(|| malformed("row degree truncated"))? as usize;
+            let row = r
+                .row(degree)
+                .ok_or_else(|| malformed("row stream truncated"))?;
+            neighbors.extend_from_slice(&row);
+            if neighbors.len() > u32::MAX as usize {
+                return Err(malformed("adjacency exceeds the id space"));
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        r.finish()
+            .ok_or_else(|| malformed("trailing bytes after the last row"))?;
+        Ok((offsets, neighbors))
+    }
+
+    /// Validates the row invariants every wire decoder must enforce:
+    /// in-range, strictly sorted, loop-free rows and a symmetric adjacency.
+    fn validate_rows(&self) -> Result<(), GraphError> {
+        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+        let n = self.num_vertices();
         for v in 0..n {
-            let row = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            let row = CsrGraph::neighbors(self, v as VertexId);
             if row.iter().any(|&w| w as usize >= n) {
                 return Err(malformed("neighbour id out of range"));
             }
@@ -331,18 +420,17 @@ impl CsrGraph {
                 return Err(malformed("self-loops are not allowed"));
             }
         }
-        let graph = CsrGraph { offsets, neighbors };
         // Symmetry is load-bearing (peeling and flow construction assume
         // every directed entry has its reverse), so it is a real validation,
         // not a debug assertion.
-        for v in graph.vertices() {
-            for &w in CsrGraph::neighbors(&graph, v) {
-                if CsrGraph::neighbors(&graph, w).binary_search(&v).is_err() {
+        for v in self.vertices() {
+            for &w in CsrGraph::neighbors(self, v) {
+                if CsrGraph::neighbors(self, w).binary_search(&v).is_err() {
                     return Err(malformed("adjacency must be symmetric"));
                 }
             }
         }
-        Ok(graph)
+        Ok(())
     }
 
     /// Extracts the subgraph induced by `vertices` (which must be sorted
@@ -637,6 +725,59 @@ mod tests {
             asymmetric.extend_from_slice(&offset.to_le_bytes());
         }
         asymmetric.extend_from_slice(&1u32.to_le_bytes()); // 0 -> 1 only
+        assert_malformed(&asymmetric);
+    }
+
+    #[test]
+    fn compact_byte_roundtrip_preserves_the_graph() {
+        let g = CsrGraph::from_edges(5, two_triangles_edges()).unwrap();
+        let compact = g.to_bytes_compact();
+        assert_eq!(CsrGraph::from_bytes(&compact).unwrap(), g);
+        assert!(
+            compact.len() < g.to_bytes().len(),
+            "compact form must be smaller than fixed-width on a real graph"
+        );
+        // Empty and edgeless graphs roundtrip too.
+        for n in [0usize, 3] {
+            let g = CsrGraph::new(n);
+            assert_eq!(CsrGraph::from_bytes(&g.to_bytes_compact()).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn compact_from_bytes_rejects_corrupted_buffers() {
+        let g = CsrGraph::from_edges(5, two_triangles_edges()).unwrap();
+        let good = g.to_bytes_compact();
+        let assert_malformed = |bytes: &[u8]| {
+            assert!(matches!(
+                CsrGraph::from_bytes(bytes),
+                Err(GraphError::MalformedBytes { .. })
+            ));
+        };
+        // Every truncation fails cleanly (header, degree, or row stream).
+        for cut in 0..good.len() {
+            assert_malformed(&good[..cut]);
+        }
+        // Trailing garbage after the last row.
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_malformed(&trailing);
+        // A hostile vertex count larger than the buffer is rejected before
+        // any allocation.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(b"KCSR");
+        hostile.push(2);
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_malformed(&hostile);
+        // Asymmetric adjacency fails validation in the compact path too:
+        // vertex 0 lists 1, vertex 1 lists nothing.
+        let mut asymmetric = Vec::new();
+        asymmetric.extend_from_slice(b"KCSR");
+        asymmetric.push(2);
+        asymmetric.extend_from_slice(&2u32.to_le_bytes());
+        asymmetric.push(1); // degree of vertex 0
+        asymmetric.push(1); // row [1]
+        asymmetric.push(0); // degree of vertex 1
         assert_malformed(&asymmetric);
     }
 

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod codec;
 pub mod compressed;
 pub mod csr;
 pub mod error;

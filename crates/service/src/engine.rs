@@ -3,9 +3,10 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use kvcc::global_cut::{global_cut_with_scratch, CutScratch};
-use kvcc::index::ConnectivityIndex;
+use kvcc::index::{ConnectivityIndex, RankBy};
 use kvcc::stats::EnumerationStats;
 use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccOptions};
 use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
@@ -14,30 +15,15 @@ use kvcc_graph::reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
 use kvcc_graph::traversal::is_connected;
 use kvcc_graph::{CsrGraph, GraphView, SubgraphView, VertexId};
 
-use crate::protocol::{GraphId, QueryRequest, QueryResponse, ServiceError};
-use crate::wire::CsrWorkItem;
-
-/// How the engine lays out hot graphs in memory.
-///
-/// Everything behind the protocol boundary may run in a relabelled id space
-/// for cache locality; the engine translates incoming vertex ids on the way
-/// in and result ids on the way out, so responses are **always** expressed in
-/// the ids the graph was loaded with, whatever the policy. Orderings are
-/// deterministic functions of the graph, so the same graph + policy always
-/// produces the same internal space (which is what lets a persisted index be
-/// restored across restarts, see [`ServiceEngine::install_index_bytes`]).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum OrderingPolicy {
-    /// Store graphs with the ids they were loaded with.
-    #[default]
-    Preserve,
-    /// Relabel by non-ascending degree (hot rows share cache lines).
-    DegreeDescending,
-    /// Relabel in per-component BFS order (bandwidth reduction).
-    Bfs,
-    /// Per-component BFS seeded at each component's maximum-degree vertex.
-    Hybrid,
-}
+// `OrderingPolicy` is protocol-visible since v2 (reported by `Stats`); it is
+// re-exported here because the engine is its natural home for readers.
+pub use crate::protocol::OrderingPolicy;
+use crate::protocol::{
+    GraphId, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request, RequestBody, Response,
+    ResponseBody, ServiceError,
+};
+use crate::wire::transport::{Transport, TransportError};
+use crate::wire::{run_work_item, CsrWorkItem};
 
 impl OrderingPolicy {
     /// The reordering strategy to apply, or `None` for [`Self::Preserve`].
@@ -83,6 +69,28 @@ struct GraphSlot {
     /// internal ids equal the loaded ids.
     ordering: Option<VertexOrdering>,
     index: OnceLock<ConnectivityIndex>,
+    /// Canonical top-k listing, built once from the index (see
+    /// [`TopkOrders`]).
+    topk: OnceLock<TopkOrders>,
+}
+
+/// The slot-level ranking state behind `TopKComponents`: every forest
+/// node's component translated to **loaded** ids, plus one permutation per
+/// [`kvcc::index::RankBy`] key sorted over them.
+///
+/// The index's own rank orders break ties by internal node id, which
+/// depends on the engine's [`OrderingPolicy`] (the hierarchy is built on
+/// the relabelled graph). Pages must be identical under every policy — the
+/// PR 3 response invariant — so the engine re-sorts in external space: key
+/// descending, ties by the loaded-id member list, then by level (two nodes
+/// can share a member list only at different levels). Built lazily on the
+/// first top-k query and cached for the slot's lifetime (the index is
+/// immutable once set).
+struct TopkOrders {
+    /// Per forest node: the component in loaded ids (canonical sorted form).
+    external: Vec<KVertexConnectedComponent>,
+    /// Per [`kvcc::index::RankBy`] code: node ids in page order.
+    orders: [Vec<u32>; 3],
 }
 
 impl GraphSlot {
@@ -116,6 +124,49 @@ impl GraphSlot {
             Some(ordering) => ordering.to_old(v),
             None => v,
         }
+    }
+
+    /// The canonical top-k listing, built on first use from the slot's
+    /// (already built) index.
+    fn topk_orders(&self, ix: &ConnectivityIndex) -> &TopkOrders {
+        self.topk.get_or_init(|| {
+            let n = ix.num_nodes();
+            let external: Vec<KVertexConnectedComponent> = (0..n as u32)
+                .map(|id| {
+                    let comp = ix.node_component(id).expect("node id in range");
+                    match &self.ordering {
+                        None => comp.clone(),
+                        Some(_) => KVertexConnectedComponent::new(
+                            comp.vertices()
+                                .iter()
+                                .map(|&v| self.to_external(v))
+                                .collect(),
+                        ),
+                    }
+                })
+                .collect();
+            // One key triple per node; the ranking itself is the shared
+            // definition in `kvcc::index::rank_key_cmp`, so the engine's
+            // page order can never diverge from the index's.
+            let key_of = |id: u32| -> (u32, usize, u64) {
+                (
+                    ix.node_k(id).expect("node id in range"),
+                    external[id as usize].len(),
+                    ix.internal_edges_of(id).expect("node id in range"),
+                )
+            };
+            let orders = std::array::from_fn(|slot| {
+                let rank_by = RankBy::ALL[slot];
+                let mut order: Vec<u32> = (0..n as u32).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    kvcc::index::rank_key_cmp(rank_by, key_of(a), key_of(b))
+                        .then_with(|| external[a as usize].cmp(&external[b as usize]))
+                        .then_with(|| ix.node_k(a).cmp(&ix.node_k(b)))
+                });
+                order
+            });
+            TopkOrders { external, orders }
+        })
     }
 
     /// Maps a component list out of the internal space, restoring the
@@ -212,6 +263,7 @@ impl ServiceEngine {
             csr,
             ordering,
             index: OnceLock::new(),
+            topk: OnceLock::new(),
         });
         let mut graphs = self.graphs.lock().unwrap();
         graphs.push(Some(slot));
@@ -313,12 +365,32 @@ impl ServiceEngine {
     /// response per request in the same order. Individual failures surface as
     /// [`QueryResponse::Error`] without affecting the rest of the batch.
     pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
+        self.execute_batch_inner(requests, None)
+    }
+
+    /// [`ServiceEngine::execute_batch`] with an optional deadline: a request
+    /// whose turn comes after the deadline is answered
+    /// [`ServiceError::DeadlineExceeded`] instead of executing, so one slow
+    /// batch cannot blow through its envelope's hint.
+    fn execute_batch_inner(
+        &self,
+        requests: &[QueryRequest],
+        deadline: Option<Instant>,
+    ) -> Vec<QueryResponse> {
+        let expired =
+            |deadline: Option<Instant>| deadline.is_some_and(|deadline| Instant::now() >= deadline);
         let threads = effective_threads(self.config.threads).min(requests.len().max(1));
         if threads <= 1 {
             let mut scratch = WorkerScratch::new();
             return requests
                 .iter()
-                .map(|r| self.execute_with(r, &mut scratch))
+                .map(|r| {
+                    if expired(deadline) {
+                        QueryResponse::Error(ServiceError::DeadlineExceeded)
+                    } else {
+                        self.execute_with(r, &mut scratch)
+                    }
+                })
                 .collect();
         }
 
@@ -349,7 +421,12 @@ impl ServiceEngine {
                         if i >= requests.len() {
                             break;
                         }
-                        local.push((i, self.execute_with(&requests[i], &mut scratch)));
+                        let response = if expired(deadline) {
+                            QueryResponse::Error(ServiceError::DeadlineExceeded)
+                        } else {
+                            self.execute_with(&requests[i], &mut scratch)
+                        };
+                        local.push((i, response));
                     }
                     collected.lock().unwrap().extend(local);
                 });
@@ -358,6 +435,137 @@ impl ServiceEngine {
         let mut indexed = collected.into_inner().unwrap();
         indexed.sort_by_key(|(i, _)| *i);
         indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Executes one protocol-v2 envelope: the request id is echoed, the
+    /// deadline hint (measured from this call) is enforced, and the body is
+    /// dispatched — single queries to the direct path, batches to the worker
+    /// pool, work items to the shard executor. This is the single entry
+    /// point behind [`ServiceEngine::handle_frame`], so in-process callers
+    /// and byte-driven transports observe identical semantics.
+    pub fn execute_request(&self, request: &Request) -> Response {
+        let deadline = request
+            .deadline_hint_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms as u64));
+        let expired = || deadline.is_some_and(|deadline| Instant::now() >= deadline);
+        let body = match &request.body {
+            RequestBody::Query(query) => ResponseBody::Query(if expired() {
+                QueryResponse::Error(ServiceError::DeadlineExceeded)
+            } else {
+                self.execute(query)
+            }),
+            RequestBody::Batch(queries) => {
+                ResponseBody::Batch(self.execute_batch_inner(queries, deadline))
+            }
+            RequestBody::WorkItem { k, item } => ResponseBody::Query(if expired() {
+                QueryResponse::Error(ServiceError::DeadlineExceeded)
+            } else {
+                match run_work_item(item, *k, &self.config.enumeration) {
+                    Ok(components) => QueryResponse::Components(components),
+                    Err(e) => QueryResponse::Error(e.into()),
+                }
+            }),
+        };
+        Response {
+            request_id: request.request_id,
+            body,
+        }
+    }
+
+    /// Decodes one request frame, executes it, and encodes the response
+    /// frame — the engine's entire byte-level surface. Undecodable frames
+    /// are answered with [`ServiceError::MalformedRequest`] under request
+    /// id 0 (none could be read), never dropped: a client always gets one
+    /// response frame per request frame.
+    pub fn handle_frame(&self, frame: &[u8]) -> Vec<u8> {
+        let response = match Request::from_bytes(frame) {
+            Ok(request) => self.execute_request(&request),
+            Err(e) => Response {
+                request_id: 0,
+                body: ResponseBody::Query(QueryResponse::Error(ServiceError::MalformedRequest {
+                    reason: e.to_string(),
+                })),
+            },
+        };
+        response.to_bytes()
+    }
+
+    /// Serves a transport until the peer closes it: one response frame per
+    /// request frame, in order. This is what turns the engine into a
+    /// network service — bind any [`Transport`] (the in-process loopback, a
+    /// future socket) and drive the full v2 vocabulary over bytes.
+    pub fn serve(&self, transport: &dyn Transport) -> Result<(), TransportError> {
+        while let Some(frame) = transport.recv()? {
+            transport.send(&self.handle_frame(&frame))?;
+        }
+        Ok(())
+    }
+
+    /// Distributed enumeration over byte transports: partitions the graph's
+    /// `KVCC-ENUM` worklist ([`ServiceEngine::partition_work`]), ships each
+    /// item as a framed [`RequestBody::WorkItem`] round-robin across the
+    /// shard transports, and merges the responses. The result is
+    /// byte-identical to [`ServiceEngine::execute`] answering
+    /// [`QueryRequest::EnumerateKvccs`] on this engine — asserted by the
+    /// `wire_parity` suite — because work items ship loaded ids and shard
+    /// outputs are disjoint by construction.
+    ///
+    /// Each transport must be connected to a peer serving work items
+    /// ([`crate::wire::transport::run_shard_worker`] or another engine's
+    /// [`ServiceEngine::serve`] loop).
+    pub fn enumerate_sharded(
+        &self,
+        graph: GraphId,
+        k: u32,
+        shards: &[&dyn Transport],
+    ) -> Result<Vec<KVertexConnectedComponent>, ServiceError> {
+        if shards.is_empty() {
+            return Err(ServiceError::Transport {
+                reason: "no shard transports supplied".into(),
+            });
+        }
+        let items = self.partition_work(graph, k)?;
+        // Ship every item first (shards work in parallel), then collect one
+        // response per in-flight request from the shard it went to.
+        let mut in_flight: Vec<Vec<u64>> = vec![Vec::new(); shards.len()];
+        for (i, item) in items.into_iter().enumerate() {
+            let request = Request {
+                request_id: i as u64 + 1,
+                deadline_hint_ms: None,
+                body: RequestBody::WorkItem { k, item },
+            };
+            shards[i % shards.len()]
+                .send(&request.to_bytes())
+                .map_err(ServiceError::from)?;
+            in_flight[i % shards.len()].push(request.request_id);
+        }
+        let mut merged: Vec<KVertexConnectedComponent> = Vec::new();
+        for (shard, expected) in shards.iter().zip(&in_flight) {
+            for _ in expected {
+                let frame = shard.recv().map_err(ServiceError::from)?.ok_or_else(|| {
+                    ServiceError::Transport {
+                        reason: "shard closed with work items outstanding".into(),
+                    }
+                })?;
+                let response =
+                    Response::from_bytes(&frame).map_err(|e| ServiceError::Transport {
+                        reason: format!("shard sent an undecodable response: {e}"),
+                    })?;
+                match response.body {
+                    ResponseBody::Query(QueryResponse::Components(components)) => {
+                        merged.extend(components)
+                    }
+                    ResponseBody::Query(QueryResponse::Error(e)) => return Err(e),
+                    other => {
+                        return Err(ServiceError::Transport {
+                            reason: format!("shard answered with the wrong shape: {other:?}"),
+                        })
+                    }
+                }
+            }
+        }
+        merged.sort();
+        Ok(merged)
     }
 
     /// Splits the initial `KVCC-ENUM` worklist of a loaded graph into
@@ -512,15 +720,94 @@ impl ServiceEngine {
                 QueryResponse::Connectivity(value)
             }
             QueryRequest::GraphStats { .. } => {
-                let (indexed, max_k) = match slot.index.get() {
-                    Some(ix) => (true, ix.max_k()),
-                    None => (false, 0),
+                let (indexed, max_k, depth_limit) = match slot.index.get() {
+                    Some(ix) => (true, ix.max_k(), ix.depth_limit()),
+                    None => (false, 0, None),
                 };
                 QueryResponse::Stats {
                     num_vertices: g.num_vertices(),
                     num_edges: g.num_edges(),
                     indexed,
                     max_k,
+                    // The protocol reports the engine's layout policy and the
+                    // index build cap so clients can tell a depth-capped
+                    // index from a complete one instead of silently
+                    // under-reading connectivity values saturated at the cap.
+                    ordering: self.config.ordering,
+                    depth_limit,
+                }
+            }
+            QueryRequest::TopKComponents {
+                rank_by,
+                page_size,
+                ref cursor,
+                ..
+            } => {
+                if page_size == 0 {
+                    return QueryResponse::Error(ServiceError::MalformedRequest {
+                        reason: "page_size must be at least 1".into(),
+                    });
+                }
+                let ix = match slot.index_or_build(&self.config) {
+                    Ok(ix) => ix,
+                    Err(e) => return QueryResponse::Error(e),
+                };
+                let graph = request.graph();
+                let num_nodes = ix.num_nodes() as u64;
+                let invalid = |reason: &str| {
+                    QueryResponse::Error(ServiceError::InvalidCursor {
+                        reason: reason.into(),
+                    })
+                };
+                let offset = match cursor {
+                    None => 0,
+                    Some(bytes) => match PageCursor::from_bytes(bytes) {
+                        Ok(cursor) => {
+                            if cursor.graph != graph {
+                                return invalid("cursor was issued for a different graph");
+                            }
+                            if cursor.rank_by != rank_by {
+                                return invalid("cursor was issued for a different ranking");
+                            }
+                            if cursor.num_nodes != num_nodes {
+                                return invalid("cursor does not match this index");
+                            }
+                            if cursor.offset > num_nodes {
+                                return invalid("cursor offset is out of range");
+                            }
+                            cursor.offset
+                        }
+                        Err(reason) => return invalid(reason),
+                    },
+                };
+                // Pages come from the slot's canonical external-space
+                // ranking, so they are identical under every ordering
+                // policy; the index supplies the per-node metadata.
+                let topk = slot.topk_orders(ix);
+                let order = &topk.orders[rank_by.code() as usize];
+                let start = (offset as usize).min(order.len());
+                let end = start.saturating_add(page_size as usize).min(order.len());
+                let entries: Vec<RankedEntry> = order[start..end]
+                    .iter()
+                    .map(|&id| RankedEntry {
+                        k: ix.node_k(id).expect("node id in range"),
+                        internal_edges: ix.internal_edges_of(id).expect("node id in range"),
+                        component: topk.external[id as usize].clone(),
+                    })
+                    .collect();
+                let consumed = offset + entries.len() as u64;
+                let next_cursor = (consumed < num_nodes).then(|| {
+                    PageCursor {
+                        graph,
+                        rank_by,
+                        offset: consumed,
+                        num_nodes,
+                    }
+                    .to_bytes()
+                });
+                QueryResponse::Page {
+                    entries,
+                    next_cursor,
                 }
             }
         }
@@ -530,32 +817,38 @@ impl ServiceEngine {
 /// Structural spot-check of a deserialised index against a graph's
 /// adjacency: every member of a level-`k` component must have at least
 /// `min(k, |C|−1)` neighbours inside the component (a necessary condition of
-/// k-vertex connectivity). Linear in the total member count times degree; a
-/// forest persisted from a different graph or id space essentially never
-/// satisfies it.
+/// k-vertex connectivity), and the component's persisted internal edge count
+/// — the ranking metadata — must equal the actual count in the graph.
+/// Linear in the total member count times degree; a forest persisted from a
+/// different graph or id space essentially never satisfies it.
 fn index_matches_graph(csr: &CsrGraph, index: &ConnectivityIndex) -> bool {
     let mut inside = vec![false; csr.num_vertices()];
-    for k in 1..=index.max_k() {
-        for component in index.components_at(k) {
-            let members = component.vertices();
-            for &v in members {
-                inside[v as usize] = true;
-            }
-            let need = (k as usize).min(members.len().saturating_sub(1));
-            let ok = members.iter().all(|&v| {
-                csr.neighbors(v)
-                    .iter()
-                    .filter(|&&w| inside[w as usize])
-                    .take(need)
-                    .count()
-                    >= need
-            });
-            for &v in members {
-                inside[v as usize] = false;
-            }
-            if !ok {
-                return false;
-            }
+    // The ranked listing visits every forest node exactly once with its
+    // persisted metadata attached.
+    for entry in index.ranked_components(kvcc::index::RankBy::Size, index.num_nodes()) {
+        let members = entry.component.vertices();
+        for &v in members {
+            inside[v as usize] = true;
+        }
+        let need = (entry.k as usize).min(members.len().saturating_sub(1));
+        let mut directed_inside = 0u64;
+        let mut ok = true;
+        for &v in members {
+            let inside_degree = csr
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| inside[w as usize])
+                .count();
+            directed_inside += inside_degree as u64;
+            ok &= inside_degree >= need;
+        }
+        for &v in members {
+            inside[v as usize] = false;
+        }
+        // Also verify the persisted ranking metadata against the graph, so
+        // a restored index can never rank on fabricated densities.
+        if !ok || directed_inside / 2 != entry.internal_edges {
+            return false;
         }
     }
     true
@@ -782,6 +1075,16 @@ mod tests {
                 requests.push(QueryRequest::MaxConnectivity { graph: id, u, v });
             }
         }
+        // First pages of every ranking: identical across ordering policies
+        // because the slot ranks in external space.
+        for rank_by in RankBy::ALL {
+            requests.push(QueryRequest::TopKComponents {
+                graph: id,
+                rank_by,
+                page_size: 4,
+                cursor: None,
+            });
+        }
         requests
     }
 
@@ -800,7 +1103,15 @@ mod tests {
                 ..EngineConfig::default()
             });
             let id = engine.load_graph("mixed", &mixed_graph());
-            let responses = engine.execute_batch(&probe_requests(id));
+            let mut responses = engine.execute_batch(&probe_requests(id));
+            // `Stats` truthfully reports each engine's layout policy — the
+            // one field that is *supposed* to differ. Normalise it; every
+            // other byte of every response must be identical.
+            for response in &mut responses {
+                if let QueryResponse::Stats { ordering, .. } = response {
+                    *ordering = OrderingPolicy::Preserve;
+                }
+            }
             assert_eq!(responses, expected, "{ordering:?}");
         }
     }
@@ -884,6 +1195,81 @@ mod tests {
             &UndirectedGraph::from_edges(9, (0..8u32).map(|i| (i, i + 1))).unwrap(),
         );
         assert!(preserve.install_index_bytes(other, &bytes).is_err());
+    }
+
+    #[test]
+    fn execute_request_echoes_ids_and_enforces_deadlines() {
+        use crate::protocol::{Request, RequestBody, Response, ResponseBody};
+        let (engine, id) = engine_with_graph();
+        // A normal envelope: id echoed, body dispatched.
+        let response =
+            engine.execute_request(&Request::query(77, QueryRequest::GraphStats { graph: id }));
+        assert_eq!(response.request_id, 77);
+        assert!(matches!(
+            response.body,
+            ResponseBody::Query(QueryResponse::Stats { .. })
+        ));
+        // A 0 ms deadline has always expired by the time work would run:
+        // single queries, every batch position, and work items all report
+        // DeadlineExceeded instead of executing.
+        let expired = Request {
+            request_id: 1,
+            deadline_hint_ms: Some(0),
+            body: RequestBody::Batch(vec![
+                QueryRequest::GraphStats { graph: id },
+                QueryRequest::EnumerateKvccs { graph: id, k: 2 },
+            ]),
+        };
+        match engine.execute_request(&expired).body {
+            ResponseBody::Batch(responses) => {
+                assert_eq!(responses.len(), 2);
+                for r in responses {
+                    assert_eq!(r, QueryResponse::Error(ServiceError::DeadlineExceeded));
+                }
+            }
+            other => panic!("expected a batch, got {other:?}"),
+        }
+        // The frame path reports undecodable requests instead of dropping.
+        let garbage = engine.handle_frame(b"not a frame");
+        let decoded = Response::from_bytes(&garbage).unwrap();
+        assert_eq!(decoded.request_id, 0);
+        match decoded.body {
+            ResponseBody::Query(QueryResponse::Error(e)) => assert_eq!(e.code(), 7),
+            other => panic!("expected a malformed-request error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reports_ordering_and_index_coverage() {
+        let engine = ServiceEngine::new(EngineConfig {
+            index_max_k: Some(1),
+            ordering: OrderingPolicy::Hybrid,
+            ..EngineConfig::default()
+        });
+        let id = engine.load_graph("mixed", &mixed_graph());
+        // Before any index: coverage unknown, policy still reported.
+        assert!(matches!(
+            engine.execute(&QueryRequest::GraphStats { graph: id }),
+            QueryResponse::Stats {
+                indexed: false,
+                ordering: OrderingPolicy::Hybrid,
+                depth_limit: None,
+                ..
+            }
+        ));
+        engine.build_index(id).unwrap();
+        // A depth-capped index is detectable: clients see the cap instead of
+        // silently under-reading saturated connectivity values.
+        assert!(matches!(
+            engine.execute(&QueryRequest::GraphStats { graph: id }),
+            QueryResponse::Stats {
+                indexed: true,
+                max_k: 1,
+                ordering: OrderingPolicy::Hybrid,
+                depth_limit: Some(1),
+                ..
+            }
+        ));
     }
 
     #[test]

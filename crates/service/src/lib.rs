@@ -14,10 +14,22 @@
 //!   each owning its own scratch arenas (`CutScratch` for GLOBAL-CUT probes,
 //!   a flow arena for local-connectivity probes) — per-request allocations
 //!   stay out of the steady state;
+//! * **protocol v2** wraps every query in a [`Request`]/[`Response`]
+//!   envelope (request id, deadline hint) with numbered [`ServiceError`]
+//!   codes, ranked/paginated [`QueryRequest::TopKComponents`] queries and a
+//!   multi-graph batch form; the whole vocabulary has a validated,
+//!   bincode-free byte codec ([`wire::message`]) built on the shared varint
+//!   primitives of [`wire::codec`];
+//! * a [`Transport`] moves length-prefixed
+//!   frames ([`wire::frame`]) between peers;
+//!   [`ServiceEngine::serve`] binds an engine to one, and
+//!   [`run_shard_worker`] is a worker
+//!   that enumerates [`CsrWorkItem`]s **purely over bytes** — no shared
+//!   memory — with [`ServiceEngine::enumerate_sharded`] as the coordinator
+//!   that reproduces the whole-graph enumeration from shard frames;
 //! * [`CsrWorkItem`] is the self-contained unit of sharded enumeration: a
 //!   CSR subgraph plus its id map, with bincode-free
-//!   [`to_bytes`](CsrWorkItem::to_bytes) / [`from_bytes`](CsrWorkItem::from_bytes)
-//!   so cross-process sharding is purely a transport problem.
+//!   [`to_bytes`](CsrWorkItem::to_bytes) / [`from_bytes`](CsrWorkItem::from_bytes).
 //!
 //! # Quick start
 //!
@@ -47,10 +59,14 @@ pub mod engine;
 pub mod protocol;
 pub mod wire;
 
-pub use engine::{EngineConfig, OrderingPolicy, ServiceEngine};
-pub use protocol::{GraphId, QueryRequest, QueryResponse, ServiceError};
+pub use engine::{EngineConfig, ServiceEngine};
+pub use protocol::{
+    GraphId, OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request,
+    RequestBody, Response, ResponseBody, ServiceError,
+};
+pub use wire::transport::{call, run_shard_worker, LoopbackTransport, Transport, TransportError};
 pub use wire::{run_work_item, CsrWorkItem};
 
 // Re-exported so service users need only this crate for the common types.
-pub use kvcc::{ConnectivityIndex, KVertexConnectedComponent, KvccOptions};
+pub use kvcc::{ConnectivityIndex, KVertexConnectedComponent, KvccOptions, RankBy};
 pub use kvcc_graph::CsrGraph;

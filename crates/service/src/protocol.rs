@@ -1,11 +1,21 @@
-//! Plain-data request/response types of the serving layer.
+//! Plain-data types of the versioned service protocol (v2).
 //!
-//! Requests and responses carry no references into engine state, so a future
+//! Requests and responses carry no references into engine state, so a
 //! network transport only has to serialise these values; the engine itself
-//! never leaks `Arc`s or graph internals through the protocol.
+//! never leaks `Arc`s or graph internals through the protocol. Version 2
+//! wraps every query in a [`Request`]/[`Response`] envelope (request id,
+//! deadline hint), extends the vocabulary with ranked/paginated
+//! [`QueryRequest::TopKComponents`] queries, a multi-graph batch form and
+//! self-contained shard work items, and gives every error a stable numeric
+//! code. The byte encoding lives in [`crate::wire::message`]; this module is
+//! only the data model.
 
+use kvcc::index::RankBy;
 use kvcc::{KVertexConnectedComponent, KvccError};
+use kvcc_graph::codec::{varint, Reader};
 use kvcc_graph::VertexId;
+
+use crate::wire::CsrWorkItem;
 
 /// Opaque handle of a graph loaded into a [`crate::ServiceEngine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -14,6 +24,55 @@ pub struct GraphId(pub u32);
 impl std::fmt::Display for GraphId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "graph#{}", self.0)
+    }
+}
+
+/// How an engine lays out hot graphs in memory.
+///
+/// Everything behind the protocol boundary may run in a relabelled id space
+/// for cache locality; the engine translates incoming vertex ids on the way
+/// in and result ids on the way out, so responses are **always** expressed in
+/// the ids the graph was loaded with, whatever the policy. Orderings are
+/// deterministic functions of the graph, so the same graph + policy always
+/// produces the same internal space (which is what lets a persisted index be
+/// restored across restarts, see [`crate::ServiceEngine::install_index_bytes`]).
+///
+/// The policy is part of the protocol (reported by
+/// [`QueryResponse::Stats`]) so clients can tell which id space cursors and
+/// persisted indexes belong to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// Store graphs with the ids they were loaded with.
+    #[default]
+    Preserve,
+    /// Relabel by non-ascending degree (hot rows share cache lines).
+    DegreeDescending,
+    /// Relabel in per-component BFS order (bandwidth reduction).
+    Bfs,
+    /// Per-component BFS seeded at each component's maximum-degree vertex.
+    Hybrid,
+}
+
+impl OrderingPolicy {
+    /// Stable wire code of the policy.
+    pub const fn code(self) -> u8 {
+        match self {
+            OrderingPolicy::Preserve => 0,
+            OrderingPolicy::DegreeDescending => 1,
+            OrderingPolicy::Bfs => 2,
+            OrderingPolicy::Hybrid => 3,
+        }
+    }
+
+    /// Decodes a wire code produced by [`OrderingPolicy::code`].
+    pub const fn from_code(code: u8) -> Option<OrderingPolicy> {
+        match code {
+            0 => Some(OrderingPolicy::Preserve),
+            1 => Some(OrderingPolicy::DegreeDescending),
+            2 => Some(OrderingPolicy::Bfs),
+            3 => Some(OrderingPolicy::Hybrid),
+            _ => None,
+        }
     }
 }
 
@@ -82,6 +141,26 @@ pub enum QueryRequest {
         /// Target graph.
         graph: GraphId,
     },
+    /// The top-ranked components of the whole index forest, paginated.
+    ///
+    /// Ranking is a sort over metadata the index precomputed at build time
+    /// ([`kvcc::ConnectivityIndex::ranked_components`]); the first page is
+    /// requested with `cursor: None` and every [`QueryResponse::Page`]
+    /// carries the opaque cursor resuming after it. Walking pages until the
+    /// cursor runs out yields **every** component of the forest exactly
+    /// once. Cursors are only valid against the same engine, graph and
+    /// `rank_by`; anything else is rejected with
+    /// [`ServiceError::InvalidCursor`].
+    TopKComponents {
+        /// Target graph.
+        graph: GraphId,
+        /// Ranking key.
+        rank_by: RankBy,
+        /// Maximum entries per page (must be at least 1).
+        page_size: u32,
+        /// Resumption cursor from the previous page, `None` for the first.
+        cursor: Option<Vec<u8>>,
+    },
 }
 
 impl QueryRequest {
@@ -94,7 +173,8 @@ impl QueryRequest {
             | QueryRequest::VertexConnectivityNumber { graph, .. }
             | QueryRequest::GlobalCutProbe { graph, .. }
             | QueryRequest::LocalConnectivity { graph, .. }
-            | QueryRequest::GraphStats { graph } => graph,
+            | QueryRequest::GraphStats { graph }
+            | QueryRequest::TopKComponents { graph, .. } => graph,
         }
     }
 
@@ -108,7 +188,101 @@ impl QueryRequest {
             QueryRequest::KvccsContaining { .. }
                 | QueryRequest::MaxConnectivity { .. }
                 | QueryRequest::VertexConnectivityNumber { .. }
+                | QueryRequest::TopKComponents { .. }
         )
+    }
+}
+
+/// One entry of a [`QueryResponse::Page`]: a component plus the metadata it
+/// was ranked on, expressed in loaded vertex ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankedEntry {
+    /// Connectivity level of the component.
+    pub k: u32,
+    /// Number of graph edges with both endpoints inside the component.
+    pub internal_edges: u64,
+    /// The component members.
+    pub component: KVertexConnectedComponent,
+}
+
+impl RankedEntry {
+    /// Number of members.
+    pub fn size(&self) -> u32 {
+        self.component.len() as u32
+    }
+
+    /// Internal edges over possible edges (`0.0` below two members); the
+    /// same formula the index ranks with ([`kvcc::index::density_of`]).
+    pub fn density(&self) -> f64 {
+        kvcc::index::density_of(self.internal_edges, self.component.len())
+    }
+}
+
+/// Magic bytes opening every serialised page cursor.
+const CURSOR_MAGIC: [u8; 4] = *b"KCUR";
+/// Version byte of the cursor format (tracks the protocol version).
+const CURSOR_VERSION: u8 = 2;
+
+/// The decoded form of the opaque pagination cursor carried by
+/// [`QueryRequest::TopKComponents`] and [`QueryResponse::Page`].
+///
+/// The cursor is self-contained — the engine keeps **no** per-client
+/// pagination state. `graph` and `num_nodes` together fingerprint the
+/// listing the cursor was issued against, so a cursor replayed against a
+/// different graph handle, a different ranking, or an index rebuilt with a
+/// different depth cap is rejected instead of silently skipping or
+/// repeating components.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageCursor {
+    /// The graph handle the cursor was issued for.
+    pub graph: GraphId,
+    /// The ranking the cursor belongs to.
+    pub rank_by: RankBy,
+    /// Number of entries already returned (resume point).
+    pub offset: u64,
+    /// Total node count of the index the cursor was issued against.
+    pub num_nodes: u64,
+}
+
+impl PageCursor {
+    /// Serialises the cursor (magic, version, rank code, then graph id,
+    /// offset and node-count varints).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 1 + 1 + 5 + 10 + 10);
+        out.extend_from_slice(&CURSOR_MAGIC);
+        out.push(CURSOR_VERSION);
+        out.push(self.rank_by.code());
+        varint::encode_u32(self.graph.0, &mut out);
+        varint::encode_u64(self.offset, &mut out);
+        varint::encode_u64(self.num_nodes, &mut out);
+        out
+    }
+
+    /// Deserialises a cursor, reporting *why* a hostile or stale buffer was
+    /// rejected (the reason is surfaced through
+    /// [`ServiceError::InvalidCursor`]).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, &'static str> {
+        let mut r = Reader::new(bytes);
+        if r.take(4).map(|m| m != CURSOR_MAGIC).unwrap_or(true) {
+            return Err("not a page cursor");
+        }
+        if r.u8() != Some(CURSOR_VERSION) {
+            return Err("unsupported cursor version");
+        }
+        let rank_by = r
+            .u8()
+            .and_then(RankBy::from_code)
+            .ok_or("unknown ranking key")?;
+        let graph = GraphId(r.varint_u32().ok_or("cursor graph id truncated")?);
+        let offset = r.varint_u64().ok_or("cursor offset truncated")?;
+        let num_nodes = r.varint_u64().ok_or("cursor fingerprint truncated")?;
+        r.finish().ok_or("trailing bytes after the cursor")?;
+        Ok(PageCursor {
+            graph,
+            rank_by,
+            offset,
+            num_nodes,
+        })
     }
 }
 
@@ -132,30 +306,93 @@ pub enum QueryResponse {
         indexed: bool,
         /// Deepest hierarchy level when indexed (0 otherwise).
         max_k: u32,
+        /// Memory layout policy of the engine holding the graph.
+        ordering: OrderingPolicy,
+        /// The depth cap the index was built with (`None`: complete, or not
+        /// yet built — check `indexed`). A `Some` value warns clients that
+        /// enumeration/containment answers beyond the cap fall back to
+        /// direct computation and connectivity values saturate there, so a
+        /// depth-capped index is detectable instead of silently
+        /// under-reporting.
+        depth_limit: Option<u32>,
+    },
+    /// One page of a ranked component listing, with the cursor resuming
+    /// after it (`None` on the final page).
+    Page {
+        /// The entries of this page, in ranking order.
+        entries: Vec<RankedEntry>,
+        /// Opaque cursor for the next page; `None` when exhausted.
+        next_cursor: Option<Vec<u8>>,
     },
     /// The request failed; the batch keeps going for the other requests.
     Error(ServiceError),
 }
 
 /// Errors surfaced through [`QueryResponse::Error`] or the engine API.
+///
+/// Every variant carries a stable numeric [`code`](ServiceError::code) that
+/// is part of the wire contract: clients branch on the code, the message
+/// strings are for humans and may change.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The [`GraphId`] does not name a loaded graph.
+    /// Code 1: the [`GraphId`] does not name a loaded graph.
     UnknownGraph {
         /// The offending handle.
         graph: GraphId,
     },
-    /// A vertex id is outside the graph.
+    /// Code 2: a vertex id is outside the graph.
     VertexOutOfRange {
         /// The offending vertex id.
         vertex: VertexId,
     },
-    /// The underlying enumeration rejected the parameters or failed.
+    /// Code 3: the underlying enumeration rejected the parameters or failed.
     Enumeration(String),
+    /// Code 4: a pagination cursor was malformed, stale, or issued for a
+    /// different ranking or index.
+    InvalidCursor {
+        /// Why the cursor was rejected.
+        reason: String,
+    },
+    /// Code 5: the envelope's deadline hint expired before the work ran.
+    DeadlineExceeded,
+    /// Code 6: the endpoint does not serve this request shape (e.g. a
+    /// shard worker receiving an engine query).
+    Unsupported {
+        /// What was requested.
+        what: String,
+    },
+    /// Code 7: the request bytes did not decode as a protocol-v2 message.
+    MalformedRequest {
+        /// Decoder diagnostic.
+        reason: String,
+    },
+    /// Code 8: a transport carrying the conversation failed mid-flight.
+    Transport {
+        /// Transport diagnostic.
+        reason: String,
+    },
+}
+
+impl ServiceError {
+    /// The stable numeric code of the error (wire contract; see the variant
+    /// docs).
+    pub const fn code(&self) -> u16 {
+        match self {
+            ServiceError::UnknownGraph { .. } => 1,
+            ServiceError::VertexOutOfRange { .. } => 2,
+            ServiceError::Enumeration(_) => 3,
+            ServiceError::InvalidCursor { .. } => 4,
+            ServiceError::DeadlineExceeded => 5,
+            ServiceError::Unsupported { .. } => 6,
+            ServiceError::MalformedRequest { .. } => 7,
+            ServiceError::Transport { .. } => 8,
+        }
+    }
 }
 
 impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[E{}] ", self.code())?;
         match self {
             ServiceError::UnknownGraph { graph } => {
                 write!(f, "{graph} is not loaded")
@@ -164,6 +401,17 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "vertex {vertex} is out of range")
             }
             ServiceError::Enumeration(message) => write!(f, "enumeration failed: {message}"),
+            ServiceError::InvalidCursor { reason } => {
+                write!(f, "invalid page cursor: {reason}")
+            }
+            ServiceError::DeadlineExceeded => write!(f, "deadline hint expired"),
+            ServiceError::Unsupported { what } => {
+                write!(f, "this endpoint does not serve: {what}")
+            }
+            ServiceError::MalformedRequest { reason } => {
+                write!(f, "malformed request: {reason}")
+            }
+            ServiceError::Transport { reason } => write!(f, "transport failure: {reason}"),
         }
     }
 }
@@ -177,6 +425,74 @@ impl From<KvccError> for ServiceError {
             other => ServiceError::Enumeration(other.to_string()),
         }
     }
+}
+
+/// The protocol-v2 request envelope: everything a server needs to route,
+/// prioritise and answer one message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the [`Response`] so
+    /// requests may be answered out of order.
+    pub request_id: u64,
+    /// Soft deadline in milliseconds, measured from when the server starts
+    /// processing the envelope. Work whose turn comes after the hint expired
+    /// is answered with [`ServiceError::DeadlineExceeded`] instead of
+    /// running; `None` means no deadline.
+    pub deadline_hint_ms: Option<u32>,
+    /// The actual work.
+    pub body: RequestBody,
+}
+
+impl Request {
+    /// Convenience constructor for an un-deadlined single query.
+    pub fn query(request_id: u64, query: QueryRequest) -> Self {
+        Request {
+            request_id,
+            deadline_hint_ms: None,
+            body: RequestBody::Query(query),
+        }
+    }
+}
+
+/// The payload of a [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestBody {
+    /// One query against one loaded graph.
+    Query(QueryRequest),
+    /// A batch of queries, answered positionally in one
+    /// [`ResponseBody::Batch`]. Queries may address **different** graphs;
+    /// per-query failures surface as [`QueryResponse::Error`] without
+    /// affecting the rest.
+    Batch(Vec<QueryRequest>),
+    /// A self-contained shard enumeration unit: the worker runs `KVCC-ENUM`
+    /// on the embedded subgraph and answers
+    /// [`QueryResponse::Components`] in **original** graph ids. Requires no
+    /// loaded graph on the serving side, which is what lets a shard worker
+    /// run from bytes alone.
+    WorkItem {
+        /// Connectivity parameter.
+        k: u32,
+        /// The subgraph plus its id map.
+        item: CsrWorkItem,
+    },
+}
+
+/// The protocol-v2 response envelope.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// The [`Request::request_id`] this answers.
+    pub request_id: u64,
+    /// The payload.
+    pub body: ResponseBody,
+}
+
+/// The payload of a [`Response`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseBody {
+    /// The answer to a [`RequestBody::Query`] or [`RequestBody::WorkItem`].
+    Query(QueryResponse),
+    /// Positional answers to a [`RequestBody::Batch`].
+    Batch(Vec<QueryResponse>),
 }
 
 #[cfg(test)]
@@ -207,19 +523,25 @@ mod tests {
                 limit: 8,
             },
             QueryRequest::GraphStats { graph: id },
+            QueryRequest::TopKComponents {
+                graph: id,
+                rank_by: RankBy::Density,
+                page_size: 10,
+                cursor: None,
+            },
         ];
         for r in &requests {
             assert_eq!(r.graph(), id);
         }
         assert_eq!(
             requests.iter().filter(|r| r.needs_index()).count(),
-            3,
+            4,
             "exactly the hierarchy-backed queries need the index"
         );
     }
 
     #[test]
-    fn errors_display_their_context() {
+    fn errors_display_their_context_and_codes() {
         assert!(ServiceError::UnknownGraph { graph: GraphId(9) }
             .to_string()
             .contains('9'));
@@ -230,5 +552,56 @@ mod tests {
         assert_eq!(from_kvcc, ServiceError::VertexOutOfRange { vertex: 7 });
         let from_invalid: ServiceError = KvccError::InvalidK.into();
         assert!(matches!(from_invalid, ServiceError::Enumeration(_)));
+        // The numeric codes are a wire contract: fixed, dense, and shown in
+        // the display form.
+        let all = [
+            ServiceError::UnknownGraph { graph: GraphId(0) },
+            ServiceError::VertexOutOfRange { vertex: 0 },
+            ServiceError::Enumeration(String::new()),
+            ServiceError::InvalidCursor {
+                reason: String::new(),
+            },
+            ServiceError::DeadlineExceeded,
+            ServiceError::Unsupported {
+                what: String::new(),
+            },
+            ServiceError::MalformedRequest {
+                reason: String::new(),
+            },
+            ServiceError::Transport {
+                reason: String::new(),
+            },
+        ];
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.code() as usize, i + 1);
+            assert!(e.to_string().starts_with(&format!("[E{}]", i + 1)));
+        }
+    }
+
+    #[test]
+    fn cursors_roundtrip_and_reject_hostile_bytes() {
+        let cursor = PageCursor {
+            graph: GraphId(42),
+            rank_by: RankBy::Size,
+            offset: 12_345,
+            num_nodes: 67_890,
+        };
+        let bytes = cursor.to_bytes();
+        assert_eq!(PageCursor::from_bytes(&bytes).unwrap(), cursor);
+        for cut in 0..bytes.len() {
+            assert!(PageCursor::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'Z';
+        assert!(PageCursor::from_bytes(&bad_magic).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(PageCursor::from_bytes(&bad_version).is_err());
+        let mut bad_rank = bytes.clone();
+        bad_rank[5] = 77;
+        assert!(PageCursor::from_bytes(&bad_rank).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(PageCursor::from_bytes(&trailing).is_err());
     }
 }

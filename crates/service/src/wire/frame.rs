@@ -1,0 +1,143 @@
+//! The length-prefixed frame format shared by every transport.
+//!
+//! A frame is a 4-byte little-endian payload length followed by the payload
+//! bytes (a protocol-v2 message, see [`crate::wire::message`]). The format
+//! is deliberately minimal: any byte stream — a socket, a pipe, the
+//! in-process loopback — becomes a message channel by writing
+//! [`encode_frame`] output and feeding received bytes through a
+//! [`FrameDecoder`], which reassembles frames across arbitrary chunk
+//! boundaries.
+
+/// Upper bound on a single frame payload (64 MiB). A hostile or corrupted
+/// length prefix beyond it poisons the stream instead of triggering a
+/// multi-gigabyte allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
+
+/// Bytes of the length prefix.
+const PREFIX: usize = 4;
+
+/// Wraps a message payload in a frame (length prefix + payload), or
+/// reports an oversized payload so transports surface a send-side error
+/// instead of crashing the serving thread (giant responses are possible at
+/// production graph sizes; senders should paginate or split instead).
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, &'static str> {
+    if payload.len() > MAX_FRAME_PAYLOAD {
+        return Err("frame payload exceeds the maximum frame size");
+    }
+    let mut out = Vec::with_capacity(PREFIX + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Incremental frame reassembly over an arbitrary byte stream.
+///
+/// Push received chunks with [`FrameDecoder::push`], pop completed payloads
+/// with [`FrameDecoder::next_frame`]. A stream whose length prefix exceeds
+/// [`MAX_FRAME_PAYLOAD`] is *poisoned*: every further call reports the
+/// error, because after a corrupt prefix the frame boundaries are
+/// unrecoverable.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read position inside `buf` (consumed bytes are compacted away
+    /// whenever they outgrow the unread remainder).
+    at: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends received bytes to the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned {
+            return;
+        }
+        // Compact before growing: never hold more than one frame of slack.
+        if self.at > self.buf.len() / 2 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame payload, `Ok(None)` when more bytes are
+    /// needed, or an error once the stream is poisoned by an oversized
+    /// length prefix.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, &'static str> {
+        if self.poisoned {
+            return Err("frame stream poisoned by an oversized length prefix");
+        }
+        let unread = &self.buf[self.at..];
+        if unread.len() < PREFIX {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(unread[..PREFIX].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_PAYLOAD {
+            self.poisoned = true;
+            return Err("frame stream poisoned by an oversized length prefix");
+        }
+        if unread.len() < PREFIX + len {
+            return Ok(None);
+        }
+        let payload = unread[PREFIX..PREFIX + len].to_vec();
+        self.at += PREFIX + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_reassemble_across_chunk_boundaries() {
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2; 1000], b"hello".to_vec()];
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p).unwrap());
+        }
+        // Feed the stream one byte at a time; every frame must come out
+        // whole and in order.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            decoder.push(&[b]);
+            while let Some(frame) = decoder.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, payloads);
+        assert_eq!(decoder.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_length_prefix_poisons_the_stream() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&u32::MAX.to_le_bytes());
+        assert!(decoder.next_frame().is_err());
+        // Poisoned for good: pushing valid bytes does not resurrect it.
+        decoder.push(&encode_frame(b"ok").unwrap());
+        assert!(decoder.next_frame().is_err());
+    }
+
+    #[test]
+    fn partial_prefix_waits_for_more_bytes() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&[3, 0]);
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        decoder.push(&[0, 0, b'a', b'b']);
+        assert_eq!(decoder.next_frame().unwrap(), None, "payload incomplete");
+        decoder.push(b"c");
+        assert_eq!(decoder.next_frame().unwrap(), Some(b"abc".to_vec()));
+    }
+}

@@ -1,0 +1,617 @@
+//! The protocol-v2 byte codec: [`Request`] / [`Response`] ⇄ bytes.
+//!
+//! Every message starts with the magic `b"KRPC"`, the protocol version byte
+//! (2) and a kind byte (request / response), followed by the envelope fields
+//! and a tagged body. Integers are varints, id lists are delta rows, strings
+//! are length-prefixed UTF-8 — all built on [`crate::wire::codec`]. Decoding
+//! validates as it goes (bounds-checked reads, tag whitelists, exact-length
+//! consumption), so truncated, trailing-garbage or hostile buffers are
+//! rejected with [`GraphError::MalformedBytes`] and can never panic; the
+//! randomized `wire_parity` fuzz suite holds the codec to that.
+
+use kvcc::index::RankBy;
+use kvcc::KVertexConnectedComponent;
+use kvcc_graph::GraphError;
+
+use crate::protocol::{
+    GraphId, OrderingPolicy, QueryRequest, QueryResponse, RankedEntry, Request, RequestBody,
+    Response, ResponseBody, ServiceError,
+};
+use crate::wire::codec::{
+    decode_bytes, decode_string, encode_bytes, encode_row, encode_str, varint, Reader,
+};
+use crate::wire::CsrWorkItem;
+
+/// Magic bytes opening every protocol message.
+const MESSAGE_MAGIC: [u8; 4] = *b"KRPC";
+/// Protocol version carried by every message.
+pub const PROTOCOL_VERSION: u8 = 2;
+/// Kind byte of a request message.
+const KIND_REQUEST: u8 = 0;
+/// Kind byte of a response message.
+const KIND_RESPONSE: u8 = 1;
+
+fn malformed(reason: &'static str) -> GraphError {
+    GraphError::MalformedBytes { reason }
+}
+
+fn encode_header(kind: u8, out: &mut Vec<u8>) {
+    out.extend_from_slice(&MESSAGE_MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+}
+
+fn decode_header<'a>(bytes: &'a [u8], kind: u8) -> Result<Reader<'a>, GraphError> {
+    let mut r = Reader::new(bytes);
+    if r.take(4).map(|m| m != MESSAGE_MAGIC).unwrap_or(true) {
+        return Err(malformed("bad magic (not a protocol message)"));
+    }
+    if r.u8() != Some(PROTOCOL_VERSION) {
+        return Err(malformed("unsupported protocol version"));
+    }
+    if r.u8() != Some(kind) {
+        return Err(malformed("wrong message kind"));
+    }
+    Ok(r)
+}
+
+fn encode_option_u32(value: Option<u32>, out: &mut Vec<u8>) {
+    match value {
+        None => out.push(0),
+        Some(v) => {
+            out.push(1);
+            varint::encode_u32(v, out);
+        }
+    }
+}
+
+fn decode_option_u32(r: &mut Reader<'_>) -> Option<Option<u32>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => Some(Some(r.varint_u32()?)),
+        _ => None,
+    }
+}
+
+fn encode_component(component: &KVertexConnectedComponent, out: &mut Vec<u8>) {
+    let members = component.vertices();
+    varint::encode_u32(members.len() as u32, out);
+    encode_row(members, out);
+}
+
+fn decode_component(r: &mut Reader<'_>) -> Option<KVertexConnectedComponent> {
+    let count = r.varint_u32()? as usize;
+    // `Reader::row` caps the allocation by the remaining bytes and yields a
+    // strictly increasing list, which is exactly the component invariant.
+    Some(KVertexConnectedComponent::new(r.row(count)?))
+}
+
+fn encode_components(components: &[KVertexConnectedComponent], out: &mut Vec<u8>) {
+    varint::encode_u32(components.len() as u32, out);
+    for c in components {
+        encode_component(c, out);
+    }
+}
+
+fn decode_components(r: &mut Reader<'_>) -> Option<Vec<KVertexConnectedComponent>> {
+    let count = r.varint_u32()? as usize;
+    if count > r.remaining() {
+        return None; // each component costs at least one byte
+    }
+    let mut components = Vec::with_capacity(count);
+    for _ in 0..count {
+        components.push(decode_component(r)?);
+    }
+    Some(components)
+}
+
+fn encode_query(query: &QueryRequest, out: &mut Vec<u8>) {
+    match *query {
+        QueryRequest::EnumerateKvccs { graph, k } => {
+            out.push(0);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u32(k, out);
+        }
+        QueryRequest::KvccsContaining { graph, seed, k } => {
+            out.push(1);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u32(seed, out);
+            varint::encode_u32(k, out);
+        }
+        QueryRequest::MaxConnectivity { graph, u, v } => {
+            out.push(2);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u32(u, out);
+            varint::encode_u32(v, out);
+        }
+        QueryRequest::VertexConnectivityNumber { graph, v } => {
+            out.push(3);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u32(v, out);
+        }
+        QueryRequest::GlobalCutProbe { graph, k } => {
+            out.push(4);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u32(k, out);
+        }
+        QueryRequest::LocalConnectivity { graph, u, v, limit } => {
+            out.push(5);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u32(u, out);
+            varint::encode_u32(v, out);
+            varint::encode_u32(limit, out);
+        }
+        QueryRequest::GraphStats { graph } => {
+            out.push(6);
+            varint::encode_u32(graph.0, out);
+        }
+        QueryRequest::TopKComponents {
+            graph,
+            rank_by,
+            page_size,
+            ref cursor,
+        } => {
+            out.push(7);
+            varint::encode_u32(graph.0, out);
+            out.push(rank_by.code());
+            varint::encode_u32(page_size, out);
+            match cursor {
+                None => out.push(0),
+                Some(bytes) => {
+                    out.push(1);
+                    encode_bytes(bytes, out);
+                }
+            }
+        }
+    }
+}
+
+fn decode_query(r: &mut Reader<'_>) -> Option<QueryRequest> {
+    let tag = r.u8()?;
+    let query = match tag {
+        0 => QueryRequest::EnumerateKvccs {
+            graph: GraphId(r.varint_u32()?),
+            k: r.varint_u32()?,
+        },
+        1 => QueryRequest::KvccsContaining {
+            graph: GraphId(r.varint_u32()?),
+            seed: r.varint_u32()?,
+            k: r.varint_u32()?,
+        },
+        2 => QueryRequest::MaxConnectivity {
+            graph: GraphId(r.varint_u32()?),
+            u: r.varint_u32()?,
+            v: r.varint_u32()?,
+        },
+        3 => QueryRequest::VertexConnectivityNumber {
+            graph: GraphId(r.varint_u32()?),
+            v: r.varint_u32()?,
+        },
+        4 => QueryRequest::GlobalCutProbe {
+            graph: GraphId(r.varint_u32()?),
+            k: r.varint_u32()?,
+        },
+        5 => QueryRequest::LocalConnectivity {
+            graph: GraphId(r.varint_u32()?),
+            u: r.varint_u32()?,
+            v: r.varint_u32()?,
+            limit: r.varint_u32()?,
+        },
+        6 => QueryRequest::GraphStats {
+            graph: GraphId(r.varint_u32()?),
+        },
+        7 => QueryRequest::TopKComponents {
+            graph: GraphId(r.varint_u32()?),
+            rank_by: RankBy::from_code(r.u8()?)?,
+            page_size: r.varint_u32()?,
+            cursor: match r.u8()? {
+                0 => None,
+                1 => Some(decode_bytes(r)?.to_vec()),
+                _ => return None,
+            },
+        },
+        _ => return None,
+    };
+    Some(query)
+}
+
+fn encode_error(error: &ServiceError, out: &mut Vec<u8>) {
+    varint::encode_u32(error.code() as u32, out);
+    match error {
+        ServiceError::UnknownGraph { graph } => varint::encode_u32(graph.0, out),
+        ServiceError::VertexOutOfRange { vertex } => varint::encode_u32(*vertex, out),
+        ServiceError::Enumeration(message) => encode_str(message, out),
+        ServiceError::InvalidCursor { reason } => encode_str(reason, out),
+        ServiceError::DeadlineExceeded => {}
+        ServiceError::Unsupported { what } => encode_str(what, out),
+        ServiceError::MalformedRequest { reason } => encode_str(reason, out),
+        ServiceError::Transport { reason } => encode_str(reason, out),
+    }
+}
+
+fn decode_error(r: &mut Reader<'_>) -> Option<ServiceError> {
+    let error = match r.varint_u32()? {
+        1 => ServiceError::UnknownGraph {
+            graph: GraphId(r.varint_u32()?),
+        },
+        2 => ServiceError::VertexOutOfRange {
+            vertex: r.varint_u32()?,
+        },
+        3 => ServiceError::Enumeration(decode_string(r)?),
+        4 => ServiceError::InvalidCursor {
+            reason: decode_string(r)?,
+        },
+        5 => ServiceError::DeadlineExceeded,
+        6 => ServiceError::Unsupported {
+            what: decode_string(r)?,
+        },
+        7 => ServiceError::MalformedRequest {
+            reason: decode_string(r)?,
+        },
+        8 => ServiceError::Transport {
+            reason: decode_string(r)?,
+        },
+        _ => return None,
+    };
+    Some(error)
+}
+
+fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
+    match response {
+        QueryResponse::Components(components) => {
+            out.push(0);
+            encode_components(components, out);
+        }
+        QueryResponse::Connectivity(value) => {
+            out.push(1);
+            varint::encode_u32(*value, out);
+        }
+        QueryResponse::Cut(cut) => {
+            out.push(2);
+            match cut {
+                None => out.push(0),
+                Some(vertices) => {
+                    out.push(1);
+                    varint::encode_u32(vertices.len() as u32, out);
+                    encode_row(vertices, out);
+                }
+            }
+        }
+        QueryResponse::Stats {
+            num_vertices,
+            num_edges,
+            indexed,
+            max_k,
+            ordering,
+            depth_limit,
+        } => {
+            out.push(3);
+            varint::encode_u64(*num_vertices as u64, out);
+            varint::encode_u64(*num_edges as u64, out);
+            out.push(u8::from(*indexed));
+            varint::encode_u32(*max_k, out);
+            out.push(ordering.code());
+            encode_option_u32(*depth_limit, out);
+        }
+        QueryResponse::Page {
+            entries,
+            next_cursor,
+        } => {
+            out.push(4);
+            varint::encode_u32(entries.len() as u32, out);
+            for entry in entries {
+                varint::encode_u32(entry.k, out);
+                varint::encode_u64(entry.internal_edges, out);
+                encode_component(&entry.component, out);
+            }
+            match next_cursor {
+                None => out.push(0),
+                Some(bytes) => {
+                    out.push(1);
+                    encode_bytes(bytes, out);
+                }
+            }
+        }
+        QueryResponse::Error(error) => {
+            out.push(5);
+            encode_error(error, out);
+        }
+    }
+}
+
+fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
+    let response = match r.u8()? {
+        0 => QueryResponse::Components(decode_components(r)?),
+        1 => QueryResponse::Connectivity(r.varint_u32()?),
+        2 => QueryResponse::Cut(match r.u8()? {
+            0 => None,
+            1 => {
+                let count = r.varint_u32()? as usize;
+                Some(r.row(count)?)
+            }
+            _ => return None,
+        }),
+        3 => QueryResponse::Stats {
+            num_vertices: usize::try_from(r.varint_u64()?).ok()?,
+            num_edges: usize::try_from(r.varint_u64()?).ok()?,
+            indexed: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+            max_k: r.varint_u32()?,
+            ordering: OrderingPolicy::from_code(r.u8()?)?,
+            depth_limit: decode_option_u32(r)?,
+        },
+        4 => {
+            let count = r.varint_u32()? as usize;
+            if count > r.remaining() {
+                return None;
+            }
+            let mut entries = Vec::with_capacity(count);
+            for _ in 0..count {
+                entries.push(RankedEntry {
+                    k: r.varint_u32()?,
+                    internal_edges: r.varint_u64()?,
+                    component: decode_component(r)?,
+                });
+            }
+            let next_cursor = match r.u8()? {
+                0 => None,
+                1 => Some(decode_bytes(r)?.to_vec()),
+                _ => return None,
+            };
+            QueryResponse::Page {
+                entries,
+                next_cursor,
+            }
+        }
+        5 => QueryResponse::Error(decode_error(r)?),
+        _ => return None,
+    };
+    Some(response)
+}
+
+impl Request {
+    /// Serialises the request as a protocol-v2 message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        encode_header(KIND_REQUEST, &mut out);
+        varint::encode_u64(self.request_id, &mut out);
+        encode_option_u32(self.deadline_hint_ms, &mut out);
+        match &self.body {
+            RequestBody::Query(query) => {
+                out.push(0);
+                encode_query(query, &mut out);
+            }
+            RequestBody::Batch(queries) => {
+                out.push(1);
+                varint::encode_u32(queries.len() as u32, &mut out);
+                for q in queries {
+                    encode_query(q, &mut out);
+                }
+            }
+            RequestBody::WorkItem { k, item } => {
+                out.push(2);
+                varint::encode_u32(*k, &mut out);
+                encode_bytes(&item.to_bytes(), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Deserialises a protocol-v2 request, validating the whole buffer
+    /// (including the embedded work item's graph invariants).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let mut r = decode_header(bytes, KIND_REQUEST)?;
+        let request_id = r
+            .varint_u64()
+            .ok_or_else(|| malformed("request id truncated"))?;
+        let deadline_hint_ms =
+            decode_option_u32(&mut r).ok_or_else(|| malformed("deadline hint malformed"))?;
+        let body = match r.u8().ok_or_else(|| malformed("request body missing"))? {
+            0 => RequestBody::Query(
+                decode_query(&mut r).ok_or_else(|| malformed("query malformed"))?,
+            ),
+            1 => {
+                let count = r
+                    .varint_u32()
+                    .ok_or_else(|| malformed("batch count truncated"))?
+                    as usize;
+                if count > r.remaining() {
+                    return Err(malformed("batch count disagrees with the buffer"));
+                }
+                let mut queries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    queries.push(decode_query(&mut r).ok_or_else(|| malformed("query malformed"))?);
+                }
+                RequestBody::Batch(queries)
+            }
+            2 => {
+                let k = r
+                    .varint_u32()
+                    .ok_or_else(|| malformed("work-item k truncated"))?;
+                let item_bytes =
+                    decode_bytes(&mut r).ok_or_else(|| malformed("work item truncated"))?;
+                RequestBody::WorkItem {
+                    k,
+                    item: CsrWorkItem::from_bytes(item_bytes)?,
+                }
+            }
+            _ => return Err(malformed("unknown request body tag")),
+        };
+        r.finish()
+            .ok_or_else(|| malformed("trailing bytes after the request"))?;
+        Ok(Request {
+            request_id,
+            deadline_hint_ms,
+            body,
+        })
+    }
+}
+
+impl Response {
+    /// Serialises the response as a protocol-v2 message.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        encode_header(KIND_RESPONSE, &mut out);
+        varint::encode_u64(self.request_id, &mut out);
+        match &self.body {
+            ResponseBody::Query(response) => {
+                out.push(0);
+                encode_response_body(response, &mut out);
+            }
+            ResponseBody::Batch(responses) => {
+                out.push(1);
+                varint::encode_u32(responses.len() as u32, &mut out);
+                for response in responses {
+                    encode_response_body(response, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserialises a protocol-v2 response, validating the whole buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let mut r = decode_header(bytes, KIND_RESPONSE)?;
+        let request_id = r
+            .varint_u64()
+            .ok_or_else(|| malformed("response id truncated"))?;
+        let body = match r.u8().ok_or_else(|| malformed("response body missing"))? {
+            0 => ResponseBody::Query(
+                decode_response_body(&mut r)
+                    .ok_or_else(|| malformed("query response malformed"))?,
+            ),
+            1 => {
+                let count = r
+                    .varint_u32()
+                    .ok_or_else(|| malformed("batch count truncated"))?
+                    as usize;
+                if count > r.remaining() {
+                    return Err(malformed("batch count disagrees with the buffer"));
+                }
+                let mut responses = Vec::with_capacity(count);
+                for _ in 0..count {
+                    responses.push(
+                        decode_response_body(&mut r)
+                            .ok_or_else(|| malformed("query response malformed"))?,
+                    );
+                }
+                ResponseBody::Batch(responses)
+            }
+            _ => return Err(malformed("unknown response body tag")),
+        };
+        r.finish()
+            .ok_or_else(|| malformed("trailing bytes after the response"))?;
+        Ok(Response { request_id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcc_graph::CsrGraph;
+
+    fn sample_item() -> CsrWorkItem {
+        let graph =
+            CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        CsrWorkItem::new(graph, vec![10, 11, 12, 13, 14])
+    }
+
+    #[test]
+    fn request_envelopes_roundtrip() {
+        let id = GraphId(7);
+        let requests = vec![
+            Request::query(1, QueryRequest::GraphStats { graph: id }),
+            Request {
+                request_id: u64::MAX,
+                deadline_hint_ms: Some(250),
+                body: RequestBody::Batch(vec![
+                    QueryRequest::EnumerateKvccs { graph: id, k: 3 },
+                    QueryRequest::TopKComponents {
+                        graph: id,
+                        rank_by: RankBy::Density,
+                        page_size: 10,
+                        cursor: Some(vec![1, 2, 3]),
+                    },
+                ]),
+            },
+            Request {
+                request_id: 42,
+                deadline_hint_ms: None,
+                body: RequestBody::WorkItem {
+                    k: 2,
+                    item: sample_item(),
+                },
+            },
+        ];
+        for request in requests {
+            let bytes = request.to_bytes();
+            assert_eq!(Request::from_bytes(&bytes).unwrap(), request);
+            // A response decoder must refuse a request buffer.
+            assert!(Response::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn response_envelopes_roundtrip() {
+        let response = Response {
+            request_id: 9,
+            body: ResponseBody::Batch(vec![
+                QueryResponse::Components(vec![
+                    KVertexConnectedComponent::new(vec![1, 2, 3]),
+                    KVertexConnectedComponent::new(vec![3, 4, 5]),
+                ]),
+                QueryResponse::Connectivity(4),
+                QueryResponse::Cut(None),
+                QueryResponse::Cut(Some(vec![2, 9])),
+                QueryResponse::Stats {
+                    num_vertices: 100,
+                    num_edges: 500,
+                    indexed: true,
+                    max_k: 6,
+                    ordering: OrderingPolicy::Hybrid,
+                    depth_limit: Some(4),
+                },
+                QueryResponse::Page {
+                    entries: vec![RankedEntry {
+                        k: 3,
+                        internal_edges: 6,
+                        component: KVertexConnectedComponent::new(vec![5, 6, 7, 8]),
+                    }],
+                    next_cursor: Some(vec![9, 9]),
+                },
+                QueryResponse::Error(ServiceError::DeadlineExceeded),
+                QueryResponse::Error(ServiceError::InvalidCursor {
+                    reason: "stale".into(),
+                }),
+            ]),
+        };
+        let bytes = response.to_bytes();
+        assert_eq!(Response::from_bytes(&bytes).unwrap(), response);
+        assert!(Request::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncations_and_garbage_are_rejected() {
+        let request = Request {
+            request_id: 3,
+            deadline_hint_ms: Some(10),
+            body: RequestBody::WorkItem {
+                k: 2,
+                item: sample_item(),
+            },
+        };
+        let good = request.to_bytes();
+        for cut in 0..good.len() {
+            assert!(Request::from_bytes(&good[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(Request::from_bytes(&trailing).is_err());
+        let mut bad_version = good.clone();
+        bad_version[4] = 1;
+        assert!(Request::from_bytes(&bad_version).is_err());
+    }
+}

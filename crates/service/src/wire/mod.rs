@@ -1,21 +1,38 @@
-//! Self-contained, serialisable enumeration work items.
+//! The byte layer of the service: codecs, frames, transports, work items.
 //!
-//! `KVCC-ENUM`'s work items are already self-contained (a compact CSR
-//! subgraph plus the mapping of its local ids back to the input graph), which
-//! is exactly what sharded enumeration across processes or machines needs:
-//! the coordinator splits the initial k-core into components, ships each as a
-//! [`CsrWorkItem`], and a shard answers with the k-VCCs in **original** ids.
-//! The byte format is hand-rolled (magic + version + CSR buffer + id map, all
-//! little-endian `u32`) so the offline build needs no serialisation crate and
-//! the format stays stable across toolchains.
+//! Everything that crosses a process boundary lives under this module:
+//!
+//! * [`codec`] — the shared varint/delta primitives (re-exported from
+//!   [`kvcc_graph::codec`], where they were extracted from the compressed
+//!   CSR graph) plus the string/bytes helpers the protocol needs;
+//! * [`message`] — the protocol-v2 byte codec: [`crate::Request`] /
+//!   [`crate::Response`] `to_bytes`/`from_bytes` with version tag and full
+//!   validation;
+//! * [`frame`] — the length-prefixed frame format every transport speaks;
+//! * [`transport`] — the [`Transport`](transport::Transport) trait, the
+//!   in-process loopback implementation, and the byte-driven shard worker;
+//! * [`CsrWorkItem`] — the self-contained unit of sharded enumeration (a
+//!   compact CSR subgraph plus the mapping of its local ids back to the
+//!   input graph).
+//!
+//! All formats are hand-rolled (no serialisation crate in the offline
+//! build) and validated on ingest, so hostile bytes are rejected with an
+//! error instead of panicking or producing incoherent structures.
+
+pub mod codec;
+pub mod frame;
+pub mod message;
+pub mod transport;
 
 use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccError, KvccOptions};
 use kvcc_graph::{CsrGraph, GraphError, VertexId};
 
 /// Magic bytes opening every serialised work item.
 const ITEM_WIRE_MAGIC: [u8; 4] = *b"KWRK";
-/// Version byte of the work-item wire format.
-const ITEM_WIRE_VERSION: u8 = 1;
+/// Version byte of the work-item wire format. Version 2 switched the
+/// embedded graph to the compact CSR encoding and the id map to varints
+/// (the shared [`kvcc_graph::codec`] primitives).
+const ITEM_WIRE_VERSION: u8 = 2;
 
 /// One unit of sharded enumeration: a subgraph in its own compact id space
 /// plus the mapping back to the ids of the input graph.
@@ -47,20 +64,21 @@ impl CsrWorkItem {
         &self.to_original
     }
 
-    /// Serialises the item: magic, version, the CSR buffer length as
-    /// little-endian `u32`, the [`CsrGraph::to_bytes`] buffer, then the id
-    /// map (count + entries, little-endian `u32`).
+    /// Serialises the item: magic, version, then the compact CSR buffer
+    /// ([`CsrGraph::to_bytes_compact`]) behind a varint length, and the id
+    /// map as one varint per entry (the map count is the graph's vertex
+    /// count, so it is not repeated on the wire).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let graph_bytes = self.graph.to_bytes();
+        use kvcc_graph::codec::varint;
+        let graph_bytes = self.graph.to_bytes_compact();
         let mut out =
-            Vec::with_capacity(4 + 1 + 4 + graph_bytes.len() + 4 + 4 * self.to_original.len());
+            Vec::with_capacity(4 + 1 + 5 + graph_bytes.len() + 5 * self.to_original.len());
         out.extend_from_slice(&ITEM_WIRE_MAGIC);
         out.push(ITEM_WIRE_VERSION);
-        out.extend_from_slice(&(graph_bytes.len() as u32).to_le_bytes());
+        varint::encode_u32(graph_bytes.len() as u32, &mut out);
         out.extend_from_slice(&graph_bytes);
-        out.extend_from_slice(&(self.to_original.len() as u32).to_le_bytes());
         for &v in &self.to_original {
-            out.extend_from_slice(&v.to_le_bytes());
+            varint::encode_u32(v, &mut out);
         }
         out
     }
@@ -68,8 +86,9 @@ impl CsrWorkItem {
     /// Deserialises a buffer produced by [`CsrWorkItem::to_bytes`],
     /// re-validating every structural invariant of the embedded graph.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        use kvcc_graph::codec::Reader;
         let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
-        if bytes.len() < 9 {
+        if bytes.len() < 5 {
             return Err(malformed("work-item buffer shorter than the header"));
         }
         if bytes[..4] != ITEM_WIRE_MAGIC {
@@ -78,30 +97,23 @@ impl CsrWorkItem {
         if bytes[4] != ITEM_WIRE_VERSION {
             return Err(malformed("unsupported work-item version"));
         }
-        let graph_len = u32::from_le_bytes(bytes[5..9].try_into().expect("4 bytes")) as usize;
-        let map_count_at = 9 + graph_len;
-        if bytes.len() < map_count_at + 4 {
-            return Err(malformed("work-item buffer truncated before the id map"));
+        let mut r = Reader::new(&bytes[5..]);
+        let graph_len = r
+            .varint_u32()
+            .ok_or_else(|| malformed("graph length truncated"))? as usize;
+        let graph_bytes = r
+            .take(graph_len)
+            .ok_or_else(|| malformed("work-item buffer truncated before the id map"))?;
+        let graph = CsrGraph::from_bytes(graph_bytes)?;
+        let mut to_original = Vec::with_capacity(graph.num_vertices().min(r.remaining()));
+        for _ in 0..graph.num_vertices() {
+            to_original.push(
+                r.varint_u32()
+                    .ok_or_else(|| malformed("id map must cover every vertex"))?,
+            );
         }
-        let graph = CsrGraph::from_bytes(&bytes[9..map_count_at])?;
-        let map_len = u32::from_le_bytes(
-            bytes[map_count_at..map_count_at + 4]
-                .try_into()
-                .expect("4 bytes"),
-        ) as usize;
-        if bytes.len() != map_count_at + 4 + 4 * map_len {
-            return Err(malformed("id map length disagrees with the buffer"));
-        }
-        if map_len != graph.num_vertices() {
-            return Err(malformed("id map must cover every vertex"));
-        }
-        let mut to_original = Vec::with_capacity(map_len);
-        for i in 0..map_len {
-            let at = map_count_at + 4 + 4 * i;
-            to_original.push(u32::from_le_bytes(
-                bytes[at..at + 4].try_into().expect("4 bytes"),
-            ));
-        }
+        r.finish()
+            .ok_or_else(|| malformed("id map length disagrees with the buffer"))?;
         Ok(CsrWorkItem { graph, to_original })
     }
 }

@@ -1,0 +1,309 @@
+//! Frame transports: the [`Transport`] trait, the in-process loopback
+//! implementation, and the byte-driven shard worker.
+//!
+//! A [`Transport`] moves whole protocol frames between two peers. The
+//! contract is deliberately narrow — blocking send, blocking receive,
+//! closed-channel signalling — so a socket, a pipe or a message queue can
+//! implement it with a handful of lines; every implementation must put the
+//! shared length-prefixed frame format ([`crate::wire::frame`]) on the wire
+//! so peers with different transports still interoperate.
+//!
+//! [`LoopbackTransport::pair`] is the reference implementation: two
+//! endpoints connected by in-process byte streams. It is *not* a shortcut
+//! that hands `Vec<u8>`s across — sends append [`encode_frame`] bytes to a
+//! shared stream and receives reassemble frames through a [`FrameDecoder`],
+//! so the loopback exercises the exact same byte path a network transport
+//! would, chunk boundaries and all.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use kvcc::KvccOptions;
+
+use crate::protocol::{QueryResponse, Request, RequestBody, Response, ResponseBody, ServiceError};
+use crate::wire::frame::{encode_frame, FrameDecoder};
+use crate::wire::run_work_item;
+
+/// Why a transport operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer endpoint is gone; no more frames will ever arrive.
+    Closed,
+    /// The byte stream violated the frame format (e.g. an oversized length
+    /// prefix); the connection is unusable.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed by the peer"),
+            TransportError::Malformed(reason) => write!(f, "malformed frame stream: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<TransportError> for ServiceError {
+    fn from(value: TransportError) -> Self {
+        ServiceError::Transport {
+            reason: value.to_string(),
+        }
+    }
+}
+
+/// A bidirectional, frame-oriented connection between two peers.
+///
+/// Implementations must carry frames in the shared length-prefixed format
+/// ([`crate::wire::frame`]) on their underlying byte stream. Methods take
+/// `&self` so one endpoint can be shared by reference; implementations are
+/// expected to serialise concurrent sends internally.
+pub trait Transport: Send + Sync {
+    /// Sends one frame payload (a protocol message). Blocks only for
+    /// transport-internal locking, not for the peer to read.
+    fn send(&self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives the next frame payload, blocking until one arrives. Returns
+    /// `Ok(None)` when the peer closed cleanly and every buffered frame has
+    /// been drained.
+    fn recv(&self) -> Result<Option<Vec<u8>>, TransportError>;
+}
+
+/// One direction of the loopback: a byte stream plus the receiving side's
+/// frame reassembly, guarded by a mutex + condvar for blocking receives.
+struct Channel {
+    state: Mutex<ChannelState>,
+    ready: Condvar,
+}
+
+struct ChannelState {
+    decoder: FrameDecoder,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Channel {
+            state: Mutex::new(ChannelState {
+                decoder: FrameDecoder::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The in-process loopback transport; see the module docs. Construct pairs
+/// with [`LoopbackTransport::pair`].
+pub struct LoopbackTransport {
+    /// Frames we read (written by the peer).
+    incoming: Arc<Channel>,
+    /// Frames we write (read by the peer).
+    outgoing: Arc<Channel>,
+}
+
+impl LoopbackTransport {
+    /// Creates a connected pair of endpoints. Frames sent on one come out of
+    /// the other, in order, after passing through the real frame byte
+    /// format. Dropping either endpoint closes both directions.
+    pub fn pair() -> (LoopbackTransport, LoopbackTransport) {
+        let a_to_b = Channel::new();
+        let b_to_a = Channel::new();
+        (
+            LoopbackTransport {
+                incoming: Arc::clone(&b_to_a),
+                outgoing: Arc::clone(&a_to_b),
+            },
+            LoopbackTransport {
+                incoming: a_to_b,
+                outgoing: b_to_a,
+            },
+        )
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn send(&self, frame: &[u8]) -> Result<(), TransportError> {
+        let mut state = self.outgoing.state.lock().unwrap();
+        if state.closed {
+            return Err(TransportError::Closed);
+        }
+        // Ship the real wire bytes: length prefix + payload, reassembled by
+        // the peer's FrameDecoder exactly as a socket receiver would.
+        let framed = encode_frame(frame).map_err(TransportError::Malformed)?;
+        state.decoder.push(&framed);
+        drop(state);
+        self.outgoing.ready.notify_all();
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut state = self.incoming.state.lock().unwrap();
+        loop {
+            match state.decoder.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {
+                    if state.closed {
+                        return Ok(None);
+                    }
+                    state = self.incoming.ready.wait(state).unwrap();
+                }
+                Err(reason) => return Err(TransportError::Malformed(reason)),
+            }
+        }
+    }
+}
+
+impl Drop for LoopbackTransport {
+    fn drop(&mut self) {
+        // Wake a peer blocked in recv (it drains buffered frames first) and
+        // fail our own half so a later send errors instead of queueing into
+        // the void.
+        self.outgoing.close();
+        self.incoming.close();
+    }
+}
+
+/// Sends `request` and blocks for the next response frame — the minimal
+/// client call pattern. Responses are matched by the echoed
+/// [`Request::request_id`]; a mismatch is reported as
+/// [`TransportError::Malformed`] (loopback and socket transports are
+/// ordered, so interleaving only happens when the caller pipelines, in
+/// which case it should match ids itself instead of using this helper).
+pub fn call(transport: &dyn Transport, request: &Request) -> Result<Response, TransportError> {
+    transport.send(&request.to_bytes())?;
+    let frame = transport.recv()?.ok_or(TransportError::Closed)?;
+    let response = Response::from_bytes(&frame)
+        .map_err(|_| TransportError::Malformed("peer sent an undecodable response"))?;
+    if response.request_id != request.request_id {
+        return Err(TransportError::Malformed("response id does not match"));
+    }
+    Ok(response)
+}
+
+/// Runs a shard worker: a loop that serves [`RequestBody::WorkItem`]
+/// enumeration requests **purely over bytes** until the peer closes the
+/// transport. Returns the number of work items served.
+///
+/// The worker holds no engine and no shared graph memory — everything it
+/// enumerates arrived inside a frame, which is what makes the shard side of
+/// `KVCC-ENUM` deployable in a separate process or machine. Engine-level
+/// queries ([`RequestBody::Query`] / [`RequestBody::Batch`]) are answered
+/// with [`ServiceError::Unsupported`]; undecodable frames with
+/// [`ServiceError::MalformedRequest`] (request id 0, since none could be
+/// read).
+pub fn run_shard_worker(
+    transport: &dyn Transport,
+    options: &KvccOptions,
+) -> Result<usize, TransportError> {
+    let mut served = 0usize;
+    while let Some(frame) = transport.recv()? {
+        let response = match Request::from_bytes(&frame) {
+            Ok(request) => {
+                let body = match &request.body {
+                    RequestBody::WorkItem { k, item } => {
+                        served += 1;
+                        match run_work_item(item, *k, options) {
+                            Ok(components) => QueryResponse::Components(components),
+                            Err(e) => QueryResponse::Error(e.into()),
+                        }
+                    }
+                    RequestBody::Query(_) | RequestBody::Batch(_) => {
+                        QueryResponse::Error(ServiceError::Unsupported {
+                            what: "engine queries (this endpoint only runs work items)".into(),
+                        })
+                    }
+                };
+                Response {
+                    request_id: request.request_id,
+                    body: ResponseBody::Query(body),
+                }
+            }
+            Err(e) => Response {
+                request_id: 0,
+                body: ResponseBody::Query(QueryResponse::Error(ServiceError::MalformedRequest {
+                    reason: e.to_string(),
+                })),
+            },
+        };
+        transport.send(&response.to_bytes())?;
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{GraphId, QueryRequest};
+    use crate::wire::CsrWorkItem;
+    use kvcc_graph::CsrGraph;
+
+    #[test]
+    fn loopback_carries_frames_both_ways() {
+        let (a, b) = LoopbackTransport::pair();
+        a.send(b"ping").unwrap();
+        a.send(b"pong").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"ping");
+        b.send(b"reply").unwrap();
+        assert_eq!(b.recv().unwrap().unwrap(), b"pong");
+        assert_eq!(a.recv().unwrap().unwrap(), b"reply");
+        drop(b);
+        assert_eq!(a.recv().unwrap(), None, "peer gone, stream drained");
+        assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn shard_worker_runs_items_and_rejects_queries() {
+        let graph =
+            CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let item = CsrWorkItem::new(graph, vec![10, 11, 12, 13, 14]);
+        let (client, server) = LoopbackTransport::pair();
+        let worker =
+            std::thread::spawn(move || run_shard_worker(&server, &KvccOptions::default()).unwrap());
+
+        let ok = call(
+            &client,
+            &Request {
+                request_id: 5,
+                deadline_hint_ms: None,
+                body: RequestBody::WorkItem { k: 2, item },
+            },
+        )
+        .unwrap();
+        match ok.body {
+            ResponseBody::Query(QueryResponse::Components(c)) => {
+                assert_eq!(c.len(), 2);
+                assert_eq!(c[0].vertices(), &[10, 11, 12]);
+            }
+            other => panic!("expected components, got {other:?}"),
+        }
+
+        let unsupported = call(
+            &client,
+            &Request::query(6, QueryRequest::GraphStats { graph: GraphId(0) }),
+        )
+        .unwrap();
+        match unsupported.body {
+            ResponseBody::Query(QueryResponse::Error(e)) => assert_eq!(e.code(), 6),
+            other => panic!("expected an unsupported error, got {other:?}"),
+        }
+
+        // An undecodable frame gets a malformed-request error, id 0.
+        client.send(b"garbage").unwrap();
+        let frame = client.recv().unwrap().unwrap();
+        let response = Response::from_bytes(&frame).unwrap();
+        assert_eq!(response.request_id, 0);
+        match response.body {
+            ResponseBody::Query(QueryResponse::Error(e)) => assert_eq!(e.code(), 7),
+            other => panic!("expected a malformed-request error, got {other:?}"),
+        }
+
+        drop(client);
+        assert_eq!(worker.join().unwrap(), 1, "one work item served");
+    }
+}

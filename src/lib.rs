@@ -17,5 +17,7 @@ pub use kvcc::{
 pub use kvcc_flow::{global_vertex_connectivity, is_k_vertex_connected};
 pub use kvcc_graph::{CsrGraph, GraphView, UndirectedGraph, VertexId};
 pub use kvcc_service::{
-    EngineConfig, GraphId, QueryRequest, QueryResponse, ServiceEngine, ServiceError,
+    call, run_shard_worker, EngineConfig, GraphId, LoopbackTransport, OrderingPolicy, PageCursor,
+    QueryRequest, QueryResponse, RankBy, RankedEntry, Request, RequestBody, Response, ResponseBody,
+    ServiceEngine, ServiceError, Transport,
 };

@@ -140,7 +140,7 @@ fn index_seed_queries_match_the_direct_query_on_all_suites() {
 fn per_vertex_connectivity_matches_the_hierarchy_on_all_suites() {
     for (name, g) in suites() {
         let hierarchy = build_hierarchy(&g, None, &KvccOptions::default()).unwrap();
-        let index = ConnectivityIndex::from_hierarchy(&hierarchy);
+        let index = ConnectivityIndex::from_hierarchy(&g, &hierarchy);
         let numbers = hierarchy.connectivity_numbers();
         for v in 0..g.num_vertices() as VertexId {
             assert_eq!(
@@ -227,6 +227,58 @@ fn persisted_index_round_trips_on_every_suite() {
                     "{name}: pair ({u}, {v})"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn ranked_listings_cover_the_forest_with_true_metadata_on_all_suites() {
+    use kvcc::{RankBy, RankedComponent};
+    for (name, g) in suites() {
+        let index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let restored = ConnectivityIndex::from_bytes(&index.to_bytes()).unwrap();
+        for rank_by in RankBy::ALL {
+            let ranked = index.ranked_components(rank_by, index.num_nodes());
+            // Parity with `components_at`: the ranking is a permutation of
+            // the forest — every level's components appear exactly once.
+            let mut from_ranking: Vec<(u32, &[VertexId])> = ranked
+                .iter()
+                .map(|e| (e.k, e.component.vertices()))
+                .collect();
+            from_ranking.sort();
+            let mut from_levels: Vec<(u32, &[VertexId])> = (1..=index.max_k())
+                .flat_map(|k| {
+                    index
+                        .components_at(k)
+                        .iter()
+                        .map(move |c| (k, c.vertices()))
+                })
+                .collect();
+            from_levels.sort();
+            assert_eq!(from_ranking, from_levels, "{name}/{rank_by:?}");
+            // The persisted index ranks identically.
+            let restored_ranked: Vec<RankedComponent<'_>> =
+                restored.ranked_components(rank_by, restored.num_nodes());
+            assert_eq!(ranked, restored_ranked, "{name}/{rank_by:?}");
+        }
+        // The precomputed edge counts are the graph's truth, on every node.
+        for entry in index.ranked_components(RankBy::Size, index.num_nodes()) {
+            let members = entry.component.vertices();
+            let brute: u64 = members
+                .iter()
+                .map(|&v| {
+                    g.neighbors(v)
+                        .iter()
+                        .filter(|w| members.binary_search(w).is_ok())
+                        .count() as u64
+                })
+                .sum::<u64>()
+                / 2;
+            assert_eq!(
+                entry.internal_edges, brute,
+                "{name}: node {}",
+                entry.node_id
+            );
         }
     }
 }
