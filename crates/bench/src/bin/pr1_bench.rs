@@ -31,12 +31,19 @@
 //!   sharded enumeration across a loopback transport, and the
 //!   varint-vs-fixed wire payload sizes of the work-item/index/CSR formats.
 //!
-//! Usage: `pr1-bench [--smoke] [pr1.json [pr2.json [pr3.json [pr4.json]]]]`
-//! (defaults `BENCH_pr1.json` … `BENCH_pr4.json`).
+//! PR 5 section (written to `BENCH_pr5.json`):
+//!
+//! * the work-stealing runtime on a skewed planted suite — {shared-queue,
+//!   stealing} × {static, skew-split} scheduling rows plus the sequential
+//!   baseline (checksums identical across all five), and the deadline
+//!   time-to-interrupt probe.
+//!
+//! Usage: `pr1-bench [--smoke] [pr1.json [pr2.json [pr3.json [pr4.json
+//! [pr5.json]]]]]` (defaults `BENCH_pr1.json` … `BENCH_pr5.json`).
 //! `--smoke` runs every case exactly once with no warm-up — the CI mode that
 //! keeps this binary from bit-rotting without spending bench budget.
 
-use kvcc_bench::{pr1, pr2, pr3, pr4};
+use kvcc_bench::{pr1, pr2, pr3, pr4, pr5};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -72,6 +79,7 @@ fn main() {
     let pr2_path = path(1, "BENCH_pr2.json");
     let pr3_path = path(2, "BENCH_pr3.json");
     let pr4_path = path(3, "BENCH_pr4.json");
+    let pr5_path = path(4, "BENCH_pr5.json");
 
     let report = pr1::run_all(smoke);
     println!("{}", report.render_text());
@@ -121,4 +129,24 @@ fn main() {
         );
     }
     write_or_die(&pr4_path, pr4::render_json(&pr4_report));
+
+    let pr5_report = pr5::run_all(smoke);
+    print_section(
+        &pr5_report,
+        "PR 5 scheduling section (skewed planted suite, 4 workers)",
+    );
+    for (baseline, contender, label) in pr5::speedup_pairs() {
+        if let Some(s) = pr5_report.speedup(baseline, contender) {
+            println!("speedup {label}: {s:.2}x");
+        }
+    }
+    let deadline = pr5::deadline_probe(if smoke { 1 } else { 9 });
+    println!(
+        "deadline {} ms: p50 interrupt {:.2} ms, p99 {:.2} ms ({} samples)",
+        deadline.deadline_ms,
+        deadline.percentile_ns(50.0) as f64 / 1e6,
+        deadline.percentile_ns(99.0) as f64 / 1e6,
+        deadline.elapsed_ns.len()
+    );
+    write_or_die(&pr5_path, pr5::render_json(&pr5_report, &deadline));
 }

@@ -58,7 +58,8 @@ pub fn legacy_enumerate(
                 .iter()
                 .map(|&core_local| item.to_original[core.to_parent[core_local as usize] as usize])
                 .collect();
-            let outcome = global_cut(&sub.graph, k, options, &mut stats);
+            let outcome = global_cut(&sub.graph, k, options, &mut stats)
+                .expect("the legacy path runs without a budget");
             match outcome.cut {
                 None => results.push(KVertexConnectedComponent::new(to_original)),
                 Some(cut) => {

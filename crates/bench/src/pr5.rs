@@ -1,0 +1,327 @@
+//! PR 5 performance record: the work-stealing enumeration runtime under
+//! skew, and deadline time-to-interrupt.
+//!
+//! Two sections, written to `BENCH_pr5.json`:
+//!
+//! * **scheduling matrix** — a *skewed* planted suite (one giant chained
+//!   community component whose cut/partition loop dominates, plus many
+//!   small communities that drain instantly) enumerated under
+//!   {shared-queue, work-stealing} × {static, skew-split} scheduling with a
+//!   4-worker pool, next to the sequential baseline. Checksums assert every
+//!   row reports the identical component set — scheduling must never change
+//!   the answer. (The container CI box has a single core, so the wall-clock
+//!   ratios mostly record lock/scheduling overhead there; re-run on real
+//!   hardware for the scaling curve, like the pr1 rows.)
+//! * **deadline** — repeated runs of the dominant workload with a deadline
+//!   far below the full runtime, recording the *time to interrupt*: how long
+//!   after the deadline the cooperative checkpoints (per work item, per
+//!   `LOC-CUT` probe, per Dinic BFS phase) actually returned
+//!   [`kvcc::KvccError::Interrupted`]. The acceptance target is a p99
+//!   cancel latency well under one full enumeration.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use kvcc::{enumerate_kvccs, Budget, KvccError, KvccOptions, Scheduler};
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::UndirectedGraph;
+
+use crate::pr1::{case_budget, measure_fn, Report};
+
+/// Split threshold used by the skew-split rows: roughly one small
+/// community's cost, so the giant component's pieces fan out while the
+/// small items stay whole.
+pub const SPLIT_THRESHOLD: u64 = 2_000;
+
+/// Worker count of the parallel rows.
+const THREADS: usize = 4;
+
+/// Deadline of the interrupt probe, far below the full runtime.
+const DEADLINE_MS: u64 = 4;
+
+/// The skewed workload: one dominant chained-community component (every
+/// consecutive pair of blocks overlaps in fewer than `k` vertices, forcing
+/// a deep partition cascade) glued to a batch of small, independent
+/// communities — the shape where a static schedule leaves workers idle
+/// exactly while the hot path needs them.
+pub fn workload() -> &'static (UndirectedGraph, u32) {
+    static WORKLOAD: OnceLock<(UndirectedGraph, u32)> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let giant = planted_communities(&PlantedConfig {
+            num_communities: 28,
+            chain_length: 28,
+            community_size: (16, 20),
+            background_vertices: 2_600,
+            background_edges_per_vertex: 3,
+            seed: 55,
+            ..PlantedConfig::default()
+        });
+        let small = planted_communities(&PlantedConfig {
+            num_communities: 16,
+            chain_length: 1,
+            community_size: (8, 11),
+            background_vertices: 300,
+            background_edges_per_vertex: 2,
+            seed: 56,
+            ..PlantedConfig::default()
+        });
+        let k = giant.k as u32;
+        assert_eq!(giant.k, small.k);
+        // Disjoint union: the small communities' vertex ids are offset past
+        // the giant graph.
+        let offset = giant.graph.num_vertices() as u32;
+        let n = giant.graph.num_vertices() + small.graph.num_vertices();
+        let mut edges: Vec<(u32, u32)> = giant.graph.edges().collect();
+        edges.extend(small.graph.edges().map(|(u, v)| (u + offset, v + offset)));
+        (UndirectedGraph::from_edges(n, edges).unwrap(), k)
+    })
+}
+
+fn enumerate_with(scheduler: Scheduler, threads: usize, split: Option<u64>) -> usize {
+    let (g, k) = workload();
+    let opts = KvccOptions::default()
+        .with_threads(threads)
+        .with_scheduler(scheduler)
+        .with_split_threshold(split);
+    let result = enumerate_kvccs(g, *k, &opts).unwrap();
+    result.iter().map(|c| c.len()).sum()
+}
+
+fn enum_sequential() -> usize {
+    enumerate_with(Scheduler::WorkStealing, 1, None)
+}
+
+fn enum_shared_static() -> usize {
+    enumerate_with(Scheduler::SharedQueue, THREADS, None)
+}
+
+fn enum_shared_split() -> usize {
+    enumerate_with(Scheduler::SharedQueue, THREADS, Some(SPLIT_THRESHOLD))
+}
+
+fn enum_stealing_static() -> usize {
+    enumerate_with(Scheduler::WorkStealing, THREADS, None)
+}
+
+fn enum_stealing_split() -> usize {
+    enumerate_with(Scheduler::WorkStealing, THREADS, Some(SPLIT_THRESHOLD))
+}
+
+/// The deadline section of the report: per-sample time-to-interrupt of the
+/// skewed enumeration under a deadline far below the full runtime.
+#[derive(Clone, Debug)]
+pub struct DeadlineReport {
+    /// The armed deadline, in milliseconds.
+    pub deadline_ms: u64,
+    /// Total wall-clock until [`kvcc::KvccError::Interrupted`] came back,
+    /// one entry per sample.
+    pub elapsed_ns: Vec<u64>,
+    /// Work items that completed before the interrupt (last sample).
+    pub partial_work_items: u64,
+}
+
+impl DeadlineReport {
+    /// The p-th percentile (0–100) of the sampled time-to-interrupt.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let mut sorted = self.elapsed_ns.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+}
+
+/// Runs the deadline probe `samples` times on the work-stealing runtime and
+/// asserts every run is actually interrupted (the workload runs ≥ 10× the
+/// deadline when left alone).
+pub fn deadline_probe(samples: usize) -> DeadlineReport {
+    let (g, k) = workload();
+    let mut elapsed_ns = Vec::with_capacity(samples);
+    let mut partial_work_items = 0;
+    for _ in 0..samples {
+        let opts = KvccOptions::default()
+            .with_threads(THREADS)
+            .with_budget(Budget::with_timeout(Duration::from_millis(DEADLINE_MS)));
+        let start = Instant::now();
+        match enumerate_kvccs(g, *k, &opts) {
+            Err(KvccError::Interrupted { stats }) => {
+                elapsed_ns.push(start.elapsed().as_nanos() as u64);
+                assert!(stats.cancelled);
+                partial_work_items = stats.work_items_executed;
+            }
+            Ok(_) => panic!(
+                "the skewed workload completed within {DEADLINE_MS} ms; \
+                 grow the suite so the deadline row measures an interrupt"
+            ),
+            Err(e) => panic!("unexpected enumeration error: {e}"),
+        }
+    }
+    DeadlineReport {
+        deadline_ms: DEADLINE_MS,
+        elapsed_ns,
+        partial_work_items,
+    }
+}
+
+/// One named case with its minimum iteration count.
+type Pr5Case = (&'static str, fn() -> usize, u64);
+
+/// Runs the PR 5 scheduling matrix, asserting all rows agree on the
+/// component checksum. With `smoke` every case runs exactly once (the CI
+/// contract keeping the runtime from bit-rotting).
+pub fn run_all(smoke: bool) -> Report {
+    let mut report = Report::default();
+    let cases: [Pr5Case; 5] = [
+        ("pr5/sched/sequential", enum_sequential, 3),
+        ("pr5/sched/shared-static", enum_shared_static, 3),
+        ("pr5/sched/shared-split", enum_shared_split, 3),
+        ("pr5/sched/stealing-static", enum_stealing_static, 3),
+        ("pr5/sched/stealing-split", enum_stealing_split, 3),
+    ];
+    for (name, run, min_iters) in cases {
+        let (warmup, budget, min_iters) = case_budget(
+            smoke,
+            Duration::from_millis(200),
+            Duration::from_millis(1500),
+            min_iters,
+        );
+        report
+            .entries
+            .push(measure_fn(name, run, warmup, budget, min_iters));
+    }
+    let sums: Vec<usize> = report.entries.iter().map(|e| e.checksum).collect();
+    assert!(
+        sums.windows(2).all(|w| w[0] == w[1]),
+        "scheduling rows must report identical component sets: {sums:?}"
+    );
+    report
+}
+
+/// Speedup pairs reported in `BENCH_pr5.json`.
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "pr5/sched/shared-static",
+            "pr5/sched/stealing-static",
+            "stealing_vs_shared_static",
+        ),
+        (
+            "pr5/sched/stealing-static",
+            "pr5/sched/stealing-split",
+            "split_vs_static_stealing",
+        ),
+        (
+            "pr5/sched/shared-static",
+            "pr5/sched/stealing-split",
+            "stealing_split_vs_shared_static",
+        ),
+    ]
+}
+
+/// JSON payload for `BENCH_pr5.json` (hand-assembled like the other
+/// sections). `deadline` carries the interrupt-latency samples.
+pub fn render_json(report: &Report, deadline: &DeadlineReport) -> String {
+    let (g, k) = workload();
+    let full = report
+        .entry("pr5/sched/stealing-static")
+        .expect("matrix row present")
+        .mean_ns;
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 5,\n");
+    out.push_str(
+        "  \"description\": \"work-stealing vs shared-queue KVCC-ENUM under skew \
+         (one dominant chained component + small communities), skew-aware work splitting, \
+         and deadline time-to-interrupt\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"vertices\": {}, \"edges\": {}, \"k\": {}, \"threads\": {}, \
+         \"split_threshold\": {}}},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        k,
+        THREADS,
+        SPLIT_THRESHOLD
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"deadline\": {{\"deadline_ms\": {}, \"samples\": {}, \"p50_interrupt_ns\": {}, \
+         \"p99_interrupt_ns\": {}, \"full_run_ns\": {:.1}, \"p99_over_full\": {:.4}, \
+         \"partial_work_items\": {}}},\n",
+        deadline.deadline_ms,
+        deadline.elapsed_ns.len(),
+        deadline.percentile_ns(50.0),
+        deadline.percentile_ns(99.0),
+        full,
+        deadline.percentile_ns(99.0) as f64 / full,
+        deadline.partial_work_items
+    ));
+    out.push_str("  \"ratios\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_rows_agree_on_the_component_set() {
+        let sequential = enum_sequential();
+        assert!(sequential > 0);
+        assert_eq!(sequential, enum_shared_static());
+        assert_eq!(sequential, enum_stealing_static());
+        assert_eq!(sequential, enum_stealing_split());
+    }
+
+    #[test]
+    fn split_threshold_actually_defers_on_the_skewed_suite() {
+        let (g, k) = workload();
+        let opts = KvccOptions::default().with_split_threshold(Some(SPLIT_THRESHOLD));
+        let r = enumerate_kvccs(g, *k, &opts).unwrap();
+        assert!(r.stats().splits > 0, "the giant component must fan out");
+    }
+
+    #[test]
+    fn deadline_probe_interrupts_well_before_a_full_run() {
+        let (g, k) = workload();
+        let full = {
+            let start = Instant::now();
+            let _ = enumerate_kvccs(g, *k, &KvccOptions::default()).unwrap();
+            start.elapsed()
+        };
+        let probe = deadline_probe(1);
+        let interrupt = Duration::from_nanos(probe.percentile_ns(99.0));
+        assert!(
+            interrupt < full,
+            "time-to-interrupt {interrupt:?} must beat the full run {full:?}"
+        );
+        assert!(full >= Duration::from_millis(10 * probe.deadline_ms));
+    }
+
+    #[test]
+    fn smoke_report_renders_valid_json_shape() {
+        let report = run_all(true);
+        assert_eq!(report.entries.len(), 5);
+        let json = render_json(&report, &deadline_probe(1));
+        assert!(json.contains("\"deadline\""));
+        assert!(json.contains("stealing_vs_shared_static"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::stats::EnumerationStats;
+
 /// Errors returned by [`crate::enumerate_kvccs`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvccError {
@@ -21,6 +23,20 @@ pub enum KvccError {
         /// The offending vertex id.
         seed: u32,
     },
+    /// The enumeration was interrupted mid-run by its
+    /// [`crate::KvccOptions::budget`] (deadline passed or token cancelled).
+    ///
+    /// Carries the **partial** statistics of the work completed before the
+    /// interrupt — every counter reflects exactly the items, probes and
+    /// sweeps that ran, `cancelled` is set, and `elapsed` is the
+    /// time-to-interrupt — so callers can report how far a cancelled run
+    /// got. No component list is returned: a partial component set would be
+    /// indistinguishable from a complete one.
+    Interrupted {
+        /// Statistics of the work completed before the interrupt
+        /// (`stats.cancelled` is always `true`).
+        stats: Box<EnumerationStats>,
+    },
 }
 
 impl fmt::Display for KvccError {
@@ -35,6 +51,28 @@ impl fmt::Display for KvccError {
             KvccError::SeedOutOfRange { seed } => {
                 write!(f, "seed vertex {seed} does not exist in the graph")
             }
+            KvccError::Interrupted { stats } => {
+                write!(
+                    f,
+                    "enumeration interrupted by its budget after {} work items ({:?})",
+                    stats.work_items_executed, stats.elapsed
+                )
+            }
+        }
+    }
+}
+
+impl From<kvcc_flow::Interrupted> for KvccError {
+    /// Lifts a flow-level interrupt into the enumeration error space. The
+    /// statistics box is empty at this point; [`crate::KvccEnumerator::run`]
+    /// replaces it with the merged partial statistics of the whole run
+    /// before the error reaches the caller.
+    fn from(_: kvcc_flow::Interrupted) -> Self {
+        KvccError::Interrupted {
+            stats: Box::new(EnumerationStats {
+                cancelled: true,
+                ..EnumerationStats::default()
+            }),
         }
     }
 }

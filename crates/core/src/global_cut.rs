@@ -17,7 +17,7 @@
 //! in a caller-owned [`CutScratch`] arena so that a worklist issuing many
 //! probes (the enumerator) performs no per-probe allocation in steady state.
 
-use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
+use kvcc_flow::{Budget, Interrupted, LocalConnectivity, VertexFlowGraph};
 use kvcc_graph::traversal::vertices_by_descending_distance;
 use kvcc_graph::{GraphView, VertexId};
 
@@ -28,7 +28,7 @@ use crate::stats::EnumerationStats;
 use crate::sweep::{SweepCause, SweepContext, SweepState};
 
 /// Result of one `GLOBAL-CUT`/`GLOBAL-CUT*` invocation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GlobalCutOutcome {
     /// A vertex cut with fewer than `k` vertices, or `None` when the graph is
     /// k-vertex connected.
@@ -61,12 +61,16 @@ impl CutScratch {
 ///
 /// Convenience wrapper around [`global_cut_with_scratch`] that allocates a
 /// fresh [`CutScratch`]; hot loops should hold their own arena instead.
+///
+/// Errors with [`Interrupted`] when [`KvccOptions::budget`] expires mid-call
+/// (polled once per `LOC-CUT` probe and per Dinic BFS phase); the scratch
+/// arena stays reusable afterwards.
 pub fn global_cut<G: GraphView>(
     g: &G,
     k: u32,
     options: &KvccOptions,
     stats: &mut EnumerationStats,
-) -> GlobalCutOutcome {
+) -> Result<GlobalCutOutcome, Interrupted> {
     let mut scratch = CutScratch::new();
     global_cut_with_scratch(g, k, options, stats, &mut scratch)
 }
@@ -83,17 +87,19 @@ pub fn global_cut_with_scratch<G: GraphView>(
     options: &KvccOptions,
     stats: &mut EnumerationStats,
     scratch: &mut CutScratch,
-) -> GlobalCutOutcome {
+) -> Result<GlobalCutOutcome, Interrupted> {
+    let budget = &options.budget;
+    budget.check()?;
     stats.global_cut_calls += 1;
     let n = g.num_vertices();
     if n <= k as usize {
         // Too small to be k-connected: its entire vertex set minus one vertex
         // is technically a "cut", but KVCC-ENUM never calls us in this
         // situation; report "no cut" and let the caller's size filter decide.
-        return GlobalCutOutcome {
+        return Ok(GlobalCutOutcome {
             cut: None,
             scratch_memory_bytes: 0,
-        };
+        });
     }
 
     let neighbor_sweep = options.variant.neighbor_sweep();
@@ -157,6 +163,7 @@ pub fn global_cut_with_scratch<G: GraphView>(
         side_groups,
         neighbor_sweep,
         group_sweep,
+        budget,
     };
     if optimised {
         state.sweep(&ctx, source, SweepCause::SourceOrTested);
@@ -180,12 +187,13 @@ pub fn global_cut_with_scratch<G: GraphView>(
             }
             continue;
         }
+        budget.check()?;
         stats.tested_vertices += 1;
-        if let Some(cut) = loc_cut(flow, g, source, v, k, probe_limit, stats) {
-            return GlobalCutOutcome {
+        if let Some(cut) = loc_cut(flow, g, source, v, k, probe_limit, stats, budget)? {
+            return Ok(GlobalCutOutcome {
                 cut: Some(cut),
                 scratch_memory_bytes,
-            };
+            });
         }
         if optimised {
             state.sweep(&ctx, v, SweepCause::SourceOrTested);
@@ -207,21 +215,22 @@ pub fn global_cut_with_scratch<G: GraphView>(
                         continue;
                     }
                 }
+                budget.check()?;
                 stats.phase2_pairs_tested += 1;
-                if let Some(cut) = loc_cut(flow, g, a, b, k, probe_limit, stats) {
-                    return GlobalCutOutcome {
+                if let Some(cut) = loc_cut(flow, g, a, b, k, probe_limit, stats, budget)? {
+                    return Ok(GlobalCutOutcome {
                         cut: Some(cut),
                         scratch_memory_bytes,
-                    };
+                    });
                 }
             }
         }
     }
 
-    GlobalCutOutcome {
+    Ok(GlobalCutOutcome {
         cut: None,
         scratch_memory_bytes,
-    }
+    })
 }
 
 /// Chooses the source vertex: a strong side-vertex when available and allowed
@@ -262,6 +271,7 @@ fn select_source<G: GraphView>(
 /// certificate, a subgraph of `g`, or `g` itself). Non-adjacency in `g`
 /// implies non-adjacency in any subgraph, so the unchecked flow entry point
 /// is safe.
+#[allow(clippy::too_many_arguments)]
 fn loc_cut<G: GraphView>(
     flow: &mut VertexFlowGraph,
     g: &G,
@@ -270,17 +280,20 @@ fn loc_cut<G: GraphView>(
     k: u32,
     probe_limit: u32,
     stats: &mut EnumerationStats,
-) -> Option<Vec<VertexId>> {
+    budget: &Budget,
+) -> Result<Option<Vec<VertexId>>, Interrupted> {
     if u == v || g.has_edge(u, v) {
         stats.loc_cut_trivial_calls += 1;
-        return None;
+        return Ok(None);
     }
     stats.loc_cut_flow_calls += 1;
-    match flow.local_connectivity_nonadjacent(u, v, probe_limit) {
-        LocalConnectivity::AtLeast(_) => None,
-        LocalConnectivity::Cut(cut) if (cut.len() as u32) < k => Some(cut),
-        LocalConnectivity::Cut(_) => None,
-    }
+    Ok(
+        match flow.local_connectivity_budgeted(u, v, probe_limit, budget)? {
+            LocalConnectivity::AtLeast(_) => None,
+            LocalConnectivity::Cut(cut) if (cut.len() as u32) < k => Some(cut),
+            LocalConnectivity::Cut(_) => None,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -295,6 +308,30 @@ mod tests {
             variant,
             ..KvccOptions::default()
         }
+    }
+
+    /// Test-local shadow of [`super::global_cut`]: every test here runs with
+    /// an unlimited budget, which must never interrupt.
+    fn global_cut<G: GraphView>(
+        g: &G,
+        k: u32,
+        options: &KvccOptions,
+        stats: &mut EnumerationStats,
+    ) -> GlobalCutOutcome {
+        super::global_cut(g, k, options, stats).expect("an unlimited budget never interrupts")
+    }
+
+    /// Test-local shadow of [`super::global_cut_with_scratch`], same
+    /// contract.
+    fn global_cut_with_scratch<G: GraphView>(
+        g: &G,
+        k: u32,
+        options: &KvccOptions,
+        stats: &mut EnumerationStats,
+        scratch: &mut CutScratch,
+    ) -> GlobalCutOutcome {
+        super::global_cut_with_scratch(g, k, options, stats, scratch)
+            .expect("an unlimited budget never interrupts")
     }
 
     fn complete(n: usize) -> UndirectedGraph {
@@ -469,5 +506,31 @@ mod tests {
         let out = global_cut(&g, 5, &KvccOptions::default(), &mut stats);
         assert!(out.cut.is_none());
         assert_eq!(out.scratch_memory_bytes, 0);
+    }
+
+    #[test]
+    fn expired_budget_interrupts_and_scratch_stays_reusable() {
+        let g = two_blocks();
+        let expired =
+            KvccOptions::default().with_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        let mut stats = EnumerationStats::default();
+        let mut scratch = CutScratch::new();
+        assert_eq!(
+            super::global_cut_with_scratch(&g, 3, &expired, &mut stats, &mut scratch),
+            Err(Interrupted)
+        );
+        // The same scratch answers the identical probe afterwards.
+        let mut stats = EnumerationStats::default();
+        let out = global_cut_with_scratch(&g, 3, &KvccOptions::default(), &mut stats, &mut scratch);
+        assert_valid_cut(&g, &out.cut.expect("graph is not 3-connected"), 3);
+        // A cancelled token interrupts the same way as a passed deadline.
+        let cancelled = Budget::cancellable();
+        cancelled.cancel();
+        let opts = KvccOptions::default().with_budget(cancelled);
+        let mut stats = EnumerationStats::default();
+        assert_eq!(
+            super::global_cut_with_scratch(&g, 3, &opts, &mut stats, &mut scratch),
+            Err(Interrupted)
+        );
     }
 }

@@ -60,7 +60,10 @@ pub use enumerate::{enumerate_kvccs, KvccEnumerator};
 pub use error::KvccError;
 pub use hierarchy::{build_hierarchy, KvccHierarchy};
 pub use index::{ConnectivityIndex, RankBy, RankedComponent};
-pub use options::{AlgorithmVariant, KvccOptions};
+// The cancellation token lives in `kvcc-flow` (the lowest crate that polls
+// it); re-exported here because `KvccOptions::budget` is its primary home.
+pub use kvcc_flow::{Budget, Interrupted};
+pub use options::{effective_threads, split_cost, AlgorithmVariant, KvccOptions, Scheduler};
 pub use query::kvccs_containing;
 pub use result::{KVertexConnectedComponent, KvccResult};
 pub use stats::EnumerationStats;

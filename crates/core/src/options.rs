@@ -1,5 +1,7 @@
 //! Configuration of the enumeration algorithm.
 
+use kvcc_flow::Budget;
+
 /// Which pruning strategies are enabled, matching the four algorithms compared
 /// in the paper's efficiency study (§6.2, Fig. 10).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -54,10 +56,43 @@ impl AlgorithmVariant {
     }
 }
 
+/// Which parallel runtime drains the `KVCC-ENUM` worklist when
+/// [`KvccOptions::threads`] asks for more than one worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Scheduler {
+    /// One shared queue behind a mutex, every pop contended (the PR 1
+    /// runtime). Kept as the ablation baseline the `pr5` benchmark compares
+    /// against.
+    SharedQueue,
+    /// Per-worker deques with work stealing: each worker pushes and pops its
+    /// own deque LIFO (depth-first locality, bounded queue growth) and idle
+    /// workers steal FIFO from a victim's opposite end (the oldest — and on
+    /// a skewed worklist typically largest — item, maximising the stolen
+    /// granularity). The default.
+    #[default]
+    WorkStealing,
+}
+
+/// The scheduling cost estimate of one work item: `|E| + k·|V|`.
+///
+/// `|E|` approximates the cost of one sparse-certificate construction and
+/// `k·|V|` the `O(k)` bounded flow probes over the phase-1 vertices — the
+/// two components of a `GLOBAL-CUT*` call. Work items whose cost exceeds
+/// [`KvccOptions::split_threshold`] are fanned out instead of processed
+/// inline (see [`KvccOptions::split_threshold`]); the same model orders and
+/// splits shard work items in `kvcc-service`.
+pub fn split_cost(num_vertices: usize, num_edges: usize, k: u32) -> u64 {
+    num_edges as u64 + k as u64 * num_vertices as u64
+}
+
 /// Tuning knobs of the enumeration. The defaults reproduce `VCCE*` exactly as
 /// described in the paper; the additional switches exist for the ablation
 /// benchmarks called out in `DESIGN.md`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Equality ignores the [`budget`](KvccOptions::budget): the budget is a
+/// runtime attachment (two configurations are "the same algorithm" whether
+/// or not a deadline happens to be armed).
+#[derive(Clone, Debug)]
 pub struct KvccOptions {
     /// Which sweep strategies are enabled.
     pub variant: AlgorithmVariant,
@@ -99,8 +134,29 @@ pub struct KvccOptions {
     /// process them concurrently with per-thread scratch arenas. Results and
     /// statistics are merged deterministically: the reported component set
     /// and all pruning counters are identical to a sequential run; only
-    /// `elapsed` and the peak-memory estimate depend on scheduling.
+    /// `elapsed`, the peak-memory estimate and the steal count depend on
+    /// scheduling.
     pub threads: usize,
+    /// Which parallel runtime drains the worklist (ignored when the run is
+    /// sequential). See [`Scheduler`].
+    pub scheduler: Scheduler,
+    /// Skew-aware work splitting: a surviving component whose
+    /// [`split_cost`] exceeds this threshold is pushed back onto the
+    /// worklist as its own work item instead of being cut in-worker, so a
+    /// giant component fans out across the pool instead of serialising on
+    /// one worker. `None` (the default) never defers. Splitting only
+    /// re-schedules work — the component set, the partition count and every
+    /// pruning counter stay byte-identical for any threshold; only
+    /// [`crate::EnumerationStats::splits`] and
+    /// [`crate::EnumerationStats::work_items_executed`] reflect the choice.
+    pub split_threshold: Option<u64>,
+    /// Cooperative cancellation token polled by the worklist (per work
+    /// item), the `GLOBAL-CUT*` phase loops (per probe) and Dinic (per BFS
+    /// phase). When it expires mid-run the enumeration stops at the next
+    /// checkpoint and returns [`crate::KvccError::Interrupted`] carrying the
+    /// partial statistics. The default is [`Budget::unlimited`] —
+    /// allocation-free and never expiring. Ignored by [`PartialEq`].
+    pub budget: Budget,
 }
 
 impl Default for KvccOptions {
@@ -114,9 +170,31 @@ impl Default for KvccOptions {
             k_bounded_flow: true,
             collect_statistics: true,
             threads: 1,
+            scheduler: Scheduler::WorkStealing,
+            split_threshold: None,
+            budget: Budget::unlimited(),
         }
     }
 }
+
+impl PartialEq for KvccOptions {
+    /// Compares every algorithmic knob; the [`budget`](KvccOptions::budget)
+    /// runtime attachment is deliberately excluded (see the type docs).
+    fn eq(&self, other: &Self) -> bool {
+        self.variant == other.variant
+            && self.use_sparse_certificate == other.use_sparse_certificate
+            && self.order_by_distance == other.order_by_distance
+            && self.prefer_side_vertex_source == other.prefer_side_vertex_source
+            && self.max_degree_for_side_vertex_check == other.max_degree_for_side_vertex_check
+            && self.k_bounded_flow == other.k_bounded_flow
+            && self.collect_statistics == other.collect_statistics
+            && self.threads == other.threads
+            && self.scheduler == other.scheduler
+            && self.split_threshold == other.split_threshold
+    }
+}
+
+impl Eq for KvccOptions {}
 
 impl KvccOptions {
     /// Options reproducing the paper's basic algorithm `VCCE`.
@@ -178,6 +256,39 @@ impl KvccOptions {
         self.k_bounded_flow = bounded;
         self
     }
+
+    /// Selects the parallel runtime (see [`Scheduler`]).
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the skew-aware splitting threshold (see
+    /// [`KvccOptions::split_threshold`]).
+    pub fn with_split_threshold(mut self, threshold: Option<u64>) -> Self {
+        self.split_threshold = threshold;
+        self
+    }
+
+    /// Attaches a cancellation [`Budget`] (see [`KvccOptions::budget`]).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// Resolves a requested worker count to a concrete one: `0` means
+/// [`std::thread::available_parallelism`], anything else is taken verbatim.
+/// Shared by the enumeration worklist ([`KvccOptions::threads`]) and the
+/// `kvcc-service` batch pool.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +336,33 @@ mod tests {
             KvccOptions::for_variant(AlgorithmVariant::Basic).variant,
             AlgorithmVariant::Basic
         );
+        assert_eq!(opts.scheduler, Scheduler::WorkStealing);
+        assert_eq!(opts.split_threshold, None);
+        assert!(opts.budget.is_unlimited());
+    }
+
+    #[test]
+    fn equality_ignores_the_budget_attachment() {
+        let armed = KvccOptions::default().with_budget(Budget::cancellable());
+        assert_eq!(armed, KvccOptions::default());
+        let different = KvccOptions::default().with_split_threshold(Some(100));
+        assert_ne!(different, KvccOptions::default());
+        assert_ne!(
+            KvccOptions::default().with_scheduler(Scheduler::SharedQueue),
+            KvccOptions::default()
+        );
+    }
+
+    #[test]
+    fn split_cost_model_weights_edges_and_k_scaled_vertices() {
+        assert_eq!(split_cost(0, 0, 4), 0);
+        assert_eq!(split_cost(10, 25, 4), 25 + 40);
+        assert!(split_cost(100, 400, 8) > split_cost(100, 400, 2));
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_available_parallelism() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
     }
 }

@@ -46,6 +46,25 @@ pub struct EnumerationStats {
     /// Times the defensive "recompute the cut on the full subgraph" fallback
     /// fired (expected to stay 0; see `DESIGN.md`).
     pub fallback_recuts: u64,
+    /// Work items drained from the `KVCC-ENUM` worklist (initial k-core
+    /// components + partition pieces + deferred splits). Deterministic for a
+    /// fixed [`crate::KvccOptions::split_threshold`], independent of thread
+    /// count and scheduler.
+    pub work_items_executed: u64,
+    /// Work items a worker took from another worker's deque
+    /// ([`crate::options::Scheduler::WorkStealing`] only). The one counter
+    /// that is genuinely scheduling-dependent: it varies run to run and is
+    /// reported for observability, never compared for parity.
+    pub steals: u64,
+    /// Components deferred back onto the worklist by skew-aware splitting
+    /// instead of being cut in-worker (see
+    /// [`crate::KvccOptions::split_threshold`]). Deterministic for a fixed
+    /// threshold.
+    pub splits: u64,
+    /// Whether the run was interrupted by its [`crate::KvccOptions::budget`]
+    /// before completing. Set on the partial statistics carried by
+    /// [`crate::KvccError::Interrupted`]; always `false` on a completed run.
+    pub cancelled: bool,
     /// Peak of the approximate *working* memory estimate in bytes: live
     /// partitioned subgraphs plus the certificate and flow scratch of the
     /// `GLOBAL-CUT` call in flight. The caller's input graph is not included
@@ -105,6 +124,10 @@ impl EnumerationStats {
         self.strong_side_vertices += other.strong_side_vertices;
         self.side_groups += other.side_groups;
         self.fallback_recuts += other.fallback_recuts;
+        self.work_items_executed += other.work_items_executed;
+        self.steals += other.steals;
+        self.splits += other.splits;
+        self.cancelled |= other.cancelled;
         self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
         self.elapsed += other.elapsed;
     }

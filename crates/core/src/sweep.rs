@@ -15,6 +15,7 @@
 //! The cascade is processed with an explicit work list, so arbitrarily large
 //! sweeps cannot overflow the call stack.
 
+use kvcc_flow::Budget;
 use kvcc_graph::{GraphView, VertexId};
 
 use crate::certificate::NO_GROUP;
@@ -52,7 +53,18 @@ pub struct SweepContext<'a, G: GraphView> {
     pub neighbor_sweep: bool,
     /// Whether the group-sweep rules are enabled (variant `VCCE-G`/`VCCE*`).
     pub group_sweep: bool,
+    /// Cancellation token polled inside long sweep cascades (every
+    /// [`SWEEP_POLL_INTERVAL`] worklist pops). An expired budget makes the
+    /// cascade bail out early; pending worklist entries stay queued and are
+    /// either drained by a later sweep call or dropped with the whole state
+    /// when the enclosing `GLOBAL-CUT*` aborts. Bailing early only *under-*
+    /// prunes, so correctness is unaffected even if the run were to
+    /// continue.
+    pub budget: &'a Budget,
 }
+
+/// How many cascade steps a sweep processes between two budget polls.
+pub const SWEEP_POLL_INTERVAL: u32 = 256;
 
 impl<'a, G: GraphView> SweepContext<'a, G> {
     fn is_strong(&self, v: VertexId) -> bool {
@@ -135,8 +147,14 @@ impl SweepState {
             return;
         }
         self.mark(v, cause);
+        let mut steps = 0u32;
         while let Some(x) = self.worklist.pop() {
             self.process(ctx, x);
+            steps += 1;
+            if steps.is_multiple_of(SWEEP_POLL_INTERVAL) && ctx.budget.expired() {
+                // Bail out of a long cascade; see `SweepContext::budget`.
+                return;
+            }
         }
     }
 
@@ -215,6 +233,7 @@ mod tests {
         neighbor: bool,
         group: bool,
     ) -> SweepContext<'a, UndirectedGraph> {
+        static UNLIMITED: std::sync::OnceLock<Budget> = std::sync::OnceLock::new();
         SweepContext {
             graph,
             k,
@@ -223,6 +242,7 @@ mod tests {
             side_groups: groups,
             neighbor_sweep: neighbor,
             group_sweep: group,
+            budget: UNLIMITED.get_or_init(Budget::unlimited),
         }
     }
 

@@ -6,6 +6,7 @@
 //! vertex-split flow graph every augmenting path carries exactly one unit, so
 //! the cost per `LOC-CUT` call is `O(min(√n, k) · m)` (Lemma 6 of the paper).
 
+use crate::budget::{Budget, Interrupted};
 use crate::network::{FlowNetwork, NodeId};
 
 /// Level assigned to nodes that the residual BFS did not reach.
@@ -109,14 +110,36 @@ pub fn max_flow_with_scratch(
     limit: u32,
     scratch: &mut DinicScratch,
 ) -> u32 {
+    max_flow_budgeted(net, source, sink, limit, scratch, &Budget::unlimited())
+        .expect("an unlimited budget never interrupts")
+}
+
+/// [`max_flow_with_scratch`] under a cooperative [`Budget`].
+///
+/// The budget is polled **once per BFS phase** (the paper-granular
+/// checkpoint: a phase is the unit after which the level graph is rebuilt),
+/// never per edge, so the check costs one `Instant::now` per phase while
+/// the interrupt latency stays bounded by a single phase. On
+/// [`Interrupted`] the network holds a *partial* flow; callers must
+/// [`FlowNetwork::reset`] before the next query exactly as they would after
+/// a completed one — the scratch arena itself is never poisoned.
+pub fn max_flow_budgeted(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    limit: u32,
+    scratch: &mut DinicScratch,
+    budget: &Budget,
+) -> Result<u32, Interrupted> {
     if source == sink || limit == 0 {
-        return 0;
+        return Ok(0);
     }
     scratch.ensure(net.num_nodes());
     let mut flow = 0u32;
     // Once `flow == limit` the outer condition fails immediately, so a probe
     // that meets its bound never pays a final no-progress BFS phase.
     while flow < limit {
+        budget.check()?;
         if !build_levels(net, source, sink, scratch) {
             break;
         }
@@ -131,7 +154,7 @@ pub fn max_flow_with_scratch(
             }
         }
     }
-    flow
+    Ok(flow)
 }
 
 /// Residual BFS from `source`; returns `true` when `sink` is reachable.
@@ -274,6 +297,32 @@ mod tests {
             );
             net.reset();
         }
+    }
+
+    #[test]
+    fn expired_budget_interrupts_before_any_phase() {
+        let (mut net, s, t) = clrs_network();
+        let mut scratch = DinicScratch::new(net.num_nodes());
+        let expired = Budget::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            max_flow_budgeted(&mut net, s, t, 1000, &mut scratch, &expired),
+            Err(Interrupted)
+        );
+        // The arena stays reusable: the same buffers answer correctly under
+        // an unlimited budget afterwards.
+        net.reset();
+        assert_eq!(
+            max_flow_budgeted(&mut net, s, t, 1000, &mut scratch, &Budget::unlimited()),
+            Ok(23)
+        );
+        // A cancelled flag interrupts just like a deadline.
+        net.reset();
+        let cancelled = Budget::cancellable();
+        cancelled.cancel();
+        assert_eq!(
+            max_flow_budgeted(&mut net, s, t, 1000, &mut scratch, &cancelled),
+            Err(Interrupted)
+        );
     }
 
     #[test]

@@ -15,16 +15,22 @@
 //! * [`connectivity`] — whole-graph helpers: `is_k_vertex_connected`,
 //!   `global_vertex_connectivity` and an uncertified `find_vertex_cut` used as
 //!   a test oracle for the optimised enumerator.
+//! * [`budget`] — the cooperative [`Budget`] cancellation token polled by the
+//!   Dinic phase loop (and, above this crate, by the `GLOBAL-CUT` and
+//!   `KVCC-ENUM` loops), which is what makes deadlines interrupt a running
+//!   flow computation instead of merely gating its start.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod connectivity;
 pub mod dinic;
 pub mod mincut;
 pub mod network;
 pub mod vertex_flow;
 
+pub use budget::{Budget, Interrupted};
 pub use connectivity::{
     global_vertex_connectivity, is_k_vertex_connected, local_vertex_connectivity,
 };

@@ -15,7 +15,8 @@
 
 use kvcc_graph::{GraphView, VertexId};
 
-use crate::dinic::{max_flow_with_scratch, DinicScratch};
+use crate::budget::{Budget, Interrupted};
+use crate::dinic::{max_flow_budgeted, max_flow_with_scratch, DinicScratch};
 use crate::mincut::residual_reachable;
 use crate::network::{ArcId, FlowNetwork, NodeId, INFINITE_CAPACITY};
 
@@ -201,12 +202,37 @@ impl VertexFlowGraph {
         v: VertexId,
         k: u32,
     ) -> LocalConnectivity {
+        self.local_connectivity_budgeted(u, v, k, &Budget::unlimited())
+            .expect("an unlimited budget never interrupts")
+    }
+
+    /// [`local_connectivity_nonadjacent`](Self::local_connectivity_nonadjacent)
+    /// under a cooperative [`Budget`], polled once per Dinic BFS phase.
+    ///
+    /// On [`Interrupted`] the arena is reset before returning, so the very
+    /// next probe on this `VertexFlowGraph` — budgeted or not — starts from
+    /// a clean residual state; cancellation can never poison the scratch.
+    pub fn local_connectivity_budgeted(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        k: u32,
+        budget: &Budget,
+    ) -> Result<LocalConnectivity, Interrupted> {
         let source = Self::node_out(u);
         let sink = Self::node_in(v);
-        let flow = max_flow_with_scratch(&mut self.net, source, sink, k, &mut self.scratch);
+        let flow =
+            match max_flow_budgeted(&mut self.net, source, sink, k, &mut self.scratch, budget) {
+                Ok(flow) => flow,
+                Err(interrupted) => {
+                    // Clear the partial flow: the arena must stay reusable.
+                    self.net.reset();
+                    return Err(interrupted);
+                }
+            };
         if flow >= k {
             self.net.reset();
-            return LocalConnectivity::AtLeast(k);
+            return Ok(LocalConnectivity::AtLeast(k));
         }
         // No augmenting path remains: extract the vertex cut from the
         // saturated vertex arcs crossing the residual reachability frontier.
@@ -230,7 +256,7 @@ impl VertexFlowGraph {
             flow,
             "cut size must equal the max-flow value"
         );
-        LocalConnectivity::Cut(cut)
+        Ok(LocalConnectivity::Cut(cut))
     }
 }
 
@@ -361,6 +387,30 @@ mod tests {
             }
             other => panic!("expected the portal cut, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn interrupted_probe_leaves_the_arena_reusable() {
+        let g = two_cliques_with_two_cut_vertices();
+        let mut flow = VertexFlowGraph::build(&g);
+        let expired = Budget::with_timeout(std::time::Duration::ZERO);
+        assert_eq!(
+            flow.local_connectivity_budgeted(0, 4, 3, &expired),
+            Err(Interrupted)
+        );
+        // The interrupted probe reset the residual state: the same arena
+        // answers the identical query correctly right after.
+        match flow.local_connectivity_budgeted(0, 4, 3, &Budget::unlimited()) {
+            Ok(LocalConnectivity::Cut(mut cut)) => {
+                cut.sort_unstable();
+                assert_eq!(cut, vec![8, 9]);
+            }
+            other => panic!("expected the portal cut, got {other:?}"),
+        }
+        assert!(flow
+            .local_connectivity_budgeted(0, 4, 2, &Budget::unlimited())
+            .unwrap()
+            .is_at_least_k());
     }
 
     #[test]

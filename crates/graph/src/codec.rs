@@ -114,6 +114,21 @@ pub fn encode_row(row: &[VertexId], out: &mut Vec<u8>) {
 /// rows are strictly increasing by construction.
 pub fn decode_row(bytes: &[u8], at: usize, count: usize) -> Option<(Vec<VertexId>, usize)> {
     let mut row = Vec::with_capacity(count);
+    let end = decode_row_into(bytes, at, count, &mut row)?;
+    Some((row, end))
+}
+
+/// [`decode_row`] into a caller-provided buffer (cleared first), returning
+/// the end position. Lets callers with a recycled buffer — e.g. a pooled
+/// decode cache — reuse its capacity instead of allocating per row.
+pub fn decode_row_into(
+    bytes: &[u8],
+    at: usize,
+    count: usize,
+    row: &mut Vec<VertexId>,
+) -> Option<usize> {
+    row.clear();
+    row.reserve(count);
     let mut pos = at;
     let mut prev: Option<VertexId> = None;
     for _ in 0..count {
@@ -126,7 +141,7 @@ pub fn decode_row(bytes: &[u8], at: usize, count: usize) -> Option<(Vec<VertexId
         row.push(value);
         prev = Some(value);
     }
-    Some((row, pos))
+    Some(pos)
 }
 
 /// A bounds-checked cursor over an untrusted byte buffer.

@@ -20,8 +20,21 @@
 //! repeatedly therefore pay full decoded memory *plus* the compressed bytes —
 //! compression wins when graphs are stored, shipped, or only partially
 //! traversed (see the README's "memory layout & performance" notes).
+//!
+//! # Pooled decode buffers
+//!
+//! A process that hosts *many* compressed graphs — a `kvcc-service` engine
+//! hot-swapping datasets, or worker scratches decoding shipped work items —
+//! would otherwise allocate a fresh buffer for every row it ever decodes and
+//! free them all on unload. Attaching a shared [`RowPool`]
+//! ([`CompressedCsrGraph::with_pool`]) recycles the decoded-row buffers
+//! instead: rows are decoded into capacity taken from the pool, and dropping
+//! the graph returns every cached row to the pool for the next graph. One
+//! pool per engine bounds the allocator churn of the whole fleet of slots
+//! and workers to the high-water mark of the largest resident set.
 
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
@@ -30,7 +43,94 @@ use crate::view::GraphView;
 // The varint and delta-row primitives started life here; they now live in
 // [`crate::codec`] so every wire format shares one implementation. Re-exported
 // under their original paths for compatibility.
-pub use crate::codec::{decode_row, encode_row, varint};
+pub use crate::codec::{decode_row, decode_row_into, encode_row, varint};
+
+/// A shared recycling pool for decoded-row buffers (see the
+/// [module docs](self)). Cheap to share via [`Arc`]; all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct RowPool {
+    /// Recycled buffers, sorted by ascending capacity so `acquire` can
+    /// best-fit its capacity hint (a tiny row never pins a huge buffer).
+    free: Mutex<Vec<Vec<VertexId>>>,
+    /// Maximum number of buffers retained; releases beyond it are dropped.
+    max_buffers: usize,
+    /// Buffers handed out that reused pooled capacity (telemetry).
+    recycled: AtomicU64,
+}
+
+impl Default for RowPool {
+    fn default() -> Self {
+        RowPool::new(Self::DEFAULT_MAX_BUFFERS)
+    }
+}
+
+impl RowPool {
+    /// Default retention cap: enough for the decode cache of one mid-sized
+    /// graph without letting an unload flood the pool forever.
+    pub const DEFAULT_MAX_BUFFERS: usize = 65_536;
+
+    /// Creates a pool retaining at most `max_buffers` recycled buffers.
+    pub fn new(max_buffers: usize) -> Self {
+        RowPool {
+            free: Mutex::new(Vec::new()),
+            max_buffers,
+            recycled: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes the **best-fitting** recycled buffer — the smallest one whose
+    /// capacity covers `min_capacity` — cleared, with its capacity intact.
+    /// When no pooled buffer is large enough a fresh allocation is returned
+    /// instead: growing an undersized buffer would reallocate anyway, and
+    /// the pooled capacity stays available for rows it actually fits.
+    fn acquire(&self, min_capacity: usize) -> Vec<VertexId> {
+        if min_capacity == 0 {
+            // Zero-degree rows would otherwise pin the smallest pooled
+            // buffer forever while holding nothing.
+            return Vec::new();
+        }
+        let recycled = {
+            let mut free = self.free.lock().unwrap();
+            let at = free.partition_point(|b| b.capacity() < min_capacity);
+            (at < free.len()).then(|| free.remove(at))
+        };
+        match recycled {
+            Some(mut buffer) => {
+                buffer.clear();
+                self.recycled.fetch_add(1, Ordering::Relaxed);
+                buffer
+            }
+            None => Vec::with_capacity(min_capacity),
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped when the pool is full or the
+    /// buffer has no capacity worth keeping).
+    fn release(&self, buffer: Vec<VertexId>) {
+        if buffer.capacity() == 0 {
+            return;
+        }
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.max_buffers {
+            // Keep the list sorted by ascending capacity for the best-fit
+            // search; insertion cost is fine at recycle granularity.
+            let at = free.partition_point(|b| b.capacity() <= buffer.capacity());
+            free.insert(at, buffer);
+        }
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// How many acquisitions were served from recycled capacity since the
+    /// pool was created.
+    pub fn recycled_count(&self) -> u64 {
+        self.recycled.load(Ordering::Relaxed)
+    }
+}
 
 /// An undirected graph whose neighbour lists are stored delta + varint
 /// compressed, with a lazy per-row decode cache (see the [module
@@ -52,11 +152,14 @@ pub struct CompressedCsrGraph {
     /// Number of undirected edges.
     num_edges: usize,
     /// Lazily decoded rows; `OnceLock` keeps `neighbors(&self)` safe.
-    rows: Vec<OnceLock<Box<[VertexId]>>>,
+    rows: Vec<OnceLock<Vec<VertexId>>>,
+    /// Optional shared recycling pool for the decoded-row buffers.
+    pool: Option<Arc<RowPool>>,
 }
 
 impl Clone for CompressedCsrGraph {
-    /// Clones the compressed payload only; the decode cache restarts cold.
+    /// Clones the compressed payload only; the decode cache restarts cold
+    /// (the pool attachment is shared).
     fn clone(&self) -> Self {
         CompressedCsrGraph {
             byte_offsets: self.byte_offsets.clone(),
@@ -64,6 +167,21 @@ impl Clone for CompressedCsrGraph {
             degrees: self.degrees.clone(),
             num_edges: self.num_edges,
             rows: (0..self.degrees.len()).map(|_| OnceLock::new()).collect(),
+            pool: self.pool.clone(),
+        }
+    }
+}
+
+impl Drop for CompressedCsrGraph {
+    /// Returns every materialised decode-cache row to the attached pool (if
+    /// any), so unloading one graph funds the decode cache of the next.
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            for cell in self.rows.drain(..) {
+                if let Some(row) = cell.into_inner() {
+                    pool.release(row);
+                }
+            }
         }
     }
 }
@@ -95,7 +213,17 @@ impl CompressedCsrGraph {
             degrees,
             num_edges: g.num_edges(),
             rows: (0..n).map(|_| OnceLock::new()).collect(),
+            pool: None,
         }
+    }
+
+    /// Attaches a shared [`RowPool`]: decode-cache rows are taken from the
+    /// pool's recycled capacity and returned to it when this graph drops
+    /// (see the [module docs](self)). Must be called before the first
+    /// decode; typically right after construction.
+    pub fn with_pool(mut self, pool: Arc<RowPool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 
     /// Decompresses back into plain CSR form (used by round-trip tests and by
@@ -130,15 +258,21 @@ impl CompressedCsrGraph {
         self.degrees[v as usize] as usize
     }
 
-    /// The neighbour slice of `v`, decoding the row on first access.
+    /// The neighbour slice of `v`, decoding the row on first access (into
+    /// recycled capacity when a [`RowPool`] is attached).
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         self.rows[v as usize].get_or_init(|| {
+            let degree = self.degrees[v as usize] as usize;
+            let mut row = match &self.pool {
+                Some(pool) => pool.acquire(degree),
+                None => Vec::new(),
+            };
             let start = self.byte_offsets[v as usize] as usize;
-            let (row, end) = decode_row(&self.data, start, self.degrees[v as usize] as usize)
+            let end = decode_row_into(&self.data, start, degree, &mut row)
                 .expect("internal varint stream is valid by construction");
             debug_assert_eq!(end, self.byte_offsets[v as usize + 1] as usize);
-            row.into_boxed_slice()
+            row
         })
     }
 
@@ -195,12 +329,12 @@ impl GraphView for CompressedCsrGraph {
     /// the Fig. 12-style trackers see the true cost of the representation.
     fn memory_bytes(&self) -> usize {
         self.compressed_bytes()
-            + self.rows.capacity() * std::mem::size_of::<OnceLock<Box<[VertexId]>>>()
+            + self.rows.capacity() * std::mem::size_of::<OnceLock<Vec<VertexId>>>()
             + self
                 .rows
                 .iter()
                 .filter_map(|r| r.get())
-                .map(|row| std::mem::size_of_val(&**row))
+                .map(|row| row.capacity() * std::mem::size_of::<VertexId>())
                 .sum::<usize>()
             + std::mem::size_of::<Self>()
     }
@@ -297,6 +431,58 @@ mod tests {
         let cloned = c.clone();
         assert_eq!(cloned.cached_rows(), 0);
         assert_eq!(cloned.to_csr(), g);
+    }
+
+    #[test]
+    fn pooled_rows_are_recycled_across_graphs() {
+        let pool = Arc::new(RowPool::default());
+        let g = two_triangles();
+        {
+            let c = CompressedCsrGraph::from_csr(&g).with_pool(Arc::clone(&pool));
+            for v in 0..5 {
+                let _ = c.neighbors(v);
+            }
+            assert_eq!(c.cached_rows(), 5);
+            // Nothing recycled yet: the pool started empty.
+            assert_eq!(pool.recycled_count(), 0);
+            assert_eq!(pool.pooled_buffers(), 0);
+        }
+        // Dropping the graph parked its five decoded rows.
+        assert_eq!(pool.pooled_buffers(), 5);
+        let c2 = CompressedCsrGraph::from_csr(&g).with_pool(Arc::clone(&pool));
+        for v in 0..5 {
+            assert_eq!(c2.neighbors(v), g.neighbors(v));
+        }
+        // Every row of the second graph decoded into recycled capacity.
+        assert_eq!(pool.recycled_count(), 5);
+        assert_eq!(pool.pooled_buffers(), 0);
+        drop(c2);
+        assert_eq!(pool.pooled_buffers(), 5);
+    }
+
+    #[test]
+    fn pool_retention_cap_drops_excess_buffers() {
+        let pool = Arc::new(RowPool::new(2));
+        let g = two_triangles();
+        let c = CompressedCsrGraph::from_csr(&g).with_pool(Arc::clone(&pool));
+        for v in 0..5 {
+            let _ = c.neighbors(v);
+        }
+        drop(c);
+        assert_eq!(pool.pooled_buffers(), 2, "cap respected");
+        // Best fit: the smallest buffer covering the hint is handed out, so
+        // a tiny request never pins the largest pooled allocation.
+        let small = pool.acquire(1);
+        assert!(small.capacity() >= 1);
+        assert_eq!(pool.recycled_count(), 1);
+        let remaining = pool.acquire(1);
+        assert!(remaining.capacity() >= small.capacity());
+        // A hint no pooled buffer covers allocates fresh instead of forcing
+        // an undersized buffer to reallocate.
+        pool.release(small);
+        let fresh = pool.acquire(1_000);
+        assert!(fresh.capacity() >= 1_000);
+        assert_eq!(pool.pooled_buffers(), 1, "the unfit buffer stays pooled");
     }
 
     #[test]

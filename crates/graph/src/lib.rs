@@ -49,7 +49,7 @@ pub mod types;
 pub mod view;
 
 pub use builder::GraphBuilder;
-pub use compressed::CompressedCsrGraph;
+pub use compressed::{CompressedCsrGraph, RowPool};
 pub use csr::{CsrGraph, CsrSubgraph, EdgeIngestStats};
 pub use error::GraphError;
 pub use graph::{InducedSubgraph, UndirectedGraph};

@@ -1,26 +1,28 @@
 //! The long-lived [`ServiceEngine`]: hot CSR graphs + lazy connectivity
 //! indexes + a batched worker pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
 
 use kvcc::global_cut::{global_cut_with_scratch, CutScratch};
 use kvcc::index::{ConnectivityIndex, RankBy};
 use kvcc::stats::EnumerationStats;
-use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccOptions};
+use kvcc::{
+    effective_threads, enumerate_kvccs, split_cost, Budget, KVertexConnectedComponent, KvccError,
+    KvccOptions,
+};
 use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
 use kvcc_graph::kcore::k_core_vertices;
 use kvcc_graph::reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
 use kvcc_graph::traversal::is_connected;
-use kvcc_graph::{CsrGraph, GraphView, SubgraphView, VertexId};
+use kvcc_graph::{CompressedCsrGraph, CsrGraph, GraphView, RowPool, SubgraphView, VertexId};
 
 // `OrderingPolicy` is protocol-visible since v2 (reported by `Stats`); it is
 // re-exported here because the engine is its natural home for readers.
 pub use crate::protocol::OrderingPolicy;
 use crate::protocol::{
     GraphId, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request, RequestBody, Response,
-    ResponseBody, ServiceError,
+    ResponseBody, SchedulingStats, ServiceError,
 };
 use crate::wire::transport::{Transport, TransportError};
 use crate::wire::{run_work_item, CsrWorkItem};
@@ -57,14 +59,106 @@ pub struct EngineConfig {
     /// Memory layout of hot graphs (see [`OrderingPolicy`]). Responses are
     /// identical under every policy.
     pub ordering: OrderingPolicy,
+    /// Store hot graphs delta+varint compressed
+    /// ([`CompressedCsrGraph`]) instead of plain CSR. All slots share one
+    /// engine-wide decode-buffer pool ([`RowPool`]), so the decode caches of
+    /// hot-swapped datasets recycle each other's allocations instead of
+    /// growing per graph. Responses are identical either way; queries pay
+    /// the (cached) row-decode cost in exchange for the compressed resident
+    /// form.
+    pub compression: bool,
 }
 
-/// One loaded graph: the shared CSR form (possibly relabelled per the
-/// engine's [`OrderingPolicy`]), the id maps bridging the internal and
-/// loaded spaces, and the lazily built index (internal id space).
+/// How a slot stores its graph: plain CSR, or compressed with the decode
+/// cache backed by the engine's shared [`RowPool`]. Implements [`GraphView`]
+/// by delegation so every query path runs on either representation
+/// unchanged.
+enum StoredGraph {
+    Plain(CsrGraph),
+    Compressed(CompressedCsrGraph),
+}
+
+impl GraphView for StoredGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        match self {
+            StoredGraph::Plain(g) => g.num_vertices(),
+            StoredGraph::Compressed(g) => g.num_vertices(),
+        }
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        match self {
+            StoredGraph::Plain(g) => g.num_edges(),
+            StoredGraph::Compressed(g) => g.num_edges(),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        match self {
+            StoredGraph::Plain(g) => g.neighbors(v),
+            StoredGraph::Compressed(g) => g.neighbors(v),
+        }
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        match self {
+            StoredGraph::Plain(g) => g.degree(v),
+            StoredGraph::Compressed(g) => GraphView::degree(g, v),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            StoredGraph::Plain(g) => g.memory_bytes(),
+            StoredGraph::Compressed(g) => g.memory_bytes(),
+        }
+    }
+}
+
+/// Cumulative per-slot scheduling counters (relaxed atomics: the counters
+/// are monotone telemetry, not synchronisation).
+#[derive(Default)]
+struct SlotMetrics {
+    work_items: AtomicU64,
+    steals: AtomicU64,
+    splits: AtomicU64,
+    cancelled_runs: AtomicU64,
+}
+
+impl SlotMetrics {
+    /// Folds one enumeration's statistics (complete or partial) into the
+    /// slot totals.
+    fn record(&self, stats: &EnumerationStats) {
+        self.work_items
+            .fetch_add(stats.work_items_executed, Ordering::Relaxed);
+        self.steals.fetch_add(stats.steals, Ordering::Relaxed);
+        self.splits.fetch_add(stats.splits, Ordering::Relaxed);
+        if stats.cancelled {
+            self.cancelled_runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> SchedulingStats {
+        SchedulingStats {
+            work_items: self.work_items.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            cancelled_runs: self.cancelled_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One loaded graph: the shared stored form (possibly relabelled per the
+/// engine's [`OrderingPolicy`], possibly compressed), the id maps bridging
+/// the internal and loaded spaces, the lazily built index (internal id
+/// space) and the slot's scheduling telemetry.
 struct GraphSlot {
     name: String,
-    csr: CsrGraph,
+    graph: StoredGraph,
     /// `Some` when the engine stores the graph reordered; `None` means the
     /// internal ids equal the loaded ids.
     ordering: Option<VertexOrdering>,
@@ -72,6 +166,7 @@ struct GraphSlot {
     /// Canonical top-k listing, built once from the index (see
     /// [`TopkOrders`]).
     topk: OnceLock<TopkOrders>,
+    metrics: SlotMetrics,
 }
 
 /// The slot-level ranking state behind `TopKComponents`: every forest
@@ -101,7 +196,7 @@ impl GraphSlot {
         if let Some(index) = self.index.get() {
             return Ok(index);
         }
-        let built = ConnectivityIndex::build(&self.csr, config.index_max_k, &config.enumeration)
+        let built = ConnectivityIndex::build(&self.graph, config.index_max_k, &config.enumeration)
             .map_err(ServiceError::from)?;
         let _ = self.index.set(built);
         Ok(self.index.get().expect("just set"))
@@ -222,6 +317,9 @@ impl WorkerScratch {
 pub struct ServiceEngine {
     config: EngineConfig,
     graphs: Mutex<Vec<Option<Arc<GraphSlot>>>>,
+    /// One decode-buffer pool shared by every compressed slot (see
+    /// [`EngineConfig::compression`]); unused when compression is off.
+    decode_pool: Arc<RowPool>,
 }
 
 impl ServiceEngine {
@@ -230,7 +328,19 @@ impl ServiceEngine {
         ServiceEngine {
             config,
             graphs: Mutex::new(Vec::new()),
+            decode_pool: Arc::new(RowPool::default()),
         }
+    }
+
+    /// The engine-wide decode-buffer pool backing compressed slots
+    /// ([`EngineConfig::compression`]): `(buffers parked, acquisitions
+    /// served from recycled capacity)`. Exposed so operators can verify the
+    /// pool actually recycles across dataset hot-swaps.
+    pub fn decode_pool_stats(&self) -> (usize, u64) {
+        (
+            self.decode_pool.pooled_buffers(),
+            self.decode_pool.recycled_count(),
+        )
     }
 
     /// The engine's configuration.
@@ -258,12 +368,20 @@ impl ServiceEngine {
             }
             None => (csr, None),
         };
+        let graph = if self.config.compression {
+            StoredGraph::Compressed(
+                CompressedCsrGraph::from_csr(&csr).with_pool(Arc::clone(&self.decode_pool)),
+            )
+        } else {
+            StoredGraph::Plain(csr)
+        };
         let slot = Arc::new(GraphSlot {
             name: name.to_string(),
-            csr,
+            graph,
             ordering,
             index: OnceLock::new(),
             topk: OnceLock::new(),
+            metrics: SlotMetrics::default(),
         });
         let mut graphs = self.graphs.lock().unwrap();
         graphs.push(Some(slot));
@@ -329,7 +447,7 @@ impl ServiceEngine {
     pub fn install_index_bytes(&self, graph: GraphId, bytes: &[u8]) -> Result<(), ServiceError> {
         let slot = self.slot(graph)?;
         match ConnectivityIndex::peek_num_vertices(bytes) {
-            Some(n) if n == slot.csr.num_vertices() => {}
+            Some(n) if n == slot.graph.num_vertices() => {}
             Some(_) => {
                 return Err(ServiceError::Enumeration(
                     "persisted index does not match the graph's vertex count".into(),
@@ -343,7 +461,7 @@ impl ServiceEngine {
         }
         let index = ConnectivityIndex::from_bytes(bytes)
             .map_err(|e| ServiceError::Enumeration(e.to_string()))?;
-        if !index_matches_graph(&slot.csr, &index) {
+        if !index_matches_graph(&slot.graph, &index) {
             return Err(ServiceError::Enumeration(
                 "persisted index is inconsistent with the loaded graph \
                  (different graph or ordering policy?)"
@@ -358,37 +476,38 @@ impl ServiceEngine {
     /// Executes one request (on the caller's thread, with a throwaway
     /// scratch). Prefer [`ServiceEngine::execute_batch`] for traffic.
     pub fn execute(&self, request: &QueryRequest) -> QueryResponse {
-        self.execute_with(request, &mut WorkerScratch::new())
+        self.execute_with(request, &mut WorkerScratch::new(), &Budget::unlimited())
     }
 
     /// Executes a batch of requests on the worker pool, returning one
     /// response per request in the same order. Individual failures surface as
     /// [`QueryResponse::Error`] without affecting the rest of the batch.
     pub fn execute_batch(&self, requests: &[QueryRequest]) -> Vec<QueryResponse> {
-        self.execute_batch_inner(requests, None)
+        self.execute_batch_inner(requests, &Budget::unlimited())
     }
 
-    /// [`ServiceEngine::execute_batch`] with an optional deadline: a request
-    /// whose turn comes after the deadline is answered
-    /// [`ServiceError::DeadlineExceeded`] instead of executing, so one slow
-    /// batch cannot blow through its envelope's hint.
+    /// [`ServiceEngine::execute_batch`] under a deadline [`Budget`]. The
+    /// token is checked **between** requests (a request whose turn comes
+    /// after expiry is answered [`ServiceError::DeadlineExceeded`] without
+    /// executing) and threaded **into** each request (a long enumeration
+    /// already running when the deadline passes is interrupted at its next
+    /// checkpoint), so one slow batch position cannot blow through its
+    /// envelope's hint either way.
     fn execute_batch_inner(
         &self,
         requests: &[QueryRequest],
-        deadline: Option<Instant>,
+        budget: &Budget,
     ) -> Vec<QueryResponse> {
-        let expired =
-            |deadline: Option<Instant>| deadline.is_some_and(|deadline| Instant::now() >= deadline);
         let threads = effective_threads(self.config.threads).min(requests.len().max(1));
         if threads <= 1 {
             let mut scratch = WorkerScratch::new();
             return requests
                 .iter()
                 .map(|r| {
-                    if expired(deadline) {
+                    if budget.expired() {
                         QueryResponse::Error(ServiceError::DeadlineExceeded)
                     } else {
-                        self.execute_with(r, &mut scratch)
+                        self.execute_with(r, &mut scratch, budget)
                     }
                 })
                 .collect();
@@ -421,10 +540,10 @@ impl ServiceEngine {
                         if i >= requests.len() {
                             break;
                         }
-                        let response = if expired(deadline) {
+                        let response = if budget.expired() {
                             QueryResponse::Error(ServiceError::DeadlineExceeded)
                         } else {
-                            self.execute_with(&requests[i], &mut scratch)
+                            self.execute_with(&requests[i], &mut scratch, budget)
                         };
                         local.push((i, response));
                     }
@@ -444,23 +563,21 @@ impl ServiceEngine {
     /// point behind [`ServiceEngine::handle_frame`], so in-process callers
     /// and byte-driven transports observe identical semantics.
     pub fn execute_request(&self, request: &Request) -> Response {
-        let deadline = request
-            .deadline_hint_ms
-            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms as u64));
-        let expired = || deadline.is_some_and(|deadline| Instant::now() >= deadline);
+        let budget = request.budget();
         let body = match &request.body {
-            RequestBody::Query(query) => ResponseBody::Query(if expired() {
+            RequestBody::Query(query) => ResponseBody::Query(if budget.expired() {
                 QueryResponse::Error(ServiceError::DeadlineExceeded)
             } else {
-                self.execute(query)
+                self.execute_with(query, &mut WorkerScratch::new(), &budget)
             }),
             RequestBody::Batch(queries) => {
-                ResponseBody::Batch(self.execute_batch_inner(queries, deadline))
+                ResponseBody::Batch(self.execute_batch_inner(queries, &budget))
             }
-            RequestBody::WorkItem { k, item } => ResponseBody::Query(if expired() {
+            RequestBody::WorkItem { k, item } => ResponseBody::Query(if budget.expired() {
                 QueryResponse::Error(ServiceError::DeadlineExceeded)
             } else {
-                match run_work_item(item, *k, &self.config.enumeration) {
+                let options = self.config.enumeration.clone().with_budget(budget);
+                match run_work_item(item, *k, &options) {
                     Ok(components) => QueryResponse::Components(components),
                     Err(e) => QueryResponse::Error(e.into()),
                 }
@@ -574,17 +691,28 @@ impl ServiceEngine {
     /// item through [`CsrWorkItem::to_bytes`] to a different process and
     /// merging the [`crate::run_work_item`] outputs reproduces the
     /// whole-graph enumeration exactly.
+    ///
+    /// Items come back **largest-first** by the enumeration cost model
+    /// ([`kvcc::split_cost`]), so round-robin shipment starts the expensive
+    /// items earliest. When the engine's enumeration options set a
+    /// [`KvccOptions::split_threshold`], an item whose cost exceeds it is
+    /// additionally *pre-split on the coordinator*: one `GLOBAL-CUT` +
+    /// `OVERLAP-PARTITION` step replaces the oversized item with its pieces
+    /// (recursively, until every piece fits or is a k-VCC), so a skewed
+    /// graph hands a shard fleet balanced granules instead of one giant
+    /// item. The union of the pieces' enumerations equals the original
+    /// item's (the partition lemma), so the merge invariant is unaffected.
     pub fn partition_work(&self, graph: GraphId, k: u32) -> Result<Vec<CsrWorkItem>, ServiceError> {
         if k == 0 {
             return Err(ServiceError::Enumeration("k must be at least 1".into()));
         }
         let slot = self.slot(graph)?;
-        let g = &slot.csr;
+        let g = &slot.graph;
         let core = k_core_vertices(g, k as usize);
         // The core is already peeled; the mask supplies the component split.
         let view = SubgraphView::from_vertices(g, &core);
         let mut map = Vec::new();
-        let mut items = Vec::new();
+        let mut pending: Vec<CsrWorkItem> = Vec::new();
         for component in view.components() {
             if component.len() <= k as usize {
                 continue;
@@ -594,8 +722,65 @@ impl ServiceEngine {
             // at loaded ids even when the slot stores the graph reordered.
             let to_original: Vec<VertexId> =
                 component.iter().map(|&v| slot.to_external(v)).collect();
-            items.push(CsrWorkItem::new(sub, to_original));
+            pending.push(CsrWorkItem::new(sub, to_original));
         }
+
+        let mut items = Vec::new();
+        if let Some(threshold) = self.config.enumeration.split_threshold {
+            // Pre-split oversized items on the coordinator. Each partition
+            // strictly shrinks every piece (each side omits at least one
+            // vertex of another side), so the loop terminates; pieces that
+            // turn out to be k-VCCs (no cut) ship whole regardless of size.
+            let mut stats = EnumerationStats::default();
+            let mut scratch = CutScratch::new();
+            while let Some(item) = pending.pop() {
+                let sub = item.graph();
+                if item_cost(&item, k) <= threshold || sub.num_vertices() <= k as usize {
+                    items.push(item);
+                    continue;
+                }
+                let outcome = global_cut_with_scratch(
+                    sub,
+                    k,
+                    &self.config.enumeration,
+                    &mut stats,
+                    &mut scratch,
+                )
+                .map_err(|_| ServiceError::DeadlineExceeded)?;
+                let Some(cut) = outcome.cut else {
+                    items.push(item); // the item is a k-VCC: atomic by nature
+                    continue;
+                };
+                let parts = kvcc::partition::overlap_partition(sub, &cut);
+                if parts.len() < 2 {
+                    // Defensive: an unsplittable cut ships the item whole
+                    // rather than looping (the shard's enumerator owns the
+                    // fallback recut logic).
+                    items.push(item);
+                    continue;
+                }
+                for part in parts {
+                    if part.len() <= k as usize {
+                        continue;
+                    }
+                    let piece = CsrGraph::extract_induced(sub, &part, &mut map);
+                    let piece_to_original: Vec<VertexId> = part
+                        .iter()
+                        .map(|&local| item.to_original()[local as usize])
+                        .collect();
+                    pending.push(CsrWorkItem::new(piece, piece_to_original));
+                }
+            }
+        } else {
+            items = pending;
+        }
+
+        // Largest-first, ties broken by the id map for determinism.
+        items.sort_by(|a, b| {
+            item_cost(b, k)
+                .cmp(&item_cost(a, k))
+                .then_with(|| a.to_original().cmp(b.to_original()))
+        });
         Ok(items)
     }
 
@@ -608,12 +793,22 @@ impl ServiceEngine {
             .ok_or(ServiceError::UnknownGraph { graph })
     }
 
-    fn execute_with(&self, request: &QueryRequest, scratch: &mut WorkerScratch) -> QueryResponse {
+    fn execute_with(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut WorkerScratch,
+        budget: &Budget,
+    ) -> QueryResponse {
         let slot = match self.slot(request.graph()) {
             Ok(slot) => slot,
             Err(e) => return QueryResponse::Error(e),
         };
-        let g = &slot.csr;
+        let g = &slot.graph;
+        // The engine's enumeration options with this request's budget
+        // attached, so a deadline hint interrupts work *mid-run* instead of
+        // merely gating its start. Index builds stay un-deadlined (a
+        // half-built index helps nobody and the next query would rebuild).
+        let options = || self.config.enumeration.clone().with_budget(budget.clone());
         // Vertex ids arriving in requests live in the loaded id space; the
         // slot may store the graph relabelled, so ids are translated on the
         // way in (after range checks — the permutation preserves `n`) and
@@ -627,10 +822,20 @@ impl ServiceEngine {
                         slot.components_to_external(index.components_at(k).to_vec()),
                     );
                 }
-                match enumerate_kvccs(g, k, &self.config.enumeration) {
-                    Ok(result) => QueryResponse::Components(
-                        slot.components_to_external(result.components().to_vec()),
-                    ),
+                match enumerate_kvccs(g, k, &options()) {
+                    Ok(result) => {
+                        slot.metrics.record(result.stats());
+                        QueryResponse::Components(
+                            slot.components_to_external(result.components().to_vec()),
+                        )
+                    }
+                    Err(KvccError::Interrupted { stats }) => {
+                        // The partial statistics are folded into the slot's
+                        // scheduling telemetry (`cancelled_runs` included);
+                        // the wire answer is the stable deadline code.
+                        slot.metrics.record(&stats);
+                        QueryResponse::Error(ServiceError::DeadlineExceeded)
+                    }
                     Err(e) => QueryResponse::Error(e.into()),
                 }
             }
@@ -648,9 +853,16 @@ impl ServiceEngine {
                     },
                     // Beyond the index cap: fall back to the direct localized
                     // query instead of wrongly answering "no components".
-                    Ok(_) => match kvcc::kvccs_containing(g, seed, k, &self.config.enumeration) {
+                    Ok(_) => match kvcc::kvccs_containing(g, seed, k, &options()) {
                         Ok(components) => {
                             QueryResponse::Components(slot.components_to_external(components))
+                        }
+                        Err(KvccError::Interrupted { stats }) => {
+                            // Same telemetry contract as the EnumerateKvccs
+                            // arm: a cancelled direct enumeration must show
+                            // up in the slot's scheduling counters.
+                            slot.metrics.record(&stats);
+                            QueryResponse::Error(ServiceError::DeadlineExceeded)
                         }
                         Err(e) => QueryResponse::Error(e.into()),
                     },
@@ -691,13 +903,16 @@ impl ServiceEngine {
                     // The empty set already separates a disconnected graph.
                     return QueryResponse::Cut(Some(Vec::new()));
                 }
-                let outcome = global_cut_with_scratch(
+                let outcome = match global_cut_with_scratch(
                     g,
                     k,
-                    &self.config.enumeration,
+                    &options(),
                     &mut scratch.stats,
                     &mut scratch.cut,
-                );
+                ) {
+                    Ok(outcome) => outcome,
+                    Err(_) => return QueryResponse::Error(ServiceError::DeadlineExceeded),
+                };
                 QueryResponse::Cut(outcome.cut.map(|cut| {
                     let mut cut: Vec<VertexId> =
                         cut.into_iter().map(|v| slot.to_external(v)).collect();
@@ -735,6 +950,7 @@ impl ServiceEngine {
                     // under-reading connectivity values saturated at the cap.
                     ordering: self.config.ordering,
                     depth_limit,
+                    scheduling: slot.metrics.snapshot(),
                 }
             }
             QueryRequest::TopKComponents {
@@ -821,7 +1037,7 @@ impl ServiceEngine {
 /// — the ranking metadata — must equal the actual count in the graph.
 /// Linear in the total member count times degree; a forest persisted from a
 /// different graph or id space essentially never satisfies it.
-fn index_matches_graph(csr: &CsrGraph, index: &ConnectivityIndex) -> bool {
+fn index_matches_graph<G: GraphView>(csr: &G, index: &ConnectivityIndex) -> bool {
     let mut inside = vec![false; csr.num_vertices()];
     // The ranked listing visits every forest node exactly once with its
     // persisted metadata attached.
@@ -854,15 +1070,9 @@ fn index_matches_graph(csr: &CsrGraph, index: &ConnectivityIndex) -> bool {
     true
 }
 
-/// Resolves [`EngineConfig::threads`] to a concrete worker count.
-fn effective_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
+/// The scheduling cost of a shard work item under the shared cost model.
+fn item_cost(item: &CsrWorkItem, k: u32) -> u64 {
+    split_cost(item.graph().num_vertices(), item.graph().num_edges(), k)
 }
 
 #[cfg(test)]
@@ -1270,6 +1480,97 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn compressed_engine_answers_identically_and_recycles_buffers() {
+        let baseline = ServiceEngine::new(EngineConfig::default());
+        let base_id = baseline.load_graph("mixed", &mixed_graph());
+        let expected = baseline.execute_batch(&probe_requests(base_id));
+
+        let engine = ServiceEngine::new(EngineConfig {
+            compression: true,
+            ..EngineConfig::default()
+        });
+        let id = engine.load_graph("mixed", &mixed_graph());
+        let responses = engine.execute_batch(&probe_requests(id));
+        assert_eq!(responses, expected);
+
+        // Hot-swap: unloading drops the slot (and its decode cache) into the
+        // engine-wide pool; the replacement decodes from recycled capacity.
+        assert!(engine.unload(id));
+        let (pooled, _) = engine.decode_pool_stats();
+        assert!(pooled > 0, "unload must park the decode cache");
+        let id2 = engine.load_graph("mixed", &mixed_graph());
+        // Mirror the second load on the baseline: page cursors embed the
+        // graph handle, so both engines must speak from the same slot id.
+        assert!(baseline.unload(base_id));
+        let base_id2 = baseline.load_graph("mixed", &mixed_graph());
+        assert_eq!(id2, base_id2);
+        let responses = engine.execute_batch(&probe_requests(id2));
+        assert_eq!(responses, baseline.execute_batch(&probe_requests(base_id2)));
+        let (_, recycled) = engine.decode_pool_stats();
+        assert!(recycled > 0, "the second load must reuse pooled buffers");
+    }
+
+    #[test]
+    fn direct_enumerations_surface_scheduling_stats() {
+        let (engine, id) = engine_with_graph();
+        // No index yet: this enumerates directly and must count work items.
+        let _ = engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k: 2 });
+        match engine.execute(&QueryRequest::GraphStats { graph: id }) {
+            QueryResponse::Stats { scheduling, .. } => {
+                assert!(scheduling.work_items > 0);
+                assert_eq!(scheduling.cancelled_runs, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // A pre-expired deadline on the same query is interrupted and
+        // counted; the engine stays fully usable afterwards.
+        let expired = Request {
+            request_id: 1,
+            deadline_hint_ms: Some(0),
+            body: RequestBody::Query(QueryRequest::EnumerateKvccs { graph: id, k: 2 }),
+        };
+        match engine.execute_request(&expired).body {
+            ResponseBody::Query(QueryResponse::Error(e)) => assert_eq!(e.code(), 5),
+            other => panic!("expected a deadline error, got {other:?}"),
+        }
+        let ok = engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k: 2 });
+        assert!(matches!(ok, QueryResponse::Components(_)));
+    }
+
+    #[test]
+    fn presplit_partition_work_reproduces_the_enumeration() {
+        // A split threshold of 0 forces the coordinator to pre-split every
+        // item down to k-VCC granules; the merged shard outputs must still
+        // equal the whole-graph enumeration, and the listing must come back
+        // largest-first under the cost model.
+        let engine = ServiceEngine::new(EngineConfig {
+            enumeration: KvccOptions::default().with_split_threshold(Some(0)),
+            ..EngineConfig::default()
+        });
+        let id = engine.load_graph("mixed", &mixed_graph());
+        let g = mixed_graph();
+        for k in 1..=3u32 {
+            let items = engine.partition_work(id, k).unwrap();
+            let costs: Vec<u64> = items.iter().map(|item| super::item_cost(item, k)).collect();
+            assert!(
+                costs.windows(2).all(|w| w[0] >= w[1]),
+                "largest-first: {costs:?}"
+            );
+            let mut merged: Vec<KVertexConnectedComponent> = Vec::new();
+            for item in &items {
+                let shipped = CsrWorkItem::from_bytes(&item.to_bytes()).unwrap();
+                merged.extend(run_work_item(&shipped, k, &KvccOptions::default()).unwrap());
+            }
+            // No dedup: pieces must partition the k-VCC set exactly (each
+            // k-VCC has a non-cut vertex on exactly one side of every cut),
+            // which is the invariant `enumerate_sharded` relies on.
+            merged.sort();
+            let direct = enumerate_kvccs(&g, k, &KvccOptions::default()).unwrap();
+            assert_eq!(merged, direct.components().to_vec(), "k = {k}");
+        }
     }
 
     #[test]

@@ -62,11 +62,11 @@ pub mod wire;
 pub use engine::{EngineConfig, ServiceEngine};
 pub use protocol::{
     GraphId, OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request,
-    RequestBody, Response, ResponseBody, ServiceError,
+    RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
 pub use wire::transport::{call, run_shard_worker, LoopbackTransport, Transport, TransportError};
 pub use wire::{run_work_item, CsrWorkItem};
 
 // Re-exported so service users need only this crate for the common types.
-pub use kvcc::{ConnectivityIndex, KVertexConnectedComponent, KvccOptions, RankBy};
+pub use kvcc::{Budget, ConnectivityIndex, KVertexConnectedComponent, KvccOptions, RankBy};
 pub use kvcc_graph::CsrGraph;

@@ -10,8 +10,10 @@
 //! code. The byte encoding lives in [`crate::wire::message`]; this module is
 //! only the data model.
 
+use std::time::{Duration, Instant};
+
 use kvcc::index::RankBy;
-use kvcc::{KVertexConnectedComponent, KvccError};
+use kvcc::{Budget, KVertexConnectedComponent, KvccError};
 use kvcc_graph::codec::{varint, Reader};
 use kvcc_graph::VertexId;
 
@@ -286,6 +288,27 @@ impl PageCursor {
     }
 }
 
+/// Cumulative scheduling counters of one loaded graph, accumulated over the
+/// direct (non-index-served) enumerations the engine ran against it and
+/// reported by [`QueryResponse::Stats`].
+///
+/// `work_items` and `splits` are deterministic functions of the workload and
+/// the engine's enumeration options; `steals` is genuinely
+/// scheduling-dependent (it varies run to run and across thread counts) and
+/// exists for observability, never for parity comparison. `cancelled_runs`
+/// counts enumerations interrupted mid-run by a request deadline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulingStats {
+    /// Work items drained across all direct enumerations on the slot.
+    pub work_items: u64,
+    /// Work items taken from another worker's deque (work stealing).
+    pub steals: u64,
+    /// Components deferred by skew-aware splitting.
+    pub splits: u64,
+    /// Enumerations interrupted mid-run by a deadline or cancellation.
+    pub cancelled_runs: u64,
+}
+
 /// The answer to one [`QueryRequest`], in the same batch position.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryResponse {
@@ -315,6 +338,10 @@ pub enum QueryResponse {
         /// depth-capped index is detectable instead of silently
         /// under-reporting.
         depth_limit: Option<u32>,
+        /// Cumulative scheduling observability for this graph slot, so the
+        /// runtime behaviour of the work-stealing enumerator is inspectable
+        /// over the wire (see [`SchedulingStats`]).
+        scheduling: SchedulingStats,
     },
     /// One page of a ranked component listing, with the cursor resuming
     /// after it (`None` on the final page).
@@ -422,6 +449,11 @@ impl From<KvccError> for ServiceError {
     fn from(value: KvccError) -> Self {
         match value {
             KvccError::SeedOutOfRange { seed } => ServiceError::VertexOutOfRange { vertex: seed },
+            // A budget interrupt is the deadline contract of the protocol:
+            // stable code 5, not a free-text enumeration failure. The
+            // partial statistics stay on the engine side (slot scheduling
+            // counters); the wire error is deliberately payload-free.
+            KvccError::Interrupted { .. } => ServiceError::DeadlineExceeded,
             other => ServiceError::Enumeration(other.to_string()),
         }
     }
@@ -450,6 +482,17 @@ impl Request {
             request_id,
             deadline_hint_ms: None,
             body: RequestBody::Query(query),
+        }
+    }
+
+    /// Arms the envelope's deadline as a cooperative [`Budget`], measured
+    /// from *now* — call it when the server starts processing. Without a
+    /// hint the budget is unlimited. This is the single definition of the
+    /// hint→budget conversion, shared by the engine and the shard worker.
+    pub fn budget(&self) -> Budget {
+        match self.deadline_hint_ms {
+            Some(ms) => Budget::with_deadline(Instant::now() + Duration::from_millis(ms as u64)),
+            None => Budget::unlimited(),
         }
     }
 }

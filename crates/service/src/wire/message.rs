@@ -15,7 +15,7 @@ use kvcc_graph::GraphError;
 
 use crate::protocol::{
     GraphId, OrderingPolicy, QueryRequest, QueryResponse, RankedEntry, Request, RequestBody,
-    Response, ResponseBody, ServiceError,
+    Response, ResponseBody, SchedulingStats, ServiceError,
 };
 use crate::wire::codec::{
     decode_bytes, decode_string, encode_bytes, encode_row, encode_str, varint, Reader,
@@ -24,8 +24,12 @@ use crate::wire::CsrWorkItem;
 
 /// Magic bytes opening every protocol message.
 const MESSAGE_MAGIC: [u8; 4] = *b"KRPC";
-/// Protocol version carried by every message.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// Protocol version carried by every message. Version 3 extends the v2
+/// vocabulary with the scheduling-telemetry block in the `Stats` response
+/// body; the bump makes the change honest on the wire — a version-2 peer
+/// rejects version-3 frames with "unsupported protocol version" instead of
+/// misparsing the longer `Stats` body (and vice versa).
+pub const PROTOCOL_VERSION: u8 = 3;
 /// Kind byte of a request message.
 const KIND_REQUEST: u8 = 0;
 /// Kind byte of a response message.
@@ -284,6 +288,7 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             max_k,
             ordering,
             depth_limit,
+            scheduling,
         } => {
             out.push(3);
             varint::encode_u64(*num_vertices as u64, out);
@@ -292,6 +297,12 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             varint::encode_u32(*max_k, out);
             out.push(ordering.code());
             encode_option_u32(*depth_limit, out);
+            // Scheduling observability block (four varints) — the version-3
+            // addition (see PROTOCOL_VERSION).
+            varint::encode_u64(scheduling.work_items, out);
+            varint::encode_u64(scheduling.steals, out);
+            varint::encode_u64(scheduling.splits, out);
+            varint::encode_u64(scheduling.cancelled_runs, out);
         }
         QueryResponse::Page {
             entries,
@@ -342,6 +353,12 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
             max_k: r.varint_u32()?,
             ordering: OrderingPolicy::from_code(r.u8()?)?,
             depth_limit: decode_option_u32(r)?,
+            scheduling: SchedulingStats {
+                work_items: r.varint_u64()?,
+                steals: r.varint_u64()?,
+                splits: r.varint_u64()?,
+                cancelled_runs: r.varint_u64()?,
+            },
         },
         4 => {
             let count = r.varint_u32()? as usize;
@@ -573,6 +590,12 @@ mod tests {
                     max_k: 6,
                     ordering: OrderingPolicy::Hybrid,
                     depth_limit: Some(4),
+                    scheduling: SchedulingStats {
+                        work_items: 42,
+                        steals: 7,
+                        splits: 3,
+                        cancelled_runs: 1,
+                    },
                 },
                 QueryResponse::Page {
                     entries: vec![RankedEntry {

@@ -192,11 +192,14 @@ pub fn call(transport: &dyn Transport, request: &Request) -> Result<Response, Tr
 ///
 /// The worker holds no engine and no shared graph memory — everything it
 /// enumerates arrived inside a frame, which is what makes the shard side of
-/// `KVCC-ENUM` deployable in a separate process or machine. Engine-level
-/// queries ([`RequestBody::Query`] / [`RequestBody::Batch`]) are answered
-/// with [`ServiceError::Unsupported`]; undecodable frames with
-/// [`ServiceError::MalformedRequest`] (request id 0, since none could be
-/// read).
+/// `KVCC-ENUM` deployable in a separate process or machine. A
+/// [`Request::deadline_hint_ms`] on a work-item frame becomes a real
+/// [`kvcc::Budget`] threaded into the enumeration, so a shard interrupts mid-item
+/// and answers [`ServiceError::DeadlineExceeded`] exactly like the engine
+/// does. Engine-level queries ([`RequestBody::Query`] /
+/// [`RequestBody::Batch`]) are answered with [`ServiceError::Unsupported`];
+/// undecodable frames with [`ServiceError::MalformedRequest`] (request id 0,
+/// since none could be read).
 pub fn run_shard_worker(
     transport: &dyn Transport,
     options: &KvccOptions,
@@ -208,7 +211,8 @@ pub fn run_shard_worker(
                 let body = match &request.body {
                     RequestBody::WorkItem { k, item } => {
                         served += 1;
-                        match run_work_item(item, *k, options) {
+                        let options = options.clone().with_budget(request.budget());
+                        match run_work_item(item, *k, &options) {
                             Ok(components) => QueryResponse::Components(components),
                             Err(e) => QueryResponse::Error(e.into()),
                         }

@@ -51,7 +51,8 @@ fn core_entry_points_accept_csr() {
 
     let mut stats = kvcc::stats::EnumerationStats::default();
     let mut scratch = CutScratch::new();
-    let outcome = global_cut_with_scratch(&g, 2, &options, &mut stats, &mut scratch);
+    let outcome = global_cut_with_scratch(&g, 2, &options, &mut stats, &mut scratch)
+        .expect("an unlimited budget never interrupts");
     assert_eq!(outcome.cut, Some(vec![2]));
 
     let sides = kvcc::side_vertex::strong_side_vertices(&g, 2, None);

@@ -22,7 +22,7 @@ use kvcc_service::wire::frame::{encode_frame, FrameDecoder};
 use kvcc_service::{
     call, run_shard_worker, CsrWorkItem, EngineConfig, GraphId, KvccOptions, LoopbackTransport,
     OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankBy, RankedEntry, Request,
-    RequestBody, Response, ResponseBody, ServiceEngine, ServiceError,
+    RequestBody, Response, ResponseBody, SchedulingStats, ServiceEngine, ServiceError,
 };
 
 struct XorShift(u64);
@@ -182,6 +182,12 @@ fn all_responses() -> Vec<Response> {
             max_k: 17,
             ordering: OrderingPolicy::Bfs,
             depth_limit: Some(3),
+            scheduling: SchedulingStats {
+                work_items: 1_000,
+                steals: u64::MAX,
+                splits: 0,
+                cancelled_runs: 3,
+            },
         },
         QueryResponse::Page {
             entries: vec![
