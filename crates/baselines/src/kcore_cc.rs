@@ -17,9 +17,9 @@ pub fn k_core_components<G: GraphView>(g: &G, k: usize) -> Vec<Vec<VertexId>> {
         return Vec::new();
     }
     // Component split on a vertex mask: no copy or relabelling is needed.
-    let mut alive = vec![false; g.num_vertices()];
+    let mut alive = kvcc_graph::bitset::BitSet::new(g.num_vertices());
     for &v in &core_vertices {
-        alive[v as usize] = true;
+        alive.insert(v as usize);
     }
     let mut comps = connected_components_filtered(g, &alive);
     comps.sort();

@@ -97,7 +97,7 @@ fn find_edge_cut(g: &CsrGraph, k: u32) -> Option<Vec<(VertexId, VertexId)>> {
             let reachable = residual_reachable(&net, source);
             let mut cut = Vec::new();
             for (a, b) in g.edges() {
-                if reachable[a as usize] != reachable[b as usize] {
+                if reachable.contains(a as usize) != reachable.contains(b as usize) {
                     cut.push((a, b));
                 }
             }

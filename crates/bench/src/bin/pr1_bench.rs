@@ -38,12 +38,23 @@
 //!   baseline (checksums identical across all five), and the deadline
 //!   time-to-interrupt probe.
 //!
-//! Usage: `pr1-bench [--smoke] [pr1.json [pr2.json [pr3.json [pr4.json
-//! [pr5.json]]]]]` (defaults `BENCH_pr1.json` … `BENCH_pr5.json`).
-//! `--smoke` runs every case exactly once with no warm-up — the CI mode that
-//! keeps this binary from bit-rotting without spending bench budget.
+//! PR 6 section (written to `BENCH_pr6.json`):
+//!
+//! * the hot-loop microarchitecture pass — `Vec<bool>`-mask vs epoch-bitset
+//!   Dinic scratch on k-bounded probes, per-k flagged peels vs one
+//!   degree-bucketed core decomposition across the k-sweep, and scalar vs
+//!   batched delta+varint row decode; checksums are identical within each
+//!   pair.
+//!
+//! Usage: `pr1-bench [--smoke] [--only=prN] [pr1.json [pr2.json [pr3.json
+//! [pr4.json [pr5.json [pr6.json]]]]]]` (defaults `BENCH_pr1.json` …
+//! `BENCH_pr6.json`). `--smoke` runs every case exactly once with no warm-up
+//! — the CI mode that keeps this binary from bit-rotting without spending
+//! bench budget. `--only=prN` runs (and writes) a single section, so one
+//! record can be regenerated without re-measuring — and overwriting — the
+//! committed anchors of the others.
 
-use kvcc_bench::{pr1, pr2, pr3, pr4, pr5};
+use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -66,87 +77,116 @@ fn print_section(report: &kvcc_bench::pr1::Report, title: &str) {
 fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut smoke = false;
+    let mut only: Option<String> = None;
     for arg in std::env::args().skip(1) {
         if arg == "--smoke" {
             smoke = true;
+        } else if let Some(section) = arg.strip_prefix("--only=") {
+            only = Some(section.to_string());
         } else {
             paths.push(arg);
         }
     }
     let path =
         |i: usize, default: &str| paths.get(i).cloned().unwrap_or_else(|| default.to_string());
+    let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
     let pr1_path = path(0, "BENCH_pr1.json");
     let pr2_path = path(1, "BENCH_pr2.json");
     let pr3_path = path(2, "BENCH_pr3.json");
     let pr4_path = path(3, "BENCH_pr4.json");
     let pr5_path = path(4, "BENCH_pr5.json");
+    let pr6_path = path(5, "BENCH_pr6.json");
 
-    let report = pr1::run_all(smoke);
-    println!("{}", report.render_text());
-    write_or_die(&pr1_path, report.render_json());
-
-    let pr2_report = pr2::run_all(smoke);
-    print_section(
-        &pr2_report,
-        "PR 2 index/serving section (planted-partition suite)",
-    );
-    for (baseline, contender, label) in pr2::speedup_pairs() {
-        if let Some(s) = pr2_report.speedup(baseline, contender) {
-            println!("speedup {label}: {s:.2}x");
-        }
+    if want("pr1") {
+        let report = pr1::run_all(smoke);
+        println!("{}", report.render_text());
+        write_or_die(&pr1_path, report.render_json());
     }
-    write_or_die(&pr2_path, pr2::render_json(&pr2_report));
 
-    let pr3_report = pr3::run_all(smoke);
-    print_section(
-        &pr3_report,
-        "PR 3 substrate section (planted 10k + collaboration)",
-    );
-    for (baseline, contender, label) in pr3::speedup_pairs() {
-        if let Some(s) = pr3_report.speedup(baseline, contender) {
-            println!("speedup {label}: {s:.2}x");
-        }
-    }
-    write_or_die(&pr3_path, pr3::render_json(&pr3_report));
-
-    let pr4_report = pr4::run_all(smoke);
-    print_section(
-        &pr4_report,
-        "PR 4 protocol section (framed queries + wire payloads)",
-    );
-    for (baseline, contender, label) in pr4::speedup_pairs() {
-        if let Some(s) = pr4_report.speedup(baseline, contender) {
-            println!("ratio {label}: {s:.2}x");
-        }
-    }
-    for row in pr4::payload_sizes() {
-        println!(
-            "{:<44} {:>10} varint bytes vs {:>10} fixed ({:.2}x smaller)",
-            row.name,
-            row.varint_bytes,
-            row.fixed_bytes,
-            1.0 / row.ratio()
+    if want("pr2") {
+        let pr2_report = pr2::run_all(smoke);
+        print_section(
+            &pr2_report,
+            "PR 2 index/serving section (planted-partition suite)",
         );
-    }
-    write_or_die(&pr4_path, pr4::render_json(&pr4_report));
-
-    let pr5_report = pr5::run_all(smoke);
-    print_section(
-        &pr5_report,
-        "PR 5 scheduling section (skewed planted suite, 4 workers)",
-    );
-    for (baseline, contender, label) in pr5::speedup_pairs() {
-        if let Some(s) = pr5_report.speedup(baseline, contender) {
-            println!("speedup {label}: {s:.2}x");
+        for (baseline, contender, label) in pr2::speedup_pairs() {
+            if let Some(s) = pr2_report.speedup(baseline, contender) {
+                println!("speedup {label}: {s:.2}x");
+            }
         }
+        write_or_die(&pr2_path, pr2::render_json(&pr2_report));
     }
-    let deadline = pr5::deadline_probe(if smoke { 1 } else { 9 });
-    println!(
-        "deadline {} ms: p50 interrupt {:.2} ms, p99 {:.2} ms ({} samples)",
-        deadline.deadline_ms,
-        deadline.percentile_ns(50.0) as f64 / 1e6,
-        deadline.percentile_ns(99.0) as f64 / 1e6,
-        deadline.elapsed_ns.len()
-    );
-    write_or_die(&pr5_path, pr5::render_json(&pr5_report, &deadline));
+
+    if want("pr3") {
+        let pr3_report = pr3::run_all(smoke);
+        print_section(
+            &pr3_report,
+            "PR 3 substrate section (planted 10k + collaboration)",
+        );
+        for (baseline, contender, label) in pr3::speedup_pairs() {
+            if let Some(s) = pr3_report.speedup(baseline, contender) {
+                println!("speedup {label}: {s:.2}x");
+            }
+        }
+        write_or_die(&pr3_path, pr3::render_json(&pr3_report));
+    }
+
+    if want("pr4") {
+        let pr4_report = pr4::run_all(smoke);
+        print_section(
+            &pr4_report,
+            "PR 4 protocol section (framed queries + wire payloads)",
+        );
+        for (baseline, contender, label) in pr4::speedup_pairs() {
+            if let Some(s) = pr4_report.speedup(baseline, contender) {
+                println!("ratio {label}: {s:.2}x");
+            }
+        }
+        for row in pr4::payload_sizes() {
+            println!(
+                "{:<44} {:>10} varint bytes vs {:>10} fixed ({:.2}x smaller)",
+                row.name,
+                row.varint_bytes,
+                row.fixed_bytes,
+                1.0 / row.ratio()
+            );
+        }
+        write_or_die(&pr4_path, pr4::render_json(&pr4_report));
+    }
+
+    if want("pr5") {
+        let pr5_report = pr5::run_all(smoke);
+        print_section(
+            &pr5_report,
+            "PR 5 scheduling section (skewed planted suite, 4 workers)",
+        );
+        for (baseline, contender, label) in pr5::speedup_pairs() {
+            if let Some(s) = pr5_report.speedup(baseline, contender) {
+                println!("speedup {label}: {s:.2}x");
+            }
+        }
+        let deadline = pr5::deadline_probe(if smoke { 1 } else { 9 });
+        println!(
+            "deadline {} ms: p50 interrupt {:.2} ms, p99 {:.2} ms ({} samples)",
+            deadline.deadline_ms,
+            deadline.percentile_ns(50.0) as f64 / 1e6,
+            deadline.percentile_ns(99.0) as f64 / 1e6,
+            deadline.elapsed_ns.len()
+        );
+        write_or_die(&pr5_path, pr5::render_json(&pr5_report, &deadline));
+    }
+
+    if want("pr6") {
+        let pr6_report = pr6::run_all(smoke);
+        print_section(
+            &pr6_report,
+            "PR 6 hot-loop section (bitset Dinic, bucketed core sweep, batched decode)",
+        );
+        for (baseline, contender, label) in pr6::speedup_pairs() {
+            if let Some(s) = pr6_report.speedup(baseline, contender) {
+                println!("speedup {label}: {s:.2}x");
+            }
+        }
+        write_or_die(&pr6_path, pr6::render_json(&pr6_report));
+    }
 }

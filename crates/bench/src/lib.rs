@@ -18,6 +18,7 @@ pub mod pr2;
 pub mod pr3;
 pub mod pr4;
 pub mod pr5;
+pub mod pr6;
 pub mod report;
 
 pub use report::Table;

@@ -28,8 +28,9 @@ pub struct Case {
     pub run: fn() -> usize,
 }
 
-/// The planted-partition graph used by the substrate-primitive cases.
-fn substrate_graphs() -> &'static (UndirectedGraph, CsrGraph) {
+/// The planted-partition graph used by the substrate-primitive cases (also
+/// the peel workload of the PR 6 section).
+pub(crate) fn substrate_graphs() -> &'static (UndirectedGraph, CsrGraph) {
     static GRAPHS: OnceLock<(UndirectedGraph, CsrGraph)> = OnceLock::new();
     GRAPHS.get_or_init(|| {
         let planted = planted_communities(&PlantedConfig {

@@ -42,17 +42,19 @@ use crate::pr1::{case_budget, measure_fn, Report};
 
 /// One benchmark workload: the three substrate variants of the same graph
 /// plus the ordering that links the reordered ids back to the loaded ones.
-struct Workload {
+/// Shared with the PR 6 section, which probes the same graphs at a lower
+/// level (flow probes, row decodes) instead of end-to-end.
+pub(crate) struct Workload {
     /// The as-loaded baseline: the generator graph under a deterministic
     /// random id permutation (arbitrary external ids).
-    csr: CsrGraph,
+    pub(crate) csr: CsrGraph,
     /// The hybrid-reordered relabelling of `csr`.
-    reordered: CsrGraph,
+    pub(crate) reordered: CsrGraph,
     /// Maps `reordered` ids back to `csr` (loaded) ids.
     ordering: VertexOrdering,
     /// Delta+varint encoding of the **reordered** layout.
-    compressed: CompressedCsrGraph,
-    k: u32,
+    pub(crate) compressed: CompressedCsrGraph,
+    pub(crate) k: u32,
 }
 
 /// Deterministic Fisher–Yates permutation of `0..n` (xorshift64*), standing
@@ -94,7 +96,7 @@ impl Workload {
 /// edges per vertex the background's 4-core survives the peel as one large
 /// component, so the enumeration spends its time exactly where §5 says it
 /// does: in vertex-cut probes over a big subgraph.
-fn planted10k() -> &'static Workload {
+pub(crate) fn planted10k() -> &'static Workload {
     static WORKLOAD: OnceLock<Workload> = OnceLock::new();
     WORKLOAD.get_or_init(|| {
         let config = PlantedConfig {

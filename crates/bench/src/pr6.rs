@@ -1,0 +1,684 @@
+//! PR 6 performance record: the hot-loop microarchitecture pass.
+//!
+//! Three before/after pairs, each isolating one of the PR's optimisations on
+//! the workloads of the earlier sections:
+//!
+//! * `dinic-probe` — a fixed batch of k-bounded `LOC-CUT`-shaped max-flow
+//!   probes on small vertex-split networks (one per 128-vertex window of the
+//!   reordered planted-10k graph), all answered through **one scratch sized
+//!   at the parent arena bound** — the shape the enumeration actually runs,
+//!   where a single scratch is reused across every subgraph recursion and
+//!   never shrinks. The baseline is a bench-local Dinic whose per-phase
+//!   state is a `Vec<bool>` mask cleared with an arena-sized `fill(false)`
+//!   (faithful to the seed-era scratch, which cleared its full level array
+//!   every phase) vs the production [`kvcc_flow::dinic`] scratch with its
+//!   epoch-stamped [`kvcc_graph::EpochBitSet`], which pays only for the
+//!   words the probe's BFS actually touches;
+//! * `kcore-sweep` — every k-core of the 60k-vertex substrate graph for
+//!   `k = 1..=degeneracy` (the level walk a hierarchy/index build performs),
+//!   via one flagged `VecDeque` peel **per level** (the seed-era pattern) vs
+//!   **one** degree-bucketed [`kvcc_graph::kcore::core_numbers`]
+//!   decomposition followed by a threshold filter per level. Single-k
+//!   extraction measured *faster* on the flag-and-stack cascade at every
+//!   peel depth, so [`kvcc_graph::kcore::k_core_vertices`] keeps it (plus an
+//!   allocation-free already-a-k-core fast path); the bucket structure is
+//!   applied where it actually wins — amortising the peel across the sweep;
+//! * `decode` — every adjacency row of the delta+varint payload of the
+//!   reordered planted-10k graph through the one-varint-at-a-time
+//!   [`decode_row_scalar_into`] vs the masked-quad [`decode_row_into`]. The
+//!   payload's one- and two-byte gap varints interleave varint-by-varint, so
+//!   the scalar loop's per-byte continuation branches are unpredictable —
+//!   exactly the cost the movemask + recipe-table decode removes.
+//!
+//! Every pair must produce the identical checksum — the optimised paths are
+//! behaviour-invariant by construction, and `run_all` asserts it. Timings are
+//! single-process wall-clock means; on a 1-core container the *ratios* are
+//! the signal (memory-level parallelism and the wider decode window pay more
+//! on multicore hosts — re-run there for publishable numbers).
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use kvcc_flow::dinic::{max_flow_with_scratch, DinicScratch};
+use kvcc_flow::{FlowNetwork, NodeId, INFINITE_CAPACITY};
+use kvcc_graph::codec::{decode_row_into, decode_row_scalar_into, encode_row};
+use kvcc_graph::kcore::core_numbers;
+use kvcc_graph::{CsrGraph, GraphView, VertexId};
+
+use crate::pr1::{case_budget, measure_fn, Report};
+use crate::pr3::planted10k;
+
+/// Level assigned to nodes the residual BFS did not reach (mirrors the
+/// private constant of [`kvcc_flow::dinic`]).
+const UNREACHED: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// dinic-probe: Vec<bool> mask vs epoch-stamped bitset
+// ---------------------------------------------------------------------------
+
+/// The pre-PR-6 Dinic scratch: a byte-per-node `Vec<bool>` reached mask that
+/// is cleared in full (`O(n)`) at the start of every BFS phase. Everything
+/// else mirrors [`kvcc_flow::dinic`] exactly, so the two paths route the
+/// same flow and the comparison isolates the mask representation.
+struct MaskDinic {
+    level: Vec<u32>,
+    reached: Vec<bool>,
+    iter: Vec<usize>,
+    queue: Vec<NodeId>,
+    path: Vec<u32>,
+}
+
+impl MaskDinic {
+    fn new(num_nodes: usize) -> Self {
+        MaskDinic {
+            level: vec![UNREACHED; num_nodes],
+            reached: vec![false; num_nodes],
+            iter: vec![0; num_nodes],
+            queue: Vec::with_capacity(num_nodes),
+            path: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn level_of(&self, v: NodeId) -> u32 {
+        if self.reached[v as usize] {
+            self.level[v as usize]
+        } else {
+            UNREACHED
+        }
+    }
+
+    #[inline]
+    fn set_level(&mut self, v: NodeId, level: u32) {
+        self.reached[v as usize] = true;
+        self.level[v as usize] = level;
+    }
+}
+
+fn mask_build_levels(
+    net: &FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    scratch: &mut MaskDinic,
+) -> bool {
+    // The full-mask clear the epoch bitset replaces with a counter bump.
+    scratch.reached.fill(false);
+    scratch.queue.clear();
+    scratch.set_level(source, 0);
+    scratch.queue.push(source);
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        let lu = scratch.level_of(u);
+        for &a in net.arcs_from(u) {
+            if net.residual(a) == 0 {
+                continue;
+            }
+            let v = net.arc_head(a);
+            if scratch.level_of(v) == UNREACHED {
+                scratch.set_level(v, lu + 1);
+                scratch.queue.push(v);
+            }
+        }
+    }
+    for i in 0..scratch.queue.len() {
+        scratch.iter[scratch.queue[i] as usize] = 0;
+    }
+    scratch.level_of(sink) != UNREACHED
+}
+
+fn mask_blocking_path(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    limit: u32,
+    scratch: &mut MaskDinic,
+) -> u32 {
+    scratch.path.clear();
+    let mut current = source;
+    loop {
+        if current == sink {
+            let mut bottleneck = limit;
+            for &a in &scratch.path {
+                bottleneck = bottleneck.min(net.residual(a));
+            }
+            for &a in &scratch.path {
+                net.push(a, bottleneck);
+            }
+            return bottleneck;
+        }
+        let mut advanced = false;
+        while scratch.iter[current as usize] < net.arcs_from(current).len() {
+            let a = net.arcs_from(current)[scratch.iter[current as usize]];
+            let v = net.arc_head(a);
+            if net.residual(a) > 0 && scratch.level_of(v) == scratch.level_of(current) + 1 {
+                scratch.path.push(a);
+                current = v;
+                advanced = true;
+                break;
+            }
+            scratch.iter[current as usize] += 1;
+        }
+        if advanced {
+            continue;
+        }
+        scratch.set_level(current, UNREACHED);
+        match scratch.path.pop() {
+            Some(last) => {
+                let tail = net.arc_head(last ^ 1);
+                scratch.iter[tail as usize] += 1;
+                current = tail;
+            }
+            None => return 0,
+        }
+    }
+}
+
+fn mask_max_flow(
+    net: &mut FlowNetwork,
+    source: NodeId,
+    sink: NodeId,
+    limit: u32,
+    scratch: &mut MaskDinic,
+) -> u32 {
+    if source == sink || limit == 0 {
+        return 0;
+    }
+    let mut flow = 0u32;
+    while flow < limit {
+        if !mask_build_levels(net, source, sink, scratch) {
+            break;
+        }
+        loop {
+            let pushed = mask_blocking_path(net, source, sink, limit - flow, scratch);
+            if pushed == 0 {
+                break;
+            }
+            flow += pushed;
+            if flow >= limit {
+                break;
+            }
+        }
+    }
+    flow
+}
+
+/// Vertex-split flow network (Fig. 3) of the subgraph induced by the vertex
+/// window `[lo, hi)` of `g`, relabelled to local ids: `v_in = 2(v - lo) →
+/// v_out = 2(v - lo) + 1` with unit capacity, and infinite-capacity arcs
+/// `u_out → v_in` per edge direction.
+fn window_network(g: &CsrGraph, lo: usize, hi: usize) -> FlowNetwork {
+    let n = hi - lo;
+    let mut net = FlowNetwork::new(2 * n);
+    for v in 0..n as NodeId {
+        net.add_arc(2 * v, 2 * v + 1, 1);
+    }
+    for v in lo..hi {
+        for &u in g.neighbors(v as VertexId) {
+            let u = u as usize;
+            // `u > v` keeps one direction per edge and implies `u >= lo`.
+            if u > v && u < hi {
+                let (lv, lu) = ((v - lo) as NodeId, (u - lo) as NodeId);
+                net.add_arc(2 * lv + 1, 2 * lu, INFINITE_CAPACITY);
+                net.add_arc(2 * lu + 1, 2 * lv, INFINITE_CAPACITY);
+            }
+        }
+    }
+    net
+}
+
+/// Deterministic xorshift64* generator shared by the probe selection.
+fn xorshift64(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Number of vertex windows cut from the reordered planted-10k graph.
+const FLOW_WINDOWS: usize = 32;
+/// Vertices per window (the network then has `2 * FLOW_WINDOW_SPAN` nodes).
+const FLOW_WINDOW_SPAN: usize = 128;
+/// k-bounded probes issued inside each window.
+const FLOW_PROBES_PER_WINDOW: usize = 3;
+
+/// The flow-probe workload: many small per-window networks, all probed
+/// through **one** scratch (per path) sized at the parent arena bound —
+/// mirroring how the enumeration reuses a single never-shrinking scratch
+/// across every subgraph recursion. Each probe is `(window, s_out, t_in)` in
+/// local node ids.
+struct FlowWorkload {
+    state: Mutex<(Vec<FlowNetwork>, DinicScratch, MaskDinic)>,
+    probes: Vec<(usize, NodeId, NodeId)>,
+    limit: u32,
+    arena_nodes: usize,
+}
+
+fn flow_workload() -> &'static FlowWorkload {
+    static WORKLOAD: OnceLock<FlowWorkload> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let w = planted10k();
+        let g = &w.reordered;
+        let n = g.num_vertices();
+        // The arena bound the enumeration would size its scratch with: the
+        // vertex-split network of the whole parent graph.
+        let arena_nodes = 2 * n;
+        let mut next = xorshift64(0xB175);
+        let mut nets = Vec::with_capacity(FLOW_WINDOWS);
+        let mut probes = Vec::with_capacity(FLOW_WINDOWS * FLOW_PROBES_PER_WINDOW);
+        for w_idx in 0..FLOW_WINDOWS {
+            // Windows spread evenly across the reordered vertex range, the
+            // last one ending exactly at `n`.
+            let lo = w_idx * (n - FLOW_WINDOW_SPAN) / (FLOW_WINDOWS - 1);
+            nets.push(window_network(g, lo, lo + FLOW_WINDOW_SPAN));
+            for _ in 0..FLOW_PROBES_PER_WINDOW {
+                let (s, t) = loop {
+                    let s = (next() % FLOW_WINDOW_SPAN as u64) as NodeId;
+                    let t = (next() % FLOW_WINDOW_SPAN as u64) as NodeId;
+                    if s != t {
+                        break (s, t);
+                    }
+                };
+                // Probe from s_out to t_in, the LOC-CUT orientation.
+                probes.push((w_idx, 2 * s + 1, 2 * t));
+            }
+        }
+        let scratch = DinicScratch::new(arena_nodes);
+        let mask = MaskDinic::new(arena_nodes);
+        FlowWorkload {
+            state: Mutex::new((nets, scratch, mask)),
+            probes,
+            limit: w.k,
+            arena_nodes,
+        }
+    })
+}
+
+fn dinic_vecbool() -> usize {
+    let w = flow_workload();
+    let mut guard = w.state.lock().unwrap();
+    let (nets, _, mask) = &mut *guard;
+    let mut acc = 0usize;
+    for &(idx, s, t) in &w.probes {
+        let net = &mut nets[idx];
+        net.reset();
+        let f = mask_max_flow(net, s, t, w.limit, mask);
+        acc = acc.wrapping_mul(31).wrapping_add(f as usize);
+    }
+    acc
+}
+
+fn dinic_epoch_bitset() -> usize {
+    let w = flow_workload();
+    let mut guard = w.state.lock().unwrap();
+    let (nets, scratch, _) = &mut *guard;
+    let mut acc = 0usize;
+    for &(idx, s, t) in &w.probes {
+        let net = &mut nets[idx];
+        net.reset();
+        let f = max_flow_with_scratch(net, s, t, w.limit, scratch);
+        acc = acc.wrapping_mul(31).wrapping_add(f as usize);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// kcore-sweep: per-k flagged peels vs one bucketed decomposition
+// ---------------------------------------------------------------------------
+
+/// The seed-era peel: seed a `VecDeque` with every under-degree vertex,
+/// cascade removals behind a `Vec<bool>` flag array, then re-scan the flags
+/// to collect the survivors (sorted ascending).
+fn flagged_k_core(g: &CsrGraph, k: usize) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut degree: Vec<usize> = g.degrees();
+    let mut removed = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n {
+        if degree[v] < k {
+            removed[v] = true;
+            queue.push_back(v as VertexId);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if removed[u] {
+                continue;
+            }
+            degree[u] -= 1;
+            if degree[u] < k {
+                removed[u] = true;
+                queue.push_back(u as VertexId);
+            }
+        }
+    }
+    (0..n as VertexId)
+        .filter(|&v| !removed[v as usize])
+        .collect()
+}
+
+/// Order-sensitive digest of a (sorted) survivor list.
+fn checksum_vertices(vertices: &[VertexId]) -> usize {
+    let ids: usize = vertices.iter().map(|&v| v as usize + 1).sum();
+    ids.wrapping_mul(31).wrapping_add(vertices.len())
+}
+
+/// Top of the sweep: the degeneracy of the 60k substrate graph, computed once
+/// outside the timed region (both sweep paths walk `k = 1..=max`).
+fn sweep_max_k() -> usize {
+    static MAX_K: OnceLock<usize> = OnceLock::new();
+    *MAX_K.get_or_init(|| {
+        let (_, g) = crate::pr1::substrate_graphs();
+        kvcc_graph::kcore::degeneracy(g) as usize
+    })
+}
+
+/// The hierarchy/index pattern before the shared bucket structure: one full
+/// flagged peel per level of the sweep.
+fn kcore_flagged() -> usize {
+    let (_, g) = crate::pr1::substrate_graphs();
+    let mut acc = 0usize;
+    for k in 1..=sweep_max_k() {
+        acc = acc
+            .wrapping_mul(31)
+            .wrapping_add(checksum_vertices(&flagged_k_core(g, k)));
+    }
+    acc
+}
+
+/// The degree-bucketed path: one [`core_numbers`] decomposition, then each
+/// level is a threshold filter over the core array — `{v : core(v) >= k}` is
+/// exactly the k-core, already in ascending vertex order.
+fn kcore_bucketed() -> usize {
+    let (_, g) = crate::pr1::substrate_graphs();
+    let core = core_numbers(g);
+    let mut acc = 0usize;
+    let mut survivors: Vec<VertexId> = Vec::with_capacity(core.len());
+    for k in 1..=sweep_max_k() {
+        survivors.clear();
+        survivors.extend((0..core.len() as VertexId).filter(|&v| core[v as usize] as usize >= k));
+        acc = acc
+            .wrapping_mul(31)
+            .wrapping_add(checksum_vertices(&survivors));
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// decode: scalar vs batched delta+varint row decode
+// ---------------------------------------------------------------------------
+
+/// Every adjacency row of the reordered planted-10k graph, delta+varint
+/// encoded into one flat buffer — byte-for-byte the payload a
+/// [`kvcc_graph::CompressedCsrGraph`] of that graph stores. Its ~101k gap
+/// varints are 29% one-byte and 71% two-byte, interleaved varint-by-varint
+/// within rows (locality reordering pulls a few neighbours close, the rest
+/// stay hundreds of ids away) — the distribution the masked quad decoder
+/// must beat the scalar loop on.
+struct DecodeWorkload {
+    data: Vec<u8>,
+    starts: Vec<usize>,
+    counts: Vec<usize>,
+    total_values: usize,
+}
+
+fn decode_workload() -> &'static DecodeWorkload {
+    static WORKLOAD: OnceLock<DecodeWorkload> = OnceLock::new();
+    WORKLOAD.get_or_init(|| {
+        let g = &planted10k().reordered;
+        let n = g.num_vertices();
+        let mut data = Vec::new();
+        let mut starts = Vec::with_capacity(n);
+        let mut counts = Vec::with_capacity(n);
+        for v in 0..n as VertexId {
+            starts.push(data.len());
+            counts.push(g.degree(v));
+            encode_row(g.neighbors(v), &mut data);
+        }
+        DecodeWorkload {
+            data,
+            starts,
+            counts,
+            total_values: 2 * g.num_edges(),
+        }
+    })
+}
+
+fn decode_all(decode: fn(&[u8], usize, usize, &mut Vec<VertexId>) -> Option<usize>) -> usize {
+    let w = decode_workload();
+    let mut row = Vec::new();
+    let mut acc = 0usize;
+    for (&start, &count) in w.starts.iter().zip(&w.counts) {
+        decode(&w.data, start, count, &mut row).expect("bench payload is valid by construction");
+        // Cheap digest: last id + length per row. The decoders still have to
+        // materialise every value; summing them all would just dilute the
+        // measured decode time with checksum arithmetic.
+        acc = acc
+            .wrapping_mul(31)
+            .wrapping_add(row.last().map_or(0, |&v| v as usize))
+            .wrapping_add(row.len());
+    }
+    acc
+}
+
+fn decode_scalar() -> usize {
+    decode_all(decode_row_scalar_into)
+}
+
+fn decode_batched() -> usize {
+    decode_all(decode_row_into)
+}
+
+// ---------------------------------------------------------------------------
+// harness
+// ---------------------------------------------------------------------------
+
+/// One named case with its minimum iteration count.
+type Pr6Case = (&'static str, fn() -> usize, u64);
+
+fn cases() -> Vec<Pr6Case> {
+    vec![
+        ("pr6/dinic-probe/vecbool-mask", dinic_vecbool, 3),
+        ("pr6/dinic-probe/epoch-bitset", dinic_epoch_bitset, 3),
+        ("pr6/kcore-sweep/flagged-per-k", kcore_flagged, 5),
+        ("pr6/kcore-sweep/bucketed-decomposition", kcore_bucketed, 5),
+        ("pr6/decode/scalar", decode_scalar, 20),
+        ("pr6/decode/batched", decode_batched, 20),
+    ]
+}
+
+/// Runs the PR 6 cases, asserting that each before/after pair produces the
+/// identical checksum (the optimised hot loops are behaviour-invariant).
+pub fn run_all(smoke: bool) -> Report {
+    let mut report = Report::default();
+    for (name, run, min_iters) in cases() {
+        let (warmup, budget, min_iters) = case_budget(
+            smoke,
+            Duration::from_millis(150),
+            Duration::from_millis(900),
+            min_iters,
+        );
+        report
+            .entries
+            .push(measure_fn(name, run, warmup, budget, min_iters));
+    }
+    for prefix in ["pr6/dinic-probe", "pr6/kcore-sweep", "pr6/decode"] {
+        let sums: Vec<(&str, usize)> = report
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .map(|e| (e.name, e.checksum))
+            .collect();
+        assert!(
+            sums.windows(2).all(|w| w[0].1 == w[1].1),
+            "hot-loop variants disagree: {sums:?}"
+        );
+    }
+    report
+}
+
+/// Speedup pairs reported in `BENCH_pr6.json` — one per optimisation.
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "pr6/dinic-probe/vecbool-mask",
+            "pr6/dinic-probe/epoch-bitset",
+            "dinic_epoch_bitset_vs_vecbool_mask",
+        ),
+        (
+            "pr6/kcore-sweep/flagged-per-k",
+            "pr6/kcore-sweep/bucketed-decomposition",
+            "kcore_sweep_bucketed_vs_flagged_per_k",
+        ),
+        (
+            "pr6/decode/scalar",
+            "pr6/decode/batched",
+            "decode_batched_vs_scalar",
+        ),
+    ]
+}
+
+/// JSON payload for `BENCH_pr6.json` (hand-assembled like the other bench
+/// reports; no third-party serializer in the offline environment).
+pub fn render_json(report: &Report) -> String {
+    let flow = flow_workload();
+    let (_, peel_graph) = crate::pr1::substrate_graphs();
+    let decode = decode_workload();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 6,\n");
+    out.push_str(
+        "  \"description\": \"Hot-loop microarchitecture pass: Vec<bool>-mask vs epoch-bitset \
+         Dinic scratch on k-bounded vertex-split probes (small per-window networks sharing one \
+         arena-sized scratch, the enumeration's LOC-CUT shape; the mask baseline clears the full \
+         arena per BFS phase, faithful to the seed-era scratch), per-k flagged peels vs one \
+         degree-bucketed core decomposition across the k = 1..=degeneracy sweep, and scalar vs \
+         masked-quad (movemask + recipe table, four gap varints per window) delta+varint row \
+         decode of the reordered planted-10k payload. Checksums are identical within each pair. \
+         Single-process wall-clock means on the build container; the ratios are the signal — \
+         re-run on a multicore host for publishable numbers.\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workloads\": {{\n    \"dinic_probe\": {{\"arena_nodes\": {}, \"subgraphs\": {}, \
+         \"window_vertices\": {}, \"probes\": {}, \"flow_limit\": {}}},\n    \"kcore_sweep\": \
+         {{\"vertices\": {}, \"edges\": {}, \"max_k\": {}}},\n    \"decode\": {{\"rows\": {}, \
+         \"values\": {}, \"payload_bytes\": {}}}\n  }},\n",
+        flow.arena_nodes,
+        FLOW_WINDOWS,
+        FLOW_WINDOW_SPAN,
+        flow.probes.len(),
+        flow.limit,
+        peel_graph.num_vertices(),
+        peel_graph.num_edges(),
+        sweep_max_k(),
+        decode.starts.len(),
+        decode.total_values,
+        decode.data.len(),
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvcc_graph::kcore::k_core_vertices;
+
+    /// Two K6 blocks sharing a 3-vertex overlap, plus a pendant tail — small
+    /// enough for debug-mode tests, rich enough to exercise retreats and
+    /// multi-phase flows.
+    fn small_graph() -> CsrGraph {
+        let mut edges = Vec::new();
+        for base in [0u32, 3] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((8, 9));
+        edges.push((9, 10));
+        CsrGraph::from_edges(11, edges).unwrap()
+    }
+
+    #[test]
+    fn mask_and_epoch_dinic_route_the_same_flow() {
+        let g = small_graph();
+        let mut net = window_network(&g, 0, g.num_vertices());
+        // Scratches deliberately over-sized past the network, as in the
+        // bench workload (one arena-bound scratch, many small networks).
+        let mut mask = MaskDinic::new(4 * net.num_nodes());
+        let mut scratch = DinicScratch::new(4 * net.num_nodes());
+        for s in 0..g.num_vertices() as NodeId {
+            for t in 0..g.num_vertices() as NodeId {
+                if s == t {
+                    continue;
+                }
+                for limit in [1u32, 3, 16] {
+                    net.reset();
+                    let a = mask_max_flow(&mut net, 2 * s + 1, 2 * t, limit, &mut mask);
+                    net.reset();
+                    let b = max_flow_with_scratch(&mut net, 2 * s + 1, 2 * t, limit, &mut scratch);
+                    assert_eq!(a, b, "probe {s}->{t} limit {limit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flagged_and_bucketed_peels_agree() {
+        let g = small_graph();
+        let core = core_numbers(&g);
+        for k in 0..=7usize {
+            let flagged = flagged_k_core(&g, k);
+            // The production single-k peel...
+            assert_eq!(flagged, k_core_vertices(&g, k), "k = {k}");
+            // ...and the thresholded decomposition the sweep path uses.
+            let by_core: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+                .filter(|&v| core[v as usize] as usize >= k)
+                .collect();
+            assert_eq!(flagged, by_core, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn decode_paths_agree_on_the_full_payload() {
+        assert_eq!(decode_scalar(), decode_batched());
+    }
+
+    #[test]
+    fn smoke_report_is_complete_and_well_formed() {
+        let report = run_all(true);
+        assert_eq!(report.entries.len(), 6);
+        let json = render_json(&report);
+        assert!(json.contains("\"pr\": 6"));
+        assert!(json.contains("dinic_epoch_bitset_vs_vecbool_mask"));
+        assert!(json.contains("kcore_sweep_bucketed_vs_flagged_per_k"));
+        assert!(json.contains("decode_batched_vs_scalar"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

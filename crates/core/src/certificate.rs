@@ -74,7 +74,7 @@ pub fn sparse_certificate<G: GraphView>(g: &G, k: u32) -> SparseCertificate {
         indexed_adj[v as usize].push((u, edge_id));
     }
 
-    let mut edge_used = vec![false; m];
+    let mut edge_used = kvcc_graph::BitSet::new(m);
     let mut certificate_edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut forest_sizes = Vec::new();
 
@@ -84,19 +84,20 @@ pub fn sparse_certificate<G: GraphView>(g: &G, k: u32) -> SparseCertificate {
     let mut last_forest_edge_count = 0usize;
 
     let mut queue: Vec<VertexId> = Vec::with_capacity(n);
+    let mut visited = kvcc_graph::BitSet::new(n);
     for round in 0..k {
-        let mut visited = vec![false; n];
+        visited.clear_all();
         let mut forest_edges = 0usize;
         let mut component: Vec<u32> = vec![NO_GROUP; n];
         let mut component_count = 0u32;
 
         for start in 0..n as VertexId {
-            if visited[start as usize] {
+            if visited.contains(start as usize) {
                 continue;
             }
             let comp_id = component_count;
             component_count += 1;
-            visited[start as usize] = true;
+            visited.insert(start as usize);
             component[start as usize] = comp_id;
             queue.clear();
             queue.push(start);
@@ -105,12 +106,12 @@ pub fn sparse_certificate<G: GraphView>(g: &G, k: u32) -> SparseCertificate {
                 let u = queue[head];
                 head += 1;
                 for &(v, edge_id) in &indexed_adj[u as usize] {
-                    if edge_used[edge_id as usize] || visited[v as usize] {
+                    if edge_used.contains(edge_id as usize) || visited.contains(v as usize) {
                         continue;
                     }
-                    visited[v as usize] = true;
+                    visited.insert(v as usize);
                     component[v as usize] = comp_id;
-                    edge_used[edge_id as usize] = true;
+                    edge_used.insert(edge_id as usize);
                     certificate_edges.push((u, v));
                     forest_edges += 1;
                     queue.push(v);

@@ -364,9 +364,9 @@ mod tests {
             (cut.len() as u32) < k,
             "cut {cut:?} must have fewer than k vertices"
         );
-        let mut alive = vec![true; g.num_vertices()];
+        let mut alive = kvcc_graph::bitset::BitSet::filled(g.num_vertices());
         for &v in cut {
-            alive[v as usize] = false;
+            alive.remove(v as usize);
         }
         let comps = connected_components_filtered(g, &alive);
         assert!(

@@ -53,24 +53,24 @@ fn count_internal_edges<G: GraphView>(
     graph: &G,
     components: &[KVertexConnectedComponent],
 ) -> Vec<u64> {
-    let mut inside = vec![false; graph.num_vertices()];
+    let mut inside = kvcc_graph::BitSet::new(graph.num_vertices());
     components
         .iter()
         .map(|component| {
             let members = component.vertices();
             for &v in members {
-                inside[v as usize] = true;
+                inside.insert(v as usize);
             }
             let mut directed = 0u64;
             for &v in members {
                 directed += graph
                     .neighbors(v)
                     .iter()
-                    .filter(|&&w| inside[w as usize])
+                    .filter(|&&w| inside.contains(w as usize))
                     .count() as u64;
             }
             for &v in members {
-                inside[v as usize] = false;
+                inside.remove(v as usize);
             }
             directed / 2
         })

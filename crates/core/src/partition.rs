@@ -20,9 +20,9 @@ use kvcc_graph::{GraphView, VertexId};
 /// fall back to a recomputed cut (see `DESIGN.md`).
 pub fn overlap_partition<G: GraphView>(g: &G, cut: &[VertexId]) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
-    let mut alive = vec![true; n];
+    let mut alive = kvcc_graph::bitset::BitSet::filled(n);
     for &v in cut {
-        alive[v as usize] = false;
+        alive.remove(v as usize);
     }
     let components = connected_components_filtered(g, &alive);
     components

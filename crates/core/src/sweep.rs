@@ -16,7 +16,7 @@
 //! sweeps cannot overflow the call stack.
 
 use kvcc_flow::Budget;
-use kvcc_graph::{GraphView, VertexId};
+use kvcc_graph::{BitSet, GraphView, VertexId};
 
 use crate::certificate::NO_GROUP;
 
@@ -79,11 +79,11 @@ impl<'a, G: GraphView> SweepContext<'a, G> {
 /// Mutable sweep state for one `GLOBAL-CUT*` invocation.
 #[derive(Clone, Debug)]
 pub struct SweepState {
-    pruned: Vec<bool>,
+    pruned: BitSet,
     cause: Vec<SweepCause>,
     deposit: Vec<u32>,
     group_deposit: Vec<u32>,
-    group_processed: Vec<bool>,
+    group_processed: BitSet,
     worklist: Vec<VertexId>,
 }
 
@@ -92,11 +92,11 @@ impl SweepState {
     /// `num_groups` side-groups.
     pub fn new(num_vertices: usize, num_groups: usize) -> Self {
         SweepState {
-            pruned: vec![false; num_vertices],
+            pruned: BitSet::new(num_vertices),
             cause: vec![SweepCause::SourceOrTested; num_vertices],
             deposit: vec![0; num_vertices],
             group_deposit: vec![0; num_groups],
-            group_processed: vec![false; num_groups],
+            group_processed: BitSet::new(num_groups),
             worklist: Vec::new(),
         }
     }
@@ -104,7 +104,7 @@ impl SweepState {
     /// Whether `v` has been swept (and can therefore be skipped by phase 1).
     #[inline]
     pub fn is_pruned(&self, v: VertexId) -> bool {
-        self.pruned[v as usize]
+        self.pruned.contains(v as usize)
     }
 
     /// The cause recorded when `v` was swept. Meaningful only if
@@ -129,7 +129,7 @@ impl SweepState {
 
     /// Number of swept vertices, including the source and tested vertices.
     pub fn swept_count(&self) -> usize {
-        self.pruned.iter().filter(|&&p| p).count()
+        self.pruned.count_ones()
     }
 
     /// Runs the `SWEEP` cascade (Algorithm 4) starting from `v`, which is
@@ -143,7 +143,7 @@ impl SweepState {
         v: VertexId,
         cause: SweepCause,
     ) {
-        if self.pruned[v as usize] {
+        if self.pruned.contains(v as usize) {
             return;
         }
         self.mark(v, cause);
@@ -159,7 +159,7 @@ impl SweepState {
     }
 
     fn mark(&mut self, v: VertexId, cause: SweepCause) {
-        self.pruned[v as usize] = true;
+        self.pruned.insert(v as usize);
         self.cause[v as usize] = cause;
         self.worklist.push(v);
     }
@@ -172,7 +172,7 @@ impl SweepState {
         // Neighbor sweep (lines 2-5): deposits always accumulate; the
         // cascading sweep itself only fires when the rule set is enabled.
         for &w in ctx.graph.neighbors(v) {
-            if self.pruned[w as usize] {
+            if self.pruned.contains(w as usize) {
                 continue;
             }
             self.deposit[w as usize] += 1;
@@ -194,14 +194,14 @@ impl SweepState {
             return;
         }
         let group = group as usize;
-        if self.group_processed[group] {
+        if self.group_processed.contains(group) {
             return;
         }
         self.group_deposit[group] += 1;
         if v_is_strong || self.group_deposit[group] >= ctx.k {
-            self.group_processed[group] = true;
+            self.group_processed.insert(group);
             for &w in &ctx.side_groups[group] {
-                if !self.pruned[w as usize] {
+                if !self.pruned.contains(w as usize) {
                     self.mark(w, SweepCause::GroupSweep);
                 }
             }

@@ -231,12 +231,11 @@ mod tests {
         assert_eq!(cut, vec![2]);
         // Removing the cut must disconnect the graph.
         let remaining = g.without_vertices(&cut);
-        let comps = kvcc_graph::traversal::connected_components_filtered(
-            &remaining,
-            &(0..g.num_vertices())
-                .map(|v| !cut.contains(&(v as VertexId)))
-                .collect::<Vec<_>>(),
-        );
+        let mut alive = kvcc_graph::bitset::BitSet::filled(g.num_vertices());
+        for &v in &cut {
+            alive.remove(v as usize);
+        }
+        let comps = kvcc_graph::traversal::connected_components_filtered(&remaining, &alive);
         assert!(comps.len() >= 2);
         assert!(find_vertex_cut(&g, 1).is_none());
     }

@@ -6,6 +6,8 @@
 //! vertex-split flow graph every augmenting path carries exactly one unit, so
 //! the cost per `LOC-CUT` call is `O(min(√n, k) · m)` (Lemma 6 of the paper).
 
+use kvcc_graph::bitset::EpochBitSet;
+
 use crate::budget::{Budget, Interrupted};
 use crate::network::{FlowNetwork, NodeId};
 
@@ -16,23 +18,23 @@ const UNREACHED: u32 = u32::MAX;
 /// network, avoiding per-query allocations (the enumeration issues thousands
 /// of `LOC-CUT` calls per `GLOBAL-CUT`).
 ///
-/// Level validity is tracked with an **epoch stamp** per node instead of
-/// re-clearing the whole `level` array before every BFS phase: starting a
-/// phase is a single counter increment, and only the nodes the BFS actually
-/// reaches are ever written. On k-bounded probes — which touch a small
-/// residual neighbourhood of the source — this removes the `O(n)`-per-phase
-/// clearing cost that used to dominate small-cut probes on large subgraphs.
-/// The buffers themselves only ever grow (the internal `ensure` never
-/// shrinks), so one scratch reused across differently sized networks
-/// allocates nothing in steady state.
+/// Level validity is tracked with an epoch-stamped bitset
+/// ([`EpochBitSet`]) instead of re-clearing the whole `level` array before
+/// every BFS phase: starting a phase is a single counter increment, and only
+/// the words the BFS actually touches are ever written. On k-bounded probes —
+/// which touch a small residual neighbourhood of the source — this removes
+/// the `O(n)`-per-phase clearing cost that used to dominate small-cut probes
+/// on large subgraphs, and packs the reached marks 64 nodes per word. The
+/// buffers themselves only ever grow (the internal `ensure` never shrinks),
+/// so one scratch reused across differently sized networks allocates nothing
+/// in steady state.
 #[derive(Clone, Debug, Default)]
 pub struct DinicScratch {
-    /// BFS level per node; only meaningful where `seen[v] == epoch`.
+    /// BFS level per node; only meaningful where `reached` contains the node.
     level: Vec<u32>,
-    /// Epoch stamp per node marking `level[v]` as belonging to this phase.
-    seen: Vec<u32>,
-    /// Current BFS phase number (incremented by [`DinicScratch::begin_phase`]).
-    epoch: u32,
+    /// Epoch-stamped membership of `level`: cleared per phase with one
+    /// counter bump ([`DinicScratch::begin_phase`]).
+    reached: EpochBitSet,
     /// Current-arc DFS cursors (reset per phase for reached nodes only).
     iter: Vec<usize>,
     queue: Vec<NodeId>,
@@ -53,29 +55,24 @@ impl DinicScratch {
     pub(crate) fn ensure(&mut self, num_nodes: usize) {
         if self.level.len() < num_nodes {
             self.level.resize(num_nodes, UNREACHED);
-            self.seen.resize(num_nodes, 0);
             self.iter.resize(num_nodes, 0);
             self.queue
                 .reserve(num_nodes.saturating_sub(self.queue.capacity()));
         }
+        self.reached.ensure(num_nodes);
     }
 
-    /// Starts a new BFS phase by bumping the epoch; all previously assigned
-    /// levels become invalid without touching their entries.
+    /// Starts a new BFS phase by clearing the reached set (an epoch bump;
+    /// all previously assigned levels become invalid without touching them).
     fn begin_phase(&mut self) {
-        if self.epoch == u32::MAX {
-            // Epoch wrap (once per 2^32 phases): clear the stamps for real.
-            self.seen.iter_mut().for_each(|s| *s = 0);
-            self.epoch = 0;
-        }
-        self.epoch += 1;
+        self.reached.clear_all();
     }
 
     /// The level of `v` in the current phase ([`UNREACHED`] if the BFS did
     /// not reach it or a DFS retreat invalidated it).
     #[inline]
     fn level_of(&self, v: NodeId) -> u32 {
-        if self.seen[v as usize] == self.epoch {
+        if self.reached.contains(v as usize) {
             self.level[v as usize]
         } else {
             UNREACHED
@@ -85,7 +82,7 @@ impl DinicScratch {
     /// Assigns `v` its level for the current phase.
     #[inline]
     fn set_level(&mut self, v: NodeId, level: u32) {
-        self.seen[v as usize] = self.epoch;
+        self.reached.insert(v as usize);
         self.level[v as usize] = level;
     }
 }
@@ -177,14 +174,18 @@ fn build_levels(
     while head < scratch.queue.len() {
         let u = scratch.queue[head];
         head += 1;
-        let lu = scratch.level_of(u);
+        // Dequeued nodes are reached by construction: read the level directly
+        // instead of going through the bitset check in `level_of`.
+        let lu = scratch.level[u as usize];
         for &a in net.arcs_from(u) {
             if net.residual(a) == 0 {
                 continue;
             }
             let v = net.arc_head(a);
-            if scratch.level_of(v) == UNREACHED {
-                scratch.set_level(v, lu + 1);
+            // `insert` returns whether the bit was newly set, so discovery
+            // tests and marks `v` with a single bitset access.
+            if scratch.reached.insert(v as usize) {
+                scratch.level[v as usize] = lu + 1;
                 scratch.queue.push(v);
             }
         }
@@ -192,7 +193,8 @@ fn build_levels(
     for i in 0..scratch.queue.len() {
         scratch.iter[scratch.queue[i] as usize] = 0;
     }
-    scratch.level_of(sink) != UNREACHED
+    // No retreat has happened yet this phase, so reached == has a BFS level.
+    scratch.reached.contains(sink as usize)
 }
 
 /// Finds one augmenting path in the level graph (iterative DFS with the
@@ -223,7 +225,9 @@ fn blocking_path(
         while scratch.iter[current as usize] < net.arcs_from(current).len() {
             let a = net.arcs_from(current)[scratch.iter[current as usize]];
             let v = net.arc_head(a);
-            if net.residual(a) > 0 && scratch.level_of(v) == scratch.level_of(current) + 1 {
+            // `current` is always on the path (or the source) and thus holds
+            // a valid level; only `v` needs the reached check.
+            if net.residual(a) > 0 && scratch.level_of(v) == scratch.level[current as usize] + 1 {
                 scratch.path.push(a);
                 current = v;
                 advanced = true;
@@ -234,8 +238,10 @@ fn blocking_path(
         if advanced {
             continue;
         }
-        // Dead end: retreat (invalidate the level within the current epoch).
-        scratch.set_level(current, UNREACHED);
+        // Dead end: retreat. `current` is already reached, so storing
+        // `UNREACHED` into its level slot invalidates it without touching the
+        // bitset.
+        scratch.level[current as usize] = UNREACHED;
         match scratch.path.pop() {
             Some(last) => {
                 // The tail of `last` is where we retreat to; advance its

@@ -6,22 +6,24 @@
 //! leaving that set are the cut arcs. `LOC-CUT` (Algorithm 2, lines 16–17)
 //! maps those arcs back to vertices of the original graph.
 
+use kvcc_graph::bitset::BitSet;
+
 use crate::network::{ArcId, FlowNetwork, NodeId};
 
-/// Returns, for every node, whether it is reachable from `source` in the
-/// residual network (arcs with positive residual capacity only).
-pub fn residual_reachable(net: &FlowNetwork, source: NodeId) -> Vec<bool> {
-    let mut seen = vec![false; net.num_nodes()];
+/// Returns the set of nodes reachable from `source` in the residual network
+/// (arcs with positive residual capacity only), as a word-packed [`BitSet`]
+/// over the node ids.
+pub fn residual_reachable(net: &FlowNetwork, source: NodeId) -> BitSet {
+    let mut seen = BitSet::new(net.num_nodes());
     let mut stack = vec![source];
-    seen[source as usize] = true;
+    seen.insert(source as usize);
     while let Some(u) = stack.pop() {
         for &a in net.arcs_from(u) {
             if net.residual(a) == 0 {
                 continue;
             }
             let v = net.arc_head(a);
-            if !seen[v as usize] {
-                seen[v as usize] = true;
+            if seen.insert(v as usize) {
                 stack.push(v);
             }
         }
@@ -46,7 +48,7 @@ pub fn min_cut_arcs(net: &FlowNetwork, source: NodeId) -> Vec<ArcId> {
         }
         let tail = net.arc_head(a ^ 1);
         let head = net.arc_head(a);
-        if reachable[tail as usize] && !reachable[head as usize] {
+        if reachable.contains(tail as usize) && !reachable.contains(head as usize) {
             cut.push(a);
         }
     }
@@ -83,8 +85,8 @@ mod tests {
         assert_eq!(value, 23);
         assert_eq!(min_cut_value(&net, 0), 23);
         let reach = residual_reachable(&net, 0);
-        assert!(reach[0]);
-        assert!(!reach[5]);
+        assert!(reach.contains(0));
+        assert!(!reach.contains(5));
     }
 
     #[test]

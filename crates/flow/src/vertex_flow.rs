@@ -241,7 +241,7 @@ impl VertexFlowGraph {
         for (vertex, &arc) in self.vertex_arc.iter().enumerate() {
             let tail_in = Self::node_in(vertex as VertexId);
             let head_out = Self::node_out(vertex as VertexId);
-            if reachable[tail_in as usize] && !reachable[head_out as usize] {
+            if reachable.contains(tail_in as usize) && !reachable.contains(head_out as usize) {
                 debug_assert_eq!(
                     self.net.residual(arc),
                     0,

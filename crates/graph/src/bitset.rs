@@ -1,0 +1,402 @@
+//! Word-packed bit sets for the enumeration's hot masks.
+//!
+//! Almost every hot loop in the workspace walks a dense boolean mask:
+//! BFS/DFS visited sets, `SubgraphView` alive masks, sweep pruned flags,
+//! residual-reachability marks. A `Vec<bool>` spends one byte — and one
+//! dependent load — per vertex; [`BitSet`] packs the same mask 64 vertices
+//! per `u64` word, so clearing is a `memset` over `n / 64` words, membership
+//! tests touch one cache line per 64 vertices, and iterating the set bits
+//! skips empty words entirely with a trailing-zeros scan.
+//!
+//! Two variants share the word layout:
+//!
+//! * [`BitSet`] — a fixed-universe set over `0..len`, the drop-in
+//!   replacement for the `vec![false; n]` idiom.
+//! * [`EpochBitSet`] — an epoch-stamped variant mirroring the
+//!   `DinicScratch` level-validity trick: `clear_all` is a single counter
+//!   increment, and a word is lazily zeroed the first time the new epoch
+//!   writes to it. Right for per-phase frontiers that are cleared far more
+//!   often than they are filled (the Dinic BFS visits a small residual
+//!   neighbourhood, then clears; an eager clear would cost `O(n / 64)` per
+//!   phase regardless).
+//!
+//! Both uphold the invariant that bits at positions `>= len` (the unused
+//! tail of the last word) stay zero, so `count_ones` and equality work on
+//! whole words.
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// A fixed-size set of `usize` indices packed 64 per `u64` word.
+///
+/// The universe is `0..len`; indexing out of range panics, exactly like the
+/// `Vec<bool>` masks this type replaces.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
+    }
+
+    /// A full set over the universe `0..len` (every index present).
+    pub fn filled(len: usize) -> Self {
+        let mut set = BitSet {
+            words: vec![u64::MAX; len.div_ceil(WORD_BITS)],
+            len,
+        };
+        set.mask_tail();
+        set
+    }
+
+    /// Zeroes the bits of the last word beyond `len`, restoring the tail
+    /// invariant after a whole-word fill.
+    #[inline]
+    fn mask_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Size of the universe (not the number of set bits).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the universe is empty (`len == 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn check(&self, index: usize) {
+        assert!(
+            index < self.len,
+            "bit index {index} out of range for BitSet of length {}",
+            self.len
+        );
+    }
+
+    /// Whether `index` is in the set.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.check(index);
+        self.words[index / WORD_BITS] & (1u64 << (index % WORD_BITS)) != 0
+    }
+
+    /// Adds `index`; returns `true` when it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        self.check(index);
+        let word = &mut self.words[index / WORD_BITS];
+        let bit = 1u64 << (index % WORD_BITS);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes `index`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        self.check(index);
+        let word = &mut self.words[index / WORD_BITS];
+        let bit = 1u64 << (index % WORD_BITS);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        present
+    }
+
+    /// Sets every bit in `start..end` (word-at-a-time for interior words).
+    pub fn set_range(&mut self, start: usize, end: usize) {
+        self.update_range(start, end, true);
+    }
+
+    /// Clears every bit in `start..end` (word-at-a-time for interior words).
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        self.update_range(start, end, false);
+    }
+
+    fn update_range(&mut self, start: usize, end: usize, value: bool) {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        if start == end {
+            return;
+        }
+        let (first_word, first_bit) = (start / WORD_BITS, start % WORD_BITS);
+        let (last_word, last_bit) = ((end - 1) / WORD_BITS, (end - 1) % WORD_BITS);
+        // Mask of the affected bits within one word.
+        let head = u64::MAX << first_bit;
+        let tail = u64::MAX >> (WORD_BITS - 1 - last_bit);
+        if first_word == last_word {
+            let mask = head & tail;
+            if value {
+                self.words[first_word] |= mask;
+            } else {
+                self.words[first_word] &= !mask;
+            }
+            return;
+        }
+        if value {
+            self.words[first_word] |= head;
+            self.words[first_word + 1..last_word].fill(u64::MAX);
+            self.words[last_word] |= tail;
+        } else {
+            self.words[first_word] &= !head;
+            self.words[first_word + 1..last_word].fill(0);
+            self.words[last_word] &= !tail;
+        }
+    }
+
+    /// Removes every element (`O(len / 64)` word stores).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of elements in the set.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set indices in ascending order, skipping empty words
+    /// with a trailing-zeros scan (cost proportional to set bits plus
+    /// `len / 64` word loads).
+    pub fn iter_ones(&self) -> Ones<'_> {
+        Ones {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the set bits of a [`BitSet`] (see [`BitSet::iter_ones`]).
+#[derive(Clone, Debug)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            self.current = *self.words.get(self.word_index)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        // Strip the lowest set bit.
+        self.current &= self.current - 1;
+        Some(self.word_index * WORD_BITS + bit)
+    }
+}
+
+/// An epoch-stamped bit set: `clear_all` is a counter increment, and each
+/// word carries the epoch in which it was last written (see the
+/// [module docs](self)).
+///
+/// The universe grows on demand via [`EpochBitSet::ensure`] and never
+/// shrinks, matching the scratch-arena discipline of `DinicScratch`.
+#[derive(Clone, Debug, Default)]
+pub struct EpochBitSet {
+    words: Vec<u64>,
+    /// Epoch in which `words[i]` was last written; a stale stamp means the
+    /// word reads as all-zero and is lazily reset on the next insert.
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochBitSet {
+    /// An empty set covering `0..len`.
+    pub fn new(len: usize) -> Self {
+        let mut set = EpochBitSet::default();
+        set.ensure(len);
+        set
+    }
+
+    /// Grows the universe to cover `0..len`. Never shrinks.
+    pub fn ensure(&mut self, len: usize) {
+        let words = len.div_ceil(WORD_BITS);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+            // Fresh words are stamped stale relative to any live epoch.
+            self.stamp.resize(words, 0);
+        }
+    }
+
+    /// Empties the set by starting a new epoch; no word is touched until
+    /// the new epoch writes to it.
+    pub fn clear_all(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap (once per 2^32 clears): reset the stamps for real.
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Brings `words[word]` into the current epoch, zeroing it if it was
+    /// written in an earlier one.
+    #[inline]
+    fn refresh(&mut self, word: usize) -> &mut u64 {
+        if self.stamp[word] != self.epoch {
+            self.stamp[word] = self.epoch;
+            self.words[word] = 0;
+        }
+        &mut self.words[word]
+    }
+
+    /// Whether `index` is in the set.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        let word = index / WORD_BITS;
+        self.stamp[word] == self.epoch && self.words[word] & (1u64 << (index % WORD_BITS)) != 0
+    }
+
+    /// Adds `index`; returns `true` when it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        let bit = 1u64 << (index % WORD_BITS);
+        let word = self.refresh(index / WORD_BITS);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes `index`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        let bit = 1u64 << (index % WORD_BITS);
+        let word = self.refresh(index / WORD_BITS);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        present
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(!s.insert(0), "second insert reports already-present");
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(s.contains(129));
+        assert_eq!(s.count_ones(), 4);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![0, 63, 129]);
+    }
+
+    #[test]
+    fn filled_and_ranges_respect_word_boundaries() {
+        let mut s = BitSet::filled(100);
+        assert_eq!(s.count_ones(), 100);
+        s.clear_range(10, 90);
+        assert_eq!(s.count_ones(), 20);
+        assert!(s.contains(9) && !s.contains(10));
+        assert!(!s.contains(89) && s.contains(90));
+        s.set_range(50, 52);
+        assert!(s.contains(50) && s.contains(51) && !s.contains(52));
+        s.set_range(0, 100);
+        assert_eq!(s.count_ones(), 100);
+        s.clear_range(0, 0); // empty range is a no-op
+        assert_eq!(s.count_ones(), 100);
+        s.clear_all();
+        assert_eq!(s.count_ones(), 0);
+        // Single-word sub-ranges.
+        s.set_range(65, 70);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![65, 66, 67, 68, 69]);
+    }
+
+    #[test]
+    fn equality_ignores_the_masked_tail() {
+        let mut a = BitSet::filled(70);
+        let mut b = BitSet::new(70);
+        b.set_range(0, 70);
+        assert_eq!(a, b);
+        a.remove(69);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let s = BitSet::new(64);
+        let _ = s.contains(64);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.iter_ones().next(), None);
+        s.clear_all();
+        let f = BitSet::filled(0);
+        assert_eq!(s, f);
+    }
+
+    #[test]
+    fn epoch_clear_is_lazy_but_correct() {
+        let mut s = EpochBitSet::new(200);
+        assert!(s.insert(7));
+        assert!(s.insert(199));
+        assert!(s.contains(7));
+        s.clear_all();
+        assert!(!s.contains(7), "cleared by epoch bump");
+        assert!(!s.contains(199));
+        assert!(s.insert(7), "fresh after clear");
+        assert!(!s.insert(7));
+        assert!(s.remove(7));
+        assert!(!s.remove(7));
+        assert!(!s.remove(64), "stale word reads as empty");
+    }
+
+    #[test]
+    fn epoch_ensure_grows_without_resurrecting_bits() {
+        let mut s = EpochBitSet::new(10);
+        s.insert(3);
+        s.ensure(500);
+        assert!(s.contains(3));
+        assert!(!s.contains(450));
+        s.insert(450);
+        s.clear_all();
+        assert!(!s.contains(3) && !s.contains(450));
+    }
+
+    #[test]
+    fn epoch_wrap_resets_stamps() {
+        let mut s = EpochBitSet::new(70);
+        s.epoch = u32::MAX - 1;
+        s.stamp.fill(u32::MAX - 1);
+        s.insert(5);
+        s.clear_all(); // epoch becomes u32::MAX
+        s.insert(6);
+        s.clear_all(); // wraps: stamps rewritten
+        assert!(!s.contains(5));
+        assert!(!s.contains(6));
+        s.insert(5);
+        assert!(s.contains(5));
+    }
+}

@@ -228,13 +228,26 @@ impl CompressedCsrGraph {
 
     /// Decompresses back into plain CSR form (used by round-trip tests and by
     /// callers that decide compression does not pay for their workload).
+    ///
+    /// Streams every row straight from the varint payload into the output
+    /// neighbour array with the batched decoder, bypassing the per-row
+    /// `OnceLock` decode cache entirely: a conversion neither pays for rows
+    /// it already cached nor populates the cache as a side effect.
     pub fn to_csr(&self) -> CsrGraph {
         let n = self.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors = Vec::with_capacity(2 * self.num_edges);
         offsets.push(0u32);
-        for v in 0..n as VertexId {
-            neighbors.extend_from_slice(self.neighbors(v));
+        for v in 0..n {
+            let start = self.byte_offsets[v] as usize;
+            let end = crate::codec::decode_row_append(
+                &self.data,
+                start,
+                self.degrees[v] as usize,
+                &mut neighbors,
+            )
+            .expect("internal varint stream is valid by construction");
+            debug_assert_eq!(end, self.byte_offsets[v + 1] as usize);
             offsets.push(neighbors.len() as u32);
         }
         CsrGraph::from_parts(offsets, neighbors)
@@ -259,7 +272,8 @@ impl CompressedCsrGraph {
     }
 
     /// The neighbour slice of `v`, decoding the row on first access (into
-    /// recycled capacity when a [`RowPool`] is attached).
+    /// recycled capacity when a [`RowPool`] is attached) with the batched
+    /// four-gaps-per-iteration decoder ([`crate::codec::decode_row_into`]).
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         self.rows[v as usize].get_or_init(|| {
@@ -420,6 +434,18 @@ mod tests {
         let c = CompressedCsrGraph::from_csr(&g);
         assert!(c.compression_ratio() > 1.0, "{}", c.compression_ratio());
         assert_eq!(c.to_csr(), g);
+    }
+
+    #[test]
+    fn to_csr_streams_without_touching_the_cache() {
+        let g = two_triangles();
+        let c = CompressedCsrGraph::from_csr(&g);
+        assert_eq!(c.to_csr(), g);
+        assert_eq!(c.cached_rows(), 0, "conversion must not populate the cache");
+        // Rows already cached are simply not consulted.
+        let _ = c.neighbors(2);
+        assert_eq!(c.to_csr(), g);
+        assert_eq!(c.cached_rows(), 1);
     }
 
     #[test]

@@ -285,19 +285,19 @@ impl UndirectedGraph {
     /// of `OVERLAP-PARTITION` where the caller wants to keep working in the
     /// same id space.
     pub fn without_vertices(&self, remove: &[VertexId]) -> UndirectedGraph {
-        let mut removed = vec![false; self.num_vertices()];
+        let mut removed = crate::bitset::BitSet::new(self.num_vertices());
         for &v in remove {
-            removed[v as usize] = true;
+            removed.insert(v as usize);
         }
         let mut adj: Vec<Vec<VertexId>> = Vec::with_capacity(self.num_vertices());
         for (u, list) in self.adj.iter().enumerate() {
-            if removed[u] {
+            if removed.contains(u) {
                 adj.push(Vec::new());
             } else {
                 adj.push(
                     list.iter()
                         .copied()
-                        .filter(|&w| !removed[w as usize])
+                        .filter(|&w| !removed.contains(w as usize))
                         .collect(),
                 );
             }

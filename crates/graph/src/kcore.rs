@@ -4,12 +4,72 @@
 //! peeling vertices of degree `< k`, because by Whitney's theorem
 //! (Theorem 3 of the paper) every k-VCC is contained in a k-core.
 
-use std::collections::VecDeque;
-
 use crate::graph::InducedSubgraph;
 use crate::graph::UndirectedGraph;
 use crate::types::VertexId;
 use crate::view::GraphView;
+
+/// Vertices bucket-sorted by current degree, with the position-swap update of
+/// Batagelj & Zaveršnik.
+///
+/// Invariants: `vert` holds every vertex ordered by non-descending current
+/// degree, `pos[v]` is the position of `v` inside `vert`, and `bin[d]` is the
+/// index of the first vertex of degree `d` (among those not yet promoted past
+/// their bucket). [`DegreeBuckets::demote`] moves a vertex one degree down in
+/// `O(1)` by swapping it with the first vertex of its bucket — no queue, no
+/// removed-flag re-scan.
+struct DegreeBuckets {
+    bin: Vec<usize>,
+    pos: Vec<usize>,
+    vert: Vec<VertexId>,
+}
+
+impl DegreeBuckets {
+    /// Bucket sort by the given initial degrees.
+    fn new(degree: &[usize]) -> Self {
+        let n = degree.len();
+        let max_degree = degree.iter().copied().max().unwrap_or(0);
+        let mut bin = vec![0usize; max_degree + 2];
+        for &d in degree {
+            bin[d] += 1;
+        }
+        let mut start = 0usize;
+        for b in bin.iter_mut() {
+            let count = *b;
+            *b = start;
+            start += count;
+        }
+        let mut pos = vec![0usize; n];
+        let mut vert = vec![0 as VertexId; n];
+        let mut next = bin.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = next[d];
+            vert[next[d]] = v as VertexId;
+            next[d] += 1;
+        }
+        DegreeBuckets { bin, pos, vert }
+    }
+
+    /// Decrements the current degree of `u`, swapping it with the first
+    /// vertex of its bucket so the degree ordering of `vert` is preserved.
+    #[inline]
+    fn demote(&mut self, u: usize, degree: &mut [usize]) {
+        let du = degree[u];
+        let pu = self.pos[u];
+        let pw = self.bin[du];
+        let w = self.vert[pw];
+        if u != w as usize {
+            // Swap u and w inside the bucket array.
+            self.pos[u] = pw;
+            self.pos[w as usize] = pu;
+            self.vert[pu] = w;
+            self.vert[pw] = u as VertexId;
+        }
+        self.bin[du] += 1;
+        degree[u] -= 1;
+    }
+}
 
 /// Computes the core number of every vertex using the linear-time
 /// bucket-peeling algorithm of Batagelj & Zaveršnik.
@@ -22,51 +82,15 @@ pub fn core_numbers<G: GraphView>(g: &G) -> Vec<u32> {
         return Vec::new();
     }
     let mut degree: Vec<usize> = g.degrees();
-    let max_degree = *degree.iter().max().unwrap_or(&0);
-
-    // Bucket sort vertices by degree.
-    let mut bin = vec![0usize; max_degree + 2];
-    for &d in &degree {
-        bin[d] += 1;
-    }
-    let mut start = 0usize;
-    for b in bin.iter_mut() {
-        let count = *b;
-        *b = start;
-        start += count;
-    }
-    let mut pos = vec![0usize; n];
-    let mut vert = vec![0 as VertexId; n];
-    {
-        let mut next = bin.clone();
-        for v in 0..n {
-            let d = degree[v];
-            pos[v] = next[d];
-            vert[next[d]] = v as VertexId;
-            next[d] += 1;
-        }
-    }
-
+    let mut buckets = DegreeBuckets::new(&degree);
     let mut core = vec![0u32; n];
     for i in 0..n {
-        let v = vert[i];
+        let v = buckets.vert[i];
         core[v as usize] = degree[v as usize] as u32;
         for &u in g.neighbors(v) {
             let u = u as usize;
             if degree[u] > degree[v as usize] {
-                let du = degree[u];
-                let pu = pos[u];
-                let pw = bin[du];
-                let w = vert[pw];
-                if u != w as usize {
-                    // Swap u and w inside the bucket array.
-                    pos[u] = pw;
-                    pos[w as usize] = pu;
-                    vert[pu] = w;
-                    vert[pw] = u as VertexId;
-                }
-                bin[du] += 1;
-                degree[u] -= 1;
+                buckets.demote(u, &mut degree);
             }
         }
     }
@@ -74,29 +98,46 @@ pub fn core_numbers<G: GraphView>(g: &G) -> Vec<u32> {
 }
 
 /// Returns the vertices of the k-core (possibly empty), i.e. the maximal set
-/// of vertices inducing a subgraph of minimum degree `>= k`.
+/// of vertices inducing a subgraph of minimum degree `>= k`, sorted
+/// ascending.
 ///
-/// Implemented by iterative peeling, which matches line 2 of Algorithm 1 and
-/// is robust for repeated use on already-small partitioned subgraphs.
+/// Single-k extraction deliberately does **not** go through
+/// [`DegreeBuckets`]: building the bucket structure costs several extra
+/// passes over the vertex set, which measures slower than the flag-and-stack
+/// cascade at every peel depth (the buckets only pay off when the whole
+/// decomposition is needed — see [`core_numbers`]). Two things make this
+/// peel cheap in the enumeration's hot path (Algorithm 1 re-peels at every
+/// recursive call, where the input is usually already a k-core):
+///
+/// * a seed scan that finds no under-degree vertex returns immediately,
+///   without allocating the removal flags or walking any adjacency row;
+/// * the cascade runs off a LIFO `Vec` stack (no `VecDeque` ring buffer) —
+///   removal order does not affect the final fixpoint.
 pub fn k_core_vertices<G: GraphView>(g: &G, k: usize) -> Vec<VertexId> {
     let n = g.num_vertices();
-    let mut degree: Vec<usize> = g.degrees();
-    let mut removed = vec![false; n];
-    let mut queue: VecDeque<VertexId> = VecDeque::new();
-    for v in 0..n {
-        if degree[v] < k {
-            removed[v] = true;
-            queue.push_back(v as VertexId);
-        }
+    if n == 0 {
+        return Vec::new();
     }
-    while let Some(u) = queue.pop_front() {
-        for &v in g.neighbors(u) {
-            let v = v as usize;
-            if !removed[v] {
-                degree[v] -= 1;
-                if degree[v] < k {
-                    removed[v] = true;
-                    queue.push_back(v as VertexId);
+    let mut degree: Vec<usize> = g.degrees();
+    let mut stack: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| degree[v as usize] < k)
+        .collect();
+    if stack.is_empty() {
+        // Already a k-core; the common case inside the enumeration.
+        return (0..n as VertexId).collect();
+    }
+    let mut removed = vec![false; n];
+    for &v in &stack {
+        removed[v as usize] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbors(v) {
+            let u = u as usize;
+            if !removed[u] {
+                degree[u] -= 1;
+                if degree[u] < k {
+                    removed[u] = true;
+                    stack.push(u as VertexId);
                 }
             }
         }

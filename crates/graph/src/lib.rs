@@ -7,6 +7,8 @@
 //! * [`GraphView`] — the read-only trait every algorithm in the workspace is
 //!   generic over, with [`SubgraphView`] as the copy-free vertex-mask view
 //!   used by the recursive partitioning.
+//! * [`bitset`] — word-packed [`BitSet`] / [`EpochBitSet`] masks backing
+//!   every hot-loop visited/alive/pruned flag in the workspace.
 //! * [`CsrGraph`] — the cache-friendly compressed-sparse-row representation
 //!   (two flat arrays) used for all enumeration work items.
 //! * [`reorder`] — locality-improving vertex relabellings (degree-descending,
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod builder;
 pub mod codec;
 pub mod compressed;
@@ -48,6 +51,7 @@ pub mod traversal;
 pub mod types;
 pub mod view;
 
+pub use bitset::{BitSet, EpochBitSet};
 pub use builder::GraphBuilder;
 pub use compressed::{CompressedCsrGraph, RowPool};
 pub use csr::{CsrGraph, CsrSubgraph, EdgeIngestStats};

@@ -169,24 +169,24 @@ pub fn compute_ordering<G: GraphView>(g: &G, strategy: OrderingStrategy) -> Vert
 fn bfs_ordering<G: GraphView>(g: &G, seed_by_degree: bool) -> VertexOrdering {
     let n = g.num_vertices();
     let mut new_to_old: Vec<VertexId> = Vec::with_capacity(n);
-    let mut seen = vec![false; n];
-    let mut placed = vec![false; n];
+    let mut seen = crate::bitset::BitSet::new(n);
+    let mut placed = crate::bitset::BitSet::new(n);
     let mut component: Vec<VertexId> = Vec::new();
     for start in 0..n as VertexId {
-        if seen[start as usize] {
+        if seen.contains(start as usize) {
             continue;
         }
         // Collect the component once so the hybrid strategy can pick its
         // max-degree seed before the numbering BFS runs.
         component.clear();
         component.push(start);
-        seen[start as usize] = true;
+        seen.insert(start as usize);
         let mut head = 0;
         while head < component.len() {
             let u = component[head];
             head += 1;
             for &v in g.neighbors(u) {
-                if !std::mem::replace(&mut seen[v as usize], true) {
+                if seen.insert(v as usize) {
                     component.push(v);
                 }
             }
@@ -204,12 +204,12 @@ fn bfs_ordering<G: GraphView>(g: &G, seed_by_degree: bool) -> VertexOrdering {
         // tie-breaking; `new_to_old` doubles as the BFS queue.
         let mut placed_head = new_to_old.len();
         new_to_old.push(seed);
-        placed[seed as usize] = true;
+        placed.insert(seed as usize);
         while placed_head < new_to_old.len() {
             let u = new_to_old[placed_head];
             placed_head += 1;
             for &v in g.neighbors(u) {
-                if !std::mem::replace(&mut placed[v as usize], true) {
+                if placed.insert(v as usize) {
                     new_to_old.push(v);
                 }
             }

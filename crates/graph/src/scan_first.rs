@@ -13,6 +13,7 @@
 
 use std::collections::VecDeque;
 
+use crate::bitset::BitSet;
 use crate::types::{Edge, VertexId};
 use crate::view::GraphView;
 
@@ -48,24 +49,24 @@ where
     F: FnMut(VertexId, VertexId) -> bool,
 {
     let n = g.num_vertices();
-    let mut marked = vec![false; n];
+    let mut marked = BitSet::new(n);
     let mut root = vec![0 as VertexId; n];
     let mut edges = Vec::new();
     let mut queue = VecDeque::new();
 
     for start in 0..n as VertexId {
-        if marked[start as usize] {
+        if marked.contains(start as usize) {
             continue;
         }
-        marked[start as usize] = true;
+        marked.insert(start as usize);
         root[start as usize] = start;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
             for &v in g.neighbors(u) {
-                if marked[v as usize] || skip(u, v) {
+                if marked.contains(v as usize) || skip(u, v) {
                     continue;
                 }
-                marked[v as usize] = true;
+                marked.insert(v as usize);
                 root[v as usize] = start;
                 edges.push(crate::types::normalize_edge(u, v));
                 queue.push_back(v);

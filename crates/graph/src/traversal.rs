@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use crate::bitset::BitSet;
 use crate::types::{VertexId, INVALID_VERTEX};
 use crate::view::GraphView;
 
@@ -74,15 +75,15 @@ pub fn component_of<G: GraphView>(g: &G, src: VertexId) -> Vec<VertexId> {
         (src as usize) < g.num_vertices(),
         "source vertex out of range"
     );
-    let mut seen = vec![false; g.num_vertices()];
+    let mut seen = BitSet::new(g.num_vertices());
     let mut members = vec![src];
-    seen[src as usize] = true;
+    seen.insert(src as usize);
     let mut head = 0;
     while head < members.len() {
         let u = members[head];
         head += 1;
         for &v in g.neighbors(u) {
-            if !std::mem::replace(&mut seen[v as usize], true) {
+            if seen.insert(v as usize) {
                 members.push(v);
             }
         }
@@ -129,31 +130,32 @@ pub fn connected_components<G: GraphView>(g: &G) -> Vec<Vec<VertexId>> {
 
 /// Connected components restricted to a subset of "alive" vertices.
 ///
-/// Vertices with `alive[v] == false` are treated as removed (as in the
+/// Vertices absent from `alive` are treated as removed (as in the
 /// `OVERLAP-PARTITION` step after deleting the cut `S`). The returned lists
-/// only contain alive vertices.
-pub fn connected_components_filtered<G: GraphView>(g: &G, alive: &[bool]) -> Vec<Vec<VertexId>> {
+/// only contain alive vertices. Iterating the start candidates walks the
+/// alive mask word-by-word, so fully dead regions cost one load per 64
+/// vertices.
+pub fn connected_components_filtered<G: GraphView>(g: &G, alive: &BitSet) -> Vec<Vec<VertexId>> {
     assert_eq!(
         alive.len(),
         g.num_vertices(),
         "alive mask must cover every vertex"
     );
     let n = g.num_vertices();
-    let mut seen = vec![false; n];
+    let mut seen = BitSet::new(n);
     let mut comps = Vec::new();
     let mut queue = VecDeque::new();
-    for start in 0..n {
-        if !alive[start] || seen[start] {
+    for start in alive.iter_ones() {
+        if seen.contains(start) {
             continue;
         }
         let mut component = Vec::new();
-        seen[start] = true;
+        seen.insert(start);
         queue.push_back(start as VertexId);
         while let Some(u) = queue.pop_front() {
             component.push(u);
             for &v in g.neighbors(u) {
-                if alive[v as usize] && !seen[v as usize] {
-                    seen[v as usize] = true;
+                if alive.contains(v as usize) && seen.insert(v as usize) {
                     queue.push_back(v);
                 }
             }
@@ -243,8 +245,8 @@ mod tests {
     fn filtered_components_respect_mask() {
         // Path 0-1-2-3-4; removing 2 splits it in two.
         let g = UndirectedGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
-        let mut alive = vec![true; 5];
-        alive[2] = false;
+        let mut alive = BitSet::filled(5);
+        alive.remove(2);
         let comps = connected_components_filtered(&g, &alive);
         assert_eq!(comps, vec![vec![0, 1], vec![3, 4]]);
     }

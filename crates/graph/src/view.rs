@@ -21,6 +21,7 @@
 //!
 //! All provided methods are implemented purely in terms of this contract.
 
+use crate::bitset::BitSet;
 use crate::types::{Edge, VertexId};
 
 /// Read-only view of an undirected graph with sorted adjacency slices.
@@ -148,9 +149,10 @@ pub trait GraphView {
 ///
 /// `KVCC-ENUM` recursively peels k-cores and splits off connected components;
 /// with the seed representation every one of those steps copied and
-/// relabelled a fresh graph. A `SubgraphView` instead flips booleans in a
-/// reusable mask, and a compact [`crate::CsrGraph`] is only materialised once
-/// per surviving component (see [`crate::CsrGraph::extract_induced`]).
+/// relabelled a fresh graph. A `SubgraphView` instead flips bits in a
+/// reusable word-packed [`BitSet`] mask, and a compact [`crate::CsrGraph`] is
+/// only materialised once per surviving component (see
+/// [`crate::CsrGraph::extract_induced`]).
 ///
 /// The view intentionally does **not** implement [`GraphView`]: it cannot
 /// return filtered neighbour *slices* without allocating. Algorithms that
@@ -159,7 +161,7 @@ pub trait GraphView {
 #[derive(Clone, Debug)]
 pub struct SubgraphView<'a, G: GraphView> {
     parent: &'a G,
-    alive: Vec<bool>,
+    alive: BitSet,
     live: usize,
 }
 
@@ -169,7 +171,7 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
         let n = parent.num_vertices();
         SubgraphView {
             parent,
-            alive: vec![true; n],
+            alive: BitSet::filled(n),
             live: n,
         }
     }
@@ -178,10 +180,10 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
     /// harmless). Used by the localized seed query to restrict the mask to
     /// one connected component before any peeling happens.
     pub fn from_vertices(parent: &'a G, vertices: &[VertexId]) -> Self {
-        let mut alive = vec![false; parent.num_vertices()];
+        let mut alive = BitSet::new(parent.num_vertices());
         let mut live = 0usize;
         for &v in vertices {
-            if !std::mem::replace(&mut alive[v as usize], true) {
+            if alive.insert(v as usize) {
                 live += 1;
             }
         }
@@ -207,18 +209,18 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
     /// Whether vertex `v` is alive.
     #[inline]
     pub fn is_alive(&self, v: VertexId) -> bool {
-        self.alive[v as usize]
+        self.alive.contains(v as usize)
     }
 
-    /// The raw alive mask (length `parent.num_vertices()`).
+    /// The alive mask (universe size `parent.num_vertices()`).
     #[inline]
-    pub fn mask(&self) -> &[bool] {
+    pub fn mask(&self) -> &BitSet {
         &self.alive
     }
 
     /// Removes vertex `v` from the view (no-op if already removed).
     pub fn remove(&mut self, v: VertexId) {
-        if std::mem::replace(&mut self.alive[v as usize], false) {
+        if self.alive.remove(v as usize) {
             self.live -= 1;
         }
     }
@@ -228,7 +230,7 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
         self.parent
             .neighbors(v)
             .iter()
-            .filter(|&&w| self.alive[w as usize])
+            .filter(|&&w| self.alive.contains(w as usize))
             .count()
     }
 
@@ -239,12 +241,10 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
         let n = self.parent.num_vertices();
         let mut degree: Vec<usize> = vec![0; n];
         let mut queue: Vec<VertexId> = Vec::new();
-        for (v, d) in degree.iter_mut().enumerate().take(n) {
-            if !self.alive[v] {
-                continue;
-            }
-            *d = self.alive_degree(v as VertexId);
-            if *d < k {
+        for v in self.alive.iter_ones() {
+            let d = self.alive_degree(v as VertexId);
+            degree[v] = d;
+            if d < k {
                 queue.push(v as VertexId);
             }
         }
@@ -253,14 +253,14 @@ impl<'a, G: GraphView> SubgraphView<'a, G> {
         while head < queue.len() {
             let u = queue[head];
             head += 1;
-            if !self.alive[u as usize] {
+            if !self.alive.contains(u as usize) {
                 continue;
             }
             self.remove(u);
             removed += 1;
             for &w in self.parent.neighbors(u) {
                 let w = w as usize;
-                if self.alive[w] {
+                if self.alive.contains(w) {
                     degree[w] -= 1;
                     if degree[w] + 1 == k {
                         queue.push(w as VertexId);

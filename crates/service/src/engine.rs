@@ -1038,13 +1038,13 @@ impl ServiceEngine {
 /// Linear in the total member count times degree; a forest persisted from a
 /// different graph or id space essentially never satisfies it.
 fn index_matches_graph<G: GraphView>(csr: &G, index: &ConnectivityIndex) -> bool {
-    let mut inside = vec![false; csr.num_vertices()];
+    let mut inside = kvcc_graph::BitSet::new(csr.num_vertices());
     // The ranked listing visits every forest node exactly once with its
     // persisted metadata attached.
     for entry in index.ranked_components(kvcc::index::RankBy::Size, index.num_nodes()) {
         let members = entry.component.vertices();
         for &v in members {
-            inside[v as usize] = true;
+            inside.insert(v as usize);
         }
         let need = (entry.k as usize).min(members.len().saturating_sub(1));
         let mut directed_inside = 0u64;
@@ -1053,13 +1053,13 @@ fn index_matches_graph<G: GraphView>(csr: &G, index: &ConnectivityIndex) -> bool
             let inside_degree = csr
                 .neighbors(v)
                 .iter()
-                .filter(|&&w| inside[w as usize])
+                .filter(|&&w| inside.contains(w as usize))
                 .count();
             directed_inside += inside_degree as u64;
             ok &= inside_degree >= need;
         }
         for &v in members {
-            inside[v as usize] = false;
+            inside.remove(v as usize);
         }
         // Also verify the persisted ranking metadata against the graph, so
         // a restored index can never rank on fabricated densities.

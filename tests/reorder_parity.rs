@@ -9,8 +9,10 @@
 //! * the delta+varint [`CompressedCsrGraph`]
 //!
 //! must be **byte-identical** to the baseline CSR enumeration, under both
-//! the k-bounded and the exact flow probe. A randomized round-trip fuzz of
-//! the varint delta codec rides along.
+//! the k-bounded and the exact flow probe. Randomized fuzzes of the varint
+//! delta codec (scalar vs batched decoder, including adversarial and
+//! truncated inputs) and of the shared [`kvcc_graph::BitSet`] (against a
+//! `Vec<bool>` model) ride along.
 
 use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccOptions};
 use kvcc_datasets::ba::barabasi_albert;
@@ -18,9 +20,10 @@ use kvcc_datasets::collaboration::{collaboration_graph, CollaborationConfig};
 use kvcc_datasets::er::gnm;
 use kvcc_datasets::figure1::figure1_graph;
 use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::codec::{decode_row_into, decode_row_scalar_into};
 use kvcc_graph::compressed::{decode_row, encode_row, varint};
 use kvcc_graph::reorder::{compute_ordering, OrderingStrategy};
-use kvcc_graph::{CompressedCsrGraph, CsrGraph, GraphView, UndirectedGraph, VertexId};
+use kvcc_graph::{BitSet, CompressedCsrGraph, CsrGraph, GraphView, UndirectedGraph, VertexId};
 
 /// The dataset suites the acceptance criteria name, plus random families.
 fn suites() -> Vec<(String, UndirectedGraph)> {
@@ -194,6 +197,147 @@ fn randomized_varint_delta_codec_roundtrip() {
             Some((value, buf.len())),
             "round {round}"
         );
+    }
+}
+
+/// Differential fuzz of the batched four-gaps-per-window row decoder against
+/// the scalar reference: random valid rows, adversarial gap sizes straddling
+/// every varint length, random garbage, and truncations at every boundary.
+/// Both decoders must accept/reject identically, and truncation must error —
+/// never panic. On failure the partially-appended buffer contents are
+/// unspecified, so contents are only compared on success.
+#[test]
+fn batched_decoder_matches_scalar_reference_under_fuzz() {
+    let mut rng = XorShift(0xBA7C4);
+    let mut buf = Vec::new();
+    let mut scalar = Vec::new();
+    let mut batched = Vec::new();
+    for round in 0..600 {
+        // Rows whose gap sizes hop across every varint byte-length, so the
+        // batched window check and the scalar tail both get exercised.
+        let len = rng.below(48) as usize;
+        let mut row: Vec<VertexId> = Vec::with_capacity(len);
+        let mut current: u64 = rng.below(1 << 16);
+        for _ in 0..len {
+            let gap = match rng.below(6) {
+                0 => 1,
+                1 => 1 + rng.below(1 << 7),
+                2 => 1 + rng.below(1 << 14),
+                3 => 1 + rng.below(1 << 21),
+                4 => 1 + rng.below(1 << 28),
+                _ => 1 + rng.below(u32::MAX as u64 / 2),
+            };
+            current += gap;
+            if current > u32::MAX as u64 {
+                break;
+            }
+            row.push(current as VertexId);
+        }
+        buf.clear();
+        encode_row(&row, &mut buf);
+        let s = decode_row_scalar_into(&buf, 0, row.len(), &mut scalar);
+        let b = decode_row_into(&buf, 0, row.len(), &mut batched);
+        assert_eq!(s, b, "round {round}: end positions diverged");
+        assert_eq!(s, Some(buf.len()), "round {round}");
+        assert_eq!(scalar, row, "round {round}: scalar decode");
+        assert_eq!(batched, row, "round {round}: batched decode");
+        // Every truncation must fail in both decoders (each encoded value
+        // needs all of its bytes), without panicking.
+        for cut in 0..buf.len() {
+            assert!(
+                decode_row_scalar_into(&buf[..cut], 0, row.len(), &mut scalar).is_none(),
+                "round {round} cut {cut}: scalar accepted a truncation"
+            );
+            assert!(
+                decode_row_into(&buf[..cut], 0, row.len(), &mut batched).is_none(),
+                "round {round} cut {cut}: batched accepted a truncation"
+            );
+        }
+        // Over-count requests fail identically too.
+        assert_eq!(
+            decode_row_scalar_into(&buf, 0, row.len() + 1, &mut scalar).is_none(),
+            decode_row_into(&buf, 0, row.len() + 1, &mut batched).is_none(),
+            "round {round}: over-count divergence"
+        );
+    }
+    // Pure garbage bytes: whatever the scalar decoder says, the batched one
+    // must agree (accept with the same end position or reject).
+    for round in 0..400 {
+        let len = rng.below(40) as usize;
+        buf.clear();
+        for _ in 0..len {
+            buf.push(rng.next() as u8);
+        }
+        let count = rng.below(12) as usize;
+        let s = decode_row_scalar_into(&buf, 0, count, &mut scalar);
+        let b = decode_row_into(&buf, 0, count, &mut batched);
+        assert_eq!(s, b, "garbage round {round}");
+        if s.is_some() {
+            assert_eq!(scalar, batched, "garbage round {round}: decoded values");
+        }
+    }
+}
+
+/// Property test of the shared [`BitSet`] against a `Vec<bool>` model:
+/// random insert/remove/range/clear sequences must keep membership, count
+/// and ascending `iter_ones` identical to the model.
+#[test]
+fn bitset_matches_vec_bool_model_under_fuzz() {
+    let mut rng = XorShift(0xB17_5E7);
+    for len in [0usize, 1, 63, 64, 65, 127, 130, 1000] {
+        let mut set = BitSet::new(len);
+        let mut model = vec![false; len];
+        for _ in 0..600 {
+            match rng.below(6) {
+                0 | 1 => {
+                    if len > 0 {
+                        let i = rng.below(len as u64) as usize;
+                        let fresh = set.insert(i);
+                        assert_eq!(fresh, !model[i], "insert({i}) return value");
+                        model[i] = true;
+                    }
+                }
+                2 => {
+                    if len > 0 {
+                        let i = rng.below(len as u64) as usize;
+                        let was = set.remove(i);
+                        assert_eq!(was, model[i], "remove({i}) return value");
+                        model[i] = false;
+                    }
+                }
+                3 => {
+                    let a = rng.below(len as u64 + 1) as usize;
+                    let b = rng.below(len as u64 + 1) as usize;
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    if rng.below(2) == 0 {
+                        set.set_range(lo, hi);
+                        model[lo..hi].fill(true);
+                    } else {
+                        set.clear_range(lo, hi);
+                        model[lo..hi].fill(false);
+                    }
+                }
+                4 => {
+                    set.clear_all();
+                    model.fill(false);
+                }
+                _ => {
+                    // Membership spot-checks between mutations.
+                    if len > 0 {
+                        let i = rng.below(len as u64) as usize;
+                        assert_eq!(set.contains(i), model[i], "contains({i})");
+                    }
+                }
+            }
+            assert_eq!(
+                set.count_ones(),
+                model.iter().filter(|&&b| b).count(),
+                "count_ones diverged at len {len}"
+            );
+        }
+        let ones: Vec<usize> = set.iter_ones().collect();
+        let expected: Vec<usize> = (0..len).filter(|&i| model[i]).collect();
+        assert_eq!(ones, expected, "iter_ones order/content at len {len}");
     }
 }
 
