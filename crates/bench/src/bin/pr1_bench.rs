@@ -46,15 +46,23 @@
 //!   batched delta+varint row decode; checksums are identical within each
 //!   pair.
 //!
+//! PR 7 section (written to `BENCH_pr7.json`):
+//!
+//! * SNAP-scale ingestion — whole-file `GraphBuilder` ingestion vs the
+//!   chunk/sort/merge streaming loader on a ~1M-line streamed edge list,
+//!   and delta+varint compact decode vs borrowing the aligned `KCSR` v3
+//!   file zero-copy; checksums are identical across all four paths.
+//!
 //! Usage: `pr1-bench [--smoke] [--only=prN] [pr1.json [pr2.json [pr3.json
-//! [pr4.json [pr5.json [pr6.json]]]]]]` (defaults `BENCH_pr1.json` …
-//! `BENCH_pr6.json`). `--smoke` runs every case exactly once with no warm-up
-//! — the CI mode that keeps this binary from bit-rotting without spending
-//! bench budget. `--only=prN` runs (and writes) a single section, so one
-//! record can be regenerated without re-measuring — and overwriting — the
-//! committed anchors of the others.
+//! [pr4.json [pr5.json [pr6.json [pr7.json]]]]]]]` (defaults
+//! `BENCH_pr1.json` … `BENCH_pr7.json`). `--smoke` runs every case exactly
+//! once with no warm-up — the CI mode that keeps this binary from
+//! bit-rotting without spending bench budget. `--only=prN` runs (and writes)
+//! a single section, so one record can be regenerated without re-measuring —
+//! and overwriting — the committed anchors of the others; an unknown section
+//! name is an error listing the valid ones.
 
-use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6};
+use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6, pr7};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -87,6 +95,16 @@ fn main() {
             paths.push(arg);
         }
     }
+    const SECTIONS: [&str; 7] = ["pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7"];
+    if let Some(section) = only.as_deref() {
+        if !SECTIONS.contains(&section) {
+            eprintln!(
+                "error: unknown section '{section}' for --only; valid sections: {}",
+                SECTIONS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     let path =
         |i: usize, default: &str| paths.get(i).cloned().unwrap_or_else(|| default.to_string());
     let want = |section: &str| only.as_deref().is_none_or(|o| o == section);
@@ -96,6 +114,7 @@ fn main() {
     let pr4_path = path(3, "BENCH_pr4.json");
     let pr5_path = path(4, "BENCH_pr5.json");
     let pr6_path = path(5, "BENCH_pr6.json");
+    let pr7_path = path(6, "BENCH_pr7.json");
 
     if want("pr1") {
         let report = pr1::run_all(smoke);
@@ -188,5 +207,19 @@ fn main() {
             }
         }
         write_or_die(&pr6_path, pr6::render_json(&pr6_report));
+    }
+
+    if want("pr7") {
+        let pr7_report = pr7::run_all(smoke);
+        print_section(
+            &pr7_report,
+            "PR 7 ingestion section (streamed edge list + zero-copy KCSR)",
+        );
+        for (baseline, contender, label) in pr7::speedup_pairs() {
+            if let Some(s) = pr7_report.speedup(baseline, contender) {
+                println!("speedup {label}: {s:.2}x");
+            }
+        }
+        write_or_die(&pr7_path, pr7::render_json(&pr7_report));
     }
 }

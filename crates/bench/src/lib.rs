@@ -19,6 +19,7 @@ pub mod pr3;
 pub mod pr4;
 pub mod pr5;
 pub mod pr6;
+pub mod pr7;
 pub mod report;
 
 pub use report::Table;

@@ -277,19 +277,13 @@ impl KvccOptions {
     }
 }
 
-/// Resolves a requested worker count to a concrete one: `0` means
-/// [`std::thread::available_parallelism`], anything else is taken verbatim.
-/// Shared by the enumeration worklist ([`KvccOptions::threads`]) and the
-/// `kvcc-service` batch pool.
-pub fn effective_threads(requested: usize) -> usize {
-    if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    }
-}
+/// Resolves a requested worker count to a concrete one (`0` means
+/// [`std::thread::available_parallelism`]). The helper now lives in
+/// `kvcc_graph::load`, where the streaming loader's sort fan-out also uses
+/// it; re-exported here so `kvcc::effective_threads` keeps working for the
+/// enumeration worklist ([`KvccOptions::threads`]) and the `kvcc-service`
+/// batch pool.
+pub use kvcc_graph::effective_threads;
 
 #[cfg(test)]
 mod tests {

@@ -20,6 +20,8 @@
 //! * [`suite`] — the seven named dataset stand-ins of Table 1.
 //! * [`sampling`] — vertex / edge sampling used by the scalability study
 //!   (§6.3).
+//! * [`stream`] — deterministic SNAP-scale edge lists written to disk in
+//!   O(1) memory, the workload of the streaming-ingestion bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,9 +33,11 @@ pub mod figure1;
 pub mod harary;
 pub mod planted;
 pub mod sampling;
+pub mod stream;
 pub mod suite;
 pub mod webgraph;
 
 pub use figure1::{figure1_graph, Figure1};
 pub use planted::{PlantedConfig, PlantedGraph};
+pub use stream::StreamConfig;
 pub use suite::{SuiteDataset, SuiteScale};

@@ -281,7 +281,7 @@ pub fn decode_row_scalar_into(
 ///
 /// The hot path reads an 8-byte window, gathers its continuation bits into a
 /// byte with a SWAR movemask, and decodes the next four gap varints through
-/// the [`QUAD_RECIPES`] table with no per-byte branching — however one- and
+/// the `QUAD_RECIPES` table with no per-byte branching — however one- and
 /// two-byte gaps interleave (windows holding a 3+-byte varint fall back to
 /// unrolled per-varint decodes behind the same single bounds check). The
 /// scalar tail handles the last `< 4` values and any group too close to the

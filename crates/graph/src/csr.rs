@@ -29,11 +29,13 @@ pub struct EdgeIngestStats {
 }
 
 /// Magic bytes opening every serialised CSR buffer.
-const CSR_WIRE_MAGIC: [u8; 4] = *b"KCSR";
+pub(crate) const CSR_WIRE_MAGIC: [u8; 4] = *b"KCSR";
 /// Version byte of the fixed-width wire format.
 const CSR_WIRE_VERSION: u8 = 1;
 /// Version byte of the varint/delta compact wire format.
 const CSR_WIRE_VERSION_COMPACT: u8 = 2;
+/// Version byte of the aligned, zero-copy-capable layout ([`crate::kcsr`]).
+pub(crate) const CSR_WIRE_VERSION_ALIGNED: u8 = 3;
 /// Header size: magic + version + `n` + neighbour count.
 const CSR_WIRE_HEADER: usize = 4 + 1 + 4 + 4;
 /// Compact header size: magic + version + `n` (the neighbour count is
@@ -324,6 +326,9 @@ impl CsrGraph {
         let (offsets, neighbors) = match bytes[4] {
             CSR_WIRE_VERSION => Self::parse_fixed(bytes)?,
             CSR_WIRE_VERSION_COMPACT => Self::parse_compact(bytes)?,
+            // The aligned layout carries its own header checksum and runs the
+            // same row validation internally, so it returns directly.
+            CSR_WIRE_VERSION_ALIGNED => return crate::kcsr::decode_kcsr(bytes),
             _ => return Err(malformed("unsupported format version")),
         };
         let graph = CsrGraph { offsets, neighbors };
@@ -406,31 +411,7 @@ impl CsrGraph {
     /// Validates the row invariants every wire decoder must enforce:
     /// in-range, strictly sorted, loop-free rows and a symmetric adjacency.
     fn validate_rows(&self) -> Result<(), GraphError> {
-        let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
-        let n = self.num_vertices();
-        for v in 0..n {
-            let row = CsrGraph::neighbors(self, v as VertexId);
-            if row.iter().any(|&w| w as usize >= n) {
-                return Err(malformed("neighbour id out of range"));
-            }
-            if row.windows(2).any(|w| w[0] >= w[1]) {
-                return Err(malformed("rows must be strictly sorted"));
-            }
-            if row.binary_search(&(v as VertexId)).is_ok() {
-                return Err(malformed("self-loops are not allowed"));
-            }
-        }
-        // Symmetry is load-bearing (peeling and flow construction assume
-        // every directed entry has its reverse), so it is a real validation,
-        // not a debug assertion.
-        for v in self.vertices() {
-            for &w in CsrGraph::neighbors(self, v) {
-                if CsrGraph::neighbors(self, w).binary_search(&v).is_err() {
-                    return Err(malformed("adjacency must be symmetric"));
-                }
-            }
-        }
-        Ok(())
+        validate_view_rows(self)
     }
 
     /// Extracts the subgraph induced by `vertices` (which must be sorted
@@ -512,6 +493,39 @@ impl CsrGraph {
             to_parent,
         }
     }
+}
+
+/// The row invariants every untrusted-input loader must enforce before
+/// handing out a graph: in-range, strictly sorted, loop-free rows and a
+/// symmetric adjacency. Shared by all three wire-format versions (the
+/// aligned loaders in [`crate::kcsr`] run it over the borrowed view, so the
+/// zero-copy path gets exactly the same guarantees as the decoders).
+pub(crate) fn validate_view_rows<G: GraphView>(g: &G) -> Result<(), GraphError> {
+    let malformed = |reason: &'static str| GraphError::MalformedBytes { reason };
+    let n = g.num_vertices();
+    for v in 0..n {
+        let row = g.neighbors(v as VertexId);
+        if row.iter().any(|&w| w as usize >= n) {
+            return Err(malformed("neighbour id out of range"));
+        }
+        if row.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(malformed("rows must be strictly sorted"));
+        }
+        if row.binary_search(&(v as VertexId)).is_ok() {
+            return Err(malformed("self-loops are not allowed"));
+        }
+    }
+    // Symmetry is load-bearing (peeling and flow construction assume
+    // every directed entry has its reverse), so it is a real validation,
+    // not a debug assertion.
+    for v in g.vertices() {
+        for &w in g.neighbors(v) {
+            if g.neighbors(w).binary_search(&v).is_err() {
+                return Err(malformed("adjacency must be symmetric"));
+            }
+        }
+    }
+    Ok(())
 }
 
 impl GraphView for CsrGraph {

@@ -46,7 +46,7 @@ pub fn parse_edge_list_diagnostic(
     Ok(builder.build_diagnostic())
 }
 
-fn parse_token(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
+pub(crate) fn parse_token(token: Option<&str>, line: usize) -> Result<u64, GraphError> {
     let token = token.ok_or_else(|| GraphError::ParseError {
         line,
         message: "expected two vertex ids".to_string(),

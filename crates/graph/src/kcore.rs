@@ -102,7 +102,7 @@ pub fn core_numbers<G: GraphView>(g: &G) -> Vec<u32> {
 /// ascending.
 ///
 /// Single-k extraction deliberately does **not** go through
-/// [`DegreeBuckets`]: building the bucket structure costs several extra
+/// `DegreeBuckets`: building the bucket structure costs several extra
 /// passes over the vertex set, which measures slower than the flag-and-stack
 /// cascade at every peel depth (the buckets only pay off when the whole
 /// decomposition is needed — see [`core_numbers`]). Two things make this

@@ -29,10 +29,21 @@
 //! * [`metrics`] — diameter, edge density and clustering coefficient used by
 //!   the effectiveness study (Figs. 7–9).
 //! * [`io`] — SNAP-style edge-list reading and writing (Table 1 datasets).
+//! * [`load`] — SNAP-scale streaming ingestion: the [`GraphLoader`] family
+//!   builds CSR directly from a chunked parse → parallel sort → k-way merge
+//!   pipeline, never materialising per-vertex `Vec`s.
+//! * [`kcsr`] — the aligned `KCSR` v3 binary format whose offset/neighbour
+//!   arrays can be **borrowed** from the byte buffer ([`CsrGraphRef`],
+//!   [`MappedCsr`]) instead of decoded: file-backed loads are O(header)
+//!   plus one validation sweep.
 //!
 //! The crate has no third-party runtime dependencies.
+//!
+//! `unsafe` is denied crate-wide with a single audited exception: the
+//! alignment-checked byte↔word reinterpreting casts inside [`kcsr`] that
+//! make the zero-copy borrow possible.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bitset;
@@ -44,6 +55,8 @@ pub mod error;
 pub mod graph;
 pub mod io;
 pub mod kcore;
+pub mod kcsr;
+pub mod load;
 pub mod metrics;
 pub mod reorder;
 pub mod scan_first;
@@ -57,6 +70,11 @@ pub use compressed::{CompressedCsrGraph, RowPool};
 pub use csr::{CsrGraph, CsrSubgraph, EdgeIngestStats};
 pub use error::GraphError;
 pub use graph::{InducedSubgraph, UndirectedGraph};
+pub use kcsr::{borrow_kcsr, decode_kcsr, write_kcsr_file, AlignedBytes, CsrGraphRef, MappedCsr};
+pub use load::{
+    effective_threads, GraphLoader, IngestedGraph, KcsrLoader, StreamingEdgeListLoader,
+    WholeFileEdgeListLoader,
+};
 pub use reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
 pub use types::{VertexId, INVALID_VERTEX};
 pub use view::{GraphView, SubgraphView};

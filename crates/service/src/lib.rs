@@ -59,10 +59,10 @@ pub mod engine;
 pub mod protocol;
 pub mod wire;
 
-pub use engine::{EngineConfig, ServiceEngine};
+pub use engine::{EngineConfig, LoadReport, ServiceEngine};
 pub use protocol::{
-    GraphId, OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request,
-    RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
+    GraphId, LoadFormat, OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankedEntry,
+    Request, RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
 pub use wire::transport::{call, run_shard_worker, LoopbackTransport, Transport, TransportError};
 pub use wire::{run_work_item, CsrWorkItem};

@@ -78,6 +78,38 @@ impl OrderingPolicy {
     }
 }
 
+/// On-disk format of a [`RequestBody::LoadGraph`] path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadFormat {
+    /// A SNAP-style text edge list, ingested through the streaming loader
+    /// (`kvcc_graph::load::StreamingEdgeListLoader`).
+    #[default]
+    EdgeList,
+    /// The aligned `KCSR` v3 binary format. When the engine's memory policy
+    /// permits (no reordering, no compression) the file is served zero-copy
+    /// from a borrowed slot (`StoredGraph::Borrowed`).
+    Kcsr,
+}
+
+impl LoadFormat {
+    /// Stable wire code of the format.
+    pub const fn code(self) -> u8 {
+        match self {
+            LoadFormat::EdgeList => 0,
+            LoadFormat::Kcsr => 1,
+        }
+    }
+
+    /// Decodes a wire code produced by [`LoadFormat::code`].
+    pub const fn from_code(code: u8) -> Option<LoadFormat> {
+        match code {
+            0 => Some(LoadFormat::EdgeList),
+            1 => Some(LoadFormat::Kcsr),
+            _ => None,
+        }
+    }
+}
+
 /// One query against a loaded graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryRequest {
@@ -353,6 +385,24 @@ pub enum QueryResponse {
     },
     /// The request failed; the batch keeps going for the other requests.
     Error(ServiceError),
+    /// A [`RequestBody::LoadGraph`] succeeded: the handle of the new slot
+    /// plus the ingestion diagnostics.
+    Loaded {
+        /// Handle of the freshly loaded graph.
+        graph: GraphId,
+        /// Number of vertices.
+        num_vertices: u64,
+        /// Number of undirected edges.
+        num_edges: u64,
+        /// Self-loop lines dropped during ingestion (always 0 for `KCSR`
+        /// input, which is loop-free by construction).
+        self_loops: u64,
+        /// Duplicate edge occurrences dropped during ingestion.
+        duplicates: u64,
+        /// Whether the slot borrows the file bytes zero-copy
+        /// (`StoredGraph::Borrowed`) rather than holding a decoded copy.
+        zero_copy: bool,
+    },
 }
 
 /// Errors surfaced through [`QueryResponse::Error`] or the engine API.
@@ -398,6 +448,12 @@ pub enum ServiceError {
         /// Transport diagnostic.
         reason: String,
     },
+    /// Code 9: a [`RequestBody::LoadGraph`] could not ingest its file
+    /// (missing path, parse error, malformed or corrupted `KCSR` bytes).
+    LoadFailed {
+        /// Loader diagnostic.
+        reason: String,
+    },
 }
 
 impl ServiceError {
@@ -413,6 +469,7 @@ impl ServiceError {
             ServiceError::Unsupported { .. } => 6,
             ServiceError::MalformedRequest { .. } => 7,
             ServiceError::Transport { .. } => 8,
+            ServiceError::LoadFailed { .. } => 9,
         }
     }
 }
@@ -439,6 +496,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "malformed request: {reason}")
             }
             ServiceError::Transport { reason } => write!(f, "transport failure: {reason}"),
+            ServiceError::LoadFailed { reason } => {
+                write!(f, "graph load failed: {reason}")
+            }
         }
     }
 }
@@ -517,6 +577,21 @@ pub enum RequestBody {
         k: u32,
         /// The subgraph plus its id map.
         item: CsrWorkItem,
+    },
+    /// Load a graph from a file **on the serving host** into a new slot,
+    /// answered with [`QueryResponse::Loaded`]. Edge lists go through the
+    /// streaming loader; `KCSR` files are served zero-copy when the
+    /// engine's memory policy allows borrowing (no reordering, no
+    /// compression) and decoded otherwise. The path is resolved by the
+    /// server process, so this variant only makes sense on trusted,
+    /// co-located deployments (the shard worker rejects it).
+    LoadGraph {
+        /// Name to register the graph under (diagnostic only).
+        name: String,
+        /// Path of the file on the serving host.
+        path: String,
+        /// How to interpret the file.
+        format: LoadFormat,
     },
 }
 
@@ -614,11 +689,23 @@ mod tests {
             ServiceError::Transport {
                 reason: String::new(),
             },
+            ServiceError::LoadFailed {
+                reason: String::new(),
+            },
         ];
         for (i, e) in all.iter().enumerate() {
             assert_eq!(e.code() as usize, i + 1);
             assert!(e.to_string().starts_with(&format!("[E{}]", i + 1)));
         }
+    }
+
+    #[test]
+    fn load_format_codes_roundtrip() {
+        for format in [LoadFormat::EdgeList, LoadFormat::Kcsr] {
+            assert_eq!(LoadFormat::from_code(format.code()), Some(format));
+        }
+        assert_eq!(LoadFormat::from_code(9), None);
+        assert_eq!(LoadFormat::default(), LoadFormat::EdgeList);
     }
 
     #[test]

@@ -14,8 +14,8 @@ use kvcc::KVertexConnectedComponent;
 use kvcc_graph::GraphError;
 
 use crate::protocol::{
-    GraphId, OrderingPolicy, QueryRequest, QueryResponse, RankedEntry, Request, RequestBody,
-    Response, ResponseBody, SchedulingStats, ServiceError,
+    GraphId, LoadFormat, OrderingPolicy, QueryRequest, QueryResponse, RankedEntry, Request,
+    RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
 use crate::wire::codec::{
     decode_bytes, decode_string, encode_bytes, encode_row, encode_str, varint, Reader,
@@ -28,7 +28,10 @@ const MESSAGE_MAGIC: [u8; 4] = *b"KRPC";
 /// vocabulary with the scheduling-telemetry block in the `Stats` response
 /// body; the bump makes the change honest on the wire — a version-2 peer
 /// rejects version-3 frames with "unsupported protocol version" instead of
-/// misparsing the longer `Stats` body (and vice versa).
+/// misparsing the longer `Stats` body (and vice versa). The load-from-path
+/// vocabulary (`LoadGraph` request, `Loaded` response, error code 9) rides
+/// on version 3 without a bump: the additions are *new* tags, which an
+/// older peer rejects cleanly as unknown instead of misparsing.
 pub const PROTOCOL_VERSION: u8 = 3;
 /// Kind byte of a request message.
 const KIND_REQUEST: u8 = 0;
@@ -230,6 +233,7 @@ fn encode_error(error: &ServiceError, out: &mut Vec<u8>) {
         ServiceError::Unsupported { what } => encode_str(what, out),
         ServiceError::MalformedRequest { reason } => encode_str(reason, out),
         ServiceError::Transport { reason } => encode_str(reason, out),
+        ServiceError::LoadFailed { reason } => encode_str(reason, out),
     }
 }
 
@@ -253,6 +257,9 @@ fn decode_error(r: &mut Reader<'_>) -> Option<ServiceError> {
             reason: decode_string(r)?,
         },
         8 => ServiceError::Transport {
+            reason: decode_string(r)?,
+        },
+        9 => ServiceError::LoadFailed {
             reason: decode_string(r)?,
         },
         _ => return None,
@@ -327,6 +334,22 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             out.push(5);
             encode_error(error, out);
         }
+        QueryResponse::Loaded {
+            graph,
+            num_vertices,
+            num_edges,
+            self_loops,
+            duplicates,
+            zero_copy,
+        } => {
+            out.push(6);
+            varint::encode_u32(graph.0, out);
+            varint::encode_u64(*num_vertices, out);
+            varint::encode_u64(*num_edges, out);
+            varint::encode_u64(*self_loops, out);
+            varint::encode_u64(*duplicates, out);
+            out.push(u8::from(*zero_copy));
+        }
     }
 }
 
@@ -384,6 +407,18 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
             }
         }
         5 => QueryResponse::Error(decode_error(r)?),
+        6 => QueryResponse::Loaded {
+            graph: GraphId(r.varint_u32()?),
+            num_vertices: r.varint_u64()?,
+            num_edges: r.varint_u64()?,
+            self_loops: r.varint_u64()?,
+            duplicates: r.varint_u64()?,
+            zero_copy: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        },
         _ => return None,
     };
     Some(response)
@@ -412,6 +447,12 @@ impl Request {
                 out.push(2);
                 varint::encode_u32(*k, &mut out);
                 encode_bytes(&item.to_bytes(), &mut out);
+            }
+            RequestBody::LoadGraph { name, path, format } => {
+                out.push(3);
+                encode_str(name, &mut out);
+                encode_str(path, &mut out);
+                out.push(format.code());
             }
         }
         out
@@ -455,6 +496,14 @@ impl Request {
                     item: CsrWorkItem::from_bytes(item_bytes)?,
                 }
             }
+            3 => RequestBody::LoadGraph {
+                name: decode_string(&mut r).ok_or_else(|| malformed("load name malformed"))?,
+                path: decode_string(&mut r).ok_or_else(|| malformed("load path malformed"))?,
+                format: r
+                    .u8()
+                    .and_then(LoadFormat::from_code)
+                    .ok_or_else(|| malformed("unknown load format"))?,
+            },
             _ => return Err(malformed("unknown request body tag")),
         };
         r.finish()
@@ -562,6 +611,24 @@ mod tests {
                     item: sample_item(),
                 },
             },
+            Request {
+                request_id: 43,
+                deadline_hint_ms: Some(1000),
+                body: RequestBody::LoadGraph {
+                    name: "snap-million".into(),
+                    path: "/data/snap/million.txt".into(),
+                    format: LoadFormat::EdgeList,
+                },
+            },
+            Request {
+                request_id: 44,
+                deadline_hint_ms: None,
+                body: RequestBody::LoadGraph {
+                    name: String::new(),
+                    path: "/data/graph.kcsr".into(),
+                    format: LoadFormat::Kcsr,
+                },
+            },
         ];
         for request in requests {
             let bytes = request.to_bytes();
@@ -609,6 +676,17 @@ mod tests {
                 QueryResponse::Error(ServiceError::InvalidCursor {
                     reason: "stale".into(),
                 }),
+                QueryResponse::Error(ServiceError::LoadFailed {
+                    reason: "no such file".into(),
+                }),
+                QueryResponse::Loaded {
+                    graph: GraphId(3),
+                    num_vertices: 131_072,
+                    num_edges: 1_000_000,
+                    self_loops: 5,
+                    duplicates: 1234,
+                    zero_copy: true,
+                },
             ]),
         };
         let bytes = response.to_bytes();

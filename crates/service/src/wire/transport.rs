@@ -197,7 +197,9 @@ pub fn call(transport: &dyn Transport, request: &Request) -> Result<Response, Tr
 /// [`kvcc::Budget`] threaded into the enumeration, so a shard interrupts mid-item
 /// and answers [`ServiceError::DeadlineExceeded`] exactly like the engine
 /// does. Engine-level queries ([`RequestBody::Query`] /
-/// [`RequestBody::Batch`]) are answered with [`ServiceError::Unsupported`];
+/// [`RequestBody::Batch`]) and graph loads ([`RequestBody::LoadGraph`] — a
+/// shard has no slots, and honouring host-side paths from the wire would be
+/// a hole besides) are answered with [`ServiceError::Unsupported`];
 /// undecodable frames with [`ServiceError::MalformedRequest`] (request id 0,
 /// since none could be read).
 pub fn run_shard_worker(
@@ -217,7 +219,9 @@ pub fn run_shard_worker(
                             Err(e) => QueryResponse::Error(e.into()),
                         }
                     }
-                    RequestBody::Query(_) | RequestBody::Batch(_) => {
+                    RequestBody::Query(_)
+                    | RequestBody::Batch(_)
+                    | RequestBody::LoadGraph { .. } => {
                         QueryResponse::Error(ServiceError::Unsupported {
                             what: "engine queries (this endpoint only runs work items)".into(),
                         })
