@@ -53,16 +53,24 @@
 //!   and delta+varint compact decode vs borrowing the aligned `KCSR` v3
 //!   file zero-copy; checksums are identical across all four paths.
 //!
+//! PR 8 section (written to `BENCH_pr8.json`):
+//!
+//! * the shard fleet — a work-item round trip over the in-process loopback
+//!   transport vs a real TCP socket through a `ShardPool`, and a chaos
+//!   sweep completing a fixed enumeration under seeded message-drop rates
+//!   with the coordinator's retry/requeue/fallback counters recorded per
+//!   rate; checksums are identical across transports and fault schedules.
+//!
 //! Usage: `pr1-bench [--smoke] [--only=prN] [pr1.json [pr2.json [pr3.json
-//! [pr4.json [pr5.json [pr6.json [pr7.json]]]]]]]` (defaults
-//! `BENCH_pr1.json` … `BENCH_pr7.json`). `--smoke` runs every case exactly
+//! [pr4.json [pr5.json [pr6.json [pr7.json [pr8.json]]]]]]]]` (defaults
+//! `BENCH_pr1.json` … `BENCH_pr8.json`). `--smoke` runs every case exactly
 //! once with no warm-up — the CI mode that keeps this binary from
 //! bit-rotting without spending bench budget. `--only=prN` runs (and writes)
 //! a single section, so one record can be regenerated without re-measuring —
 //! and overwriting — the committed anchors of the others; an unknown section
 //! name is an error listing the valid ones.
 
-use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6, pr7};
+use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -95,7 +103,7 @@ fn main() {
             paths.push(arg);
         }
     }
-    const SECTIONS: [&str; 7] = ["pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7"];
+    const SECTIONS: [&str; 8] = ["pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8"];
     if let Some(section) = only.as_deref() {
         if !SECTIONS.contains(&section) {
             eprintln!(
@@ -115,6 +123,7 @@ fn main() {
     let pr5_path = path(4, "BENCH_pr5.json");
     let pr6_path = path(5, "BENCH_pr6.json");
     let pr7_path = path(6, "BENCH_pr7.json");
+    let pr8_path = path(7, "BENCH_pr8.json");
 
     if want("pr1") {
         let report = pr1::run_all(smoke);
@@ -221,5 +230,33 @@ fn main() {
             }
         }
         write_or_die(&pr7_path, pr7::render_json(&pr7_report));
+    }
+
+    if want("pr8") {
+        let pr8_report = pr8::run_all(smoke);
+        print_section(
+            &pr8_report,
+            "PR 8 fleet section (socket round trips + chaos completion)",
+        );
+        for (baseline, contender, label) in pr8::speedup_pairs() {
+            if let Some(s) = pr8_report.speedup(baseline, contender) {
+                println!("ratio {label}: {s:.2}x");
+            }
+        }
+        let fault_rates = pr8::fault_rate_rows(smoke);
+        for row in &fault_rates {
+            println!(
+                "drop rate {:>3} per mille: {:>10.2} ms/run  ({} retries, {} timeouts, \
+                 {} requeues, {} local fallbacks over {} runs)",
+                row.drop_per_mille,
+                row.mean_ns / 1e6,
+                row.retries,
+                row.timeouts,
+                row.requeues,
+                row.local_fallbacks,
+                row.runs
+            );
+        }
+        write_or_die(&pr8_path, pr8::render_json(&pr8_report, &fault_rates));
     }
 }

@@ -20,6 +20,7 @@ pub mod pr4;
 pub mod pr5;
 pub mod pr6;
 pub mod pr7;
+pub mod pr8;
 pub mod report;
 
 pub use report::Table;

@@ -1,0 +1,352 @@
+//! PR 8 performance record: socket transports and the self-healing shard
+//! coordinator.
+//!
+//! Two questions, one table each:
+//!
+//! * **What does a real socket cost?** — `rpc/*` rows time one framed
+//!   work-item round trip (request encode → frame → transport → shard
+//!   enumeration → response decode) over the in-process loopback and over a
+//!   real TCP connection to a [`ShardPool`]. The spread between them is the
+//!   per-item price of leaving the process, which bounds how fine the
+//!   coordinator should slice work before transport overhead dominates.
+//! * **What does failure handling cost?** — `fault_rates` rows run the
+//!   full sharded enumeration (two loopback workers, seeded
+//!   [`FaultTransport`] chaos) at 0‰, 50‰ and 200‰ message-drop rates and
+//!   record wall-clock completion plus the coordinator's retry/requeue/
+//!   timeout counters. The 0‰ row is the coordinator's bookkeeping
+//!   overhead; the lossy rows show completion degrading gracefully (retries
+//!   grow, output never changes — every run asserts parity against the
+//!   in-process enumeration).
+//!
+//! Chaos timing is deadline-driven (item timeouts, backoffs), so the lossy
+//! means measure the *recovery machinery*, not enumeration throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use kvcc_graph::UndirectedGraph;
+use kvcc_service::{
+    call, run_shard_worker, CoordinatorConfig, CsrWorkItem, EngineConfig, FaultPlan,
+    FaultTransport, GraphId, KvccOptions, LoopbackTransport, QueryRequest, QueryResponse, Request,
+    RequestBody, ResponseBody, ServiceEngine, ShardPool, SocketOptions, TcpTransport, Transport,
+};
+
+use crate::pr1::{case_budget, measure_fn, Report};
+
+/// Disjoint cliques: the k-core splits into one component per clique, so
+/// `partition_work` hands the fleet a real multi-item worklist.
+const CLIQUE_SIZES: [u32; 10] = [8, 10, 12, 14, 9, 11, 13, 8, 10, 12];
+const K: u32 = 3;
+
+fn cliques_graph() -> UndirectedGraph {
+    let mut edges = Vec::new();
+    let mut base = 0u32;
+    for size in CLIQUE_SIZES {
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push((base + i, base + j));
+            }
+        }
+        base += size;
+    }
+    UndirectedGraph::from_edges(base as usize, edges).unwrap()
+}
+
+/// Long-lived benchmark state: one engine, one loopback worker, one TCP
+/// pool + connection, and a representative work item — built once so the
+/// timed path is exactly one round trip.
+struct Pr8Workload {
+    engine: ServiceEngine,
+    id: GraphId,
+    item: CsrWorkItem,
+    loopback: LoopbackTransport,
+    _loopback_worker: std::thread::JoinHandle<()>,
+    tcp: TcpTransport,
+    _pool: ShardPool,
+    next_id: AtomicU64,
+}
+
+fn workload() -> &'static Pr8Workload {
+    static ACTIVE: OnceLock<Pr8Workload> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let engine = ServiceEngine::new(EngineConfig::default());
+        let id = engine.load_graph("pr8-cliques", &cliques_graph());
+        let mut items = engine.partition_work(id, K).expect("cliques partition");
+        let item = items.pop().expect("at least one work item");
+        let (client, server) = LoopbackTransport::pair();
+        let worker = std::thread::spawn(move || {
+            let _ = run_shard_worker(&server, &KvccOptions::default());
+        });
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback tcp");
+        let pool = ShardPool::serve_tcp(
+            listener,
+            SocketOptions::default(),
+            KvccOptions::default(),
+            4,
+        )
+        .expect("start shard pool");
+        let tcp = TcpTransport::connect(
+            pool.local_addr().expect("tcp pool has an address"),
+            SocketOptions::default(),
+        )
+        .expect("connect to shard pool");
+        Pr8Workload {
+            engine,
+            id,
+            item,
+            loopback: client,
+            _loopback_worker: worker,
+            tcp,
+            _pool: pool,
+            next_id: AtomicU64::new(1),
+        }
+    })
+}
+
+/// One framed work-item round trip over `transport`; the checksum is the
+/// total vertex count of the returned components.
+fn round_trip(transport: &dyn Transport) -> usize {
+    let w = workload();
+    let request = Request {
+        request_id: w.next_id.fetch_add(1, Ordering::Relaxed),
+        deadline_hint_ms: None,
+        body: RequestBody::WorkItem {
+            k: K,
+            item: w.item.clone(),
+        },
+    };
+    let response = call(transport, &request).expect("bench round trip");
+    match response.body {
+        ResponseBody::Query(QueryResponse::Components(c)) => {
+            c.iter().map(|comp| comp.vertices().len()).sum()
+        }
+        other => panic!("expected components, got {other:?}"),
+    }
+}
+
+fn rpc_loopback() -> usize {
+    round_trip(&workload().loopback)
+}
+
+fn rpc_tcp() -> usize {
+    round_trip(&workload().tcp)
+}
+
+/// One fault-rate row: sharded completion time and the coordinator's
+/// failure-handling counters at a given message-drop rate.
+#[derive(Clone, Debug)]
+pub struct FaultRateRow {
+    /// Per-mille message-drop probability on both chaotic workers.
+    pub drop_per_mille: u32,
+    /// Completed runs behind the mean.
+    pub runs: u64,
+    /// Mean wall-clock nanoseconds per sharded enumeration.
+    pub mean_ns: f64,
+    /// Total re-sends across the runs.
+    pub retries: u64,
+    /// Total requeues off dead/quarantined workers across the runs.
+    pub requeues: u64,
+    /// Total per-item deadline expiries across the runs.
+    pub timeouts: u64,
+    /// Total items finished by coordinator-local degradation.
+    pub local_fallbacks: u64,
+    /// Components per run (identical across rates and to the in-process
+    /// enumeration — asserted, not assumed).
+    pub components: usize,
+}
+
+/// Runs the full chaos pipeline at one drop rate: two loopback shard
+/// workers behind seeded [`FaultTransport`]s, the self-healing coordinator
+/// in front, parity asserted on every run.
+pub fn fault_rate_probe(drop_per_mille: u32, runs: u64) -> FaultRateRow {
+    let w = workload();
+    let direct = match w
+        .engine
+        .execute(&QueryRequest::EnumerateKvccs { graph: w.id, k: K })
+    {
+        QueryResponse::Components(c) => c,
+        other => panic!("expected components, got {other:?}"),
+    };
+    let config = CoordinatorConfig {
+        item_timeout: Duration::from_millis(50),
+        backoff_base: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(8),
+        probe_delay: Duration::from_millis(5),
+        ..CoordinatorConfig::default()
+    };
+    let mut row = FaultRateRow {
+        drop_per_mille,
+        runs,
+        mean_ns: 0.0,
+        retries: 0,
+        requeues: 0,
+        timeouts: 0,
+        local_fallbacks: 0,
+        components: direct.len(),
+    };
+    let mut total = Duration::ZERO;
+    for run in 0..runs {
+        let mut clients = Vec::new();
+        let mut worker_threads = Vec::new();
+        for shard in 0..2u64 {
+            let (client, server) = LoopbackTransport::pair();
+            clients.push(FaultTransport::new(
+                client,
+                FaultPlan {
+                    seed: 0xC0FFEE ^ (run * 7919 + shard),
+                    drop_per_mille,
+                    ..FaultPlan::default()
+                },
+            ));
+            worker_threads.push(std::thread::spawn(move || {
+                let _ = run_shard_worker(&server, &KvccOptions::default());
+            }));
+        }
+        let shards: Vec<&dyn Transport> = clients.iter().map(|c| c as &dyn Transport).collect();
+        let start = Instant::now();
+        let outcome = w
+            .engine
+            .enumerate_sharded_with(w.id, K, &shards, &config)
+            .expect("chaotic fleets still complete");
+        total += start.elapsed();
+        assert_eq!(
+            outcome.components, direct,
+            "parity must hold at {drop_per_mille} per mille"
+        );
+        row.retries += outcome.stats.retries;
+        row.requeues += outcome.stats.requeues;
+        row.timeouts += outcome.stats.timeouts;
+        row.local_fallbacks += outcome.stats.local_fallbacks;
+        drop(shards);
+        drop(clients);
+        for worker in worker_threads {
+            worker.join().unwrap();
+        }
+    }
+    row.mean_ns = total.as_nanos() as f64 / runs as f64;
+    row
+}
+
+/// The fault-rate sweep reported in `BENCH_pr8.json`.
+pub fn fault_rate_rows(smoke: bool) -> Vec<FaultRateRow> {
+    let runs = if smoke { 1 } else { 5 };
+    [0u32, 50, 200]
+        .into_iter()
+        .map(|rate| fault_rate_probe(rate, runs))
+        .collect()
+}
+
+/// Runs the transport round-trip rows.
+pub fn run_all(smoke: bool) -> Report {
+    let (warmup, budget, min_iters) = case_budget(
+        smoke,
+        Duration::from_millis(50),
+        Duration::from_millis(300),
+        30,
+    );
+    let mut report = Report::default();
+    report.entries.push(measure_fn(
+        "pr8/rpc/loopback",
+        rpc_loopback,
+        warmup,
+        budget,
+        min_iters,
+    ));
+    report.entries.push(measure_fn(
+        "pr8/rpc/tcp",
+        rpc_tcp,
+        warmup,
+        budget,
+        min_iters,
+    ));
+    assert_eq!(
+        report.entries[0].checksum, report.entries[1].checksum,
+        "both transports must enumerate the same item identically"
+    );
+    report
+}
+
+/// Ratio pairs reported in `BENCH_pr8.json`: how much cheaper the
+/// in-process loopback is than a real socket (speedup of contender
+/// `loopback` over baseline `tcp`).
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![("pr8/rpc/tcp", "pr8/rpc/loopback", "loopback_vs_tcp")]
+}
+
+/// JSON payload for `BENCH_pr8.json` (hand-assembled like the other
+/// sections).
+pub fn render_json(report: &Report, fault_rates: &[FaultRateRow]) -> String {
+    let g = cliques_graph();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 8,\n");
+    out.push_str(
+        "  \"description\": \"socket transport overhead (loopback vs tcp work-item round trip) \
+         and self-healing coordinator completion under seeded message loss\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"vertices\": {}, \"edges\": {}, \"k\": {}, \"work_items\": {}}},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        K,
+        CLIQUE_SIZES.len()
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"fault_rates\": [\n");
+    for (i, row) in fault_rates.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"drop_per_mille\": {}, \"runs\": {}, \"mean_ns\": {:.1}, \"retries\": {}, \
+             \"requeues\": {}, \"timeouts\": {}, \"local_fallbacks\": {}, \"components\": {}}}{}\n",
+            row.drop_per_mille,
+            row.runs,
+            row.mean_ns,
+            row.retries,
+            row.requeues,
+            row.timeouts,
+            row.local_fallbacks,
+            row.components,
+            if i + 1 < fault_rates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ratios\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_transports_agree_and_the_sweep_keeps_parity() {
+        let report = run_all(true);
+        assert_eq!(report.entries.len(), 2);
+        assert!(report.entries.iter().all(|e| e.checksum > 0));
+        let rows = fault_rate_rows(true);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].components, CLIQUE_SIZES.len());
+        let json = render_json(&report, &rows);
+        assert!(json.contains("\"fault_rates\""));
+        assert!(json.contains("loopback_vs_tcp"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -23,6 +23,7 @@ use kvcc_graph::{
 
 // `OrderingPolicy` is protocol-visible since v2 (reported by `Stats`); it is
 // re-exported here because the engine is its natural home for readers.
+use crate::coordinator::{run_fleet, CoordinatorConfig, FleetOutcome, FleetStats};
 pub use crate::protocol::OrderingPolicy;
 use crate::protocol::{
     GraphId, LoadFormat, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request,
@@ -159,6 +160,11 @@ struct SlotMetrics {
     steals: AtomicU64,
     splits: AtomicU64,
     cancelled_runs: AtomicU64,
+    retries: AtomicU64,
+    requeues: AtomicU64,
+    quarantines: AtomicU64,
+    reinstatements: AtomicU64,
+    local_fallbacks: AtomicU64,
 }
 
 impl SlotMetrics {
@@ -174,12 +180,30 @@ impl SlotMetrics {
         }
     }
 
+    /// Folds one sharded enumeration's failure handling into the slot
+    /// totals.
+    fn record_fleet(&self, stats: &FleetStats) {
+        self.retries.fetch_add(stats.retries, Ordering::Relaxed);
+        self.requeues.fetch_add(stats.requeues, Ordering::Relaxed);
+        self.quarantines
+            .fetch_add(stats.quarantines, Ordering::Relaxed);
+        self.reinstatements
+            .fetch_add(stats.reinstatements, Ordering::Relaxed);
+        self.local_fallbacks
+            .fetch_add(stats.local_fallbacks, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> SchedulingStats {
         SchedulingStats {
             work_items: self.work_items.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
             cancelled_runs: self.cancelled_runs.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            reinstatements: self.reinstatements.load(Ordering::Relaxed),
+            local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -756,70 +780,53 @@ impl ServiceEngine {
     }
 
     /// Distributed enumeration over byte transports: partitions the graph's
-    /// `KVCC-ENUM` worklist ([`ServiceEngine::partition_work`]), ships each
-    /// item as a framed [`RequestBody::WorkItem`] round-robin across the
-    /// shard transports, and merges the responses. The result is
+    /// `KVCC-ENUM` worklist ([`ServiceEngine::partition_work`]), drives the
+    /// items through the self-healing shard coordinator
+    /// ([`crate::coordinator::run_fleet`]) with the default
+    /// [`CoordinatorConfig`], and merges the responses. The result is
     /// byte-identical to [`ServiceEngine::execute`] answering
     /// [`QueryRequest::EnumerateKvccs`] on this engine — asserted by the
-    /// `wire_parity` suite — because work items ship loaded ids and shard
-    /// outputs are disjoint by construction.
+    /// `wire_parity` and `fleet_parity` suites — because work items ship
+    /// loaded ids, shard outputs are disjoint by construction, and retried
+    /// or locally degraded items land in per-item result slots (first
+    /// completion wins).
     ///
     /// Each transport must be connected to a peer serving work items
     /// ([`crate::wire::transport::run_shard_worker`] or another engine's
-    /// [`ServiceEngine::serve`] loop).
+    /// [`ServiceEngine::serve`] loop). Fleet telemetry (retries, requeues,
+    /// quarantines, …) folds into the slot's [`SchedulingStats`]; use
+    /// [`ServiceEngine::enumerate_sharded_with`] to tune the failure
+    /// handling and receive the per-run counters.
     pub fn enumerate_sharded(
         &self,
         graph: GraphId,
         k: u32,
         shards: &[&dyn Transport],
     ) -> Result<Vec<KVertexConnectedComponent>, ServiceError> {
-        if shards.is_empty() {
-            return Err(ServiceError::Transport {
-                reason: "no shard transports supplied".into(),
-            });
-        }
+        let config = CoordinatorConfig {
+            // The PR 4 entry point failed fast on an absent fleet; keep that
+            // contract here and let the `_with` form opt into degradation.
+            local_fallback: !shards.is_empty(),
+            ..CoordinatorConfig::default()
+        };
+        self.enumerate_sharded_with(graph, k, shards, &config)
+            .map(|outcome| outcome.components)
+    }
+
+    /// [`ServiceEngine::enumerate_sharded`] with explicit failure-handling
+    /// configuration, returning the merged components *and* what the
+    /// coordinator had to do to get them ([`FleetOutcome`]).
+    pub fn enumerate_sharded_with(
+        &self,
+        graph: GraphId,
+        k: u32,
+        shards: &[&dyn Transport],
+        config: &CoordinatorConfig,
+    ) -> Result<FleetOutcome, ServiceError> {
         let items = self.partition_work(graph, k)?;
-        // Ship every item first (shards work in parallel), then collect one
-        // response per in-flight request from the shard it went to.
-        let mut in_flight: Vec<Vec<u64>> = vec![Vec::new(); shards.len()];
-        for (i, item) in items.into_iter().enumerate() {
-            let request = Request {
-                request_id: i as u64 + 1,
-                deadline_hint_ms: None,
-                body: RequestBody::WorkItem { k, item },
-            };
-            shards[i % shards.len()]
-                .send(&request.to_bytes())
-                .map_err(ServiceError::from)?;
-            in_flight[i % shards.len()].push(request.request_id);
-        }
-        let mut merged: Vec<KVertexConnectedComponent> = Vec::new();
-        for (shard, expected) in shards.iter().zip(&in_flight) {
-            for _ in expected {
-                let frame = shard.recv().map_err(ServiceError::from)?.ok_or_else(|| {
-                    ServiceError::Transport {
-                        reason: "shard closed with work items outstanding".into(),
-                    }
-                })?;
-                let response =
-                    Response::from_bytes(&frame).map_err(|e| ServiceError::Transport {
-                        reason: format!("shard sent an undecodable response: {e}"),
-                    })?;
-                match response.body {
-                    ResponseBody::Query(QueryResponse::Components(components)) => {
-                        merged.extend(components)
-                    }
-                    ResponseBody::Query(QueryResponse::Error(e)) => return Err(e),
-                    other => {
-                        return Err(ServiceError::Transport {
-                            reason: format!("shard answered with the wrong shape: {other:?}"),
-                        })
-                    }
-                }
-            }
-        }
-        merged.sort();
-        Ok(merged)
+        let outcome = run_fleet(&items, k, shards, &self.config.enumeration, config)?;
+        self.slot(graph)?.metrics.record_fleet(&outcome.stats);
+        Ok(outcome)
     }
 
     /// Splits the initial `KVCC-ENUM` worklist of a loaded graph into

@@ -29,7 +29,13 @@
 //!   that reproduces the whole-graph enumeration from shard frames;
 //! * [`CsrWorkItem`] is the self-contained unit of sharded enumeration: a
 //!   CSR subgraph plus its id map, with bincode-free
-//!   [`to_bytes`](CsrWorkItem::to_bytes) / [`from_bytes`](CsrWorkItem::from_bytes).
+//!   [`to_bytes`](CsrWorkItem::to_bytes) / [`from_bytes`](CsrWorkItem::from_bytes);
+//! * **failure handling** — [`TcpTransport`] / [`UnixTransport`] put the
+//!   frame format on real sockets (with a [`ShardPool`] accept loop and the
+//!   `kvcc-shardd` daemon around it), [`FaultTransport`] injects seeded,
+//!   reproducible chaos, and the [`coordinator`] retries, requeues,
+//!   quarantines and locally degrades until the sharded enumeration is
+//!   byte-identical to the in-process one under every fault schedule.
 //!
 //! # Quick start
 //!
@@ -55,16 +61,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coordinator;
 pub mod engine;
 pub mod protocol;
 pub mod wire;
 
+pub use coordinator::{run_fleet, CoordinatorConfig, FleetOutcome, FleetStats};
 pub use engine::{EngineConfig, LoadReport, ServiceEngine};
 pub use protocol::{
     GraphId, LoadFormat, OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankedEntry,
     Request, RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
-pub use wire::transport::{call, run_shard_worker, LoopbackTransport, Transport, TransportError};
+pub use wire::faults::{FaultPlan, FaultStatsSnapshot, FaultTransport};
+pub use wire::socket::{ShardPool, SocketOptions, StreamTransport, TcpTransport, UnixTransport};
+pub use wire::transport::{
+    call, call_with, run_shard_worker, CallOptions, LoopbackTransport, Transport, TransportError,
+};
 pub use wire::{run_work_item, CsrWorkItem};
 
 // Re-exported so service users need only this crate for the common types.

@@ -329,6 +329,13 @@ impl PageCursor {
 /// scheduling-dependent (it varies run to run and across thread counts) and
 /// exists for observability, never for parity comparison. `cancelled_runs`
 /// counts enumerations interrupted mid-run by a request deadline.
+///
+/// The fleet counters (`retries` through `local_fallbacks`, the protocol-v4
+/// additions) accumulate over the slot's *sharded* enumerations
+/// ([`crate::ServiceEngine::enumerate_sharded`]): they are the wire-visible
+/// record of how much failure handling the coordinator had to do. Like
+/// `steals` they depend on timing and the fault environment, never on the
+/// answer — output stays byte-identical whatever these count.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedulingStats {
     /// Work items drained across all direct enumerations on the slot.
@@ -339,6 +346,20 @@ pub struct SchedulingStats {
     pub splits: u64,
     /// Enumerations interrupted mid-run by a deadline or cancellation.
     pub cancelled_runs: u64,
+    /// Sharded work items re-sent after a retryable failure (timeout,
+    /// in-flight corruption, retryable peer error).
+    pub retries: u64,
+    /// Sharded work items pulled off a dead, quarantined or straggling
+    /// worker and requeued onto the healthy fleet.
+    pub requeues: u64,
+    /// Workers quarantined after consecutive failures.
+    pub quarantines: u64,
+    /// Quarantined workers reinstated after a successful probe.
+    pub reinstatements: u64,
+    /// Sharded work items the coordinator completed by *local* execution —
+    /// graceful degradation when the fleet was gone or an item exhausted
+    /// its retry budget.
+    pub local_fallbacks: u64,
 }
 
 /// The answer to one [`QueryRequest`], in the same batch position.
@@ -457,6 +478,26 @@ pub enum ServiceError {
 }
 
 impl ServiceError {
+    /// Whether retrying the *same* request can succeed — the single
+    /// retryable-vs-terminal classification shared by the shard
+    /// coordinator and the [`crate::wire::transport::call_with`] client
+    /// path.
+    ///
+    /// Retryable: [`ServiceError::Transport`] (the carrier failed
+    /// mid-flight) and [`ServiceError::MalformedRequest`] (the peer
+    /// received mangled bytes — the sender knows its own encoding was
+    /// valid, so the corruption happened in flight and a resend is sound).
+    /// Everything else is terminal: [`ServiceError::DeadlineExceeded`]
+    /// will not un-expire, and the semantic rejections (unknown graph,
+    /// out-of-range vertex, invalid cursor, unsupported shape, failed
+    /// load, enumeration error) reproduce identically on a resend.
+    pub const fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Transport { .. } | ServiceError::MalformedRequest { .. }
+        )
+    }
+
     /// The stable numeric code of the error (wire contract; see the variant
     /// docs).
     pub const fn code(&self) -> u16 {
@@ -697,6 +738,14 @@ mod tests {
             assert_eq!(e.code() as usize, i + 1);
             assert!(e.to_string().starts_with(&format!("[E{}]", i + 1)));
         }
+        // Exactly the in-flight failure modes are retryable; every semantic
+        // rejection is terminal (codes 8 and 7 = Transport, Malformed).
+        let retryable: Vec<u16> = all
+            .iter()
+            .filter(|e| e.is_retryable())
+            .map(|e| e.code())
+            .collect();
+        assert_eq!(retryable, vec![7, 8]);
     }
 
     #[test]

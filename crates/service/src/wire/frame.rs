@@ -1,7 +1,7 @@
 //! The length-prefixed frame format shared by every transport.
 //!
 //! A frame is a 4-byte little-endian payload length followed by the payload
-//! bytes (a protocol-v2 message, see [`crate::wire::message`]). The format
+//! bytes (a protocol message, see [`crate::wire::message`]). The format
 //! is deliberately minimal: any byte stream — a socket, a pipe, the
 //! in-process loopback — becomes a message channel by writing
 //! [`encode_frame`] output and feeding received bytes through a
@@ -15,6 +15,37 @@ pub const MAX_FRAME_PAYLOAD: usize = 64 << 20;
 
 /// Bytes of the length prefix.
 const PREFIX: usize = 4;
+
+/// Why (and *where*) a frame stream became undecodable.
+///
+/// After a corrupt length prefix the frame boundaries are unrecoverable, so
+/// the error pins down exactly which prefix poisoned the stream: its
+/// byte offset from the start of the stream and the length it claimed.
+/// Chaos-run diagnostics correlate this offset with the fault schedule to
+/// identify the injected corruption that killed a connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameError {
+    /// Byte offset of the offending length prefix, counted from the first
+    /// byte ever pushed into the decoder (stream-absolute, unaffected by
+    /// internal buffer compaction).
+    pub offset: u64,
+    /// The payload length the prefix claimed (necessarily above
+    /// [`MAX_FRAME_PAYLOAD`]).
+    pub claimed_len: u32,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame stream poisoned at byte offset {}: length prefix claims {} bytes \
+             (maximum frame payload is {} bytes)",
+            self.offset, self.claimed_len, MAX_FRAME_PAYLOAD
+        )
+    }
+}
+
+impl std::error::Error for FrameError {}
 
 /// Wraps a message payload in a frame (length prefix + payload), or
 /// reports an oversized payload so transports surface a send-side error
@@ -34,16 +65,19 @@ pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, &'static str> {
 ///
 /// Push received chunks with [`FrameDecoder::push`], pop completed payloads
 /// with [`FrameDecoder::next_frame`]. A stream whose length prefix exceeds
-/// [`MAX_FRAME_PAYLOAD`] is *poisoned*: every further call reports the
-/// error, because after a corrupt prefix the frame boundaries are
-/// unrecoverable.
+/// [`MAX_FRAME_PAYLOAD`] is *poisoned*: every further call reports the same
+/// [`FrameError`] (carrying the offset and the hostile length), because
+/// after a corrupt prefix the frame boundaries are unrecoverable.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Read position inside `buf` (consumed bytes are compacted away
     /// whenever they outgrow the unread remainder).
     at: usize,
-    poisoned: bool,
+    /// Stream offset of `buf[0]`: bytes discarded by compaction, so frame
+    /// positions stay stream-absolute for diagnostics.
+    base: u64,
+    poisoned: Option<FrameError>,
 }
 
 impl FrameDecoder {
@@ -54,32 +88,38 @@ impl FrameDecoder {
 
     /// Appends received bytes to the reassembly buffer.
     pub fn push(&mut self, bytes: &[u8]) {
-        if self.poisoned {
+        if self.poisoned.is_some() {
             return;
         }
         // Compact before growing: never hold more than one frame of slack.
         if self.at > self.buf.len() / 2 {
             self.buf.drain(..self.at);
+            self.base += self.at as u64;
             self.at = 0;
         }
         self.buf.extend_from_slice(bytes);
     }
 
     /// Pops the next complete frame payload, `Ok(None)` when more bytes are
-    /// needed, or an error once the stream is poisoned by an oversized
-    /// length prefix.
-    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, &'static str> {
-        if self.poisoned {
-            return Err("frame stream poisoned by an oversized length prefix");
+    /// needed, or the poisoning [`FrameError`] once the stream has been
+    /// killed by an oversized length prefix.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if let Some(error) = self.poisoned {
+            return Err(error);
         }
         let unread = &self.buf[self.at..];
         if unread.len() < PREFIX {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(unread[..PREFIX].try_into().expect("4 bytes")) as usize;
+        let claimed = u32::from_le_bytes(unread[..PREFIX].try_into().expect("4 bytes"));
+        let len = claimed as usize;
         if len > MAX_FRAME_PAYLOAD {
-            self.poisoned = true;
-            return Err("frame stream poisoned by an oversized length prefix");
+            let error = FrameError {
+                offset: self.base + self.at as u64,
+                claimed_len: claimed,
+            };
+            self.poisoned = Some(error);
+            return Err(error);
         }
         if unread.len() < PREFIX + len {
             return Ok(None);
@@ -124,10 +164,34 @@ mod tests {
     fn oversized_length_prefix_poisons_the_stream() {
         let mut decoder = FrameDecoder::new();
         decoder.push(&u32::MAX.to_le_bytes());
-        assert!(decoder.next_frame().is_err());
-        // Poisoned for good: pushing valid bytes does not resurrect it.
+        let error = decoder.next_frame().unwrap_err();
+        assert_eq!(error.offset, 0);
+        assert_eq!(error.claimed_len, u32::MAX);
+        // Poisoned for good: pushing valid bytes does not resurrect it, and
+        // the diagnostic stays pinned to the original offender.
         decoder.push(&encode_frame(b"ok").unwrap());
-        assert!(decoder.next_frame().is_err());
+        assert_eq!(decoder.next_frame().unwrap_err(), error);
+    }
+
+    #[test]
+    fn poisoning_offset_is_stream_absolute_across_compaction() {
+        // Feed enough valid frames to force internal compaction, then a
+        // hostile prefix; the reported offset must count from the first byte
+        // of the stream, not from the compacted buffer.
+        let mut decoder = FrameDecoder::new();
+        let mut offset = 0u64;
+        for _ in 0..50 {
+            let framed = encode_frame(&[7u8; 100]).unwrap();
+            decoder.push(&framed);
+            offset += framed.len() as u64;
+            assert!(decoder.next_frame().unwrap().is_some());
+        }
+        let hostile = (MAX_FRAME_PAYLOAD as u32 + 1).to_le_bytes();
+        decoder.push(&hostile);
+        let error = decoder.next_frame().unwrap_err();
+        assert_eq!(error.offset, offset);
+        assert_eq!(error.claimed_len, MAX_FRAME_PAYLOAD as u32 + 1);
+        assert!(error.to_string().contains(&format!("offset {offset}")));
     }
 
     #[test]

@@ -24,28 +24,74 @@ use crate::wire::CsrWorkItem;
 
 /// Magic bytes opening every protocol message.
 const MESSAGE_MAGIC: [u8; 4] = *b"KRPC";
-/// Protocol version carried by every message. Version 3 extends the v2
+/// Protocol version carried by every message. Version 3 extended the v2
 /// vocabulary with the scheduling-telemetry block in the `Stats` response
-/// body; the bump makes the change honest on the wire — a version-2 peer
-/// rejects version-3 frames with "unsupported protocol version" instead of
-/// misparsing the longer `Stats` body (and vice versa). The load-from-path
-/// vocabulary (`LoadGraph` request, `Loaded` response, error code 9) rides
-/// on version 3 without a bump: the additions are *new* tags, which an
-/// older peer rejects cleanly as unknown instead of misparsing.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// body. Version 4 is the distributed-resilience revision: every message
+/// now ends with a 4-byte FNV-1a integrity checksum of the preceding bytes
+/// (see [`message_checksum`]), and the `Stats` scheduling block grows the
+/// fleet counters (retries / requeues / quarantines / reinstatements /
+/// local fallbacks). The checksum is what makes in-flight corruption —
+/// the chaos harness's bit-flips and truncations, or a flaky real link —
+/// *detectable*: without it, a flipped bit inside a varint can decode as a
+/// different valid message and silently change answers; with it, the
+/// receiver rejects the message as malformed and the sender retries. Each
+/// bump makes the change honest on the wire — an old peer rejects new
+/// frames with "unsupported protocol version" instead of misparsing the
+/// longer bodies (and vice versa).
+pub const PROTOCOL_VERSION: u8 = 4;
 /// Kind byte of a request message.
 const KIND_REQUEST: u8 = 0;
 /// Kind byte of a response message.
 const KIND_RESPONSE: u8 = 1;
+/// Bytes of the trailing integrity checksum.
+const CHECKSUM_BYTES: usize = 4;
 
 fn malformed(reason: &'static str) -> GraphError {
     GraphError::MalformedBytes { reason }
+}
+
+/// FNV-1a (32-bit) over the message bytes — the protocol-v4 integrity
+/// trailer. Not cryptographic: it defends against *accidental* in-flight
+/// corruption (bit rot, chaos-injected flips and truncations), which is all
+/// the retry machinery needs; authenticity is out of scope for this wire.
+pub fn message_checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
 }
 
 fn encode_header(kind: u8, out: &mut Vec<u8>) {
     out.extend_from_slice(&MESSAGE_MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(kind);
+}
+
+/// Appends the integrity trailer; the final step of every `to_bytes`.
+fn seal(mut out: Vec<u8>) -> Vec<u8> {
+    let checksum = message_checksum(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Verifies and strips the integrity trailer; the first step of every
+/// `from_bytes`. Runs *before* structural decoding so corrupted buffers are
+/// reported as corruption (retryable for the peer that sent valid bytes)
+/// rather than as a protocol violation.
+fn verify_checksum(bytes: &[u8]) -> Result<&[u8], GraphError> {
+    if bytes.len() < CHECKSUM_BYTES {
+        return Err(malformed("message shorter than its integrity checksum"));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - CHECKSUM_BYTES);
+    let claimed = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    if message_checksum(body) != claimed {
+        return Err(malformed(
+            "message integrity checksum mismatch (bytes corrupted in flight)",
+        ));
+    }
+    Ok(body)
 }
 
 fn decode_header<'a>(bytes: &'a [u8], kind: u8) -> Result<Reader<'a>, GraphError> {
@@ -304,12 +350,18 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             varint::encode_u32(*max_k, out);
             out.push(ordering.code());
             encode_option_u32(*depth_limit, out);
-            // Scheduling observability block (four varints) — the version-3
-            // addition (see PROTOCOL_VERSION).
+            // Scheduling observability block — four varints since version
+            // 3, plus the five fleet counters of version 4 (see
+            // PROTOCOL_VERSION).
             varint::encode_u64(scheduling.work_items, out);
             varint::encode_u64(scheduling.steals, out);
             varint::encode_u64(scheduling.splits, out);
             varint::encode_u64(scheduling.cancelled_runs, out);
+            varint::encode_u64(scheduling.retries, out);
+            varint::encode_u64(scheduling.requeues, out);
+            varint::encode_u64(scheduling.quarantines, out);
+            varint::encode_u64(scheduling.reinstatements, out);
+            varint::encode_u64(scheduling.local_fallbacks, out);
         }
         QueryResponse::Page {
             entries,
@@ -381,6 +433,11 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
                 steals: r.varint_u64()?,
                 splits: r.varint_u64()?,
                 cancelled_runs: r.varint_u64()?,
+                retries: r.varint_u64()?,
+                requeues: r.varint_u64()?,
+                quarantines: r.varint_u64()?,
+                reinstatements: r.varint_u64()?,
+                local_fallbacks: r.varint_u64()?,
             },
         },
         4 => {
@@ -425,7 +482,7 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
 }
 
 impl Request {
-    /// Serialises the request as a protocol-v2 message.
+    /// Serialises the request as a checksummed protocol-v4 message.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         encode_header(KIND_REQUEST, &mut out);
@@ -455,12 +512,14 @@ impl Request {
                 out.push(format.code());
             }
         }
-        out
+        seal(out)
     }
 
-    /// Deserialises a protocol-v2 request, validating the whole buffer
-    /// (including the embedded work item's graph invariants).
+    /// Deserialises a protocol-v4 request: integrity checksum first, then
+    /// full structural validation (including the embedded work item's graph
+    /// invariants).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let bytes = verify_checksum(bytes)?;
         let mut r = decode_header(bytes, KIND_REQUEST)?;
         let request_id = r
             .varint_u64()
@@ -517,7 +576,7 @@ impl Request {
 }
 
 impl Response {
-    /// Serialises the response as a protocol-v2 message.
+    /// Serialises the response as a checksummed protocol-v4 message.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         encode_header(KIND_RESPONSE, &mut out);
@@ -535,11 +594,13 @@ impl Response {
                 }
             }
         }
-        out
+        seal(out)
     }
 
-    /// Deserialises a protocol-v2 response, validating the whole buffer.
+    /// Deserialises a protocol-v4 response: integrity checksum first, then
+    /// full structural validation.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, GraphError> {
+        let bytes = verify_checksum(bytes)?;
         let mut r = decode_header(bytes, KIND_RESPONSE)?;
         let request_id = r
             .varint_u64()
@@ -662,6 +723,11 @@ mod tests {
                         steals: 7,
                         splits: 3,
                         cancelled_runs: 1,
+                        retries: 11,
+                        requeues: 5,
+                        quarantines: 2,
+                        reinstatements: 1,
+                        local_fallbacks: 4,
                     },
                 },
                 QueryResponse::Page {
@@ -714,5 +780,48 @@ mod tests {
         let mut bad_version = good.clone();
         bad_version[4] = 1;
         assert!(Request::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        // The v4 integrity trailer must catch *any* one-bit corruption —
+        // including flips that would otherwise decode as a different valid
+        // message (e.g. inside the `k` varint of a work item) and silently
+        // change the enumeration.
+        let request = Request {
+            request_id: 77,
+            deadline_hint_ms: None,
+            body: RequestBody::WorkItem {
+                k: 2,
+                item: sample_item(),
+            },
+        };
+        let good = request.to_bytes();
+        assert_eq!(Request::from_bytes(&good).unwrap(), request);
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut flipped = good.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    Request::from_bytes(&flipped).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
+        let response = Response {
+            request_id: 77,
+            body: ResponseBody::Query(QueryResponse::Connectivity(3)),
+        };
+        let good = response.to_bytes();
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut flipped = good.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    Response::from_bytes(&flipped).is_err(),
+                    "flip of byte {byte} bit {bit} went undetected"
+                );
+            }
+        }
     }
 }

@@ -11,6 +11,11 @@
 //! * [`frame`] — the length-prefixed frame format every transport speaks;
 //! * [`transport`] — the [`Transport`](transport::Transport) trait, the
 //!   in-process loopback implementation, and the byte-driven shard worker;
+//! * [`socket`] — the same trait over real TCP and Unix sockets, plus the
+//!   [`ShardPool`](socket::ShardPool) accept loop behind `kvcc-shardd`;
+//! * [`faults`] — the seeded fault-injection decorator
+//!   ([`FaultTransport`](faults::FaultTransport)) for reproducible chaos
+//!   testing of the shard coordinator;
 //! * [`CsrWorkItem`] — the self-contained unit of sharded enumeration (a
 //!   compact CSR subgraph plus the mapping of its local ids back to the
 //!   input graph).
@@ -20,8 +25,10 @@
 //! error instead of panicking or producing incoherent structures.
 
 pub mod codec;
+pub mod faults;
 pub mod frame;
 pub mod message;
+pub mod socket;
 pub mod transport;
 
 use kvcc::{enumerate_kvccs, KVertexConnectedComponent, KvccError, KvccOptions};

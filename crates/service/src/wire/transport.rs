@@ -2,11 +2,13 @@
 //! implementation, and the byte-driven shard worker.
 //!
 //! A [`Transport`] moves whole protocol frames between two peers. The
-//! contract is deliberately narrow — blocking send, blocking receive,
-//! closed-channel signalling — so a socket, a pipe or a message queue can
-//! implement it with a handful of lines; every implementation must put the
-//! shared length-prefixed frame format ([`crate::wire::frame`]) on the wire
-//! so peers with different transports still interoperate.
+//! contract is deliberately narrow — blocking send, blocking receive (with a
+//! bounded-wait variant), closed-channel signalling — so a socket, a pipe or
+//! a message queue can implement it with a handful of lines; every
+//! implementation must put the shared length-prefixed frame format
+//! ([`crate::wire::frame`]) on the wire so peers with different transports
+//! still interoperate. Real sockets live in [`crate::wire::socket`]; the
+//! fault-injection decorator in [`crate::wire::faults`].
 //!
 //! [`LoopbackTransport::pair`] is the reference implementation: two
 //! endpoints connected by in-process byte streams. It is *not* a shortcut
@@ -16,6 +18,7 @@
 //! would, chunk boundaries and all.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use kvcc::KvccOptions;
 
@@ -24,19 +27,42 @@ use crate::wire::frame::{encode_frame, FrameDecoder};
 use crate::wire::run_work_item;
 
 /// Why a transport operation failed.
+///
+/// The split matters to retry logic: [`TransportError::TimedOut`] is
+/// *retryable* — the connection is still aligned and a resend is safe —
+/// while [`TransportError::Closed`] and [`TransportError::Malformed`] are
+/// fatal for the connection (the peer is gone, or the byte stream lost
+/// frame alignment), so recovery means moving the work to another peer, not
+/// resending here. [`TransportError::is_retryable`] encodes that rule once
+/// for every caller.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TransportError {
-    /// The peer endpoint is gone; no more frames will ever arrive.
+    /// The peer endpoint is gone (clean close, reset, refused connection);
+    /// no more frames will ever arrive on this transport.
     Closed,
+    /// A bounded-wait operation ran out of time with the connection still
+    /// healthy; the caller may retry on the same transport.
+    TimedOut,
     /// The byte stream violated the frame format (e.g. an oversized length
-    /// prefix); the connection is unusable.
-    Malformed(&'static str),
+    /// prefix, see [`crate::wire::frame::FrameError`]); frame boundaries are
+    /// unrecoverable and the connection is unusable.
+    Malformed(String),
+}
+
+impl TransportError {
+    /// Whether the *same* transport remains usable and the failed operation
+    /// may simply be retried (timeouts), as opposed to connection-fatal
+    /// failures where the work must move to a different peer.
+    pub const fn is_retryable(&self) -> bool {
+        matches!(self, TransportError::TimedOut)
+    }
 }
 
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Closed => write!(f, "transport closed by the peer"),
+            TransportError::TimedOut => write!(f, "transport operation timed out"),
             TransportError::Malformed(reason) => write!(f, "malformed frame stream: {reason}"),
         }
     }
@@ -60,13 +86,21 @@ impl From<TransportError> for ServiceError {
 /// expected to serialise concurrent sends internally.
 pub trait Transport: Send + Sync {
     /// Sends one frame payload (a protocol message). Blocks only for
-    /// transport-internal locking, not for the peer to read.
+    /// transport-internal locking (and, on socket transports, the
+    /// configured write timeout), not for the peer to read.
     fn send(&self, frame: &[u8]) -> Result<(), TransportError>;
 
     /// Receives the next frame payload, blocking until one arrives. Returns
     /// `Ok(None)` when the peer closed cleanly and every buffered frame has
     /// been drained.
     fn recv(&self) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Like [`Transport::recv`], but gives up with
+    /// [`TransportError::TimedOut`] once `timeout` has elapsed without a
+    /// complete frame. The wait is cooperative, not destructive: bytes of a
+    /// partially received frame stay buffered, so a later call resumes the
+    /// reassembly exactly where this one stopped.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError>;
 }
 
 /// One direction of the loopback: a byte stream plus the receiving side's
@@ -125,6 +159,37 @@ impl LoopbackTransport {
             },
         )
     }
+
+    fn recv_inner(&self, deadline: Option<Instant>) -> Result<Option<Vec<u8>>, TransportError> {
+        let mut state = self.incoming.state.lock().unwrap();
+        loop {
+            match state.decoder.next_frame() {
+                Ok(Some(frame)) => return Ok(Some(frame)),
+                Ok(None) => {
+                    if state.closed {
+                        return Ok(None);
+                    }
+                    state = match deadline {
+                        None => self.incoming.ready.wait(state).unwrap(),
+                        Some(deadline) => {
+                            let Some(remaining) = deadline
+                                .checked_duration_since(Instant::now())
+                                .filter(|r| !r.is_zero())
+                            else {
+                                return Err(TransportError::TimedOut);
+                            };
+                            self.incoming
+                                .ready
+                                .wait_timeout(state, remaining)
+                                .unwrap()
+                                .0
+                        }
+                    };
+                }
+                Err(error) => return Err(TransportError::Malformed(error.to_string())),
+            }
+        }
+    }
 }
 
 impl Transport for LoopbackTransport {
@@ -135,7 +200,7 @@ impl Transport for LoopbackTransport {
         }
         // Ship the real wire bytes: length prefix + payload, reassembled by
         // the peer's FrameDecoder exactly as a socket receiver would.
-        let framed = encode_frame(frame).map_err(TransportError::Malformed)?;
+        let framed = encode_frame(frame).map_err(|e| TransportError::Malformed(e.to_string()))?;
         state.decoder.push(&framed);
         drop(state);
         self.outgoing.ready.notify_all();
@@ -143,19 +208,11 @@ impl Transport for LoopbackTransport {
     }
 
     fn recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
-        let mut state = self.incoming.state.lock().unwrap();
-        loop {
-            match state.decoder.next_frame() {
-                Ok(Some(frame)) => return Ok(Some(frame)),
-                Ok(None) => {
-                    if state.closed {
-                        return Ok(None);
-                    }
-                    state = self.incoming.ready.wait(state).unwrap();
-                }
-                Err(reason) => return Err(TransportError::Malformed(reason)),
-            }
-        }
+        self.recv_inner(None)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        self.recv_inner(Some(Instant::now() + timeout))
     }
 }
 
@@ -169,21 +226,126 @@ impl Drop for LoopbackTransport {
     }
 }
 
-/// Sends `request` and blocks for the next response frame — the minimal
-/// client call pattern. Responses are matched by the echoed
-/// [`Request::request_id`]; a mismatch is reported as
-/// [`TransportError::Malformed`] (loopback and socket transports are
-/// ordered, so interleaving only happens when the caller pipelines, in
-/// which case it should match ids itself instead of using this helper).
-pub fn call(transport: &dyn Transport, request: &Request) -> Result<Response, TransportError> {
-    transport.send(&request.to_bytes())?;
-    let frame = transport.recv()?.ok_or(TransportError::Closed)?;
-    let response = Response::from_bytes(&frame)
-        .map_err(|_| TransportError::Malformed("peer sent an undecodable response"))?;
-    if response.request_id != request.request_id {
-        return Err(TransportError::Malformed("response id does not match"));
+/// Tuning for [`call_with`]: bounded waits and retry behaviour of the
+/// simple request/response client pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallOptions {
+    /// Per-attempt deadline for the response. `None` blocks forever (the
+    /// pre-timeout behaviour; only sensible against an in-process peer that
+    /// is guaranteed to answer).
+    pub timeout: Option<Duration>,
+    /// Total attempts (first try + retries) on retryable failures: a
+    /// response deadline expiring ([`TransportError::TimedOut`]) or the peer
+    /// answering a *retryable* [`ServiceError`]
+    /// ([`ServiceError::is_retryable`] — e.g. a request corrupted in
+    /// flight). Connection-fatal transport errors are never retried here;
+    /// the caller must reconnect or fail over.
+    pub max_attempts: u32,
+    /// Sleep before retry `i` is `backoff_base << (i - 1)`, capped at
+    /// [`CallOptions::backoff_cap`].
+    pub backoff_base: Duration,
+    /// Upper bound of the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for CallOptions {
+    /// 30 s per-attempt timeout, 3 attempts, 10 ms base backoff: a silent
+    /// peer surfaces as [`TransportError::TimedOut`] instead of hanging the
+    /// caller forever.
+    fn default() -> Self {
+        CallOptions {
+            timeout: Some(Duration::from_secs(30)),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
     }
-    Ok(response)
+}
+
+impl CallOptions {
+    /// The backoff to sleep before retry number `retry` (1-based).
+    pub(crate) fn backoff(&self, retry: u32) -> Duration {
+        let shift = retry.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << shift)
+            .min(self.backoff_cap)
+    }
+}
+
+/// Sends `request` and blocks for the next response frame — the minimal
+/// client call pattern, with the default [`CallOptions`] (bounded wait plus
+/// retries on retryable failures). See [`call_with`].
+pub fn call(transport: &dyn Transport, request: &Request) -> Result<Response, TransportError> {
+    call_with(transport, request, &CallOptions::default())
+}
+
+/// Sends `request` and waits (boundedly) for its response, retrying
+/// retryable failures per `options`.
+///
+/// Responses are matched by the echoed [`Request::request_id`]; a stale
+/// response with a different id (e.g. the answer to a previous attempt that
+/// timed out) is drained and ignored rather than misattributed, which is
+/// safe because requests are idempotent. A response that does not decode is
+/// treated like a retryable corruption. The retryable-vs-terminal split for
+/// peer-reported errors is [`ServiceError::is_retryable`] — the same
+/// classification the shard coordinator uses — so e.g. a
+/// [`ServiceError::MalformedRequest`] (our bytes were mangled in flight)
+/// re-sends, while a [`ServiceError::DeadlineExceeded`] comes straight
+/// back to the caller.
+pub fn call_with(
+    transport: &dyn Transport,
+    request: &Request,
+    options: &CallOptions,
+) -> Result<Response, TransportError> {
+    let attempts = options.max_attempts.max(1);
+    let mut last_error = TransportError::TimedOut;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(options.backoff(attempt));
+        }
+        transport.send(&request.to_bytes())?;
+        let deadline = options.timeout.map(|t| Instant::now() + t);
+        loop {
+            let frame = match deadline {
+                None => transport.recv(),
+                Some(deadline) => {
+                    let Some(remaining) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|r| !r.is_zero())
+                    else {
+                        last_error = TransportError::TimedOut;
+                        break;
+                    };
+                    transport.recv_timeout(remaining)
+                }
+            };
+            match frame {
+                Ok(Some(frame)) => match Response::from_bytes(&frame) {
+                    Ok(response) if response.request_id == request.request_id => {
+                        match &response.body {
+                            ResponseBody::Query(QueryResponse::Error(e))
+                                if e.is_retryable() && attempt + 1 < attempts =>
+                            {
+                                last_error = TransportError::TimedOut;
+                                break; // next attempt re-sends the request
+                            }
+                            _ => return Ok(response),
+                        }
+                    }
+                    // Stale answer to an earlier attempt, or a frame whose
+                    // id was corrupted en route: keep waiting for ours.
+                    Ok(_) | Err(_) => continue,
+                },
+                Ok(None) => return Err(TransportError::Closed),
+                Err(TransportError::TimedOut) => {
+                    last_error = TransportError::TimedOut;
+                    break;
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+    }
+    Err(last_error)
 }
 
 /// Runs a shard worker: a loop that serves [`RequestBody::WorkItem`]
@@ -200,8 +362,10 @@ pub fn call(transport: &dyn Transport, request: &Request) -> Result<Response, Tr
 /// [`RequestBody::Batch`]) and graph loads ([`RequestBody::LoadGraph`] — a
 /// shard has no slots, and honouring host-side paths from the wire would be
 /// a hole besides) are answered with [`ServiceError::Unsupported`];
-/// undecodable frames with [`ServiceError::MalformedRequest`] (request id 0,
-/// since none could be read).
+/// undecodable frames — including frames whose envelope checksum shows they
+/// were corrupted in flight — with [`ServiceError::MalformedRequest`]
+/// (request id 0, since none could be read), never silence: a client always
+/// gets one response frame per request frame.
 pub fn run_shard_worker(
     transport: &dyn Transport,
     options: &KvccOptions,
@@ -263,6 +427,54 @@ mod tests {
         drop(b);
         assert_eq!(a.recv().unwrap(), None, "peer gone, stream drained");
         assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_a_silent_peer_without_losing_bytes() {
+        let (a, b) = LoopbackTransport::pair();
+        let before = Instant::now();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(20)),
+            Err(TransportError::TimedOut)
+        );
+        assert!(before.elapsed() >= Duration::from_millis(20));
+        assert!(TransportError::TimedOut.is_retryable());
+        assert!(!TransportError::Closed.is_retryable());
+        // The timeout is non-destructive: a frame sent afterwards arrives.
+        b.send(b"late").unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(100)).unwrap().unwrap(),
+            b"late"
+        );
+    }
+
+    #[test]
+    fn call_times_out_instead_of_blocking_forever() {
+        let (client, _server) = LoopbackTransport::pair();
+        let options = CallOptions {
+            timeout: Some(Duration::from_millis(5)),
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+        };
+        let request = Request::query(1, QueryRequest::GraphStats { graph: GraphId(0) });
+        assert_eq!(
+            call_with(&client, &request, &options),
+            Err(TransportError::TimedOut)
+        );
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let options = CallOptions {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            ..CallOptions::default()
+        };
+        assert_eq!(options.backoff(1), Duration::from_millis(10));
+        assert_eq!(options.backoff(2), Duration::from_millis(20));
+        assert_eq!(options.backoff(3), Duration::from_millis(35));
+        assert_eq!(options.backoff(30), Duration::from_millis(35));
     }
 
     #[test]

@@ -17,7 +17,9 @@ pub use kvcc::{
 pub use kvcc_flow::{global_vertex_connectivity, is_k_vertex_connected};
 pub use kvcc_graph::{CsrGraph, GraphView, UndirectedGraph, VertexId};
 pub use kvcc_service::{
-    call, run_shard_worker, EngineConfig, GraphId, LoopbackTransport, OrderingPolicy, PageCursor,
-    QueryRequest, QueryResponse, RankBy, RankedEntry, Request, RequestBody, Response, ResponseBody,
-    ServiceEngine, ServiceError, Transport,
+    call, call_with, run_fleet, run_shard_worker, CallOptions, CoordinatorConfig, EngineConfig,
+    FaultPlan, FaultTransport, FleetOutcome, FleetStats, GraphId, LoopbackTransport,
+    OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankBy, RankedEntry, Request,
+    RequestBody, Response, ResponseBody, ServiceEngine, ServiceError, ShardPool, SocketOptions,
+    TcpTransport, Transport, TransportError, UnixTransport,
 };

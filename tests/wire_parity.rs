@@ -187,6 +187,11 @@ fn all_responses() -> Vec<Response> {
                 steals: u64::MAX,
                 splits: 0,
                 cancelled_runs: 3,
+                retries: 12,
+                requeues: 4,
+                quarantines: 1,
+                reinstatements: 1,
+                local_fallbacks: 2,
             },
         },
         QueryResponse::Page {
