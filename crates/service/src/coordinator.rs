@@ -313,7 +313,15 @@ impl<'b> WorkerState<'_, 'b> {
                 let pending = inner.queue.remove(pos).expect("position just found");
                 if pending.attempts >= self.config.max_attempts {
                     // Retry budget spent: this item never goes on the wire
-                    // again. Degrade to local execution (or fail the run).
+                    // again. Hand the batch built so far back to the queue —
+                    // those entries are already dequeued and would otherwise
+                    // be lost (their ids are simply never used; stale-id
+                    // handling covers a worker that somehow answers one).
+                    for (_, p) in to_send.drain(..).rev() {
+                        inner.queue.push_front(p);
+                    }
+                    self.shared.ready.notify_all();
+                    // Degrade to local execution (or fail the run).
                     if self.config.local_fallback {
                         return Step::Local(pending);
                     }
@@ -517,9 +525,23 @@ impl<'b> WorkerState<'_, 'b> {
                 Step::Done => return,
                 Step::Local(pending) => self.run_local(pending),
                 Step::Send(batch) => {
-                    for (id, pending) in batch {
+                    let mut batch = batch.into_iter();
+                    while let Some((id, pending)) = batch.next() {
                         if !self.send_one(id, pending) {
-                            return; // transport died mid-batch
+                            // Transport died mid-batch. `send_one` requeued
+                            // the item it was holding and `die` requeued the
+                            // in-flight set; the unsent remainder of the
+                            // batch must go back too, or the fleet loses it.
+                            let rest: Vec<Pending> = batch.map(|(_, p)| p).collect();
+                            if !rest.is_empty() {
+                                let mut inner = self.shared.inner.lock().unwrap();
+                                inner.stats.requeues += rest.len() as u64;
+                                for p in rest {
+                                    self.shared
+                                        .requeue(&mut inner, p.idx, p.attempts, self.config);
+                                }
+                            }
+                            return;
                         }
                     }
                 }
@@ -655,27 +677,34 @@ mod tests {
     use crate::wire::transport::{run_shard_worker, LoopbackTransport};
     use kvcc_graph::CsrGraph;
 
-    fn items() -> Vec<CsrWorkItem> {
-        // Two independent triangles-with-a-shared-vertex items, disjoint
+    fn items_n(n: u32) -> Vec<CsrWorkItem> {
+        // Independent triangles-with-a-shared-vertex items, disjoint
         // original id ranges.
-        [0u32, 100]
-            .into_iter()
-            .map(|base| {
+        (0..n)
+            .map(|i| {
                 let graph =
                     CsrGraph::from_edges(5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
                         .unwrap();
-                CsrWorkItem::new(graph, (0..5).map(|v| base + v).collect())
+                CsrWorkItem::new(graph, (0..5).map(|v| 100 * i + v).collect())
             })
             .collect()
     }
 
-    fn expected() -> Vec<KVertexConnectedComponent> {
-        let mut all: Vec<KVertexConnectedComponent> = items()
+    fn items() -> Vec<CsrWorkItem> {
+        items_n(2)
+    }
+
+    fn expected_from(items: &[CsrWorkItem]) -> Vec<KVertexConnectedComponent> {
+        let mut all: Vec<KVertexConnectedComponent> = items
             .iter()
             .flat_map(|item| run_work_item(item, 2, &KvccOptions::default()).unwrap())
             .collect();
         all.sort();
         all
+    }
+
+    fn expected() -> Vec<KVertexConnectedComponent> {
+        expected_from(&items())
     }
 
     #[test]
@@ -746,6 +775,120 @@ mod tests {
         assert_eq!(outcome.components, expected());
         assert_eq!(outcome.stats.worker_deaths, 1);
         assert_eq!(outcome.stats.local_fallbacks, 2);
+    }
+
+    /// A transport whose first send succeeds and every later one fails
+    /// fatally; receives always time out. Forces the fatal-mid-batch path.
+    struct DiesOnSecondSend {
+        sends: std::sync::atomic::AtomicU32,
+    }
+
+    impl Transport for DiesOnSecondSend {
+        fn send(&self, _frame: &[u8]) -> Result<(), TransportError> {
+            if self
+                .sends
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                == 0
+            {
+                Ok(())
+            } else {
+                Err(TransportError::Closed)
+            }
+        }
+
+        fn recv(&self) -> Result<Option<Vec<u8>>, TransportError> {
+            Ok(None)
+        }
+
+        fn recv_timeout(&self, _timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+            Err(TransportError::TimedOut)
+        }
+    }
+
+    #[test]
+    fn exhausted_item_does_not_drop_the_batch_built_before_it() {
+        // Planning dequeues a fresh item, then hits a retry-exhausted one.
+        // The Step::Local return must put the already-dequeued fresh item
+        // back on the queue, or its result slot never fills and the run
+        // hangs.
+        let fleet = items();
+        let config = CoordinatorConfig::default();
+        let now = Instant::now();
+        let shared = Shared {
+            items: &fleet,
+            k: 2,
+            inner: Mutex::new(Inner {
+                queue: VecDeque::from([
+                    Pending {
+                        idx: 0,
+                        attempts: 0,
+                        not_before: now,
+                    },
+                    Pending {
+                        idx: 1,
+                        attempts: config.max_attempts,
+                        not_before: now,
+                    },
+                ]),
+                results: vec![None; fleet.len()],
+                completed: 0,
+                terminal: None,
+                next_request_id: 1,
+                stats: FleetStats::default(),
+            }),
+            ready: Condvar::new(),
+        };
+        let transport = DiesOnSecondSend {
+            sends: std::sync::atomic::AtomicU32::new(0),
+        };
+        let options = KvccOptions::default();
+        let mut worker = WorkerState {
+            shared: &shared,
+            transport: &transport,
+            config: &config,
+            options: &options,
+            in_flight: VecDeque::new(),
+            consecutive_failures: 0,
+            quarantined: false,
+            probe_round: 0,
+            probe_at: now,
+        };
+        match worker.next_step() {
+            Step::Local(pending) => assert_eq!(pending.idx, 1, "the exhausted item runs locally"),
+            _ => panic!("expected the exhausted item to degrade to local execution"),
+        }
+        let inner = shared.inner.lock().unwrap();
+        assert_eq!(
+            inner.queue.iter().map(|p| p.idx).collect::<Vec<_>>(),
+            vec![0],
+            "the batch entry dequeued before the exhausted item must return to the queue"
+        );
+    }
+
+    #[test]
+    fn fatal_send_mid_batch_requeues_the_unsent_remainder() {
+        // Three items go out as one batch; the transport dies on the second
+        // send. The first (in flight) and second (being sent) are requeued
+        // by die()/send_one — the third must be requeued too, not dropped.
+        let fleet = items_n(3);
+        let transport = DiesOnSecondSend {
+            sends: std::sync::atomic::AtomicU32::new(0),
+        };
+        let outcome = run_fleet(
+            &fleet,
+            2,
+            &[&transport],
+            &KvccOptions::default(),
+            &CoordinatorConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.components, expected_from(&fleet));
+        assert_eq!(outcome.stats.worker_deaths, 1);
+        assert_eq!(
+            outcome.stats.requeues, 3,
+            "in-flight item + failed send + unsent remainder must all requeue"
+        );
+        assert_eq!(outcome.stats.local_fallbacks, 3);
     }
 
     #[test]

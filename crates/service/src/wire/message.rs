@@ -81,6 +81,14 @@ fn seal(mut out: Vec<u8>) -> Vec<u8> {
 /// reported as corruption (retryable for the peer that sent valid bytes)
 /// rather than as a protocol violation.
 fn verify_checksum(bytes: &[u8]) -> Result<&[u8], GraphError> {
+    // Peek magic + version before the integrity check: a peer speaking a
+    // different protocol version checksums differently (or not at all), so
+    // its well-formed messages must be rejected as "unsupported protocol
+    // version" — the cross-version honesty [`PROTOCOL_VERSION`] promises —
+    // not misreported as in-flight corruption.
+    if bytes.len() > 4 && bytes[..4] == MESSAGE_MAGIC && bytes[4] != PROTOCOL_VERSION {
+        return Err(malformed("unsupported protocol version"));
+    }
     if bytes.len() < CHECKSUM_BYTES {
         return Err(malformed("message shorter than its integrity checksum"));
     }
@@ -780,6 +788,26 @@ mod tests {
         let mut bad_version = good.clone();
         bad_version[4] = 1;
         assert!(Request::from_bytes(&bad_version).is_err());
+    }
+
+    #[test]
+    fn other_protocol_versions_are_rejected_as_unsupported_not_corrupt() {
+        // A peer speaking another protocol revision checksums differently
+        // (or not at all), so its frames must fail with the documented
+        // "unsupported protocol version" — never be misreported as
+        // in-flight corruption by the integrity check running first.
+        let good = Request::query(1, QueryRequest::GraphStats { graph: GraphId(0) }).to_bytes();
+        for version in [1u8, 3, 5, 255] {
+            let mut other = good.clone();
+            other[4] = version;
+            match Request::from_bytes(&other).unwrap_err() {
+                GraphError::MalformedBytes { reason } => assert_eq!(
+                    reason, "unsupported protocol version",
+                    "version {version} misclassified"
+                ),
+                other => panic!("expected a malformed-bytes rejection, got {other:?}"),
+            }
+        }
     }
 
     #[test]

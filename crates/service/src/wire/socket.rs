@@ -261,15 +261,20 @@ fn accept_loop<T: Transport + 'static>(
             if shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            continue; // transient accept failure; keep serving
+            // A persistent accept error (e.g. EMFILE) must not spin hot;
+            // back off briefly before retrying.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
         };
         if shutdown.load(Ordering::Relaxed) {
             return;
         }
-        if active.load(Ordering::Relaxed) >= max_connections {
+        // Reserve the slot atomically (increment, then undo when over the
+        // cap) so concurrent accept loops can never admit past the cap.
+        if active.fetch_add(1, Ordering::Relaxed) >= max_connections {
+            active.fetch_sub(1, Ordering::Relaxed);
             continue; // over the cap: drop the connection (peer sees Closed)
         }
-        active.fetch_add(1, Ordering::Relaxed);
         let served = Arc::clone(served);
         let active = Arc::clone(active);
         let options = options.clone();
