@@ -61,16 +61,25 @@
 //!   with the coordinator's retry/requeue/fallback counters recorded per
 //!   rate; checksums are identical across transports and fault schedules.
 //!
+//! PR 9 section (written to `BENCH_pr9.json`):
+//!
+//! * mutable graphs — incremental connectivity-index maintenance
+//!   (`ConnectivityIndex::apply_updates`) vs a from-scratch rebuild on the
+//!   post-update graph, for one representative small batch and across a
+//!   whole replayed update stream (per-batch blast radius, repair size and
+//!   speedup recorded); index bytes are asserted identical on both paths at
+//!   every step.
+//!
 //! Usage: `pr1-bench [--smoke] [--only=prN] [pr1.json [pr2.json [pr3.json
-//! [pr4.json [pr5.json [pr6.json [pr7.json [pr8.json]]]]]]]]` (defaults
-//! `BENCH_pr1.json` … `BENCH_pr8.json`). `--smoke` runs every case exactly
+//! [pr4.json [pr5.json [pr6.json [pr7.json [pr8.json [pr9.json]]]]]]]]]`
+//! (defaults `BENCH_pr1.json` … `BENCH_pr9.json`). `--smoke` runs every case exactly
 //! once with no warm-up — the CI mode that keeps this binary from
 //! bit-rotting without spending bench budget. `--only=prN` runs (and writes)
 //! a single section, so one record can be regenerated without re-measuring —
 //! and overwriting — the committed anchors of the others; an unknown section
 //! name is an error listing the valid ones.
 
-use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8};
+use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -103,7 +112,9 @@ fn main() {
             paths.push(arg);
         }
     }
-    const SECTIONS: [&str; 8] = ["pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8"];
+    const SECTIONS: [&str; 9] = [
+        "pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8", "pr9",
+    ];
     if let Some(section) = only.as_deref() {
         if !SECTIONS.contains(&section) {
             eprintln!(
@@ -124,6 +135,7 @@ fn main() {
     let pr6_path = path(5, "BENCH_pr6.json");
     let pr7_path = path(6, "BENCH_pr7.json");
     let pr8_path = path(7, "BENCH_pr8.json");
+    let pr9_path = path(8, "BENCH_pr9.json");
 
     if want("pr1") {
         let report = pr1::run_all(smoke);
@@ -258,5 +270,35 @@ fn main() {
             );
         }
         write_or_die(&pr8_path, pr8::render_json(&pr8_report, &fault_rates));
+    }
+
+    if want("pr9") {
+        let pr9_report = pr9::run_all(smoke);
+        print_section(
+            &pr9_report,
+            "PR 9 mutable-graph section (incremental repair vs full rebuild)",
+        );
+        for (baseline, contender, label) in pr9::speedup_pairs() {
+            if let Some(s) = pr9_report.speedup(baseline, contender) {
+                println!("ratio {label}: {s:.2}x");
+            }
+        }
+        let replay = pr9::replay_rows(smoke);
+        for row in &replay {
+            println!(
+                "{:<14} batch {}: {:>3} updates, blast {:>4} vertices, {:>3} nodes repaired\
+                 {}  incremental {:>9} ns vs rebuild {:>9} ns ({:.1}x)",
+                row.workload,
+                row.batch,
+                row.updates,
+                row.affected_vertices,
+                row.repaired_nodes,
+                if row.rebuilt { " (full rebuild)" } else { "" },
+                row.incremental_ns,
+                row.rebuild_ns,
+                row.speedup
+            );
+        }
+        write_or_die(&pr9_path, pr9::render_json(&pr9_report, &replay));
     }
 }

@@ -21,6 +21,7 @@ pub mod pr5;
 pub mod pr6;
 pub mod pr7;
 pub mod pr8;
+pub mod pr9;
 pub mod report;
 
 pub use report::Table;

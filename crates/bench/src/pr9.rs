@@ -1,0 +1,418 @@
+//! PR 9 performance record: mutable graphs — incremental index maintenance
+//! versus full rebuilds over a replayed edge-update stream.
+//!
+//! Two views of the same question (*what does an update batch cost?*):
+//!
+//! * **Representative-batch timings** — `incremental/*` rows clone the base
+//!   [`ConnectivityIndex`] and repair it through
+//!   [`ConnectivityIndex::apply_updates`] for one small batch; `rebuild/*`
+//!   rows build a fresh index on the post-batch graph. The checksum of both
+//!   rows is the FNV-1a fingerprint of the resulting index bytes, asserted
+//!   identical — the speedup ratio is only meaningful because the outputs
+//!   are byte-identical.
+//! * **Stream replay** — the `replay` table walks the whole generated
+//!   update stream ([`kvcc_datasets::diffs`]) batch by batch, maintaining
+//!   one live index incrementally while timing a from-scratch rebuild at
+//!   every step, and records the per-batch blast radius
+//!   (`affected_vertices`), repair size (`repaired_nodes`), whether the
+//!   repair fell back to a full rebuild, and the per-batch speedup. Parity
+//!   is asserted at every batch.
+//!
+//! The two workloads sit at the two ends of the blast-radius model:
+//!
+//! * **`planted`** — many *disjoint* dense blocks with a triadic-closure
+//!   update stream (`locality: 1.0`), so every update stays inside one
+//!   block's level-1 component. The blast radius is a handful of blocks and
+//!   the incremental splice beats the full rebuild — this is the regime the
+//!   subsystem is built for (and the acceptance ratio).
+//! * **`collaboration`** — one *connected* graph with a uniform stream.
+//!   Every endpoint's level-1 root is the whole graph, so every batch
+//!   escalates to the full-rebuild fallback; the row documents that the
+//!   fallback keeps the worst case at rebuild cost (ratio ≈ 1×) instead of
+//!   degrading below it.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use kvcc::{ConnectivityIndex, KvccOptions};
+use kvcc_datasets::collaboration::{collaboration_graph, CollaborationConfig};
+use kvcc_datasets::diffs::{diff_stream, DiffStreamConfig};
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::{CsrGraph, DeltaGraph, EdgeUpdate};
+
+use crate::pr1::{case_budget, measure_fn, Report};
+
+/// Batches per generated stream; small batches keep the blast radius small,
+/// which is the regime incremental maintenance is built for.
+const BATCHES: usize = 6;
+const BATCH_SIZE: usize = 6;
+/// Updates per batch on the disjoint-blocks workload: each update touches
+/// one block, so the blast radius stays ≤ `PLANTED_BATCH_SIZE` blocks —
+/// well under the half-graph fallback threshold.
+const PLANTED_BATCH_SIZE: usize = 4;
+
+/// One dynamic workload: the base graph and index, the generated stream and
+/// the post-batch graph snapshots (cumulative: `snapshots[i]` is the graph
+/// after batches `0..=i`).
+struct Pr9Workload {
+    name: &'static str,
+    base_index: ConnectivityIndex,
+    stream: Vec<Vec<EdgeUpdate>>,
+    snapshots: Vec<CsrGraph>,
+}
+
+impl Pr9Workload {
+    fn new(name: &'static str, base: CsrGraph, config: DiffStreamConfig) -> Self {
+        let options = KvccOptions::default();
+        let base_index =
+            ConnectivityIndex::build(&base, None, &options).expect("base index builds");
+        let stream = diff_stream(&base, &config);
+        let mut snapshots = Vec::with_capacity(stream.len());
+        let mut rolling = DeltaGraph::new(base);
+        for batch in &stream {
+            rolling.apply(batch).expect("stream endpoints in range");
+            snapshots.push(CsrGraph::from_view(&rolling));
+        }
+        Pr9Workload {
+            name,
+            base_index,
+            stream,
+            snapshots,
+        }
+    }
+}
+
+/// The small-blast-radius workload: 24 *disjoint* dense blocks (no chains,
+/// no background), updated by a pure triadic-closure stream. Each update's
+/// level-1 root is one block, so the repair splices a few blocks while the
+/// rebuild re-enumerates all 24.
+fn planted_workload() -> &'static Pr9Workload {
+    static ACTIVE: OnceLock<Pr9Workload> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let g = planted_communities(&PlantedConfig {
+            num_communities: 24,
+            chain_length: 1,
+            overlap: 0,
+            community_size: (10, 14),
+            background_vertices: 0,
+            attachment_edges_per_community: 0,
+            seed: 77,
+            ..PlantedConfig::default()
+        })
+        .graph;
+        Pr9Workload::new(
+            "planted",
+            CsrGraph::from_view(&g),
+            DiffStreamConfig {
+                batches: BATCHES,
+                batch_size: PLANTED_BATCH_SIZE,
+                delete_fraction: 0.35,
+                locality: 1.0,
+                seed: 0x9001,
+            },
+        )
+    })
+}
+
+/// The global-blast-radius workload: one connected collaboration graph with
+/// a uniform stream. Every batch escalates to the full-rebuild fallback.
+fn collaboration_workload() -> &'static Pr9Workload {
+    static ACTIVE: OnceLock<Pr9Workload> = OnceLock::new();
+    ACTIVE.get_or_init(|| {
+        let g = collaboration_graph(&CollaborationConfig {
+            num_groups: 4,
+            group_size: (6, 8),
+            pendant_collaborators: 8,
+            ..CollaborationConfig::default()
+        })
+        .graph;
+        Pr9Workload::new(
+            "collaboration",
+            CsrGraph::from_view(&g),
+            DiffStreamConfig {
+                batches: BATCHES,
+                batch_size: BATCH_SIZE,
+                delete_fraction: 0.35,
+                locality: 0.0,
+                seed: 0x9002,
+            },
+        )
+    })
+}
+
+/// FNV-1a over the serialised index — the parity fingerprint reported in
+/// `BENCH_pr9.json`.
+fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Incrementally repairs a clone of the workload's base index through its
+/// first batch and fingerprints the result.
+fn incremental_once(w: &Pr9Workload) -> usize {
+    let mut index = w.base_index.clone();
+    index
+        .apply_updates(&w.snapshots[0], &w.stream[0], &KvccOptions::default())
+        .expect("repair succeeds");
+    fingerprint(&index.to_bytes()) as usize
+}
+
+/// Builds a fresh index on the post-first-batch graph and fingerprints it
+/// at the same epoch the incremental path lands on.
+fn rebuild_once(w: &Pr9Workload) -> usize {
+    let mut index =
+        ConnectivityIndex::build(&w.snapshots[0], None, &KvccOptions::default()).expect("builds");
+    index.set_epoch(w.base_index.epoch() + 1);
+    fingerprint(&index.to_bytes()) as usize
+}
+
+fn planted_incremental() -> usize {
+    incremental_once(planted_workload())
+}
+
+fn planted_rebuild() -> usize {
+    rebuild_once(planted_workload())
+}
+
+fn collaboration_incremental() -> usize {
+    incremental_once(collaboration_workload())
+}
+
+fn collaboration_rebuild() -> usize {
+    rebuild_once(collaboration_workload())
+}
+
+/// One step of the stream replay: blast radius, repair size and the
+/// incremental-vs-rebuild timings at that batch.
+#[derive(Clone, Debug)]
+pub struct ReplayRow {
+    /// Workload name (`planted` / `collaboration`).
+    pub workload: &'static str,
+    /// Batch position in the stream (0-based).
+    pub batch: usize,
+    /// Updates in the batch.
+    pub updates: usize,
+    /// Vertices in the repair region (endpoints plus their level-1
+    /// components).
+    pub affected_vertices: u32,
+    /// Forest nodes re-enumerated by the repair (equals the node count when
+    /// the repair escalated to a full rebuild).
+    pub repaired_nodes: u32,
+    /// Whether the blast radius forced the incremental path into a full
+    /// rebuild.
+    pub rebuilt: bool,
+    /// Wall-clock nanoseconds of the incremental repair.
+    pub incremental_ns: u128,
+    /// Wall-clock nanoseconds of the from-scratch rebuild on the same
+    /// post-batch graph.
+    pub rebuild_ns: u128,
+    /// `rebuild_ns / incremental_ns`.
+    pub speedup: f64,
+    /// FNV-1a fingerprint of the (identical) index bytes after this batch.
+    pub index_fingerprint: u64,
+}
+
+/// Replays a workload's whole stream, asserting byte parity at every batch.
+fn replay(w: &Pr9Workload, batches: usize) -> Vec<ReplayRow> {
+    let options = KvccOptions::default();
+    let mut live = w.base_index.clone();
+    let mut rows = Vec::new();
+    for (i, batch) in w.stream.iter().take(batches).enumerate() {
+        let graph = &w.snapshots[i];
+        let start = Instant::now();
+        let report = live
+            .apply_updates(graph, batch, &options)
+            .expect("repair succeeds");
+        let incremental_ns = start.elapsed().as_nanos();
+
+        let start = Instant::now();
+        let mut rebuilt = ConnectivityIndex::build(graph, None, &options).expect("builds");
+        let rebuild_ns = start.elapsed().as_nanos();
+
+        rebuilt.set_epoch(live.epoch());
+        let live_bytes = live.to_bytes();
+        assert_eq!(
+            live_bytes,
+            rebuilt.to_bytes(),
+            "{} batch {i}: incremental repair must be byte-identical to a rebuild",
+            w.name
+        );
+        rows.push(ReplayRow {
+            workload: w.name,
+            batch: i,
+            updates: batch.len(),
+            affected_vertices: report.affected_vertices,
+            repaired_nodes: report.repaired_nodes,
+            rebuilt: report.rebuilt,
+            incremental_ns,
+            rebuild_ns,
+            speedup: rebuild_ns as f64 / (incremental_ns.max(1)) as f64,
+            index_fingerprint: fingerprint(&live_bytes),
+        });
+    }
+    rows
+}
+
+/// The stream-replay table reported in `BENCH_pr9.json`.
+pub fn replay_rows(smoke: bool) -> Vec<ReplayRow> {
+    let batches = if smoke { 2 } else { BATCHES };
+    let mut rows = replay(planted_workload(), batches);
+    rows.extend(replay(collaboration_workload(), batches));
+    rows
+}
+
+/// Runs the representative-batch rows.
+pub fn run_all(smoke: bool) -> Report {
+    let (warmup, budget, min_iters) = case_budget(
+        smoke,
+        Duration::from_millis(50),
+        Duration::from_millis(300),
+        20,
+    );
+    let mut report = Report::default();
+    for (name, run) in [
+        (
+            "pr9/planted/incremental",
+            planted_incremental as fn() -> usize,
+        ),
+        ("pr9/planted/rebuild", planted_rebuild),
+        ("pr9/collaboration/incremental", collaboration_incremental),
+        ("pr9/collaboration/rebuild", collaboration_rebuild),
+    ] {
+        report
+            .entries
+            .push(measure_fn(name, run, warmup, budget, min_iters));
+    }
+    for pair in report.entries.chunks(2) {
+        assert_eq!(
+            pair[0].checksum, pair[1].checksum,
+            "{} and {} must produce byte-identical indexes",
+            pair[0].name, pair[1].name
+        );
+    }
+    report
+}
+
+/// Ratio pairs reported in `BENCH_pr9.json`: how much cheaper the
+/// incremental repair is than the full rebuild it replaces.
+pub fn speedup_pairs() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            "pr9/planted/rebuild",
+            "pr9/planted/incremental",
+            "incremental_vs_rebuild_planted",
+        ),
+        (
+            "pr9/collaboration/rebuild",
+            "pr9/collaboration/incremental",
+            "incremental_vs_rebuild_collaboration",
+        ),
+    ]
+}
+
+/// JSON payload for `BENCH_pr9.json` (hand-assembled like the other
+/// sections).
+pub fn render_json(report: &Report, replay: &[ReplayRow]) -> String {
+    let planted = planted_workload();
+    let collab = collaboration_workload();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 9,\n");
+    out.push_str(
+        "  \"description\": \"mutable graphs: incremental connectivity-index maintenance vs \
+         full rebuild over a replayed batched edge-update stream, byte parity asserted at \
+         every batch\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workloads\": [{{\"name\": \"planted\", \"vertices\": {}, \"edges\": {}, \
+         \"batches\": {}, \"batch_size\": {}}}, {{\"name\": \"collaboration\", \
+         \"vertices\": {}, \"edges\": {}, \"batches\": {}, \"batch_size\": {}}}],\n",
+        planted.snapshots[0].num_vertices(),
+        planted.snapshots[0].num_edges(),
+        planted.stream.len(),
+        PLANTED_BATCH_SIZE,
+        collab.snapshots[0].num_vertices(),
+        collab.snapshots[0].num_edges(),
+        collab.stream.len(),
+        BATCH_SIZE,
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}, \"checksum\": {}}}{}\n",
+            e.name,
+            e.mean_ns,
+            e.iterations,
+            e.checksum,
+            if i + 1 < report.entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"replay\": [\n");
+    for (i, row) in replay.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"batch\": {}, \"updates\": {}, \
+             \"affected_vertices\": {}, \"repaired_nodes\": {}, \"rebuilt\": {}, \
+             \"incremental_ns\": {}, \"rebuild_ns\": {}, \"speedup\": {:.3}, \
+             \"index_fingerprint\": {}}}{}\n",
+            row.workload,
+            row.batch,
+            row.updates,
+            row.affected_vertices,
+            row.repaired_nodes,
+            row.rebuilt,
+            row.incremental_ns,
+            row.rebuild_ns,
+            row.speedup,
+            row.index_fingerprint,
+            if i + 1 < replay.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"ratios\": {\n");
+    let mut parts = Vec::new();
+    for (baseline, contender, label) in speedup_pairs() {
+        if let Some(s) = report.speedup(baseline, contender) {
+            parts.push(format!("    \"{label}\": {s:.3}"));
+        }
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_and_rebuild_fingerprints_agree_across_the_replay() {
+        let report = run_all(true);
+        assert_eq!(report.entries.len(), 4);
+        let rows = replay_rows(true);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.updates > 0));
+        // The two workloads must land in their designed regimes: the
+        // disjoint-blocks stream stays on the incremental splice path, the
+        // connected uniform stream escalates to the fallback every batch.
+        assert!(
+            rows.iter()
+                .filter(|r| r.workload == "planted")
+                .all(|r| !r.rebuilt),
+            "disjoint-blocks batches must stay under the fallback threshold"
+        );
+        assert!(
+            rows.iter()
+                .filter(|r| r.workload == "collaboration")
+                .all(|r| r.rebuilt),
+            "connected-graph batches blast the whole level-1 component"
+        );
+        let json = render_json(&report, &rows);
+        assert!(json.contains("\"replay\""));
+        assert!(json.contains("incremental_vs_rebuild_planted"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -21,7 +21,7 @@
 //! `index_parity` integration suite); the index is the read path of the
 //! `kvcc-service` serving layer.
 
-use kvcc_graph::{GraphError, GraphView, VertexId};
+use kvcc_graph::{CsrGraph, EdgeUpdate, GraphError, GraphView, VertexId};
 
 use crate::error::KvccError;
 use crate::hierarchy::{build_hierarchy, KvccHierarchy};
@@ -125,8 +125,14 @@ fn rank_nodes_cmp(
 const INDEX_WIRE_MAGIC: [u8; 4] = *b"KIDX";
 /// Version byte of the index wire format; bump on incompatible changes.
 /// Version 2 switched the node records to the shared varint/delta codec
-/// ([`kvcc_graph::codec`]) and added per-node internal edge counts.
-const INDEX_WIRE_VERSION: u8 = 2;
+/// ([`kvcc_graph::codec`]) and added per-node internal edge counts. Version
+/// 3 added the mutation [`epoch`](ConnectivityIndex::epoch) varint;
+/// version-2 buffers are still accepted and restore with epoch 0 (an index
+/// persisted before the mutable-graph subsystem has, by definition, seen no
+/// updates).
+const INDEX_WIRE_VERSION: u8 = 3;
+/// The previous wire version, accepted on read with an implied epoch of 0.
+const INDEX_WIRE_VERSION_V2: u8 = 2;
 /// Fixed part of the header: magic + version + `num_vertices` (kept
 /// fixed-width so [`ConnectivityIndex::peek_num_vertices`] works without
 /// varint parsing; the depth limit and node count that follow are varints).
@@ -248,6 +254,28 @@ pub struct ConnectivityIndex {
     /// cap were never enumerated, so queries there are not answerable from
     /// the index (see [`ConnectivityIndex::covers`]).
     depth_limit: Option<u32>,
+    /// Mutation epoch: 0 for a freshly built index, incremented by every
+    /// [`ConnectivityIndex::apply_updates`] batch (whether repaired
+    /// incrementally or rebuilt). Persisted on the wire so cursors and
+    /// caches keyed on it survive a service restart.
+    epoch: u64,
+}
+
+/// Outcome of one [`ConnectivityIndex::apply_updates`] batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The index epoch after the batch (`epoch_before + 1`).
+    pub epoch: u64,
+    /// Forest nodes that were (re-)enumerated: the repaired subtree's node
+    /// count, or the whole forest when the batch fell back to a full
+    /// rebuild.
+    pub repaired_nodes: u32,
+    /// Whether the blast radius exceeded the threshold and the index was
+    /// rebuilt from scratch instead of spliced.
+    pub rebuilt: bool,
+    /// Size of the affected vertex set (updated endpoints plus every member
+    /// of a forest root containing one).
+    pub affected_vertices: u32,
 }
 
 impl ConnectivityIndex {
@@ -369,6 +397,7 @@ impl ConnectivityIndex {
             internal_edges,
             rank_orders,
             depth_limit,
+            epoch: 0,
         }
     }
 
@@ -377,11 +406,12 @@ impl ConnectivityIndex {
     /// [`kvcc_graph::codec`] varint primitives like the CSR and work-item
     /// wire formats).
     ///
-    /// Layout (version 2): magic `b"KIDX"`, version `u8`, `num_vertices` as
+    /// Layout (version 3): magic `b"KIDX"`, version `u8`, `num_vertices` as
     /// little-endian `u32` (fixed-width so
     /// [`ConnectivityIndex::peek_num_vertices`] needs no varint parsing),
     /// then varints — the depth limit (`0` for a complete index, `cap + 1`
-    /// otherwise), the node count, and per node `(k, parent + 1 — 0 for
+    /// otherwise), the mutation [`epoch`](ConnectivityIndex::epoch), the
+    /// node count, and per node `(k, parent + 1 — 0 for
     /// roots, member_count, members as a delta row, internal_edges)` in
     /// node-id order. Member lists are strictly sorted, so the delta + varint
     /// row encoding shrinks them by up to 4× versus the fixed-width
@@ -403,6 +433,7 @@ impl ConnectivityIndex {
             self.depth_limit.map_or(0, |cap| cap.saturating_add(1)),
             &mut out,
         );
+        varint::encode_u64(self.epoch, &mut out);
         varint::encode_u32(self.components.len() as u32, &mut out);
         for id in 0..self.components.len() {
             varint::encode_u32(self.ks[id], &mut out);
@@ -427,7 +458,7 @@ impl ConnectivityIndex {
     pub fn peek_num_vertices(bytes: &[u8]) -> Option<usize> {
         if bytes.len() < INDEX_WIRE_HEADER
             || bytes[..4] != INDEX_WIRE_MAGIC
-            || bytes[4] != INDEX_WIRE_VERSION
+            || !matches!(bytes[4], INDEX_WIRE_VERSION | INDEX_WIRE_VERSION_V2)
         {
             return None;
         }
@@ -505,11 +536,14 @@ impl ConnectivityIndex {
         if bytes[..4] != INDEX_WIRE_MAGIC {
             return Err(malformed("bad magic (not a connectivity-index buffer)"));
         }
-        if bytes[4] != INDEX_WIRE_VERSION {
-            // Deliberately no version-1 fallback: v1 buffers carry no
-            // internal edge counts, and they cannot be reconstructed here
-            // without the graph — a zero-filled restore would fail the
-            // service's install validation anyway. Rebuild and re-persist.
+        let version = bytes[4];
+        if !matches!(version, INDEX_WIRE_VERSION | INDEX_WIRE_VERSION_V2) {
+            // Version 2 is accepted with an implied epoch of 0 (see
+            // [`INDEX_WIRE_VERSION`]). Deliberately no version-1 fallback:
+            // v1 buffers carry no internal edge counts, and they cannot be
+            // reconstructed here without the graph — a zero-filled restore
+            // would fail the service's install validation anyway. Rebuild
+            // and re-persist.
             return Err(malformed(
                 "unsupported index format version (v1 buffers predate the \
                  ranking metadata; rebuild the index and persist it again)",
@@ -525,6 +559,11 @@ impl ConnectivityIndex {
         {
             0 => None,
             cap_plus_one => Some(cap_plus_one - 1),
+        };
+        let epoch = if version == INDEX_WIRE_VERSION {
+            r.varint_u64().ok_or_else(|| malformed("epoch truncated"))?
+        } else {
+            0
         };
         let num_nodes = r
             .varint_u32()
@@ -622,7 +661,7 @@ impl ConnectivityIndex {
                 return Err(malformed("nodes exceed the declared depth limit"));
             }
         }
-        Ok(Self::assemble(
+        let mut index = Self::assemble(
             num_vertices,
             ks,
             parents,
@@ -630,13 +669,262 @@ impl ConnectivityIndex {
             level_offsets,
             internal_edges,
             depth_limit,
-        ))
+        );
+        index.epoch = epoch;
+        Ok(index)
     }
 
     /// The `max_k` cap the index was built with ([`None`]: complete up to the
     /// degeneracy).
     pub fn depth_limit(&self) -> Option<u32> {
         self.depth_limit
+    }
+
+    /// The mutation epoch: 0 for a freshly built index, incremented by every
+    /// [`ConnectivityIndex::apply_updates`] batch. Page cursors and result
+    /// caches key on it to detect that the forest changed underneath them.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Overrides the mutation epoch. Used by the service engine to stamp a
+    /// lazily built index with its graph slot's epoch, and by parity tests
+    /// to align a fresh rebuild with an incrementally maintained index
+    /// before comparing bytes.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Repairs the index after a batch of edge updates, without re-running
+    /// the full nested enumeration.
+    ///
+    /// `graph` must be the **post-update** graph (e.g. a
+    /// [`kvcc_graph::DeltaGraph`] the same updates were applied to) over the
+    /// same vertex set the index was built on.
+    ///
+    /// The blast radius is bounded by the forest itself: each updated
+    /// endpoint's leaf pointers are walked to their level-1 roots, and the
+    /// affected region is the union of those roots' members plus the
+    /// endpoints. No edge of either the old or the new graph crosses the
+    /// region boundary — level-1 components are connected components, every
+    /// old edge stays inside its root, and every updated edge has both
+    /// endpoints in the region — so re-running the hierarchy construction on
+    /// the region's induced subgraph and splicing the result over the
+    /// dropped subtrees reproduces a full rebuild **byte-identically** (the
+    /// per-level merge uses the same component ordering the enumeration
+    /// sorts by). When the region exceeds half the graph the method falls
+    /// back to a full rebuild instead.
+    ///
+    /// Either way the epoch advances by exactly 1. The repair honours
+    /// [`KvccOptions::budget`]: an expired deadline aborts with
+    /// [`KvccError::Interrupted`] and leaves the index (and its epoch)
+    /// untouched.
+    pub fn apply_updates<G: GraphView>(
+        &mut self,
+        graph: &G,
+        updates: &[EdgeUpdate],
+        options: &KvccOptions,
+    ) -> Result<UpdateReport, KvccError> {
+        assert_eq!(
+            graph.num_vertices(),
+            self.num_vertices(),
+            "apply_updates requires the post-update graph over the indexed vertex set"
+        );
+        options.budget.check()?;
+
+        // Updated endpoints, deduplicated and validated.
+        let mut endpoints: Vec<VertexId> = updates.iter().flat_map(|u| [u.u, u.v]).collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        if let Some(&seed) = endpoints
+            .iter()
+            .find(|&&v| v as usize >= self.num_vertices())
+        {
+            return Err(KvccError::SeedOutOfRange { seed });
+        }
+        if endpoints.is_empty() {
+            // An empty batch is still a batch: the epoch advances so the
+            // service's at-most-once semantics stay simple.
+            self.epoch += 1;
+            return Ok(UpdateReport {
+                epoch: self.epoch,
+                repaired_nodes: 0,
+                rebuilt: false,
+                affected_vertices: 0,
+            });
+        }
+
+        // Affected level-1 roots: walk each endpoint's leaves to the top of
+        // the forest.
+        let mut roots: Vec<u32> = Vec::new();
+        for &v in &endpoints {
+            for &leaf in &self.leaves_of[v as usize] {
+                let mut node = leaf;
+                while self.parents[node as usize] != NO_PARENT {
+                    node = self.parents[node as usize];
+                }
+                roots.push(node);
+            }
+        }
+        roots.sort_unstable();
+        roots.dedup();
+
+        // The affected vertex set: members of every affected root plus the
+        // endpoints themselves (which may be isolated or newly connected).
+        let mut affected: Vec<VertexId> = endpoints;
+        for &r in &roots {
+            affected.extend_from_slice(self.components[r as usize].vertices());
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let affected_vertices = affected.len() as u32;
+
+        // Blast-radius fallback: past half the graph an induced re-run stops
+        // paying for itself — rebuild outright.
+        if affected.len() * 2 > self.num_vertices() {
+            let mut rebuilt = Self::build(graph, self.depth_limit, options)?;
+            rebuilt.epoch = self.epoch + 1;
+            let report = UpdateReport {
+                epoch: rebuilt.epoch,
+                repaired_nodes: rebuilt.num_nodes() as u32,
+                rebuilt: true,
+                affected_vertices,
+            };
+            *self = rebuilt;
+            return Ok(report);
+        }
+        options.budget.check()?;
+
+        // Re-run the hierarchy construction on the affected region only.
+        let mut scratch = Vec::new();
+        let sub = CsrGraph::extract_induced(graph, &affected, &mut scratch);
+        let sub_hierarchy = build_hierarchy(&sub, self.depth_limit, options)?;
+        options.budget.check()?;
+
+        // Per-level internal edge counts of the repaired components,
+        // computed on the induced subgraph (members never leave the region,
+        // so the counts equal the full-graph ones).
+        let region_edges: Vec<Vec<u64>> = sub_hierarchy
+            .levels()
+            .iter()
+            .map(|level| count_internal_edges(&sub, &level.components))
+            .collect();
+
+        // Mark dropped nodes: a node goes iff its level-1 root is affected.
+        // Parents precede children, so one forward pass resolves the roots.
+        let num_nodes = self.components.len();
+        let mut root_of = vec![0u32; num_nodes];
+        for id in 0..num_nodes {
+            root_of[id] = match self.parents[id] {
+                NO_PARENT => id as u32,
+                p => root_of[p as usize],
+            };
+        }
+        let dropped = |id: usize| roots.binary_search(&root_of[id]).is_ok();
+
+        // Splice: merge the surviving nodes and the repaired region level by
+        // level, ordered by the component comparator — exactly the order the
+        // hierarchy construction sorts each level by, which is what makes
+        // the result byte-identical to a full rebuild.
+        let mut new_ks: Vec<u32> = Vec::new();
+        let mut new_parents: Vec<u32> = Vec::new();
+        let mut new_components: Vec<KVertexConnectedComponent> = Vec::new();
+        let mut new_internal: Vec<u64> = Vec::new();
+        let mut new_level_offsets = vec![0usize];
+        // Old node id → new node id for survivors; (level, idx) → new node
+        // id for repaired nodes.
+        let mut remap = vec![NO_PARENT; num_nodes];
+        let mut region_ids: Vec<Vec<u32>> = Vec::new();
+
+        let old_levels = self.level_offsets.len() - 1;
+        let region_levels = sub_hierarchy.levels().len();
+        for li in 0..old_levels.max(region_levels) {
+            let survivors: Vec<usize> = if li < old_levels {
+                (self.level_offsets[li]..self.level_offsets[li + 1])
+                    .filter(|&id| !dropped(id))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let region_level = sub_hierarchy.levels().get(li);
+            let repaired = region_level.map_or(0, |l| l.components.len());
+            if survivors.is_empty() && repaired == 0 {
+                break;
+            }
+            // Map the repaired components into graph ids. The affected list
+            // is sorted, so local → parent relabelling is monotone and the
+            // level's component order is preserved.
+            let mapped: Vec<KVertexConnectedComponent> = region_level
+                .map(|level| {
+                    level
+                        .components
+                        .iter()
+                        .map(|c| {
+                            KVertexConnectedComponent::new(
+                                c.vertices()
+                                    .iter()
+                                    .map(|&lv| affected[lv as usize])
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut ids_this_level = vec![0u32; repaired];
+            let (mut s, mut r) = (0usize, 0usize);
+            while s < survivors.len() || r < repaired {
+                // Survivors and repaired components are vertex-disjoint, so
+                // the comparator never ties and the merged order is total.
+                let take_survivor = r >= repaired
+                    || (s < survivors.len() && self.components[survivors[s]] < mapped[r]);
+                let new_id = new_components.len() as u32;
+                if take_survivor {
+                    let old_id = survivors[s];
+                    s += 1;
+                    remap[old_id] = new_id;
+                    new_ks.push(self.ks[old_id]);
+                    new_parents.push(match self.parents[old_id] {
+                        NO_PARENT => NO_PARENT,
+                        p => remap[p as usize],
+                    });
+                    new_components.push(self.components[old_id].clone());
+                    new_internal.push(self.internal_edges[old_id]);
+                } else {
+                    ids_this_level[r] = new_id;
+                    new_ks.push((li + 1) as u32);
+                    let parent = region_level
+                        .and_then(|level| level.parents[r])
+                        .map_or(NO_PARENT, |p| region_ids[li - 1][p]);
+                    new_parents.push(parent);
+                    new_components.push(mapped[r].clone());
+                    new_internal.push(region_edges[li][r]);
+                    r += 1;
+                }
+            }
+            region_ids.push(ids_this_level);
+            new_level_offsets.push(new_components.len());
+        }
+
+        let repaired_nodes = sub_hierarchy.total_components() as u32;
+        let epoch = self.epoch + 1;
+        let num_vertices = self.num_vertices();
+        let depth_limit = self.depth_limit;
+        *self = Self::assemble(
+            num_vertices,
+            new_ks,
+            new_parents,
+            new_components,
+            new_level_offsets,
+            new_internal,
+            depth_limit,
+        );
+        self.epoch = epoch;
+        Ok(UpdateReport {
+            epoch,
+            repaired_nodes,
+            rebuilt: false,
+            affected_vertices,
+        })
     }
 
     /// Whether level-`k` queries are answerable from this index: `true` for
@@ -969,22 +1257,23 @@ mod tests {
         bad_version[4] = 42;
         assert_malformed(&bad_version);
 
-        // First node claiming level 2 breaks contiguity. In the v2 layout
+        // First node claiming level 2 breaks contiguity. In the v3 layout
         // the first node's `k` varint sits right after the fixed header and
-        // the depth-limit + node-count varints (both single-byte here).
+        // the depth-limit + epoch + node-count varints (all single-byte
+        // here).
         let mut bad_level = good.clone();
-        assert_eq!(bad_level[super::INDEX_WIRE_HEADER + 2], 1, "first k");
-        bad_level[super::INDEX_WIRE_HEADER + 2] = 2;
+        assert_eq!(bad_level[super::INDEX_WIRE_HEADER + 3], 1, "first k");
+        bad_level[super::INDEX_WIRE_HEADER + 3] = 2;
         assert_malformed(&bad_level);
 
         // A hostile node count larger than the buffer is rejected before any
         // allocation.
         let mut bad_count = good.clone();
         assert!(
-            bad_count[super::INDEX_WIRE_HEADER + 1] < 0x80,
+            bad_count[super::INDEX_WIRE_HEADER + 2] < 0x80,
             "count varint"
         );
-        bad_count[super::INDEX_WIRE_HEADER + 1] = 0x7F;
+        bad_count[super::INDEX_WIRE_HEADER + 2] = 0x7F;
         assert_malformed(&bad_count);
 
         // Trailing garbage.
@@ -999,6 +1288,7 @@ mod tests {
         fabricated.push(super::INDEX_WIRE_VERSION);
         fabricated.extend_from_slice(&9u32.to_le_bytes()); // num_vertices
         fabricated.push(0); // no depth limit
+        fabricated.push(0); // epoch 0
         fabricated.push(1); // one node
         fabricated.push(1); // k = 1
         fabricated.push(0); // root
@@ -1085,6 +1375,100 @@ mod tests {
             let b = back.ranked_components(rank_by, back.num_nodes());
             assert_eq!(a, b, "{rank_by:?}");
         }
+    }
+
+    #[test]
+    fn apply_updates_matches_a_full_rebuild_byte_for_byte() {
+        use kvcc_graph::{CsrGraph, DeltaGraph, EdgeUpdate};
+        let g = mixed_graph();
+        let mut delta = DeltaGraph::new(CsrGraph::from_view(&g));
+        let mut index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        assert_eq!(index.epoch(), 0);
+        let batches: Vec<Vec<EdgeUpdate>> = vec![
+            // Weaken one triangle.
+            vec![EdgeUpdate::delete(0, 1)],
+            // Restore it and bridge the two clusters.
+            vec![EdgeUpdate::insert(0, 1), EdgeUpdate::insert(4, 5)],
+            // Tear the shared vertex out of both triangles.
+            vec![EdgeUpdate::delete(2, 3), EdgeUpdate::delete(2, 4)],
+            // An empty batch still advances the epoch.
+            vec![],
+        ];
+        for (i, batch) in batches.iter().enumerate() {
+            delta.apply(batch).unwrap();
+            let report = index
+                .apply_updates(&delta, batch, &KvccOptions::default())
+                .unwrap();
+            assert_eq!(report.epoch, (i + 1) as u64);
+            assert_eq!(index.epoch(), report.epoch);
+            let mut fresh =
+                ConnectivityIndex::build(&delta, None, &KvccOptions::default()).unwrap();
+            fresh.set_epoch(index.epoch());
+            assert_eq!(
+                index.to_bytes(),
+                fresh.to_bytes(),
+                "batch {i}: incremental repair must equal a full rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_updates_rejects_out_of_range_endpoints() {
+        use kvcc_graph::EdgeUpdate;
+        let g = mixed_graph();
+        let mut index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let before = index.to_bytes();
+        let err = index
+            .apply_updates(&g, &[EdgeUpdate::insert(0, 99)], &KvccOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, KvccError::SeedOutOfRange { seed: 99 }));
+        assert_eq!(index.to_bytes(), before, "failed batch must not mutate");
+    }
+
+    #[test]
+    fn interrupted_update_leaves_the_index_untouched() {
+        use kvcc_flow::Budget;
+        use kvcc_graph::EdgeUpdate;
+        let g = mixed_graph();
+        let mut index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        let before = index.to_bytes();
+        let budget = Budget::cancellable();
+        budget.cancel();
+        let err = index
+            .apply_updates(
+                &g,
+                &[EdgeUpdate::delete(0, 1)],
+                &KvccOptions::default().with_budget(budget),
+            )
+            .unwrap_err();
+        assert!(matches!(err, KvccError::Interrupted { .. }));
+        assert_eq!(index.to_bytes(), before, "interrupt must not mutate");
+        assert_eq!(index.epoch(), 0);
+    }
+
+    #[test]
+    fn epoch_roundtrips_and_v2_buffers_imply_epoch_zero() {
+        let g = mixed_graph();
+        let mut index = ConnectivityIndex::build(&g, None, &KvccOptions::default()).unwrap();
+        index.set_epoch(712);
+        let bytes = index.to_bytes();
+        assert_eq!(ConnectivityIndex::peek_num_vertices(&bytes), Some(9));
+        let back = ConnectivityIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.epoch(), 712);
+        assert_eq!(back.to_bytes(), bytes);
+
+        // A version-2 buffer (predating the epoch varint) still loads and
+        // restores with epoch 0, re-serialising as version 3.
+        index.set_epoch(0);
+        let v3 = index.to_bytes();
+        let mut v2 = v3.clone();
+        v2[4] = super::INDEX_WIRE_VERSION_V2;
+        assert_eq!(v2[super::INDEX_WIRE_HEADER + 1], 0, "epoch varint");
+        v2.remove(super::INDEX_WIRE_HEADER + 1);
+        assert_eq!(ConnectivityIndex::peek_num_vertices(&v2), Some(9));
+        let restored = ConnectivityIndex::from_bytes(&v2).unwrap();
+        assert_eq!(restored.epoch(), 0);
+        assert_eq!(restored.to_bytes(), v3);
     }
 
     #[test]

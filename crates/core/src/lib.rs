@@ -59,7 +59,10 @@ mod enumerate;
 pub use enumerate::{enumerate_kvccs, KvccEnumerator};
 pub use error::KvccError;
 pub use hierarchy::{build_hierarchy, KvccHierarchy};
-pub use index::{ConnectivityIndex, RankBy, RankedComponent};
+pub use index::{ConnectivityIndex, RankBy, RankedComponent, UpdateReport};
+// Edge updates are defined next to `DeltaGraph` in `kvcc-graph`; re-exported
+// here because `ConnectivityIndex::apply_updates` consumes them.
+pub use kvcc_graph::{DeltaGraph, EdgeUpdate, UpdateOp};
 // The cancellation token lives in `kvcc-flow` (the lowest crate that polls
 // it); re-exported here because `KvccOptions::budget` is its primary home.
 pub use kvcc_flow::{Budget, Interrupted};

@@ -22,12 +22,16 @@
 //!   (§6.3).
 //! * [`stream`] — deterministic SNAP-scale edge lists written to disk in
 //!   O(1) memory, the workload of the streaming-ingestion bench.
+//! * [`diffs`] — replay-aware batched edge-update streams (every delete hits
+//!   a present edge, every insert an absent pair), the workload of the
+//!   mutable-graph / incremental-index-maintenance bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ba;
 pub mod collaboration;
+pub mod diffs;
 pub mod er;
 pub mod figure1;
 pub mod harary;
@@ -37,6 +41,7 @@ pub mod stream;
 pub mod suite;
 pub mod webgraph;
 
+pub use diffs::{diff_stream, DiffStreamConfig};
 pub use figure1::{figure1_graph, Figure1};
 pub use planted::{PlantedConfig, PlantedGraph};
 pub use stream::StreamConfig;

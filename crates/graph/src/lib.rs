@@ -13,6 +13,9 @@
 //!   (two flat arrays) used for all enumeration work items.
 //! * [`reorder`] — locality-improving vertex relabellings (degree-descending,
 //!   BFS, hybrid) with both id maps, applied via [`csr::CsrGraph::reordered`].
+//! * [`DeltaGraph`] — a mutable overlay (tombstone bitset + sorted insertion
+//!   adjacency) applying batched [`EdgeUpdate`]s on top of an immutable CSR
+//!   base, with ratio-triggered compaction back into a clean [`CsrGraph`].
 //! * [`CompressedCsrGraph`] — delta + varint compressed adjacency with a lazy
 //!   per-row decode cache; a drop-in [`GraphView`] for storage-bound
 //!   deployments.
@@ -51,6 +54,7 @@ pub mod builder;
 pub mod codec;
 pub mod compressed;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod io;
@@ -68,6 +72,7 @@ pub use bitset::{BitSet, EpochBitSet};
 pub use builder::GraphBuilder;
 pub use compressed::{CompressedCsrGraph, RowPool};
 pub use csr::{CsrGraph, CsrSubgraph, EdgeIngestStats};
+pub use delta::{DeltaGraph, DeltaStats, EdgeUpdate, UpdateOp};
 pub use error::GraphError;
 pub use graph::{InducedSubgraph, UndirectedGraph};
 pub use kcsr::{borrow_kcsr, decode_kcsr, write_kcsr_file, AlignedBytes, CsrGraphRef, MappedCsr};

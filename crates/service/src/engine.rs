@@ -10,15 +10,15 @@ use kvcc::index::{ConnectivityIndex, RankBy};
 use kvcc::stats::EnumerationStats;
 use kvcc::{
     effective_threads, enumerate_kvccs, split_cost, Budget, KVertexConnectedComponent, KvccError,
-    KvccOptions,
+    KvccOptions, UpdateReport,
 };
 use kvcc_flow::{LocalConnectivity, VertexFlowGraph};
 use kvcc_graph::kcore::k_core_vertices;
 use kvcc_graph::reorder::{compute_ordering, OrderingStrategy, VertexOrdering};
 use kvcc_graph::traversal::is_connected;
 use kvcc_graph::{
-    CompressedCsrGraph, CsrGraph, GraphLoader, GraphView, MappedCsr, RowPool,
-    StreamingEdgeListLoader, SubgraphView, VertexId,
+    CompressedCsrGraph, CsrGraph, DeltaGraph, EdgeUpdate, GraphLoader, GraphView, MappedCsr,
+    RowPool, StreamingEdgeListLoader, SubgraphView, VertexId,
 };
 
 // `OrderingPolicy` is protocol-visible since v2 (reported by `Stats`); it is
@@ -165,6 +165,9 @@ struct SlotMetrics {
     quarantines: AtomicU64,
     reinstatements: AtomicU64,
     local_fallbacks: AtomicU64,
+    update_batches: AtomicU64,
+    update_edges: AtomicU64,
+    update_rebuilds: AtomicU64,
 }
 
 impl SlotMetrics {
@@ -204,6 +207,9 @@ impl SlotMetrics {
             quarantines: self.quarantines.load(Ordering::Relaxed),
             reinstatements: self.reinstatements.load(Ordering::Relaxed),
             local_fallbacks: self.local_fallbacks.load(Ordering::Relaxed),
+            update_batches: self.update_batches.load(Ordering::Relaxed),
+            update_edges: self.update_edges.load(Ordering::Relaxed),
+            update_rebuilds: self.update_rebuilds.load(Ordering::Relaxed),
         }
     }
 }
@@ -222,7 +228,13 @@ struct GraphSlot {
     /// Canonical top-k listing, built once from the index (see
     /// [`TopkOrders`]).
     topk: OnceLock<TopkOrders>,
-    metrics: SlotMetrics,
+    /// Shared with the slot's successors: applying an update batch replaces
+    /// the whole (immutable) slot, and the telemetry must survive the swap.
+    metrics: Arc<SlotMetrics>,
+    /// How many update batches this graph has absorbed since it was loaded.
+    /// Starts at 0, +1 per [`ServiceEngine::apply_updates`] batch; stamps
+    /// page cursors and the lazily built index so stale readers are caught.
+    epoch: u64,
 }
 
 /// The slot-level ranking state behind `TopKComponents`: every forest
@@ -252,8 +264,12 @@ impl GraphSlot {
         if let Some(index) = self.index.get() {
             return Ok(index);
         }
-        let built = ConnectivityIndex::build(&self.graph, config.index_max_k, &config.enumeration)
-            .map_err(ServiceError::from)?;
+        let mut built =
+            ConnectivityIndex::build(&self.graph, config.index_max_k, &config.enumeration)
+                .map_err(ServiceError::from)?;
+        // The slot is the epoch authority: an index built lazily after N
+        // update batches describes the N-th graph revision.
+        built.set_epoch(self.epoch);
         let _ = self.index.set(built);
         Ok(self.index.get().expect("just set"))
     }
@@ -376,6 +392,10 @@ pub struct ServiceEngine {
     /// One decode-buffer pool shared by every compressed slot (see
     /// [`EngineConfig::compression`]); unused when compression is off.
     decode_pool: Arc<RowPool>,
+    /// Serialises [`ServiceEngine::apply_updates`] batches against each
+    /// other. The query path never takes this lock — readers keep their
+    /// `Arc<GraphSlot>` snapshot and are untouched by a concurrent writer.
+    update_lock: Mutex<()>,
 }
 
 impl ServiceEngine {
@@ -385,6 +405,7 @@ impl ServiceEngine {
             config,
             graphs: Mutex::new(Vec::new()),
             decode_pool: Arc::new(RowPool::default()),
+            update_lock: Mutex::new(()),
         }
     }
 
@@ -447,7 +468,8 @@ impl ServiceEngine {
             ordering,
             index: OnceLock::new(),
             topk: OnceLock::new(),
-            metrics: SlotMetrics::default(),
+            metrics: Arc::new(SlotMetrics::default()),
+            epoch: 0,
         });
         let mut graphs = self.graphs.lock().unwrap();
         graphs.push(Some(slot));
@@ -603,8 +625,12 @@ impl ServiceEngine {
                 ))
             }
         }
-        let index = ConnectivityIndex::from_bytes(bytes)
+        let mut index = ConnectivityIndex::from_bytes(bytes)
             .map_err(|e| ServiceError::Enumeration(e.to_string()))?;
+        // The slot is the epoch authority (see `index_or_build`): a restored
+        // buffer adopts the slot's update epoch, whatever revision count its
+        // previous life had accumulated.
+        index.set_epoch(slot.epoch);
         if !index_matches_graph(&slot.graph, &index) {
             return Err(ServiceError::Enumeration(
                 "persisted index is inconsistent with the loaded graph \
@@ -615,6 +641,140 @@ impl ServiceEngine {
         slot.index
             .set(index)
             .map_err(|_| ServiceError::Enumeration("an index is already installed".into()))
+    }
+
+    /// Applies one batch of edge updates to a loaded graph **atomically**.
+    /// In-flight queries keep reading the pre-update snapshot (they hold the
+    /// old slot's `Arc`); the handle swings to the updated graph in a single
+    /// swap, with the slot epoch bumped by one.
+    ///
+    /// The slot's connectivity index, when already built, is repaired
+    /// incrementally ([`ConnectivityIndex::apply_updates`]): only the
+    /// hierarchy subtrees whose level-1 components touch an updated endpoint
+    /// are re-enumerated, and the repaired forest is byte-identical to a
+    /// from-scratch rebuild. A slot whose index was never built stays
+    /// unindexed — the next query that needs it builds against the updated
+    /// graph (and stamps it with the new epoch). A zero-copy (`KCSR`
+    /// borrowed) slot is materialised by its first update batch; subsequent
+    /// storage follows [`EngineConfig::compression`].
+    ///
+    /// Update endpoints are loaded-space ids, like every other request.
+    /// Redundant operations — inserting a present edge, deleting an absent
+    /// one, self-loops — are tolerated counted no-ops, exactly as in graph
+    /// construction. Outstanding `TopKComponents` page cursors are
+    /// invalidated by the epoch bump. Concurrent update batches serialise;
+    /// an update racing an [`ServiceEngine::unload`] of the same handle
+    /// loses cleanly with [`ServiceError::UnknownGraph`].
+    pub fn apply_updates(
+        &self,
+        graph: GraphId,
+        updates: &[EdgeUpdate],
+    ) -> Result<UpdateReport, ServiceError> {
+        self.apply_updates_inner(graph, updates, &Budget::unlimited())
+    }
+
+    fn apply_updates_inner(
+        &self,
+        graph: GraphId,
+        updates: &[EdgeUpdate],
+        budget: &Budget,
+    ) -> Result<UpdateReport, ServiceError> {
+        // One writer at a time; the query path never takes this lock.
+        let _writer = self.update_lock.lock().unwrap();
+        let slot = self.slot(graph)?;
+        for update in updates {
+            for vertex in [update.u, update.v] {
+                if vertex as usize >= slot.graph.num_vertices() {
+                    return Err(ServiceError::VertexOutOfRange { vertex });
+                }
+            }
+        }
+        // The batch is applied in the slot's internal space so the repaired
+        // index stays aligned with the stored (possibly relabelled) graph.
+        let internal: Vec<EdgeUpdate> = updates
+            .iter()
+            .map(|up| EdgeUpdate {
+                op: up.op,
+                u: slot.to_internal(up.u),
+                v: slot.to_internal(up.v),
+            })
+            .collect();
+        let mut delta = DeltaGraph::new(CsrGraph::from_view(&slot.graph));
+        delta
+            .apply(&internal)
+            .map_err(|e| ServiceError::Enumeration(e.to_string()))?;
+        let updated = delta.into_csr();
+
+        let epoch = slot.epoch + 1;
+        let (index, report) = match slot.index.get() {
+            Some(ix) => {
+                let mut repaired = ix.clone();
+                let options = self.config.enumeration.clone().with_budget(budget.clone());
+                let report = repaired
+                    .apply_updates(&updated, &internal, &options)
+                    .map_err(ServiceError::from)?;
+                if report.rebuilt {
+                    slot.metrics.update_rebuilds.fetch_add(1, Ordering::Relaxed);
+                }
+                (Some(repaired), report)
+            }
+            None => (
+                None,
+                UpdateReport {
+                    epoch,
+                    repaired_nodes: 0,
+                    rebuilt: false,
+                    affected_vertices: 0,
+                },
+            ),
+        };
+
+        let stored = if self.config.compression {
+            StoredGraph::Compressed(
+                CompressedCsrGraph::from_csr(&updated).with_pool(Arc::clone(&self.decode_pool)),
+            )
+        } else {
+            StoredGraph::Plain(updated)
+        };
+        let index_cell = OnceLock::new();
+        if let Some(ix) = index {
+            let _ = index_cell.set(ix);
+        }
+        let replacement = Arc::new(GraphSlot {
+            name: slot.name.clone(),
+            graph: stored,
+            // The relabelling stays valid (updates never change `n`); it is
+            // merely no longer degree-optimal, which affects locality only.
+            ordering: slot.ordering.clone(),
+            index: index_cell,
+            // The top-k listing describes the old forest; rebuilt lazily.
+            topk: OnceLock::new(),
+            metrics: Arc::clone(&slot.metrics),
+            epoch,
+        });
+        {
+            let mut graphs = self.graphs.lock().unwrap();
+            match graphs.get_mut(graph.0 as usize) {
+                // The handle must still hold the slot this batch was computed
+                // against — a concurrent unload loses the race cleanly.
+                Some(entry) if entry.as_ref().is_some_and(|s| Arc::ptr_eq(s, &slot)) => {
+                    *entry = Some(replacement);
+                }
+                _ => return Err(ServiceError::UnknownGraph { graph }),
+            }
+        }
+        slot.metrics.update_batches.fetch_add(1, Ordering::Relaxed);
+        slot.metrics
+            .update_edges
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// The number of update batches a loaded graph has absorbed (0 for a
+    /// freshly loaded slot). This is the epoch stamped into `Stats`
+    /// responses, page cursors and lazily built indexes.
+    pub fn graph_epoch(&self, graph: GraphId) -> Result<u64, ServiceError> {
+        Ok(self.slot(graph)?.epoch)
     }
 
     /// Executes one request (on the caller's thread, with a throwaway
@@ -738,6 +898,20 @@ impl ServiceEngine {
                             self_loops: report.self_loops,
                             duplicates: report.duplicates,
                             zero_copy: report.zero_copy,
+                        },
+                        Err(e) => QueryResponse::Error(e),
+                    }
+                })
+            }
+            RequestBody::ApplyUpdates { graph, updates } => {
+                ResponseBody::Query(if budget.expired() {
+                    QueryResponse::Error(ServiceError::DeadlineExceeded)
+                } else {
+                    match self.apply_updates_inner(*graph, updates, &budget) {
+                        Ok(report) => QueryResponse::Updated {
+                            epoch: report.epoch,
+                            repaired_nodes: report.repaired_nodes,
+                            rebuilt: report.rebuilt,
                         },
                         Err(e) => QueryResponse::Error(e),
                     }
@@ -1095,6 +1269,7 @@ impl ServiceEngine {
                     ordering: self.config.ordering,
                     depth_limit,
                     scheduling: slot.metrics.snapshot(),
+                    epoch: slot.epoch,
                 }
             }
             QueryRequest::TopKComponents {
@@ -1129,6 +1304,12 @@ impl ServiceEngine {
                             if cursor.rank_by != rank_by {
                                 return invalid("cursor was issued for a different ranking");
                             }
+                            if cursor.epoch != slot.epoch {
+                                // The graph moved on (an update batch landed
+                                // between pages); resuming the old page walk
+                                // would silently mix two forests.
+                                return invalid("cursor was issued for an older graph epoch");
+                            }
                             if cursor.num_nodes != num_nodes {
                                 return invalid("cursor does not match this index");
                             }
@@ -1162,6 +1343,7 @@ impl ServiceEngine {
                         rank_by,
                         offset: consumed,
                         num_nodes,
+                        epoch: slot.epoch,
                     }
                     .to_bytes()
                 });
@@ -1933,5 +2115,154 @@ mod tests {
         ));
         std::fs::remove_file(&edge_path).ok();
         std::fs::remove_file(&kcsr_path).ok();
+    }
+
+    #[test]
+    fn update_batches_swap_the_graph_and_repair_the_index() {
+        let (engine, id) = engine_with_graph();
+        engine.build_index(id).unwrap();
+        assert_eq!(engine.graph_epoch(id).unwrap(), 0);
+
+        // Bridge the two clusters into one 3-connected region: make vertex 2
+        // a fourth member of the K4's neighbourhood.
+        let updates = [
+            EdgeUpdate::insert(2, 5),
+            EdgeUpdate::insert(2, 6),
+            EdgeUpdate::insert(2, 7),
+            EdgeUpdate::insert(2, 5), // redundant: tolerated no-op
+        ];
+        let report = engine.apply_updates(id, &updates).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(engine.graph_epoch(id).unwrap(), 1);
+
+        // The repaired engine answers exactly like an engine that loaded the
+        // post-update graph from scratch, for every query kind.
+        let mut edges = vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)];
+        for i in 5..9u32 {
+            for j in (i + 1)..9 {
+                edges.push((i, j));
+            }
+        }
+        edges.extend([(2, 5), (2, 6), (2, 7)]);
+        let fresh_engine = ServiceEngine::new(EngineConfig::default());
+        let fresh_id =
+            fresh_engine.load_graph("fresh", &UndirectedGraph::from_edges(9, edges).unwrap());
+        fresh_engine.build_index(fresh_id).unwrap();
+        for k in 1..=4u32 {
+            assert_eq!(
+                engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k }),
+                fresh_engine.execute(&QueryRequest::EnumerateKvccs { graph: fresh_id, k }),
+                "k {k}"
+            );
+        }
+        assert_eq!(
+            engine.execute(&QueryRequest::MaxConnectivity {
+                graph: id,
+                u: 2,
+                v: 8
+            }),
+            fresh_engine.execute(&QueryRequest::MaxConnectivity {
+                graph: fresh_id,
+                u: 2,
+                v: 8
+            }),
+        );
+        // The incrementally repaired index is byte-identical to the fresh
+        // build once the epochs agree (the fresh engine never saw a batch).
+        let repaired = engine.index_bytes(id).unwrap();
+        let mut rebuilt =
+            ConnectivityIndex::from_bytes(&fresh_engine.index_bytes(fresh_id).unwrap()).unwrap();
+        rebuilt.set_epoch(1);
+        assert_eq!(repaired, rebuilt.to_bytes());
+
+        // Telemetry: one batch of four updates, and the epoch is on Stats.
+        match engine.execute(&QueryRequest::GraphStats { graph: id }) {
+            QueryResponse::Stats {
+                epoch, scheduling, ..
+            } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(scheduling.update_batches, 1);
+                assert_eq!(scheduling.update_edges, 4);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+
+        // Out-of-range endpoints are rejected without touching the slot.
+        assert!(matches!(
+            engine.apply_updates(id, &[EdgeUpdate::insert(0, 99)]),
+            Err(ServiceError::VertexOutOfRange { vertex: 99 })
+        ));
+        assert_eq!(engine.graph_epoch(id).unwrap(), 1);
+    }
+
+    #[test]
+    fn update_batches_invalidate_outstanding_page_cursors() {
+        let (engine, id) = engine_with_graph();
+        let first = engine.execute(&QueryRequest::TopKComponents {
+            graph: id,
+            rank_by: RankBy::Size,
+            page_size: 1,
+            cursor: None,
+        });
+        let cursor = match first {
+            QueryResponse::Page {
+                next_cursor: Some(cursor),
+                ..
+            } => cursor,
+            other => panic!("expected a paged response with a cursor, got {other:?}"),
+        };
+        engine
+            .apply_updates(id, &[EdgeUpdate::delete(3, 4)])
+            .unwrap();
+        // Resuming the old page walk would mix two forests; it is refused.
+        match engine.execute(&QueryRequest::TopKComponents {
+            graph: id,
+            rank_by: RankBy::Size,
+            page_size: 1,
+            cursor: Some(cursor),
+        }) {
+            QueryResponse::Error(ServiceError::InvalidCursor { reason }) => {
+                assert!(reason.contains("epoch"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected InvalidCursor, got {other:?}"),
+        }
+        // A fresh walk at the new epoch works.
+        assert!(matches!(
+            engine.execute(&QueryRequest::TopKComponents {
+                graph: id,
+                rank_by: RankBy::Size,
+                page_size: 1,
+                cursor: None,
+            }),
+            QueryResponse::Page { .. }
+        ));
+    }
+
+    #[test]
+    fn updates_flow_through_the_envelope_and_preserve_reader_snapshots() {
+        let (engine, id) = engine_with_graph();
+        let request = Request {
+            request_id: 31,
+            deadline_hint_ms: None,
+            body: RequestBody::ApplyUpdates {
+                graph: id,
+                updates: vec![EdgeUpdate::delete(2, 3), EdgeUpdate::delete(2, 4)],
+            },
+        };
+        let response = Response::from_bytes(&engine.handle_frame(&request.to_bytes())).unwrap();
+        assert_eq!(response.request_id, 31);
+        assert!(matches!(
+            response.body,
+            ResponseBody::Query(QueryResponse::Updated { epoch: 1, .. })
+        ));
+        // The second triangle lost vertex 2: only one 2-VCC triangle remains.
+        match engine.execute(&QueryRequest::EnumerateKvccs { graph: id, k: 2 }) {
+            QueryResponse::Components(components) => {
+                assert!(components
+                    .iter()
+                    .all(|c| c.vertices() != [2, 3, 4].as_slice()));
+            }
+            other => panic!("expected Components, got {other:?}"),
+        }
     }
 }

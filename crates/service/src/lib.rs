@@ -35,7 +35,15 @@
 //!   `kvcc-shardd` daemon around it), [`FaultTransport`] injects seeded,
 //!   reproducible chaos, and the [`coordinator`] retries, requeues,
 //!   quarantines and locally degrades until the sharded enumeration is
-//!   byte-identical to the in-process one under every fault schedule.
+//!   byte-identical to the in-process one under every fault schedule;
+//! * **mutable graphs (protocol v5)** — [`RequestBody::ApplyUpdates`]
+//!   applies a batch of edge inserts/deletes atomically
+//!   ([`ServiceEngine::apply_updates`]): in-flight queries keep their
+//!   snapshot, the slot's connectivity index is repaired incrementally
+//!   instead of rebuilt, every batch bumps the graph's epoch (reported by
+//!   `Stats`, stamped into page cursors so stale pagination is rejected),
+//!   and the answer ([`QueryResponse::Updated`]) is byte-identical to
+//!   reloading the updated graph from scratch.
 //!
 //! # Quick start
 //!
@@ -80,5 +88,7 @@ pub use wire::transport::{
 pub use wire::{run_work_item, CsrWorkItem};
 
 // Re-exported so service users need only this crate for the common types.
-pub use kvcc::{Budget, ConnectivityIndex, KVertexConnectedComponent, KvccOptions, RankBy};
-pub use kvcc_graph::CsrGraph;
+pub use kvcc::{
+    Budget, ConnectivityIndex, KVertexConnectedComponent, KvccOptions, RankBy, UpdateReport,
+};
+pub use kvcc_graph::{CsrGraph, DeltaGraph, EdgeUpdate, UpdateOp};

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use kvcc::index::RankBy;
 use kvcc::{Budget, KVertexConnectedComponent, KvccError};
 use kvcc_graph::codec::{varint, Reader};
-use kvcc_graph::VertexId;
+use kvcc_graph::{EdgeUpdate, VertexId};
 
 use crate::wire::CsrWorkItem;
 
@@ -255,17 +255,19 @@ impl RankedEntry {
 /// Magic bytes opening every serialised page cursor.
 const CURSOR_MAGIC: [u8; 4] = *b"KCUR";
 /// Version byte of the cursor format (tracks the protocol version).
-const CURSOR_VERSION: u8 = 2;
+/// Version 3 added the index mutation epoch to the fingerprint.
+const CURSOR_VERSION: u8 = 3;
 
 /// The decoded form of the opaque pagination cursor carried by
 /// [`QueryRequest::TopKComponents`] and [`QueryResponse::Page`].
 ///
 /// The cursor is self-contained — the engine keeps **no** per-client
-/// pagination state. `graph` and `num_nodes` together fingerprint the
-/// listing the cursor was issued against, so a cursor replayed against a
-/// different graph handle, a different ranking, or an index rebuilt with a
-/// different depth cap is rejected instead of silently skipping or
-/// repeating components.
+/// pagination state. `graph`, `num_nodes` and `epoch` together fingerprint
+/// the listing the cursor was issued against, so a cursor replayed against a
+/// different graph handle, a different ranking, an index rebuilt with a
+/// different depth cap, or a forest mutated by
+/// [`RequestBody::ApplyUpdates`] since the page was minted is rejected
+/// instead of silently skipping or repeating components.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PageCursor {
     /// The graph handle the cursor was issued for.
@@ -276,19 +278,22 @@ pub struct PageCursor {
     pub offset: u64,
     /// Total node count of the index the cursor was issued against.
     pub num_nodes: u64,
+    /// Mutation epoch of the index the cursor was issued against.
+    pub epoch: u64,
 }
 
 impl PageCursor {
     /// Serialises the cursor (magic, version, rank code, then graph id,
-    /// offset and node-count varints).
+    /// offset, node-count and epoch varints).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(4 + 1 + 1 + 5 + 10 + 10);
+        let mut out = Vec::with_capacity(4 + 1 + 1 + 5 + 10 + 10 + 10);
         out.extend_from_slice(&CURSOR_MAGIC);
         out.push(CURSOR_VERSION);
         out.push(self.rank_by.code());
         varint::encode_u32(self.graph.0, &mut out);
         varint::encode_u64(self.offset, &mut out);
         varint::encode_u64(self.num_nodes, &mut out);
+        varint::encode_u64(self.epoch, &mut out);
         out
     }
 
@@ -310,12 +315,14 @@ impl PageCursor {
         let graph = GraphId(r.varint_u32().ok_or("cursor graph id truncated")?);
         let offset = r.varint_u64().ok_or("cursor offset truncated")?;
         let num_nodes = r.varint_u64().ok_or("cursor fingerprint truncated")?;
+        let epoch = r.varint_u64().ok_or("cursor epoch truncated")?;
         r.finish().ok_or("trailing bytes after the cursor")?;
         Ok(PageCursor {
             graph,
             rank_by,
             offset,
             num_nodes,
+            epoch,
         })
     }
 }
@@ -360,6 +367,16 @@ pub struct SchedulingStats {
     /// graceful degradation when the fleet was gone or an item exhausted
     /// its retry budget.
     pub local_fallbacks: u64,
+    /// [`RequestBody::ApplyUpdates`] batches applied to the slot (the
+    /// protocol-v5 mutation counters; equal to the slot's current epoch for
+    /// a graph that was never reloaded).
+    pub update_batches: u64,
+    /// Edge updates carried by those batches (inserts + deletes, counting
+    /// redundant ones).
+    pub update_edges: u64,
+    /// Update batches whose blast radius forced a full index rebuild
+    /// instead of an incremental splice.
+    pub update_rebuilds: u64,
 }
 
 /// The answer to one [`QueryRequest`], in the same batch position.
@@ -395,6 +412,20 @@ pub enum QueryResponse {
         /// runtime behaviour of the work-stealing enumerator is inspectable
         /// over the wire (see [`SchedulingStats`]).
         scheduling: SchedulingStats,
+        /// Mutation epoch of the slot: 0 at load, +1 per applied
+        /// [`RequestBody::ApplyUpdates`] batch. Page cursors embed it, and
+        /// result caches can key on `(graph, epoch)`.
+        epoch: u64,
+    },
+    /// A [`RequestBody::ApplyUpdates`] batch was applied (protocol v5).
+    Updated {
+        /// The slot's mutation epoch after the batch.
+        epoch: u64,
+        /// Forest nodes the incremental repair re-enumerated (the whole
+        /// forest when `rebuilt`).
+        repaired_nodes: u32,
+        /// Whether the blast radius forced a full index rebuild.
+        rebuilt: bool,
     },
     /// One page of a ranked component listing, with the cursor resuming
     /// after it (`None` on the final page).
@@ -634,6 +665,22 @@ pub enum RequestBody {
         /// How to interpret the file.
         format: LoadFormat,
     },
+    /// Apply a batch of edge inserts/deletes to a loaded graph (protocol
+    /// v5), answered with [`QueryResponse::Updated`]. The engine mutates
+    /// the graph, repairs its [`kvcc::ConnectivityIndex`] incrementally
+    /// (blast radius bounded by the touched leaves' ancestor subtrees,
+    /// falling back to a full rebuild past a threshold) and advances the
+    /// slot's epoch by exactly one — atomically: queries in flight keep
+    /// reading the pre-update snapshot, and a failed batch leaves the slot
+    /// untouched. Vertex ids are in the graph's loaded id space. Redundant
+    /// updates (duplicate insert, missing delete, self-loops) are tolerated
+    /// no-ops, matching [`kvcc_graph::DeltaGraph`].
+    ApplyUpdates {
+        /// Target graph.
+        graph: GraphId,
+        /// The edge mutations, applied in order.
+        updates: Vec<EdgeUpdate>,
+    },
 }
 
 /// The protocol-v2 response envelope.
@@ -764,6 +811,7 @@ mod tests {
             rank_by: RankBy::Size,
             offset: 12_345,
             num_nodes: 67_890,
+            epoch: 3,
         };
         let bytes = cursor.to_bytes();
         assert_eq!(PageCursor::from_bytes(&bytes).unwrap(), cursor);

@@ -11,7 +11,7 @@
 
 use kvcc::index::RankBy;
 use kvcc::KVertexConnectedComponent;
-use kvcc_graph::GraphError;
+use kvcc_graph::{EdgeUpdate, GraphError, UpdateOp};
 
 use crate::protocol::{
     GraphId, LoadFormat, OrderingPolicy, QueryRequest, QueryResponse, RankedEntry, Request,
@@ -37,8 +37,10 @@ const MESSAGE_MAGIC: [u8; 4] = *b"KRPC";
 /// receiver rejects the message as malformed and the sender retries. Each
 /// bump makes the change honest on the wire — an old peer rejects new
 /// frames with "unsupported protocol version" instead of misparsing the
-/// longer bodies (and vice versa).
-pub const PROTOCOL_VERSION: u8 = 4;
+/// longer bodies (and vice versa). Version 5 is the mutable-graph revision:
+/// the `ApplyUpdates` request body, the `Updated` response body, and the
+/// `Stats` block's epoch + update counters.
+pub const PROTOCOL_VERSION: u8 = 5;
 /// Kind byte of a request message.
 const KIND_REQUEST: u8 = 0;
 /// Kind byte of a response message.
@@ -350,6 +352,7 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             ordering,
             depth_limit,
             scheduling,
+            epoch,
         } => {
             out.push(3);
             varint::encode_u64(*num_vertices as u64, out);
@@ -359,8 +362,8 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             out.push(ordering.code());
             encode_option_u32(*depth_limit, out);
             // Scheduling observability block — four varints since version
-            // 3, plus the five fleet counters of version 4 (see
-            // PROTOCOL_VERSION).
+            // 3, plus the five fleet counters of version 4 and the three
+            // update counters of version 5 (see PROTOCOL_VERSION).
             varint::encode_u64(scheduling.work_items, out);
             varint::encode_u64(scheduling.steals, out);
             varint::encode_u64(scheduling.splits, out);
@@ -370,6 +373,10 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             varint::encode_u64(scheduling.quarantines, out);
             varint::encode_u64(scheduling.reinstatements, out);
             varint::encode_u64(scheduling.local_fallbacks, out);
+            varint::encode_u64(scheduling.update_batches, out);
+            varint::encode_u64(scheduling.update_edges, out);
+            varint::encode_u64(scheduling.update_rebuilds, out);
+            varint::encode_u64(*epoch, out);
         }
         QueryResponse::Page {
             entries,
@@ -410,6 +417,16 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             varint::encode_u64(*duplicates, out);
             out.push(u8::from(*zero_copy));
         }
+        QueryResponse::Updated {
+            epoch,
+            repaired_nodes,
+            rebuilt,
+        } => {
+            out.push(7);
+            varint::encode_u64(*epoch, out);
+            varint::encode_u32(*repaired_nodes, out);
+            out.push(u8::from(*rebuilt));
+        }
     }
 }
 
@@ -446,7 +463,11 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
                 quarantines: r.varint_u64()?,
                 reinstatements: r.varint_u64()?,
                 local_fallbacks: r.varint_u64()?,
+                update_batches: r.varint_u64()?,
+                update_edges: r.varint_u64()?,
+                update_rebuilds: r.varint_u64()?,
             },
+            epoch: r.varint_u64()?,
         },
         4 => {
             let count = r.varint_u32()? as usize;
@@ -472,6 +493,15 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
             }
         }
         5 => QueryResponse::Error(decode_error(r)?),
+        7 => QueryResponse::Updated {
+            epoch: r.varint_u64()?,
+            repaired_nodes: r.varint_u32()?,
+            rebuilt: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        },
         6 => QueryResponse::Loaded {
             graph: GraphId(r.varint_u32()?),
             num_vertices: r.varint_u64()?,
@@ -518,6 +548,16 @@ impl Request {
                 encode_str(name, &mut out);
                 encode_str(path, &mut out);
                 out.push(format.code());
+            }
+            RequestBody::ApplyUpdates { graph, updates } => {
+                out.push(4);
+                varint::encode_u32(graph.0, &mut out);
+                varint::encode_u32(updates.len() as u32, &mut out);
+                for update in updates {
+                    out.push(update.op.code());
+                    varint::encode_u32(update.u, &mut out);
+                    varint::encode_u32(update.v, &mut out);
+                }
             }
         }
         seal(out)
@@ -571,6 +611,35 @@ impl Request {
                     .and_then(LoadFormat::from_code)
                     .ok_or_else(|| malformed("unknown load format"))?,
             },
+            4 => {
+                let graph = GraphId(
+                    r.varint_u32()
+                        .ok_or_else(|| malformed("update graph id truncated"))?,
+                );
+                let count = r
+                    .varint_u32()
+                    .ok_or_else(|| malformed("update count truncated"))?
+                    as usize;
+                // Each update is at least three bytes (op + two varints).
+                if count > r.remaining() {
+                    return Err(malformed("update count disagrees with the buffer"));
+                }
+                let mut updates = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let op = r
+                        .u8()
+                        .and_then(UpdateOp::from_code)
+                        .ok_or_else(|| malformed("unknown update op"))?;
+                    let u = r
+                        .varint_u32()
+                        .ok_or_else(|| malformed("update endpoint truncated"))?;
+                    let v = r
+                        .varint_u32()
+                        .ok_or_else(|| malformed("update endpoint truncated"))?;
+                    updates.push(EdgeUpdate { op, u, v });
+                }
+                RequestBody::ApplyUpdates { graph, updates }
+            }
             _ => return Err(malformed("unknown request body tag")),
         };
         r.finish()
@@ -698,6 +767,26 @@ mod tests {
                     format: LoadFormat::Kcsr,
                 },
             },
+            Request {
+                request_id: 45,
+                deadline_hint_ms: Some(50),
+                body: RequestBody::ApplyUpdates {
+                    graph: id,
+                    updates: vec![
+                        EdgeUpdate::insert(3, 9),
+                        EdgeUpdate::delete(0, 1),
+                        EdgeUpdate::insert(7, 2),
+                    ],
+                },
+            },
+            Request {
+                request_id: 46,
+                deadline_hint_ms: None,
+                body: RequestBody::ApplyUpdates {
+                    graph: id,
+                    updates: Vec::new(),
+                },
+            },
         ];
         for request in requests {
             let bytes = request.to_bytes();
@@ -736,7 +825,11 @@ mod tests {
                         quarantines: 2,
                         reinstatements: 1,
                         local_fallbacks: 4,
+                        update_batches: 6,
+                        update_edges: 120,
+                        update_rebuilds: 1,
                     },
+                    epoch: 6,
                 },
                 QueryResponse::Page {
                     entries: vec![RankedEntry {
@@ -760,6 +853,16 @@ mod tests {
                     self_loops: 5,
                     duplicates: 1234,
                     zero_copy: true,
+                },
+                QueryResponse::Updated {
+                    epoch: 8,
+                    repaired_nodes: 17,
+                    rebuilt: false,
+                },
+                QueryResponse::Updated {
+                    epoch: u64::MAX,
+                    repaired_nodes: 0,
+                    rebuilt: true,
                 },
             ]),
         };
@@ -797,7 +900,7 @@ mod tests {
         // "unsupported protocol version" — never be misreported as
         // in-flight corruption by the integrity check running first.
         let good = Request::query(1, QueryRequest::GraphStats { graph: GraphId(0) }).to_bytes();
-        for version in [1u8, 3, 5, 255] {
+        for version in [1u8, 3, 4, 255] {
             let mut other = good.clone();
             other[4] = version;
             match Request::from_bytes(&other).unwrap_err() {

@@ -385,7 +385,8 @@ pub fn run_shard_worker(
                     }
                     RequestBody::Query(_)
                     | RequestBody::Batch(_)
-                    | RequestBody::LoadGraph { .. } => {
+                    | RequestBody::LoadGraph { .. }
+                    | RequestBody::ApplyUpdates { .. } => {
                         QueryResponse::Error(ServiceError::Unsupported {
                             what: "engine queries (this endpoint only runs work items)".into(),
                         })

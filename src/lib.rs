@@ -12,10 +12,12 @@
 pub use kvcc::{
     build_hierarchy, enumerate_kvccs, kvccs_containing, AlgorithmVariant, ConnectivityIndex,
     EnumerationStats, KVertexConnectedComponent, KvccEnumerator, KvccError, KvccHierarchy,
-    KvccOptions, KvccResult,
+    KvccOptions, KvccResult, UpdateReport,
 };
 pub use kvcc_flow::{global_vertex_connectivity, is_k_vertex_connected};
-pub use kvcc_graph::{CsrGraph, GraphView, UndirectedGraph, VertexId};
+pub use kvcc_graph::{
+    CsrGraph, DeltaGraph, DeltaStats, EdgeUpdate, GraphView, UndirectedGraph, UpdateOp, VertexId,
+};
 pub use kvcc_service::{
     call, call_with, run_fleet, run_shard_worker, CallOptions, CoordinatorConfig, EngineConfig,
     FaultPlan, FaultTransport, FleetOutcome, FleetStats, GraphId, LoopbackTransport,

@@ -114,6 +114,7 @@ fn all_requests() -> Vec<Request> {
                 rank_by: RankBy::Density,
                 offset: 4,
                 num_nodes: 11,
+                epoch: 3,
             }
             .to_bytes(),
         ),
@@ -192,7 +193,11 @@ fn all_responses() -> Vec<Response> {
                 quarantines: 1,
                 reinstatements: 1,
                 local_fallbacks: 2,
+                update_batches: 5,
+                update_edges: 90,
+                update_rebuilds: 1,
             },
+            epoch: 5,
         },
         QueryResponse::Page {
             entries: vec![
@@ -213,6 +218,7 @@ fn all_responses() -> Vec<Response> {
                     rank_by: RankBy::Size,
                     offset: 2,
                     num_nodes: 40,
+                    epoch: 0,
                 }
                 .to_bytes(),
             ),
