@@ -70,16 +70,27 @@
 //!   speedup recorded); index bytes are asserted identical on both paths at
 //!   every step.
 //!
+//! PR 10 section (written to `BENCH_pr10.json`):
+//!
+//! * query-serving QoS — a replayed repetitive query log through the
+//!   framed byte path with the result cache + coalescing armed vs the
+//!   pre-v6 uncached engine (p50/p99/mean per-request latency, hit rate,
+//!   response-frame fingerprints asserted identical), plus the
+//!   admission-control shedding record (every priced request shed under an
+//!   infeasible cost prior; the retry pass fingerprints identically to the
+//!   baseline).
+//!
 //! Usage: `pr1-bench [--smoke] [--only=prN] [pr1.json [pr2.json [pr3.json
-//! [pr4.json [pr5.json [pr6.json [pr7.json [pr8.json [pr9.json]]]]]]]]]`
-//! (defaults `BENCH_pr1.json` … `BENCH_pr9.json`). `--smoke` runs every case exactly
+//! [pr4.json [pr5.json [pr6.json [pr7.json [pr8.json [pr9.json
+//! [pr10.json]]]]]]]]]]`
+//! (defaults `BENCH_pr1.json` … `BENCH_pr10.json`). `--smoke` runs every case exactly
 //! once with no warm-up — the CI mode that keeps this binary from
 //! bit-rotting without spending bench budget. `--only=prN` runs (and writes)
 //! a single section, so one record can be regenerated without re-measuring —
 //! and overwriting — the committed anchors of the others; an unknown section
 //! name is an error listing the valid ones.
 
-use kvcc_bench::{pr1, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9};
+use kvcc_bench::{pr1, pr10, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9};
 
 fn write_or_die(path: &str, payload: String) {
     if let Err(e) = std::fs::write(path, payload) {
@@ -112,8 +123,8 @@ fn main() {
             paths.push(arg);
         }
     }
-    const SECTIONS: [&str; 9] = [
-        "pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8", "pr9",
+    const SECTIONS: [&str; 10] = [
+        "pr1", "pr2", "pr3", "pr4", "pr5", "pr6", "pr7", "pr8", "pr9", "pr10",
     ];
     if let Some(section) = only.as_deref() {
         if !SECTIONS.contains(&section) {
@@ -136,6 +147,7 @@ fn main() {
     let pr7_path = path(6, "BENCH_pr7.json");
     let pr8_path = path(7, "BENCH_pr8.json");
     let pr9_path = path(8, "BENCH_pr9.json");
+    let pr10_path = path(9, "BENCH_pr10.json");
 
     if want("pr1") {
         let report = pr1::run_all(smoke);
@@ -300,5 +312,32 @@ fn main() {
             );
         }
         write_or_die(&pr9_path, pr9::render_json(&pr9_report, &replay));
+    }
+
+    if want("pr10") {
+        println!("PR 10 QoS section (replayed repetitive query log)");
+        let rows = pr10::latency_rows(smoke);
+        for row in &rows {
+            println!(
+                "{:<10} p50 {:>10} ns  p99 {:>10} ns  mean {:>12.1} ns  \
+                 (hits {}, misses {}, coalesced {}, hit rate {:.1}%, checksum {})",
+                row.name,
+                row.p50_ns,
+                row.p99_ns,
+                row.mean_ns,
+                row.cache_hits,
+                row.cache_misses,
+                row.coalesced,
+                row.hit_rate * 100.0,
+                row.checksum
+            );
+        }
+        let shed = pr10::shed_rows(smoke);
+        println!(
+            "shedding: {} of {} requests shed with the retryable Overloaded code, \
+             retry pass checksum {} == baseline {}",
+            shed.shed, shed.requests, shed.retry_checksum, shed.baseline_checksum
+        );
+        write_or_die(&pr10_path, pr10::render_json(&rows, &shed));
     }
 }

@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod legacy;
 pub mod pr1;
+pub mod pr10;
 pub mod pr2;
 pub mod pr3;
 pub mod pr4;

@@ -1,0 +1,421 @@
+//! PR 10 performance record: query-serving QoS — the epoch-keyed result
+//! cache and single-flight coalescing against uncached execution, plus the
+//! admission controller's overload shedding, on a replayed repetitive
+//! query log.
+//!
+//! The workload models the paper's §6.4 serving shape: a fixed pool of
+//! distinct queries (hot seeds, hot pairwise probes, enumerations) replayed
+//! many times over in a seeded pseudo-random order — the regime a result
+//! cache exists for. Two engines answer the **same** request log:
+//!
+//! * `no_qos` — the pre-v6 engine (QoS fully disabled), executing every
+//!   request from scratch;
+//! * `qos` — cache + coalescing armed ([`QosConfig::serving`]).
+//!
+//! Per-request latencies are recorded and reported as p50/p99/mean; the
+//! FNV-1a fingerprint over every response **frame** is asserted identical
+//! between the two engines — the speedup is only meaningful because the
+//! cached bytes are exactly the fresh bytes. The `shedding` table replays
+//! the same log against an admission-armed engine with an absurd cost
+//! prior: every priced (flow-running) request is shed up front with the
+//! retryable `Overloaded` code, and the undeadlined retry pass afterwards
+//! still fingerprints identically to the baseline — mass shedding corrupts
+//! nothing.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use kvcc::RankBy;
+use kvcc_datasets::planted::{planted_communities, PlantedConfig};
+use kvcc_graph::UndirectedGraph;
+use kvcc_service::{
+    AdmissionConfig, EngineConfig, GraphId, QosConfig, QueryRequest, Request, RequestBody,
+    ServiceEngine,
+};
+
+/// Replayed requests in full mode (each pool entry recurs ~20×).
+const REQUESTS: usize = 240;
+/// Replayed requests in `--smoke` mode.
+const SMOKE_REQUESTS: usize = 36;
+/// Deadline hint used to force the admission controller's infeasibility
+/// path in the shedding table.
+const SHED_DEADLINE_MS: u32 = 50;
+
+/// The serving-suite graph: a handful of dense communities over a sparse
+/// background, sized so an uncached enumeration is real work.
+fn suite() -> &'static UndirectedGraph {
+    static SUITE: OnceLock<UndirectedGraph> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        planted_communities(&PlantedConfig {
+            num_communities: 6,
+            chain_length: 2,
+            community_size: (10, 14),
+            background_vertices: 300,
+            seed: 0xA10,
+            ..PlantedConfig::default()
+        })
+        .graph
+    })
+}
+
+/// The distinct-query pool the log replays: the §6.4 containment shape for
+/// several hot seeds, whole-graph enumerations, pairwise probes and a page
+/// read. Stats queries are excluded by design — they are never cacheable.
+fn pool(id: GraphId, n: u32) -> Vec<QueryRequest> {
+    vec![
+        QueryRequest::EnumerateKvccs { graph: id, k: 2 },
+        QueryRequest::EnumerateKvccs { graph: id, k: 3 },
+        QueryRequest::KvccsContaining {
+            graph: id,
+            seed: 1,
+            k: 2,
+        },
+        QueryRequest::KvccsContaining {
+            graph: id,
+            seed: n / 3,
+            k: 2,
+        },
+        QueryRequest::KvccsContaining {
+            graph: id,
+            seed: n / 2,
+            k: 3,
+        },
+        QueryRequest::MaxConnectivity {
+            graph: id,
+            u: 0,
+            v: n - 1,
+        },
+        QueryRequest::VertexConnectivityNumber { graph: id, v: 4 },
+        QueryRequest::GlobalCutProbe { graph: id, k: 2 },
+        QueryRequest::LocalConnectivity {
+            graph: id,
+            u: 2,
+            v: n / 2,
+            limit: 4,
+        },
+        QueryRequest::TopKComponents {
+            graph: id,
+            rank_by: RankBy::Size,
+            page_size: 8,
+            cursor: None,
+        },
+    ]
+}
+
+/// Whether the admission controller prices (and can therefore shed) a
+/// query — the flow-running kinds of [`kvcc_service`]'s cost model.
+fn priced(q: &QueryRequest) -> bool {
+    matches!(
+        q,
+        QueryRequest::EnumerateKvccs { .. }
+            | QueryRequest::KvccsContaining { .. }
+            | QueryRequest::GlobalCutProbe { .. }
+            | QueryRequest::LocalConnectivity { .. }
+    )
+}
+
+/// The replayed request log: `count` draws from the pool under a seeded
+/// LCG, so the sequence is identical on every engine and every run.
+fn request_log(id: GraphId, n: u32, count: usize) -> Vec<QueryRequest> {
+    let pool = pool(id, n);
+    let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+    (0..count)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            pool[(state >> 33) as usize % pool.len()].clone()
+        })
+        .collect()
+}
+
+/// FNV-1a over response frames — the parity fingerprint of a whole replay.
+fn fingerprint(hash: u64, bytes: &[u8]) -> u64 {
+    let mut hash = if hash == 0 {
+        0xcbf2_9ce4_8422_2325
+    } else {
+        hash
+    };
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One engine's replay of the request log: per-request latency
+/// percentiles, the response-frame fingerprint, and the QoS counters the
+/// engine accumulated while serving it.
+#[derive(Clone, Debug)]
+pub struct LatencyRow {
+    /// Engine variant (`no_qos` / `qos`).
+    pub name: &'static str,
+    /// Requests replayed.
+    pub requests: usize,
+    /// Distinct queries in the pool.
+    pub distinct: usize,
+    /// Median per-request latency.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request latency.
+    pub p99_ns: u64,
+    /// Mean per-request latency.
+    pub mean_ns: f64,
+    /// FNV-1a over every response frame, in order.
+    pub checksum: u64,
+    /// Result-cache hits after the replay.
+    pub cache_hits: u64,
+    /// Result-cache misses (= real executions of cacheable queries).
+    pub cache_misses: u64,
+    /// Queries served by a coalesced in-flight execution.
+    pub coalesced: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// `cache_hits / cacheable requests`.
+    pub hit_rate: f64,
+}
+
+/// The p-th percentile (0–100) of a latency sample.
+fn percentile_ns(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Replays the log through one engine's framed byte path, timing each
+/// request and folding every response frame into the fingerprint.
+fn replay(
+    engine: &ServiceEngine,
+    log: &[QueryRequest],
+    deadline_hint_ms: Option<u32>,
+) -> (Vec<u64>, u64) {
+    let mut latencies = Vec::with_capacity(log.len());
+    let mut checksum = 0u64;
+    for (i, query) in log.iter().enumerate() {
+        let frame = Request {
+            request_id: i as u64 + 1,
+            deadline_hint_ms,
+            body: RequestBody::Query(query.clone()),
+        }
+        .to_bytes();
+        let start = Instant::now();
+        let response = engine.handle_frame(&frame);
+        latencies.push(start.elapsed().as_nanos() as u64);
+        checksum = fingerprint(checksum, &response);
+    }
+    (latencies, checksum)
+}
+
+fn engine_with(qos: QosConfig) -> (ServiceEngine, GraphId) {
+    let engine = ServiceEngine::new(EngineConfig {
+        qos,
+        ..EngineConfig::default()
+    });
+    let id = engine.load_graph("suite", suite());
+    (engine, id)
+}
+
+fn row_from(
+    name: &'static str,
+    log: &[QueryRequest],
+    latencies: &[u64],
+    checksum: u64,
+    engine: &ServiceEngine,
+) -> LatencyRow {
+    let qos = engine.qos_stats();
+    let distinct = pool(log[0].graph(), suite().num_vertices() as u32).len();
+    LatencyRow {
+        name,
+        requests: log.len(),
+        distinct,
+        p50_ns: percentile_ns(latencies, 50.0),
+        p99_ns: percentile_ns(latencies, 99.0),
+        mean_ns: latencies.iter().sum::<u64>() as f64 / latencies.len() as f64,
+        checksum,
+        cache_hits: qos.cache_hits,
+        cache_misses: qos.cache_misses,
+        coalesced: qos.coalesced,
+        shed: qos.shed,
+        hit_rate: qos.cache_hits as f64 / log.len() as f64,
+    }
+}
+
+/// The with-vs-without-QoS latency table. Panics if the two engines do not
+/// fingerprint identically — the whole point of the record.
+pub fn latency_rows(smoke: bool) -> Vec<LatencyRow> {
+    let count = if smoke { SMOKE_REQUESTS } else { REQUESTS };
+    let (baseline, id) = engine_with(QosConfig::disabled());
+    let n = suite().num_vertices() as u32;
+    let log = request_log(id, n, count);
+
+    let (base_lat, base_sum) = replay(&baseline, &log, None);
+    let (serving, _) = engine_with(QosConfig::serving());
+    let (qos_lat, qos_sum) = replay(&serving, &log, None);
+    assert_eq!(
+        base_sum, qos_sum,
+        "cached and uncached replays must fingerprint identically"
+    );
+    vec![
+        row_from("no_qos", &log, &base_lat, base_sum, &baseline),
+        row_from("qos", &log, &qos_lat, qos_sum, &serving),
+    ]
+}
+
+/// The overload-shedding record: the same log under an infeasible cost
+/// prior and a tight deadline hint, then the undeadlined retry pass.
+#[derive(Clone, Debug)]
+pub struct ShedRow {
+    /// Requests in the deadlined pass.
+    pub requests: usize,
+    /// Requests the admission controller shed (all priced kinds).
+    pub shed: u64,
+    /// Requests answered normally (index lookups are never priced).
+    pub served: usize,
+    /// Fingerprint of the undeadlined retry pass.
+    pub retry_checksum: u64,
+    /// Fingerprint of the QoS-free baseline on the same log.
+    pub baseline_checksum: u64,
+}
+
+/// Runs the shedding table. Panics unless every priced request was shed
+/// and the retry pass fingerprints identically to the baseline.
+pub fn shed_rows(smoke: bool) -> ShedRow {
+    let count = if smoke { SMOKE_REQUESTS } else { REQUESTS };
+    let (baseline, id) = engine_with(QosConfig::disabled());
+    let n = suite().num_vertices() as u32;
+    let log = request_log(id, n, count);
+    let (_, baseline_checksum) = replay(&baseline, &log, None);
+
+    // One second per cost unit: every priced request under a 50 ms hint is
+    // predicted infeasible and shed before executing.
+    let (overloaded, _) = engine_with(QosConfig {
+        admission: Some(AdmissionConfig {
+            initial_ns_per_cost: 1e9,
+            ewma_alpha: 0.5,
+            ..AdmissionConfig::default()
+        }),
+        ..QosConfig::default()
+    });
+    let (_, _shed_sum) = replay(&overloaded, &log, Some(SHED_DEADLINE_MS));
+    let shed = overloaded.qos_stats().shed;
+    let expected = log.iter().filter(|q| priced(q)).count() as u64;
+    assert_eq!(
+        shed, expected,
+        "every priced request must be shed under the infeasible prior"
+    );
+
+    // The retry pass (no deadline → nothing is infeasible) must reproduce
+    // the baseline bytes exactly: shedding never touched engine state.
+    let (_, retry_checksum) = replay(&overloaded, &log, None);
+    assert_eq!(
+        retry_checksum, baseline_checksum,
+        "mass shedding must not corrupt subsequent executions"
+    );
+    ShedRow {
+        requests: log.len(),
+        shed,
+        served: log.len() - shed as usize,
+        retry_checksum,
+        baseline_checksum,
+    }
+}
+
+/// JSON payload for `BENCH_pr10.json` (hand-assembled like the other
+/// sections).
+pub fn render_json(rows: &[LatencyRow], shed: &ShedRow) -> String {
+    let g = suite();
+    let mut out = String::from("{\n");
+    out.push_str("  \"pr\": 10,\n");
+    out.push_str(
+        "  \"description\": \"query-serving QoS: epoch-keyed result cache + single-flight \
+         coalescing vs uncached execution on a replayed repetitive query log (response-frame \
+         fingerprints identical), and admission-control overload shedding with the retryable \
+         Overloaded code\",\n",
+    );
+    out.push_str(&format!(
+        "  \"workload\": {{\"vertices\": {}, \"edges\": {}, \"requests\": {}, \
+         \"distinct_queries\": {}}},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        rows[0].requests,
+        rows[0].distinct,
+    ));
+    out.push_str("  \"latency\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {:.1}, \
+             \"checksum\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"coalesced\": {}, \
+             \"shed\": {}, \"hit_rate\": {:.4}}}{}\n",
+            r.name,
+            r.p50_ns,
+            r.p99_ns,
+            r.mean_ns,
+            r.checksum,
+            r.cache_hits,
+            r.cache_misses,
+            r.coalesced,
+            r.shed,
+            r.hit_rate,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"shedding\": {{\"deadline_hint_ms\": {}, \"requests\": {}, \"shed\": {}, \
+         \"served\": {}, \"retry_checksum\": {}, \"baseline_checksum\": {}}},\n",
+        SHED_DEADLINE_MS,
+        shed.requests,
+        shed.shed,
+        shed.served,
+        shed.retry_checksum,
+        shed.baseline_checksum,
+    ));
+    out.push_str("  \"ratios\": {\n");
+    let mut parts = Vec::new();
+    if let [base, qos] = rows {
+        parts.push(format!(
+            "    \"qos_vs_uncached_p50\": {:.3}",
+            base.p50_ns as f64 / qos.p50_ns.max(1) as f64
+        ));
+        parts.push(format!(
+            "    \"qos_vs_uncached_mean\": {:.3}",
+            base.mean_ns / qos.mean_ns.max(1.0)
+        ));
+        parts.push(format!("    \"cache_hit_rate\": {:.4}", qos.hit_rate));
+    }
+    out.push_str(&parts.join(",\n"));
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qos_replay_fingerprints_match_and_shed_counts_are_exact() {
+        let rows = latency_rows(true);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].checksum, rows[1].checksum);
+        assert_eq!(
+            (rows[0].cache_hits, rows[0].coalesced),
+            (0, 0),
+            "the baseline engine never touches the QoS layer"
+        );
+        // Every replay past the first occurrence of a pool entry hits: the
+        // log is far longer than the pool, so the hit rate is substantial.
+        assert!(rows[1].hit_rate > 0.5, "hit rate {}", rows[1].hit_rate);
+        assert_eq!(
+            rows[1].cache_misses as usize + rows[1].cache_hits as usize,
+            rows[1].requests,
+            "sequential replay: every request either hits or executes"
+        );
+        let shed = shed_rows(true);
+        assert!(shed.shed > 0);
+        assert_eq!(shed.retry_checksum, shed.baseline_checksum);
+        let json = render_json(&rows, &shed);
+        assert!(json.contains("\"latency\""));
+        assert!(json.contains("cache_hit_rate"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! kvcc-shardd --listen 0.0.0.0:7311 --threads 4 --max-connections 64
-//! kvcc-shardd --unix /run/kvcc/shard.sock
+//! kvcc-shardd --unix /run/kvcc/shard.sock --token s3cret
 //! ```
 
 use std::net::TcpListener;
@@ -27,10 +27,11 @@ struct Args {
     unix: Option<String>,
     threads: usize,
     max_connections: usize,
+    token: Option<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: kvcc-shardd (--listen ADDR | --unix PATH) [--threads N] [--max-connections N]\n\
+    "usage: kvcc-shardd (--listen ADDR | --unix PATH) [--threads N] [--max-connections N] [--token SECRET]\n\
      \n\
      Serves k-VCC enumeration work items over the framed wire protocol.\n\
      \n\
@@ -38,7 +39,10 @@ fn usage() -> &'static str {
      \x20 --listen ADDR          TCP address to accept on (e.g. 127.0.0.1:7311)\n\
      \x20 --unix PATH            Unix socket path to accept on\n\
      \x20 --threads N            worker threads per enumeration (default 1; 0 = all cores)\n\
-     \x20 --max-connections N    concurrent connection cap (default 64)"
+     \x20 --max-connections N    concurrent connection cap (default 64)\n\
+     \x20 --token SECRET         require a matching handshake frame on every\n\
+     \x20                        connection before serving (mismatch: clean\n\
+     \x20                        'unauthorized' error, connection closed)"
 }
 
 fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -47,12 +51,14 @@ fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         unix: None,
         threads: 1,
         max_connections: 64,
+        token: None,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--listen" => args.listen = Some(value("--listen")?),
             "--unix" => args.unix = Some(value("--unix")?),
+            "--token" => args.token = Some(value("--token")?),
             "--threads" => {
                 args.threads = value("--threads")?
                     .parse()
@@ -91,13 +97,23 @@ fn main() -> ExitCode {
     let pool = if let Some(addr) = &args.listen {
         match TcpListener::bind(addr) {
             Ok(listener) => {
-                match ShardPool::serve_tcp(listener, socket_options, options, args.max_connections)
-                {
+                match ShardPool::serve_tcp_with_token(
+                    listener,
+                    socket_options,
+                    options,
+                    args.max_connections,
+                    args.token.clone(),
+                ) {
                     Ok(pool) => {
                         eprintln!(
-                            "kvcc-shardd: serving on tcp://{} (max {} connections)",
+                            "kvcc-shardd: serving on tcp://{} (max {} connections{})",
                             pool.local_addr().expect("tcp pool has an address"),
-                            args.max_connections
+                            args.max_connections,
+                            if args.token.is_some() {
+                                ", token-gated"
+                            } else {
+                                ""
+                            }
                         );
                         pool
                     }
@@ -116,12 +132,22 @@ fn main() -> ExitCode {
         let path = args.unix.as_deref().expect("parse guarantees one mode");
         match UnixListener::bind(path) {
             Ok(listener) => {
-                match ShardPool::serve_unix(listener, socket_options, options, args.max_connections)
-                {
+                match ShardPool::serve_unix_with_token(
+                    listener,
+                    socket_options,
+                    options,
+                    args.max_connections,
+                    args.token.clone(),
+                ) {
                     Ok(pool) => {
                         eprintln!(
-                            "kvcc-shardd: serving on unix:{path} (max {} connections)",
-                            args.max_connections
+                            "kvcc-shardd: serving on unix:{path} (max {} connections{})",
+                            args.max_connections,
+                            if args.token.is_some() {
+                                ", token-gated"
+                            } else {
+                                ""
+                            }
                         );
                         pool
                     }

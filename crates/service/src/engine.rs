@@ -4,6 +4,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use kvcc::global_cut::{global_cut_with_scratch, CutScratch};
 use kvcc::index::{ConnectivityIndex, RankBy};
@@ -26,9 +27,10 @@ use kvcc_graph::{
 use crate::coordinator::{run_fleet, CoordinatorConfig, FleetOutcome, FleetStats};
 pub use crate::protocol::OrderingPolicy;
 use crate::protocol::{
-    GraphId, LoadFormat, PageCursor, QueryRequest, QueryResponse, RankedEntry, Request,
+    GraphId, LoadFormat, PageCursor, QosStats, QueryRequest, QueryResponse, RankedEntry, Request,
     RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
+use crate::qos::{self, CacheKey, FlightOutcome, QosConfig, QosLayer};
 use crate::wire::transport::{Transport, TransportError};
 use crate::wire::{run_work_item, CsrWorkItem};
 
@@ -72,17 +74,35 @@ pub struct EngineConfig {
     /// the (cached) row-decode cost in exchange for the compressed resident
     /// form.
     pub compression: bool,
+    /// Query-serving QoS: the epoch-keyed result cache, single-flight
+    /// coalescing of identical in-flight queries, and cost-model admission
+    /// control (see [`crate::qos`]). The default is fully disabled — the
+    /// engine behaves exactly as before protocol v6 until a deployment opts
+    /// in (e.g. [`QosConfig::serving`]).
+    pub qos: QosConfig,
+    /// Overlay-retention threshold for uncompressed slots absorbing edge
+    /// updates: after a batch, the slot keeps its [`DeltaGraph`] overlay
+    /// while `overlay_ratio() <= compact_overlay_ratio` and folds it into a
+    /// clean CSR (counted in [`SchedulingStats::compactions`]) once the
+    /// ratio crosses the threshold. The default `0.0` compacts after every
+    /// effective batch — the pre-v6 behaviour; raise it (e.g. `0.25`) to
+    /// amortise compaction over many small batches. Compressed slots always
+    /// re-materialise (the compressed form has no overlay).
+    pub compact_overlay_ratio: f64,
 }
 
 /// How a slot stores its graph: plain CSR, compressed with the decode cache
-/// backed by the engine's shared [`RowPool`], or borrowed zero-copy from the
-/// validated bytes of an aligned `KCSR` file ([`MappedCsr`]). Implements
-/// [`GraphView`] by delegation so every query path runs on any
-/// representation unchanged.
+/// backed by the engine's shared [`RowPool`], borrowed zero-copy from the
+/// validated bytes of an aligned `KCSR` file ([`MappedCsr`]), or a CSR base
+/// plus a retained mutation overlay ([`DeltaGraph`]) for uncompressed slots
+/// that absorbed updates without crossing
+/// [`EngineConfig::compact_overlay_ratio`]. Implements [`GraphView`] by
+/// delegation so every query path runs on any representation unchanged.
 enum StoredGraph {
     Plain(CsrGraph),
     Compressed(CompressedCsrGraph),
     Borrowed(MappedCsr),
+    Delta(DeltaGraph),
 }
 
 impl GraphView for StoredGraph {
@@ -92,6 +112,7 @@ impl GraphView for StoredGraph {
             StoredGraph::Plain(g) => g.num_vertices(),
             StoredGraph::Compressed(g) => g.num_vertices(),
             StoredGraph::Borrowed(g) => g.num_vertices(),
+            StoredGraph::Delta(g) => g.num_vertices(),
         }
     }
 
@@ -101,6 +122,7 @@ impl GraphView for StoredGraph {
             StoredGraph::Plain(g) => g.num_edges(),
             StoredGraph::Compressed(g) => g.num_edges(),
             StoredGraph::Borrowed(g) => g.num_edges(),
+            StoredGraph::Delta(g) => g.num_edges(),
         }
     }
 
@@ -110,6 +132,7 @@ impl GraphView for StoredGraph {
             StoredGraph::Plain(g) => g.neighbors(v),
             StoredGraph::Compressed(g) => g.neighbors(v),
             StoredGraph::Borrowed(g) => g.neighbors(v),
+            StoredGraph::Delta(g) => g.neighbors(v),
         }
     }
 
@@ -119,6 +142,7 @@ impl GraphView for StoredGraph {
             StoredGraph::Plain(g) => g.degree(v),
             StoredGraph::Compressed(g) => GraphView::degree(g, v),
             StoredGraph::Borrowed(g) => GraphView::degree(g, v),
+            StoredGraph::Delta(g) => GraphView::degree(g, v),
         }
     }
 
@@ -127,6 +151,7 @@ impl GraphView for StoredGraph {
             StoredGraph::Plain(g) => g.memory_bytes(),
             StoredGraph::Compressed(g) => g.memory_bytes(),
             StoredGraph::Borrowed(g) => g.memory_bytes(),
+            StoredGraph::Delta(g) => g.memory_bytes(),
         }
     }
 }
@@ -168,6 +193,7 @@ struct SlotMetrics {
     update_batches: AtomicU64,
     update_edges: AtomicU64,
     update_rebuilds: AtomicU64,
+    compactions: AtomicU64,
 }
 
 impl SlotMetrics {
@@ -210,6 +236,7 @@ impl SlotMetrics {
             update_batches: self.update_batches.load(Ordering::Relaxed),
             update_edges: self.update_edges.load(Ordering::Relaxed),
             update_rebuilds: self.update_rebuilds.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 }
@@ -396,17 +423,29 @@ pub struct ServiceEngine {
     /// other. The query path never takes this lock — readers keep their
     /// `Arc<GraphSlot>` snapshot and are untouched by a concurrent writer.
     update_lock: Mutex<()>,
+    /// The QoS layer in front of every query path (see [`crate::qos`]);
+    /// inert under the default disabled [`QosConfig`].
+    qos: QosLayer,
 }
 
 impl ServiceEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
+        let qos = QosLayer::new(config.qos.clone());
         ServiceEngine {
             config,
             graphs: Mutex::new(Vec::new()),
             decode_pool: Arc::new(RowPool::default()),
             update_lock: Mutex::new(()),
+            qos,
         }
+    }
+
+    /// The engine-wide QoS counters (also carried by every
+    /// [`QueryResponse::Stats`] response): cache hits and misses, coalesced
+    /// waiters, shed requests, and the current admission queue depth.
+    pub fn qos_stats(&self) -> QosStats {
+        self.qos.snapshot()
     }
 
     /// The engine-wide decode-buffer pool backing compressed slots
@@ -656,7 +695,11 @@ impl ServiceEngine {
     /// unindexed — the next query that needs it builds against the updated
     /// graph (and stamps it with the new epoch). A zero-copy (`KCSR`
     /// borrowed) slot is materialised by its first update batch; subsequent
-    /// storage follows [`EngineConfig::compression`].
+    /// storage follows [`EngineConfig::compression`] and, for uncompressed
+    /// slots, [`EngineConfig::compact_overlay_ratio`]: the mutation overlay
+    /// is retained across batches and folded into a clean CSR (a
+    /// *compaction*, counted in [`SchedulingStats::compactions`]) only when
+    /// its size relative to the base crosses the threshold.
     ///
     /// Update endpoints are loaded-space ids, like every other request.
     /// Redundant operations — inserting a present edge, deleting an absent
@@ -699,11 +742,16 @@ impl ServiceEngine {
                 v: slot.to_internal(up.v),
             })
             .collect();
-        let mut delta = DeltaGraph::new(CsrGraph::from_view(&slot.graph));
+        // A slot already carrying an overlay keeps layering onto it (that is
+        // what makes `overlay_ratio` grow across batches); every other
+        // representation starts a fresh overlay over a materialised base.
+        let mut delta = match &slot.graph {
+            StoredGraph::Delta(existing) => existing.clone(),
+            other => DeltaGraph::new(CsrGraph::from_view(other)),
+        };
         delta
             .apply(&internal)
             .map_err(|e| ServiceError::Enumeration(e.to_string()))?;
-        let updated = delta.into_csr();
 
         let epoch = slot.epoch + 1;
         let (index, report) = match slot.index.get() {
@@ -711,7 +759,7 @@ impl ServiceEngine {
                 let mut repaired = ix.clone();
                 let options = self.config.enumeration.clone().with_budget(budget.clone());
                 let report = repaired
-                    .apply_updates(&updated, &internal, &options)
+                    .apply_updates(&delta, &internal, &options)
                     .map_err(ServiceError::from)?;
                 if report.rebuilt {
                     slot.metrics.update_rebuilds.fetch_add(1, Ordering::Relaxed);
@@ -731,10 +779,14 @@ impl ServiceEngine {
 
         let stored = if self.config.compression {
             StoredGraph::Compressed(
-                CompressedCsrGraph::from_csr(&updated).with_pool(Arc::clone(&self.decode_pool)),
+                CompressedCsrGraph::from_csr(&delta.into_csr())
+                    .with_pool(Arc::clone(&self.decode_pool)),
             )
+        } else if delta.needs_compaction(self.config.compact_overlay_ratio) {
+            slot.metrics.compactions.fetch_add(1, Ordering::Relaxed);
+            StoredGraph::Plain(delta.into_csr())
         } else {
-            StoredGraph::Plain(updated)
+            StoredGraph::Delta(delta)
         };
         let index_cell = OnceLock::new();
         if let Some(ix) = index {
@@ -902,6 +954,14 @@ impl ServiceEngine {
                         Err(e) => QueryResponse::Error(e),
                     }
                 })
+            }
+            RequestBody::Handshake { .. } => {
+                // Token *checking* lives at the transport boundary (the
+                // accept path of a `--token`-armed `kvcc-shardd`); an engine
+                // reached in-process or behind an unarmed endpoint treats
+                // the handshake as a no-op so clients can send it
+                // unconditionally.
+                ResponseBody::Query(QueryResponse::HandshakeOk)
             }
             RequestBody::ApplyUpdates { graph, updates } => {
                 ResponseBody::Query(if budget.expired() {
@@ -1111,7 +1171,140 @@ impl ServiceEngine {
             .ok_or(ServiceError::UnknownGraph { graph })
     }
 
+    /// The QoS front door of every query path — in-process calls, batch
+    /// workers, framed bytes and sockets all funnel through here. Resolves
+    /// the slot's mutation epoch, consults the result cache, coalesces
+    /// identical in-flight executions, and runs admission control before
+    /// [`ServiceEngine::execute_uncached`] does real work. Under the
+    /// default (disabled) [`QosConfig`] this is a straight pass-through.
     fn execute_with(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut WorkerScratch,
+        budget: &Budget,
+    ) -> QueryResponse {
+        let eligible = qos::cacheable(request);
+        let use_cache = eligible && self.qos.config.cache_enabled();
+        let use_flight = eligible && self.qos.config.coalesce;
+        if !use_cache && !use_flight {
+            return self.admit_and_execute(request, scratch, budget);
+        }
+        // The epoch embedded in the key is the whole invalidation story: an
+        // update batch advances it, so entries minted at earlier epochs stop
+        // being addressable and age out of the LRU.
+        let epoch = match self.slot(request.graph()) {
+            Ok(slot) => slot.epoch,
+            Err(e) => return QueryResponse::Error(e),
+        };
+        let key = CacheKey::new(request, epoch);
+        if use_cache {
+            if let Some(hit) = self.qos.cache.get(&key) {
+                return hit;
+            }
+        }
+        if !use_flight {
+            self.qos.cache.count_miss();
+            let response = self.admit_and_execute(request, scratch, budget);
+            self.cache_insert(&key, &response);
+            return response;
+        }
+        match self.qos.flight.join(&key) {
+            FlightOutcome::Coalesced(Ok(response)) => response,
+            FlightOutcome::Coalesced(Err(_poisoned)) => {
+                QueryResponse::Error(ServiceError::Enumeration(
+                    "coalesced execution failed before publishing a response".into(),
+                ))
+            }
+            FlightOutcome::Leader(leader) => {
+                if use_cache {
+                    self.qos.cache.count_miss();
+                }
+                let response = self.admit_and_execute(request, scratch, budget);
+                // Waiters receive exactly what the leader produced — error
+                // responses included (a failed execution propagates rather
+                // than wedging anyone).
+                leader.publish(response.clone());
+                if use_cache {
+                    self.cache_insert(&key, &response);
+                }
+                response
+            }
+        }
+    }
+
+    /// Publishes a response into the result cache — unless it is an error
+    /// (never cached: the next caller should retry the real execution) or an
+    /// update batch landed between key minting and execution, in which case
+    /// the entry would describe a superseded epoch and is simply dropped.
+    fn cache_insert(&self, key: &CacheKey, response: &QueryResponse) {
+        if matches!(response, QueryResponse::Error(_)) {
+            return;
+        }
+        match self.slot(key.graph) {
+            Ok(slot) if slot.epoch == key.epoch => {}
+            _ => return,
+        }
+        self.qos.cache.insert(
+            key.clone(),
+            response.clone(),
+            qos::response_weight(response),
+        );
+    }
+
+    /// Runs the admission controller (when armed) in front of the uncached
+    /// executor: flow-running query kinds are priced with the shared
+    /// scheduling cost model and shed with [`ServiceError::Overloaded`]
+    /// when the controller predicts the request cannot meet its deadline
+    /// hint or the bounded wait queue is full. Every admitted execution
+    /// feeds its observed cost back into the controller's EWMA.
+    fn admit_and_execute(
+        &self,
+        request: &QueryRequest,
+        scratch: &mut WorkerScratch,
+        budget: &Budget,
+    ) -> QueryResponse {
+        let Some(controller) = self.qos.admission.as_ref() else {
+            return self.execute_uncached(request, scratch, budget);
+        };
+        let Some(cost) = self.request_cost(request) else {
+            return self.execute_uncached(request, scratch, budget);
+        };
+        match controller.admit(cost, budget.deadline()) {
+            Ok(_permit) => {
+                let start = Instant::now();
+                let response = self.execute_uncached(request, scratch, budget);
+                controller.observe(cost, start.elapsed());
+                response
+            }
+            Err(_shed) => QueryResponse::Error(ServiceError::Overloaded),
+        }
+    }
+
+    /// The admission cost of a request under the shared scheduling model
+    /// ([`kvcc::split_cost`] `= |E| + k·|V|`), or `None` for kinds that are
+    /// not admission-gated — stats, index-lookup queries and page reads are
+    /// too cheap to meaningfully price — or when the graph cannot be
+    /// resolved (the executor owns that error).
+    fn request_cost(&self, request: &QueryRequest) -> Option<u64> {
+        let k = match *request {
+            QueryRequest::EnumerateKvccs { k, .. } => k,
+            QueryRequest::KvccsContaining { k, .. } => k,
+            QueryRequest::GlobalCutProbe { k, .. } => k,
+            QueryRequest::LocalConnectivity { limit, .. } => limit,
+            _ => return None,
+        };
+        let slot = self.slot(request.graph()).ok()?;
+        Some(split_cost(
+            slot.graph.num_vertices(),
+            slot.graph.num_edges(),
+            k,
+        ))
+    }
+
+    /// The real executor behind the QoS layer (the pre-v6 `execute_with`):
+    /// resolves the slot and answers the request from the index or by
+    /// direct enumeration, with no caching, coalescing or admission.
+    fn execute_uncached(
         &self,
         request: &QueryRequest,
         scratch: &mut WorkerScratch,
@@ -1270,6 +1463,7 @@ impl ServiceEngine {
                     depth_limit,
                     scheduling: slot.metrics.snapshot(),
                     epoch: slot.epoch,
+                    qos: self.qos.snapshot(),
                 }
             }
             QueryRequest::TopKComponents {

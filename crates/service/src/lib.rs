@@ -43,7 +43,17 @@
 //!   instead of rebuilt, every batch bumps the graph's epoch (reported by
 //!   `Stats`, stamped into page cursors so stale pagination is rejected),
 //!   and the answer ([`QueryResponse::Updated`]) is byte-identical to
-//!   reloading the updated graph from scratch.
+//!   reloading the updated graph from scratch;
+//! * **query-serving QoS (protocol v6)** — an opt-in [`qos`] layer in front
+//!   of every query path: a bounded result cache keyed by
+//!   `(graph, epoch, canonical query bytes)` whose hits are byte-identical
+//!   to fresh execution and invalidated for free by the mutation epoch,
+//!   single-flight coalescing of identical in-flight queries, and
+//!   cost-model admission control ([`kvcc::split_cost`] + an online EWMA)
+//!   that sheds deadline-infeasible work with the retryable
+//!   [`ServiceError::Overloaded`] instead of failing it late; `Stats`
+//!   reports the [`QosStats`] counters, and `kvcc-shardd --token` gates
+//!   connections behind a shared-secret [`RequestBody::Handshake`].
 //!
 //! # Quick start
 //!
@@ -72,18 +82,21 @@
 pub mod coordinator;
 pub mod engine;
 pub mod protocol;
+pub mod qos;
 pub mod wire;
 
 pub use coordinator::{run_fleet, CoordinatorConfig, FleetOutcome, FleetStats};
 pub use engine::{EngineConfig, LoadReport, ServiceEngine};
 pub use protocol::{
-    GraphId, LoadFormat, OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankedEntry,
-    Request, RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
+    GraphId, LoadFormat, OrderingPolicy, PageCursor, QosStats, QueryRequest, QueryResponse,
+    RankedEntry, Request, RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
+pub use qos::{AdmissionConfig, AdmissionController, QosConfig, ResultCache, SingleFlight};
 pub use wire::faults::{FaultPlan, FaultStatsSnapshot, FaultTransport};
 pub use wire::socket::{ShardPool, SocketOptions, StreamTransport, TcpTransport, UnixTransport};
 pub use wire::transport::{
-    call, call_with, run_shard_worker, CallOptions, LoopbackTransport, Transport, TransportError,
+    authenticate, call, call_with, run_shard_worker, CallOptions, LoopbackTransport, Transport,
+    TransportError,
 };
 pub use wire::{run_work_item, CsrWorkItem};
 

@@ -377,6 +377,40 @@ pub struct SchedulingStats {
     /// Update batches whose blast radius forced a full index rebuild
     /// instead of an incremental splice.
     pub update_rebuilds: u64,
+    /// Delta-overlay compactions the engine ran on the slot after update
+    /// batches (protocol v6): an uncompressed mutable slot keeps its edits
+    /// in a [`kvcc_graph::DeltaGraph`] overlay and folds them into the base
+    /// CSR only when the overlay ratio crosses
+    /// [`crate::EngineConfig::compact_overlay_ratio`].
+    pub compactions: u64,
+}
+
+/// Engine-wide query-QoS counters (protocol v6), reported by
+/// [`QueryResponse::Stats`].
+///
+/// `cache_hits`/`cache_misses` are deterministic functions of the request
+/// sequence (the cache key embeds the slot epoch, so invalidation is exact);
+/// `coalesced`, `shed` and `queue_depth` depend on concurrency, load and
+/// wall-clock timing and exist for observability, never for parity
+/// comparison — like [`SchedulingStats::steals`], they never influence
+/// response bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QosStats {
+    /// Queries answered from the epoch-keyed result cache.
+    pub cache_hits: u64,
+    /// Cacheable queries that missed and executed (each miss is exactly one
+    /// real execution when coalescing is on).
+    pub cache_misses: u64,
+    /// Queries that joined an identical in-flight execution and received
+    /// the leader's response instead of executing (single-flight waiters).
+    pub coalesced: u64,
+    /// Requests rejected by admission control with
+    /// [`ServiceError::Overloaded`] — predicted to miss their deadline
+    /// hint, or arriving with the admission queue full.
+    pub shed: u64,
+    /// Requests currently parked in the bounded admission queue (a gauge,
+    /// not a cumulative counter).
+    pub queue_depth: u64,
 }
 
 /// The answer to one [`QueryRequest`], in the same batch position.
@@ -416,6 +450,8 @@ pub enum QueryResponse {
         /// [`RequestBody::ApplyUpdates`] batch. Page cursors embed it, and
         /// result caches can key on `(graph, epoch)`.
         epoch: u64,
+        /// Engine-wide query-QoS counters (protocol v6; see [`QosStats`]).
+        qos: QosStats,
     },
     /// A [`RequestBody::ApplyUpdates`] batch was applied (protocol v5).
     Updated {
@@ -455,6 +491,9 @@ pub enum QueryResponse {
         /// (`StoredGraph::Borrowed`) rather than holding a decoded copy.
         zero_copy: bool,
     },
+    /// A [`RequestBody::Handshake`] token was accepted (protocol v6); the
+    /// connection may now issue ordinary requests.
+    HandshakeOk,
 }
 
 /// Errors surfaced through [`QueryResponse::Error`] or the engine API.
@@ -506,6 +545,16 @@ pub enum ServiceError {
         /// Loader diagnostic.
         reason: String,
     },
+    /// Code 10 (protocol v6): admission control shed the request — its
+    /// estimated work cannot meet the envelope's `deadline_hint_ms` under
+    /// the observed cost-per-unit, or the bounded admission queue was full.
+    /// Retryable: the rejection reflects transient load, not the request.
+    Overloaded,
+    /// Code 11 (protocol v6): the endpoint requires a shared-secret
+    /// handshake ([`RequestBody::Handshake`]) and the connection has not
+    /// presented a matching token. Terminal — resending without the right
+    /// secret cannot succeed.
+    Unauthorized,
 }
 
 impl ServiceError {
@@ -515,17 +564,22 @@ impl ServiceError {
     /// path.
     ///
     /// Retryable: [`ServiceError::Transport`] (the carrier failed
-    /// mid-flight) and [`ServiceError::MalformedRequest`] (the peer
+    /// mid-flight), [`ServiceError::MalformedRequest`] (the peer
     /// received mangled bytes — the sender knows its own encoding was
-    /// valid, so the corruption happened in flight and a resend is sound).
+    /// valid, so the corruption happened in flight and a resend is sound)
+    /// and [`ServiceError::Overloaded`] (the shed reflects transient load;
+    /// the same request can be admitted once the queue drains).
     /// Everything else is terminal: [`ServiceError::DeadlineExceeded`]
-    /// will not un-expire, and the semantic rejections (unknown graph,
+    /// will not un-expire, [`ServiceError::Unauthorized`] will not grow
+    /// the right secret, and the semantic rejections (unknown graph,
     /// out-of-range vertex, invalid cursor, unsupported shape, failed
     /// load, enumeration error) reproduce identically on a resend.
     pub const fn is_retryable(&self) -> bool {
         matches!(
             self,
-            ServiceError::Transport { .. } | ServiceError::MalformedRequest { .. }
+            ServiceError::Transport { .. }
+                | ServiceError::MalformedRequest { .. }
+                | ServiceError::Overloaded
         )
     }
 
@@ -542,6 +596,8 @@ impl ServiceError {
             ServiceError::MalformedRequest { .. } => 7,
             ServiceError::Transport { .. } => 8,
             ServiceError::LoadFailed { .. } => 9,
+            ServiceError::Overloaded => 10,
+            ServiceError::Unauthorized => 11,
         }
     }
 }
@@ -570,6 +626,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Transport { reason } => write!(f, "transport failure: {reason}"),
             ServiceError::LoadFailed { reason } => {
                 write!(f, "graph load failed: {reason}")
+            }
+            ServiceError::Overloaded => {
+                write!(f, "admission control shed the request (overloaded)")
+            }
+            ServiceError::Unauthorized => {
+                write!(f, "handshake token missing or mismatched")
             }
         }
     }
@@ -681,6 +743,17 @@ pub enum RequestBody {
         /// The edge mutations, applied in order.
         updates: Vec<EdgeUpdate>,
     },
+    /// Present a shared-secret token to an authenticated endpoint (protocol
+    /// v6), answered with [`QueryResponse::HandshakeOk`] on a match and
+    /// [`ServiceError::Unauthorized`] on a mismatch. A `kvcc-shardd` started
+    /// with `--token` requires this to be the **first** frame of every
+    /// connection and refuses all other work until it succeeds; endpoints
+    /// without a configured token accept the frame as a no-op, so clients
+    /// can handshake unconditionally.
+    Handshake {
+        /// The shared secret, compared verbatim.
+        token: String,
+    },
 }
 
 /// The protocol-v2 response envelope.
@@ -780,19 +853,22 @@ mod tests {
             ServiceError::LoadFailed {
                 reason: String::new(),
             },
+            ServiceError::Overloaded,
+            ServiceError::Unauthorized,
         ];
         for (i, e) in all.iter().enumerate() {
             assert_eq!(e.code() as usize, i + 1);
             assert!(e.to_string().starts_with(&format!("[E{}]", i + 1)));
         }
-        // Exactly the in-flight failure modes are retryable; every semantic
-        // rejection is terminal (codes 8 and 7 = Transport, Malformed).
+        // Exactly the transient failure modes are retryable — in-flight
+        // corruption/carrier loss (7, 8) and an admission shed (10); every
+        // semantic rejection is terminal.
         let retryable: Vec<u16> = all
             .iter()
             .filter(|e| e.is_retryable())
             .map(|e| e.code())
             .collect();
-        assert_eq!(retryable, vec![7, 8]);
+        assert_eq!(retryable, vec![7, 8, 10]);
     }
 
     #[test]

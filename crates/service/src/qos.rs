@@ -1,0 +1,948 @@
+//! Query-serving QoS (protocol v6): the epoch-keyed result cache,
+//! single-flight coalescing of identical in-flight queries, and cost-model
+//! admission control with overload shedding.
+//!
+//! The three parts cooperate inside [`crate::ServiceEngine`]'s single query
+//! funnel, so every wire path — in-process calls, framed bytes, sockets —
+//! observes identical semantics:
+//!
+//! * **[`ResultCache`]** — a bounded LRU keyed by `(graph, epoch,
+//!   canonicalized query bytes)`. Responses are cached as decoded protocol
+//!   values and re-encoded by the same deterministic codec as fresh
+//!   executions, so a hit is byte-identical to a miss on every transport.
+//!   Invalidation is free: an applied update batch advances the slot epoch
+//!   embedded in the key, so entries from the previous epoch simply stop
+//!   being addressable and age out of the LRU.
+//! * **[`SingleFlight`]** — waiter registration for identical concurrent
+//!   queries: the first caller of a key becomes the *leader* and executes;
+//!   callers arriving while the leader runs block and receive a clone of
+//!   the leader's response (error responses included — a failed execution
+//!   propagates to every waiter). A leader that dies without publishing
+//!   poisons the flight, waking waiters with an error instead of wedging
+//!   them.
+//! * **[`AdmissionController`]** — estimates a request's work with the
+//!   PR 5 scheduling cost model (`split_cost = |E| + k·|V|`), converts it
+//!   to predicted wall-clock via an online EWMA of observed
+//!   nanoseconds-per-cost-unit, and sheds requests
+//!   ([`ServiceError::Overloaded`](crate::ServiceError::Overloaded),
+//!   retryable) that cannot meet their `deadline_hint_ms` — instead of
+//!   burning a core to interrupt them late. Concurrency is capped by
+//!   permits backed by a bounded wait queue with shed-on-full semantics.
+//!
+//! Everything here is off by default ([`QosConfig::default`] ==
+//! [`QosConfig::disabled`]): the engine's pre-v6 behaviour — every request
+//! executes, deadlines interrupt mid-run with code 5 — is unchanged until a
+//! deployment opts in (e.g. [`QosConfig::serving`]).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::protocol::{GraphId, QosStats, QueryRequest, QueryResponse};
+use crate::wire::message::encode_query;
+
+/// Locks a mutex, recovering the data from a poisoned lock: the QoS
+/// bookkeeping must stay usable after a worker panicked mid-query (the
+/// counters are monotone telemetry, never invariants a panic can break).
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Tuning of the engine's QoS layer (see the module docs). The default is
+/// fully disabled; [`QosConfig::serving`] is a reasonable starting point for
+/// a query-serving deployment.
+#[derive(Clone, Debug, Default)]
+pub struct QosConfig {
+    /// Maximum entries in the result cache; `0` disables caching.
+    pub cache_max_entries: usize,
+    /// Byte budget of the result cache (estimated response payload bytes);
+    /// `0` disables caching. A single response larger than the whole budget
+    /// is served but never cached.
+    pub cache_max_bytes: usize,
+    /// Coalesce identical in-flight queries through [`SingleFlight`].
+    pub coalesce: bool,
+    /// Admission control; `None` admits everything (pre-v6 behaviour).
+    pub admission: Option<AdmissionConfig>,
+}
+
+impl QosConfig {
+    /// Everything off — the engine behaves exactly as before protocol v6.
+    pub fn disabled() -> Self {
+        QosConfig::default()
+    }
+
+    /// Cache + coalescing on with moderate budgets, admission off. Admission
+    /// stays opt-in because it changes the deadline contract: an armed
+    /// controller answers predicted-infeasible requests with `Overloaded`
+    /// *before* execution, where the base engine would run them and
+    /// interrupt mid-flight with `DeadlineExceeded`.
+    pub fn serving() -> Self {
+        QosConfig {
+            cache_max_entries: 4096,
+            cache_max_bytes: 64 << 20,
+            coalesce: true,
+            admission: None,
+        }
+    }
+
+    /// Whether the result cache is armed.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_max_entries > 0 && self.cache_max_bytes > 0
+    }
+}
+
+/// Tuning of the [`AdmissionController`].
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Requests allowed to execute concurrently through the controller.
+    pub max_concurrent: usize,
+    /// Requests allowed to wait for a permit beyond `max_concurrent`;
+    /// arrivals past this bound are shed immediately.
+    pub max_queued: usize,
+    /// EWMA smoothing factor in `(0, 1]` for the observed
+    /// nanoseconds-per-cost-unit (higher adapts faster).
+    pub ewma_alpha: f64,
+    /// Prior nanoseconds-per-cost-unit before the first observation. `0.0`
+    /// starts optimistic: nothing is predicted infeasible until real
+    /// executions have been measured.
+    pub initial_ns_per_cost: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_concurrent: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_queued: 64,
+            ewma_alpha: 0.2,
+            initial_ns_per_cost: 0.0,
+        }
+    }
+}
+
+/// The result-cache / single-flight key: a graph handle, the slot's
+/// mutation epoch at lookup time, and the query's canonical wire encoding.
+///
+/// Keying on the wire bytes makes two requests collide exactly when they
+/// decode to the same query; symmetric vertex pairs
+/// ([`QueryRequest::MaxConnectivity`], [`QueryRequest::LocalConnectivity`])
+/// are canonicalized to `u <= v` first, so `κ(u, v)` and `κ(v, u)` share
+/// one entry. The epoch is what makes invalidation free — an update batch
+/// bumps it, and every pre-update entry becomes unaddressable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Target graph handle.
+    pub graph: GraphId,
+    /// Mutation epoch of the slot the lookup resolved.
+    pub epoch: u64,
+    /// Canonical wire encoding of the query.
+    pub query: Vec<u8>,
+}
+
+impl CacheKey {
+    /// Builds the key for a query against a slot at `epoch`.
+    pub fn new(query: &QueryRequest, epoch: u64) -> Self {
+        let canonical = canonicalize(query);
+        let mut bytes = Vec::with_capacity(16);
+        encode_query(canonical.as_ref().unwrap_or(query), &mut bytes);
+        CacheKey {
+            graph: query.graph(),
+            epoch,
+            query: bytes,
+        }
+    }
+}
+
+/// The canonical form of a query whose answer is symmetric in a vertex
+/// pair, or `None` when the query is already canonical.
+fn canonicalize(query: &QueryRequest) -> Option<QueryRequest> {
+    match *query {
+        QueryRequest::MaxConnectivity { graph, u, v } if u > v => {
+            Some(QueryRequest::MaxConnectivity { graph, u: v, v: u })
+        }
+        QueryRequest::LocalConnectivity { graph, u, v, limit } if u > v => {
+            Some(QueryRequest::LocalConnectivity {
+                graph,
+                u: v,
+                v: u,
+                limit,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Whether a query's successful answer is a deterministic function of
+/// `(graph, epoch, query)` and may be cached / coalesced.
+/// [`QueryRequest::GraphStats`] is excluded: its scheduling and QoS
+/// counters move with every request.
+pub fn cacheable(query: &QueryRequest) -> bool {
+    !matches!(query, QueryRequest::GraphStats { .. })
+}
+
+/// Estimated payload bytes of a response for the cache's byte budget: the
+/// dominant id lists at wire width plus small per-value overheads. An
+/// estimate, not an exact encoding — the budget bounds memory, it does not
+/// meter it.
+pub fn response_weight(response: &QueryResponse) -> usize {
+    match response {
+        QueryResponse::Components(components) => {
+            16 + components.iter().map(|c| 16 + 4 * c.len()).sum::<usize>()
+        }
+        QueryResponse::Connectivity(_) => 8,
+        QueryResponse::Cut(cut) => match cut {
+            None => 8,
+            Some(vertices) => 16 + 4 * vertices.len(),
+        },
+        QueryResponse::Page {
+            entries,
+            next_cursor,
+        } => {
+            16 + entries
+                .iter()
+                .map(|e| 24 + 4 * e.component.len())
+                .sum::<usize>()
+                + next_cursor.as_ref().map_or(0, |c| c.len())
+        }
+        // Never cached; weighed only so the function is total.
+        QueryResponse::Stats { .. }
+        | QueryResponse::Updated { .. }
+        | QueryResponse::Error(_)
+        | QueryResponse::Loaded { .. }
+        | QueryResponse::HandshakeOk => 64,
+    }
+}
+
+struct CacheEntry<V> {
+    value: V,
+    weight: usize,
+    stamp: u64,
+}
+
+struct CacheInner<K, V> {
+    map: HashMap<K, CacheEntry<V>>,
+    /// Recency order: stamp → key, oldest first. Stamps are unique (the
+    /// clock only moves forward), so this is an exact LRU list with
+    /// `O(log n)` touch/evict.
+    lru: BTreeMap<u64, K>,
+    clock: u64,
+    bytes: usize,
+}
+
+/// A bounded LRU cache with an entry count *and* a byte budget.
+///
+/// [`ResultCache::get`] counts hits; misses are counted by the caller via
+/// [`ResultCache::count_miss`] at the point a lookup failure actually turns
+/// into an execution. The split keeps `misses == real executions` exact
+/// under coalescing: concurrent callers may all miss the lookup, but only
+/// the single-flight leader executes and records the miss.
+pub struct ResultCache<K, V> {
+    max_entries: usize,
+    max_bytes: usize,
+    inner: Mutex<CacheInner<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> ResultCache<K, V> {
+    /// An empty cache with the given budgets. Either budget at `0` makes
+    /// the cache inert (every `get` misses, every `insert` is dropped).
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        ResultCache {
+            max_entries,
+            max_bytes,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                lru: BTreeMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks a key up, refreshing its recency and counting a hit on
+    /// success. A failed lookup counts nothing — see
+    /// [`ResultCache::count_miss`].
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = lock_recover(&self.inner);
+        let inner = &mut *inner;
+        let entry = inner.map.get_mut(key)?;
+        inner.lru.remove(&entry.stamp);
+        inner.clock += 1;
+        entry.stamp = inner.clock;
+        inner.lru.insert(entry.stamp, key.clone());
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.value.clone())
+    }
+
+    /// Records that a lookup failure became a real execution.
+    pub fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts a value of the given weight, evicting least-recently-used
+    /// entries until both budgets hold. A value heavier than the whole byte
+    /// budget is silently not cached.
+    pub fn insert(&self, key: K, value: V, weight: usize) {
+        if self.max_entries == 0 || weight > self.max_bytes {
+            return;
+        }
+        let mut inner = lock_recover(&self.inner);
+        if let Some(old) = inner.map.remove(&key) {
+            inner.lru.remove(&old.stamp);
+            inner.bytes -= old.weight;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.bytes += weight;
+        inner.lru.insert(stamp, key.clone());
+        inner.map.insert(
+            key,
+            CacheEntry {
+                value,
+                weight,
+                stamp,
+            },
+        );
+        while inner.map.len() > self.max_entries || inner.bytes > self.max_bytes {
+            let Some((_, victim)) = inner.lru.pop_first() else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&victim) {
+                inner.bytes -= evicted.weight;
+            }
+        }
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        lock_recover(&self.inner).map.len()
+    }
+
+    /// Whether the cache currently holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated bytes held.
+    pub fn bytes(&self) -> usize {
+        lock_recover(&self.inner).bytes
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookup failures that became executions ([`ResultCache::count_miss`]).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a coalesced waiter received no value: the leader died (panicked or
+/// was torn down) without publishing a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Poisoned;
+
+enum FlightState<V> {
+    Pending { waiters: usize },
+    Done(Result<V, Poisoned>),
+}
+
+struct Flight<V> {
+    state: Mutex<FlightState<V>>,
+    cv: Condvar,
+}
+
+/// The two ways out of [`SingleFlight::join`].
+pub enum FlightOutcome<'a, K: Hash + Eq + Clone, V: Clone> {
+    /// This caller owns the execution: run the work, then
+    /// [`FlightLeader::publish`] the result to everyone else.
+    Leader(FlightLeader<'a, K, V>),
+    /// An identical execution was already in flight; this is (a clone of)
+    /// its published result, or [`Poisoned`] if the leader died first.
+    Coalesced(Result<V, Poisoned>),
+}
+
+/// The leader's obligation token: publish a value, or poison the flight on
+/// drop so waiters are never wedged by a leader that died mid-execution.
+pub struct FlightLeader<'a, K: Hash + Eq + Clone, V: Clone> {
+    owner: &'a SingleFlight<K, V>,
+    key: K,
+    flight: Arc<Flight<V>>,
+    published: bool,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> FlightLeader<'_, K, V> {
+    /// Publishes the execution's result (success *or* error value — waiters
+    /// receive whatever the leader produced) and retires the flight: later
+    /// callers of the key start fresh.
+    pub fn publish(mut self, value: V) {
+        self.finish(Ok(value));
+    }
+
+    fn finish(&mut self, result: Result<V, Poisoned>) {
+        if self.published {
+            return;
+        }
+        self.published = true;
+        // Retire the key first so a caller arriving after publication
+        // starts a fresh flight instead of reading a completed one, then
+        // wake the registered waiters.
+        lock_recover(&self.owner.inner).remove(&self.key);
+        *lock_recover(&self.flight.state) = FlightState::Done(result);
+        self.flight.cv.notify_all();
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Drop for FlightLeader<'_, K, V> {
+    fn drop(&mut self) {
+        // A leader dropped without publishing poisons the flight — this is
+        // what runs during a panic unwind and keeps waiters from wedging.
+        self.finish(Err(Poisoned));
+    }
+}
+
+/// Coalesces identical in-flight executions: for each key, one leader runs
+/// and every concurrent caller waits for its published result.
+pub struct SingleFlight<K, V> {
+    inner: Mutex<HashMap<K, Arc<Flight<V>>>>,
+    coalesced: AtomicU64,
+}
+
+impl<K, V> Default for SingleFlight<K, V> {
+    fn default() -> Self {
+        SingleFlight {
+            inner: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> SingleFlight<K, V> {
+    /// An empty flight table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// everyone else blocks until the leader publishes (or poisons) and
+    /// returns the shared result.
+    pub fn join(&self, key: &K) -> FlightOutcome<'_, K, V> {
+        let flight = {
+            let mut inner = lock_recover(&self.inner);
+            match inner.get(key) {
+                Some(flight) => Arc::clone(flight),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending { waiters: 0 }),
+                        cv: Condvar::new(),
+                    });
+                    inner.insert(key.clone(), Arc::clone(&flight));
+                    return FlightOutcome::Leader(FlightLeader {
+                        owner: self,
+                        key: key.clone(),
+                        flight,
+                        published: false,
+                    });
+                }
+            }
+        };
+        let mut state = lock_recover(&flight.state);
+        if let FlightState::Pending { waiters } = &mut *state {
+            *waiters += 1;
+        }
+        loop {
+            match &*state {
+                FlightState::Done(result) => {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return FlightOutcome::Coalesced(result.clone());
+                }
+                FlightState::Pending { .. } => {
+                    state = flight
+                        .cv
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Callers registered and waiting on `key`'s in-flight execution right
+    /// now (0 when no flight is pending). Exposed so tests and operators
+    /// can observe registration without racing publication.
+    pub fn waiters(&self, key: &K) -> usize {
+        let flight = match lock_recover(&self.inner).get(key) {
+            Some(flight) => Arc::clone(flight),
+            None => return 0,
+        };
+        let waiting = match &*lock_recover(&flight.state) {
+            FlightState::Pending { waiters } => *waiters,
+            FlightState::Done(_) => 0,
+        };
+        waiting
+    }
+
+    /// Total callers that received a coalesced (non-leader) result.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+/// The admission verdict when a request is not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shed {
+    /// Predicted wall-clock exceeds the request's remaining deadline under
+    /// the current cost model.
+    DeadlineInfeasible,
+    /// The bounded admission queue is full (or the deadline expired while
+    /// queued).
+    QueueFull,
+}
+
+struct AdmissionState {
+    active: usize,
+    queued: usize,
+}
+
+/// Cost-model admission control: permits + a bounded wait queue + an online
+/// EWMA translating [`kvcc::split_cost`] units into predicted nanoseconds.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+    cv: Condvar,
+    /// `f64` bits of the EWMA'd nanoseconds-per-cost-unit; `0.0` = untrained.
+    ns_per_cost_bits: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// A granted execution slot; dropping it releases the permit and wakes one
+/// queued waiter.
+pub struct AdmissionPermit<'a> {
+    controller: &'a AdmissionController,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = lock_recover(&self.controller.state);
+        state.active -= 1;
+        drop(state);
+        self.controller.cv.notify_one();
+    }
+}
+
+impl AdmissionController {
+    /// A controller with the given tuning.
+    pub fn new(config: AdmissionConfig) -> Self {
+        let prior = config.initial_ns_per_cost.max(0.0);
+        AdmissionController {
+            config,
+            state: Mutex::new(AdmissionState {
+                active: 0,
+                queued: 0,
+            }),
+            cv: Condvar::new(),
+            ns_per_cost_bits: AtomicU64::new(prior.to_bits()),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// The current EWMA'd nanoseconds-per-cost-unit (`0.0` untrained).
+    pub fn ns_per_cost(&self) -> f64 {
+        f64::from_bits(self.ns_per_cost_bits.load(Ordering::Relaxed))
+    }
+
+    /// Predicted wall-clock of a request costing `cost` units.
+    pub fn predicted(&self, cost: u64) -> Duration {
+        Duration::from_nanos((cost as f64 * self.ns_per_cost()) as u64)
+    }
+
+    /// Requests shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently parked in the wait queue.
+    pub fn queue_depth(&self) -> u64 {
+        lock_recover(&self.state).queued as u64
+    }
+
+    fn shed_with(&self, reason: Shed) -> Result<AdmissionPermit<'_>, Shed> {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        Err(reason)
+    }
+
+    /// Requests a permit for a `cost`-unit execution due by `deadline`.
+    ///
+    /// Sheds immediately when the cost model predicts the work cannot
+    /// finish before the deadline, or when the wait queue is full; blocks
+    /// (up to the deadline) while the queue has room but all permits are
+    /// taken. `Ok` grants a permit released on drop.
+    pub fn admit(&self, cost: u64, deadline: Option<Instant>) -> Result<AdmissionPermit<'_>, Shed> {
+        if let Some(deadline) = deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if self.predicted(cost) > remaining {
+                return self.shed_with(Shed::DeadlineInfeasible);
+            }
+        }
+        let mut state = lock_recover(&self.state);
+        if state.active < self.config.max_concurrent {
+            state.active += 1;
+            return Ok(AdmissionPermit { controller: self });
+        }
+        if state.queued >= self.config.max_queued {
+            drop(state);
+            return self.shed_with(Shed::QueueFull);
+        }
+        state.queued += 1;
+        loop {
+            if state.active < self.config.max_concurrent {
+                state.queued -= 1;
+                state.active += 1;
+                return Ok(AdmissionPermit { controller: self });
+            }
+            match deadline {
+                None => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        // The deadline lapsed while queued: the request can
+                        // no longer be served in time, so it is shed (the
+                        // retryable verdict — the queue, not the request,
+                        // was the problem).
+                        state.queued -= 1;
+                        drop(state);
+                        return self.shed_with(Shed::QueueFull);
+                    }
+                    state = self
+                        .cv
+                        .wait_timeout(state, remaining)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Feeds one observed execution back into the cost model.
+    pub fn observe(&self, cost: u64, elapsed: Duration) {
+        let sample = elapsed.as_nanos() as f64 / cost.max(1) as f64;
+        let alpha = self.config.ewma_alpha.clamp(f64::EPSILON, 1.0);
+        loop {
+            let current_bits = self.ns_per_cost_bits.load(Ordering::Relaxed);
+            let current = f64::from_bits(current_bits);
+            let next = if current == 0.0 {
+                sample
+            } else {
+                alpha * sample + (1.0 - alpha) * current
+            };
+            if self
+                .ns_per_cost_bits
+                .compare_exchange(
+                    current_bits,
+                    next.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// The engine's assembled QoS layer: one cache, one flight table, an
+/// optional admission controller, and the configuration that armed them.
+pub(crate) struct QosLayer {
+    pub(crate) config: QosConfig,
+    pub(crate) cache: ResultCache<CacheKey, QueryResponse>,
+    pub(crate) flight: SingleFlight<CacheKey, QueryResponse>,
+    pub(crate) admission: Option<AdmissionController>,
+}
+
+impl QosLayer {
+    pub(crate) fn new(config: QosConfig) -> Self {
+        let cache = ResultCache::new(config.cache_max_entries, config.cache_max_bytes);
+        let admission = config.admission.clone().map(AdmissionController::new);
+        QosLayer {
+            config,
+            cache,
+            flight: SingleFlight::new(),
+            admission,
+        }
+    }
+
+    /// The engine-wide counters reported in `Stats` responses.
+    pub(crate) fn snapshot(&self) -> QosStats {
+        QosStats {
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            coalesced: self.flight.coalesced(),
+            shed: self.admission.as_ref().map_or(0, |a| a.shed_count()),
+            queue_depth: self.admission.as_ref().map_or(0, |a| a.queue_depth()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+
+    #[test]
+    fn cache_counts_hits_evicts_lru_and_respects_both_budgets() {
+        let cache: ResultCache<u32, String> = ResultCache::new(2, 100);
+        assert_eq!(cache.get(&1), None);
+        cache.count_miss();
+        cache.insert(1, "one".into(), 10);
+        cache.insert(2, "two".into(), 10);
+        assert_eq!(cache.get(&1), Some("one".into())); // 1 is now most recent
+        cache.insert(3, "three".into(), 10); // entry budget evicts LRU = 2
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.get(&1), Some("one".into()));
+        assert_eq!(cache.get(&3), Some("three".into()));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 20);
+        assert_eq!((cache.hits(), cache.misses()), (3, 1));
+
+        // Byte budget: an 95-weight entry forces everything else out.
+        cache.insert(4, "big".into(), 95);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&4), Some("big".into()));
+        // Heavier than the whole budget: served but never cached.
+        cache.insert(5, "huge".into(), 101);
+        assert_eq!(cache.get(&5), None);
+        // Re-inserting a key replaces its weight instead of double counting.
+        cache.insert(4, "big2".into(), 50);
+        assert_eq!(cache.bytes(), 50);
+        assert_eq!(cache.get(&4), Some("big2".into()));
+    }
+
+    #[test]
+    fn cache_with_zero_budget_is_inert() {
+        let none: ResultCache<u32, u32> = ResultCache::new(0, 100);
+        none.insert(1, 1, 1);
+        assert_eq!(none.get(&1), None);
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn single_flight_coalesces_waiters_onto_the_leader() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        let FlightOutcome::Leader(leader) = flight.join(&7) else {
+            panic!("first caller must lead");
+        };
+        let waiters = 4;
+        std::thread::scope(|scope| {
+            let flight = &flight;
+            let handles: Vec<_> = (0..waiters)
+                .map(|_| {
+                    scope.spawn(move || match flight.join(&7) {
+                        FlightOutcome::Coalesced(result) => result,
+                        FlightOutcome::Leader(_) => panic!("the key is already led"),
+                    })
+                })
+                .collect();
+            // Wait (by progress, not by time) until every waiter is
+            // registered on the flight, then publish once.
+            while flight.waiters(&7) < waiters {
+                std::thread::yield_now();
+            }
+            leader.publish(42);
+            for handle in handles {
+                assert_eq!(handle.join().unwrap(), Ok(42));
+            }
+        });
+        assert_eq!(flight.coalesced(), waiters as u64);
+        // The flight retired with publication: the next caller leads anew.
+        assert!(matches!(flight.join(&7), FlightOutcome::Leader(_)));
+    }
+
+    #[test]
+    fn a_dead_leader_poisons_waiters_instead_of_wedging_them() {
+        let flight: SingleFlight<u32, u32> = SingleFlight::new();
+        let leader = match flight.join(&1) {
+            FlightOutcome::Leader(leader) => leader,
+            FlightOutcome::Coalesced(_) => panic!("first caller must lead"),
+        };
+        std::thread::scope(|scope| {
+            let flight = &flight;
+            let waiter = scope.spawn(move || match flight.join(&1) {
+                FlightOutcome::Coalesced(result) => result,
+                FlightOutcome::Leader(_) => panic!("the key is already led"),
+            });
+            while flight.waiters(&1) < 1 {
+                std::thread::yield_now();
+            }
+            drop(leader); // died without publishing
+            assert_eq!(waiter.join().unwrap(), Err(Poisoned));
+        });
+        // Poisoning retires the flight too.
+        assert!(matches!(flight.join(&1), FlightOutcome::Leader(_)));
+    }
+
+    #[test]
+    fn admission_sheds_on_full_queue_and_releases_permits_on_drop() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 0,
+            ..AdmissionConfig::default()
+        });
+        let permit = controller.admit(1, None).expect("first caller admitted");
+        assert_eq!(controller.admit(1, None).err(), Some(Shed::QueueFull));
+        assert_eq!(controller.shed_count(), 1);
+        drop(permit);
+        let again = controller.admit(1, None).expect("permit was released");
+        drop(again);
+    }
+
+    #[test]
+    fn admission_queues_up_to_the_bound_then_sheds() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            max_concurrent: 1,
+            max_queued: 1,
+            ..AdmissionConfig::default()
+        });
+        let permit = controller.admit(1, None).expect("admitted");
+        let barrier = Barrier::new(2);
+        std::thread::scope(|scope| {
+            let controller = &controller;
+            let barrier = &barrier;
+            let queued = scope.spawn(move || {
+                barrier.wait();
+                let permit = controller.admit(1, None).expect("queued then admitted");
+                drop(permit);
+            });
+            barrier.wait();
+            // Progress-wait until the spawned caller is parked in the queue,
+            // then observe shed-on-full and release the permit.
+            while controller.queue_depth() < 1 {
+                std::thread::yield_now();
+            }
+            assert_eq!(controller.admit(1, None).err(), Some(Shed::QueueFull));
+            drop(permit);
+            queued.join().unwrap();
+        });
+        assert_eq!(controller.queue_depth(), 0);
+        assert_eq!(controller.shed_count(), 1);
+    }
+
+    #[test]
+    fn admission_sheds_deadline_infeasible_work_without_executing() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            initial_ns_per_cost: 1e6, // a trained-slow model: 1ms per unit
+            ..AdmissionConfig::default()
+        });
+        let deadline = Instant::now() + Duration::from_millis(10);
+        // 1e6 units × 1e6 ns/unit = ~17 minutes predicted ≫ 10ms remaining.
+        assert_eq!(
+            controller.admit(1_000_000, Some(deadline)).err(),
+            Some(Shed::DeadlineInfeasible)
+        );
+        assert_eq!(controller.shed_count(), 1);
+        // The same cost with no deadline sails through.
+        assert!(controller.admit(1_000_000, None).is_ok());
+    }
+
+    #[test]
+    fn ewma_trains_from_observations() {
+        let controller = AdmissionController::new(AdmissionConfig {
+            ewma_alpha: 0.5,
+            ..AdmissionConfig::default()
+        });
+        assert_eq!(controller.ns_per_cost(), 0.0);
+        // First observation seeds the model outright.
+        controller.observe(100, Duration::from_micros(100));
+        assert_eq!(controller.ns_per_cost(), 1000.0);
+        // Later observations blend by alpha.
+        controller.observe(100, Duration::from_micros(300));
+        assert_eq!(controller.ns_per_cost(), 2000.0);
+        assert_eq!(controller.predicted(1000), Duration::from_micros(2000));
+    }
+
+    #[test]
+    fn cache_keys_canonicalize_symmetric_pairs_and_embed_the_epoch() {
+        let g = GraphId(3);
+        let a = CacheKey::new(
+            &QueryRequest::MaxConnectivity {
+                graph: g,
+                u: 5,
+                v: 2,
+            },
+            1,
+        );
+        let b = CacheKey::new(
+            &QueryRequest::MaxConnectivity {
+                graph: g,
+                u: 2,
+                v: 5,
+            },
+            1,
+        );
+        assert_eq!(a, b);
+        let c = CacheKey::new(
+            &QueryRequest::MaxConnectivity {
+                graph: g,
+                u: 2,
+                v: 5,
+            },
+            2,
+        );
+        assert_ne!(a, c, "an epoch bump must change the key");
+        let d = CacheKey::new(
+            &QueryRequest::LocalConnectivity {
+                graph: g,
+                u: 9,
+                v: 1,
+                limit: 4,
+            },
+            0,
+        );
+        let e = CacheKey::new(
+            &QueryRequest::LocalConnectivity {
+                graph: g,
+                u: 1,
+                v: 9,
+                limit: 4,
+            },
+            0,
+        );
+        assert_eq!(d, e);
+        // Asymmetric queries are untouched.
+        let f1 = CacheKey::new(
+            &QueryRequest::KvccsContaining {
+                graph: g,
+                seed: 4,
+                k: 3,
+            },
+            0,
+        );
+        let f2 = CacheKey::new(
+            &QueryRequest::KvccsContaining {
+                graph: g,
+                seed: 3,
+                k: 4,
+            },
+            0,
+        );
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn graph_stats_is_never_cacheable() {
+        assert!(!cacheable(&QueryRequest::GraphStats { graph: GraphId(0) }));
+        assert!(cacheable(&QueryRequest::EnumerateKvccs {
+            graph: GraphId(0),
+            k: 2
+        }));
+    }
+}

@@ -14,8 +14,8 @@ use kvcc::KVertexConnectedComponent;
 use kvcc_graph::{EdgeUpdate, GraphError, UpdateOp};
 
 use crate::protocol::{
-    GraphId, LoadFormat, OrderingPolicy, QueryRequest, QueryResponse, RankedEntry, Request,
-    RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
+    GraphId, LoadFormat, OrderingPolicy, QosStats, QueryRequest, QueryResponse, RankedEntry,
+    Request, RequestBody, Response, ResponseBody, SchedulingStats, ServiceError,
 };
 use crate::wire::codec::{
     decode_bytes, decode_string, encode_bytes, encode_row, encode_str, varint, Reader,
@@ -39,8 +39,13 @@ const MESSAGE_MAGIC: [u8; 4] = *b"KRPC";
 /// frames with "unsupported protocol version" instead of misparsing the
 /// longer bodies (and vice versa). Version 5 is the mutable-graph revision:
 /// the `ApplyUpdates` request body, the `Updated` response body, and the
-/// `Stats` block's epoch + update counters.
-pub const PROTOCOL_VERSION: u8 = 5;
+/// `Stats` block's epoch + update counters. Version 6 is the QoS revision:
+/// the `Stats` block grows the slot's `compactions` counter and the
+/// engine-wide cache/coalesce/shed/queue-depth block ([`QosStats`]), errors
+/// gain the `Overloaded` (10) and `Unauthorized` (11) codes, and the
+/// `Handshake` request / `HandshakeOk` response carry the `kvcc-shardd`
+/// shared-secret token.
+pub const PROTOCOL_VERSION: u8 = 6;
 /// Kind byte of a request message.
 const KIND_REQUEST: u8 = 0;
 /// Kind byte of a response message.
@@ -168,7 +173,10 @@ fn decode_components(r: &mut Reader<'_>) -> Option<Vec<KVertexConnectedComponent
     Some(components)
 }
 
-fn encode_query(query: &QueryRequest, out: &mut Vec<u8>) {
+/// Encodes one query body (no envelope). `pub(crate)` because the QoS
+/// layer's result-cache key embeds exactly these bytes — keying on the wire
+/// form guarantees two requests collide iff they decode identically.
+pub(crate) fn encode_query(query: &QueryRequest, out: &mut Vec<u8>) {
     match *query {
         QueryRequest::EnumerateKvccs { graph, k } => {
             out.push(0);
@@ -290,6 +298,8 @@ fn encode_error(error: &ServiceError, out: &mut Vec<u8>) {
         ServiceError::MalformedRequest { reason } => encode_str(reason, out),
         ServiceError::Transport { reason } => encode_str(reason, out),
         ServiceError::LoadFailed { reason } => encode_str(reason, out),
+        ServiceError::Overloaded => {}
+        ServiceError::Unauthorized => {}
     }
 }
 
@@ -318,6 +328,8 @@ fn decode_error(r: &mut Reader<'_>) -> Option<ServiceError> {
         9 => ServiceError::LoadFailed {
             reason: decode_string(r)?,
         },
+        10 => ServiceError::Overloaded,
+        11 => ServiceError::Unauthorized,
         _ => return None,
     };
     Some(error)
@@ -353,6 +365,7 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             depth_limit,
             scheduling,
             epoch,
+            qos,
         } => {
             out.push(3);
             varint::encode_u64(*num_vertices as u64, out);
@@ -362,8 +375,9 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             out.push(ordering.code());
             encode_option_u32(*depth_limit, out);
             // Scheduling observability block — four varints since version
-            // 3, plus the five fleet counters of version 4 and the three
-            // update counters of version 5 (see PROTOCOL_VERSION).
+            // 3, plus the five fleet counters of version 4, the three
+            // update counters of version 5 and the compaction counter of
+            // version 6 (see PROTOCOL_VERSION).
             varint::encode_u64(scheduling.work_items, out);
             varint::encode_u64(scheduling.steals, out);
             varint::encode_u64(scheduling.splits, out);
@@ -376,7 +390,14 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             varint::encode_u64(scheduling.update_batches, out);
             varint::encode_u64(scheduling.update_edges, out);
             varint::encode_u64(scheduling.update_rebuilds, out);
+            varint::encode_u64(scheduling.compactions, out);
             varint::encode_u64(*epoch, out);
+            // Engine-wide QoS block (version 6).
+            varint::encode_u64(qos.cache_hits, out);
+            varint::encode_u64(qos.cache_misses, out);
+            varint::encode_u64(qos.coalesced, out);
+            varint::encode_u64(qos.shed, out);
+            varint::encode_u64(qos.queue_depth, out);
         }
         QueryResponse::Page {
             entries,
@@ -427,6 +448,9 @@ fn encode_response_body(response: &QueryResponse, out: &mut Vec<u8>) {
             varint::encode_u32(*repaired_nodes, out);
             out.push(u8::from(*rebuilt));
         }
+        QueryResponse::HandshakeOk => {
+            out.push(8);
+        }
     }
 }
 
@@ -466,8 +490,16 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
                 update_batches: r.varint_u64()?,
                 update_edges: r.varint_u64()?,
                 update_rebuilds: r.varint_u64()?,
+                compactions: r.varint_u64()?,
             },
             epoch: r.varint_u64()?,
+            qos: QosStats {
+                cache_hits: r.varint_u64()?,
+                cache_misses: r.varint_u64()?,
+                coalesced: r.varint_u64()?,
+                shed: r.varint_u64()?,
+                queue_depth: r.varint_u64()?,
+            },
         },
         4 => {
             let count = r.varint_u32()? as usize;
@@ -514,6 +546,7 @@ fn decode_response_body(r: &mut Reader<'_>) -> Option<QueryResponse> {
                 _ => return None,
             },
         },
+        8 => QueryResponse::HandshakeOk,
         _ => return None,
     };
     Some(response)
@@ -558,6 +591,10 @@ impl Request {
                     varint::encode_u32(update.u, &mut out);
                     varint::encode_u32(update.v, &mut out);
                 }
+            }
+            RequestBody::Handshake { token } => {
+                out.push(5);
+                encode_str(token, &mut out);
             }
         }
         seal(out)
@@ -640,6 +677,10 @@ impl Request {
                 }
                 RequestBody::ApplyUpdates { graph, updates }
             }
+            5 => RequestBody::Handshake {
+                token: decode_string(&mut r)
+                    .ok_or_else(|| malformed("handshake token malformed"))?,
+            },
             _ => return Err(malformed("unknown request body tag")),
         };
         r.finish()
@@ -787,6 +828,20 @@ mod tests {
                     updates: Vec::new(),
                 },
             },
+            Request {
+                request_id: 47,
+                deadline_hint_ms: None,
+                body: RequestBody::Handshake {
+                    token: "hunter2".into(),
+                },
+            },
+            Request {
+                request_id: 48,
+                deadline_hint_ms: Some(5),
+                body: RequestBody::Handshake {
+                    token: String::new(),
+                },
+            },
         ];
         for request in requests {
             let bytes = request.to_bytes();
@@ -828,8 +883,16 @@ mod tests {
                         update_batches: 6,
                         update_edges: 120,
                         update_rebuilds: 1,
+                        compactions: 2,
                     },
                     epoch: 6,
+                    qos: QosStats {
+                        cache_hits: 900,
+                        cache_misses: 33,
+                        coalesced: 12,
+                        shed: 4,
+                        queue_depth: 1,
+                    },
                 },
                 QueryResponse::Page {
                     entries: vec![RankedEntry {
@@ -846,6 +909,9 @@ mod tests {
                 QueryResponse::Error(ServiceError::LoadFailed {
                     reason: "no such file".into(),
                 }),
+                QueryResponse::Error(ServiceError::Overloaded),
+                QueryResponse::Error(ServiceError::Unauthorized),
+                QueryResponse::HandshakeOk,
                 QueryResponse::Loaded {
                     graph: GraphId(3),
                     num_vertices: 131_072,
@@ -900,7 +966,7 @@ mod tests {
         // "unsupported protocol version" — never be misreported as
         // in-flight corruption by the integrity check running first.
         let good = Request::query(1, QueryRequest::GraphStats { graph: GraphId(0) }).to_bytes();
-        for version in [1u8, 3, 4, 255] {
+        for version in [1u8, 3, 4, 5, 255] {
             let mut other = good.clone();
             other[4] = version;
             match Request::from_bytes(&other).unwrap_err() {

@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use kvcc::KvccOptions;
 
+use crate::protocol::{QueryResponse, Request, RequestBody, Response, ResponseBody, ServiceError};
 use crate::wire::frame::{encode_frame, FrameDecoder};
 use crate::wire::transport::{run_shard_worker, Transport, TransportError};
 
@@ -246,6 +247,36 @@ pub struct ShardPool {
     served: Arc<AtomicU64>,
 }
 
+/// Enforces the shared-secret handshake on a fresh connection of a
+/// `--token`-armed pool. The first frame must be a decodable
+/// [`RequestBody::Handshake`] carrying the matching token; anything else —
+/// wrong token, a different request kind, undecodable bytes — is answered
+/// with a clean [`ServiceError::Unauthorized`] frame (never a silent drop or
+/// a protocol desync) and the connection is closed. Returns whether the
+/// worker loop may start.
+fn gate_connection(transport: &dyn Transport, token: &str) -> bool {
+    let Ok(Some(frame)) = transport.recv() else {
+        return false;
+    };
+    let (request_id, verdict) = match Request::from_bytes(&frame) {
+        Ok(request) => match &request.body {
+            RequestBody::Handshake { token: offered } => (request.request_id, offered == token),
+            _ => (request.request_id, false),
+        },
+        Err(_) => (0, false),
+    };
+    let body = if verdict {
+        QueryResponse::HandshakeOk
+    } else {
+        QueryResponse::Error(ServiceError::Unauthorized)
+    };
+    let response = Response {
+        request_id,
+        body: ResponseBody::Query(body),
+    };
+    transport.send(&response.to_bytes()).is_ok() && verdict
+}
+
 /// Accept-loop body shared by both socket families. `accept` yields
 /// transports until the listener errors or the shutdown flag is seen.
 fn accept_loop<T: Transport + 'static>(
@@ -254,6 +285,7 @@ fn accept_loop<T: Transport + 'static>(
     active: &Arc<AtomicUsize>,
     max_connections: usize,
     options: &KvccOptions,
+    token: Option<&str>,
     mut accept: impl FnMut() -> io::Result<T>,
 ) {
     loop {
@@ -278,9 +310,16 @@ fn accept_loop<T: Transport + 'static>(
         let served = Arc::clone(served);
         let active = Arc::clone(active);
         let options = options.clone();
+        let token = token.map(str::to_string);
         std::thread::spawn(move || {
-            if let Ok(count) = run_shard_worker(&transport, &options) {
-                served.fetch_add(count as u64, Ordering::Relaxed);
+            let authorized = match &token {
+                Some(token) => gate_connection(&transport, token),
+                None => true,
+            };
+            if authorized {
+                if let Ok(count) = run_shard_worker(&transport, &options) {
+                    served.fetch_add(count as u64, Ordering::Relaxed);
+                }
             }
             active.fetch_sub(1, Ordering::Relaxed);
         });
@@ -288,12 +327,35 @@ fn accept_loop<T: Transport + 'static>(
 }
 
 impl ShardPool {
-    /// Serves shard workers on a bound TCP listener.
+    /// Serves shard workers on a bound TCP listener with no auth gate.
     pub fn serve_tcp(
         listener: TcpListener,
         socket_options: SocketOptions,
         worker_options: KvccOptions,
         max_connections: usize,
+    ) -> io::Result<ShardPool> {
+        ShardPool::serve_tcp_with_token(
+            listener,
+            socket_options,
+            worker_options,
+            max_connections,
+            None,
+        )
+    }
+
+    /// [`ShardPool::serve_tcp`] with an optional shared-secret auth token:
+    /// when `Some`, every connection must open with a matching
+    /// [`RequestBody::Handshake`] frame before any work item is served;
+    /// mismatches are answered [`ServiceError::Unauthorized`] and the
+    /// connection is closed. This is the in-process form of
+    /// `kvcc-shardd --token`. See
+    /// [`crate::wire::transport::authenticate`] for the client side.
+    pub fn serve_tcp_with_token(
+        listener: TcpListener,
+        socket_options: SocketOptions,
+        worker_options: KvccOptions,
+        max_connections: usize,
+        token: Option<String>,
     ) -> io::Result<ShardPool> {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -310,6 +372,7 @@ impl ShardPool {
                     &active,
                     max_connections,
                     &worker_options,
+                    token.as_deref(),
                     || {
                         let (stream, _) = listener.accept()?;
                         stream.set_nodelay(true)?;
@@ -326,12 +389,31 @@ impl ShardPool {
         })
     }
 
-    /// Serves shard workers on a bound Unix-socket listener.
+    /// Serves shard workers on a bound Unix-socket listener with no auth
+    /// gate.
     pub fn serve_unix(
         listener: UnixListener,
         socket_options: SocketOptions,
         worker_options: KvccOptions,
         max_connections: usize,
+    ) -> io::Result<ShardPool> {
+        ShardPool::serve_unix_with_token(
+            listener,
+            socket_options,
+            worker_options,
+            max_connections,
+            None,
+        )
+    }
+
+    /// [`ShardPool::serve_unix`] with an optional shared-secret auth token;
+    /// same contract as [`ShardPool::serve_tcp_with_token`].
+    pub fn serve_unix_with_token(
+        listener: UnixListener,
+        socket_options: SocketOptions,
+        worker_options: KvccOptions,
+        max_connections: usize,
+        token: Option<String>,
     ) -> io::Result<ShardPool> {
         let path = listener
             .local_addr()?
@@ -357,6 +439,7 @@ impl ShardPool {
                     &active,
                     max_connections,
                     &worker_options,
+                    token.as_deref(),
                     || UnixTransport::from_stream(listener.accept()?.0, socket_options),
                 );
             })
@@ -490,6 +573,67 @@ mod tests {
         drop(transport);
         drop(pool);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn token_armed_pool_rejects_mismatches_and_serves_after_handshake() {
+        use crate::wire::transport::{authenticate, call_with, CallOptions};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let pool = ShardPool::serve_tcp_with_token(
+            listener,
+            SocketOptions::default(),
+            KvccOptions::default(),
+            4,
+            Some("hunter2".into()),
+        )
+        .unwrap();
+        let addr = pool.local_addr().unwrap();
+
+        // Wrong token: a clean, decodable Unauthorized — not a desync.
+        let bad = TcpTransport::connect(addr, SocketOptions::default()).unwrap();
+        assert_eq!(authenticate(&bad, "wrong"), Err(ServiceError::Unauthorized));
+
+        // Skipping the handshake entirely is rejected the same way, with
+        // the offending request's id echoed.
+        let sneaky = TcpTransport::connect(addr, SocketOptions::default()).unwrap();
+        let rejected = call_with(
+            &sneaky,
+            &Request {
+                request_id: 8,
+                deadline_hint_ms: None,
+                body: RequestBody::WorkItem {
+                    k: 2,
+                    item: work_item(),
+                },
+            },
+            &CallOptions {
+                max_attempts: 1,
+                ..CallOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(rejected.request_id, 8);
+        match rejected.body {
+            ResponseBody::Query(QueryResponse::Error(ServiceError::Unauthorized)) => {}
+            other => panic!("expected unauthorized, got {other:?}"),
+        }
+
+        // The right token opens the connection for real work.
+        let good = TcpTransport::connect(addr, SocketOptions::default()).unwrap();
+        authenticate(&good, "hunter2").unwrap();
+        let response = call(
+            &good,
+            &Request {
+                request_id: 2,
+                deadline_hint_ms: None,
+                body: RequestBody::WorkItem {
+                    k: 2,
+                    item: work_item(),
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(expect_components(&response), 2);
     }
 
     #[test]

@@ -348,6 +348,40 @@ pub fn call_with(
     Err(last_error)
 }
 
+/// Performs the protocol-v6 auth handshake on a fresh connection: sends
+/// [`RequestBody::Handshake`] carrying `token` and waits for the verdict.
+///
+/// Token-less endpoints (the engine's [`crate::ServiceEngine::serve`] loop,
+/// an unarmed shard worker) answer
+/// [`QueryResponse::HandshakeOk`] as a
+/// no-op, so clients can handshake unconditionally. A `--token`-armed
+/// `kvcc-shardd` answers [`ServiceError::Unauthorized`] and closes the
+/// connection on a mismatch — a clean, decodable rejection instead of a
+/// protocol desync.
+pub fn authenticate(transport: &dyn Transport, token: &str) -> Result<(), ServiceError> {
+    let request = Request {
+        request_id: 0,
+        deadline_hint_ms: None,
+        body: RequestBody::Handshake {
+            token: token.to_string(),
+        },
+    };
+    let options = CallOptions {
+        // A rejected handshake closes the connection server-side; there is
+        // nothing a resend on this transport could fix.
+        max_attempts: 1,
+        ..CallOptions::default()
+    };
+    let response = call_with(transport, &request, &options)?;
+    match response.body {
+        ResponseBody::Query(QueryResponse::HandshakeOk) => Ok(()),
+        ResponseBody::Query(QueryResponse::Error(e)) => Err(e),
+        other => Err(ServiceError::Transport {
+            reason: format!("unexpected handshake response: {other:?}"),
+        }),
+    }
+}
+
 /// Runs a shard worker: a loop that serves [`RequestBody::WorkItem`]
 /// enumeration requests **purely over bytes** until the peer closes the
 /// transport. Returns the number of work items served.
@@ -383,6 +417,11 @@ pub fn run_shard_worker(
                             Err(e) => QueryResponse::Error(e.into()),
                         }
                     }
+                    // A token-less worker accepts any handshake as a no-op
+                    // (clients handshake unconditionally); token *checking*
+                    // happens in the accept path of a `--token`-armed
+                    // `kvcc-shardd` before this loop ever starts.
+                    RequestBody::Handshake { .. } => QueryResponse::HandshakeOk,
                     RequestBody::Query(_)
                     | RequestBody::Batch(_)
                     | RequestBody::LoadGraph { .. }

@@ -21,8 +21,8 @@ use kvcc_graph::UndirectedGraph;
 use kvcc_service::wire::frame::{encode_frame, FrameDecoder};
 use kvcc_service::{
     call, run_shard_worker, CsrWorkItem, EngineConfig, GraphId, KvccOptions, LoopbackTransport,
-    OrderingPolicy, PageCursor, QueryRequest, QueryResponse, RankBy, RankedEntry, Request,
-    RequestBody, Response, ResponseBody, SchedulingStats, ServiceEngine, ServiceError,
+    OrderingPolicy, PageCursor, QosStats, QueryRequest, QueryResponse, RankBy, RankedEntry,
+    Request, RequestBody, Response, ResponseBody, SchedulingStats, ServiceEngine, ServiceError,
 };
 
 struct XorShift(u64);
@@ -141,6 +141,13 @@ fn all_requests() -> Vec<Request> {
             item: sample_item(),
         },
     });
+    requests.push(Request {
+        request_id: 77,
+        deadline_hint_ms: None,
+        body: RequestBody::Handshake {
+            token: "hunter2".into(),
+        },
+    });
     requests
 }
 
@@ -164,6 +171,8 @@ fn all_responses() -> Vec<Response> {
         ServiceError::Transport {
             reason: "peer gone".into(),
         },
+        ServiceError::Overloaded,
+        ServiceError::Unauthorized,
     ];
     let mut bodies = vec![
         QueryResponse::Components(vec![]),
@@ -196,8 +205,16 @@ fn all_responses() -> Vec<Response> {
                 update_batches: 5,
                 update_edges: 90,
                 update_rebuilds: 1,
+                compactions: 2,
             },
             epoch: 5,
+            qos: QosStats {
+                cache_hits: 12,
+                cache_misses: 3,
+                coalesced: 7,
+                shed: 1,
+                queue_depth: 4,
+            },
         },
         QueryResponse::Page {
             entries: vec![
@@ -227,6 +244,7 @@ fn all_responses() -> Vec<Response> {
             entries: vec![],
             next_cursor: None,
         },
+        QueryResponse::HandshakeOk,
     ];
     bodies.extend(errors.into_iter().map(QueryResponse::Error));
     let mut responses: Vec<Response> = bodies
